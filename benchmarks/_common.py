@@ -1,0 +1,201 @@
+"""Shared machinery for the figure benchmarks.
+
+Every figure bench combines two layers, as documented in DESIGN.md §2:
+
+* **measured** — real wall-clock on this machine: the pure-Python serial
+  backend (the paper's serial-C role) versus the vectorized NumPy engine
+  (the GPU-analog role) and the threaded engine (the OpenMP role), at
+  reduced problem sizes;
+* **modeled** — the calibratable SIMT / multicore performance models at the
+  paper's problem sizes (Tesla K40 vs. one Opteron core; 1–32 Opteron
+  cores).
+
+Tables are printed and appended to ``results/<bench>.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.backends.serial import SerialBackend
+from repro.backends.threaded import ThreadedBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.harness import compare_backends
+from repro.bench.reporting import SeriesTable
+from repro.graph.factor_graph import FactorGraph
+from repro.gpusim.cpumodel import simulate_admm_cpu, speedup_vs_cores
+from repro.gpusim.device import OPTERON_6300, TESLA_K40
+from repro.gpusim.workloads import admm_workloads, simulate_admm_gpu
+from repro.utils.timing import UPDATE_KINDS
+
+#: Iterations for measured runs (serial Python is the bottleneck).
+SERIAL_ITERS = 2
+FAST_ITERS = 10
+
+
+def measured_gpu_table(
+    title: str,
+    graph_fn: Callable[[int], FactorGraph],
+    sizes: Sequence[int],
+    rho: float = 2.0,
+) -> tuple[SeriesTable, list[dict]]:
+    """Serial vs vectorized wall-clock sweep (Fig 7/10/13-left, measured)."""
+    table = SeriesTable(
+        title=title,
+        columns=(
+            "size",
+            "elements",
+            "serial s/iter",
+            "vector s/iter",
+            "speedup",
+            "x",
+            "m",
+            "z",
+            "u",
+            "n",
+        ),
+    )
+    rows = []
+    for size in sizes:
+        g = graph_fn(size)
+        cmp = compare_backends(
+            g, SerialBackend(), VectorizedBackend(), SERIAL_ITERS, FAST_ITERS, rho=rho
+        )
+        ks = cmp.kernel_speedups()
+        table.add_row(
+            size,
+            g.num_elements,
+            cmp.baseline.seconds_per_iteration,
+            cmp.accelerated.seconds_per_iteration,
+            cmp.combined_speedup,
+            *[ks[k] for k in UPDATE_KINDS],
+        )
+        rows.append(
+            {
+                "size": size,
+                "elements": g.num_elements,
+                "serial": cmp.baseline.seconds_per_iteration,
+                "vector": cmp.accelerated.seconds_per_iteration,
+                "speedup": cmp.combined_speedup,
+                "kernels": ks,
+                "serial_fractions": cmp.baseline.kernel_fractions(),
+            }
+        )
+    table.add_note(
+        "measured on this machine: pure-Python serial baseline vs vectorized "
+        "NumPy engine (the GPU-analog), same iteration count"
+    )
+    return table, rows
+
+
+def modeled_gpu_table(
+    title: str,
+    workloads_fn: Callable[[int], tuple[dict, int]],
+    sizes: Sequence[int],
+    ntb: int = 32,
+) -> tuple[SeriesTable, list[dict]]:
+    """K40-model sweep at paper scale (Fig 7/10/13, modeled).
+
+    ``workloads_fn(size)`` returns ``(kernel workloads, element count)`` —
+    usually one of the :mod:`repro.gpusim.synthetic` builders, so no graph
+    is materialized at paper scale.
+    """
+    table = SeriesTable(
+        title=title,
+        columns=(
+            "size",
+            "elements",
+            "1-core s/iter",
+            "K40 s/iter",
+            "speedup",
+            "x",
+            "m",
+            "z",
+            "u",
+            "n",
+            "x+z frac",
+        ),
+    )
+    rows = []
+    for size in sizes:
+        wl, elements = workloads_fn(size)
+        res = simulate_admm_gpu(TESLA_K40, None, OPTERON_6300, ntb=ntb, workloads=wl)
+        sp = res.speedups()
+        fr = res.fractions("gpu")
+        table.add_row(
+            size,
+            elements,
+            res.serial_iteration_s,
+            res.gpu_iteration_s,
+            res.combined_speedup,
+            *[sp[k] for k in UPDATE_KINDS],
+            fr["x"] + fr["z"],
+        )
+        rows.append(
+            {"size": size, "speedup": res.combined_speedup, "kernels": sp, "result": res}
+        )
+    table.add_note(
+        "SIMT performance model: Tesla K40 (ntb=32) vs one 2.8GHz Opteron core"
+    )
+    return table, rows
+
+
+def measured_multicore_table(
+    title: str,
+    graph_fn: Callable[[int], FactorGraph],
+    sizes: Sequence[int],
+    workers: int = 2,
+    rho: float = 2.0,
+) -> tuple[SeriesTable, list[dict]]:
+    """Serial vs threaded wall-clock sweep (Fig 8/11/14-left, measured)."""
+    table = SeriesTable(
+        title=title,
+        columns=("size", "elements", "serial s/iter", "threads s/iter", "speedup"),
+    )
+    rows = []
+    for size in sizes:
+        g = graph_fn(size)
+        backend = ThreadedBackend(num_workers=workers)
+        try:
+            cmp = compare_backends(
+                g, VectorizedBackend(), backend, FAST_ITERS, FAST_ITERS, rho=rho
+            )
+        finally:
+            backend.close()
+        table.add_row(
+            size,
+            g.num_elements,
+            cmp.baseline.seconds_per_iteration,
+            cmp.accelerated.seconds_per_iteration,
+            cmp.combined_speedup,
+        )
+        rows.append({"size": size, "speedup": cmp.combined_speedup})
+    table.add_note(
+        f"measured: vectorized 1-thread baseline vs {workers}-thread chunked "
+        "engine (OpenMP approach-1 analog; this container has 2 cores)"
+    )
+    return table, rows
+
+
+def modeled_cores_table(
+    title: str,
+    workloads: dict,
+    core_counts: Sequence[int] = (1, 2, 4, 8, 12, 16, 20, 24, 25, 28, 32),
+) -> tuple[SeriesTable, dict[int, float]]:
+    """Speedup-vs-cores curve (Fig 8/11/14-right, modeled Opteron)."""
+    curve = speedup_vs_cores(OPTERON_6300, workloads, list(core_counts))
+    table = SeriesTable(title=title, columns=("cores", "speedup"))
+    for c, s in curve.items():
+        table.add_row(c, s)
+    table.add_note("multicore model: 32-core Opteron 6300, shared 51.2 GB/s bus")
+    return table, curve
+
+
+def one_iteration(backend, graph, state):
+    """Callable for pytest-benchmark: one full ADMM sweep."""
+    def run():
+        backend.run(graph, state, 1)
+
+    return run

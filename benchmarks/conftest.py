@@ -1,0 +1,25 @@
+"""Benchmark-session configuration.
+
+Each figure bench writes its paper-style series to ``results/<name>.txt``
+(pytest captures stdout; the files survive).  This conftest clears the
+results directory once per session so reruns don't append duplicates.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.bench.reporting import results_path
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_dir():
+    root = os.path.dirname(results_path("x"))
+    os.makedirs(root, exist_ok=True)
+    for name in os.listdir(root):
+        if name.endswith(".txt"):
+            os.unlink(os.path.join(root, name))
+    yield

@@ -1,0 +1,144 @@
+"""Ablation — memory layout: contiguous (coalesced) vs scattered groups.
+
+Paper §III: "in an ideal scenario all threads in a thread-block are applying
+the same PO map to blocks of variables in sequence.  In a less ideal
+scenario, threads apply totally different POs to non-consecutive memory
+positions."  We build the same packing problem twice — factor families added
+contiguously vs round-robin interleaved — and compare the measured x-update
+time (the interleaved build forces the gather path) plus the modeled
+coalescing penalty.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.packing import PackingProblem, triangle_region
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.reporting import SeriesTable, results_path
+from repro.core.state import ADMMState
+from repro.graph.builder import GraphBuilder
+from repro.gpusim.device import TESLA_K40
+from repro.gpusim.kernel import COALESCING, KernelWorkload
+from repro.gpusim.simt import simulate_kernel
+from repro.prox.packing import PairNoCollisionProx, RadiusRewardProx, WallProx
+from repro.utils.timing import KernelTimers
+
+N_DISKS = 30
+
+
+def interleaved_packing_graph(n):
+    """Same problem as PackingProblem.build_graph but families interleaved."""
+    region = triangle_region()
+    b = GraphBuilder()
+    centers = [b.add_variable(2) for _ in range(n)]
+    radii = [b.add_variable(1) for _ in range(n)]
+    pair, wall, reward = PairNoCollisionProx(), WallProx(), RadiusRewardProx()
+    pair_scopes = [
+        (centers[i], radii[i], centers[j], radii[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    wall_scopes = [
+        ((centers[i], radii[i]), s)
+        for i in range(n)
+        for s in range(region.num_walls)
+    ]
+    reward_scopes = [(radii[i],) for i in range(n)]
+    # Round-robin interleave the three families.
+    k = max(len(pair_scopes), len(wall_scopes), len(reward_scopes))
+    for idx in range(k):
+        if idx < len(pair_scopes):
+            b.add_factor(pair, pair_scopes[idx])
+        if idx < len(wall_scopes):
+            scope, s = wall_scopes[idx]
+            b.add_factor(
+                wall, scope, params={"Q": region.normals[s], "V": region.points[s]}
+            )
+        if idx < len(reward_scopes):
+            b.add_factor(reward, reward_scopes[idx])
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def layout_results():
+    out = results_path("ablation_layout.txt")
+    g_cont = PackingProblem(N_DISKS).build_graph()
+    g_int = interleaved_packing_graph(N_DISKS)
+    assert g_cont.num_edges == g_int.num_edges
+
+    def x_seconds(g):
+        state = ADMMState(g, rho=3.0).init_random(0.1, 0.9, seed=0)
+        timers = KernelTimers()
+        VectorizedBackend().run(g, state, 20, timers)
+        return timers["x"].elapsed / 20
+
+    cont_s = x_seconds(g_cont)
+    int_s = x_seconds(g_int)
+    t = SeriesTable(
+        f"Ablation (measured) — packing N={N_DISKS} x-update, layout effect",
+        ("layout", "contiguous groups", "x s/iter"),
+    )
+    t.add_row("family-major", all(gr.contiguous for gr in g_cont.groups), cont_s)
+    t.add_row("interleaved", all(gr.contiguous for gr in g_int.groups), int_s)
+    t.emit(out)
+
+    # Modeled coalescing penalty on an identical compute workload.
+    cycles = np.full(20000, 300.0)
+    bpi = np.full(20000, 128.0)
+    coal = simulate_kernel(
+        TESLA_K40, KernelWorkload("x", cycles, bpi, access="contiguous"), 32
+    )
+    gath = simulate_kernel(
+        TESLA_K40, KernelWorkload("x", cycles, bpi, access="gathered"), 32
+    )
+    t2 = SeriesTable(
+        "Ablation (modeled K40) — identical kernel, coalesced vs gathered",
+        ("access", "time_s", "memory_s"),
+    )
+    t2.add_row("contiguous", coal.time_s, coal.memory_s)
+    t2.add_row("gathered", gath.time_s, gath.memory_s)
+    t2.emit(out)
+    return g_cont, g_int, cont_s, int_s, coal, gath
+
+
+def test_contiguous_build_detected(layout_results):
+    g_cont, g_int, *_ = layout_results
+    assert all(gr.contiguous for gr in g_cont.groups)
+    assert not all(gr.contiguous for gr in g_int.groups)
+
+
+def test_layouts_compute_identical_iterates(layout_results):
+    g_cont, g_int, *_ = layout_results
+    # Same math, different memory order: z must match after reordering.
+    s1 = ADMMState(g_cont, rho=3.0).init_from_z(np.linspace(0, 1, g_cont.z_size))
+    s2 = ADMMState(g_int, rho=3.0).init_from_z(np.linspace(0, 1, g_int.z_size))
+    VectorizedBackend().run(g_cont, s1, 5)
+    VectorizedBackend().run(g_int, s2, 5)
+    np.testing.assert_allclose(s1.z, s2.z, atol=1e-10)
+
+
+def test_modeled_gather_penalty(layout_results):
+    *_, coal, gath = layout_results
+    assert gath.memory_s > coal.memory_s
+    ratio = COALESCING["contiguous"] / COALESCING["gathered"]
+    assert gath.memory_s == pytest.approx(coal.memory_s * ratio, rel=1e-6)
+
+
+def test_benchmark_contiguous_x_update(benchmark, layout_results):
+    g_cont, *_ = layout_results
+    state = ADMMState(g_cont, rho=3.0).init_random(0.1, 0.9, seed=1)
+    from repro.core import updates
+
+    benchmark.pedantic(
+        lambda: updates.x_update(g_cont, state), rounds=10, iterations=3
+    )
+
+
+def test_benchmark_interleaved_x_update(benchmark, layout_results):
+    _, g_int, *_ = layout_results
+    state = ADMMState(g_int, rho=3.0).init_random(0.1, 0.9, seed=1)
+    from repro.core import updates
+
+    benchmark.pedantic(
+        lambda: updates.x_update(g_int, state), rounds=10, iterations=3
+    )

@@ -1,0 +1,85 @@
+"""Ablation — the paper's two OpenMP schemes (Figure 4).
+
+"We found the first approach [five parallel for-loops per iteration] to be
+substantially faster" than the second [one persistent parallel region with
+explicit barriers].  Both are implemented; this bench measures the ordering
+on every application workload.
+"""
+
+import pytest
+
+from _common import one_iteration
+from repro.backends.persistent import PersistentWorkerBackend
+from repro.backends.threaded import ThreadedBackend
+from repro.bench.harness import measure_backend
+from repro.bench.reporting import SeriesTable, results_path
+from repro.bench.workloads import mpc_graph, packing_graph, svm_graph
+from repro.core.state import ADMMState
+
+CASES = [
+    ("packing N=40", lambda: packing_graph(40)),
+    ("mpc K=300", lambda: mpc_graph(300)),
+    ("svm N=300", lambda: svm_graph(300)),
+]
+ITERS = 10
+
+
+@pytest.fixture(scope="module")
+def openmp_table():
+    out = results_path("ablation_openmp.txt")
+    t = SeriesTable(
+        "Ablation (measured) — OpenMP approach 1 (parallel-for) vs "
+        "approach 2 (persistent workers + barriers), s/iter",
+        ("workload", "approach1", "approach2", "a2/a1"),
+    )
+    ratios = {}
+    for name, gf in CASES:
+        g = gf()
+        b1 = ThreadedBackend(num_workers=2)
+        try:
+            m1 = measure_backend(g, b1, ITERS)
+        finally:
+            b1.close()
+        m2 = measure_backend(g, PersistentWorkerBackend(num_workers=2), ITERS)
+        r = m2.seconds_per_iteration / m1.seconds_per_iteration
+        ratios[name] = r
+        t.add_row(name, m1.seconds_per_iteration, m2.seconds_per_iteration, r)
+    t.add_note("paper: approach 1 faster in all three problems")
+    t.emit(out)
+    return ratios
+
+
+def test_results_recorded_for_all_workloads(openmp_table):
+    assert len(openmp_table) == 3
+    for name, r in openmp_table.items():
+        assert r > 0
+
+
+def test_persistent_not_dramatically_faster(openmp_table):
+    # The paper found approach 1 faster everywhere; thread-creation costs
+    # differ in Python, so we assert the weaker directional claim that
+    # approach 2 never wins by more than 2x.
+    for name, r in openmp_table.items():
+        assert r > 0.5, f"{name}: persistent unexpectedly 2x faster"
+
+
+def test_benchmark_approach1(benchmark, openmp_table):
+    g = packing_graph(40)
+    state = ADMMState(g, rho=3.0).init_random(0.1, 0.9, seed=0)
+    backend = ThreadedBackend(num_workers=2)
+    backend.prepare(g)
+    try:
+        benchmark.pedantic(
+            one_iteration(backend, g, state), rounds=8, iterations=2, warmup_rounds=1
+        )
+    finally:
+        backend.close()
+
+
+def test_benchmark_approach2(benchmark, openmp_table):
+    g = packing_graph(40)
+    state = ADMMState(g, rho=3.0).init_random(0.1, 0.9, seed=0)
+    backend = PersistentWorkerBackend(num_workers=2)
+    benchmark.pedantic(
+        lambda: backend.run(g, state, 2), rounds=5, iterations=1, warmup_rounds=1
+    )

@@ -1,0 +1,130 @@
+"""Extensions — the paper's future-work items, quantified.
+
+Conclusion items 3 and 5: "extend the code to allow the use of multiple
+GPUs" and "in many applications floating-point precision might be enough".
+The multi-device model shards the flat layout over K40s with a PCIe-class
+interconnect; the precision profile rescales compute/traffic for FP32.
+Also: the randomized (asynchronous-style) ADMM of item 1, measured for
+solution quality at equal work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.randomized import RandomizedBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.reporting import SeriesTable, results_path
+from repro.core.solver import ADMMSolver
+from repro.apps.lasso import LassoProblem, make_lasso_data, solve_lasso_fista
+from repro.gpusim.device import OPTERON_6300, TESLA_K40
+from repro.gpusim.multidevice import scaling_curve
+from repro.gpusim.precision import K40_FP32, with_precision
+from repro.gpusim.synthetic import packing_workloads
+from repro.gpusim.workloads import simulate_admm_gpu
+
+PACK_N = 5000
+
+
+@pytest.fixture(scope="module")
+def extension_tables():
+    out = results_path("extension_future_work.txt")
+    wl, _ = packing_workloads(PACK_N)
+
+    # --- multi-GPU scaling (future work #3) -------------------------- #
+    curve = scaling_curve(
+        TESLA_K40, OPTERON_6300, wl, device_counts=(1, 2, 4, 8)
+    )
+    t = SeriesTable(
+        f"Extension (modeled) — packing N={PACK_N} sharded over K40s",
+        ("gpus", "compute_s", "comm_s", "iter_s", "speedup vs 1 core"),
+    )
+    for d, r in curve.items():
+        t.add_row(d, r.compute_s, r.comm_s, r.iteration_s, r.combined_speedup)
+    t.emit(out)
+
+    # --- FP32 what-if (future work #5) ---------------------------------- #
+    fp64 = simulate_admm_gpu(TESLA_K40, None, OPTERON_6300, workloads=wl)
+    fp32 = simulate_admm_gpu(
+        TESLA_K40, None, OPTERON_6300, workloads=with_precision(wl, K40_FP32)
+    )
+    t2 = SeriesTable(
+        "Extension (modeled) — FP64 vs FP32 on the K40 model",
+        ("precision", "iter_s", "speedup vs fp64 1-core"),
+    )
+    # Both rows compare against the same fp64 serial baseline (the paper's
+    # C code stays double precision).
+    t2.add_row("fp64", fp64.gpu_iteration_s, fp64.combined_speedup)
+    t2.add_row(
+        "fp32",
+        fp32.gpu_iteration_s,
+        fp64.serial_iteration_s / fp32.gpu_iteration_s,
+    )
+    t2.emit(out)
+
+    # --- randomized ADMM solution quality (future work #1) ------------- #
+    A, y, _ = make_lasso_data(60, 20, seed=3)
+    problem = LassoProblem(A, y, lam=0.05, n_blocks=4)
+    graph = problem.build_graph()
+    w_ref = solve_lasso_fista(A, y, 0.05)
+    obj_ref = problem.objective(w_ref)
+    t3 = SeriesTable(
+        "Extension (measured) — randomized ADMM at equal expected work",
+        ("fraction", "sweeps", "objective", "vs FISTA"),
+    )
+    quality = {}
+    for fraction, sweeps in ((1.0, 2000), (0.5, 4000), (0.25, 8000)):
+        solver = ADMMSolver(
+            graph, backend=RandomizedBackend(fraction=fraction, seed=0)
+        )
+        res = solver.solve(
+            max_iterations=sweeps, eps_abs=1e-12, eps_rel=1e-11, check_every=500
+        )
+        obj = problem.objective(res.variable(0))
+        quality[fraction] = obj
+        t3.add_row(fraction, sweeps, obj, obj - obj_ref)
+    t3.emit(out)
+    return curve, fp64, fp32, quality, obj_ref
+
+
+def test_multi_gpu_scaling_monotone_until_comm(extension_tables):
+    curve, *_ = extension_tables
+    assert curve[2].combined_speedup > curve[1].combined_speedup
+    # Communication grows with device count but stays sublinear here.
+    assert curve[8].comm_s >= curve[2].comm_s
+
+
+def test_fp32_faster_than_fp64(extension_tables):
+    _, fp64, fp32, _, _ = extension_tables
+    assert fp32.gpu_iteration_s < fp64.gpu_iteration_s
+    # Against the common fp64 serial baseline, fp32 raises the speedup —
+    # the paper's "TITAN X might bring additional GPU speedups" hypothesis.
+    assert fp64.serial_iteration_s / fp32.gpu_iteration_s > fp64.combined_speedup
+
+
+def test_randomized_matches_synchronous_quality(extension_tables):
+    *_, quality, obj_ref = extension_tables
+    for fraction, obj in quality.items():
+        assert obj <= obj_ref * 1.05 + 1e-6, f"fraction={fraction}"
+
+
+def test_benchmark_multi_gpu_model(benchmark, extension_tables):
+    wl, _ = packing_workloads(500)
+
+    def run():
+        return scaling_curve(TESLA_K40, OPTERON_6300, wl, (1, 2, 4))
+
+    curve = benchmark(run)
+    assert curve[4].combined_speedup > 0
+
+
+def test_benchmark_randomized_sweep(benchmark, extension_tables):
+    from repro.bench.workloads import packing_graph
+    from repro.core.state import ADMMState
+
+    g = packing_graph(30)
+    state = ADMMState(g, rho=3.0).init_random(0.1, 0.9, seed=0)
+    backend = RandomizedBackend(fraction=0.5, seed=1)
+    backend.prepare(g)
+    benchmark.pedantic(
+        lambda: backend.run(g, state, 1), rounds=10, iterations=3, warmup_rounds=1
+    )

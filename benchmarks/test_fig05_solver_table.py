@@ -1,0 +1,25 @@
+"""Figure 5 — the solver-landscape capability table.
+
+Static data, regenerated and re-asserted: no open-source solver in the
+paper's survey exploits parallelism, which motivates parADMM's existence.
+The benchmark case times table construction (trivially fast — it exists so
+this experiment appears in the ``--benchmark-only`` run like every other).
+"""
+
+import pytest
+
+from repro.bench.reporting import results_path
+from repro.bench.solver_table import build_table, open_source_parallel_count
+
+
+@pytest.fixture(scope="module")
+def emitted_table():
+    table = build_table(include_paradmm=True)
+    table.emit(results_path("fig05_solver_table.txt"))
+    return table
+
+
+def test_fig05_solver_table(benchmark, emitted_table):
+    table = benchmark(lambda: build_table(include_paradmm=True).render())
+    assert "parADMM" in table
+    assert open_source_parallel_count() == 0

@@ -1,0 +1,93 @@
+"""Figure 7 — packing: GPU vs one CPU core.
+
+Paper: combined speedup grows with N to >16x on a Tesla K40 (left panel);
+per-update speedups with x/z hardest (right panel); time per 10 iterations
+linear in the element count.  Reproduced as (a) a measured sweep — pure-
+Python serial baseline vs the vectorized engine — and (b) the K40 SIMT model
+at paper scale; benchmark cases time one iteration of each engine at the
+largest measured size.
+"""
+
+import numpy as np
+import pytest
+
+from _common import (
+    measured_gpu_table,
+    modeled_gpu_table,
+    one_iteration,
+)
+from repro.backends.serial import SerialBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.reporting import results_path
+from repro.bench.workloads import (
+    PACKING_MEASURED_N,
+    PACKING_MODELED_N,
+    packing_graph,
+)
+from repro.core.state import ADMMState
+from repro.gpusim.synthetic import packing_workloads
+
+BENCH_N = PACKING_MEASURED_N[-1]
+
+
+@pytest.fixture(scope="module")
+def fig7_sweep():
+    out = results_path("fig07_packing_gpu.txt")
+    measured, mrows = measured_gpu_table(
+        "Fig 7 (measured) — packing, serial vs vectorized, time/iter vs N",
+        packing_graph,
+        PACKING_MEASURED_N,
+        rho=3.0,
+    )
+    measured.emit(out)
+    modeled, grows = modeled_gpu_table(
+        "Fig 7 (modeled) — packing on Tesla K40 model, paper scale",
+        packing_workloads,
+        PACKING_MODELED_N,
+    )
+    modeled.emit(out)
+    return mrows, grows
+
+
+def test_fig07_shape_speedup_grows_with_n(fig7_sweep):
+    mrows, grows = fig7_sweep
+    speeds = [r["speedup"] for r in mrows]
+    # Larger graphs amortize per-call overhead: the largest size must beat
+    # the smallest clearly (paper: monotone growth then saturation).
+    assert speeds[-1] > speeds[0]
+    assert speeds[-1] > 3.0
+    # Modeled curve saturates in the paper's band (16x at N=5000, ±).
+    assert 8.0 <= grows[-1]["speedup"] <= 25.0
+
+
+def test_fig07_time_linear_in_elements(fig7_sweep):
+    mrows, _ = fig7_sweep
+    elements = np.array([r["elements"] for r in mrows], dtype=float)
+    serial = np.array([r["serial"] for r in mrows])
+    # Time per iteration ~ linear in element count: correlation near 1.
+    corr = np.corrcoef(elements, serial)[0, 1]
+    assert corr > 0.98
+
+
+def test_fig07_xz_dominate_serial_time(fig7_sweep):
+    mrows, _ = fig7_sweep
+    fr = mrows[-1]["serial_fractions"]
+    # Paper: x+z = 71% of the per-iteration time for large packing.
+    assert fr["x"] + fr["z"] > 0.5
+
+
+def test_benchmark_serial_iteration(benchmark, fig7_sweep):
+    g = packing_graph(BENCH_N)
+    state = ADMMState(g, rho=3.0).init_random(0.1, 0.9, seed=0)
+    benchmark.pedantic(
+        one_iteration(SerialBackend(), g, state), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_benchmark_vectorized_iteration(benchmark, fig7_sweep):
+    g = packing_graph(BENCH_N)
+    state = ADMMState(g, rho=3.0).init_random(0.1, 0.9, seed=0)
+    backend = VectorizedBackend()
+    benchmark.pedantic(
+        one_iteration(backend, g, state), rounds=10, iterations=3, warmup_rounds=1
+    )

@@ -1,0 +1,76 @@
+"""Figure 8 — packing: multiple CPU cores vs a single core.
+
+Paper: up to 9x with 32 Opteron cores, peaking near N=2500 and dropping to
+~6x for larger problems (left); speedup vs core count saturates (right).
+Reproduced as (a) a measured 2-worker threaded sweep on this container and
+(b) the multicore model's speedup-vs-cores curve at N=5000 workload shape.
+"""
+
+import pytest
+
+from _common import (
+    measured_multicore_table,
+    modeled_cores_table,
+    one_iteration,
+)
+from repro.backends.threaded import ThreadedBackend
+from repro.bench.reporting import results_path
+from repro.bench.workloads import PACKING_MULTICORE_N, packing_graph
+from repro.core.state import ADMMState
+from repro.gpusim.synthetic import packing_workloads
+
+BENCH_N = PACKING_MULTICORE_N[-1]
+MODEL_N = 5000  # the paper's Fig 8-right size
+
+
+@pytest.fixture(scope="module")
+def fig8_sweep():
+    out = results_path("fig08_packing_multicore.txt")
+    measured, mrows = measured_multicore_table(
+        "Fig 8-left (measured) — packing, 1 vs 2 threads",
+        packing_graph,
+        PACKING_MULTICORE_N,
+        workers=2,
+        rho=3.0,
+    )
+    measured.emit(out)
+    modeled, curve = modeled_cores_table(
+        f"Fig 8-right (modeled) — packing N={MODEL_N}, speedup vs cores",
+        packing_workloads(MODEL_N)[0],
+    )
+    modeled.emit(out)
+    return mrows, curve
+
+
+def test_fig08_modeled_curve_shape(fig8_sweep):
+    _, curve = fig8_sweep
+    assert curve[1] == pytest.approx(1.0, abs=1e-9)
+    assert curve[2] > 1.5
+    # Paper band: multicore peaks in 5-9x and saturates.
+    peak = max(curve.values())
+    assert 4.0 < peak < 12.0
+    # Saturation: going 16 -> 32 cores gains little or hurts.
+    assert curve[32] < curve[16] * 1.15
+
+
+def test_fig08_measured_threads_win_on_large_graphs(fig8_sweep):
+    mrows, _ = fig8_sweep
+    # Past the dispatch-overhead crossover (~1e5 slots), two threads reach
+    # parity and beyond (1.4-1.7x on an idle container, ~0.95x under heavy
+    # co-located load — the threshold tolerates the latter).
+    assert mrows[-1]["speedup"] > 0.8
+    # The robust claim: the trend improves strongly with size.
+    assert mrows[-1]["speedup"] > 2.0 * mrows[0]["speedup"]
+
+
+def test_benchmark_threaded_iteration(benchmark, fig8_sweep):
+    g = packing_graph(BENCH_N)
+    state = ADMMState(g, rho=3.0).init_random(0.1, 0.9, seed=0)
+    backend = ThreadedBackend(num_workers=2)
+    backend.prepare(g)
+    try:
+        benchmark.pedantic(
+            one_iteration(backend, g, state), rounds=10, iterations=3, warmup_rounds=1
+        )
+    finally:
+        backend.close()

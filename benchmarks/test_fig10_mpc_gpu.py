@@ -1,0 +1,82 @@
+"""Figure 10 — MPC: GPU vs one CPU core.
+
+Paper: up to 10x on the K40 for horizons up to K=1e5; time per 100
+iterations linear in K; x/z are the slowest updates (59%+21% = 80% of
+iteration time at K=1e5).
+"""
+
+import numpy as np
+import pytest
+
+from _common import measured_gpu_table, modeled_gpu_table, one_iteration
+from repro.backends.serial import SerialBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.reporting import results_path
+from repro.bench.workloads import MPC_MEASURED_K, MPC_MODELED_K, mpc_graph
+from repro.core.state import ADMMState
+from repro.gpusim.synthetic import mpc_workloads
+
+BENCH_K = MPC_MEASURED_K[-1]
+
+
+@pytest.fixture(scope="module")
+def fig10_sweep():
+    out = results_path("fig10_mpc_gpu.txt")
+    measured, mrows = measured_gpu_table(
+        "Fig 10 (measured) — MPC, serial vs vectorized, time/iter vs K",
+        mpc_graph,
+        MPC_MEASURED_K,
+        rho=10.0,
+    )
+    measured.emit(out)
+    modeled, grows = modeled_gpu_table(
+        "Fig 10 (modeled) — MPC on Tesla K40 model, paper scale",
+        mpc_workloads,
+        MPC_MODELED_K,
+    )
+    modeled.emit(out)
+    return mrows, grows
+
+
+def test_fig10_speedup_band(fig10_sweep):
+    mrows, grows = fig10_sweep
+    assert mrows[-1]["speedup"] > 2.0
+    # Paper: up to 10x; model should land in that neighborhood at K=1e5.
+    assert 5.0 <= grows[-1]["speedup"] <= 16.0
+
+
+def test_fig10_time_linear_in_k(fig10_sweep):
+    mrows, _ = fig10_sweep
+    sizes = np.array([r["size"] for r in mrows], dtype=float)
+    serial = np.array([r["serial"] for r in mrows])
+    corr = np.corrcoef(sizes, serial)[0, 1]
+    assert corr > 0.98
+
+
+def test_fig10_xz_slowest_updates_modeled(fig10_sweep):
+    _, grows = fig10_sweep
+    res = grows[-1]["result"]
+    fr = res.fractions("gpu")
+    # Paper: x and z take 80% of GPU iteration time at K=1e5.
+    assert fr["x"] + fr["z"] > 0.35
+    sp = grows[-1]["kernels"]
+    assert min(sp["x"], sp["z"]) <= min(sp["m"], sp["u"], sp["n"])
+
+
+def test_benchmark_serial_iteration(benchmark, fig10_sweep):
+    g = mpc_graph(BENCH_K)
+    state = ADMMState(g, rho=10.0).init_random(0.1, 0.9, seed=0)
+    benchmark.pedantic(
+        one_iteration(SerialBackend(), g, state), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_benchmark_vectorized_iteration(benchmark, fig10_sweep):
+    g = mpc_graph(BENCH_K)
+    state = ADMMState(g, rho=10.0).init_random(0.1, 0.9, seed=0)
+    benchmark.pedantic(
+        one_iteration(VectorizedBackend(), g, state),
+        rounds=10,
+        iterations=3,
+        warmup_rounds=1,
+    )

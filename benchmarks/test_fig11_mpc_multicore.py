@@ -1,0 +1,71 @@
+"""Figure 11 — MPC: multiple CPU cores.
+
+Paper: best ~5x using 25 cores; beyond that "the performance actually gets
+hurt"; m/u/n dominate the multicore iteration (60% combined at K=1e5).
+"""
+
+import pytest
+
+from _common import (
+    measured_multicore_table,
+    modeled_cores_table,
+    one_iteration,
+)
+from repro.backends.threaded import ThreadedBackend
+from repro.bench.reporting import results_path
+from repro.bench.workloads import MPC_MULTICORE_K, mpc_graph
+from repro.core.state import ADMMState
+from repro.gpusim.cpumodel import simulate_admm_cpu
+from repro.gpusim.device import OPTERON_6300
+from repro.gpusim.synthetic import mpc_workloads
+
+BENCH_K = MPC_MULTICORE_K[-1]
+MODEL_K = 100_000  # the paper's Fig 11-right size
+
+
+@pytest.fixture(scope="module")
+def fig11_sweep():
+    out = results_path("fig11_mpc_multicore.txt")
+    measured, mrows = measured_multicore_table(
+        "Fig 11-left (measured) — MPC, 1 vs 2 threads",
+        mpc_graph,
+        MPC_MULTICORE_K,
+        workers=2,
+        rho=10.0,
+    )
+    measured.emit(out)
+    modeled, curve = modeled_cores_table(
+        f"Fig 11-right (modeled) — MPC K={MODEL_K}, speedup vs cores",
+        mpc_workloads(MODEL_K)[0],
+    )
+    modeled.emit(out)
+    return mrows, curve
+
+
+def test_fig11_modeled_peak_then_decline(fig11_sweep):
+    _, curve = fig11_sweep
+    peak_cores = max(curve, key=curve.get)
+    # Paper: peak before the full 32 cores, decline after.
+    assert peak_cores < 32
+    assert curve[32] < curve[peak_cores]
+    assert 3.0 < curve[peak_cores] < 10.0
+
+
+def test_fig11_modeled_mun_dominate_multicore(fig11_sweep):
+    res = simulate_admm_cpu(OPTERON_6300, mpc_workloads(MODEL_K)[0], 25)
+    fr = res.fractions()
+    # Paper: m+u+n = 60% of multicore iteration time.
+    assert fr["m"] + fr["u"] + fr["n"] > 0.4
+
+
+def test_benchmark_threaded_iteration(benchmark, fig11_sweep):
+    g = mpc_graph(BENCH_K)
+    state = ADMMState(g, rho=10.0).init_random(0.1, 0.9, seed=0)
+    backend = ThreadedBackend(num_workers=2)
+    backend.prepare(g)
+    try:
+        benchmark.pedantic(
+            one_iteration(backend, g, state), rounds=10, iterations=3, warmup_rounds=1
+        )
+    finally:
+        backend.close()

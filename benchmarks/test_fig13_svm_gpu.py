@@ -1,0 +1,79 @@
+"""Figure 13 — SVM: GPU vs one CPU core.
+
+Paper: >18x for large N (time per 1000 iterations linear in N); per-update
+speedup ordering ranks like packing and MPC (x/z hardest).
+"""
+
+import numpy as np
+import pytest
+
+from _common import measured_gpu_table, modeled_gpu_table, one_iteration
+from repro.backends.serial import SerialBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.reporting import results_path
+from repro.bench.workloads import SVM_MEASURED_N, SVM_MODELED_N, svm_graph
+from repro.core.state import ADMMState
+from repro.gpusim.synthetic import svm_workloads
+
+BENCH_N = SVM_MEASURED_N[-1]
+
+
+@pytest.fixture(scope="module")
+def fig13_sweep():
+    out = results_path("fig13_svm_gpu.txt")
+    measured, mrows = measured_gpu_table(
+        "Fig 13 (measured) — SVM, serial vs vectorized, time/iter vs N",
+        svm_graph,
+        SVM_MEASURED_N,
+        rho=1.0,
+    )
+    measured.emit(out)
+    modeled, grows = modeled_gpu_table(
+        "Fig 13 (modeled) — SVM on Tesla K40 model, paper scale",
+        svm_workloads,
+        SVM_MODELED_N,
+    )
+    modeled.emit(out)
+    return mrows, grows
+
+
+def test_fig13_speedup_band(fig13_sweep):
+    mrows, grows = fig13_sweep
+    assert mrows[-1]["speedup"] > 3.0
+    assert 5.0 <= grows[-1]["speedup"] <= 25.0
+
+
+def test_fig13_time_linear_in_n(fig13_sweep):
+    mrows, _ = fig13_sweep
+    sizes = np.array([r["size"] for r in mrows], dtype=float)
+    serial = np.array([r["serial"] for r in mrows])
+    # Strong positive correlation; threshold leaves room for scheduler
+    # noise on a busy 2-core container (few-iteration serial samples).
+    assert np.corrcoef(sizes, serial)[0, 1] > 0.9
+    assert serial[-1] > serial[0]
+
+
+def test_fig13_update_ranking_matches_other_apps(fig13_sweep):
+    _, grows = fig13_sweep
+    sp = grows[-1]["kernels"]
+    # x and z are the hardest to speed up (paper's cross-app observation).
+    assert min(sp["x"], sp["z"]) <= min(sp["m"], sp["u"], sp["n"])
+
+
+def test_benchmark_serial_iteration(benchmark, fig13_sweep):
+    g = svm_graph(BENCH_N)
+    state = ADMMState(g, rho=1.0).init_random(0.1, 0.9, seed=0)
+    benchmark.pedantic(
+        one_iteration(SerialBackend(), g, state), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_benchmark_vectorized_iteration(benchmark, fig13_sweep):
+    g = svm_graph(BENCH_N)
+    state = ADMMState(g, rho=1.0).init_random(0.1, 0.9, seed=0)
+    benchmark.pedantic(
+        one_iteration(VectorizedBackend(), g, state),
+        rounds=10,
+        iterations=3,
+        warmup_rounds=1,
+    )

@@ -1,0 +1,69 @@
+"""Figure 14 — SVM: multiple CPU cores.
+
+Paper: up to 5.8x with 32 cores at N=7.5e4; z relatively easy to speed up
+(6.2x), m hard (2.6x); higher dimensions parallelize better (9.6x at d=200).
+"""
+
+import pytest
+
+from _common import (
+    measured_multicore_table,
+    modeled_cores_table,
+    one_iteration,
+)
+from repro.backends.threaded import ThreadedBackend
+from repro.bench.reporting import results_path
+from repro.bench.workloads import SVM_MULTICORE_N, svm_graph
+from repro.core.state import ADMMState
+from repro.gpusim.cpumodel import speedup_vs_cores
+from repro.gpusim.device import OPTERON_6300
+from repro.gpusim.synthetic import svm_workloads
+
+BENCH_N = SVM_MULTICORE_N[-1]
+MODEL_N = 75_000  # the paper's Fig 14-right size
+
+
+@pytest.fixture(scope="module")
+def fig14_sweep():
+    out = results_path("fig14_svm_multicore.txt")
+    measured, mrows = measured_multicore_table(
+        "Fig 14-left (measured) — SVM, 1 vs 2 threads",
+        svm_graph,
+        SVM_MULTICORE_N,
+        workers=2,
+        rho=1.0,
+    )
+    measured.emit(out)
+    modeled, curve = modeled_cores_table(
+        f"Fig 14-right (modeled) — SVM N={MODEL_N}, speedup vs cores",
+        svm_workloads(MODEL_N)[0],
+    )
+    modeled.emit(out)
+    return mrows, curve
+
+
+def test_fig14_modeled_band(fig14_sweep):
+    _, curve = fig14_sweep
+    peak = max(curve.values())
+    # Paper: up to 5.8x with 32 cores.
+    assert 3.0 < peak < 10.0
+
+
+def test_fig14_higher_dimension_parallelizes_better():
+    """Paper: d=200 gives 9.6x vs 5.8x at d=2 (more compute per byte)."""
+    lo = speedup_vs_cores(OPTERON_6300, svm_workloads(10_000, dim=2)[0], [32])[32]
+    hi = speedup_vs_cores(OPTERON_6300, svm_workloads(10_000, dim=200)[0], [32])[32]
+    assert hi > lo
+
+
+def test_benchmark_threaded_iteration(benchmark, fig14_sweep):
+    g = svm_graph(BENCH_N)
+    state = ADMMState(g, rho=1.0).init_random(0.1, 0.9, seed=0)
+    backend = ThreadedBackend(num_workers=2)
+    backend.prepare(g)
+    try:
+        benchmark.pedantic(
+            one_iteration(backend, g, state), rounds=10, iterations=3, warmup_rounds=1
+        )
+    finally:
+        backend.close()

@@ -1,0 +1,89 @@
+"""§V-C text — SVM speedup vs data dimensionality.
+
+Paper: for N=1e4 and d ∈ {5, 10, 20, 50, 75, 100, 150, 200}, GPU speedups
+all fall in 7–14x, the largest at d=200; multicore speedups also improve
+with dimension (9.6x at d=200 vs 5.8x at d=2).
+"""
+
+import pytest
+
+from _common import one_iteration
+from repro.backends.serial import SerialBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.harness import compare_backends
+from repro.bench.reporting import SeriesTable, results_path
+from repro.bench.workloads import svm_graph
+from repro.core.state import ADMMState
+from repro.gpusim.device import OPTERON_6300, TESLA_K40
+from repro.gpusim.synthetic import svm_workloads
+from repro.gpusim.workloads import simulate_admm_gpu
+
+MEASURED_DIMS = (2, 5, 10, 20)
+MODELED_DIMS = (5, 10, 20, 50, 75, 100, 150, 200)
+MEASURED_N = 150
+MODELED_N = 10_000
+
+
+@pytest.fixture(scope="module")
+def dim_sweep():
+    out = results_path("text_svm_dimension_sweep.txt")
+    t = SeriesTable(
+        f"§V-C (measured) — SVM N={MEASURED_N}, speedup vs dimension",
+        ("dim", "serial s/iter", "vector s/iter", "speedup"),
+    )
+    measured = {}
+    for d in MEASURED_DIMS:
+        g = svm_graph(MEASURED_N, dim=d)
+        cmp = compare_backends(g, SerialBackend(), VectorizedBackend(), 2, 10)
+        measured[d] = cmp.combined_speedup
+        t.add_row(
+            d,
+            cmp.baseline.seconds_per_iteration,
+            cmp.accelerated.seconds_per_iteration,
+            cmp.combined_speedup,
+        )
+    t.emit(out)
+
+    t2 = SeriesTable(
+        f"§V-C (modeled K40) — SVM N={MODELED_N}, speedup vs dimension "
+        "(paper: 7-14x, max at d=200)",
+        ("dim", "speedup"),
+    )
+    modeled = {}
+    for d in MODELED_DIMS:
+        wl, _ = svm_workloads(MODELED_N, dim=d)
+        res = simulate_admm_gpu(
+            TESLA_K40, None, OPTERON_6300, ntb=32, workloads=wl
+        )
+        modeled[d] = res.combined_speedup
+        t2.add_row(d, res.combined_speedup)
+    t2.emit(out)
+    return measured, modeled
+
+
+def test_modeled_band_matches_paper(dim_sweep):
+    _, modeled = dim_sweep
+    for d, s in modeled.items():
+        assert 4.0 <= s <= 25.0, f"d={d}: {s}"
+
+
+def test_measured_speedups_substantial_at_every_dimension(dim_sweep):
+    measured, _ = dim_sweep
+    # On this machine the Python-serial baseline's cost is per *factor*
+    # rather than per slot, so the measured ratio shrinks with dimension
+    # (the opposite of the GPU, where fatter slots amortize thread cost —
+    # that effect lives in the modeled table).  The invariant that holds
+    # in both worlds: vectorization wins decisively at every dimension.
+    for d, s in measured.items():
+        assert s > 10.0, f"d={d}: {s}"
+
+
+def test_benchmark_high_dimension_iteration(benchmark, dim_sweep):
+    g = svm_graph(MEASURED_N, dim=MEASURED_DIMS[-1])
+    state = ADMMState(g, rho=1.0).init_random(0.1, 0.9, seed=0)
+    benchmark.pedantic(
+        one_iteration(VectorizedBackend(), g, state),
+        rounds=10,
+        iterations=3,
+        warmup_rounds=1,
+    )

@@ -1,0 +1,77 @@
+"""§V text — per-update time fractions.
+
+Paper, on the GPU: packing x+z = 31%+40% = 71% (N=5000); MPC x+z = 59%+21%
+= 80% (K=1e5); SVM x+z = 28%+23% = 51%.  Regenerated twice: measured on the
+vectorized engine (this machine) and on the K40 model at paper scale.
+"""
+
+import pytest
+
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.reporting import SeriesTable, results_path
+from repro.bench.workloads import mpc_graph, packing_graph, svm_graph
+from repro.gpusim.calibrate import measure_kernel_seconds, measured_fractions
+from repro.gpusim.device import OPTERON_6300, TESLA_K40
+from repro.gpusim.synthetic import mpc_workloads, packing_workloads, svm_workloads
+from repro.gpusim.workloads import simulate_admm_gpu
+from repro.utils.timing import UPDATE_KINDS
+
+CASES = [
+    ("packing N=60/5000", packing_graph(60), packing_workloads(5000)[0], 0.71),
+    ("mpc K=400/1e5", mpc_graph(400), mpc_workloads(100_000)[0], 0.80),
+    ("svm N=400/1e5", svm_graph(400), svm_workloads(100_000)[0], 0.51),
+]
+
+
+@pytest.fixture(scope="module")
+def fraction_tables():
+    out = results_path("text_time_fractions.txt")
+    measured = {}
+    modeled = {}
+    t = SeriesTable(
+        "§V (measured) — per-update fractions of one vectorized iteration",
+        ("workload", *UPDATE_KINDS, "x+z"),
+    )
+    t2 = SeriesTable(
+        "§V (modeled K40) — per-update fractions at paper scale",
+        ("workload", *UPDATE_KINDS, "x+z", "paper x+z"),
+    )
+    for name, g_small, wl_big, paper_xz in CASES:
+        meas = measure_kernel_seconds(g_small, VectorizedBackend(), iterations=5)
+        fr = measured_fractions(meas)
+        measured[name] = fr
+        t.add_row(name, *[fr[k] for k in UPDATE_KINDS], fr["x"] + fr["z"])
+        res = simulate_admm_gpu(
+            TESLA_K40, None, OPTERON_6300, ntb=32, workloads=wl_big
+        )
+        gfr = res.fractions("gpu")
+        modeled[name] = gfr
+        t2.add_row(
+            name, *[gfr[k] for k in UPDATE_KINDS], gfr["x"] + gfr["z"], paper_xz
+        )
+    t.emit(out)
+    t2.emit(out)
+    return measured, modeled
+
+
+def test_xz_are_majority_on_gpu_model(fraction_tables):
+    _, modeled = fraction_tables
+    for name, fr in modeled.items():
+        assert fr["x"] + fr["z"] > 0.33, name
+
+
+def test_fractions_sum_to_one(fraction_tables):
+    measured, modeled = fraction_tables
+    for group in (measured, modeled):
+        for fr in group.values():
+            assert abs(sum(fr[k] for k in UPDATE_KINDS) - 1.0) < 1e-9
+
+
+def test_benchmark_fraction_measurement(benchmark, fraction_tables):
+    g = packing_graph(20)
+
+    def measure():
+        return measure_kernel_seconds(g, VectorizedBackend(), iterations=2)
+
+    meas = benchmark(measure)
+    assert set(meas) == set(UPDATE_KINDS)

@@ -1,0 +1,52 @@
+"""Consensus Lasso over data blocks (the paper's §I motivating example).
+
+Boyd et al. split a Lasso across row blocks, each handled by one machine;
+on the factor graph this is just a star: every data-fidelity factor and the
+ℓ1 factor touch the shared weight node, and the z-update performs the
+consensus averaging.  We solve it, compare with FISTA, and show the
+recovered support.
+
+Run:  python examples/lasso_consensus.py [n_samples] [dim] [blocks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.lasso import (
+    LassoProblem,
+    make_lasso_data,
+    solve_lasso,
+    solve_lasso_fista,
+)
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    dim = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    blocks = int(sys.argv[3]) if len(sys.argv) > 3 else 6
+    A, y, w_true = make_lasso_data(n, dim, sparsity=6, noise=0.01, seed=1)
+    lam = 0.05
+    problem = LassoProblem(A, y, lam=lam, n_blocks=blocks)
+    print(f"consensus Lasso: {n} samples, {dim} features, {blocks} blocks, λ={lam}")
+    print(problem.build_graph().summary())
+    print()
+
+    out = solve_lasso(problem, iterations=6000)
+    w_admm = out["w"]
+    w_fista = solve_lasso_fista(A, y, lam)
+    print(f"ADMM objective:  {problem.objective(w_admm):.6f} "
+          f"({out['result'].iterations} iterations)")
+    print(f"FISTA objective: {problem.objective(w_fista):.6f}")
+    print(f"max |w_admm - w_fista| = {np.max(np.abs(w_admm - w_fista)):.2e}")
+
+    support_true = {int(i) for i in np.flatnonzero(np.abs(w_true) > 1e-9)}
+    support_admm = {int(i) for i in np.flatnonzero(np.abs(w_admm) > 1e-3)}
+    print(f"\ntrue support:      {sorted(support_true)}")
+    print(f"recovered support: {sorted(support_admm)}")
+    print(f"recovered {len(support_true & support_admm)}/{len(support_true)} "
+          "true coefficients")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: the paper's Figure-1 graph, solved on every backend.
+
+Builds the bipartite factor graph
+
+    f1(w1, w2, w3) + f2(w1, w4, w5) + f3(w2, w5) + f4(w5)
+
+with simple quadratic factors, runs the message-passing ADMM, and shows
+that the serial / vectorized / threaded engines produce identical iterates
+while only the vectorized one is fast — the paper's whole premise in ~60
+lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ADMMSolver,
+    GraphBuilder,
+    SerialBackend,
+    ThreadedBackend,
+    VectorizedBackend,
+)
+from repro.prox import DiagQuadProx
+
+
+def build_figure1_graph():
+    b = GraphBuilder()
+    w = [b.add_variable(dim=1, name=f"w{i+1}") for i in range(5)]
+
+    def quad(dims, targets):
+        # f(s) = 0.5 ||s - t||^2, encoded as q=1, c=-t.
+        return DiagQuadProx(dims=dims), {
+            "q": np.ones(len(targets)),
+            "c": -np.asarray(targets, dtype=float),
+        }
+
+    p1, c1 = quad((1, 1, 1), [1.0, 2.0, 3.0])
+    p2, c2 = quad((1, 1, 1), [1.5, 4.0, 5.0])
+    p3, c3 = quad((1, 1), [2.5, 5.5])
+    p4, c4 = quad((1,), [4.5])
+    b.add_factor(p1, [w[0], w[1], w[2]], c1)  # f1(w1,w2,w3)
+    b.add_factor(p2, [w[0], w[3], w[4]], c2)  # f2(w1,w4,w5)
+    b.add_factor(p3, [w[1], w[4]], c3)  # f3(w2,w5)
+    b.add_factor(p4, [w[4]], c4)  # f4(w5)
+    return b.build()
+
+
+def main():
+    graph = build_figure1_graph()
+    print(graph.summary())
+    print()
+
+    results = {}
+    for backend in (SerialBackend(), VectorizedBackend(), ThreadedBackend(2)):
+        solver = ADMMSolver(graph, backend=backend, rho=1.0)
+        res = solver.solve(max_iterations=2000, eps_abs=1e-10, eps_rel=1e-9)
+        solver.close()
+        results[backend.name] = res
+        sol = np.concatenate(res.solution)
+        print(
+            f"{backend.name:>11}: {res.iterations:4d} iters "
+            f"({res.wall_time:.3f}s)  w* = {np.round(sol, 4)}"
+        )
+
+    ref = results["serial"].z
+    for name, res in results.items():
+        assert np.allclose(res.z, ref, atol=1e-8), name
+    print("\nall backends agree bit-for-bit — same math, different scheduling")
+
+
+if __name__ == "__main__":
+    main()

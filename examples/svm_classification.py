@@ -1,0 +1,45 @@
+"""Soft-margin SVM training via message-passing ADMM (paper §V-C).
+
+Draws the paper's workload — two Gaussian clouds a fixed distance apart —
+builds the Figure-12 factor graph (per-point plane copies chained equal),
+trains, and compares the separating plane against an exact QP solve.
+
+Run:  python examples/svm_classification.py [n_points] [dim]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.svm import SVMProblem, make_blobs, solve_svm, solve_svm_reference
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    dim = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    X, y = make_blobs(n, dim=dim, separation=3.0, seed=42)
+    problem = SVMProblem(X, y, lam=1.0)
+    print(f"soft-margin SVM: N={n} points in R^{dim}")
+    print(problem.build_graph().summary())
+    print()
+
+    out = solve_svm(problem, iterations=6000, rho=1.0)
+    w, b = out["w"], out["b"]
+    print(f"ADMM plane:  w={np.round(w, 4)} b={b:+.4f}")
+    print(f"  objective: {out['objective']:.5f}")
+    print(f"  accuracy:  {out['accuracy']:.3f}")
+
+    if n <= 80:
+        w_ref, b_ref, obj_ref = solve_svm_reference(problem)
+        print(f"exact QP:    w={np.round(w_ref, 4)} b={b_ref:+.4f}")
+        print(f"  objective: {obj_ref:.5f}")
+        gap = out["objective"] - obj_ref
+        print(f"  ADMM optimality gap: {gap:+.2e}")
+
+    margins = y * (X @ w + b)
+    sv = int(np.sum(margins < 1.0 + 1e-6))
+    print(f"\n{sv}/{n} points on or inside the margin (support-vector-like)")
+
+
+if __name__ == "__main__":
+    main()

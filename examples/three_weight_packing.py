@@ -1,0 +1,46 @@
+"""The three-weight algorithm on circle packing (paper refs [9], [24]).
+
+parADMM "can also implement" improved message-weight schemes: in the
+three-weight algorithm each factor→variable message carries a certainty
+weight — ∞ (certain), ρ (standard) or 0 (no opinion).  For packing, an
+*inactive* collision or wall constraint abstains (weight 0), so the
+z-average is driven by the constraints that actually bind plus the radius
+reward — the scheme behind the record packings of [9]/[24].
+
+Run:  python examples/three_weight_packing.py [N]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.packing import PackingProblem
+from repro.backends.vectorized import ThreeWeightBackend, VectorizedBackend
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    p = PackingProblem(n)
+    g = p.build_graph()
+    print(f"packing {n} disks: standard ADMM weights vs three-weight ([9])\n")
+    print(f"{'seed':>4} {'standard':>10} {'three-weight':>13}")
+    wins = 0
+    for seed in range(1, 7):
+        coverages = {}
+        for backend in (VectorizedBackend(), ThreeWeightBackend()):
+            state = p.initial_state(g, rho=3.0, seed=seed)
+            backend.run(g, state, 3000)
+            centers, radii = p.extract(g, state.z)
+            rep = p.validate(centers, radii)
+            assert rep["feasible"], f"{backend.name} produced infeasible packing"
+            coverages[backend.name] = rep["coverage"]
+        std = coverages["vectorized"]
+        twa = coverages["three_weight"]
+        wins += twa >= std - 1e-9
+        print(f"{seed:>4} {std:>10.4f} {twa:>13.4f}")
+    print(f"\nthree-weight matched or beat standard weights on {wins}/6 seeds")
+    print("(inactive constraints abstain from the z-average: weight 0)")
+
+
+if __name__ == "__main__":
+    main()

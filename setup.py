@@ -1,0 +1,16 @@
+"""Legacy setup shim so `pip install -e .` works offline without `wheel`."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "paradmm: fine-grained parallel ADMM on a factor-graph "
+        "(reproduction of Hao et al., IPPS 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,68 @@
+"""repro — a Python reproduction of parADMM (Hao et al., IPPS 2016).
+
+Fine-grained parallel ADMM on a factor graph: write one proximal operator
+per sub-problem, declare the bipartite graph, and the engine schedules the
+five message-passing kernels onto serial, vectorized, threaded, or
+multiprocess execution — no parallel code required from the user.
+
+Quickstart::
+
+    from repro import GraphBuilder, ADMMSolver
+    from repro.prox import DiagQuadProx
+
+    b = GraphBuilder()
+    w = b.add_variable(dim=2)
+    b.add_factor(DiagQuadProx(dims=(2,)), [w],
+                 params={"q": [1.0, 1.0], "c": [-2.0, 2.0]})
+    result = ADMMSolver(b.build()).solve(max_iterations=200)
+    print(result.variable(w))   # -> approx [2, -2]
+
+Subpackages
+-----------
+``repro.graph``    factor-graph structure, builder, partitioning, analysis
+``repro.prox``     proximal-operator protocol and the shipped operators
+``repro.core``     ADMM engine: state, kernels, solver, schedules, variants
+``repro.backends`` execution backends (the parallelization schemes)
+``repro.gpusim``   SIMT GPU / multicore CPU performance-model simulators
+``repro.apps``     paper applications: packing, MPC, SVM, Lasso
+``repro.bench``    benchmark harness reproducing the paper's figures
+"""
+
+from repro.graph import FactorGraph, GraphBuilder, start_graph
+from repro.core import (
+    ADMMResult,
+    ADMMSolver,
+    ADMMState,
+    MaxIterations,
+    ResidualTolerance,
+    classic_admm,
+)
+from repro.backends import (
+    PersistentWorkerBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadedBackend,
+    ThreeWeightBackend,
+    VectorizedBackend,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FactorGraph",
+    "GraphBuilder",
+    "start_graph",
+    "ADMMResult",
+    "ADMMSolver",
+    "ADMMState",
+    "MaxIterations",
+    "ResidualTolerance",
+    "classic_admm",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ThreeWeightBackend",
+    "ThreadedBackend",
+    "PersistentWorkerBackend",
+    "ProcessBackend",
+    "__version__",
+]

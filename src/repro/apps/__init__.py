@@ -1,0 +1,49 @@
+"""Paper applications: circle packing, MPC, soft-margin SVM, consensus Lasso."""
+
+from repro.apps.packing import (
+    ConvexRegion,
+    PackingProblem,
+    solve_packing,
+    square_region,
+    triangle_region,
+)
+from repro.apps.mpc import (
+    MPCProblem,
+    default_problem,
+    inverted_pendulum,
+    solve_mpc,
+    solve_mpc_exact,
+)
+from repro.apps.svm import (
+    SVMProblem,
+    make_blobs,
+    solve_svm,
+    solve_svm_reference,
+)
+from repro.apps.lasso import (
+    LassoProblem,
+    make_lasso_data,
+    solve_lasso,
+    solve_lasso_fista,
+)
+
+__all__ = [
+    "ConvexRegion",
+    "PackingProblem",
+    "solve_packing",
+    "square_region",
+    "triangle_region",
+    "MPCProblem",
+    "default_problem",
+    "inverted_pendulum",
+    "solve_mpc",
+    "solve_mpc_exact",
+    "SVMProblem",
+    "make_blobs",
+    "solve_svm",
+    "solve_svm_reference",
+    "LassoProblem",
+    "make_lasso_data",
+    "solve_lasso",
+    "solve_lasso_fista",
+]

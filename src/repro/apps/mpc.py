@@ -1,0 +1,242 @@
+"""Model Predictive Control over a linear system (paper §V-B + Appendix B).
+
+Finite-horizon LQR-style problem (paper Figure 9) for the discrete-time
+system ``q(t+1) − q(t) = A q(t) + B u(t)``:
+
+    minimize   Σ_{t=0..K} q(t)ᵀQ q(t) + u(t)ᵀR u(t)   (Q_f on the last step)
+    subject to the dynamics for t = 0..K−1 and q(0) = q₀.
+
+Factor graph: one ``(q, u)`` node per time step; a stage-cost factor per
+node, a dynamics factor per consecutive node pair, one initial-state factor.
+Element counts grow linearly in K (``|E| = 3K + 2``), matching the paper's
+"the number of elements in the factor-graph grows linearly with K".
+
+The paper's test system is an inverted pendulum "linearized (around
+equilibrium) and sampled (every 40 ms)" with ``A ∈ R⁴ˣ⁴``, ``B ∈ R⁴ˣ¹``;
+:func:`inverted_pendulum` reproduces that setup (cart-pole, forward-Euler).
+
+:func:`solve_mpc_exact` computes the exact KKT solution of the same QP with
+one sparse solve — the ground truth the ADMM iterates are tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.core.solver import ADMMSolver
+from repro.core.stopping import MaxIterations
+from repro.graph.builder import GraphBuilder
+from repro.graph.factor_graph import FactorGraph
+from repro.prox.mpc import MPCCostProx, make_dynamics_prox, make_initial_state_prox
+
+
+def inverted_pendulum(dt: float = 0.04) -> tuple[np.ndarray, np.ndarray]:
+    """Linearized cart-pole sampled at ``dt`` (paper: 40 ms).
+
+    States ``q = (cart pos, cart vel, pole angle, pole rate)``, input = cart
+    force.  Returns the paper-convention pair (A, B) such that
+    ``q(t+1) − q(t) = A q(t) + B u(t)`` (forward Euler: A = dt·A_c).
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    M, m, length, g = 1.0, 0.1, 0.5, 9.81
+    a22 = -m * g / M
+    a42 = (M + m) * g / (M * length)
+    A_c = np.array(
+        [
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, a22, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [0.0, 0.0, a42, 0.0],
+        ]
+    )
+    B_c = np.array([[0.0], [1.0 / M], [0.0], [-1.0 / (M * length)]])
+    return dt * A_c, dt * B_c
+
+
+@dataclass
+class MPCProblem:
+    """One finite-horizon MPC instance."""
+
+    A: np.ndarray
+    B: np.ndarray
+    q0: np.ndarray
+    horizon: int
+    q_diag: np.ndarray | None = None  # diag(Q), defaults to ones
+    r_diag: np.ndarray | None = None  # diag(R), defaults to ones
+    qf_diag: np.ndarray | None = None  # diag(Q_f), defaults to q_diag
+
+    def __post_init__(self) -> None:
+        self.A = np.asarray(self.A, dtype=np.float64)
+        self.B = np.asarray(self.B, dtype=np.float64)
+        self.q0 = np.asarray(self.q0, dtype=np.float64)
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+        dq = self.A.shape[0]
+        if self.A.shape != (dq, dq):
+            raise ValueError(f"A must be square, got {self.A.shape}")
+        if self.B.ndim != 2 or self.B.shape[0] != dq:
+            raise ValueError(f"B must be (dq, du), got {self.B.shape}")
+        if self.q0.shape != (dq,):
+            raise ValueError(f"q0 must be ({dq},), got {self.q0.shape}")
+        self.q_diag = (
+            np.ones(dq) if self.q_diag is None else np.asarray(self.q_diag, float)
+        )
+        self.r_diag = (
+            np.ones(self.du)
+            if self.r_diag is None
+            else np.asarray(self.r_diag, float)
+        )
+        self.qf_diag = (
+            self.q_diag.copy()
+            if self.qf_diag is None
+            else np.asarray(self.qf_diag, float)
+        )
+        if np.any(self.q_diag < 0) or np.any(self.r_diag < 0) or np.any(self.qf_diag < 0):
+            raise ValueError("cost diagonals must be non-negative")
+
+    @property
+    def dq(self) -> int:
+        return int(self.A.shape[0])
+
+    @property
+    def du(self) -> int:
+        return int(self.B.shape[1])
+
+    @property
+    def expected_edges(self) -> int:
+        # cost: K+1 single-edge factors; dynamics: K two-edge; init: 1.
+        return (self.horizon + 1) + 2 * self.horizon + 1
+
+    # ------------------------------------------------------------------ #
+    def build_graph(self) -> FactorGraph:
+        """Assemble the Figure-9 factor graph."""
+        K, dq, du = self.horizon, self.dq, self.du
+        b = GraphBuilder()
+        nodes = [b.add_variable(dq + du, name=f"t{t}") for t in range(K + 1)]
+        cost = MPCCostProx(dq, du)
+        dyn = make_dynamics_prox(self.A, self.B)
+        init = make_initial_state_prox(dq, du)
+        for t in range(K + 1):
+            qd = self.qf_diag if t == K else self.q_diag
+            b.add_factor(cost, [nodes[t]], params={"qdiag": qd, "rdiag": self.r_diag})
+        for t in range(K):
+            b.add_factor(dyn, [nodes[t], nodes[t + 1]])
+        b.add_factor(init, [nodes[0]], params={"c": self.q0})
+        return b.build()
+
+    def extract(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split flat z into trajectories (states (K+1, dq), inputs (K+1, du))."""
+        K, dq, du = self.horizon, self.dq, self.du
+        traj = z.reshape(K + 1, dq + du)
+        return traj[:, :dq].copy(), traj[:, dq:].copy()
+
+    # ------------------------------------------------------------------ #
+    def objective(self, states: np.ndarray, inputs: np.ndarray) -> float:
+        """Σ qᵀQq + uᵀRu with Q_f on the final state."""
+        K = self.horizon
+        val = 0.0
+        for t in range(K + 1):
+            qd = self.qf_diag if t == K else self.q_diag
+            val += float(np.dot(qd * states[t], states[t]))
+            val += float(np.dot(self.r_diag * inputs[t], inputs[t]))
+        return val
+
+    def dynamics_violation(self, states: np.ndarray, inputs: np.ndarray) -> float:
+        """Worst violation of the dynamics and initial-state constraints."""
+        K = self.horizon
+        worst = float(np.max(np.abs(states[0] - self.q0)))
+        for t in range(K):
+            res = states[t + 1] - states[t] - self.A @ states[t] - self.B @ inputs[t]
+            worst = max(worst, float(np.max(np.abs(res))))
+        return worst
+
+
+def solve_mpc_exact(problem: MPCProblem) -> tuple[np.ndarray, np.ndarray, float]:
+    """Exact QP solution via the sparse KKT system (ground truth).
+
+    Decision vector y stacks (q(t), u(t)) per step; solve
+
+        [2H  Eᵀ] [y]   [0]
+        [E    0] [ν] = [d]
+
+    with H = blkdiag(Q…Q_f, R…R) and E the dynamics + initial constraints.
+    Returns (states, inputs, objective).
+    """
+    K, dq, du = problem.horizon, problem.dq, problem.du
+    nvar = (K + 1) * (dq + du)
+    hdiag = np.empty(nvar)
+    for t in range(K + 1):
+        o = t * (dq + du)
+        hdiag[o : o + dq] = problem.qf_diag if t == K else problem.q_diag
+        hdiag[o + dq : o + dq + du] = problem.r_diag
+    H = sp.diags(2.0 * hdiag)
+    rows, cols, vals, rhs = [], [], [], []
+    r = 0
+    # dynamics: q(t+1) − (I+A)q(t) − B u(t) = 0
+    IA = np.eye(dq) + problem.A
+    for t in range(K):
+        o, o2 = t * (dq + du), (t + 1) * (dq + du)
+        for i in range(dq):
+            for j in range(dq):
+                rows.append(r + i), cols.append(o + j), vals.append(-IA[i, j])
+            for j in range(du):
+                rows.append(r + i), cols.append(o + dq + j), vals.append(
+                    -problem.B[i, j]
+                )
+            rows.append(r + i), cols.append(o2 + i), vals.append(1.0)
+        rhs.extend([0.0] * dq)
+        r += dq
+    # initial state
+    for i in range(dq):
+        rows.append(r + i), cols.append(i), vals.append(1.0)
+        rhs.append(float(problem.q0[i]))
+    r += dq
+    E = sp.coo_matrix((vals, (rows, cols)), shape=(r, nvar)).tocsr()
+    KKT = sp.bmat([[H, E.T], [E, None]], format="csc")
+    sol = spla.spsolve(KKT, np.concatenate([np.zeros(nvar), np.asarray(rhs)]))
+    y = sol[:nvar]
+    traj = y.reshape(K + 1, dq + du)
+    states, inputs = traj[:, :dq].copy(), traj[:, dq:].copy()
+    return states, inputs, problem.objective(states, inputs)
+
+
+def default_problem(horizon: int, q0: np.ndarray | None = None) -> MPCProblem:
+    """Paper-style pendulum instance with diagonal unit costs."""
+    A, B = inverted_pendulum()
+    if q0 is None:
+        q0 = np.array([0.1, 0.0, 0.05, 0.0])
+    return MPCProblem(A=A, B=B, q0=np.asarray(q0, dtype=np.float64), horizon=horizon)
+
+
+def solve_mpc(
+    problem: MPCProblem,
+    iterations: int = 2000,
+    rho: float = 10.0,
+    alpha: float = 1.0,
+    backend=None,
+) -> dict:
+    """End-to-end helper: build, solve, validate one MPC instance."""
+    graph = problem.build_graph()
+    solver = ADMMSolver(graph, backend=backend, rho=rho, alpha=alpha)
+    result = solver.solve(
+        max_iterations=iterations,
+        stopping=MaxIterations(iterations),
+        check_every=max(iterations // 10, 1),
+        init="zeros",
+    )
+    solver.close()
+    states, inputs = problem.extract(result.z)
+    return {
+        "problem": problem,
+        "graph": graph,
+        "result": result,
+        "states": states,
+        "inputs": inputs,
+        "objective": problem.objective(states, inputs),
+        "dynamics_violation": problem.dynamics_violation(states, inputs),
+    }

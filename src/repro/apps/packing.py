@@ -1,0 +1,269 @@
+"""Circle packing in a convex region (paper §V-A + Appendix A).
+
+"Given N non-overlaying disks with center cᵢ and radius rᵢ inside a triangle
+T, what is the largest area they can cover?"  An NP-hard, non-convex problem
+the ADMM solves heuristically (and, per [9], [24], very well in practice).
+
+Factor-graph decomposition (paper Figure 6):
+
+* variable nodes — N centers (dim 2) and N radii (dim 1);
+* ``N(N−1)/2`` pair factors enforcing no collision (4 edges each);
+* ``N·S`` wall factors keeping each disk inside each of S half-planes
+  (2 edges each);
+* ``N`` radius-reward factors maximizing each radius (1 edge each).
+
+Element-count identities (paper §V-A, asserted in tests):
+``|E| = 2N² − N + 2NS``, ``|V| = 2N``, ``|F| = N(N−1)/2 + N + NS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.solver import ADMMSolver
+from repro.core.state import ADMMState
+from repro.core.stopping import MaxIterations
+from repro.graph.builder import GraphBuilder
+from repro.graph.factor_graph import FactorGraph
+from repro.prox.packing import PairNoCollisionProx, RadiusRewardProx, WallProx
+from repro.utils.rng import default_rng
+
+
+@dataclass(frozen=True)
+class ConvexRegion:
+    """Intersection of half-planes ``Qₛᵀ(p − Vₛ) ≥ 0`` (inward normals)."""
+
+    normals: np.ndarray  # (S, 2), unit inward normals Q_s
+    points: np.ndarray  # (S, 2), a point V_s on each wall
+    area: float
+    name: str = "region"
+
+    @property
+    def num_walls(self) -> int:
+        return int(self.normals.shape[0])
+
+    def contains(self, p: np.ndarray, margin: float = 0.0):
+        """True where points ``p`` ((n, 2) or (2,)) are ≥ margin inside every wall."""
+        p = np.asarray(p, dtype=np.float64)
+        single = p.ndim == 1
+        pts = np.atleast_2d(p)
+        g = np.einsum(
+            "sk,nsk->ns", self.normals, pts[:, None, :] - self.points[None, :, :]
+        )
+        inside = np.all(g >= margin - 1e-12, axis=1)
+        return bool(inside[0]) if single else inside
+
+    def wall_violation(self, centers: np.ndarray, radii: np.ndarray) -> float:
+        """Worst violation of ``Qᵀ(c − V) ≥ r`` over all disks and walls."""
+        g = np.einsum(
+            "sk,nsk->ns",
+            self.normals,
+            centers[:, None, :] - self.points[None, :, :],
+        )
+        return float(np.maximum(radii[:, None] - g, 0.0).max(initial=0.0))
+
+
+def triangle_region(vertices: np.ndarray | None = None) -> ConvexRegion:
+    """Region bounded by a triangle (default: unit equilateral).
+
+    Normals are oriented inward (towards the centroid).
+    """
+    if vertices is None:
+        vertices = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3.0) / 2.0]])
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.shape != (3, 2):
+        raise ValueError(f"vertices must be (3, 2), got {vertices.shape}")
+    centroid = vertices.mean(axis=0)
+    normals, points = [], []
+    for i in range(3):
+        a, b = vertices[i], vertices[(i + 1) % 3]
+        edge = b - a
+        n = np.array([-edge[1], edge[0]])
+        n = n / np.linalg.norm(n)
+        if np.dot(n, centroid - a) < 0:
+            n = -n
+        normals.append(n)
+        points.append(a)
+    e1 = vertices[1] - vertices[0]
+    e2 = vertices[2] - vertices[0]
+    area = 0.5 * abs(e1[0] * e2[1] - e1[1] * e2[0])
+    return ConvexRegion(
+        normals=np.asarray(normals),
+        points=np.asarray(points),
+        area=float(area),
+        name="triangle",
+    )
+
+
+def square_region(side: float = 1.0) -> ConvexRegion:
+    """Axis-aligned square [0, side]² (4 walls) — a packing variant."""
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    normals = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+    points = np.array(
+        [[0.0, 0.0], [side, 0.0], [0.0, 0.0], [0.0, side]]
+    )
+    return ConvexRegion(
+        normals=normals, points=points, area=float(side * side), name="square"
+    )
+
+
+@dataclass
+class PackingProblem:
+    """N-disk packing instance over a convex region."""
+
+    n_disks: int
+    region: ConvexRegion = field(default_factory=triangle_region)
+    kappa: float = 1.0  # radius-reward curvature (paper: 1)
+
+    def __post_init__(self) -> None:
+        if self.n_disks < 1:
+            raise ValueError(f"n_disks must be >= 1, got {self.n_disks}")
+
+    # Expected element counts (paper §V-A formulas).
+    @property
+    def expected_edges(self) -> int:
+        n, s = self.n_disks, self.region.num_walls
+        return 2 * n * n - n + 2 * n * s
+
+    @property
+    def expected_vars(self) -> int:
+        return 2 * self.n_disks
+
+    @property
+    def expected_factors(self) -> int:
+        n, s = self.n_disks, self.region.num_walls
+        return n * (n - 1) // 2 + n + n * s
+
+    # ------------------------------------------------------------------ #
+    def build_graph(self) -> FactorGraph:
+        """Assemble the Figure-6 factor graph (families added contiguously)."""
+        n = self.n_disks
+        b = GraphBuilder()
+        centers = [b.add_variable(2, name=f"c{i}") for i in range(n)]
+        radii = [b.add_variable(1, name=f"r{i}") for i in range(n)]
+        pair = PairNoCollisionProx()
+        wall = WallProx()
+        reward = RadiusRewardProx(kappa=self.kappa)
+        for i in range(n):
+            for j in range(i + 1, n):
+                b.add_factor(pair, [centers[i], radii[i], centers[j], radii[j]])
+        for i in range(n):
+            for s in range(self.region.num_walls):
+                b.add_factor(
+                    wall,
+                    [centers[i], radii[i]],
+                    params={
+                        "Q": self.region.normals[s],
+                        "V": self.region.points[s],
+                    },
+                )
+        for i in range(n):
+            b.add_factor(reward, [radii[i]])
+        return b.build()
+
+    def initial_state(
+        self,
+        graph: FactorGraph,
+        rho: float = 3.0,
+        alpha: float = 1.0,
+        seed: int | None = None,
+        radius_scale: float = 0.25,
+    ) -> ADMMState:
+        """Random feasible-ish start: centers in the region, small radii."""
+        rng = default_rng(seed)
+        n = self.n_disks
+        lo = self.region.points.min(axis=0)
+        hi = self.region.points.max(axis=0)
+        centers = np.empty((n, 2))
+        count = 0
+        while count < n:
+            cand = rng.uniform(lo, hi, size=(n, 2))
+            ok = self.region.contains(cand)
+            take = min(int(ok.sum()), n - count)
+            centers[count : count + take] = cand[ok][:take]
+            count += take
+        # Small initial radii ~ area-fair share.
+        r0 = radius_scale * np.sqrt(self.region.area / max(n, 1) / np.pi)
+        radii = rng.uniform(0.5 * r0, r0, size=n)
+        z = np.concatenate([centers.reshape(-1), radii])
+        state = ADMMState(graph, rho=rho, alpha=alpha)
+        state.init_from_z(z)
+        return state
+
+    # ------------------------------------------------------------------ #
+    def extract(self, graph: FactorGraph, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split flat z into (centers (N,2), radii (N,))."""
+        n = self.n_disks
+        centers = z[: 2 * n].reshape(n, 2)
+        radii = z[2 * n : 3 * n]
+        return centers, radii
+
+    def coverage(self, radii: np.ndarray) -> float:
+        """Covered-area fraction Σ πr² / area(region)."""
+        return float(np.pi * np.sum(np.asarray(radii) ** 2) / self.region.area)
+
+    def overlap_violation(self, centers: np.ndarray, radii: np.ndarray) -> float:
+        """Worst pairwise overlap ``max(rᵢ + rⱼ − ||cᵢ − cⱼ||, 0)``."""
+        n = self.n_disks
+        if n < 2:
+            return 0.0
+        diff = centers[:, None, :] - centers[None, :, :]
+        dist = np.linalg.norm(diff, axis=-1)
+        rsum = radii[:, None] + radii[None, :]
+        viol = rsum - dist
+        viol[np.arange(n), np.arange(n)] = -np.inf
+        return float(max(0.0, viol.max()))
+
+    def validate(
+        self, centers: np.ndarray, radii: np.ndarray, tol: float = 1e-3
+    ) -> dict[str, float | bool]:
+        """Solution report: coverage, violations, feasibility flag."""
+        overlap = self.overlap_violation(centers, radii)
+        wall = self.region.wall_violation(centers, radii)
+        min_r = float(np.min(radii)) if radii.size else 0.0
+        return {
+            "coverage": self.coverage(radii),
+            "overlap_violation": overlap,
+            "wall_violation": wall,
+            "min_radius": min_r,
+            "feasible": bool(overlap <= tol and wall <= tol and min_r >= -tol),
+        }
+
+
+def solve_packing(
+    n_disks: int,
+    iterations: int = 2000,
+    rho: float = 3.0,
+    alpha: float = 1.0,
+    seed: int | None = None,
+    region: ConvexRegion | None = None,
+    backend=None,
+) -> dict:
+    """End-to-end helper: build, solve, validate one packing instance."""
+    problem = PackingProblem(
+        n_disks, region=region if region is not None else triangle_region()
+    )
+    graph = problem.build_graph()
+    solver = ADMMSolver(graph, backend=backend, rho=rho, alpha=alpha)
+    solver.state = problem.initial_state(graph, rho=rho, alpha=alpha, seed=seed)
+    solver.backend.prepare(graph)
+    result = solver.solve(
+        max_iterations=iterations,
+        stopping=MaxIterations(iterations),
+        check_every=max(iterations // 10, 1),
+        init="keep",
+    )
+    solver.close()
+    centers, radii = problem.extract(graph, result.z)
+    report = problem.validate(centers, radii)
+    return {
+        "problem": problem,
+        "graph": graph,
+        "result": result,
+        "centers": centers,
+        "radii": radii,
+        **report,
+    }

@@ -1,0 +1,24 @@
+"""Execution backends: serial, vectorized, threaded, persistent, process."""
+
+from repro.backends.base import Backend
+from repro.backends.serial import SerialBackend
+from repro.backends.vectorized import ThreeWeightBackend, VectorizedBackend
+from repro.backends.threaded import ThreadedBackend, edge_balanced_boundaries
+from repro.backends.persistent import PersistentWorkerBackend
+from repro.backends.process import ProcessBackend
+from repro.backends.randomized import RandomizedBackend
+from repro.backends.validating import InvariantViolation, ValidatingBackend
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ThreeWeightBackend",
+    "ThreadedBackend",
+    "edge_balanced_boundaries",
+    "PersistentWorkerBackend",
+    "ProcessBackend",
+    "RandomizedBackend",
+    "InvariantViolation",
+    "ValidatingBackend",
+]

@@ -1,0 +1,68 @@
+"""Backend protocol: how the five kernels are scheduled onto hardware.
+
+A backend owns the *inner* loop — given a graph and a state, advance the
+iterate by N Algorithm-2 sweeps.  All backends execute the identical math
+from :mod:`repro.core.updates`; they differ only in scheduling:
+
+================  ====================================================
+SerialBackend     one Python loop per kernel, one element at a time —
+                  the paper's single-core C baseline role
+VectorizedBackend one batched NumPy op per kernel — the GPU analog
+ThreadedBackend   chunked batched ops on a persistent thread pool —
+                  the paper's first OpenMP approach (five parallel
+                  for-loops, implicit barrier after each)
+PersistentWorkerBackend
+                  long-lived workers with explicit barriers between
+                  kernels — the paper's second OpenMP approach
+ProcessBackend    per-element loops partitioned over processes with
+                  shared-memory state — multicore scaling of the
+                  serial baseline
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.state import ADMMState
+from repro.graph.factor_graph import FactorGraph
+from repro.utils.timing import KernelTimers
+
+
+class Backend(abc.ABC):
+    """Executes Algorithm-2 iterations on a factor graph."""
+
+    name: str = "backend"
+
+    def prepare(self, graph: FactorGraph) -> None:
+        """One-time precomputation for a graph (chunk plans, pools, …).
+
+        Called by :class:`repro.core.solver.ADMMSolver` at construction; safe
+        to call repeatedly (re-prepares when the graph changes).
+        """
+
+    @abc.abstractmethod
+    def run(
+        self,
+        graph: FactorGraph,
+        state: ADMMState,
+        iterations: int,
+        timers: KernelTimers | None = None,
+    ) -> None:
+        """Advance ``state`` by ``iterations`` full sweeps (in place).
+
+        ``timers``, when given, accumulates per-kernel wall time (the
+        source of the paper's per-update time fractions).
+        """
+
+    def close(self) -> None:
+        """Release pools/processes (default: nothing)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}()"

@@ -1,0 +1,121 @@
+"""Persistent-worker backend — the paper's second OpenMP approach.
+
+"We create a parallel section in which each thread processes all updates
+across multiple iterations (this approach requires barriers to synchronize
+threads between update types)."  Here each worker thread owns a fixed
+contiguous range of every element kind, loops over all iterations
+internally, and meets the other workers at a :class:`threading.Barrier`
+between kernels — a direct transcription of the paper's Figure 4
+(bottom), ``AssignThreads`` included (via ``contiguous_chunks``).
+
+The paper found this approach slower than the five-parallel-for-loops one in
+all three problems; the ablation bench checks the same ordering here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.core import updates
+from repro.core.state import ADMMState
+from repro.graph.factor_graph import FactorGraph
+from repro.graph.partition import contiguous_chunks
+from repro.utils.timing import KernelTimers
+
+#: Kernel phases in execution order (x handled separately per group).
+_EDGE_PHASES = ("m", "u", "n")
+
+
+class PersistentWorkerBackend(Backend):
+    """One parallel region for the whole run, explicit barriers (OpenMP #2)."""
+
+    name = "persistent"
+
+    def __init__(self, num_workers: int = 2) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+
+    def run(
+        self,
+        graph: FactorGraph,
+        state: ADMMState,
+        iterations: int,
+        timers: KernelTimers | None = None,
+    ) -> None:
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        if iterations == 0:
+            return
+        k = self.num_workers
+        slot_chunks = contiguous_chunks(graph.edge_size, k)
+        z_chunks = contiguous_chunks(graph.z_size, k)
+        z_subs = [graph.scatter_matrix[z0:z1] for z0, z1 in z_chunks]
+        group_chunks = [contiguous_chunks(g.size, k) for g in graph.groups]
+        scratch = np.empty(graph.edge_size)
+        barrier = threading.Barrier(k)
+        errors: list[BaseException] = []
+        phase_times = {kname: 0.0 for kname in ("x", "m", "z", "u", "n")}
+
+        def worker(w: int) -> None:
+            s0, s1 = slot_chunks[w]
+            z0, z1 = z_chunks[w]
+            z_sub = z_subs[w]
+            try:
+                for _ in range(iterations):
+                    t = time.perf_counter() if w == 0 else 0.0
+                    # x-update: each worker takes its row range of each group.
+                    for gi, g in enumerate(graph.groups):
+                        r0, r1 = group_chunks[gi][w]
+                        updates.x_update_group_range(graph, state, g, r0, r1)
+                    barrier.wait()
+                    if w == 0:
+                        phase_times["x"] += time.perf_counter() - t
+                        t = time.perf_counter()
+                    updates.m_update_range(graph, state, s0, s1)
+                    barrier.wait()
+                    if w == 0:
+                        phase_times["m"] += time.perf_counter() - t
+                        t = time.perf_counter()
+                    updates.weighted_m_range(graph, state, scratch, s0, s1)
+                    barrier.wait()
+                    if z1 > z0:
+                        num = z_sub @ scratch
+                        den = state.rho_den[z0:z1]
+                        np.divide(num, den, out=state.z[z0:z1], where=den > 0.0)
+                    barrier.wait()
+                    if w == 0:
+                        phase_times["z"] += time.perf_counter() - t
+                        t = time.perf_counter()
+                    updates.u_update_range(graph, state, s0, s1)
+                    barrier.wait()
+                    if w == 0:
+                        phase_times["u"] += time.perf_counter() - t
+                        t = time.perf_counter()
+                    updates.n_update_range(graph, state, s0, s1)
+                    barrier.wait()
+                    if w == 0:
+                        phase_times["n"] += time.perf_counter() - t
+            except BaseException as exc:  # surface to the caller
+                errors.append(exc)
+                barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(w,), name=f"paradmm-pw{w}")
+            for w in range(k)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        state.iteration += iterations
+        if timers is not None:
+            for kname, secs in phase_times.items():
+                timers[kname].elapsed += secs
+                timers[kname].calls += iterations

@@ -1,0 +1,33 @@
+"""Benchmark harness: measurement, reporting, workloads, Figure-5 table."""
+
+from repro.bench.harness import (
+    BackendMeasurement,
+    SpeedupComparison,
+    compare_backends,
+    measure_backend,
+)
+from repro.bench.reporting import SeriesTable, fresh_report, results_path
+from repro.bench.solver_table import (
+    FIGURE5_SOLVERS,
+    PARADMM_ROW,
+    SolverEntry,
+    build_table,
+    open_source_parallel_count,
+)
+from repro.bench import workloads
+
+__all__ = [
+    "BackendMeasurement",
+    "SpeedupComparison",
+    "compare_backends",
+    "measure_backend",
+    "SeriesTable",
+    "fresh_report",
+    "results_path",
+    "FIGURE5_SOLVERS",
+    "PARADMM_ROW",
+    "SolverEntry",
+    "build_table",
+    "open_source_parallel_count",
+    "workloads",
+]

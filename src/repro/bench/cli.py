@@ -1,0 +1,103 @@
+"""Command-line figure runner: regenerate paper tables without pytest.
+
+Usage::
+
+    python -m repro.bench.cli list
+    python -m repro.bench.cli fig05
+    python -m repro.bench.cli ntb --packing-n 2000
+    python -m repro.bench.cli fig07 --sizes 5 10 20
+
+Only the model-side and small measured sweeps run here (the full measured
+protocol lives in ``benchmarks/``); this entry point exists for quick
+interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.reporting import SeriesTable
+from repro.bench.solver_table import build_table
+from repro.gpusim.device import OPTERON_6300, TESLA_K40
+from repro.gpusim.simt import best_ntb, serial_time
+from repro.gpusim.synthetic import mpc_workloads, packing_workloads, svm_workloads
+from repro.gpusim.workloads import simulate_admm_gpu
+from repro.utils.timing import UPDATE_KINDS
+
+WORKLOADS = {
+    "packing": packing_workloads,
+    "mpc": mpc_workloads,
+    "svm": svm_workloads,
+}
+
+DEFAULT_SIZES = {
+    "packing": (200, 1000, 5000),
+    "mpc": (1000, 10_000, 100_000),
+    "svm": (5000, 50_000, 100_000),
+}
+
+
+def run_fig05(args) -> int:
+    build_table(include_paradmm=True).emit()
+    return 0
+
+
+def run_model_sweep(app: str, sizes) -> int:
+    t = SeriesTable(
+        f"{app} — K40 model vs one Opteron core",
+        ("size", "speedup", *UPDATE_KINDS),
+    )
+    for size in sizes:
+        wl, _ = WORKLOADS[app](size)
+        res = simulate_admm_gpu(TESLA_K40, None, OPTERON_6300, workloads=wl)
+        sp = res.speedups()
+        t.add_row(size, res.combined_speedup, *[sp[k] for k in UPDATE_KINDS])
+    t.emit()
+    return 0
+
+
+def run_ntb(args) -> int:
+    wl = packing_workloads(args.packing_n)[0]["x"]
+    base = serial_time(wl, OPTERON_6300)
+    best, timings = best_ntb(TESLA_K40, wl)
+    t = SeriesTable(
+        f"packing N={args.packing_n} x-update speedup vs ntb (best: {best})",
+        ("ntb", "speedup"),
+    )
+    for ntb in sorted(timings):
+        t.add_row(ntb, base / timings[ntb].time_s)
+    t.emit()
+    return 0
+
+
+COMMANDS = {
+    "fig05": "Figure 5 solver table",
+    "fig07": "packing GPU model sweep",
+    "fig10": "MPC GPU model sweep",
+    "fig13": "SVM GPU model sweep",
+    "ntb": "threads-per-block sweep",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench.cli", description=__doc__)
+    parser.add_argument("command", choices=[*COMMANDS, "list"])
+    parser.add_argument("--sizes", type=int, nargs="*", default=None)
+    parser.add_argument("--packing-n", type=int, default=5000)
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name, desc in COMMANDS.items():
+            print(f"  {name:7s} {desc}")
+        return 0
+    if args.command == "fig05":
+        return run_fig05(args)
+    if args.command == "ntb":
+        return run_ntb(args)
+    app = {"fig07": "packing", "fig10": "mpc", "fig13": "svm"}[args.command]
+    sizes = args.sizes if args.sizes else DEFAULT_SIZES[app]
+    return run_model_sweep(app, sizes)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

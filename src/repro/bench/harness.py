@@ -1,0 +1,110 @@
+"""Measurement harness: timed ADMM runs and speedup comparisons.
+
+The paper's protocol: run the *same number of iterations* on every engine
+and compare wall time ("The GPU speedups compare the runtime of the ADMM on
+a single core … with the runtime of the ADMM on a NVIDIA Tesla K40 GPU for
+the same number of iterations").  :func:`measure_backend` and
+:func:`compare_backends` implement exactly that, per-kernel timers included.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.core.state import ADMMState
+from repro.graph.factor_graph import FactorGraph
+from repro.utils.timing import UPDATE_KINDS, KernelTimers
+
+
+@dataclass(frozen=True)
+class BackendMeasurement:
+    """Wall time of one backend over a fixed iteration count."""
+
+    backend_name: str
+    iterations: int
+    total_seconds: float
+    kernel_seconds: dict[str, float]
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.total_seconds / self.iterations if self.iterations else 0.0
+
+    def kernel_fractions(self) -> dict[str, float]:
+        total = sum(self.kernel_seconds.values())
+        if total <= 0:
+            return {k: 0.0 for k in UPDATE_KINDS}
+        return {k: self.kernel_seconds[k] / total for k in UPDATE_KINDS}
+
+
+def measure_backend(
+    graph: FactorGraph,
+    backend: Backend,
+    iterations: int,
+    rho: float = 2.0,
+    seed: int | None = None,
+    warmup: int = 1,
+) -> BackendMeasurement:
+    """Time ``iterations`` sweeps of ``backend`` on a fresh random state."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    state = ADMMState(graph, rho=rho).init_random(0.1, 0.9, seed=seed)
+    backend.prepare(graph)
+    if warmup:
+        backend.run(graph, state.copy(), warmup)
+    timers = KernelTimers()
+    t0 = time.perf_counter()
+    backend.run(graph, state, iterations, timers)
+    total = time.perf_counter() - t0
+    return BackendMeasurement(
+        backend_name=backend.name,
+        iterations=iterations,
+        total_seconds=total,
+        kernel_seconds={k: timers[k].elapsed for k in UPDATE_KINDS},
+    )
+
+
+@dataclass(frozen=True)
+class SpeedupComparison:
+    """Baseline vs accelerated engine over identical iteration counts."""
+
+    baseline: BackendMeasurement
+    accelerated: BackendMeasurement
+
+    @property
+    def combined_speedup(self) -> float:
+        acc = self.accelerated.seconds_per_iteration
+        return self.baseline.seconds_per_iteration / acc if acc > 0 else float("inf")
+
+    def kernel_speedups(self) -> dict[str, float]:
+        out = {}
+        for k in UPDATE_KINDS:
+            base = self.baseline.kernel_seconds[k] / self.baseline.iterations
+            acc = self.accelerated.kernel_seconds[k] / self.accelerated.iterations
+            out[k] = base / acc if acc > 0 else float("inf")
+        return out
+
+
+def compare_backends(
+    graph: FactorGraph,
+    baseline: Backend,
+    accelerated: Backend,
+    iterations_baseline: int,
+    iterations_accelerated: int | None = None,
+    rho: float = 2.0,
+    seed: int | None = None,
+) -> SpeedupComparison:
+    """Measure both engines on the same graph (per-iteration comparison).
+
+    The accelerated engine may run more iterations (it is faster; more
+    iterations stabilize the per-iteration estimate) — speedups are
+    per-iteration ratios, matching the paper's protocol.
+    """
+    if iterations_accelerated is None:
+        iterations_accelerated = iterations_baseline
+    base = measure_backend(graph, baseline, iterations_baseline, rho, seed)
+    acc = measure_backend(graph, accelerated, iterations_accelerated, rho, seed)
+    return SpeedupComparison(baseline=base, accelerated=acc)

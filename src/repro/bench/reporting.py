@@ -1,0 +1,87 @@
+"""Paper-style table/series formatting for the benchmark harness.
+
+Every figure bench prints rows shaped like the paper's plots: a sweep
+variable (N, K, cores, ntb) against times and speedups.  Reports go to
+stdout and, when a path is given, to a text file under ``results/`` so the
+series survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class SeriesTable:
+    """A small fixed-column table printed in paper style."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def _fmt(self, v) -> str:
+        if isinstance(v, float):
+            if v != v:
+                return "nan"
+            if abs(v) >= 1000 or (abs(v) < 1e-3 and v != 0):
+                return f"{v:.3e}"
+            return f"{v:.4g}"
+        return str(v)
+
+    def render(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in cells)) if cells else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(str(c).rjust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in cells:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def emit(self, path: str | None = None) -> str:
+        """Print the table; optionally append it to a report file."""
+        text = self.render()
+        print("\n" + text)
+        if path is not None:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(text + "\n\n")
+        return text
+
+
+def results_path(name: str) -> str:
+    """Canonical results-file location for a bench (under ``results/``)."""
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        # repo root = three levels above this file's package dir
+        here = os.path.dirname(os.path.abspath(__file__))
+        root = os.path.normpath(os.path.join(here, "..", "..", "..", "results"))
+    return os.path.join(root, name)
+
+
+def fresh_report(name: str, header: str) -> str:
+    """Start (truncate) a results file with a header; returns its path."""
+    path = results_path(name)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(header.rstrip() + "\n\n")
+    return path

@@ -1,0 +1,76 @@
+"""Shared workload builders for the figure benches.
+
+Each paper figure sweeps a size parameter; these helpers build the graphs at
+both "measured" scale (small enough for the pure-Python serial baseline to
+run in seconds) and "modeled" scale (the paper's sizes, fed to the
+performance models).  Keeping them here guarantees every bench and test
+sweeps identical instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.mpc import default_problem
+from repro.apps.packing import PackingProblem
+from repro.apps.svm import SVMProblem, make_blobs
+from repro.graph.factor_graph import FactorGraph
+
+#: Measured sweeps (this machine, wall clock; serial baseline is Python).
+PACKING_MEASURED_N = (5, 10, 20, 40, 60)
+MPC_MEASURED_K = (25, 50, 100, 200, 400)
+SVM_MEASURED_N = (25, 50, 100, 200, 400)
+
+#: Modeled sweeps (performance models at paper scale).
+PACKING_MODELED_N = (200, 500, 1000, 2000, 3000, 5000)
+MPC_MODELED_K = (200, 1000, 10_000, 50_000, 100_000)
+SVM_MODELED_N = (5000, 25_000, 50_000, 75_000, 100_000)
+
+#: Measured multicore sweeps (threaded vs 1-thread vectorized baseline).
+#: Larger than the serial sweeps: Python thread dispatch costs ~100us per
+#: parallel loop, so the crossover sits at ~1e5 flat slots on this host.
+PACKING_MULTICORE_N = (50, 100, 200, 350)
+MPC_MULTICORE_K = (2000, 10_000, 50_000)
+SVM_MULTICORE_N = (2000, 10_000, 40_000)
+
+#: Iterations per timed measurement (the paper times 10 packing / 100 MPC /
+#: 1000 SVM iterations; scaled down to keep the Python baseline tractable).
+PACKING_TIMED_ITERS = 3
+MPC_TIMED_ITERS = 3
+SVM_TIMED_ITERS = 3
+
+
+def packing_graph(n_disks: int) -> FactorGraph:
+    """Triangle-packing graph for N disks (paper §V-A workload)."""
+    return PackingProblem(n_disks).build_graph()
+
+
+def mpc_graph(horizon: int) -> FactorGraph:
+    """Inverted-pendulum MPC graph for horizon K (paper §V-B workload)."""
+    return default_problem(horizon).build_graph()
+
+
+def svm_graph(n_points: int, dim: int = 2, seed: int = 0) -> FactorGraph:
+    """Two-Gaussian SVM graph for N points (paper §V-C workload)."""
+    X, y = make_blobs(n_points, dim=dim, seed=seed)
+    return SVMProblem(X, y).build_graph()
+
+
+def star_graph(n_leaves: int, hub_extra: int = 0) -> FactorGraph:
+    """Imbalance stressor: one hub variable touched by every factor.
+
+    Used by the degree-imbalance ablation — the hub's z-update is the
+    "highest-degree variable node" of the paper's conclusion.  ``hub_extra``
+    adds that many extra degree-1 leaf variables to dilute or sharpen the
+    imbalance.
+    """
+    from repro.graph.builder import GraphBuilder
+    from repro.prox.standard import ConsensusEqualProx
+
+    b = GraphBuilder()
+    hub = b.add_variable(1, name="hub")
+    eq = ConsensusEqualProx(k=2, dim=1)
+    for i in range(n_leaves + hub_extra):
+        leaf = b.add_variable(1, name=f"leaf{i}")
+        b.add_factor(eq, [hub, leaf])
+    return b.build()

@@ -1,0 +1,55 @@
+"""Core ADMM engine: state, kernels, solver, schedules, variants."""
+
+from repro.core.state import ADMMState
+from repro.core.solver import ADMMSolver
+from repro.core.diagnostics import ADMMResult, SolveHistory
+from repro.core.residuals import (
+    Residuals,
+    compute_residuals,
+    consensus_violation,
+    objective_value,
+)
+from repro.core.stopping import (
+    AnyOf,
+    MaxIterations,
+    ResidualTolerance,
+    StallDetection,
+    StoppingCriterion,
+)
+from repro.core.parameters import (
+    ConstantPenalty,
+    PenaltySchedule,
+    ResidualBalancing,
+    apply_rho_scale,
+)
+from repro.core.classic import ClassicADMMResult, classic_admm
+from repro.core.three_weight import run_iteration_twa
+from repro.core.async_admm import AsyncSweepPlan, run_iteration_async, solve_async
+from repro.core import updates
+
+__all__ = [
+    "ADMMState",
+    "ADMMSolver",
+    "ADMMResult",
+    "SolveHistory",
+    "Residuals",
+    "compute_residuals",
+    "consensus_violation",
+    "objective_value",
+    "AnyOf",
+    "MaxIterations",
+    "ResidualTolerance",
+    "StallDetection",
+    "StoppingCriterion",
+    "ConstantPenalty",
+    "PenaltySchedule",
+    "ResidualBalancing",
+    "apply_rho_scale",
+    "ClassicADMMResult",
+    "classic_admm",
+    "run_iteration_twa",
+    "AsyncSweepPlan",
+    "run_iteration_async",
+    "solve_async",
+    "updates",
+]

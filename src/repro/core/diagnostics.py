@@ -1,0 +1,69 @@
+"""Solve-time diagnostics: residual/objective history and kernel timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.residuals import Residuals
+from repro.utils.timing import KernelTimers
+
+
+@dataclass
+class SolveHistory:
+    """Time series recorded during a solve (one entry per residual check)."""
+
+    iterations: list[int] = field(default_factory=list)
+    primal: list[float] = field(default_factory=list)
+    dual: list[float] = field(default_factory=list)
+    objective: list[float] = field(default_factory=list)
+    rho: list[float] = field(default_factory=list)
+
+    def append(
+        self, residuals: Residuals, objective: float | None, rho_mean: float
+    ) -> None:
+        self.iterations.append(residuals.iteration)
+        self.primal.append(residuals.primal)
+        self.dual.append(residuals.dual)
+        if objective is not None:
+            self.objective.append(objective)
+        self.rho.append(rho_mean)
+
+    def __len__(self) -> int:
+        return len(self.iterations)
+
+    def primal_array(self) -> np.ndarray:
+        return np.asarray(self.primal)
+
+    def dual_array(self) -> np.ndarray:
+        return np.asarray(self.dual)
+
+
+@dataclass
+class ADMMResult:
+    """Outcome of one :meth:`ADMMSolver.solve` call."""
+
+    solution: list[np.ndarray]
+    z: np.ndarray
+    converged: bool
+    iterations: int
+    residuals: Residuals | None
+    history: SolveHistory
+    timers: KernelTimers
+    wall_time: float
+
+    def variable(self, b: int) -> np.ndarray:
+        """Solution value of variable node ``b``."""
+        return self.solution[b]
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "max-iterations"
+        lines = [
+            f"ADMM {status} after {self.iterations} iterations "
+            f"({self.wall_time:.3f}s wall)",
+        ]
+        if self.residuals is not None:
+            lines.append(f"  residuals: {self.residuals}")
+        lines.append(f"  kernel time: {self.timers.summary()}")
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Penalty-parameter (ρ, α) schedules.
+
+"The free parameters ρ and α allow us to control the convergence rate of the
+algorithm" — classical implementations hold them constant, but improved
+update schemes exist; this module ships the constant schedule plus the
+standard residual-balancing adaptation (Boyd et al. §3.4.1), applied
+uniformly across edges.
+
+When ρ changes under the scaled-form ADMM, the scaled dual ``u`` must be
+rescaled by ``ρ_old/ρ_new``; :class:`repro.core.solver.ADMMSolver` performs
+that rescaling whenever a schedule modifies ρ.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.residuals import Residuals
+from repro.core.state import ADMMState
+from repro.utils.validation import check_positive
+
+
+class PenaltySchedule(abc.ABC):
+    """Strategy deciding how ρ evolves across iterations."""
+
+    @abc.abstractmethod
+    def rho_scale(self, state: ADMMState, residuals: Residuals) -> float:
+        """Multiplicative factor to apply to ρ now (1.0 = unchanged)."""
+
+    def reset(self) -> None:
+        """Clear internal state before a new solve (default: nothing)."""
+
+
+class ConstantPenalty(PenaltySchedule):
+    """The classical fixed-ρ ADMM (the paper's default)."""
+
+    def rho_scale(self, state: ADMMState, residuals: Residuals) -> float:
+        return 1.0
+
+
+class ResidualBalancing(PenaltySchedule):
+    """Scale ρ to keep primal and dual residuals within a factor ``mu``.
+
+    if ``primal > mu · dual``   → ρ ← τ ρ   (penalize consensus violation)
+    if ``dual  > mu · primal``  → ρ ← ρ / τ
+
+    ``max_updates`` caps the number of adaptations (unbounded adaptation can
+    break convergence guarantees; capping restores them).
+    """
+
+    def __init__(
+        self, mu: float = 10.0, tau: float = 2.0, max_updates: int = 50
+    ) -> None:
+        self.mu = check_positive(mu, "mu")
+        self.tau = check_positive(tau, "tau")
+        if self.tau <= 1.0:
+            raise ValueError(f"tau must be > 1, got {tau}")
+        if max_updates < 0:
+            raise ValueError(f"max_updates must be >= 0, got {max_updates}")
+        self.max_updates = max_updates
+        self._updates_done = 0
+
+    def reset(self) -> None:
+        self._updates_done = 0
+
+    def rho_scale(self, state: ADMMState, residuals: Residuals) -> float:
+        if self._updates_done >= self.max_updates:
+            return 1.0
+        if residuals.primal > self.mu * residuals.dual:
+            self._updates_done += 1
+            return self.tau
+        if residuals.dual > self.mu * residuals.primal:
+            self._updates_done += 1
+            return 1.0 / self.tau
+        return 1.0
+
+
+def apply_rho_scale(state: ADMMState, scale: float) -> None:
+    """Scale ρ uniformly and rescale the scaled dual ``u`` accordingly."""
+    if scale == 1.0:
+        return
+    if scale <= 0:
+        raise ValueError(f"rho scale must be positive, got {scale}")
+    state.set_rho(state.rho * scale)
+    state.u /= scale

@@ -1,0 +1,194 @@
+"""The user-facing ADMM driver tying graph, state, backend, and schedule.
+
+Typical use::
+
+    from repro import ADMMSolver
+    from repro.backends import VectorizedBackend
+
+    solver = ADMMSolver(graph, backend=VectorizedBackend(), rho=1.0)
+    result = solver.solve(max_iterations=2000, eps_abs=1e-7, eps_rel=1e-5)
+    w_star = result.solution          # one vector per variable node
+
+The solver owns the outer loop (residual checks, stopping, penalty
+schedules, history); backends own the inner loop (how the five kernels of
+one iteration are scheduled onto compute resources).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.diagnostics import ADMMResult, SolveHistory
+from repro.core.parameters import ConstantPenalty, PenaltySchedule, apply_rho_scale
+from repro.core.residuals import Residuals, compute_residuals, objective_value
+from repro.core.state import ADMMState
+from repro.core.stopping import AnyOf, MaxIterations, ResidualTolerance, StoppingCriterion
+from repro.graph.factor_graph import FactorGraph
+from repro.utils.timing import KernelTimers
+
+
+class ADMMSolver:
+    """Message-passing ADMM (Algorithm 2) over a factor graph.
+
+    Parameters
+    ----------
+    graph:
+        The factor graph to optimize over.
+    backend:
+        Execution backend; ``None`` selects the vectorized NumPy backend
+        (the fine-grained-parallel engine).  Any object satisfying
+        :class:`repro.backends.Backend` works.
+    rho, alpha:
+        Initial penalty / relaxation parameters (scalar or per-edge).
+    schedule:
+        Optional :class:`PenaltySchedule` adapting ρ between checks.
+    record_objective:
+        If True, evaluate Σ f_a(z) at every residual check (costs one pass
+        over the factors; off by default, as in the paper's timing runs).
+    """
+
+    def __init__(
+        self,
+        graph: FactorGraph,
+        backend=None,
+        rho: float | np.ndarray = 1.0,
+        alpha: float | np.ndarray = 1.0,
+        schedule: PenaltySchedule | None = None,
+        record_objective: bool = False,
+    ) -> None:
+        if backend is None:
+            from repro.backends.vectorized import VectorizedBackend
+
+            backend = VectorizedBackend()
+        self.graph = graph
+        self.backend = backend
+        self.schedule = schedule if schedule is not None else ConstantPenalty()
+        self.record_objective = record_objective
+        self._validate_signatures()
+        self.state = ADMMState(graph, rho=rho, alpha=alpha)
+        self.backend.prepare(graph)
+
+    def _validate_signatures(self) -> None:
+        """Check every factor's variable dims against its operator signature."""
+        for a, spec in enumerate(self.graph.factors):
+            validate = getattr(spec.prox, "validate_dims", None)
+            if validate is None:
+                continue
+            dims = tuple(
+                int(self.graph.var_dims[b]) for b in spec.variables
+            )
+            try:
+                validate(dims)
+            except ValueError as err:
+                raise ValueError(f"factor {a}: {err}") from err
+
+    # ------------------------------------------------------------------ #
+    def initialize(
+        self,
+        how: str = "zeros",
+        low: float = 0.0,
+        high: float = 1.0,
+        seed: int | None = None,
+    ) -> ADMMState:
+        """(Re-)initialize the iterate: "zeros", "random", or "keep"."""
+        if how == "zeros":
+            self.state.init_zeros()
+        elif how == "random":
+            self.state.init_random(low, high, seed)
+        elif how == "keep":
+            pass
+        else:
+            raise ValueError(f"unknown init {how!r}; use zeros|random|keep")
+        return self.state
+
+    def warm_start(self, z_flat: np.ndarray) -> ADMMState:
+        """Seed the iterate from a previous solution (real-time MPC style)."""
+        return self.state.init_from_z(z_flat)
+
+    # ------------------------------------------------------------------ #
+    def iterate(self, iterations: int, timers: KernelTimers | None = None) -> None:
+        """Run a fixed number of iterations without checks (benchmark mode)."""
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        if iterations:
+            self.backend.run(self.graph, self.state, iterations, timers)
+
+    def solve(
+        self,
+        max_iterations: int = 1000,
+        eps_abs: float = 1e-6,
+        eps_rel: float = 1e-4,
+        check_every: int = 10,
+        stopping: StoppingCriterion | None = None,
+        callback: Callable[[ADMMState, Residuals], None] | None = None,
+        init: str = "keep",
+        seed: int | None = None,
+    ) -> ADMMResult:
+        """Iterate until convergence or the iteration cap.
+
+        The loop runs in blocks of ``check_every`` iterations; after each
+        block it computes exact residuals (the final iteration of the block
+        is run separately so the dual residual sees one z-step), evaluates
+        the stopping criterion, applies the penalty schedule, and invokes
+        the callback.
+        """
+        if max_iterations < 0:
+            raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        self.initialize(init, seed=seed)
+        criterion = stopping if stopping is not None else AnyOf(
+            ResidualTolerance(), MaxIterations(max_iterations)
+        )
+        criterion.reset()
+        self.schedule.reset()
+
+        timers = KernelTimers()
+        history = SolveHistory()
+        state = self.state
+        graph = self.graph
+        residuals: Residuals | None = None
+        converged = False
+        t0 = time.perf_counter()
+
+        while state.iteration < max_iterations:
+            block = min(check_every, max_iterations - state.iteration)
+            if block > 1:
+                self.backend.run(graph, state, block - 1, timers)
+            z_prev = state.z.copy()
+            self.backend.run(graph, state, 1, timers)
+            residuals = compute_residuals(graph, state, z_prev, eps_abs, eps_rel)
+            obj = objective_value(graph, state) if self.record_objective else None
+            history.append(residuals, obj, float(state.rho.mean()))
+            if callback is not None:
+                callback(state, residuals)
+            if criterion.check(residuals):
+                converged = residuals.converged
+                break
+            apply_rho_scale(state, self.schedule.rho_scale(state, residuals))
+
+        wall = time.perf_counter() - t0
+        return ADMMResult(
+            solution=state.solution(),
+            z=state.z.copy(),
+            converged=converged,
+            iterations=state.iteration,
+            residuals=residuals,
+            history=history,
+            timers=timers,
+            wall_time=wall,
+        )
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release backend resources (worker pools)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ADMMSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

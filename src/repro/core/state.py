@@ -1,0 +1,186 @@
+"""ADMM iterate state: the five auxiliary variable families on the graph.
+
+Exactly the paper's storage model: ``x, m, u, n`` live in flat 1-D arrays in
+edge-creation order (one slot per edge-dimension), ``z`` in a flat array in
+variable-creation order, ``ρ`` and ``α`` per edge.  Slot-expanded copies of
+ρ/α and the z-update denominator ``Σ_∂b ρ`` are cached and invalidated when
+the penalties change (they are constants inside the iteration loop, so this
+mirrors the paper's "initialize_RHOS_APHAS once" pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.factor_graph import FactorGraph
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_positive
+
+
+class ADMMState:
+    """Mutable iterate of the message-passing ADMM on one graph.
+
+    Attributes
+    ----------
+    x, m, u, n:
+        Flat edge arrays of length ``graph.edge_size``.
+    z:
+        Flat variable array of length ``graph.z_size``.
+    rho, alpha:
+        Per-edge penalty / step-size arrays of length ``graph.num_edges``.
+    weights:
+        Per-edge three-weight-algorithm certainty weights; ``None`` in the
+        standard ADMM (treated as ≡ ρ).
+    iteration:
+        Completed-iteration counter, maintained by the backends.
+    """
+
+    def __init__(self, graph: FactorGraph, rho: float = 1.0, alpha: float = 1.0):
+        self.graph = graph
+        E, Z = graph.edge_size, graph.z_size
+        self.x = np.zeros(E)
+        self.m = np.zeros(E)
+        self.u = np.zeros(E)
+        self.n = np.zeros(E)
+        self.z = np.zeros(Z)
+        self.rho = np.empty(graph.num_edges)
+        self.alpha = np.empty(graph.num_edges)
+        self.weights: np.ndarray | None = None
+        self.iteration = 0
+        self._rho_slots: np.ndarray | None = None
+        self._alpha_slots: np.ndarray | None = None
+        self._rho_den: np.ndarray | None = None
+        self.set_rho(rho)
+        self.set_alpha(alpha)
+
+    # ------------------------------------------------------------------ #
+    # Penalty management (invalidates the slot caches).                   #
+    # ------------------------------------------------------------------ #
+    def set_rho(self, rho) -> None:
+        """Set ρ: scalar (uniform, the paper's default) or per-edge array."""
+        rho_arr = np.asarray(rho, dtype=np.float64)
+        if rho_arr.ndim == 0:
+            check_positive(float(rho_arr), "rho")
+            self.rho.fill(float(rho_arr))
+        else:
+            if rho_arr.shape != (self.graph.num_edges,):
+                raise ValueError(
+                    f"per-edge rho must have shape ({self.graph.num_edges},), "
+                    f"got {rho_arr.shape}"
+                )
+            if np.any(rho_arr <= 0):
+                raise ValueError("all rho entries must be positive")
+            self.rho[:] = rho_arr
+        self._rho_slots = None
+        self._rho_den = None
+
+    def set_alpha(self, alpha) -> None:
+        """Set α: scalar or per-edge array (α=1 is the classical ADMM)."""
+        a = np.asarray(alpha, dtype=np.float64)
+        if a.ndim == 0:
+            check_positive(float(a), "alpha")
+            self.alpha.fill(float(a))
+        else:
+            if a.shape != (self.graph.num_edges,):
+                raise ValueError(
+                    f"per-edge alpha must have shape ({self.graph.num_edges},), "
+                    f"got {a.shape}"
+                )
+            if np.any(a <= 0):
+                raise ValueError("all alpha entries must be positive")
+            self.alpha[:] = a
+        self._alpha_slots = None
+
+    @property
+    def rho_slots(self) -> np.ndarray:
+        """ρ expanded from per-edge to per-slot (cached)."""
+        if self._rho_slots is None:
+            self._rho_slots = self.rho[self.graph.slot_edge]
+        return self._rho_slots
+
+    @property
+    def alpha_slots(self) -> np.ndarray:
+        """α expanded from per-edge to per-slot (cached)."""
+        if self._alpha_slots is None:
+            self._alpha_slots = self.alpha[self.graph.slot_edge]
+        return self._alpha_slots
+
+    @property
+    def rho_den(self) -> np.ndarray:
+        """z-update denominator ``Σ_{a∈∂b} ρ_(a,b)`` per z slot (cached)."""
+        if self._rho_den is None:
+            self._rho_den = self.graph.scatter_matrix @ self.rho_slots
+        return self._rho_den
+
+    # ------------------------------------------------------------------ #
+    # Initialization (paper: initialize_X_N_Z_M_U_rand).                   #
+    # ------------------------------------------------------------------ #
+    def init_random(
+        self, low: float = 0.0, high: float = 1.0, seed: int | None = None
+    ) -> "ADMMState":
+        """Uniform-random initialization of all five families in [low, high)."""
+        if not low < high:
+            raise ValueError(f"need low < high, got [{low}, {high})")
+        rng = default_rng(seed)
+        for arr in (self.x, self.m, self.u, self.n):
+            arr[:] = rng.uniform(low, high, size=arr.shape)
+        self.z[:] = rng.uniform(low, high, size=self.z.shape)
+        self.iteration = 0
+        return self
+
+    def init_zeros(self) -> "ADMMState":
+        """All-zeros initialization (useful for deterministic tests)."""
+        for arr in (self.x, self.m, self.u, self.n, self.z):
+            arr.fill(0.0)
+        self.iteration = 0
+        return self
+
+    def init_from_z(self, z_flat: np.ndarray) -> "ADMMState":
+        """Warm start: seed every family consistently from a z estimate.
+
+        Mirrors the paper's real-time-MPC usage — "run a few more ADMM
+        iterations ... starting from the ADMM solution of the previous
+        cycle".  Sets ``z`` to the given value, broadcasts it along edges
+        into ``x, m, n`` and zeroes the dual ``u``.
+        """
+        z_flat = np.asarray(z_flat, dtype=np.float64)
+        if z_flat.shape != (self.graph.z_size,):
+            raise ValueError(
+                f"z must have shape ({self.graph.z_size},), got {z_flat.shape}"
+            )
+        self.z[:] = z_flat
+        broadcast = z_flat[self.graph.flat_edge_to_z]
+        self.x[:] = broadcast
+        self.m[:] = broadcast
+        self.n[:] = broadcast
+        self.u.fill(0.0)
+        self.iteration = 0
+        return self
+
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "ADMMState":
+        """Deep copy (graph shared, arrays duplicated)."""
+        other = ADMMState(self.graph)
+        other.x = self.x.copy()
+        other.m = self.m.copy()
+        other.u = self.u.copy()
+        other.n = self.n.copy()
+        other.z = self.z.copy()
+        other.rho = self.rho.copy()
+        other.alpha = self.alpha.copy()
+        other.weights = None if self.weights is None else self.weights.copy()
+        other.iteration = self.iteration
+        other._rho_slots = None
+        other._alpha_slots = None
+        other._rho_den = None
+        return other
+
+    def solution(self) -> list[np.ndarray]:
+        """Per-variable solution vectors read from z (the paper's read-out)."""
+        return self.graph.read_solution(self.z)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ADMMState(iter={self.iteration}, edge_size={self.x.size}, "
+            f"z_size={self.z.size})"
+        )

@@ -1,0 +1,97 @@
+"""Stopping criteria for the ADMM loop ("while !stopping criteria do").
+
+The paper runs "a fixed number of iterations, or [until] a desired accuracy
+is achieved"; both forms are provided, plus composition.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.residuals import Residuals
+
+
+class StoppingCriterion(abc.ABC):
+    """Decides whether the iteration loop should stop.
+
+    ``check`` is called after every residual evaluation; criteria that don't
+    need residuals may ignore the argument.
+    """
+
+    @abc.abstractmethod
+    def check(self, residuals: Residuals) -> bool:
+        """Return True to stop."""
+
+    def reset(self) -> None:
+        """Clear internal state before a new solve (default: nothing)."""
+
+
+@dataclass
+class MaxIterations(StoppingCriterion):
+    """Stop after a fixed iteration count (the paper's benchmark mode)."""
+
+    max_iterations: int
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 0:
+            raise ValueError(
+                f"max_iterations must be non-negative, got {self.max_iterations}"
+            )
+
+    def check(self, residuals: Residuals) -> bool:
+        return residuals.iteration >= self.max_iterations
+
+
+class ResidualTolerance(StoppingCriterion):
+    """Stop when both primal and dual residuals fall under their thresholds."""
+
+    def check(self, residuals: Residuals) -> bool:
+        return residuals.converged
+
+
+class StallDetection(StoppingCriterion):
+    """Stop when the primal residual has stopped improving.
+
+    Guards long non-convex runs (e.g. packing) against spinning forever: if
+    the best primal residual hasn't improved by ``rel_improvement`` over the
+    last ``patience`` checks, stop.
+    """
+
+    def __init__(self, patience: int = 20, rel_improvement: float = 1e-3) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.rel_improvement = rel_improvement
+        self._best = float("inf")
+        self._since_best = 0
+
+    def reset(self) -> None:
+        self._best = float("inf")
+        self._since_best = 0
+
+    def check(self, residuals: Residuals) -> bool:
+        if residuals.primal < self._best * (1.0 - self.rel_improvement):
+            self._best = residuals.primal
+            self._since_best = 0
+            return False
+        self._since_best += 1
+        return self._since_best >= self.patience
+
+
+class AnyOf(StoppingCriterion):
+    """Stop when any sub-criterion fires (e.g. tolerance OR iteration cap)."""
+
+    def __init__(self, *criteria: StoppingCriterion) -> None:
+        if not criteria:
+            raise ValueError("AnyOf needs at least one criterion")
+        self.criteria = criteria
+
+    def reset(self) -> None:
+        for c in self.criteria:
+            c.reset()
+
+    def check(self, residuals: Residuals) -> bool:
+        # Evaluate all (not short-circuit) so stateful criteria keep counting.
+        fired = [c.check(residuals) for c in self.criteria]
+        return any(fired)

@@ -1,0 +1,239 @@
+"""The five update kernels of Algorithm 2, defined once, scheduled anywhere.
+
+Every backend executes the same math from this module:
+
+* **per-element** functions (`x_update_factor`, `m_update_edge`, …) — the
+  reference semantics, one graph element at a time.  The serial backend is a
+  plain Python loop over them (the "serial optimized C" role); the process
+  backend partitions the element ranges over workers.
+* **whole-array** functions (`x_update`, `m_update`, …) — vectorized NumPy
+  forms, each a single batched operation over all elements of a kind.  This
+  is the CUDA-kernel analog used by the vectorized backend.
+* **range** functions (`m_update_range`, …) — the whole-array forms
+  restricted to a contiguous chunk, used by the threaded backend (the
+  OpenMP ``parallel for`` analog: one chunk per worker, barrier between
+  kernels).
+
+Update math (paper Algorithm 2):
+
+    x(a,∂a) ← Prox_{f_a, ρ}(n(a,∂a))          for each factor a
+    m(a,b)  ← x(a,b) + u(a,b)                 for each edge
+    z_b     ← Σ_∂b ρ m / Σ_∂b ρ               for each variable b
+    u(a,b)  ← u(a,b) + α (x(a,b) − z_b)       for each edge
+    n(a,b)  ← z_b − u(a,b)                    for each edge
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.factor_graph import FactorGraph, FactorGroup
+from repro.core.state import ADMMState
+
+# --------------------------------------------------------------------- #
+# Whole-array (vectorized) kernels                                       #
+# --------------------------------------------------------------------- #
+
+
+def x_update(graph: FactorGraph, state: ADMMState) -> None:
+    """x-update over every factor, one ``prox_batch`` call per group."""
+    for g in graph.groups:
+        x_update_group(graph, state, g)
+
+
+def x_update_group(graph: FactorGraph, state: ADMMState, group: FactorGroup) -> None:
+    """x-update for one factor group (a single batched prox evaluation)."""
+    n_rows = group.take_slots(state.n)
+    rho_rows = group.take_edge_values(state.rho)
+    x_rows = group.prox.prox_batch(n_rows, rho_rows, group.params)
+    x_rows = np.asarray(x_rows, dtype=np.float64)
+    if x_rows.shape != (group.size, group.slot_count):
+        raise ValueError(
+            f"prox_batch of {getattr(group.prox, 'name', group.prox)} returned "
+            f"shape {x_rows.shape}, expected {(group.size, group.slot_count)}"
+        )
+    group.put_slots(state.x, x_rows)
+
+
+def m_update(graph: FactorGraph, state: ADMMState) -> None:
+    """m ← x + u, in place over the whole edge array."""
+    np.add(state.x, state.u, out=state.m)
+
+
+def z_update(graph: FactorGraph, state: ADMMState) -> None:
+    """z_b ← ρ-weighted average of incoming m messages (two sparse matvecs).
+
+    Isolated variables (degree 0) keep their previous value.
+    """
+    num = graph.scatter_matrix @ (state.rho_slots * state.m)
+    den = state.rho_den
+    np.divide(num, den, out=state.z, where=den > 0.0)
+
+
+def u_update(graph: FactorGraph, state: ADMMState) -> None:
+    """u ← u + α (x − z_b), gathering z through the edge→z map."""
+    state.u += state.alpha_slots * (state.x - state.z[graph.flat_edge_to_z])
+
+
+def n_update(graph: FactorGraph, state: ADMMState) -> None:
+    """n ← z_b − u, gathering z through the edge→z map."""
+    np.subtract(state.z[graph.flat_edge_to_z], state.u, out=state.n)
+
+
+#: The five kernels in Algorithm-2 execution order.
+VECTOR_KERNELS = (
+    ("x", x_update),
+    ("m", m_update),
+    ("z", z_update),
+    ("u", u_update),
+    ("n", n_update),
+)
+
+
+def run_iteration(graph: FactorGraph, state: ADMMState) -> None:
+    """One full Algorithm-2 sweep with the vectorized kernels."""
+    for _, kernel in VECTOR_KERNELS:
+        kernel(graph, state)
+    state.iteration += 1
+
+
+# --------------------------------------------------------------------- #
+# Per-element (reference) kernels                                        #
+# --------------------------------------------------------------------- #
+
+
+def x_update_factor(graph: FactorGraph, state: ADMMState, a: int) -> None:
+    """x-update of a single factor ``a`` via the scalar prox path."""
+    spec = graph.factors[a]
+    sl = graph.factor_slots(a)
+    esl = graph.factor_edges(a)
+    x = spec.prox.prox(state.n[sl], state.rho[esl], spec.params)
+    x = np.asarray(x, dtype=np.float64)
+    expected = sl.stop - sl.start
+    if x.shape != (expected,):
+        raise ValueError(
+            f"prox of factor {a} returned shape {x.shape}, expected ({expected},)"
+        )
+    state.x[sl] = x
+
+
+def m_update_edge(graph: FactorGraph, state: ADMMState, e: int) -> None:
+    """m-update of a single edge ``e``."""
+    sl = graph.edge_slots(e)
+    state.m[sl] = state.x[sl] + state.u[sl]
+
+
+def z_update_var(graph: FactorGraph, state: ADMMState, b: int) -> None:
+    """z-update of a single variable ``b`` (weighted average over ∂b)."""
+    edges = graph.edges_of_var(b)
+    if edges.size == 0:
+        return
+    zsl = graph.var_slots(b)
+    num = np.zeros(zsl.stop - zsl.start)
+    den = 0.0
+    for e in edges:
+        sl = graph.edge_slots(e)
+        num += state.rho[e] * state.m[sl]
+        den += state.rho[e]
+    state.z[zsl] = num / den
+
+
+def u_update_edge(graph: FactorGraph, state: ADMMState, e: int) -> None:
+    """u-update of a single edge ``e``."""
+    sl = graph.edge_slots(e)
+    b = graph.edge_var[e]
+    state.u[sl] += state.alpha[e] * (state.x[sl] - state.z[graph.var_slots(b)])
+
+
+def n_update_edge(graph: FactorGraph, state: ADMMState, e: int) -> None:
+    """n-update of a single edge ``e``."""
+    sl = graph.edge_slots(e)
+    b = graph.edge_var[e]
+    state.n[sl] = state.z[graph.var_slots(b)] - state.u[sl]
+
+
+def run_iteration_serial(graph: FactorGraph, state: ADMMState) -> None:
+    """One full Algorithm-2 sweep, element by element (reference semantics)."""
+    for a in range(graph.num_factors):
+        x_update_factor(graph, state, a)
+    for e in range(graph.num_edges):
+        m_update_edge(graph, state, e)
+    for b in range(graph.num_vars):
+        z_update_var(graph, state, b)
+    for e in range(graph.num_edges):
+        u_update_edge(graph, state, e)
+    for e in range(graph.num_edges):
+        n_update_edge(graph, state, e)
+    state.iteration += 1
+
+
+# --------------------------------------------------------------------- #
+# Range (chunked) kernels for the threaded backend                       #
+# --------------------------------------------------------------------- #
+
+
+def x_update_group_range(
+    graph: FactorGraph,
+    state: ADMMState,
+    group: FactorGroup,
+    r0: int,
+    r1: int,
+) -> None:
+    """x-update of rows [r0, r1) of one factor group."""
+    if r0 >= r1:
+        return
+    if group.contiguous:
+        L = group.slot_count
+        s0 = group.slot_start + r0 * L
+        s1 = group.slot_start + r1 * L
+        n_rows = state.n[s0:s1].reshape(r1 - r0, L)
+    else:
+        n_rows = state.n[group.gather_slots[r0:r1]]
+    rho_rows = state.rho[group.gather_edges[r0:r1]]
+    params = {k: v[r0:r1] for k, v in group.params.items()}
+    x_rows = np.asarray(
+        group.prox.prox_batch(n_rows, rho_rows, params), dtype=np.float64
+    )
+    if group.contiguous:
+        state.x[s0:s1] = x_rows.reshape(-1)
+    else:
+        state.x[group.gather_slots[r0:r1].reshape(-1)] = x_rows.reshape(-1)
+
+
+def m_update_range(graph: FactorGraph, state: ADMMState, s0: int, s1: int) -> None:
+    """m-update restricted to flat slots [s0, s1)."""
+    np.add(state.x[s0:s1], state.u[s0:s1], out=state.m[s0:s1])
+
+
+def weighted_m_range(
+    graph: FactorGraph, state: ADMMState, out: np.ndarray, s0: int, s1: int
+) -> None:
+    """Scratch stage of the chunked z-update: out[s0:s1] = ρ ⊙ m."""
+    np.multiply(state.rho_slots[s0:s1], state.m[s0:s1], out=out[s0:s1])
+
+
+def z_update_range(
+    graph: FactorGraph,
+    state: ADMMState,
+    weighted: np.ndarray,
+    z0: int,
+    z1: int,
+) -> None:
+    """z-update restricted to z slots [z0, z1) (CSR row-slice matvec)."""
+    if z0 >= z1:
+        return
+    num = graph.scatter_matrix[z0:z1] @ weighted
+    den = state.rho_den[z0:z1]
+    np.divide(num, den, out=state.z[z0:z1], where=den > 0.0)
+
+
+def u_update_range(graph: FactorGraph, state: ADMMState, s0: int, s1: int) -> None:
+    """u-update restricted to flat slots [s0, s1)."""
+    zmap = graph.flat_edge_to_z[s0:s1]
+    state.u[s0:s1] += state.alpha_slots[s0:s1] * (state.x[s0:s1] - state.z[zmap])
+
+
+def n_update_range(graph: FactorGraph, state: ADMMState, s0: int, s1: int) -> None:
+    """n-update restricted to flat slots [s0, s1)."""
+    zmap = graph.flat_edge_to_z[s0:s1]
+    np.subtract(state.z[zmap], state.u[s0:s1], out=state.n[s0:s1])

@@ -1,0 +1,109 @@
+"""SIMT GPU and multicore CPU performance-model simulators."""
+
+from repro.gpusim.device import (
+    CPUSpec,
+    DeviceSpec,
+    OPTERON_6300,
+    TESLA_K40,
+    TITAN_X,
+)
+from repro.gpusim.kernel import COALESCING, KernelTiming, KernelWorkload
+from repro.gpusim.simt import (
+    assign_blocks,
+    best_ntb,
+    serial_time,
+    simulate_kernel,
+    warp_times,
+)
+from repro.gpusim.workloads import (
+    CostModel,
+    GPUSimResult,
+    admm_workloads,
+    simulate_admm_gpu,
+)
+from repro.gpusim.cpumodel import (
+    CPUSimResult,
+    LoopTiming,
+    simulate_admm_cpu,
+    simulate_parallel_loop,
+    speedup_vs_cores,
+)
+from repro.gpusim.calibrate import (
+    measure_kernel_seconds,
+    measured_fractions,
+    scale_workloads_to_measurements,
+)
+from repro.gpusim.synthetic import (
+    FactorFamily,
+    VariableFamily,
+    mpc_families,
+    mpc_workloads,
+    packing_families,
+    packing_workloads,
+    svm_families,
+    svm_workloads,
+    synthetic_workloads,
+)
+from repro.gpusim.multidevice import (
+    ETHERNET_10G,
+    PCIE_GEN3,
+    Interconnect,
+    MultiDeviceResult,
+    scaling_curve,
+    shard_workload,
+    simulate_multi_gpu,
+)
+from repro.gpusim.precision import (
+    K40_FP32,
+    TITANX_FP32,
+    PrecisionProfile,
+    with_precision,
+)
+
+__all__ = [
+    "CPUSpec",
+    "DeviceSpec",
+    "OPTERON_6300",
+    "TESLA_K40",
+    "TITAN_X",
+    "COALESCING",
+    "KernelTiming",
+    "KernelWorkload",
+    "assign_blocks",
+    "best_ntb",
+    "serial_time",
+    "simulate_kernel",
+    "warp_times",
+    "CostModel",
+    "GPUSimResult",
+    "admm_workloads",
+    "simulate_admm_gpu",
+    "CPUSimResult",
+    "LoopTiming",
+    "simulate_admm_cpu",
+    "simulate_parallel_loop",
+    "speedup_vs_cores",
+    "measure_kernel_seconds",
+    "measured_fractions",
+    "scale_workloads_to_measurements",
+    "FactorFamily",
+    "VariableFamily",
+    "mpc_families",
+    "mpc_workloads",
+    "packing_families",
+    "packing_workloads",
+    "svm_families",
+    "svm_workloads",
+    "synthetic_workloads",
+    "ETHERNET_10G",
+    "PCIE_GEN3",
+    "Interconnect",
+    "MultiDeviceResult",
+    "scaling_curve",
+    "shard_workload",
+    "simulate_multi_gpu",
+    "K40_FP32",
+    "TITANX_FP32",
+    "PrecisionProfile",
+    "with_precision",
+]

@@ -1,0 +1,74 @@
+"""Calibration: anchor the performance models to measured kernel times.
+
+The simulators' *shapes* come from scheduling mechanics; their absolute
+scales come from a nominal lane-cost model.  For experiments that compare
+kernels against each other (time fractions, per-update speedups) the
+relative per-kernel weights matter, so this module measures real per-kernel
+seconds on this machine (via :class:`KernelTimers`) and rescales each
+simulated workload so the serial model reproduces the measured ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.core.state import ADMMState
+from repro.graph.factor_graph import FactorGraph
+from repro.gpusim.device import CPUSpec
+from repro.gpusim.kernel import KernelWorkload
+from repro.utils.timing import UPDATE_KINDS, KernelTimers
+
+
+def measure_kernel_seconds(
+    graph: FactorGraph,
+    backend: Backend,
+    iterations: int = 10,
+    rho: float = 2.0,
+    seed: int | None = None,
+) -> dict[str, float]:
+    """Measured wall seconds per kernel for one iteration (averaged)."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    state = ADMMState(graph, rho=rho).init_random(0.1, 0.9, seed=seed)
+    timers = KernelTimers()
+    backend.prepare(graph)
+    backend.run(graph, state, iterations, timers)
+    return {k: timers[k].elapsed / iterations for k in UPDATE_KINDS}
+
+
+def scale_workloads_to_measurements(
+    workloads: dict[str, KernelWorkload],
+    measured_seconds: dict[str, float],
+    reference: CPUSpec,
+) -> dict[str, KernelWorkload]:
+    """Rescale each kernel's cycles so the 1-core model hits the measurement.
+
+    The scaling is per kernel: cycles are multiplied so that the *compute*
+    term ``total_cycles / (clock × efficiency)`` equals the measured
+    seconds.  Bytes are left unchanged (traffic is structural).  Kernels
+    measured at 0 s (too fast to time) keep their nominal costs.
+    """
+    eff_clock = reference.clock_hz * reference.serial_efficiency
+    out: dict[str, KernelWorkload] = {}
+    for k, w in workloads.items():
+        meas = measured_seconds.get(k, 0.0)
+        if meas <= 0.0 or w.total_cycles <= 0.0:
+            out[k] = w
+            continue
+        scale = (meas * eff_clock) / w.total_cycles
+        out[k] = KernelWorkload(
+            name=w.name,
+            cycles=w.cycles * scale,
+            bytes_per_item=w.bytes_per_item,
+            access=w.access,
+        )
+    return out
+
+
+def measured_fractions(measured_seconds: dict[str, float]) -> dict[str, float]:
+    """Per-kernel share of one measured iteration (paper's "x+z take 71%")."""
+    total = sum(measured_seconds.values())
+    if total <= 0:
+        return {k: 0.0 for k in measured_seconds}
+    return {k: v / total for k, v in measured_seconds.items()}

@@ -1,0 +1,147 @@
+"""Multicore CPU performance model (Figures 8/11/14-right mechanism).
+
+Each ADMM kernel is a fork-join parallel loop: per-core compute shrinks as
+``1/cores`` (up to chunk imbalance), but two terms do not —
+
+* the shared memory-bandwidth ceiling (all cores drain one memory bus), and
+* synchronization overhead, which *grows* with the core count.
+
+Their interplay produces the paper's observed saturation (Fig 8-right) and
+the eventual decline where "as we add more cores, the performance actually
+gets hurt" (Fig 11-right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.partition import balanced_partition, chunk_loads
+from repro.gpusim.device import CPUSpec
+from repro.gpusim.kernel import KernelWorkload
+
+
+@dataclass(frozen=True)
+class LoopTiming:
+    """Simulated timing of one parallel loop on ``cores`` cores."""
+
+    name: str
+    time_s: float
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    cores: int
+    load_imbalance: float  # max chunk / mean chunk
+
+
+def simulate_parallel_loop(
+    cpu: CPUSpec,
+    workload: KernelWorkload,
+    cores: int,
+    balance: str = "contiguous",
+) -> LoopTiming:
+    """Simulate one fork-join loop over the workload's items.
+
+    ``balance="contiguous"`` splits items into equal contiguous chunks (the
+    paper's ``AssignThreads``); ``balance="lpt"`` bin-packs by cost (the
+    conclusion's rebalancing scheduler).
+    """
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    if cores > cpu.cores:
+        raise ValueError(f"requested {cores} cores, device has {cpu.cores}")
+    eff_clock = cpu.clock_hz * cpu.serial_efficiency
+    if workload.n_items == 0:
+        return LoopTiming(workload.name, 0.0, 0.0, 0.0, 0.0, cores, 1.0)
+    # Streaming bandwidth grows with cores until the shared bus saturates.
+    bw = min(cores * cpu.core_mem_bandwidth_gbs, cpu.mem_bandwidth_gbs) * 1e9
+    if cores == 1:
+        compute = workload.total_cycles / eff_clock
+        mem = workload.total_bytes / bw
+        return LoopTiming(
+            workload.name, max(compute, mem), compute, mem, 0.0, cores, 1.0
+        )
+    if balance == "contiguous":
+        part = chunk_loads(workload.cycles, cores)
+    elif balance == "lpt":
+        part = balanced_partition(workload.cycles, cores)
+    else:
+        raise ValueError(f"balance must be 'contiguous' or 'lpt', got {balance!r}")
+    compute = part.makespan / eff_clock
+    mem = workload.total_bytes / bw
+    overhead = (cpu.fork_join_us + cpu.barrier_us_per_core * cores) * 1e-6
+    return LoopTiming(
+        name=workload.name,
+        time_s=max(compute, mem) + overhead,
+        compute_s=compute,
+        memory_s=mem,
+        overhead_s=overhead,
+        cores=cores,
+        load_imbalance=part.imbalance,
+    )
+
+
+@dataclass(frozen=True)
+class CPUSimResult:
+    """Simulated multicore iteration vs. the 1-core baseline."""
+
+    loops: dict[str, LoopTiming]
+    serial_seconds: dict[str, float]
+
+    @property
+    def iteration_s(self) -> float:
+        return sum(t.time_s for t in self.loops.values())
+
+    @property
+    def serial_iteration_s(self) -> float:
+        return sum(self.serial_seconds.values())
+
+    @property
+    def combined_speedup(self) -> float:
+        t = self.iteration_s
+        return self.serial_iteration_s / t if t > 0 else float("inf")
+
+    def speedups(self) -> dict[str, float]:
+        return {
+            k: (self.serial_seconds[k] / t.time_s if t.time_s > 0 else float("inf"))
+            for k, t in self.loops.items()
+        }
+
+    def fractions(self) -> dict[str, float]:
+        total = self.iteration_s
+        if total == 0:
+            return {k: 0.0 for k in self.loops}
+        return {k: t.time_s / total for k, t in self.loops.items()}
+
+
+def simulate_admm_cpu(
+    cpu: CPUSpec,
+    workloads: dict[str, KernelWorkload],
+    cores: int,
+    balance: str = "contiguous",
+) -> CPUSimResult:
+    """Simulate one five-loop ADMM iteration on ``cores`` cores."""
+    loops = {
+        k: simulate_parallel_loop(cpu, w, cores, balance)
+        for k, w in workloads.items()
+    }
+    serial = {
+        k: simulate_parallel_loop(cpu, w, 1).time_s for k, w in workloads.items()
+    }
+    return CPUSimResult(loops=loops, serial_seconds=serial)
+
+
+def speedup_vs_cores(
+    cpu: CPUSpec,
+    workloads: dict[str, KernelWorkload],
+    core_counts: list[int] | None = None,
+    balance: str = "contiguous",
+) -> dict[int, float]:
+    """Combined-speedup curve over core counts (Fig 8/11/14-right)."""
+    if core_counts is None:
+        core_counts = [c for c in (1, 2, 4, 8, 12, 16, 20, 24, 28, 32) if c <= cpu.cores]
+    return {
+        c: simulate_admm_cpu(cpu, workloads, c, balance).combined_speedup
+        for c in core_counts
+    }

@@ -1,0 +1,198 @@
+"""Device descriptions for the SIMT and multicore performance models.
+
+The simulators are *mechanistic*: they execute a schedule (blocks onto SMs,
+warps in lock step, chunks onto cores) over per-element costs and report
+times.  Device constants live here; :data:`TESLA_K40` matches the paper's
+GPU, :data:`OPTERON_6300` its 32-core host (2 × 16-core AMD Opteron Abu
+Dhabi at 2.8 GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A CUDA-style SIMT device.
+
+    Attributes
+    ----------
+    num_sms:
+        Streaming multiprocessors; blocks are list-scheduled onto them.
+    cores_per_sm:
+        Scalar lanes per SM; ``cores_per_sm / warp_size`` warps execute
+        concurrently per SM (the throughput denominator).
+    warp_size:
+        Lanes per warp; a warp's time is the max over its active lanes
+        (lock-step divergence).
+    clock_ghz:
+        Core clock; converts cycles to seconds.
+    max_threads_per_block:
+        Upper limit for ``ntb`` (CUDA: 1024).
+    mem_bandwidth_gbs:
+        Global-memory bandwidth; the roofline memory bound.
+    launch_overhead_us:
+        Fixed per-kernel-launch cost (five launches per ADMM iteration).
+    block_overhead_cycles:
+        Per-block dispatch cost — the reason ntb=1 is worse than ntb=32
+        even though both waste no lanes beyond the warp quantum.
+    issue_lanes_per_sm:
+        Effective lanes an SM sustains per cycle for the double-precision,
+        branch/sqrt-heavy proximal code the engine runs.  Kepler SMs carry
+        192 single-precision cores but issue DP/SFU-heavy warps at a far
+        lower rate (64 DP units, reduced issue slots, latency-bound
+        threads); 32 — one warp instruction per cycle — models that
+        regime.  This is the lever that makes complex POs "hard to speed
+        up" on the GPU, as the paper observes for the x-update.
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int
+    clock_ghz: float
+    max_threads_per_block: int
+    mem_bandwidth_gbs: float
+    launch_overhead_us: float
+    block_overhead_cycles: float
+    issue_lanes_per_sm: int = 32
+    #: Resident-block / resident-thread limits per SM (occupancy caps).
+    max_blocks_per_sm: int = 16
+    max_threads_per_sm: int = 2048
+    #: Per-SM cache serving the resident threads' working set.  When the
+    #: resident working set overflows it, data reuse is lost and effective
+    #: memory bandwidth degrades — the mechanism that makes very large
+    #: thread blocks slow for fat work items (and hence ntb = 32 the sweet
+    #: spot the paper lands on, after Volkov's "better performance at lower
+    #: occupancy").
+    l1_cache_kb: float = 48.0
+    #: Per-thread cache footprint cap: a thread that *streams* its data
+    #: (e.g. the z-update walking its variable's messages) only ever needs a
+    #: few cache lines resident, however many bytes it touches in total.
+    stream_window_bytes: float = 256.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "num_sms",
+            "cores_per_sm",
+            "warp_size",
+            "max_threads_per_block",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        check_positive(self.clock_ghz, "clock_ghz")
+        check_positive(self.mem_bandwidth_gbs, "mem_bandwidth_gbs")
+        if self.launch_overhead_us < 0 or self.block_overhead_cycles < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.cores_per_sm % self.warp_size != 0:
+            raise ValueError("cores_per_sm must be a multiple of warp_size")
+        if self.issue_lanes_per_sm < 1:
+            raise ValueError("issue_lanes_per_sm must be >= 1")
+        if self.max_blocks_per_sm < 1 or self.max_threads_per_sm < 1:
+            raise ValueError("occupancy limits must be >= 1")
+        check_positive(self.l1_cache_kb, "l1_cache_kb")
+
+    @property
+    def warp_slots_per_sm(self) -> float:
+        """Warps an SM sustains concurrently for this code class."""
+        return self.issue_lanes_per_sm / self.warp_size
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+
+#: The paper's GPU: NVIDIA Tesla K40 (Kepler GK110B).
+TESLA_K40 = DeviceSpec(
+    name="Tesla K40",
+    num_sms=15,
+    cores_per_sm=192,
+    warp_size=32,
+    clock_ghz=0.745,
+    max_threads_per_block=1024,
+    mem_bandwidth_gbs=288.0,
+    launch_overhead_us=5.0,
+    block_overhead_cycles=25.0,
+    issue_lanes_per_sm=32,
+    max_blocks_per_sm=16,
+    max_threads_per_sm=2048,
+    l1_cache_kb=48.0,
+)
+
+#: A newer-generation card for the conclusion's "test on different GPUs".
+TITAN_X = DeviceSpec(
+    name="GeForce GTX TITAN X",
+    num_sms=24,
+    cores_per_sm=128,
+    warp_size=32,
+    clock_ghz=1.0,
+    max_threads_per_block=1024,
+    mem_bandwidth_gbs=336.5,
+    launch_overhead_us=5.0,
+    block_overhead_cycles=25.0,
+    issue_lanes_per_sm=48,
+    max_blocks_per_sm=32,
+    max_threads_per_sm=2048,
+    l1_cache_kb=96.0,
+)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A shared-memory multicore host for the multicore model.
+
+    ``fork_join_us`` is the fixed cost of opening/closing one parallel loop
+    (five per ADMM iteration); ``barrier_us_per_core`` grows the
+    synchronization cost with the core count — the mechanism behind the
+    paper's observation that adding cores can *hurt* (Fig 11-right).
+    ``serial_efficiency`` scales per-item cycles when run on one core: an
+    out-of-order 2.8 GHz core with -O3 retires the same complex scalar
+    work in far fewer cycles than one in-order GPU lane (the paper's
+    baseline is "a serial, *optimized* C-version").
+    ``core_mem_bandwidth_gbs`` is what a *single* core can stream — the
+    serial bound for the memory-dominated m/u/n kernels; the full
+    ``mem_bandwidth_gbs`` is shared by all cores in parallel loops.
+    """
+
+    name: str
+    cores: int
+    clock_ghz: float
+    mem_bandwidth_gbs: float
+    fork_join_us: float
+    barrier_us_per_core: float
+    serial_efficiency: float = 8.0
+    core_mem_bandwidth_gbs: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        check_positive(self.clock_ghz, "clock_ghz")
+        check_positive(self.mem_bandwidth_gbs, "mem_bandwidth_gbs")
+        check_positive(self.serial_efficiency, "serial_efficiency")
+        check_positive(self.core_mem_bandwidth_gbs, "core_mem_bandwidth_gbs")
+        if self.fork_join_us < 0 or self.barrier_us_per_core < 0:
+            raise ValueError("overheads must be non-negative")
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+
+#: The paper's host: 2 × AMD Opteron 6300 "Abu Dhabi" (32 cores, 2.8 GHz).
+OPTERON_6300 = CPUSpec(
+    name="AMD Opteron 6300 x2",
+    cores=32,
+    clock_ghz=2.8,
+    mem_bandwidth_gbs=51.2,
+    fork_join_us=8.0,
+    barrier_us_per_core=1.5,
+    serial_efficiency=8.0,
+    core_mem_bandwidth_gbs=8.0,
+)

@@ -1,0 +1,90 @@
+"""Kernel workload descriptions for the performance models.
+
+A :class:`KernelWorkload` is what a CUDA kernel looks like to the scheduler:
+one work item per graph element, each with a compute cost (cycles on one
+lane) and a memory traffic volume (bytes), plus a memory-access pattern
+summarized as a coalescing efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Coalescing efficiencies of the access patterns the engine produces.
+#: Contiguous: consecutive threads touch consecutive addresses (the paper's
+#: "ideal scenario ... blocks of variables in sequence").  Gathered: threads
+#: follow an index map (the paper's "less ideal scenario ... non-consecutive
+#: memory positions").  Scattered: fully random per-lane transactions.
+COALESCING = {
+    "contiguous": 1.0,
+    "mixed": 0.6,
+    "gathered": 0.35,
+    "scattered": 1.0 / 8.0,
+}
+
+
+@dataclass(frozen=True)
+class KernelWorkload:
+    """One kernel launch's worth of independent work items."""
+
+    name: str
+    cycles: np.ndarray  # (n_items,) per-item compute cost on one lane
+    bytes_per_item: np.ndarray  # (n_items,) global-memory traffic
+    access: str = "contiguous"  # key into COALESCING
+
+    def __post_init__(self) -> None:
+        cycles = np.asarray(self.cycles, dtype=np.float64)
+        bpi = np.asarray(self.bytes_per_item, dtype=np.float64)
+        object.__setattr__(self, "cycles", cycles)
+        object.__setattr__(self, "bytes_per_item", bpi)
+        if cycles.ndim != 1:
+            raise ValueError("cycles must be 1-D (one entry per work item)")
+        if bpi.shape != cycles.shape:
+            raise ValueError(
+                f"bytes_per_item shape {bpi.shape} != cycles shape {cycles.shape}"
+            )
+        if cycles.size and cycles.min() < 0:
+            raise ValueError("cycles must be non-negative")
+        if bpi.size and bpi.min() < 0:
+            raise ValueError("bytes_per_item must be non-negative")
+        if self.access not in COALESCING:
+            raise ValueError(
+                f"access must be one of {sorted(COALESCING)}, got {self.access!r}"
+            )
+
+    @property
+    def n_items(self) -> int:
+        return int(self.cycles.size)
+
+    @property
+    def total_cycles(self) -> float:
+        return float(self.cycles.sum())
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.bytes_per_item.sum())
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        return COALESCING[self.access]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Simulated timing of one kernel launch."""
+
+    name: str
+    time_s: float
+    compute_s: float
+    memory_s: float
+    launch_s: float
+    n_blocks: int
+    ntb: int
+    sm_imbalance: float  # max SM busy time / mean SM busy time
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates ("compute" or "memory")."""
+        return "compute" if self.compute_s >= self.memory_s else "memory"

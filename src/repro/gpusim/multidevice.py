@@ -1,0 +1,146 @@
+"""Multi-GPU execution model — the paper's future-work item 3.
+
+"Extend the code to allow the use of multiple GPUs and multiple computers —
+this is an easy extension but requires new code to be written."  This module
+models it: the factor graph is partitioned into ``num_devices`` shards
+(contiguous element ranges — the natural extension of the flat layout), each
+device runs the five kernels on its shard, and between the x/m phase and the
+z phase the devices exchange boundary messages over an interconnect.
+
+Cut-size model: a contiguous shard of a graph with ``cut_fraction`` of its
+edges crossing shard boundaries must ship ``x/m`` values for those edges to
+the device owning the variable, and receive ``z`` values back — two
+transfers of ``cut_edges × dim × 8`` bytes per iteration over a link of
+``link_bandwidth_gbs`` with ``link_latency_us`` per message.
+
+The headline question it answers: at what graph size and cut fraction does
+a second GPU pay off?  (Same wave/overhead mechanics as the single-device
+model; communication is the new term.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.device import CPUSpec, DeviceSpec
+from repro.gpusim.kernel import KernelWorkload
+from repro.gpusim.simt import serial_time, simulate_kernel
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Device-to-device link (PCIe-gen3-x16-like defaults)."""
+
+    bandwidth_gbs: float = 12.0
+    latency_us: float = 10.0
+
+    def transfer_s(self, bytes_: float) -> float:
+        if bytes_ <= 0:
+            return 0.0
+        return self.latency_us * 1e-6 + bytes_ / (self.bandwidth_gbs * 1e9)
+
+
+#: Same-box GPUs over PCIe gen3 x16.
+PCIE_GEN3 = Interconnect(bandwidth_gbs=12.0, latency_us=10.0)
+#: "Multiple computers" (future-work item 3's second half): datacenter
+#: 10-gigabit Ethernet — two orders of magnitude more latency, an order
+#: less bandwidth.  The crossover where a second *machine* pays off sits
+#: correspondingly further out.
+ETHERNET_10G = Interconnect(bandwidth_gbs=1.25, latency_us=200.0)
+
+
+def shard_workload(workload: KernelWorkload, num_devices: int) -> list[KernelWorkload]:
+    """Split a workload into contiguous per-device shards."""
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    shards = []
+    bounds = np.linspace(0, workload.n_items, num_devices + 1).astype(int)
+    for d in range(num_devices):
+        s, t = bounds[d], bounds[d + 1]
+        shards.append(
+            KernelWorkload(
+                f"{workload.name}[{d}]",
+                workload.cycles[s:t],
+                workload.bytes_per_item[s:t],
+                access=workload.access,
+            )
+        )
+    return shards
+
+
+@dataclass(frozen=True)
+class MultiDeviceResult:
+    """One simulated multi-device iteration."""
+
+    num_devices: int
+    compute_s: float  # slowest device's kernel time, summed over kernels
+    comm_s: float  # boundary exchange per iteration
+    iteration_s: float
+    serial_iteration_s: float
+
+    @property
+    def combined_speedup(self) -> float:
+        return (
+            self.serial_iteration_s / self.iteration_s
+            if self.iteration_s > 0
+            else float("inf")
+        )
+
+
+def simulate_multi_gpu(
+    device: DeviceSpec,
+    host: CPUSpec,
+    workloads: dict[str, KernelWorkload],
+    num_devices: int,
+    cut_fraction: float = 0.05,
+    link: Interconnect | None = None,
+    ntb: int = 32,
+) -> MultiDeviceResult:
+    """Simulate one ADMM iteration sharded over ``num_devices`` GPUs.
+
+    ``cut_fraction`` is the fraction of edges whose factor and variable land
+    on different devices (0 = perfectly separable decomposition).
+    """
+    if not 0.0 <= cut_fraction <= 1.0:
+        raise ValueError(f"cut_fraction must be in [0, 1], got {cut_fraction}")
+    link = link if link is not None else Interconnect()
+    compute = 0.0
+    for wl in workloads.values():
+        shard_times = [
+            simulate_kernel(device, shard, ntb).time_s
+            for shard in shard_workload(wl, num_devices)
+        ]
+        compute += max(shard_times)
+    comm = 0.0
+    if num_devices > 1:
+        edge_bytes = workloads["m"].total_bytes / 3.0  # one family's worth
+        cut_bytes = cut_fraction * edge_bytes
+        # x/m values out, z values back — serialized on the slowest link.
+        comm = 2.0 * link.transfer_s(cut_bytes)
+    serial = sum(serial_time(wl, host) for wl in workloads.values())
+    return MultiDeviceResult(
+        num_devices=num_devices,
+        compute_s=compute,
+        comm_s=comm,
+        iteration_s=compute + comm,
+        serial_iteration_s=serial,
+    )
+
+
+def scaling_curve(
+    device: DeviceSpec,
+    host: CPUSpec,
+    workloads: dict[str, KernelWorkload],
+    device_counts: tuple[int, ...] = (1, 2, 4, 8),
+    cut_fraction: float = 0.05,
+    link: Interconnect | None = None,
+) -> dict[int, MultiDeviceResult]:
+    """Speedup as GPUs are added (the future-work scaling question)."""
+    return {
+        d: simulate_multi_gpu(
+            device, host, workloads, d, cut_fraction, link
+        )
+        for d in device_counts
+    }

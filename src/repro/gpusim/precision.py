@@ -1,0 +1,51 @@
+"""Precision what-if — the paper's future-work item 5.
+
+"In many applications floating-point precision might be enough and using
+cards like TITAN X might bring additional GPU speedups."  On consumer
+Maxwell-class cards the FP32:FP64 throughput ratio is 32:1; on the K40 it
+is 3:1.  This helper rescales a workload's compute cost (and halves its
+traffic — 4-byte instead of 8-byte words) to model switching the engine to
+single precision on a given device class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.kernel import KernelWorkload
+
+
+@dataclass(frozen=True)
+class PrecisionProfile:
+    """Relative cost of FP32 vs the FP64 baseline on one device class."""
+
+    name: str
+    compute_scale: float  # cycles multiplier when moving FP64 -> FP32
+    traffic_scale: float = 0.5  # 4-byte words
+
+    def __post_init__(self) -> None:
+        if self.compute_scale <= 0 or self.traffic_scale <= 0:
+            raise ValueError("scales must be positive")
+
+
+#: Kepler Tesla (K40): FP64 runs at 1/3 FP32 rate → FP32 is ~3x cheaper.
+K40_FP32 = PrecisionProfile("K40 fp32", compute_scale=1.0 / 3.0)
+#: Maxwell GeForce (TITAN X): FP64 at 1/32 rate → FP32 is ~32x cheaper, but
+#: the FP64 baseline is what our nominal costs describe on Tesla parts, so
+#: a conservative 1/4 covers issue-rate limits on real mixed kernels.
+TITANX_FP32 = PrecisionProfile("TITAN X fp32", compute_scale=0.25)
+
+
+def with_precision(
+    workloads: dict[str, KernelWorkload], profile: PrecisionProfile
+) -> dict[str, KernelWorkload]:
+    """Return workloads rescaled for single-precision execution."""
+    return {
+        k: KernelWorkload(
+            w.name,
+            w.cycles * profile.compute_scale,
+            w.bytes_per_item * profile.traffic_scale,
+            access=w.access,
+        )
+        for k, w in workloads.items()
+    }

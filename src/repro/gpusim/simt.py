@@ -1,0 +1,178 @@
+"""SIMT execution model: blocks onto SMs, warps in lock step.
+
+Mechanism (no fitted magic — the paper's findings must *emerge*):
+
+1. Work items are packed into thread blocks of ``ntb`` consecutive items
+   (trailing lanes idle), blocks into warps of ``warp_size`` lanes.
+2. A warp executes in lock step: its time is the **max** cost over its
+   active lanes.  Heterogeneous per-item costs therefore cause divergence
+   loss; a whole warp with one expensive lane is as slow as that lane.
+   A warp with fewer than 32 active lanes still occupies a full warp slot —
+   the reason ``ntb < 32`` wastes throughput.
+3. A block's work is the sum of its warp times plus a fixed dispatch
+   overhead; blocks are scheduled onto SMs (list scheduling — each block to
+   the SM that frees up first, matching the hardware's greedy dispatcher).
+4. An SM retires ``warp_slots_per_sm`` warps concurrently: its busy time is
+   ``assigned warp-cycles / warp_slots``, floored by the longest single
+   block's critical path.  Kernel compute time = slowest SM.  Few blocks ⇒
+   idle SMs and wave-quantization tails — the reason very large ``ntb``
+   loses.
+5. Roofline memory bound: ``total bytes / (bandwidth × coalescing)``.
+   Kernel time = max(compute, memory) + launch overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.gpusim.device import CPUSpec, DeviceSpec
+from repro.gpusim.kernel import KernelTiming, KernelWorkload
+
+#: Above this block count, exact list scheduling (a Python heap loop) is
+#: replaced by round-robin assignment — indistinguishable at that scale.
+LIST_SCHEDULING_MAX_BLOCKS = 200_000
+
+
+def warp_times(
+    cycles: np.ndarray, ntb: int, warp_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack per-item cycles into warps; return (block_work, block_critical).
+
+    ``block_work[b]``     — sum of warp times of block ``b`` (warp-cycles).
+    ``block_critical[b]`` — max warp time of block ``b`` (its critical path
+    when fully overlapped).
+    """
+    n = cycles.size
+    if n == 0:
+        return np.zeros(0), np.zeros(0)
+    n_blocks = -(-n // ntb)
+    padded = np.zeros(n_blocks * ntb)
+    padded[:n] = cycles
+    per_block = padded.reshape(n_blocks, ntb)
+    warps_per_block = -(-ntb // warp_size)
+    pad_w = warps_per_block * warp_size - ntb
+    if pad_w:
+        per_block = np.pad(per_block, ((0, 0), (0, pad_w)))
+    lanes = per_block.reshape(n_blocks, warps_per_block, warp_size)
+    wt = lanes.max(axis=2)  # lock-step: warp time = slowest lane
+    return wt.sum(axis=1), wt.max(axis=1)
+
+
+def assign_blocks(
+    block_work: np.ndarray, num_sms: int
+) -> tuple[np.ndarray, float]:
+    """Schedule blocks onto SMs; return (per-SM work, max block critical…).
+
+    Exact greedy list scheduling in block order for modest block counts,
+    round-robin beyond :data:`LIST_SCHEDULING_MAX_BLOCKS`.
+    Returns per-SM total warp-cycles.
+    """
+    n_blocks = block_work.size
+    if n_blocks == 0:
+        return np.zeros(num_sms), 0.0
+    if n_blocks <= LIST_SCHEDULING_MAX_BLOCKS:
+        heap = [(0.0, s) for s in range(num_sms)]
+        heapq.heapify(heap)
+        loads = np.zeros(num_sms)
+        for w in block_work:
+            load, s = heapq.heappop(heap)
+            loads[s] = load + w
+            heapq.heappush(heap, (loads[s], s))
+        return loads, float(block_work.max())
+    sm_idx = np.arange(n_blocks) % num_sms
+    loads = np.bincount(sm_idx, weights=block_work, minlength=num_sms)
+    return loads, float(block_work.max())
+
+
+def simulate_kernel(
+    device: DeviceSpec, workload: KernelWorkload, ntb: int
+) -> KernelTiming:
+    """Simulate one kernel launch; returns its timing breakdown."""
+    if not 1 <= ntb <= device.max_threads_per_block:
+        raise ValueError(
+            f"ntb must be in [1, {device.max_threads_per_block}], got {ntb}"
+        )
+    n = workload.n_items
+    launch_s = device.launch_overhead_us * 1e-6
+    if n == 0:
+        return KernelTiming(
+            name=workload.name,
+            time_s=launch_s,
+            compute_s=0.0,
+            memory_s=0.0,
+            launch_s=launch_s,
+            n_blocks=0,
+            ntb=ntb,
+            sm_imbalance=1.0,
+        )
+    block_work, block_crit = warp_times(
+        workload.cycles, ntb, device.warp_size
+    )
+    block_work = block_work + device.block_overhead_cycles
+    loads, max_block_crit = assign_blocks(block_work, device.num_sms)
+    busy = loads / device.warp_slots_per_sm
+    sm_time_cycles = float(np.max(np.maximum(busy, 0.0)))
+    # An SM can never beat the critical path of its longest block.
+    sm_time_cycles = max(sm_time_cycles, max_block_crit)
+    compute_s = sm_time_cycles / device.clock_hz
+    # Cache-pressure factor: the resident threads' working set vs the SM
+    # cache.  Overflow loses reuse and degrades effective bandwidth — fat
+    # work items at large ntb pay here (see DeviceSpec.l1_cache_kb).
+    resident_threads = min(
+        device.max_blocks_per_sm * ntb, device.max_threads_per_sm
+    )
+    mean_bytes = workload.total_bytes / n
+    working_set = resident_threads * min(mean_bytes, device.stream_window_bytes)
+    cache_bytes = device.l1_cache_kb * 1024.0
+    cache_eff = 1.0 if working_set <= cache_bytes else max(
+        cache_bytes / working_set, 0.15
+    )
+    memory_s = workload.total_bytes / (
+        device.mem_bandwidth_gbs
+        * 1e9
+        * workload.coalescing_efficiency
+        * cache_eff
+    )
+    mean_busy = float(busy.mean()) if busy.size else 0.0
+    imbalance = float(busy.max() / mean_busy) if mean_busy > 0 else 1.0
+    return KernelTiming(
+        name=workload.name,
+        time_s=max(compute_s, memory_s) + launch_s,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        launch_s=launch_s,
+        n_blocks=int(block_work.size),
+        ntb=ntb,
+        sm_imbalance=imbalance,
+    )
+
+
+def serial_time(workload: KernelWorkload, cpu: "CPUSpec") -> float:
+    """Time for one sequential host core to retire the whole workload.
+
+    Roofline on the host side too: compute at ``clock × serial_efficiency``
+    (an out-of-order core retires complex scalar code in fewer cycles than a
+    GPU lane), memory at the single-core streaming bandwidth.  The
+    memory-dominated m/u/n kernels are bandwidth-bound even serially, which
+    is exactly why they parallelize so much better than the x-update.
+    """
+    compute = workload.total_cycles / (cpu.clock_hz * cpu.serial_efficiency)
+    memory = workload.total_bytes / (cpu.core_mem_bandwidth_gbs * 1e9)
+    return max(compute, memory)
+
+
+def best_ntb(
+    device: DeviceSpec,
+    workload: KernelWorkload,
+    candidates: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+) -> tuple[int, dict[int, KernelTiming]]:
+    """Sweep threads-per-block; return (argmin ntb, all timings)."""
+    timings: dict[int, KernelTiming] = {}
+    for ntb in candidates:
+        if ntb > device.max_threads_per_block:
+            continue
+        timings[ntb] = simulate_kernel(device, workload, ntb)
+    best = min(timings, key=lambda k: timings[k].time_s)
+    return best, timings

@@ -1,0 +1,222 @@
+"""Synthetic paper-scale workloads, built from graph-structure formulas.
+
+The performance models only need per-element cost/traffic arrays, not a
+materialized graph.  For the paper's largest instances (packing N=5000 has
+12.5M factors and 50M edges) building the real :class:`FactorGraph` costs
+minutes and gigabytes; the element populations, however, follow closed-form
+family structures (§V: "2N² − N + 2NS edges, 2N variable nodes and
+N(N−1)/2 + N + NS function nodes").  This module synthesizes the exact same
+workload arrays directly from those formulas.
+
+A test asserts that the synthetic arrays match ``admm_workloads(real
+graph)`` exactly at small sizes, so paper-scale model runs are faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.gpusim.kernel import KernelWorkload
+from repro.gpusim.workloads import CostModel
+
+_F8 = 8.0
+
+
+@dataclass(frozen=True)
+class FactorFamily:
+    """``count`` identical factors with per-edge dims ``edge_dims``."""
+
+    count: int
+    edge_dims: tuple[int, ...]
+    prox_name: str = ""
+
+    @property
+    def slots(self) -> int:
+        return int(sum(self.edge_dims))
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edge_dims)
+
+
+@dataclass(frozen=True)
+class VariableFamily:
+    """``count`` identical variables of dimension ``dim`` and degree ``degree``."""
+
+    count: int
+    dim: int
+    degree: int
+
+
+def synthetic_workloads(
+    factor_families: Sequence[FactorFamily],
+    variable_families: Sequence[VariableFamily],
+    cost: CostModel | None = None,
+) -> tuple[dict[str, KernelWorkload], int]:
+    """Build the five kernel workloads plus the total element count.
+
+    Validates the handshake identity: total factor-side edge endpoints must
+    equal total variable-side degree.
+    """
+    cost = cost if cost is not None else CostModel()
+    factor_edges = sum(f.count * f.n_edges for f in factor_families)
+    var_edges = sum(v.count * v.degree for v in variable_families)
+    if factor_edges != var_edges:
+        raise ValueError(
+            f"edge handshake mismatch: factors imply {factor_edges} edges, "
+            f"variables imply {var_edges}"
+        )
+
+    # x kernel: one item per factor.
+    x_cycles = np.concatenate(
+        [
+            np.full(
+                f.count,
+                cost.x_base + cost.x_cost_of_group(f.prox_name) * f.slots,
+            )
+            for f in factor_families
+        ]
+        or [np.zeros(0)]
+    )
+    x_bytes = np.concatenate(
+        [
+            np.full(f.count, _F8 * (2.0 * f.slots + f.n_edges))
+            for f in factor_families
+        ]
+        or [np.zeros(0)]
+    )
+
+    # Edge kernels: dims per edge, family-major then edge order within.
+    dims = np.concatenate(
+        [
+            np.tile(np.asarray(f.edge_dims, dtype=np.float64), f.count)
+            for f in factor_families
+        ]
+        or [np.zeros(0)]
+    )
+    m_cycles = cost.m_per_slot * dims
+    m_bytes = 3.0 * _F8 * dims
+    u_cycles = cost.u_per_slot * dims
+    u_bytes = 4.0 * _F8 * dims
+    n_cycles = cost.n_per_slot * dims
+    n_bytes = 3.0 * _F8 * dims
+
+    # z kernel: one item per variable.
+    z_cycles = np.concatenate(
+        [
+            np.full(v.count, cost.z_base + cost.z_per_msg_slot * v.degree * v.dim)
+            for v in variable_families
+        ]
+        or [np.zeros(0)]
+    )
+    z_bytes = np.concatenate(
+        [
+            np.full(v.count, _F8 * (v.degree * v.dim + v.degree + v.dim))
+            for v in variable_families
+        ]
+        or [np.zeros(0)]
+    )
+
+    workloads = {
+        "x": KernelWorkload("x", x_cycles, x_bytes, access="contiguous"),
+        "m": KernelWorkload("m", m_cycles, m_bytes, access="contiguous"),
+        "z": KernelWorkload("z", z_cycles, z_bytes, access="gathered"),
+        "u": KernelWorkload("u", u_cycles, u_bytes, access="mixed"),
+        "n": KernelWorkload("n", n_cycles, n_bytes, access="mixed"),
+    }
+    n_factors = sum(f.count for f in factor_families)
+    n_vars = sum(v.count for v in variable_families)
+    num_elements = n_factors + n_vars + factor_edges
+    return workloads, num_elements
+
+
+# --------------------------------------------------------------------- #
+# Paper workloads at any scale                                           #
+# --------------------------------------------------------------------- #
+
+
+def packing_families(
+    n: int, s: int = 3
+) -> tuple[list[FactorFamily], list[VariableFamily]]:
+    """§V-A triangle packing: pair/wall/radius families, center/radius vars."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    factors = [
+        FactorFamily(n * (n - 1) // 2, (2, 1, 2, 1), "packing_pair"),
+        FactorFamily(n * s, (2, 1), "packing_wall"),
+        FactorFamily(n, (1,), "packing_radius"),
+    ]
+    variables = [
+        VariableFamily(n, 2, (n - 1) + s),  # centers: pairs + walls
+        VariableFamily(n, 1, (n - 1) + s + 1),  # radii: pairs + walls + reward
+    ]
+    return factors, variables
+
+
+def mpc_families(
+    k: int, dq: int = 4, du: int = 1
+) -> tuple[list[FactorFamily], list[VariableFamily]]:
+    """§V-B MPC: cost/dynamics/init families over (q, u) nodes."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    d = dq + du
+    factors = [
+        FactorFamily(k + 1, (d,), "mpc_cost"),
+        FactorFamily(k, (d, d), "mpc_dynamics"),
+        FactorFamily(1, (d,), "mpc_initial_state"),
+    ]
+    variables = [
+        VariableFamily(1, d, 3),  # node 0: cost + dynamics + init
+        VariableFamily(max(k - 1, 0), d, 3),  # internal: cost + 2 dynamics
+        VariableFamily(1, d, 2) if k >= 1 else VariableFamily(0, d, 0),  # last
+    ]
+    return factors, variables
+
+
+def svm_families(
+    n: int, dim: int = 2
+) -> tuple[list[FactorFamily], list[VariableFamily]]:
+    """§V-C SVM: norm/slack/margin/equality families over plane+slack vars."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    d1 = dim + 1
+    factors = [
+        FactorFamily(n, (d1,), "svm_norm"),
+        FactorFamily(n, (1,), "svm_slack"),
+        FactorFamily(n, (d1, 1), "svm_margin"),
+        FactorFamily(n - 1, (d1, d1), "consensus_equal"),
+    ]
+    variables = [
+        VariableFamily(1, d1, 3),  # first plane: norm + margin + 1 equality
+        VariableFamily(n - 2, d1, 4),  # interior planes: + 2 equalities
+        VariableFamily(1, d1, 3),  # last plane
+        VariableFamily(n, 1, 2),  # slacks: slack factor + margin
+    ]
+    return factors, variables
+
+
+def packing_workloads(
+    n: int, s: int = 3, cost: CostModel | None = None
+) -> tuple[dict[str, KernelWorkload], int]:
+    """Packing kernel workloads at any N (no graph materialization)."""
+    f, v = packing_families(n, s)
+    return synthetic_workloads(f, v, cost)
+
+
+def mpc_workloads(
+    k: int, dq: int = 4, du: int = 1, cost: CostModel | None = None
+) -> tuple[dict[str, KernelWorkload], int]:
+    """MPC kernel workloads at any K."""
+    f, v = mpc_families(k, dq, du)
+    return synthetic_workloads(f, v, cost)
+
+
+def svm_workloads(
+    n: int, dim: int = 2, cost: CostModel | None = None
+) -> tuple[dict[str, KernelWorkload], int]:
+    """SVM kernel workloads at any N."""
+    f, v = svm_families(n, dim)
+    return synthetic_workloads(f, v, cost)

@@ -1,0 +1,161 @@
+"""Translate a factor graph into the five per-iteration kernel workloads.
+
+The translation is structural: per-element costs are affine in the element's
+size (slots per factor, dims per edge, messages per variable), so degree
+imbalance, group heterogeneity, and graph growth show up in the simulated
+schedule exactly the way they stress real hardware.  Absolute constants are
+a nominal lane-cost model; :mod:`repro.gpusim.calibrate` can rescale each
+kernel to measured timings (ratios — the quantities the paper reports — are
+insensitive to the absolute scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.factor_graph import FactorGraph
+from repro.gpusim.device import CPUSpec, DeviceSpec
+from repro.gpusim.kernel import KernelTiming, KernelWorkload
+from repro.gpusim.simt import serial_time, simulate_kernel
+
+_F8 = 8.0  # bytes per double
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-element lane-cost constants (cycles) and traffic (bytes).
+
+    ``x_per_slot_by_prox`` overrides the per-slot x-cost for specific
+    operators (closed-form projections are cheaper than batched solves).
+    """
+
+    x_base: float = 80.0
+    x_per_slot: float = 40.0
+    x_per_slot_by_prox: dict[str, float] = field(default_factory=dict)
+    m_per_slot: float = 8.0
+    z_base: float = 15.0
+    z_per_msg_slot: float = 12.0
+    u_per_slot: float = 12.0
+    n_per_slot: float = 10.0
+
+    def x_cost_of_group(self, prox_name: str) -> float:
+        return self.x_per_slot_by_prox.get(prox_name, self.x_per_slot)
+
+
+def admm_workloads(
+    graph: FactorGraph, cost: CostModel | None = None
+) -> dict[str, KernelWorkload]:
+    """Build the five :class:`KernelWorkload`s of one ADMM iteration."""
+    cost = cost if cost is not None else CostModel()
+    # ---- x kernel: one item per factor ------------------------------- #
+    slots_per_factor = np.diff(graph.factor_slot_indptr).astype(np.float64)
+    x_cycles = np.full(graph.num_factors, cost.x_base)
+    for g in graph.groups:
+        per_slot = cost.x_cost_of_group(getattr(g.prox, "name", ""))
+        x_cycles[g.factor_ids] += per_slot * slots_per_factor[g.factor_ids]
+    # read n + rho, write x (+ params, folded into the constant)
+    x_bytes = _F8 * (2.0 * slots_per_factor + np.diff(graph.factor_indptr))
+    x_access = (
+        "contiguous" if all(g.contiguous for g in graph.groups) else "gathered"
+    )
+    # ---- m kernel: one item per edge ---------------------------------- #
+    dims = graph.edge_dims.astype(np.float64)
+    m_cycles = cost.m_per_slot * dims
+    m_bytes = 3.0 * _F8 * dims  # read x, u; write m
+    # ---- z kernel: one item per variable ------------------------------ #
+    deg = graph.var_degree.astype(np.float64)
+    vdim = graph.var_dims.astype(np.float64)
+    z_cycles = cost.z_base + cost.z_per_msg_slot * deg * vdim
+    z_bytes = _F8 * (deg * vdim + deg + vdim)  # read m, rho; write z
+    # ---- u kernel: one item per edge ----------------------------------- #
+    u_cycles = cost.u_per_slot * dims
+    u_bytes = 4.0 * _F8 * dims  # read u, x, z; write u
+    # ---- n kernel: one item per edge ----------------------------------- #
+    n_cycles = cost.n_per_slot * dims
+    n_bytes = 3.0 * _F8 * dims  # read z, u; write n
+    # Access classes: m streams three contiguous arrays; u/n stream edge
+    # arrays but gather z through the edge→z map ("mixed"); the z-update
+    # gathers messages variable-by-variable ("gathered").
+    return {
+        "x": KernelWorkload("x", x_cycles, x_bytes, access=x_access),
+        "m": KernelWorkload("m", m_cycles, m_bytes, access="contiguous"),
+        "z": KernelWorkload("z", z_cycles, z_bytes, access="gathered"),
+        "u": KernelWorkload("u", u_cycles, u_bytes, access="mixed"),
+        "n": KernelWorkload("n", n_cycles, n_bytes, access="mixed"),
+    }
+
+
+@dataclass(frozen=True)
+class GPUSimResult:
+    """Simulated GPU vs. serial-CPU comparison for one graph."""
+
+    timings: dict[str, KernelTiming]
+    serial_seconds: dict[str, float]
+
+    @property
+    def gpu_iteration_s(self) -> float:
+        return sum(t.time_s for t in self.timings.values())
+
+    @property
+    def serial_iteration_s(self) -> float:
+        return sum(self.serial_seconds.values())
+
+    @property
+    def combined_speedup(self) -> float:
+        gpu = self.gpu_iteration_s
+        return self.serial_iteration_s / gpu if gpu > 0 else float("inf")
+
+    def kernel_speedup(self, kind: str) -> float:
+        t = self.timings[kind].time_s
+        return self.serial_seconds[kind] / t if t > 0 else float("inf")
+
+    def speedups(self) -> dict[str, float]:
+        return {k: self.kernel_speedup(k) for k in self.timings}
+
+    def fractions(self, where: str = "gpu") -> dict[str, float]:
+        """Per-kernel share of iteration time on "gpu" or "serial"."""
+        if where == "gpu":
+            total = self.gpu_iteration_s
+            per = {k: t.time_s for k, t in self.timings.items()}
+        elif where == "serial":
+            total = self.serial_iteration_s
+            per = dict(self.serial_seconds)
+        else:
+            raise ValueError(f"where must be 'gpu' or 'serial', got {where!r}")
+        if total == 0:
+            return {k: 0.0 for k in per}
+        return {k: v / total for k, v in per.items()}
+
+
+def simulate_admm_gpu(
+    device: DeviceSpec,
+    graph: FactorGraph | None,
+    host: CPUSpec,
+    ntb: int | dict[str, int] = 32,
+    cost: CostModel | None = None,
+    workloads: dict[str, KernelWorkload] | None = None,
+) -> GPUSimResult:
+    """Simulate one ADMM iteration on ``device`` vs one core of ``host``.
+
+    ``ntb`` may be a single threads-per-block value (the paper mostly uses
+    32) or a per-kernel dict.  Pass ``workloads`` (e.g. from
+    :mod:`repro.gpusim.synthetic`) to model paper-scale instances without
+    materializing a graph; ``graph`` may then be ``None``.
+    """
+    if workloads is None and graph is None:
+        raise ValueError("provide a graph or explicit workloads")
+    wl = workloads if workloads is not None else admm_workloads(graph, cost)
+    if isinstance(ntb, int):
+        ntb_by_kernel = {k: ntb for k in wl}
+    else:
+        missing = set(wl) - set(ntb)
+        if missing:
+            raise ValueError(f"ntb dict missing kernels: {sorted(missing)}")
+        ntb_by_kernel = dict(ntb)
+    timings = {
+        k: simulate_kernel(device, w, ntb_by_kernel[k]) for k, w in wl.items()
+    }
+    serial = {k: serial_time(w, host) for k, w in wl.items()}
+    return GPUSimResult(timings=timings, serial_seconds=serial)

@@ -1,0 +1,48 @@
+"""Factor-graph substrate: structure, construction, partitioning, analysis."""
+
+from repro.graph.factor_graph import FactorGraph, FactorGroup, FactorSpec
+from repro.graph.builder import GraphBuilder, graph_from_edges, start_graph
+from repro.graph.partition import (
+    Partition,
+    balanced_factor_groups,
+    balanced_partition,
+    balanced_variable_groups,
+    chunk_loads,
+    contiguous_chunks,
+)
+from repro.graph.analysis import (
+    DegreeStats,
+    degree_histogram,
+    factor_degree_stats,
+    graph_report,
+    is_bipartite_consistent,
+    memory_footprint_bytes,
+    variable_degree_stats,
+)
+from repro.graph.io import load_graph, load_state, save_graph, save_state
+
+__all__ = [
+    "FactorGraph",
+    "FactorGroup",
+    "FactorSpec",
+    "GraphBuilder",
+    "graph_from_edges",
+    "start_graph",
+    "Partition",
+    "balanced_factor_groups",
+    "balanced_partition",
+    "balanced_variable_groups",
+    "chunk_loads",
+    "contiguous_chunks",
+    "DegreeStats",
+    "degree_histogram",
+    "factor_degree_stats",
+    "graph_report",
+    "is_bipartite_consistent",
+    "memory_footprint_bytes",
+    "variable_degree_stats",
+    "load_graph",
+    "load_state",
+    "save_graph",
+    "save_state",
+]

@@ -1,0 +1,361 @@
+"""The bipartite factor-graph data structure at the heart of parADMM.
+
+An objective ``f(w) = sum_a f_a(w_{∂a})`` is represented as a bipartite graph
+``G = (F, V, E)``: function nodes (factors) on one side, variable nodes on the
+other, an edge ``(a, b)`` whenever factor ``a`` depends on variable ``b``.
+
+Storage follows the paper's flat structure-of-arrays layout: every edge
+``(a, b)`` owns ``dim(b)`` consecutive slots in flat 1-D arrays (one array per
+ADMM auxiliary family: x, m, u, n), laid out in edge-creation order — exactly
+the order of ``addNode`` calls in the paper's Figure 2.  Variable values
+``z_b`` live in a second flat array in variable-creation order.  Precomputed
+index maps connect the two layouts:
+
+* ``flat_edge_to_z[s]`` — the z-slot that edge slot ``s`` mirrors; powers the
+  vectorized u/n updates (``u += α (x − z[map])``; ``n = z[map] − u``).
+* ``scatter_matrix`` — a 0/1 CSR matrix ``S`` of shape (z_size, edge_size)
+  with ``S[z_slot, edge_slot] = 1``; the z-update becomes two sparse
+  mat-vecs: ``z = (S @ (ρ ⊙ m)) / (S @ ρ)``.
+* per-factor contiguous slot ranges (``factor_indptr`` on edges,
+  ``factor_slot_indptr`` on slots) — the x-update operates on whole-factor
+  slices, one slice per "GPU thread".
+
+Unlike the C engine (one global ``number_of_dims_per_edge``), variable nodes
+may have different dimensions; circle packing mixes 2-D centers with 1-D
+radii without padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class FactorSpec:
+    """One function node: its proximal operator, scope, and parameters.
+
+    ``prox`` is opaque to the graph layer — any object is accepted; the core
+    solver requires it to implement the :class:`repro.prox.ProxOperator`
+    protocol.  ``params`` is a mapping from name to array-like, constant over
+    the run (the analog of the ``parameters_i`` blobs in the paper's API).
+    """
+
+    prox: Any
+    variables: tuple[int, ...]
+    params: Mapping[str, np.ndarray] = field(default_factory=dict)
+
+
+class FactorGroup:
+    """A batch of factors sharing one proximal operator and one signature.
+
+    The x-update processes each group with a single ``prox_batch`` call on a
+    ``(num_factors, slot_count)`` matrix — the CUDA-kernel analog, one matrix
+    row per GPU thread.  When the group's factors were added consecutively
+    (the common case: applications add factors family-by-family), the matrix
+    is a zero-copy reshape of a contiguous slice of the flat array — the
+    "memory coalesced" fast path the paper recommends; otherwise a precomputed
+    gather/scatter index matrix is used (the "scattered" path).
+    """
+
+    def __init__(
+        self,
+        prox: Any,
+        factor_ids: np.ndarray,
+        var_dims: tuple[int, ...],
+        gather_slots: np.ndarray,
+        gather_edges: np.ndarray,
+        params: Mapping[str, np.ndarray],
+    ) -> None:
+        self.prox = prox
+        self.factor_ids = factor_ids
+        self.var_dims = var_dims
+        self.size = int(factor_ids.shape[0])
+        self.slot_count = int(gather_slots.shape[1])
+        self.edge_count = int(gather_edges.shape[1])
+        self.gather_slots = gather_slots
+        self.gather_edges = gather_edges
+        self.params = dict(params)
+        # Map slot position within a factor -> edge position within the factor
+        # (used to expand per-edge rho to per-slot rho).
+        pos = np.empty(self.slot_count, dtype=np.int64)
+        o = 0
+        for e, d in enumerate(var_dims):
+            pos[o : o + d] = e
+            o += d
+        self.slot_edge_pos = pos
+        # Detect the contiguous fast path: slots form one ascending run.
+        flat = gather_slots.ravel()
+        self.contiguous = bool(
+            flat.size == 0
+            or np.array_equal(flat, np.arange(flat[0], flat[0] + flat.size))
+        )
+        self.slot_start = int(flat[0]) if flat.size else 0
+        self.slot_stop = int(flat[-1]) + 1 if flat.size else 0
+
+    # ------------------------------------------------------------------ #
+    # Gather / scatter between flat edge arrays and (B, L) row matrices.  #
+    # ------------------------------------------------------------------ #
+    def take_slots(self, flat: np.ndarray) -> np.ndarray:
+        """Gather this group's slots from a flat edge array as (B, L) rows."""
+        if self.contiguous:
+            return flat[self.slot_start : self.slot_stop].reshape(
+                self.size, self.slot_count
+            )
+        return flat[self.gather_slots]
+
+    def put_slots(self, flat: np.ndarray, rows: np.ndarray) -> None:
+        """Scatter (B, L) rows back into a flat edge array (in place)."""
+        if self.contiguous:
+            flat[self.slot_start : self.slot_stop] = rows.reshape(-1)
+        else:
+            flat[self.gather_slots.reshape(-1)] = rows.reshape(-1)
+
+    def take_edge_values(self, per_edge: np.ndarray) -> np.ndarray:
+        """Gather a per-edge quantity (e.g. ρ) as (B, n_edges) rows."""
+        return per_edge[self.gather_edges]
+
+    def expand_rho(self, rho_edges: np.ndarray) -> np.ndarray:
+        """Expand per-edge rows (B, n_edges) to per-slot rows (B, L)."""
+        return rho_edges[:, self.slot_edge_pos]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        name = getattr(self.prox, "name", type(self.prox).__name__)
+        return (
+            f"FactorGroup({name}, size={self.size}, "
+            f"slots={self.slot_count}, contiguous={self.contiguous})"
+        )
+
+
+class FactorGraph:
+    """Immutable factor graph with precomputed index maps.
+
+    Build instances through :class:`repro.graph.GraphBuilder` (or the
+    paper-flavored :func:`repro.graph.start_graph` / ``add_node`` helpers);
+    the constructor performs full validation but no layout optimization.
+    """
+
+    def __init__(
+        self,
+        var_dims: Sequence[int],
+        factors: Sequence[FactorSpec],
+        var_names: Sequence[str] | None = None,
+    ) -> None:
+        self.var_dims = np.asarray(var_dims, dtype=np.int64)
+        if self.var_dims.ndim != 1:
+            raise ValueError("var_dims must be a 1-D sequence of dimensions")
+        if self.var_dims.size and self.var_dims.min() < 1:
+            raise ValueError("every variable dimension must be >= 1")
+        self.num_vars = int(self.var_dims.size)
+        self.factors = tuple(factors)
+        self.num_factors = len(self.factors)
+        if var_names is not None and len(var_names) != self.num_vars:
+            raise ValueError(
+                f"var_names has {len(var_names)} entries for {self.num_vars} variables"
+            )
+        self.var_names = tuple(var_names) if var_names is not None else None
+
+        # ---- variable (z) layout ------------------------------------- #
+        self.z_indptr = np.zeros(self.num_vars + 1, dtype=np.int64)
+        np.cumsum(self.var_dims, out=self.z_indptr[1:])
+        self.z_size = int(self.z_indptr[-1])
+
+        # ---- edge layout (creation order: factor by factor) ----------- #
+        edge_var: list[int] = []
+        edge_factor: list[int] = []
+        factor_indptr = np.zeros(self.num_factors + 1, dtype=np.int64)
+        for a, spec in enumerate(self.factors):
+            if len(spec.variables) == 0:
+                raise ValueError(f"factor {a} has an empty variable scope")
+            seen: set[int] = set()
+            for b in spec.variables:
+                if not 0 <= b < self.num_vars:
+                    raise ValueError(
+                        f"factor {a} references variable {b}; "
+                        f"graph has {self.num_vars} variables"
+                    )
+                if b in seen:
+                    raise ValueError(
+                        f"factor {a} lists variable {b} twice; scopes are sets"
+                    )
+                seen.add(b)
+                edge_var.append(b)
+                edge_factor.append(a)
+            factor_indptr[a + 1] = len(edge_var)
+        self.factor_indptr = factor_indptr
+        self.edge_var = np.asarray(edge_var, dtype=np.int64)
+        self.edge_factor = np.asarray(edge_factor, dtype=np.int64)
+        self.num_edges = int(self.edge_var.size)
+
+        # ---- flat slot layout ----------------------------------------- #
+        self.edge_dims = self.var_dims[self.edge_var]
+        self.edge_indptr = np.zeros(self.num_edges + 1, dtype=np.int64)
+        np.cumsum(self.edge_dims, out=self.edge_indptr[1:])
+        self.edge_size = int(self.edge_indptr[-1])
+        self.factor_slot_indptr = self.edge_indptr[self.factor_indptr]
+
+        # flat_edge_to_z: slot s of edge e mirrors slot z_indptr[b] + k.
+        if self.num_edges:
+            # offsets within each edge: 0..d_e-1
+            within = np.arange(self.edge_size, dtype=np.int64) - np.repeat(
+                self.edge_indptr[:-1], self.edge_dims
+            )
+            self.flat_edge_to_z = (
+                np.repeat(self.z_indptr[self.edge_var], self.edge_dims) + within
+            )
+            #: per-slot edge id (slot -> owning edge), for per-edge parameters
+            self.slot_edge = np.repeat(
+                np.arange(self.num_edges, dtype=np.int64), self.edge_dims
+            )
+        else:
+            self.flat_edge_to_z = np.zeros(0, dtype=np.int64)
+            self.slot_edge = np.zeros(0, dtype=np.int64)
+
+        # ---- z-update scatter matrix ----------------------------------- #
+        data = np.ones(self.edge_size, dtype=np.float64)
+        cols = np.arange(self.edge_size, dtype=np.int64)
+        self.scatter_matrix = sp.coo_matrix(
+            (data, (self.flat_edge_to_z, cols)),
+            shape=(self.z_size, self.edge_size),
+        ).tocsr()
+
+        # ---- variable -> incident edges CSR ----------------------------- #
+        order = np.argsort(self.edge_var, kind="stable")
+        self.var_edge_ids = order
+        counts = np.bincount(self.edge_var, minlength=self.num_vars)
+        self.var_edge_indptr = np.zeros(self.num_vars + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.var_edge_indptr[1:])
+        self.var_degree = counts.astype(np.int64)
+        self.factor_degree = np.diff(self.factor_indptr)
+
+        # ---- factor groups (x-update batching) -------------------------- #
+        self.groups = self._build_groups()
+
+        # sanity: every variable should appear in >= 1 factor for the ADMM
+        # z-update to be defined; we allow isolated variables but remember
+        # them so the solver can warn / skip.
+        self.isolated_vars = np.flatnonzero(self.var_degree == 0)
+
+    # ------------------------------------------------------------------ #
+    def _group_key(self, spec: FactorSpec) -> tuple:
+        dims = tuple(int(self.var_dims[b]) for b in spec.variables)
+        return (id(spec.prox), dims, tuple(sorted(spec.params.keys())))
+
+    def _build_groups(self) -> tuple[FactorGroup, ...]:
+        by_key: dict[tuple, list[int]] = {}
+        for a, spec in enumerate(self.factors):
+            by_key.setdefault(self._group_key(spec), []).append(a)
+        groups: list[FactorGroup] = []
+        for key, ids in by_key.items():
+            ids_arr = np.asarray(ids, dtype=np.int64)
+            first = self.factors[ids[0]]
+            dims = tuple(int(self.var_dims[b]) for b in first.variables)
+            slot_count = int(sum(dims))
+            edge_count = len(first.variables)
+            gather_slots = np.empty((len(ids), slot_count), dtype=np.int64)
+            gather_edges = np.empty((len(ids), edge_count), dtype=np.int64)
+            for row, a in enumerate(ids):
+                s0, s1 = self.factor_slot_indptr[a], self.factor_slot_indptr[a + 1]
+                gather_slots[row] = np.arange(s0, s1)
+                e0, e1 = self.factor_indptr[a], self.factor_indptr[a + 1]
+                gather_edges[row] = np.arange(e0, e1)
+            params = self._stack_params(ids)
+            groups.append(
+                FactorGroup(
+                    prox=first.prox,
+                    factor_ids=ids_arr,
+                    var_dims=dims,
+                    gather_slots=gather_slots,
+                    gather_edges=gather_edges,
+                    params=params,
+                )
+            )
+        # Deterministic order: by first factor id, so iteration order (and
+        # hence floating-point summation order) is stable run to run.
+        groups.sort(key=lambda g: int(g.factor_ids[0]))
+        return tuple(groups)
+
+    def _stack_params(self, ids: list[int]) -> dict[str, np.ndarray]:
+        if not self.factors[ids[0]].params:
+            return {}
+        keys = sorted(self.factors[ids[0]].params.keys())
+        out: dict[str, np.ndarray] = {}
+        for k in keys:
+            vals = [np.asarray(self.factors[a].params[k], dtype=np.float64) for a in ids]
+            shapes = {v.shape for v in vals}
+            if len(shapes) != 1:
+                raise ValueError(
+                    f"parameter {k!r} has inconsistent shapes {shapes} within "
+                    "one factor group; factors grouped together must share "
+                    "parameter shapes"
+                )
+            out[k] = np.stack(vals, axis=0)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Convenience views                                                    #
+    # ------------------------------------------------------------------ #
+    def factor_slots(self, a: int) -> slice:
+        """Flat slot range owned by factor ``a`` (its x/n slice)."""
+        return slice(
+            int(self.factor_slot_indptr[a]), int(self.factor_slot_indptr[a + 1])
+        )
+
+    def factor_edges(self, a: int) -> slice:
+        """Edge-index range owned by factor ``a``."""
+        return slice(int(self.factor_indptr[a]), int(self.factor_indptr[a + 1]))
+
+    def var_slots(self, b: int) -> slice:
+        """Flat z-slot range of variable ``b``."""
+        return slice(int(self.z_indptr[b]), int(self.z_indptr[b + 1]))
+
+    def edges_of_var(self, b: int) -> np.ndarray:
+        """Edge ids incident to variable ``b`` (∂b, in creation order)."""
+        return self.var_edge_ids[self.var_edge_indptr[b] : self.var_edge_indptr[b + 1]]
+
+    def edge_slots(self, e: int) -> slice:
+        """Flat slot range of edge ``e``."""
+        return slice(int(self.edge_indptr[e]), int(self.edge_indptr[e + 1]))
+
+    # ------------------------------------------------------------------ #
+    def read_variable(self, z_flat: np.ndarray, b: int) -> np.ndarray:
+        """Extract variable ``b``'s value from a flat z array."""
+        return z_flat[self.var_slots(b)]
+
+    def read_solution(self, z_flat: np.ndarray) -> list[np.ndarray]:
+        """Split a flat z array into one vector per variable node."""
+        return [z_flat[self.var_slots(b)] for b in range(self.num_vars)]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_elements(self) -> int:
+        """Total graph elements (factors + variables + edges).
+
+        The paper's figures plot time against this count ("the time per
+        iteration grows linearly with the number of elements").
+        """
+        return self.num_factors + self.num_vars + self.num_edges
+
+    def summary(self) -> str:
+        lines = [
+            f"FactorGraph: |F|={self.num_factors} |V|={self.num_vars} "
+            f"|E|={self.num_edges} (elements={self.num_elements})",
+            f"  flat sizes: edge={self.edge_size} z={self.z_size}",
+            f"  groups: {len(self.groups)}",
+        ]
+        for g in self.groups:
+            name = getattr(g.prox, "name", type(g.prox).__name__)
+            lines.append(
+                f"    {name}: {g.size} factors x {g.slot_count} slots "
+                f"({'contiguous' if g.contiguous else 'gathered'})"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"FactorGraph(F={self.num_factors}, V={self.num_vars}, "
+            f"E={self.num_edges})"
+        )

@@ -1,0 +1,173 @@
+"""Graph and state serialization.
+
+The paper notes that "once formed and copied to the GPU the graph can be
+reused for different instances of similar problems" — graph construction is
+the expensive step (450 s for N=5000 packing on their testbed).  This module
+persists a built :class:`FactorGraph` (structure + per-factor parameters +
+operator identities) and an :class:`ADMMState` to ``.npz`` archives so a
+graph is built once and reloaded across runs.
+
+Proximal operators are stored by registry name plus constructor kwargs
+(every shipped operator registers via :mod:`repro.prox.registry`); custom
+unregistered operators can be supplied at load time through ``prox_lookup``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.state import ADMMState
+from repro.graph.builder import GraphBuilder
+from repro.graph.factor_graph import FactorGraph
+from repro.prox.registry import make_prox
+
+
+def _prox_spec(prox) -> dict:
+    """JSON-serializable description of an operator instance.
+
+    The *class-level* name is stored (the registry key); instances may carry
+    renamed display names (e.g. ``mpc_dynamics`` on an affine projection),
+    which are preserved separately and restored on load.
+    """
+    cls_name = getattr(type(prox), "name", "") or type(prox).__name__
+    spec: dict = {"name": cls_name}
+    inst_name = getattr(prox, "name", cls_name)
+    if inst_name != cls_name:
+        spec["display_name"] = inst_name
+    kwargs = {}
+    for attr in ("dims", "lam", "kappa", "k", "dim", "radius", "dq", "du"):
+        if hasattr(prox, attr):
+            v = getattr(prox, attr)
+            if isinstance(v, tuple):
+                v = list(v)
+            kwargs[attr] = v
+    if hasattr(prox, "A"):  # affine-constraint family
+        kwargs["A"] = np.asarray(prox.A).tolist()
+    spec["kwargs"] = kwargs
+    return spec
+
+
+def _build_prox(spec: dict, prox_lookup: Mapping[str, Callable] | None):
+    name = spec["name"]
+    kwargs = dict(spec.get("kwargs", {}))
+    if prox_lookup is not None and name in prox_lookup:
+        return prox_lookup[name](**kwargs)
+    if "dims" in kwargs:
+        kwargs["dims"] = tuple(kwargs["dims"])
+    if "A" in kwargs:
+        kwargs["A"] = np.asarray(kwargs["A"], dtype=np.float64)
+    # Constructor signatures vary; drop kwargs the class doesn't take.
+    from repro.prox.registry import get_prox_class
+    import inspect
+
+    cls = get_prox_class(name)
+    sig = inspect.signature(cls.__init__)
+    accepted = {
+        k: v for k, v in kwargs.items() if k in sig.parameters
+    }
+    prox = cls(**accepted)
+    if "display_name" in spec:
+        prox.name = spec["display_name"]
+    return prox
+
+
+def save_graph(path: str, graph: FactorGraph) -> None:
+    """Persist a factor graph to a ``.npz`` archive."""
+    prox_specs: list[dict] = []
+    prox_ids: dict[int, int] = {}
+    factor_prox: list[int] = []
+    factor_scopes: list[list[int]] = []
+    param_arrays: dict[str, np.ndarray] = {}
+    factor_param_keys: list[list[str]] = []
+    for a, spec in enumerate(graph.factors):
+        pid = prox_ids.get(id(spec.prox))
+        if pid is None:
+            pid = len(prox_specs)
+            prox_ids[id(spec.prox)] = pid
+            prox_specs.append(_prox_spec(spec.prox))
+        factor_prox.append(pid)
+        factor_scopes.append(list(spec.variables))
+        keys = sorted(spec.params.keys())
+        factor_param_keys.append(keys)
+        for k in keys:
+            param_arrays[f"param_{a}_{k}"] = np.asarray(spec.params[k])
+    meta = {
+        "var_dims": [int(d) for d in graph.var_dims],
+        "var_names": list(graph.var_names) if graph.var_names else None,
+        "prox_specs": prox_specs,
+        "factor_prox": factor_prox,
+        "factor_scopes": factor_scopes,
+        "factor_param_keys": factor_param_keys,
+        "format_version": 1,
+    }
+    np.savez_compressed(
+        path, meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **param_arrays
+    )
+
+
+def load_graph(
+    path: str, prox_lookup: Mapping[str, Callable] | None = None
+) -> FactorGraph:
+    """Reload a graph saved by :func:`save_graph`.
+
+    ``prox_lookup`` maps operator names to factories for operators that are
+    not reconstructible from the registry alone.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        if meta.get("format_version") != 1:
+            raise ValueError(
+                f"unsupported graph file version {meta.get('format_version')!r}"
+            )
+        prox_objs = [_build_prox(s, prox_lookup) for s in meta["prox_specs"]]
+        b = GraphBuilder()
+        names = meta["var_names"]
+        for i, d in enumerate(meta["var_dims"]):
+            b.add_variable(d, name=names[i] if names else None)
+        for a, (pid, scope) in enumerate(
+            zip(meta["factor_prox"], meta["factor_scopes"])
+        ):
+            params = {
+                k: data[f"param_{a}_{k}"] for k in meta["factor_param_keys"][a]
+            }
+            b.add_factor(prox_objs[pid], scope, params)
+        return b.build()
+
+
+def save_state(path: str, state: ADMMState) -> None:
+    """Persist an ADMM iterate (all five families + penalties + counter)."""
+    np.savez_compressed(
+        path,
+        x=state.x,
+        m=state.m,
+        u=state.u,
+        n=state.n,
+        z=state.z,
+        rho=state.rho,
+        alpha=state.alpha,
+        iteration=np.array([state.iteration]),
+    )
+
+
+def load_state(path: str, graph: FactorGraph) -> ADMMState:
+    """Reload an iterate saved by :func:`save_state` onto ``graph``."""
+    with np.load(path) as data:
+        state = ADMMState(graph)
+        if data["x"].shape != state.x.shape or data["z"].shape != state.z.shape:
+            raise ValueError(
+                "saved state does not match the graph "
+                f"(edge {data['x'].shape} vs {state.x.shape}, "
+                f"z {data['z'].shape} vs {state.z.shape})"
+            )
+        state.x[:] = data["x"]
+        state.m[:] = data["m"]
+        state.u[:] = data["u"]
+        state.n[:] = data["n"]
+        state.z[:] = data["z"]
+        state.set_rho(data["rho"])
+        state.set_alpha(data["alpha"])
+        state.iteration = int(data["iteration"][0])
+        return state

@@ -1,0 +1,66 @@
+"""Proximal-operator library: protocol, registry, and all shipped operators."""
+
+from repro.prox.base import ProxOperator, expand_rho, slot_offsets
+from repro.prox.registry import (
+    get_prox_class,
+    iter_registered,
+    make_prox,
+    register_prox,
+    registered_prox_names,
+)
+from repro.prox.standard import (
+    AffineConstraintProx,
+    BoxProx,
+    ConsensusEqualProx,
+    DiagQuadProx,
+    FixedValueProx,
+    HalfspaceProx,
+    L1Prox,
+    L2BallProx,
+    LinearProx,
+    NonNegativeProx,
+    QuadraticProx,
+    ZeroProx,
+)
+from repro.prox.packing import PairNoCollisionProx, RadiusRewardProx, WallProx
+from repro.prox.mpc import MPCCostProx, make_dynamics_prox, make_initial_state_prox
+from repro.prox.svm import SVMMarginProx, SVMNormProx, SVMSlackProx
+from repro.prox.lasso import DataFidelityProx
+from repro.prox.extras import EntropyProx, HuberProx, LogisticProx, SimplexProx
+
+__all__ = [
+    "ProxOperator",
+    "expand_rho",
+    "slot_offsets",
+    "get_prox_class",
+    "iter_registered",
+    "make_prox",
+    "register_prox",
+    "registered_prox_names",
+    "AffineConstraintProx",
+    "BoxProx",
+    "ConsensusEqualProx",
+    "DiagQuadProx",
+    "FixedValueProx",
+    "HalfspaceProx",
+    "L1Prox",
+    "L2BallProx",
+    "LinearProx",
+    "NonNegativeProx",
+    "QuadraticProx",
+    "ZeroProx",
+    "PairNoCollisionProx",
+    "RadiusRewardProx",
+    "WallProx",
+    "MPCCostProx",
+    "make_dynamics_prox",
+    "make_initial_state_prox",
+    "SVMMarginProx",
+    "SVMNormProx",
+    "SVMSlackProx",
+    "DataFidelityProx",
+    "EntropyProx",
+    "HuberProx",
+    "LogisticProx",
+    "SimplexProx",
+]

@@ -1,0 +1,161 @@
+"""Proximal-operator protocol: the user-supplied kernel of parADMM.
+
+A proximal operator (PO) of a function ``h`` with weight ``ρ`` maps ``r`` to
+
+    Prox_{h,ρ}(r) = argmin_s  h(s) + (ρ/2) ||s − r||²        (paper eq. 3)
+
+In parADMM the x-update evaluates one PO per function node.  Users write the
+PO math once; the engine schedules it.  Two entry points exist, mirroring the
+serial-code-only contract of the paper:
+
+* :meth:`ProxOperator.prox` — one factor at a time (``n`` is the stacked
+  ``n_(a,∂a)`` message of a single factor).  This is the "serial code for each
+  PO" the user writes; the serial backend calls it directly.
+* :meth:`ProxOperator.prox_batch` — all factors of a group at once, on
+  ``(B, L)`` row matrices.  This is the CUDA-kernel analog (one row per GPU
+  thread); the vectorized backend calls it.  Closed-form POs should override
+  it for speed; a generic row-loop fallback delegates to :meth:`prox`.
+
+Subclasses must override at least one of the two (the base class detects and
+reports mutual-recursion misconfiguration).
+
+Conventions
+-----------
+``n``       stacked input message, slot layout = concatenation of the
+            factor's variables in scope order, shape (L,) or (B, L).
+``rho``     per-edge penalty weights, shape (n_edges,) or (B, n_edges);
+            note per-*edge*, not per-slot — a 2-D center variable shares one
+            ρ across its two slots.
+``params``  dict of per-factor constant arrays; batched entries carry a
+            leading B axis.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+import numpy as np
+
+
+def expand_rho(rho: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
+    """Expand per-edge ρ to per-slot ρ given the factor's variable dims.
+
+    ``rho`` has shape (..., n_edges); the result has shape (..., L) where
+    ``L = sum(dims)`` — each edge's ρ is repeated over its variable's slots.
+    """
+    reps = np.asarray(dims, dtype=np.int64)
+    return np.repeat(np.asarray(rho, dtype=np.float64), reps, axis=-1)
+
+
+def slot_offsets(dims: tuple[int, ...]) -> np.ndarray:
+    """Prefix offsets of each variable inside the stacked slot vector."""
+    out = np.zeros(len(dims) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(dims, dtype=np.int64), out=out[1:])
+    return out
+
+
+class ProxOperator(abc.ABC):
+    """Base class for proximal operators (see module docstring).
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in reports and the registry.
+    signature:
+        Optional tuple of expected per-variable dimensions, e.g. ``(2, 1,
+        2, 1)`` for the packing pair operator.  ``None`` accepts any scope.
+        The graph/solver validates factors against it at build time.
+    convex:
+        Whether the underlying ``h`` is convex.  Purely informational (the
+        engine supports non-convex POs, as the paper stresses); tests use it
+        to decide which invariants (e.g. nonexpansiveness) apply.
+    """
+
+    name: str = ""
+    signature: tuple[int, ...] | None = None
+    convex: bool = True
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+        overrides_prox = type(self).prox is not ProxOperator.prox
+        overrides_batch = type(self).prox_batch is not ProxOperator.prox_batch
+        if not overrides_prox and not overrides_batch:
+            raise TypeError(
+                f"{type(self).__name__} must override prox() or prox_batch()"
+            )
+
+    # ------------------------------------------------------------------ #
+    def validate_dims(self, dims: tuple[int, ...]) -> None:
+        """Raise if a factor's variable dims don't match the signature."""
+        if self.signature is not None and tuple(dims) != tuple(self.signature):
+            raise ValueError(
+                f"{self.name} expects variable dims {self.signature}, "
+                f"got {tuple(dims)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def prox(
+        self,
+        n: np.ndarray,
+        rho: np.ndarray,
+        params: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """Single-factor proximal map; default delegates to the batch form."""
+        n2 = np.asarray(n, dtype=np.float64)[None, :]
+        rho2 = np.atleast_1d(np.asarray(rho, dtype=np.float64))[None, :]
+        params2 = {k: np.asarray(v)[None, ...] for k, v in params.items()}
+        return self.prox_batch(n2, rho2, params2)[0]
+
+    def prox_batch(
+        self,
+        n: np.ndarray,
+        rho: np.ndarray,
+        params: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """Batched proximal map; default loops over rows calling ``prox``."""
+        n = np.asarray(n, dtype=np.float64)
+        rho = np.asarray(rho, dtype=np.float64)
+        out = np.empty_like(n)
+        for i in range(n.shape[0]):
+            row_params = {k: v[i] for k, v in params.items()}
+            out[i] = self.prox(n[i], rho[i], row_params)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, x: np.ndarray, params: Mapping[str, np.ndarray]
+    ) -> float:
+        """Objective value ``f_a(x)`` for diagnostics.
+
+        Indicator functions return 0.0 on (numerically) feasible points and
+        ``inf`` otherwise.  Default: not available (NaN), which the
+        objective tracker treats as "skip this factor".
+        """
+        return float("nan")
+
+    # ------------------------------------------------------------------ #
+    # Three-weight-algorithm hook (Derbinsky et al. [9]).                 #
+    # ------------------------------------------------------------------ #
+    def outgoing_weights(
+        self,
+        x: np.ndarray,
+        n: np.ndarray,
+        rho: np.ndarray,
+        params: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """Certainty weights of the factor's outgoing messages (batched).
+
+        The three-weight algorithm lets a PO declare each output message
+        *certain* (weight ``inf`` — e.g. a hard constraint that fully
+        determines the value), *standard* (weight ``ρ``) or *no-opinion*
+        (weight ``0``).  The default is the standard ADMM: weights = ρ.
+
+        Shapes follow ``prox_batch``: ``x``/``n`` are (B, L), ``rho`` and the
+        result are (B, n_edges).
+        """
+        return np.asarray(rho, dtype=np.float64).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,98 @@
+"""Proximal operators for Model Predictive Control (paper Appendix B).
+
+The MPC formulation (paper Figure 9) over a horizon ``K``:
+
+    minimize   Σ_t q(t)ᵀ Q q(t) + u(t)ᵀ R u(t)   (+ terminal qᵀ Q_f q)
+    subject to q(t+1) − q(t) = A q(t) + B u(t)   for all t
+               q(0) = q₀
+
+One variable node per time step holding the stacked state-input pair
+``(q(t), u(t))`` of dimension ``dq + du``.  Three factor families:
+
+* :class:`MPCCostProx` — the separable quadratic stage cost on one node;
+  closed form ``x = ρ n / (2 diag + ρ)`` (elementwise; the factor 2 comes
+  from the paper's unnormalized ``qᵀQq`` convention).
+* dynamics factors — indicator of ``q(t+1) = (I+A) q(t) + B u(t)``, built by
+  :func:`make_dynamics_prox` as a weighted affine projection with the shared
+  constraint matrix ``M = [I+A, B, −I, 0]`` over the two adjacent nodes.
+* initial-state factor — indicator of ``q(0) = q₀`` on node 0, built by
+  :func:`make_initial_state_prox` (``u(0)`` is unconstrained).
+
+Both constraint families reuse :class:`repro.prox.standard.AffineConstraintProx`,
+whose uniform-ρ fast path is a single precomputed projector matmul per batch
+— the closed form the paper's appendix alludes to ("this can also be solved
+in closed form").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prox.base import ProxOperator
+from repro.prox.registry import register_prox
+from repro.prox.standard import AffineConstraintProx
+
+
+@register_prox
+class MPCCostProx(ProxOperator):
+    """Stage cost ``qᵀ diag(Qd) q + uᵀ diag(Rd) u`` on one ``(q, u)`` node.
+
+    Parameters (per factor): ``qdiag`` (dq,), ``rdiag`` (du,).  The node has
+    a single incident edge, so ``rho`` is (B, 1).  Closed form, elementwise:
+
+        x_q = ρ n_q / (2 Qd + ρ),    x_u = ρ n_u / (2 Rd + ρ)
+    """
+
+    name = "mpc_cost"
+
+    def __init__(self, dq: int, du: int) -> None:
+        self.dq, self.du = int(dq), int(du)
+        if self.dq < 1 or self.du < 1:
+            raise ValueError(f"dq and du must be >= 1, got {dq}, {du}")
+        self.signature = (self.dq + self.du,)
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        n = np.asarray(n, dtype=np.float64)
+        rho = np.asarray(rho, dtype=np.float64)  # (B, 1)
+        diag = np.concatenate([params["qdiag"], params["rdiag"]], axis=1)  # (B, L)
+        return rho * n / (2.0 * diag + rho)
+
+    def evaluate(self, x, params):
+        diag = np.concatenate([np.ravel(params["qdiag"]), np.ravel(params["rdiag"])])
+        return float(np.dot(diag * x, x))
+
+
+def make_dynamics_prox(A: np.ndarray, B: np.ndarray) -> AffineConstraintProx:
+    """Build the dynamics-constraint operator for ``q⁺ = (I+A) q + B u``.
+
+    Scope: two adjacent ``(q, u)`` nodes, dims ``(dq+du, dq+du)``.  The
+    constraint matrix over the stacked vector ``(q_t, u_t, q_{t+1}, u_{t+1})``
+    is ``M = [I+A, B, −I, 0]`` (``u_{t+1}`` is untouched by this factor's
+    constraint but lives on the shared node, hence the zero block).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError(f"A must be square, got shape {A.shape}")
+    if B.ndim != 2 or B.shape[0] != A.shape[0]:
+        raise ValueError(f"B must be (dq, du) with dq={A.shape[0]}, got {B.shape}")
+    dq, du = A.shape[0], B.shape[1]
+    M = np.hstack(
+        [np.eye(dq) + A, B, -np.eye(dq), np.zeros((dq, du))]
+    )
+    prox = AffineConstraintProx(M, dims=(dq + du, dq + du))
+    prox.name = "mpc_dynamics"
+    return prox
+
+
+def make_initial_state_prox(dq: int, du: int) -> AffineConstraintProx:
+    """Build the ``q(0) = q₀`` operator on node 0 (pass ``q₀`` as param "c").
+
+    Projection with ``C = [I, 0]``: pins the state slots to ``q₀`` exactly
+    and leaves the input slots at their incoming message.
+    """
+    C = np.hstack([np.eye(dq), np.zeros((dq, du))])
+    prox = AffineConstraintProx(C, dims=(dq + du,))
+    prox.name = "mpc_initial_state"
+    return prox

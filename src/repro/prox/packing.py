@@ -1,0 +1,192 @@
+"""Proximal operators for the circle-packing problem (paper Appendix A).
+
+The packing problem: maximize the covered area of ``N`` non-overlapping disks
+(centers ``cᵢ ∈ R²``, radii ``rᵢ``) inside a convex region cut out by ``S``
+half-planes.  Three operator families:
+
+* :class:`PairNoCollisionProx` — indicator of ``||c₁ − c₂|| ≥ r₁ + r₂``
+  (one factor per disk pair; scope ``(c₁, r₁, c₂, r₂)``, dims (2,1,2,1)).
+* :class:`WallProx` — indicator of ``Qᵀ(c − V) ≥ r`` keeping a disk inside
+  one half-plane (scope ``(c, r)``, dims (2,1)).
+* :class:`RadiusRewardProx` — the non-convex reward ``−½ r²`` pushing each
+  radius to grow (scope ``(r,)``, dims (1,)).
+
+Note on the paper's Appendix A
+------------------------------
+The printed pair-collision solution reads ``(c₁, r₁) = (n₁c, n₁r) + (D/2)
+ρ₂/(ρ₁+ρ₂) · (−n̂, 1)``, i.e. radii *grow* while centers separate.  Plugging
+it back into the constraint gives ``||c₁−c₂|| − (r₁+r₂) = −D < 0``: the
+output would still collide, so the printed ``+1`` radius sign is a typo.  The
+KKT solution (derived in the class docstring) is ``(−n̂, −1)``: centers move
+apart *and* radii shrink, each by ``(D/2)·ρ_other/(ρ₁+ρ₂)``, which lands
+exactly on the constraint boundary.  We implement the corrected form; the
+wall operator and radius reward match the paper as printed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prox.base import ProxOperator
+from repro.prox.registry import register_prox
+
+
+@register_prox
+class PairNoCollisionProx(ProxOperator):
+    """Projection onto ``{||c₁ − c₂|| ≥ r₁ + r₂}`` (weighted, closed form).
+
+    Derivation.  Let ``S = ||n₁c − n₂c||``, ``D = max(0, n₁r + n₂r − S)``
+    and ``n̂ = (n₂c − n₁c)/S``.  For ``D = 0`` the input is feasible and is
+    returned unchanged.  Otherwise minimize
+    ``ρ₁/2 ||(c₁,r₁) − n₁||² + ρ₂/2 ||(c₂,r₂) − n₂||²`` subject to the
+    constraint, which is active at the optimum.  Restricting to the line
+    through the two centers (optimal by symmetry), with ``tᵢ`` the outward
+    center displacement and ``sᵢ`` the radius change, stationarity gives
+    ``tᵢ = −sᵢ = λ/ρᵢ`` and the active constraint gives
+    ``λ = D ρ₁ρ₂ / (2(ρ₁+ρ₂))``, i.e.
+
+        (c₁, r₁) = (n₁c, n₁r) + (D/2) ρ₂/(ρ₁+ρ₂) (−n̂, −1)
+        (c₂, r₂) = (n₂c, n₂r) + (D/2) ρ₁/(ρ₁+ρ₂) (+n̂, −1)
+
+    ρ convention: ρ₁ is the weight of disk 1's edges (center and radius
+    edges assumed equal, as in the paper), ρ₂ of disk 2's.
+
+    The coincident-center case ``S = 0`` has no unique direction; we use a
+    fixed deterministic unit vector so backends agree bit-for-bit.
+    """
+
+    name = "packing_pair"
+    signature = (2, 1, 2, 1)
+    convex = False  # the set ||c1 - c2|| >= r1 + r2 is non-convex
+
+    def prox_batch(self, n, rho, params):
+        n = np.asarray(n, dtype=np.float64)
+        c1, r1, c2, r2 = n[:, 0:2], n[:, 2], n[:, 3:5], n[:, 5]
+        rho = np.asarray(rho, dtype=np.float64)
+        rho1, rho2 = rho[:, 0], rho[:, 2]  # center-edge weights of each disk
+        diff = c2 - c1
+        S = np.linalg.norm(diff, axis=1)
+        D = np.maximum(0.0, r1 + r2 - S)
+        # Deterministic direction for coincident centers.
+        safe = S > 1e-12
+        nhat = np.empty_like(diff)
+        nhat[safe] = diff[safe] / S[safe, None]
+        nhat[~safe] = np.array([1.0, 0.0])
+        w1 = rho2 / (rho1 + rho2)
+        w2 = rho1 / (rho1 + rho2)
+        half_d = 0.5 * D
+        out = np.array(n, copy=True)
+        out[:, 0:2] = c1 - (half_d * w1)[:, None] * nhat
+        out[:, 2] = r1 - half_d * w1
+        out[:, 3:5] = c2 + (half_d * w2)[:, None] * nhat
+        out[:, 5] = r2 - half_d * w2
+        return out
+
+    def evaluate(self, x, params):
+        c1, r1, c2, r2 = x[0:2], x[2], x[3:5], x[5]
+        gap = np.linalg.norm(c1 - c2) - (r1 + r2)
+        return 0.0 if gap >= -1e-7 else float("inf")
+
+    def outgoing_weights(self, x, n, rho, params):
+        """Three-weight hook: an *inactive* collision constraint abstains.
+
+        When the incoming disks don't overlap the projection is the
+        identity — the factor has no opinion and (per [9]) emits weight 0,
+        letting active constraints and the radius reward drive the average.
+        """
+        n = np.asarray(n, dtype=np.float64)
+        S = np.linalg.norm(n[:, 3:5] - n[:, 0:2], axis=1)
+        active = (n[:, 2] + n[:, 5] - S) > 0.0
+        w = np.asarray(rho, dtype=np.float64).copy()
+        w[~active] = 0.0
+        return w
+
+
+@register_prox
+class WallProx(ProxOperator):
+    """Projection onto ``{Qᵀ(c − V) ≥ r}`` — keep a disk inside a half-plane.
+
+    ``Q`` (unit inward normal) and ``V`` (a point on the wall) are per-factor
+    parameters.  Weighted KKT solution (reduces to the paper's equal-ρ form
+    ``(c, r) = (n_c, n_r) + E(−Q, 1)`` with ``E = min(0, ½(Qᵀ(n_c−V)−n_r))``):
+
+        g = Qᵀ(n_c − V) − n_r          (≥ 0 means feasible)
+        λ = max(0, −g) / (1/ρ_c + 1/ρ_r)
+        c = n_c + (λ/ρ_c) Q,   r = n_r − λ/ρ_r
+    """
+
+    name = "packing_wall"
+    signature = (2, 1)
+
+    def prox_batch(self, n, rho, params):
+        n = np.asarray(n, dtype=np.float64)
+        c, r = n[:, 0:2], n[:, 2]
+        rho = np.asarray(rho, dtype=np.float64)
+        rho_c, rho_r = rho[:, 0], rho[:, 1]
+        Q = np.asarray(params["Q"], dtype=np.float64)  # (B, 2)
+        V = np.asarray(params["V"], dtype=np.float64)  # (B, 2)
+        g = np.einsum("bi,bi->b", Q, c - V) - r
+        lam = np.maximum(0.0, -g) / (1.0 / rho_c + 1.0 / rho_r)
+        out = np.array(n, copy=True)
+        out[:, 0:2] = c + (lam / rho_c)[:, None] * Q
+        out[:, 2] = r - lam / rho_r
+        return out
+
+    def evaluate(self, x, params):
+        Q = np.asarray(params["Q"], dtype=np.float64)
+        V = np.asarray(params["V"], dtype=np.float64)
+        g = float(Q @ (x[0:2] - V) - x[2])
+        return 0.0 if g >= -1e-7 else float("inf")
+
+    def outgoing_weights(self, x, n, rho, params):
+        """Three-weight hook: an inactive wall constraint abstains (see [9])."""
+        n = np.asarray(n, dtype=np.float64)
+        Q = np.asarray(params["Q"], dtype=np.float64)
+        V = np.asarray(params["V"], dtype=np.float64)
+        g = np.einsum("bi,bi->b", Q, n[:, 0:2] - V) - n[:, 2]
+        w = np.asarray(rho, dtype=np.float64).copy()
+        w[g >= 0.0] = 0.0
+        return w
+
+
+@register_prox
+class RadiusRewardProx(ProxOperator):
+    """Non-convex reward ``h(r) = −(κ/2) r² + ind(r ≥ 0)`` growing disks.
+
+    Closed form ``r = max(0, ρ n / (ρ − κ))``; requires ``ρ > κ`` for the
+    subproblem to be bounded (the paper's form is the κ = 1 case,
+    ``ρ n/(ρ − 1)``).
+
+    The explicit ``r ≥ 0`` constraint is a necessary robustification of the
+    paper's formula: without it, the amplifying map ``ρn/(ρ−κ)`` blows
+    *negative* radii up too, and a negative radius satisfies every collision
+    and wall constraint trivially — the iteration can then diverge to
+    ``r → −∞`` from unlucky initializations (observed in testing).  With
+    the clamp, ``n < 0`` projects to the boundary ``r = 0``, which is the
+    exact prox of the constrained reward.
+    """
+
+    name = "packing_radius"
+    signature = (1,)
+    convex = False
+
+    def __init__(self, kappa: float = 1.0) -> None:
+        self.kappa = float(kappa)
+        if self.kappa <= 0:
+            raise ValueError(f"kappa must be positive, got {kappa}")
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        rho = np.asarray(rho, dtype=np.float64)
+        if np.any(rho <= self.kappa):
+            raise ValueError(
+                f"packing_radius prox unbounded: need rho > kappa={self.kappa} "
+                f"(got min rho={rho.min():g}); increase rho"
+            )
+        out = np.asarray(n, dtype=np.float64) * (rho / (rho - self.kappa))
+        return np.maximum(out, 0.0)
+
+    def evaluate(self, x, params):
+        if x[0] < -1e-9:
+            return float("inf")
+        return float(-0.5 * self.kappa * x[0] ** 2)

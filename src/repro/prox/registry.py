@@ -1,0 +1,50 @@
+"""Name-based registry of proximal operators.
+
+Lets applications and config-driven experiments look operators up by the
+stable string name (``"l1"``, ``"packing_pair"``, …) instead of importing
+classes, and gives the test suite a single authoritative enumeration of every
+operator the library ships.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Type
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_prox(cls: type) -> type:
+    """Class decorator: register ``cls`` under its ``name`` attribute."""
+    name = getattr(cls, "name", "") or cls.__name__
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(
+            f"proximal operator name {name!r} already registered "
+            f"by {_REGISTRY[name].__module__}.{_REGISTRY[name].__qualname__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_prox_class(name: str) -> type:
+    """Look a registered operator class up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown proximal operator {name!r}; known: {known}") from None
+
+
+def make_prox(name: str, *args, **kwargs):
+    """Instantiate a registered operator by name."""
+    return get_prox_class(name)(*args, **kwargs)
+
+
+def registered_prox_names() -> list[str]:
+    """Sorted names of every registered operator."""
+    return sorted(_REGISTRY)
+
+
+def iter_registered() -> Iterator[tuple[str, type]]:
+    """Iterate (name, class) pairs in sorted-name order."""
+    for name in registered_prox_names():
+        yield name, _REGISTRY[name]

@@ -1,0 +1,361 @@
+"""Generic proximal operators: the standard library of building blocks.
+
+All closed-form maps are implemented in batched form (the CUDA-kernel analog)
+and inherit the single-factor path from the base class.  Shapes follow
+:mod:`repro.prox.base`: ``n`` is (B, L), ``rho`` is (B, n_edges).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.prox.base import ProxOperator, expand_rho, slot_offsets
+from repro.prox.registry import register_prox
+from repro.utils.validation import check_positive
+
+
+@register_prox
+class ZeroProx(ProxOperator):
+    """``h ≡ 0`` — the identity proximal map (useful as a no-op factor)."""
+
+    name = "zero"
+
+    def prox_batch(self, n, rho, params):
+        return np.array(n, dtype=np.float64, copy=True)
+
+    def evaluate(self, x, params):
+        return 0.0
+
+    def outgoing_weights(self, x, n, rho, params):
+        # A zero factor has no opinion: weight 0 in the three-weight scheme.
+        return np.zeros_like(np.asarray(rho, dtype=np.float64))
+
+
+@register_prox
+class LinearProx(ProxOperator):
+    """``h(s) = c·s`` — shift map ``x = n − c/ρ``.
+
+    Parameter ``c`` has shape (L,) per factor.  Each variable's slots use
+    that variable's edge ρ.
+    """
+
+    name = "linear"
+
+    def __init__(self, dims: tuple[int, ...]) -> None:
+        self.dims = tuple(int(d) for d in dims)
+        self.signature = self.dims
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        rho_slots = expand_rho(rho, self.dims)
+        return n - params["c"] / rho_slots
+
+    def evaluate(self, x, params):
+        return float(np.dot(params["c"], x))
+
+
+@register_prox
+class DiagQuadProx(ProxOperator):
+    """``h(s) = ½ Σ q_k s_k² + c·s`` — diagonal quadratic.
+
+    ``q`` (L,) must be ≥ 0 elementwise for convexity (not enforced: the
+    engine supports non-convex h, e.g. packing's radius reward uses q < 0).
+    Closed form: ``x = (ρ n − c) / (q + ρ)``.
+    """
+
+    name = "diag_quad"
+    convex = True
+
+    def __init__(self, dims: tuple[int, ...]) -> None:
+        self.dims = tuple(int(d) for d in dims)
+        self.signature = self.dims
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        rho_slots = expand_rho(rho, self.dims)
+        q = params["q"]
+        c = params.get("c", 0.0)
+        denom = q + rho_slots
+        if np.any(denom <= 0):
+            raise ValueError(
+                "diag_quad prox undefined: q + rho must be positive "
+                "(non-convex curvature exceeds the penalty weight)"
+            )
+        return (rho_slots * n - c) / denom
+
+    def evaluate(self, x, params):
+        q = params["q"]
+        c = params.get("c", np.zeros_like(x))
+        return float(0.5 * np.dot(q * x, x) + np.dot(np.broadcast_to(c, x.shape), x))
+
+
+@register_prox
+class QuadraticProx(ProxOperator):
+    """``h(s) = ½ sᵀ P s + c·s`` — full quadratic with PSD ``P``.
+
+    Closed form: solve ``(P + ρI) x = ρ n − c``.  ``P`` is per-factor
+    (B, L, L); a batched LU solve handles the group in one call.  Requires a
+    single scalar ρ per factor (validated), matching the classical ADMM.
+    """
+
+    name = "quadratic"
+
+    def __init__(self, dims: tuple[int, ...]) -> None:
+        self.dims = tuple(int(d) for d in dims)
+        self.signature = self.dims
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        rho = np.asarray(rho, dtype=np.float64)
+        if not np.allclose(rho, rho[:, :1]):
+            raise ValueError(
+                "quadratic prox requires equal rho on all edges of a factor"
+            )
+        r = rho[:, 0]
+        P = params["P"]
+        c = params.get("c", np.zeros_like(n))
+        L = n.shape[1]
+        A = P + r[:, None, None] * np.eye(L)[None, :, :]
+        rhs = r[:, None] * n - c
+        return np.linalg.solve(A, rhs[..., None])[..., 0]
+
+    def evaluate(self, x, params):
+        P = params["P"]
+        c = params.get("c", np.zeros_like(x))
+        return float(0.5 * x @ P @ x + np.dot(np.broadcast_to(c, x.shape), x))
+
+
+@register_prox
+class BoxProx(ProxOperator):
+    """Indicator of the box ``lo ≤ s ≤ hi`` — clipping projection."""
+
+    name = "box"
+
+    def prox_batch(self, n, rho, params):
+        return np.clip(n, params["lo"], params["hi"])
+
+    def evaluate(self, x, params):
+        ok = np.all(x >= params["lo"] - 1e-9) and np.all(x <= params["hi"] + 1e-9)
+        return 0.0 if ok else float("inf")
+
+    def outgoing_weights(self, x, n, rho, params):
+        # Projection onto a box pins coordinates at the bound: messages for
+        # clipped slots are "certain" in the three-weight sense only when the
+        # whole edge is clipped; we use the standard conservative choice of
+        # keeping rho (clipping is not a full determination of the value).
+        return np.asarray(rho, dtype=np.float64).copy()
+
+
+@register_prox
+class NonNegativeProx(ProxOperator):
+    """Indicator of the non-negative orthant — ``x = max(n, 0)``."""
+
+    name = "nonnegative"
+
+    def prox_batch(self, n, rho, params):
+        return np.maximum(n, 0.0)
+
+    def evaluate(self, x, params):
+        return 0.0 if np.all(x >= -1e-9) else float("inf")
+
+
+@register_prox
+class L1Prox(ProxOperator):
+    """``h(s) = λ ||s||₁`` — soft-thresholding ``x = sign(n)(|n| − λ/ρ)⁺``.
+
+    ``lam`` may be a scalar constructor argument or a per-factor parameter
+    array (key ``"lam"``), in which case the parameter wins.
+    """
+
+    name = "l1"
+
+    def __init__(self, lam: float = 1.0) -> None:
+        self.lam = check_positive(lam, "lam")
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        lam = params.get("lam", self.lam)
+        lam = np.asarray(lam, dtype=np.float64)
+        if lam.ndim == 1:  # per-factor scalar -> broadcast over slots
+            lam = lam[:, None]
+        rho_slots = expand_rho(rho, (n.shape[1],)) if rho.shape[-1] == 1 else None
+        if rho_slots is None:
+            # General case: rho given per edge; expand by repeating — the
+            # graph layer guarantees rho.shape[-1] == n_edges.  For a single
+            # 1-D variable per factor this is just rho itself.
+            reps = n.shape[1] // rho.shape[1]
+            rho_slots = np.repeat(rho, reps, axis=1)
+        thresh = lam / rho_slots
+        return np.sign(n) * np.maximum(np.abs(n) - thresh, 0.0)
+
+    def evaluate(self, x, params):
+        lam = float(np.ravel(params.get("lam", self.lam))[0])
+        return lam * float(np.abs(x).sum())
+
+
+@register_prox
+class L2BallProx(ProxOperator):
+    """Indicator of the ball ``||s|| ≤ r`` — radial projection."""
+
+    name = "l2_ball"
+
+    def __init__(self, radius: float = 1.0) -> None:
+        self.radius = check_positive(radius, "radius")
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        r = np.asarray(params.get("radius", self.radius), dtype=np.float64)
+        norms = np.linalg.norm(n, axis=1, keepdims=True)
+        scale = np.minimum(1.0, np.divide(r if r.ndim else float(r), np.maximum(norms, 1e-300)))
+        if scale.ndim == 1:
+            scale = scale[:, None]
+        return n * scale
+
+    def evaluate(self, x, params):
+        r = float(np.ravel(params.get("radius", self.radius))[0])
+        return 0.0 if np.linalg.norm(x) <= r + 1e-9 else float("inf")
+
+
+@register_prox
+class AffineConstraintProx(ProxOperator):
+    """Indicator of ``{s : A s = c}`` — weighted projection onto an affine set.
+
+    With per-edge weights ρ (expanded to slots as W), the prox is
+
+        x = n − W⁻¹ Aᵀ (A W⁻¹ Aᵀ)⁻¹ (A n − c).
+
+    ``A`` is an instance-level constant (shared by every factor in the
+    group — the common case: one physics/constraint template stamped across
+    the graph); ``c`` is a per-factor parameter (key ``"c"``, default 0).
+    """
+
+    name = "affine"
+
+    def __init__(self, A: np.ndarray, dims: tuple[int, ...]) -> None:
+        self.A = np.asarray(A, dtype=np.float64)
+        if self.A.ndim != 2:
+            raise ValueError("A must be a 2-D matrix")
+        self.dims = tuple(int(d) for d in dims)
+        if self.A.shape[1] != sum(self.dims):
+            raise ValueError(
+                f"A has {self.A.shape[1]} columns but dims {self.dims} "
+                f"imply {sum(self.dims)} slots"
+            )
+        self.signature = self.dims
+        # Fast path (uniform rho): projector P = I − Aᵀ(AAᵀ)⁻¹A and the
+        # particular-solution map A⁺ = Aᵀ(AAᵀ)⁻¹, both precomputed.
+        AAt = self.A @ self.A.T
+        self._pinv = self.A.T @ np.linalg.inv(AAt)
+        self._projector = np.eye(self.A.shape[1]) - self._pinv @ self.A
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        rho = np.asarray(rho, dtype=np.float64)
+        c = params.get("c", None)
+        uniform = bool(np.allclose(rho, rho[:, :1]))
+        if uniform:
+            x = n @ self._projector.T
+            if c is not None:
+                x += c @ self._pinv.T
+            return x
+        # Weighted projection, batch-solved.
+        w = expand_rho(rho, self.dims)  # (B, L)
+        An = np.einsum("ml,bl->bm", self.A, n)
+        if c is not None:
+            An = An - c
+        # M_b = A diag(1/w_b) Aᵀ  -> solve M_b y_b = An_b
+        Aw = self.A[None, :, :] / w[:, None, :]
+        M = np.einsum("bml,kl->bmk", Aw, self.A)
+        y = np.linalg.solve(M, An[..., None])[..., 0]
+        return n - np.einsum("bml,bm->bl", Aw, y)
+
+    def evaluate(self, x, params):
+        c = params.get("c", np.zeros(self.A.shape[0]))
+        return 0.0 if np.allclose(self.A @ x, c, atol=1e-6) else float("inf")
+
+    def outgoing_weights(self, x, n, rho, params):
+        return np.asarray(rho, dtype=np.float64).copy()
+
+
+@register_prox
+class ConsensusEqualProx(ProxOperator):
+    """Indicator of ``{s₁ = s₂ = … = s_k}`` over equal-dim variables.
+
+    Weighted closed form (paper Appendix C.4 generalized to k variables):
+    every copy is set to the ρ-weighted mean ``Σ ρᵢ nᵢ / Σ ρᵢ``.
+    """
+
+    name = "consensus_equal"
+
+    def __init__(self, k: int, dim: int) -> None:
+        self.k = int(k)
+        self.dim = int(dim)
+        if self.k < 2:
+            raise ValueError(f"consensus needs k >= 2 variables, got {k}")
+        self.signature = tuple([self.dim] * self.k)
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        B = n.shape[0]
+        parts = n.reshape(B, self.k, self.dim)
+        w = np.asarray(rho, dtype=np.float64)[:, :, None]  # (B, k, 1)
+        mean = (w * parts).sum(axis=1, keepdims=True) / w.sum(axis=1, keepdims=True)
+        return np.broadcast_to(mean, parts.shape).reshape(B, -1)
+
+    def evaluate(self, x, params):
+        parts = x.reshape(self.k, self.dim)
+        return 0.0 if np.allclose(parts, parts[0], atol=1e-6) else float("inf")
+
+
+@register_prox
+class FixedValueProx(ProxOperator):
+    """Indicator of ``{s = v}`` — the message is ignored, output pinned.
+
+    The paper's MPC initial-state constraint ``q(0) = q₀`` is this operator.
+    Under the three-weight algorithm its messages are *certain* (weight ∞).
+    """
+
+    name = "fixed_value"
+
+    def prox_batch(self, n, rho, params):
+        return np.broadcast_to(params["value"], n.shape).astype(np.float64).copy()
+
+    def evaluate(self, x, params):
+        return 0.0 if np.allclose(x, params["value"], atol=1e-6) else float("inf")
+
+    def outgoing_weights(self, x, n, rho, params):
+        return np.full_like(np.asarray(rho, dtype=np.float64), np.inf)
+
+
+@register_prox
+class HalfspaceProx(ProxOperator):
+    """Indicator of ``{s : g·s ≤ h}`` — projection onto a half-space.
+
+    Uniform-ρ projection ``x = n − max(0, (g·n − h)/||g||²) g``; with
+    per-edge weights the correction uses the W⁻¹-scaled normal.
+    """
+
+    name = "halfspace"
+
+    def __init__(self, dims: tuple[int, ...]) -> None:
+        self.dims = tuple(int(d) for d in dims)
+        self.signature = self.dims
+        super().__init__()
+
+    def prox_batch(self, n, rho, params):
+        g = params["g"]  # (B, L)
+        h = params["h"]  # (B,) or (B, 1)
+        h = np.reshape(h, (n.shape[0],))
+        w = expand_rho(np.asarray(rho, dtype=np.float64), self.dims)
+        gw = g / w
+        viol = np.einsum("bl,bl->b", g, n) - h
+        denom = np.einsum("bl,bl->b", g, gw)
+        lam = np.maximum(0.0, viol / np.maximum(denom, 1e-300))
+        return n - lam[:, None] * gw
+
+    def evaluate(self, x, params):
+        g = np.asarray(params["g"], dtype=np.float64)
+        h = float(np.ravel(params["h"])[0])
+        return 0.0 if float(g @ x) <= h + 1e-6 else float("inf")

@@ -1,0 +1,22 @@
+"""Shared utilities: timing, deterministic RNG, validation helpers."""
+
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.timing import Timer, KernelTimers, format_seconds
+from repro.utils.validation import (
+    check_array,
+    check_finite,
+    check_positive,
+    check_shape,
+)
+
+__all__ = [
+    "default_rng",
+    "spawn_rngs",
+    "Timer",
+    "KernelTimers",
+    "format_seconds",
+    "check_array",
+    "check_finite",
+    "check_positive",
+    "check_shape",
+]

@@ -1,0 +1,50 @@
+"""Deterministic random-number helpers.
+
+All randomness in the library flows through :func:`default_rng` so that every
+experiment, test, and benchmark is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Seed used across the repository when the caller does not supply one.  Kept
+#: module-level so benches and tests agree on the default workloads.
+DEFAULT_SEED = 1603_02526  # arXiv id of the paper, for flavor.
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` seeded deterministically.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed.  ``None`` selects :data:`DEFAULT_SEED` (*not* OS
+        entropy) — reproducibility is the default in this library.
+    """
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(n: int, seed: int | None = None) -> list[np.random.Generator]:
+    """Return ``n`` statistically independent child generators.
+
+    Used by the process/thread backends so each worker draws from its own
+    stream, matching the "independent streams per core" idiom of parallel
+    numerical codes.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    ss = np.random.SeedSequence(DEFAULT_SEED if seed is None else seed)
+    return [np.random.default_rng(s) for s in ss.spawn(n)]
+
+
+def shuffled(seq: Sequence, seed: int | None = None) -> list:
+    """Return a deterministically shuffled copy of ``seq``."""
+    rng = default_rng(seed)
+    out = list(seq)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,93 @@
+"""Timing utilities used by the solver diagnostics and the bench harness.
+
+The paper reports per-update-kind time fractions ("the x and z updates take
+31% + 40% of the time"); :class:`KernelTimers` collects exactly those numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (``1.23s``, ``45.6ms``, ``789us``)."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager."""
+
+    elapsed: float = 0.0
+    calls: int = 0
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        self.elapsed += time.perf_counter() - self._start
+        self.calls += 1
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed call (0.0 if never called)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+
+#: The five update kinds of Algorithm 2, in execution order.
+UPDATE_KINDS = ("x", "m", "z", "u", "n")
+
+
+@dataclass
+class KernelTimers:
+    """One :class:`Timer` per Algorithm-2 kernel (x, m, z, u, n)."""
+
+    timers: dict[str, Timer] = field(
+        default_factory=lambda: {k: Timer() for k in UPDATE_KINDS}
+    )
+
+    def __getitem__(self, kind: str) -> Timer:
+        return self.timers[kind]
+
+    def reset(self) -> None:
+        for t in self.timers.values():
+            t.reset()
+
+    @property
+    def total(self) -> float:
+        return sum(t.elapsed for t in self.timers.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Fraction of total iteration time spent in each kernel.
+
+        This regenerates the paper's "x+z take 71% of the time" style numbers.
+        Returns all-zeros if nothing has been timed.
+        """
+        total = self.total
+        if total == 0.0:
+            return {k: 0.0 for k in UPDATE_KINDS}
+        return {k: self.timers[k].elapsed / total for k in UPDATE_KINDS}
+
+    def summary(self) -> str:
+        fr = self.fractions()
+        parts = [
+            f"{k}:{format_seconds(self.timers[k].elapsed)}({fr[k]:.0%})"
+            for k in UPDATE_KINDS
+        ]
+        return " ".join(parts)

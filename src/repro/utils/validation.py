@@ -1,0 +1,55 @@
+"""Input-validation helpers shared across the public API.
+
+Errors raised here are the library's user-facing diagnostics, so messages name
+the offending argument and the expectation, not internal state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_array(
+    value,
+    name: str,
+    *,
+    dtype=np.float64,
+    ndim: int | None = None,
+    allow_empty: bool = True,
+) -> np.ndarray:
+    """Coerce ``value`` to an ndarray and validate its rank."""
+    arr = np.asarray(value, dtype=dtype)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must have ndim={ndim}, got ndim={arr.ndim}")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return arr
+
+
+def check_finite(arr: np.ndarray, name: str) -> np.ndarray:
+    """Raise if ``arr`` contains NaN or infinity."""
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite (contains NaN or inf)")
+    return arr
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise unless ``value`` is a strictly positive finite scalar."""
+    value = float(value)
+    if not (value > 0.0) or value != value or value == float("inf"):
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_shape(arr: np.ndarray, shape: Sequence[int], name: str) -> np.ndarray:
+    """Raise unless ``arr.shape`` equals ``shape`` (use -1 for "any")."""
+    expected = tuple(shape)
+    actual = arr.shape
+    ok = len(actual) == len(expected) and all(
+        e in (-1, a) for e, a in zip(expected, actual)
+    )
+    if not ok:
+        raise ValueError(f"{name} must have shape {expected}, got {actual}")
+    return arr

@@ -1,0 +1,126 @@
+"""Tests for the MPC application (paper §V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mpc import (
+    MPCProblem,
+    default_problem,
+    inverted_pendulum,
+    solve_mpc,
+    solve_mpc_exact,
+)
+
+
+class TestPendulum:
+    def test_dimensions(self):
+        A, B = inverted_pendulum()
+        assert A.shape == (4, 4)
+        assert B.shape == (4, 1)
+
+    def test_sampling_time_scales(self):
+        A1, B1 = inverted_pendulum(dt=0.04)
+        A2, B2 = inverted_pendulum(dt=0.08)
+        np.testing.assert_allclose(A2, 2 * A1)
+        np.testing.assert_allclose(B2, 2 * B1)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            inverted_pendulum(dt=0.0)
+
+    def test_unstable_open_loop(self):
+        # The upright pendulum is unstable: I + A has an eigenvalue > 1.
+        A, _ = inverted_pendulum()
+        eigs = np.linalg.eigvals(np.eye(4) + A)
+        assert np.max(np.abs(eigs)) > 1.0
+
+
+class TestProblemConstruction:
+    def test_linear_edge_growth(self):
+        p1 = default_problem(10)
+        p2 = default_problem(20)
+        g1, g2 = p1.build_graph(), p2.build_graph()
+        assert g1.num_edges == 3 * 10 + 2 == p1.expected_edges
+        assert g2.num_edges == 3 * 20 + 2 == p2.expected_edges
+
+    def test_node_count(self):
+        g = default_problem(15).build_graph()
+        assert g.num_vars == 16  # K+1 state-input nodes
+
+    def test_validation(self):
+        A, B = inverted_pendulum()
+        with pytest.raises(ValueError):
+            MPCProblem(A=A, B=B, q0=np.zeros(4), horizon=0)
+        with pytest.raises(ValueError):
+            MPCProblem(A=A, B=B, q0=np.zeros(3), horizon=5)
+        with pytest.raises(ValueError):
+            MPCProblem(A=np.zeros((4, 3)), B=B, q0=np.zeros(4), horizon=5)
+        with pytest.raises(ValueError):
+            MPCProblem(A=A, B=B, q0=np.zeros(4), horizon=5, q_diag=-np.ones(4))
+
+    def test_extract_shapes(self):
+        p = default_problem(8)
+        g = p.build_graph()
+        states, inputs = p.extract(np.zeros(g.z_size))
+        assert states.shape == (9, 4)
+        assert inputs.shape == (9, 1)
+
+
+class TestExactSolver:
+    def test_satisfies_constraints(self):
+        p = default_problem(30)
+        states, inputs, obj = solve_mpc_exact(p)
+        assert p.dynamics_violation(states, inputs) < 1e-9
+        assert obj > 0
+
+    def test_objective_consistent(self):
+        p = default_problem(10)
+        states, inputs, obj = solve_mpc_exact(p)
+        assert obj == pytest.approx(p.objective(states, inputs))
+
+    def test_zero_initial_state_gives_zero_solution(self):
+        p = default_problem(10, q0=np.zeros(4))
+        states, inputs, obj = solve_mpc_exact(p)
+        assert obj == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(states, 0.0, atol=1e-9)
+
+
+class TestADMMvsExact:
+    def test_small_horizon_matches_kkt(self):
+        p = default_problem(5)
+        out = solve_mpc(p, iterations=8000, rho=10.0)
+        _, _, obj_exact = solve_mpc_exact(p)
+        assert out["dynamics_violation"] < 1e-6
+        assert out["objective"] == pytest.approx(obj_exact, rel=1e-4)
+
+    def test_trajectories_match_kkt(self):
+        p = default_problem(5)
+        out = solve_mpc(p, iterations=8000, rho=10.0)
+        states_ex, inputs_ex, _ = solve_mpc_exact(p)
+        np.testing.assert_allclose(out["states"], states_ex, atol=1e-4)
+        np.testing.assert_allclose(out["inputs"], inputs_ex, atol=1e-4)
+
+    def test_longer_horizon_converging(self):
+        p = default_problem(20)
+        out = solve_mpc(p, iterations=6000, rho=10.0)
+        _, _, obj_exact = solve_mpc_exact(p)
+        # Chain diffusion is slow; require the right ballpark + feasibility
+        # trending to zero rather than exact agreement.
+        assert out["dynamics_violation"] < 5e-2
+        assert out["objective"] < 2.0 * obj_exact + 1.0
+
+
+class TestWarmStartMPC:
+    def test_receding_horizon_reuse(self):
+        """The paper's real-time trick: reuse the graph, update q0, warm-start."""
+        from repro.core.solver import ADMMSolver
+
+        p = default_problem(5)
+        graph = p.build_graph()
+        solver = ADMMSolver(graph, rho=10.0)
+        first = solver.solve(max_iterations=4000, check_every=100)
+        # New measured state arrives: rebuild only the init factor's params.
+        solver.warm_start(first.z)
+        second = solver.solve(max_iterations=500, init="keep", check_every=50)
+        states, inputs = p.extract(second.z)
+        assert p.dynamics_violation(states, inputs) < 1e-2

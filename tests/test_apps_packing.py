@@ -1,0 +1,150 @@
+"""Tests for the circle-packing application (paper §V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.packing import (
+    ConvexRegion,
+    PackingProblem,
+    solve_packing,
+    square_region,
+    triangle_region,
+)
+
+
+class TestRegions:
+    def test_triangle_normals_unit_and_inward(self):
+        r = triangle_region()
+        norms = np.linalg.norm(r.normals, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+        centroid = np.array([0.5, np.sqrt(3) / 6])
+        assert r.contains(centroid)
+
+    def test_triangle_area(self):
+        r = triangle_region()
+        assert r.area == pytest.approx(np.sqrt(3) / 4)
+
+    def test_custom_triangle(self):
+        verts = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+        r = triangle_region(verts)
+        assert r.area == pytest.approx(2.0)
+        assert r.contains(np.array([0.5, 0.5]))
+        assert not r.contains(np.array([2.0, 2.0]))
+
+    def test_triangle_shape_validation(self):
+        with pytest.raises(ValueError):
+            triangle_region(np.zeros((4, 2)))
+
+    def test_square_region(self):
+        r = square_region(2.0)
+        assert r.area == 4.0
+        assert r.num_walls == 4
+        assert r.contains(np.array([1.0, 1.0]))
+        assert not r.contains(np.array([3.0, 1.0]))
+
+    def test_square_validation(self):
+        with pytest.raises(ValueError):
+            square_region(0.0)
+
+    def test_contains_batch(self):
+        r = square_region(1.0)
+        pts = np.array([[0.5, 0.5], [2.0, 0.5]])
+        np.testing.assert_array_equal(r.contains(pts), [True, False])
+
+    def test_wall_violation(self):
+        r = square_region(1.0)
+        centers = np.array([[0.5, 0.5], [0.05, 0.5]])
+        radii = np.array([0.1, 0.2])
+        # Second disk pokes 0.15 out of the left wall.
+        assert r.wall_violation(centers, radii) == pytest.approx(0.15)
+
+
+class TestGraphConstruction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10])
+    def test_paper_element_count_formulas(self, n):
+        p = PackingProblem(n)
+        g = p.build_graph()
+        s = p.region.num_walls
+        assert g.num_edges == 2 * n * n - n + 2 * n * s == p.expected_edges
+        assert g.num_vars == 2 * n == p.expected_vars
+        assert g.num_factors == n * (n - 1) // 2 + n + n * s == p.expected_factors
+
+    def test_quadratic_growth(self):
+        e10 = PackingProblem(10).build_graph().num_edges
+        e20 = PackingProblem(20).build_graph().num_edges
+        # 2N^2 dominates: doubling N roughly quadruples edges.
+        assert 3.0 < e20 / e10 < 4.5
+
+    def test_groups_are_three_families(self):
+        g = PackingProblem(4).build_graph()
+        names = sorted(grp.prox.name for grp in g.groups)
+        assert names == ["packing_pair", "packing_radius", "packing_wall"]
+
+    def test_all_groups_contiguous(self):
+        g = PackingProblem(5).build_graph()
+        assert all(grp.contiguous for grp in g.groups)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            PackingProblem(0)
+
+
+class TestInitialState:
+    def test_centers_inside_region(self):
+        p = PackingProblem(12)
+        g = p.build_graph()
+        s = p.initial_state(g, seed=3)
+        centers, radii = p.extract(g, s.z)
+        assert np.all(p.region.contains(centers))
+        assert np.all(radii > 0)
+
+    def test_deterministic(self):
+        p = PackingProblem(6)
+        g = p.build_graph()
+        a = p.initial_state(g, seed=9).z
+        b = p.initial_state(g, seed=9).z
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMetrics:
+    def test_overlap_violation_zero_when_separated(self):
+        p = PackingProblem(2)
+        centers = np.array([[0.0, 0.0], [1.0, 0.0]])
+        radii = np.array([0.3, 0.3])
+        assert p.overlap_violation(centers, radii) == 0.0
+
+    def test_overlap_violation_measures_gap(self):
+        p = PackingProblem(2)
+        centers = np.array([[0.0, 0.0], [1.0, 0.0]])
+        radii = np.array([0.7, 0.7])
+        assert p.overlap_violation(centers, radii) == pytest.approx(0.4)
+
+    def test_single_disk_no_overlap(self):
+        p = PackingProblem(1)
+        assert p.overlap_violation(np.zeros((1, 2)), np.array([1.0])) == 0.0
+
+    def test_coverage(self):
+        p = PackingProblem(1, region=square_region(1.0))
+        assert p.coverage(np.array([0.5])) == pytest.approx(np.pi * 0.25)
+
+
+class TestSolve:
+    def test_single_disk_in_square_reaches_incircle(self):
+        # Optimal: radius 0.5 centered at (0.5, 0.5).
+        out = solve_packing(
+            1, iterations=800, rho=3.0, seed=0, region=square_region(1.0)
+        )
+        assert out["feasible"]
+        np.testing.assert_allclose(out["centers"][0], [0.5, 0.5], atol=0.02)
+        assert out["radii"][0] == pytest.approx(0.5, abs=0.02)
+
+    def test_three_disks_triangle_feasible_and_covering(self):
+        out = solve_packing(3, iterations=1500, rho=3.0, seed=1)
+        assert out["overlap_violation"] < 1e-3
+        assert out["wall_violation"] < 1e-3
+        assert out["coverage"] > 0.5  # decent packing, not degenerate
+
+    def test_validate_report_keys(self):
+        out = solve_packing(2, iterations=300, seed=2)
+        for key in ("coverage", "overlap_violation", "wall_violation", "feasible"):
+            assert key in out

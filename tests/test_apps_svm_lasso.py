@@ -1,0 +1,163 @@
+"""Tests for the SVM and Lasso applications (paper §V-C and §I)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lasso import (
+    LassoProblem,
+    make_lasso_data,
+    solve_lasso,
+    solve_lasso_fista,
+)
+from repro.apps.svm import (
+    SVMProblem,
+    make_blobs,
+    solve_svm,
+    solve_svm_reference,
+)
+
+
+class TestBlobs:
+    def test_shapes_and_labels(self):
+        X, y = make_blobs(40, dim=3, seed=0)
+        assert X.shape == (40, 3)
+        assert set(np.unique(y)) == {-1.0, 1.0}
+
+    def test_balanced(self):
+        _, y = make_blobs(100, seed=1)
+        assert abs(int(y.sum())) <= 1
+
+    def test_separation_controls_difficulty(self):
+        X1, y1 = make_blobs(200, separation=6.0, seed=2)
+        # Strongly separated: a simple midpoint rule classifies well.
+        proj = X1 @ np.ones(2)
+        acc = np.mean(np.sign(proj) == y1)
+        assert acc > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_blobs(1)
+        with pytest.raises(ValueError):
+            make_blobs(10, dim=0)
+
+    def test_deterministic(self):
+        X1, _ = make_blobs(20, seed=3)
+        X2, _ = make_blobs(20, seed=3)
+        np.testing.assert_array_equal(X1, X2)
+
+
+class TestSVMGraph:
+    def test_linear_edge_growth(self):
+        X, y = make_blobs(30, seed=0)
+        p = SVMProblem(X, y)
+        g = p.build_graph()
+        assert g.num_edges == 6 * 30 - 2 == p.expected_edges
+
+    def test_ring_adds_one_factor(self):
+        X, y = make_blobs(10, seed=0)
+        chain = SVMProblem(X, y, ring=False).build_graph()
+        ring = SVMProblem(X, y, ring=True).build_graph()
+        assert ring.num_factors == chain.num_factors + 1
+
+    def test_plane_degree_bounded(self):
+        # The paper's design point: plane-node degree stays small for any N.
+        X, y = make_blobs(50, seed=0)
+        g = SVMProblem(X, y).build_graph()
+        assert g.var_degree.max() <= 4
+
+    def test_validation(self):
+        X, y = make_blobs(10, seed=0)
+        with pytest.raises(ValueError):
+            SVMProblem(X, np.ones(5))
+        with pytest.raises(ValueError):
+            SVMProblem(X, np.full(10, 2.0))
+        with pytest.raises(ValueError):
+            SVMProblem(X, y, lam=0.0)
+
+
+class TestSVMSolve:
+    def test_matches_reference_objective(self):
+        X, y = make_blobs(24, dim=2, seed=5)
+        p = SVMProblem(X, y, lam=1.0)
+        out = solve_svm(p, iterations=4000)
+        _, _, obj_ref = solve_svm_reference(p)
+        assert out["objective"] <= obj_ref * 1.02 + 1e-6
+
+    def test_high_accuracy_on_separated_blobs(self):
+        X, y = make_blobs(40, dim=2, separation=4.0, seed=6)
+        out = solve_svm(SVMProblem(X, y, lam=1.0), iterations=3000)
+        assert out["accuracy"] >= 0.9
+
+    def test_higher_dimensional_data(self):
+        X, y = make_blobs(30, dim=6, separation=4.0, seed=7)
+        out = solve_svm(SVMProblem(X, y, lam=1.0), iterations=3000)
+        assert out["accuracy"] >= 0.85
+
+    def test_consensus_across_copies(self):
+        X, y = make_blobs(16, dim=2, seed=8)
+        p = SVMProblem(X, y)
+        out = solve_svm(p, iterations=4000)
+        z = out["result"].z
+        n, d = p.n_points, p.dim
+        planes = z[: n * (d + 1)].reshape(n, d + 1)
+        spread = np.max(np.abs(planes - planes.mean(axis=0)))
+        assert spread < 5e-2
+
+
+class TestLassoData:
+    def test_shapes(self):
+        A, y, w = make_lasso_data(50, 20, sparsity=4, seed=0)
+        assert A.shape == (50, 20)
+        assert y.shape == (50,)
+        assert np.count_nonzero(w) == 4
+
+    def test_sparsity_validation(self):
+        with pytest.raises(ValueError):
+            make_lasso_data(10, 5, sparsity=6)
+
+
+class TestLassoSolve:
+    def test_fista_reference_decreases_objective(self):
+        A, y, _ = make_lasso_data(40, 15, seed=1)
+        p = LassoProblem(A, y, lam=0.1)
+        w = solve_lasso_fista(A, y, 0.1)
+        assert p.objective(w) <= p.objective(np.zeros(15))
+
+    def test_admm_matches_fista(self):
+        A, y, _ = make_lasso_data(60, 20, seed=2)
+        p = LassoProblem(A, y, lam=0.05, n_blocks=4)
+        out = solve_lasso(p, iterations=4000)
+        w_ref = solve_lasso_fista(A, y, 0.05)
+        assert out["objective"] == pytest.approx(p.objective(w_ref), rel=1e-5)
+        np.testing.assert_allclose(out["w"], w_ref, atol=1e-4)
+
+    def test_uneven_blocks_padded_correctly(self):
+        # 7 rows into 3 blocks: shapes 3/2/2 padded to 3.
+        A, y, _ = make_lasso_data(7, 4, sparsity=2, seed=3)
+        p = LassoProblem(A, y, lam=0.05, n_blocks=3)
+        out = solve_lasso(p, iterations=3000)
+        w_ref = solve_lasso_fista(A, y, 0.05)
+        np.testing.assert_allclose(out["w"], w_ref, atol=1e-3)
+
+    def test_single_block_equals_multi_block(self):
+        A, y, _ = make_lasso_data(30, 10, seed=4)
+        out1 = solve_lasso(LassoProblem(A, y, lam=0.1, n_blocks=1), iterations=4000)
+        out4 = solve_lasso(LassoProblem(A, y, lam=0.1, n_blocks=4), iterations=4000)
+        np.testing.assert_allclose(out1["w"], out4["w"], atol=1e-3)
+
+    def test_strong_regularization_zeroes_solution(self):
+        A, y, _ = make_lasso_data(30, 10, noise=0.0, seed=5)
+        lam_max = float(np.max(np.abs(A.T @ y)))
+        out = solve_lasso(
+            LassoProblem(A, y, lam=2.0 * lam_max, n_blocks=2), iterations=2000
+        )
+        np.testing.assert_allclose(out["w"], 0.0, atol=1e-6)
+
+    def test_validation(self):
+        A, y, _ = make_lasso_data(10, 5, sparsity=2, seed=6)
+        with pytest.raises(ValueError):
+            LassoProblem(A, y, lam=-1.0)
+        with pytest.raises(ValueError):
+            LassoProblem(A, y, lam=0.1, n_blocks=0)
+        with pytest.raises(ValueError):
+            LassoProblem(A, np.zeros(3), lam=0.1)

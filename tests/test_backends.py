@@ -1,0 +1,212 @@
+"""Backend tests: the correctness premise of the whole paper.
+
+Every scheduling strategy must produce the *same iterates* — the paper's
+parallelization claims correctness because the five loops are data-parallel
+within each kernel.  These tests assert (near-)bitwise equality across all
+five backends, on fixtures and on randomized graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.persistent import PersistentWorkerBackend
+from repro.backends.process import ProcessBackend
+from repro.backends.serial import SerialBackend
+from repro.backends.threaded import ThreadedBackend, edge_balanced_boundaries
+from repro.backends.vectorized import VectorizedBackend
+from repro.core.state import ADMMState
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import ConsensusEqualProx, DiagQuadProx, L1Prox
+from repro.utils.timing import KernelTimers
+
+ALL_BACKENDS = [
+    ("serial", lambda: SerialBackend()),
+    ("vectorized", lambda: VectorizedBackend()),
+    ("threaded-2", lambda: ThreadedBackend(num_workers=2)),
+    ("threaded-3-edges", lambda: ThreadedBackend(num_workers=3, balance="edges")),
+    ("persistent-2", lambda: PersistentWorkerBackend(num_workers=2)),
+    ("process-2", lambda: ProcessBackend(num_workers=2)),
+]
+
+
+def run_backend(graph, factory, iterations=12, seed=13, rho=1.4, alpha=0.8):
+    backend = factory()
+    state = ADMMState(graph, rho=rho, alpha=alpha).init_random(0.05, 0.95, seed=seed)
+    try:
+        backend.prepare(graph)
+        backend.run(graph, state, iterations)
+    finally:
+        backend.close()
+    return state
+
+
+class TestEquivalenceOnFixtures:
+    @pytest.mark.parametrize("name,factory", ALL_BACKENDS[1:])
+    def test_matches_serial_on_chain(self, name, factory, chain_graph):
+        ref = run_backend(chain_graph, lambda: SerialBackend())
+        got = run_backend(chain_graph, factory)
+        np.testing.assert_allclose(got.z, ref.z, atol=1e-12, err_msg=name)
+        np.testing.assert_allclose(got.u, ref.u, atol=1e-12, err_msg=name)
+        np.testing.assert_allclose(got.x, ref.x, atol=1e-12, err_msg=name)
+
+    @pytest.mark.parametrize("name,factory", ALL_BACKENDS[1:])
+    def test_matches_serial_on_mixed_dims(self, name, factory, mixed_dims_graph):
+        ref = run_backend(mixed_dims_graph, lambda: SerialBackend())
+        got = run_backend(mixed_dims_graph, factory)
+        np.testing.assert_allclose(got.z, ref.z, atol=1e-12, err_msg=name)
+
+    @pytest.mark.parametrize("name,factory", ALL_BACKENDS)
+    def test_iteration_counter(self, name, factory, figure1_graph):
+        got = run_backend(figure1_graph, factory, iterations=7)
+        assert got.iteration == 7
+
+    @pytest.mark.parametrize("name,factory", ALL_BACKENDS)
+    def test_zero_iterations_noop(self, name, factory, figure1_graph):
+        backend = factory()
+        s = ADMMState(figure1_graph).init_random(seed=3)
+        before = s.z.copy()
+        try:
+            backend.prepare(figure1_graph)
+            backend.run(figure1_graph, s, 0)
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(s.z, before)
+
+    @pytest.mark.parametrize("name,factory", ALL_BACKENDS)
+    def test_negative_iterations_rejected(self, name, factory, figure1_graph):
+        backend = factory()
+        s = ADMMState(figure1_graph)
+        try:
+            with pytest.raises(ValueError):
+                backend.run(figure1_graph, s, -1)
+        finally:
+            backend.close()
+
+
+class TestEquivalenceRandomized:
+    @given(
+        seed=st.integers(0, 10_000),
+        n_vars=st.integers(2, 10),
+        n_factors=st.integers(1, 12),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_vectorized_matches_serial_on_random_graphs(
+        self, seed, n_vars, n_factors
+    ):
+        rng = np.random.default_rng(seed)
+        b = GraphBuilder()
+        dims = [int(rng.integers(1, 4)) for _ in range(n_vars)]
+        vs = [b.add_variable(d) for d in dims]
+        prox_cache = {}
+        for _ in range(n_factors):
+            k = int(rng.integers(1, min(3, n_vars) + 1))
+            scope = list(rng.choice(n_vars, size=k, replace=False))
+            key = tuple(dims[v] for v in scope)
+            if key not in prox_cache:
+                prox_cache[key] = DiagQuadProx(dims=key)
+            L = sum(key)
+            b.add_factor(
+                prox_cache[key],
+                scope,
+                params={"q": rng.uniform(0.1, 2.0, L), "c": rng.normal(size=L)},
+            )
+        # Ensure every variable is touched so the z-update is defined.
+        for v in vs:
+            key = (dims[v],)
+            if key not in prox_cache:
+                prox_cache[key] = DiagQuadProx(dims=key)
+            b.add_factor(
+                prox_cache[key], [v], params={"q": np.ones(dims[v]), "c": np.zeros(dims[v])}
+            )
+        g = b.build()
+        ref = run_backend(g, lambda: SerialBackend(), iterations=6, seed=seed)
+        got = run_backend(g, lambda: VectorizedBackend(), iterations=6, seed=seed)
+        np.testing.assert_allclose(got.z, ref.z, atol=1e-11)
+        np.testing.assert_allclose(got.n, ref.n, atol=1e-11)
+
+
+class TestTimers:
+    @pytest.mark.parametrize("name,factory", ALL_BACKENDS)
+    def test_timers_populated(self, name, factory, chain_graph):
+        backend = factory()
+        s = ADMMState(chain_graph).init_random(seed=2)
+        timers = KernelTimers()
+        try:
+            backend.prepare(chain_graph)
+            backend.run(chain_graph, s, 3, timers)
+        finally:
+            backend.close()
+        assert timers.total > 0.0
+        for k in ("x", "m", "z", "u", "n"):
+            assert timers[k].calls == 3, f"{name} kernel {k}"
+
+    def test_fractions_from_timers(self, chain_graph):
+        s = ADMMState(chain_graph).init_random(seed=2)
+        timers = KernelTimers()
+        VectorizedBackend().run(chain_graph, s, 5, timers)
+        fr = timers.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+
+class TestThreadedDetails:
+    def test_edge_balanced_boundaries_cover(self, chain_graph):
+        bounds = edge_balanced_boundaries(chain_graph, 3)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == chain_graph.z_size
+        for (a, b_), (c, _) in zip(bounds, bounds[1:]):
+            assert b_ == c
+
+    def test_edge_balanced_boundaries_balance_star(self):
+        from repro.bench.workloads import star_graph
+
+        g = star_graph(200)
+        bounds = edge_balanced_boundaries(g, 4)
+        nnz = np.diff(g.scatter_matrix.indptr)
+        loads = [nnz[a:b_].sum() for a, b_ in bounds]
+        assert max(loads) <= nnz.sum() / 4 + nnz.max()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ThreadedBackend(num_workers=0)
+        with pytest.raises(ValueError):
+            ThreadedBackend(balance="nope")
+
+    def test_reprepare_on_new_graph(self, chain_graph, figure1_graph):
+        backend = ThreadedBackend(num_workers=2)
+        try:
+            s1 = ADMMState(chain_graph).init_random(seed=1)
+            backend.run(chain_graph, s1, 2)
+            s2 = ADMMState(figure1_graph).init_random(seed=1)
+            backend.run(figure1_graph, s2, 2)  # must re-prepare internally
+            assert s2.iteration == 2
+        finally:
+            backend.close()
+
+
+class TestProcessDetails:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(num_workers=0)
+
+    def test_reuse_across_runs(self, chain_graph):
+        backend = ProcessBackend(num_workers=2)
+        try:
+            s = ADMMState(chain_graph).init_random(seed=6)
+            ref = s.copy()
+            backend.run(chain_graph, s, 4)
+            SerialBackend().run(chain_graph, ref, 4)
+            np.testing.assert_allclose(s.z, ref.z, atol=1e-12)
+            # Second run on the same pool continues correctly.
+            backend.run(chain_graph, s, 4)
+            SerialBackend().run(chain_graph, ref, 4)
+            np.testing.assert_allclose(s.z, ref.z, atol=1e-12)
+        finally:
+            backend.close()
+
+    def test_close_is_idempotent(self, chain_graph):
+        backend = ProcessBackend(num_workers=2)
+        backend.prepare(chain_graph)
+        backend.close()
+        backend.close()

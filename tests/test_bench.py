@@ -1,0 +1,125 @@
+"""Tests for the benchmark harness, reporting, and the Figure-5 table."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backends.serial import SerialBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.harness import compare_backends, measure_backend
+from repro.bench.reporting import SeriesTable, fresh_report, results_path
+from repro.bench.solver_table import (
+    FIGURE5_SOLVERS,
+    build_table,
+    open_source_parallel_count,
+)
+from repro.bench.workloads import (
+    mpc_graph,
+    packing_graph,
+    star_graph,
+    svm_graph,
+)
+
+
+class TestHarness:
+    def test_measure_backend_reports_all_kernels(self, chain_graph):
+        m = measure_backend(chain_graph, VectorizedBackend(), iterations=3)
+        assert m.iterations == 3
+        assert m.total_seconds > 0
+        assert set(m.kernel_seconds) == {"x", "m", "z", "u", "n"}
+        fr = m.kernel_fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+    def test_compare_backends_speedup_positive(self, chain_graph):
+        cmp = compare_backends(
+            chain_graph, SerialBackend(), VectorizedBackend(), 2, 4
+        )
+        assert cmp.combined_speedup > 0
+        ks = cmp.kernel_speedups()
+        assert set(ks) == {"x", "m", "z", "u", "n"}
+
+    def test_vectorized_beats_serial_on_large_graph(self):
+        g = packing_graph(25)
+        cmp = compare_backends(g, SerialBackend(), VectorizedBackend(), 2, 10)
+        assert cmp.combined_speedup > 3.0
+
+    def test_invalid_iterations(self, chain_graph):
+        with pytest.raises(ValueError):
+            measure_backend(chain_graph, VectorizedBackend(), iterations=0)
+
+
+class TestWorkloadBuilders:
+    def test_packing_graph_counts(self):
+        g = packing_graph(6)
+        assert g.num_edges == 2 * 36 - 6 + 2 * 6 * 3
+
+    def test_mpc_graph_counts(self):
+        g = mpc_graph(12)
+        assert g.num_edges == 3 * 12 + 2
+
+    def test_svm_graph_counts(self):
+        g = svm_graph(20)
+        assert g.num_edges == 6 * 20 - 2
+
+    def test_star_graph_hub_degree(self):
+        g = star_graph(9)
+        assert g.var_degree[0] == 9
+        assert np.all(g.var_degree[1:] == 1)
+
+
+class TestReporting:
+    def test_table_rendering(self):
+        t = SeriesTable("demo", ("N", "time", "speedup"))
+        t.add_row(10, 0.123, 4.5)
+        t.add_row(100, 1.5, 7.25)
+        t.add_note("hello")
+        text = t.render()
+        assert "demo" in text and "speedup" in text and "note: hello" in text
+
+    def test_row_arity_checked(self):
+        t = SeriesTable("demo", ("a", "b"))
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_emit_appends_to_file(self, tmp_path):
+        path = str(tmp_path / "out" / "report.txt")
+        t = SeriesTable("demo", ("a",))
+        t.add_row(1)
+        t.emit(path)
+        t.emit(path)
+        content = open(path).read()
+        assert content.count("== demo ==") == 2
+
+    def test_fresh_report_truncates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        p = fresh_report("x.txt", "HEADER")
+        assert open(p).read().startswith("HEADER")
+        p2 = fresh_report("x.txt", "NEW")
+        assert "HEADER" not in open(p2).read()
+
+    def test_results_path_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert results_path("a.txt") == os.path.join(str(tmp_path), "a.txt")
+
+
+class TestSolverTable:
+    def test_paper_claim_no_open_source_parallel(self):
+        # "most open-source solvers cannot exploit parallelism" — in Fig 5,
+        # none of the open ones do.
+        assert open_source_parallel_count() == 0
+
+    def test_commercial_solvers_have_smmp(self):
+        commercial = [e for e in FIGURE5_SOLVERS if not e.open_source]
+        assert commercial and all("SMMP" in e.parallelism for e in commercial)
+
+    def test_eleven_rows_as_printed(self):
+        assert len(FIGURE5_SOLVERS) == 11
+
+    def test_table_includes_paradmm_row(self):
+        text = build_table(include_paradmm=True).render()
+        assert "parADMM" in text and "GPU" in text
+
+    def test_table_without_paradmm(self):
+        text = build_table(include_paradmm=False).render()
+        assert "parADMM" not in text

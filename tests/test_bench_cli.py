@@ -1,0 +1,37 @@
+"""Tests for the command-line figure runner."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "ntb" in out
+
+    def test_fig05(self, capsys):
+        assert main(["fig05"]) == 0
+        assert "parADMM" in capsys.readouterr().out
+
+    def test_fig07_small_sizes(self, capsys):
+        assert main(["fig07", "--sizes", "50", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "packing" in out and "speedup" in out
+
+    def test_fig10_small(self, capsys):
+        assert main(["fig10", "--sizes", "100"]) == 0
+        assert "mpc" in capsys.readouterr().out
+
+    def test_fig13_small(self, capsys):
+        assert main(["fig13", "--sizes", "100"]) == 0
+        assert "svm" in capsys.readouterr().out
+
+    def test_ntb_sweep(self, capsys):
+        assert main(["ntb", "--packing-n", "200"]) == 0
+        assert "best" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

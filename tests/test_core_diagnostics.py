@@ -1,0 +1,77 @@
+"""Tests for solve-time diagnostics (history, result formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import ADMMResult, SolveHistory
+from repro.core.residuals import Residuals
+from repro.core.solver import ADMMSolver
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import DiagQuadProx
+from repro.utils.timing import KernelTimers
+
+
+def residuals_at(it, primal=1.0, dual=0.5):
+    return Residuals(
+        primal=primal, dual=dual, eps_primal=1e-3, eps_dual=1e-3, iteration=it
+    )
+
+
+class TestSolveHistory:
+    def test_append_and_len(self):
+        h = SolveHistory()
+        h.append(residuals_at(10), objective=2.0, rho_mean=1.0)
+        h.append(residuals_at(20), objective=1.5, rho_mean=1.0)
+        assert len(h) == 2
+        assert h.iterations == [10, 20]
+        assert h.objective == [2.0, 1.5]
+
+    def test_objective_optional(self):
+        h = SolveHistory()
+        h.append(residuals_at(5), objective=None, rho_mean=2.0)
+        assert h.objective == []
+        assert h.rho == [2.0]
+
+    def test_arrays(self):
+        h = SolveHistory()
+        for i, p in enumerate((3.0, 2.0, 1.0)):
+            h.append(residuals_at(i, primal=p, dual=p / 2), None, 1.0)
+        np.testing.assert_array_equal(h.primal_array(), [3.0, 2.0, 1.0])
+        np.testing.assert_array_equal(h.dual_array(), [1.5, 1.0, 0.5])
+
+
+class TestADMMResult:
+    def make_result(self, converged=True):
+        return ADMMResult(
+            solution=[np.array([1.0, 2.0]), np.array([3.0])],
+            z=np.array([1.0, 2.0, 3.0]),
+            converged=converged,
+            iterations=123,
+            residuals=residuals_at(123),
+            history=SolveHistory(),
+            timers=KernelTimers(),
+            wall_time=0.5,
+        )
+
+    def test_variable_access(self):
+        r = self.make_result()
+        np.testing.assert_array_equal(r.variable(0), [1.0, 2.0])
+        np.testing.assert_array_equal(r.variable(1), [3.0])
+
+    def test_summary_converged(self):
+        text = self.make_result(converged=True).summary()
+        assert "converged" in text and "123" in text
+
+    def test_summary_not_converged(self):
+        text = self.make_result(converged=False).summary()
+        assert "max-iterations" in text
+
+    def test_solver_produces_consistent_result(self):
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        b.add_factor(DiagQuadProx(dims=(1,)), [w], params={"q": [1.0], "c": [-1.0]})
+        res = ADMMSolver(b.build()).solve(max_iterations=200, check_every=10)
+        assert res.iterations == res.residuals.iteration
+        assert res.wall_time > 0
+        assert res.timers.total > 0
+        np.testing.assert_array_equal(res.solution[0], res.z)

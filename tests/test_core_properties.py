@@ -1,0 +1,133 @@
+"""Property-based tests on whole-engine invariants (hypothesis).
+
+Beyond per-operator properties, the *engine* guarantees structure:
+
+* the z array always lies in the convex hull of the incoming messages;
+* at a consensus fixed point of convex quadratic problems, iteration is
+  stationary (the engine doesn't drift off optima);
+* residuals on strongly convex problems trend to zero;
+* iterates depend deterministically on (graph, seed, backend).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.vectorized import VectorizedBackend
+from repro.core import updates
+from repro.core.residuals import compute_residuals
+from repro.core.solver import ADMMSolver
+from repro.core.state import ADMMState
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import ConsensusEqualProx, DiagQuadProx
+
+
+def random_quadratic_graph(rng, n_vars=4, dim=2, chain=True):
+    """Strongly convex random quadratic consensus problem."""
+    b = GraphBuilder()
+    vs = b.add_variables(n_vars, dim=dim)
+    dq = DiagQuadProx(dims=(dim,))
+    ce = ConsensusEqualProx(k=2, dim=dim)
+    targets = []
+    for v in vs:
+        t = rng.normal(size=dim)
+        targets.append(t)
+        b.add_factor(
+            dq, [v], params={"q": rng.uniform(0.5, 2.0, dim), "c": -t}
+        )
+    if chain:
+        for i in range(n_vars - 1):
+            b.add_factor(ce, [vs[i], vs[i + 1]])
+    return b.build()
+
+
+class TestZConvexHull:
+    @given(seed=st.integers(0, 5000), iters=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_z_in_message_hull_after_any_iterations(self, seed, iters):
+        rng = np.random.default_rng(seed)
+        g = random_quadratic_graph(rng)
+        s = ADMMState(g, rho=float(rng.uniform(0.5, 3.0)))
+        s.init_random(seed=seed)
+        VectorizedBackend().run(g, s, iters)
+        for bvar in range(g.num_vars):
+            edges = g.edges_of_var(bvar)
+            msgs = np.stack([s.m[g.edge_slots(e)] for e in edges])
+            zb = s.z[g.var_slots(bvar)]
+            assert np.all(zb >= msgs.min(axis=0) - 1e-10)
+            assert np.all(zb <= msgs.max(axis=0) + 1e-10)
+
+
+class TestFixedPoint:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_converged_solution_is_stationary(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_quadratic_graph(rng, n_vars=3)
+        solver = ADMMSolver(g, rho=1.0)
+        res = solver.solve(max_iterations=6000, eps_abs=1e-12, eps_rel=1e-11)
+        z_star = solver.state.z.copy()
+        # Keep iterating from the converged state: z must stay put.
+        solver.iterate(25)
+        assert np.max(np.abs(solver.state.z - z_star)) < 1e-6
+
+
+class TestResidualTrend:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_primal_residual_decreases_over_blocks(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_quadratic_graph(rng)
+        s = ADMMState(g, rho=1.0).init_random(seed=seed)
+        backend = VectorizedBackend()
+
+        def primal_after(extra):
+            backend.run(g, s, extra - 1)
+            z_prev = s.z.copy()
+            backend.run(g, s, 1)
+            return compute_residuals(g, s, z_prev).primal
+
+        early = primal_after(10)
+        late = primal_after(200)
+        assert late <= early + 1e-9
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_iterates(self, seed):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        g1 = random_quadratic_graph(rng1)
+        g2 = random_quadratic_graph(rng2)
+        s1 = ADMMState(g1).init_random(seed=seed)
+        s2 = ADMMState(g2).init_random(seed=seed)
+        VectorizedBackend().run(g1, s1, 7)
+        VectorizedBackend().run(g2, s2, 7)
+        np.testing.assert_array_equal(s1.z, s2.z)
+
+
+class TestScaleInvariance:
+    def test_objective_scaling_scales_solution_of_anchor(self):
+        # min q/2 (x-t)^2 alone: solution independent of q and rho.
+        for q in (0.5, 1.0, 5.0):
+            b = GraphBuilder()
+            w = b.add_variable(1)
+            b.add_factor(
+                DiagQuadProx(dims=(1,)), [w], params={"q": [q], "c": [-q * 3.0]}
+            )
+            res = ADMMSolver(b.build()).solve(max_iterations=500)
+            np.testing.assert_allclose(res.variable(0), [3.0], atol=1e-6)
+
+    def test_rho_does_not_change_fixed_point(self):
+        rng = np.random.default_rng(0)
+        g = random_quadratic_graph(rng, n_vars=3)
+        sols = []
+        for rho in (0.3, 1.0, 4.0):
+            res = ADMMSolver(g, rho=rho).solve(
+                max_iterations=20000, eps_abs=1e-12, eps_rel=1e-11, check_every=50
+            )
+            sols.append(res.z)
+        np.testing.assert_allclose(sols[0], sols[1], atol=1e-5)
+        np.testing.assert_allclose(sols[1], sols[2], atol=1e-5)

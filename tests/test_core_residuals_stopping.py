@@ -1,0 +1,188 @@
+"""Unit tests for residuals, stopping criteria, and penalty schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import updates
+from repro.core.parameters import (
+    ConstantPenalty,
+    ResidualBalancing,
+    apply_rho_scale,
+)
+from repro.core.residuals import (
+    Residuals,
+    compute_residuals,
+    consensus_violation,
+    objective_value,
+)
+from repro.core.state import ADMMState
+from repro.core.stopping import (
+    AnyOf,
+    MaxIterations,
+    ResidualTolerance,
+    StallDetection,
+)
+
+
+def make_residuals(primal, dual, it=1, eps_p=1e-3, eps_d=1e-3):
+    return Residuals(
+        primal=primal, dual=dual, eps_primal=eps_p, eps_dual=eps_d, iteration=it
+    )
+
+
+class TestResiduals:
+    def test_zero_at_consensus(self, chain_graph):
+        g = chain_graph
+        s = ADMMState(g)
+        z = np.linspace(0.0, 1.0, g.z_size)
+        s.init_from_z(z)
+        updates.m_update(g, s)
+        r = compute_residuals(g, s, z_prev=z.copy())
+        assert r.primal == 0.0
+        assert r.dual == 0.0
+        assert r.converged
+
+    def test_primal_measures_consensus_gap(self, figure1_graph):
+        g = figure1_graph
+        s = ADMMState(g)
+        s.x[:] = 1.0
+        s.z[:] = 0.0
+        r = compute_residuals(g, s, z_prev=s.z.copy())
+        assert abs(r.primal - np.sqrt(g.edge_size)) < 1e-12
+
+    def test_dual_measures_z_change(self, figure1_graph):
+        g = figure1_graph
+        s = ADMMState(g, rho=2.0)
+        s.z[:] = 1.0
+        z_prev = np.zeros(g.z_size)
+        s.x[:] = s.z[g.flat_edge_to_z]
+        r = compute_residuals(g, s, z_prev)
+        assert abs(r.dual - 2.0 * np.sqrt(g.edge_size)) < 1e-12
+        assert r.primal == 0.0
+
+    def test_consensus_violation_max_norm(self, figure1_graph):
+        g = figure1_graph
+        s = ADMMState(g)
+        s.x[:] = 0.0
+        s.x[3] = 5.0
+        s.z[:] = 0.0
+        assert consensus_violation(g, s) == 5.0
+
+    def test_objective_value_sums_factors(self, chain_graph):
+        s = ADMMState(chain_graph)
+        s.z[:] = 0.0
+        v = objective_value(chain_graph, s)
+        assert np.isfinite(v)
+
+    def test_objective_inf_when_infeasible(self):
+        from repro.graph.builder import GraphBuilder
+        from repro.prox.standard import NonNegativeProx
+
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        b.add_factor(NonNegativeProx(), [w])
+        g = b.build()
+        s = ADMMState(g)
+        s.z[:] = -1.0
+        assert objective_value(g, s) == float("inf")
+
+
+class TestStopping:
+    def test_max_iterations(self):
+        c = MaxIterations(10)
+        assert not c.check(make_residuals(1, 1, it=9))
+        assert c.check(make_residuals(1, 1, it=10))
+
+    def test_max_iterations_validation(self):
+        with pytest.raises(ValueError):
+            MaxIterations(-1)
+
+    def test_residual_tolerance(self):
+        c = ResidualTolerance()
+        assert c.check(make_residuals(1e-5, 1e-5))
+        assert not c.check(make_residuals(1e-2, 1e-5))
+
+    def test_stall_detection_fires_on_plateau(self):
+        c = StallDetection(patience=3, rel_improvement=0.01)
+        r = make_residuals(1.0, 1.0)
+        assert not c.check(r)  # establishes best
+        fired = [c.check(make_residuals(1.0, 1.0, it=i)) for i in range(2, 6)]
+        assert any(fired)
+
+    def test_stall_detection_resets_on_progress(self):
+        c = StallDetection(patience=3)
+        c.check(make_residuals(1.0, 1.0))
+        c.check(make_residuals(1.0, 1.0))
+        assert not c.check(make_residuals(0.5, 1.0))  # improvement
+        assert not c.check(make_residuals(0.5, 1.0))
+
+    def test_any_of(self):
+        c = AnyOf(MaxIterations(5), ResidualTolerance())
+        assert c.check(make_residuals(1e-9, 1e-9, it=1))
+        assert c.check(make_residuals(1.0, 1.0, it=5))
+        assert not c.check(make_residuals(1.0, 1.0, it=1))
+
+    def test_any_of_requires_criteria(self):
+        with pytest.raises(ValueError):
+            AnyOf()
+
+    def test_reset_clears_stall_state(self):
+        c = StallDetection(patience=1)
+        c.check(make_residuals(1.0, 1.0))
+        assert c.check(make_residuals(1.0, 1.0))
+        c.reset()
+        assert not c.check(make_residuals(1.0, 1.0))
+
+
+class TestPenaltySchedules:
+    def test_constant_never_scales(self, chain_graph):
+        s = ADMMState(chain_graph)
+        sched = ConstantPenalty()
+        assert sched.rho_scale(s, make_residuals(100.0, 1e-9)) == 1.0
+
+    def test_residual_balancing_increases_rho(self, chain_graph):
+        s = ADMMState(chain_graph)
+        sched = ResidualBalancing(mu=10.0, tau=2.0)
+        assert sched.rho_scale(s, make_residuals(100.0, 1.0)) == 2.0
+
+    def test_residual_balancing_decreases_rho(self, chain_graph):
+        s = ADMMState(chain_graph)
+        sched = ResidualBalancing(mu=10.0, tau=2.0)
+        assert sched.rho_scale(s, make_residuals(1.0, 100.0)) == 0.5
+
+    def test_residual_balancing_in_band(self, chain_graph):
+        s = ADMMState(chain_graph)
+        sched = ResidualBalancing(mu=10.0, tau=2.0)
+        assert sched.rho_scale(s, make_residuals(2.0, 1.0)) == 1.0
+
+    def test_max_updates_cap(self, chain_graph):
+        s = ADMMState(chain_graph)
+        sched = ResidualBalancing(mu=1.5, tau=2.0, max_updates=2)
+        r = make_residuals(100.0, 1.0)
+        assert sched.rho_scale(s, r) == 2.0
+        assert sched.rho_scale(s, r) == 2.0
+        assert sched.rho_scale(s, r) == 1.0  # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResidualBalancing(tau=1.0)
+        with pytest.raises(ValueError):
+            ResidualBalancing(max_updates=-1)
+
+    def test_apply_rho_scale_rescales_u(self, chain_graph):
+        s = ADMMState(chain_graph, rho=1.0)
+        s.u[:] = 4.0
+        apply_rho_scale(s, 2.0)
+        assert np.all(s.rho == 2.0)
+        assert np.all(s.u == 2.0)
+
+    def test_apply_rho_scale_noop(self, chain_graph):
+        s = ADMMState(chain_graph, rho=1.0)
+        s.u[:] = 4.0
+        apply_rho_scale(s, 1.0)
+        assert np.all(s.u == 4.0)
+
+    def test_apply_rho_scale_invalid(self, chain_graph):
+        s = ADMMState(chain_graph)
+        with pytest.raises(ValueError):
+            apply_rho_scale(s, -1.0)

@@ -1,0 +1,183 @@
+"""Unit + integration tests for the ADMMSolver driver."""
+
+import numpy as np
+import pytest
+
+from repro.backends.serial import SerialBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.core.parameters import ResidualBalancing
+from repro.core.solver import ADMMSolver
+from repro.core.stopping import MaxIterations
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import ConsensusEqualProx, DiagQuadProx, FixedValueProx
+
+
+def single_quad_graph(target=(2.0, -1.0)):
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": -np.asarray(target, dtype=float)},
+    )
+    return b.build()
+
+
+class TestBasicSolve:
+    def test_single_factor_quadratic(self):
+        g = single_quad_graph()
+        result = ADMMSolver(g).solve(max_iterations=300)
+        np.testing.assert_allclose(result.variable(0), [2.0, -1.0], atol=1e-5)
+        assert result.converged
+
+    def test_two_anchors_average(self):
+        # Two quadratics pulling one variable to 0 and 4 -> optimum at 2.
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        dq = DiagQuadProx(dims=(1,))
+        b.add_factor(dq, [w], params={"q": [1.0], "c": [0.0]})
+        b.add_factor(dq, [w], params={"q": [1.0], "c": [-4.0]})
+        result = ADMMSolver(b.build()).solve(max_iterations=500)
+        np.testing.assert_allclose(result.variable(0), [2.0], atol=1e-5)
+
+    def test_consensus_chain_converges(self, chain_graph):
+        result = ADMMSolver(chain_graph).solve(
+            max_iterations=8000, eps_abs=1e-10, eps_rel=1e-9, check_every=20
+        )
+        # All six variables equal (consensus) at the joint optimum.
+        sol = np.stack(result.solution)
+        assert np.max(np.abs(sol - sol[0])) < 1e-4
+
+    def test_history_recorded(self):
+        g = single_quad_graph()
+        result = ADMMSolver(g).solve(max_iterations=100, check_every=10)
+        assert len(result.history) >= 1
+        assert result.history.iterations[-1] == result.iterations
+
+    def test_record_objective(self):
+        g = single_quad_graph()
+        solver = ADMMSolver(g, record_objective=True)
+        result = solver.solve(max_iterations=100, check_every=10)
+        assert len(result.history.objective) == len(result.history)
+
+    def test_fixed_iterations_mode(self):
+        g = single_quad_graph()
+        result = ADMMSolver(g).solve(
+            max_iterations=37, stopping=MaxIterations(37), check_every=10
+        )
+        assert result.iterations == 37
+
+    def test_callback_invoked(self):
+        g = single_quad_graph()
+        calls = []
+        ADMMSolver(g).solve(
+            max_iterations=50,
+            check_every=10,
+            callback=lambda s, r: calls.append(r.iteration),
+        )
+        assert calls and calls == sorted(calls)
+
+    def test_zero_iterations(self):
+        g = single_quad_graph()
+        result = ADMMSolver(g).solve(max_iterations=0)
+        assert result.iterations == 0
+        assert not result.converged
+
+
+class TestSolverConfig:
+    def test_invalid_args(self):
+        g = single_quad_graph()
+        s = ADMMSolver(g)
+        with pytest.raises(ValueError):
+            s.solve(max_iterations=-1)
+        with pytest.raises(ValueError):
+            s.solve(check_every=0)
+        with pytest.raises(ValueError):
+            s.iterate(-1)
+        with pytest.raises(ValueError, match="unknown init"):
+            s.initialize("bogus")
+
+    def test_signature_validation_at_construction(self):
+        b = GraphBuilder()
+        w = b.add_variable(3)  # wrong dim for a (2,)-signature operator
+        b.add_factor(DiagQuadProx(dims=(2,)), [w], params={"q": np.ones(2)})
+        with pytest.raises(ValueError, match="factor 0"):
+            ADMMSolver(b.build())
+
+    def test_backend_choice(self):
+        g = single_quad_graph()
+        r1 = ADMMSolver(g, backend=SerialBackend()).solve(max_iterations=100)
+        r2 = ADMMSolver(g, backend=VectorizedBackend()).solve(max_iterations=100)
+        np.testing.assert_allclose(r1.z, r2.z, atol=1e-12)
+
+    def test_context_manager(self):
+        g = single_quad_graph()
+        with ADMMSolver(g) as solver:
+            solver.solve(max_iterations=10)
+
+    def test_iterate_advances_counter(self):
+        g = single_quad_graph()
+        s = ADMMSolver(g)
+        s.iterate(5)
+        assert s.state.iteration == 5
+
+
+class TestWarmStart:
+    def test_warm_start_is_fixed_point_at_optimum(self):
+        g = single_quad_graph(target=(1.0, 1.0))
+        solver = ADMMSolver(g)
+        first = solver.solve(max_iterations=500)
+        solver.warm_start(first.z)
+        second = solver.solve(max_iterations=50, init="keep", check_every=5)
+        np.testing.assert_allclose(second.z, first.z, atol=1e-6)
+        assert second.iterations <= 50
+
+    def test_warm_start_speeds_convergence(self):
+        # Chain consensus: cold vs warm iteration counts.
+        b = GraphBuilder()
+        vs = b.add_variables(8, dim=1)
+        dq = DiagQuadProx(dims=(1,))
+        ce = ConsensusEqualProx(k=2, dim=1)
+        for i, v in enumerate(vs):
+            b.add_factor(dq, [v], params={"q": [1.0], "c": [-float(i)]})
+        for i in range(7):
+            b.add_factor(ce, [vs[i], vs[i + 1]])
+        g = b.build()
+        solver = ADMMSolver(g)
+        cold = solver.solve(max_iterations=5000, eps_abs=1e-8, check_every=10)
+        solver.warm_start(cold.z)
+        warm = solver.solve(
+            max_iterations=5000, eps_abs=1e-8, init="keep", check_every=10
+        )
+        # Warm starts reset the dual memory, so they can't be *slower* than
+        # cold but need not be strictly faster on short chains.
+        assert warm.iterations <= cold.iterations
+
+
+class TestAdaptiveRho:
+    def test_residual_balancing_converges(self, chain_graph):
+        solver = ADMMSolver(chain_graph, rho=0.05, schedule=ResidualBalancing())
+        result = solver.solve(
+            max_iterations=6000, eps_abs=1e-8, eps_rel=1e-7, check_every=25
+        )
+        sol = np.stack(result.solution)
+        assert np.max(np.abs(sol - sol[0])) < 1e-2
+
+    def test_rho_actually_changes(self):
+        g = single_quad_graph()
+        sched = ResidualBalancing(mu=1.0001, tau=2.0)
+        solver = ADMMSolver(g, rho=100.0, schedule=sched)
+        result = solver.solve(max_iterations=200, check_every=5)
+        assert len(set(result.history.rho)) > 1
+
+
+class TestFixedValueFactor:
+    def test_pinned_variable_dominates(self):
+        b = GraphBuilder()
+        w = b.add_variable(2)
+        b.add_factor(FixedValueProx(), [w], params={"value": np.array([3.0, -3.0])})
+        b.add_factor(
+            DiagQuadProx(dims=(2,)), [w], params={"q": np.ones(2) * 0.1, "c": np.zeros(2)}
+        )
+        result = ADMMSolver(b.build()).solve(max_iterations=2000, check_every=20)
+        np.testing.assert_allclose(result.variable(0), [3.0, -3.0], atol=1e-2)

@@ -1,0 +1,119 @@
+"""Unit tests for ADMMState: storage, penalties, initialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import ADMMState
+
+
+class TestConstruction:
+    def test_shapes(self, chain_graph):
+        s = ADMMState(chain_graph)
+        assert s.x.shape == (chain_graph.edge_size,)
+        assert s.z.shape == (chain_graph.z_size,)
+        assert s.rho.shape == (chain_graph.num_edges,)
+
+    def test_default_rho_alpha(self, chain_graph):
+        s = ADMMState(chain_graph, rho=2.5, alpha=0.9)
+        assert np.all(s.rho == 2.5)
+        assert np.all(s.alpha == 0.9)
+
+
+class TestPenalties:
+    def test_scalar_rho(self, chain_graph):
+        s = ADMMState(chain_graph)
+        s.set_rho(3.0)
+        assert np.all(s.rho == 3.0)
+
+    def test_per_edge_rho(self, chain_graph):
+        s = ADMMState(chain_graph)
+        vals = np.linspace(1.0, 2.0, chain_graph.num_edges)
+        s.set_rho(vals)
+        np.testing.assert_array_equal(s.rho, vals)
+
+    def test_invalid_rho(self, chain_graph):
+        s = ADMMState(chain_graph)
+        with pytest.raises(ValueError):
+            s.set_rho(0.0)
+        with pytest.raises(ValueError):
+            s.set_rho(np.zeros(chain_graph.num_edges))
+        with pytest.raises(ValueError):
+            s.set_rho(np.ones(3))
+
+    def test_invalid_alpha(self, chain_graph):
+        s = ADMMState(chain_graph)
+        with pytest.raises(ValueError):
+            s.set_alpha(-1.0)
+
+    def test_rho_slots_cache_invalidation(self, chain_graph):
+        s = ADMMState(chain_graph, rho=1.0)
+        slots1 = s.rho_slots
+        assert np.all(slots1 == 1.0)
+        s.set_rho(2.0)
+        assert np.all(s.rho_slots == 2.0)
+
+    def test_rho_slots_expand_per_edge(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        s = ADMMState(g)
+        vals = np.arange(1.0, g.num_edges + 1)
+        s.set_rho(vals)
+        expected = vals[g.slot_edge]
+        np.testing.assert_array_equal(s.rho_slots, expected)
+
+    def test_rho_den_matches_degree_sum(self, chain_graph):
+        g = chain_graph
+        s = ADMMState(g, rho=2.0)
+        expected = 2.0 * np.repeat(g.var_degree, g.var_dims)
+        np.testing.assert_allclose(s.rho_den, expected)
+
+
+class TestInitialization:
+    def test_init_random_in_bounds(self, chain_graph):
+        s = ADMMState(chain_graph).init_random(0.2, 0.8, seed=1)
+        for arr in (s.x, s.m, s.u, s.n, s.z):
+            assert arr.min() >= 0.2 and arr.max() < 0.8
+
+    def test_init_random_deterministic(self, chain_graph):
+        a = ADMMState(chain_graph).init_random(seed=5)
+        b = ADMMState(chain_graph).init_random(seed=5)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.z, b.z)
+
+    def test_init_random_invalid_bounds(self, chain_graph):
+        with pytest.raises(ValueError, match="low < high"):
+            ADMMState(chain_graph).init_random(1.0, 1.0)
+
+    def test_init_zeros(self, chain_graph):
+        s = ADMMState(chain_graph).init_random(seed=2)
+        s.init_zeros()
+        assert np.all(s.x == 0) and np.all(s.z == 0)
+        assert s.iteration == 0
+
+    def test_init_from_z_broadcasts(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        z = np.arange(g.z_size, dtype=float)
+        s = ADMMState(g).init_from_z(z)
+        np.testing.assert_array_equal(s.z, z)
+        np.testing.assert_array_equal(s.x, z[g.flat_edge_to_z])
+        np.testing.assert_array_equal(s.n, z[g.flat_edge_to_z])
+        assert np.all(s.u == 0)
+
+    def test_init_from_z_shape_check(self, chain_graph):
+        with pytest.raises(ValueError, match="shape"):
+            ADMMState(chain_graph).init_from_z(np.zeros(3))
+
+
+class TestCopySolution:
+    def test_copy_is_deep(self, chain_graph):
+        s = ADMMState(chain_graph).init_random(seed=3)
+        s.iteration = 7
+        c = s.copy()
+        c.x[0] += 1.0
+        assert s.x[0] != c.x[0]
+        assert c.iteration == 7
+
+    def test_solution_splits_variables(self, mixed_dims_graph):
+        s = ADMMState(mixed_dims_graph)
+        s.z[:] = np.arange(mixed_dims_graph.z_size)
+        sol = s.solution()
+        assert [v.size for v in sol] == [3, 2, 1]

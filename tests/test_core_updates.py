@@ -1,0 +1,188 @@
+"""Unit tests for the five Algorithm-2 kernels (all scheduling forms)."""
+
+import numpy as np
+import pytest
+
+from repro.core import updates
+from repro.core.state import ADMMState
+
+
+def random_state(graph, seed=0, rho=1.7, alpha=0.9):
+    s = ADMMState(graph, rho=rho, alpha=alpha)
+    s.init_random(0.05, 0.95, seed=seed)
+    return s
+
+
+class TestVectorizedKernels:
+    def test_m_update(self, chain_graph):
+        s = random_state(chain_graph)
+        expected = s.x + s.u
+        updates.m_update(chain_graph, s)
+        np.testing.assert_array_equal(s.m, expected)
+
+    def test_z_update_is_weighted_average(self, chain_graph):
+        g = chain_graph
+        s = random_state(g)
+        updates.z_update(g, s)
+        # Every z slot must lie within [min, max] of its incoming m slots.
+        for b in range(g.num_vars):
+            edges = g.edges_of_var(b)
+            msgs = np.stack([s.m[g.edge_slots(e)] for e in edges])
+            lo, hi = msgs.min(axis=0), msgs.max(axis=0)
+            zb = s.z[g.var_slots(b)]
+            assert np.all(zb >= lo - 1e-12) and np.all(zb <= hi + 1e-12)
+
+    def test_z_update_uniform_rho_is_plain_mean(self, figure1_graph):
+        g = figure1_graph
+        s = random_state(g, rho=2.0)
+        updates.z_update(g, s)
+        for b in range(g.num_vars):
+            edges = g.edges_of_var(b)
+            mean = np.mean([s.m[g.edge_slots(e)] for e in edges], axis=0)
+            np.testing.assert_allclose(s.z[g.var_slots(b)], mean, atol=1e-12)
+
+    def test_z_update_respects_rho_weights(self, figure1_graph):
+        g = figure1_graph
+        s = random_state(g)
+        rho = np.ones(g.num_edges)
+        rho[0] = 100.0  # edge (f1, w1) dominates w1's average
+        s.set_rho(rho)
+        updates.z_update(g, s)
+        heavy_msg = s.m[g.edge_slots(0)]
+        np.testing.assert_allclose(s.z[g.var_slots(0)], heavy_msg, atol=0.05)
+
+    def test_u_update(self, chain_graph):
+        g = chain_graph
+        s = random_state(g)
+        u_before = s.u.copy()
+        updates.z_update(g, s)
+        updates.u_update(g, s)
+        expected = u_before + s.alpha_slots * (s.x - s.z[g.flat_edge_to_z])
+        np.testing.assert_allclose(s.u, expected, atol=1e-15)
+
+    def test_n_update(self, chain_graph):
+        g = chain_graph
+        s = random_state(g)
+        updates.n_update(g, s)
+        np.testing.assert_array_equal(s.n, s.z[g.flat_edge_to_z] - s.u)
+
+    def test_x_update_writes_all_slots(self, chain_graph):
+        g = chain_graph
+        s = random_state(g)
+        s.x.fill(np.nan)
+        updates.x_update(g, s)
+        assert np.all(np.isfinite(s.x))
+
+    def test_run_iteration_increments_counter(self, chain_graph):
+        s = random_state(chain_graph)
+        updates.run_iteration(chain_graph, s)
+        assert s.iteration == 1
+
+    def test_isolated_variable_keeps_z(self):
+        from repro.graph.builder import GraphBuilder
+        from repro.prox.standard import ZeroProx
+
+        b = GraphBuilder()
+        b.add_variables(2, dim=1)
+        b.add_factor(ZeroProx(), [0])
+        g = b.build()
+        s = ADMMState(g)
+        s.z[:] = [5.0, 7.0]
+        s.m[:] = 1.0
+        updates.z_update(g, s)
+        assert s.z[1] == 7.0  # isolated: untouched
+        assert s.z[0] == 1.0
+
+    def test_bad_prox_shape_raises(self, chain_graph):
+        class Broken:
+            name = "broken"
+
+            def prox_batch(self, n, rho, params):
+                return np.zeros((1, 1))
+
+        grp = chain_graph.groups[0]
+        orig = grp.prox
+        try:
+            grp.prox = Broken()
+            s = random_state(chain_graph)
+            with pytest.raises(ValueError, match="returned"):
+                updates.x_update_group(chain_graph, s, grp)
+        finally:
+            grp.prox = orig
+
+
+class TestSerialMatchesVectorized:
+    @pytest.mark.parametrize("fixture", ["figure1_graph", "chain_graph", "mixed_dims_graph"])
+    def test_one_iteration_identical(self, fixture, request):
+        g = request.getfixturevalue(fixture)
+        sv = random_state(g, seed=9)
+        ss = sv.copy()
+        updates.run_iteration(g, sv)
+        updates.run_iteration_serial(g, ss)
+        np.testing.assert_allclose(sv.x, ss.x, atol=1e-13)
+        np.testing.assert_allclose(sv.z, ss.z, atol=1e-13)
+        np.testing.assert_allclose(sv.u, ss.u, atol=1e-13)
+        np.testing.assert_allclose(sv.n, ss.n, atol=1e-13)
+
+    def test_ten_iterations_identical(self, chain_graph):
+        sv = random_state(chain_graph, seed=4)
+        ss = sv.copy()
+        for _ in range(10):
+            updates.run_iteration(chain_graph, sv)
+            updates.run_iteration_serial(chain_graph, ss)
+        np.testing.assert_allclose(sv.z, ss.z, atol=1e-12)
+
+
+class TestRangeKernels:
+    def test_m_range_composition(self, chain_graph):
+        g = chain_graph
+        full = random_state(g, seed=2)
+        chunked = full.copy()
+        updates.m_update(g, full)
+        mid = g.edge_size // 2
+        updates.m_update_range(g, chunked, 0, mid)
+        updates.m_update_range(g, chunked, mid, g.edge_size)
+        np.testing.assert_array_equal(full.m, chunked.m)
+
+    def test_z_range_composition(self, chain_graph):
+        g = chain_graph
+        full = random_state(g, seed=3)
+        chunked = full.copy()
+        updates.z_update(g, full)
+        weighted = chunked.rho_slots * chunked.m
+        mid = g.z_size // 2
+        updates.z_update_range(g, chunked, weighted, 0, mid)
+        updates.z_update_range(g, chunked, weighted, mid, g.z_size)
+        np.testing.assert_allclose(full.z, chunked.z, atol=1e-15)
+
+    def test_u_n_range_composition(self, chain_graph):
+        g = chain_graph
+        full = random_state(g, seed=5)
+        chunked = full.copy()
+        updates.u_update(g, full)
+        updates.n_update(g, full)
+        for s0, s1 in [(0, 7), (7, g.edge_size)]:
+            updates.u_update_range(g, chunked, s0, s1)
+            updates.n_update_range(g, chunked, s0, s1)
+        np.testing.assert_allclose(full.u, chunked.u, atol=1e-15)
+        np.testing.assert_allclose(full.n, chunked.n, atol=1e-15)
+
+    def test_x_group_range_composition(self, chain_graph):
+        g = chain_graph
+        full = random_state(g, seed=6)
+        chunked = full.copy()
+        updates.x_update(g, full)
+        for grp in g.groups:
+            mid = grp.size // 2
+            updates.x_update_group_range(g, chunked, grp, 0, mid)
+            updates.x_update_group_range(g, chunked, grp, mid, grp.size)
+        np.testing.assert_allclose(full.x, chunked.x, atol=1e-15)
+
+    def test_empty_ranges_are_noops(self, chain_graph):
+        g = chain_graph
+        s = random_state(g, seed=7)
+        before = s.m.copy()
+        updates.m_update_range(g, s, 3, 3)
+        np.testing.assert_array_equal(s.m, before)
+        updates.z_update_range(g, s, s.m, 2, 2)
+        updates.x_update_group_range(g, s, g.groups[0], 1, 1)

@@ -1,0 +1,227 @@
+"""Tests for the ADMM variants: classic two-block, three-weight, async."""
+
+import numpy as np
+import pytest
+
+from repro.backends.vectorized import ThreeWeightBackend, VectorizedBackend
+from repro.core.async_admm import AsyncSweepPlan, run_iteration_async, solve_async
+from repro.core.classic import classic_admm
+from repro.core.solver import ADMMSolver
+from repro.core.state import ADMMState
+from repro.core.three_weight import run_iteration_twa
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import (
+    ConsensusEqualProx,
+    DiagQuadProx,
+    FixedValueProx,
+    L1Prox,
+    ZeroProx,
+)
+
+
+class TestClassicADMM:
+    def test_lasso_1d_soft_threshold(self):
+        # min 0.5(x-3)^2 + |x| has solution x = 2 (soft threshold of 3).
+        res = classic_admm(
+            prox_f=lambda v, r: (r * v + 3.0) / (1.0 + r),
+            prox_g=lambda v, r: np.sign(v) * np.maximum(np.abs(v) - 1.0 / r, 0),
+            dim=1,
+            rho=1.0,
+            max_iterations=2000,
+        )
+        assert res.converged
+        np.testing.assert_allclose(res.z, [2.0], atol=1e-5)
+
+    def test_quadratic_consensus(self):
+        # min 0.5||x-a||^2 + 0.5||x-b||^2 -> midpoint.
+        a, b = np.array([1.0, 3.0]), np.array([3.0, -1.0])
+        res = classic_admm(
+            prox_f=lambda v, r: (r * v + a) / (1.0 + r),
+            prox_g=lambda v, r: (r * v + b) / (1.0 + r),
+            dim=2,
+            max_iterations=2000,
+        )
+        np.testing.assert_allclose(res.z, (a + b) / 2, atol=1e-5)
+
+    def test_residual_histories_monotone_tail(self):
+        res = classic_admm(
+            prox_f=lambda v, r: (r * v + 3.0) / (1.0 + r),
+            prox_g=lambda v, r: v,
+            dim=1,
+            max_iterations=500,
+        )
+        assert res.primal_history[-1] <= res.primal_history[0] + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classic_admm(lambda v, r: v, lambda v, r: v, dim=1, rho=0.0)
+        with pytest.raises(ValueError):
+            classic_admm(lambda v, r: v, lambda v, r: v, dim=1, max_iterations=-1)
+
+    def test_agrees_with_factor_graph_engine(self):
+        # Same problem both ways: f = 0.5||x - a||^2, g = lam|x|_1.
+        a = np.array([3.0, -2.0])
+        lam = 0.5
+        res_classic = classic_admm(
+            prox_f=lambda v, r: (r * v + a) / (1.0 + r),
+            prox_g=lambda v, r: np.sign(v) * np.maximum(np.abs(v) - lam / r, 0),
+            dim=2,
+            max_iterations=3000,
+            eps_abs=1e-10,
+        )
+        b = GraphBuilder()
+        w = b.add_variable(2)
+        b.add_factor(
+            DiagQuadProx(dims=(2,)), [w], params={"q": np.ones(2), "c": -a}
+        )
+        b.add_factor(L1Prox(lam=lam), [w])
+        res_fg = ADMMSolver(b.build()).solve(
+            max_iterations=3000, eps_abs=1e-10, eps_rel=1e-9
+        )
+        np.testing.assert_allclose(res_fg.variable(0), res_classic.z, atol=1e-4)
+
+
+class TestThreeWeight:
+    def graph_with_pinned_var(self):
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        b.add_factor(FixedValueProx(), [w], params={"value": np.array([5.0])})
+        b.add_factor(
+            DiagQuadProx(dims=(1,)), [w], params={"q": [1.0], "c": [0.0]}
+        )
+        return b.build()
+
+    def test_infinite_weight_pins_z_immediately(self):
+        g = self.graph_with_pinned_var()
+        s = ADMMState(g, rho=1.0).init_zeros()
+        run_iteration_twa(g, s)
+        # Certain message wins the average outright in one iteration.
+        assert abs(s.z[0] - 5.0) < 1e-12
+
+    def test_standard_weights_match_vanilla_admm(self, chain_graph):
+        # All operators in chain_graph emit standard weights except Zero;
+        # build a pure diag-quad/consensus graph instead.
+        b = GraphBuilder()
+        vs = b.add_variables(4, dim=1)
+        dq = DiagQuadProx(dims=(1,))
+        ce = ConsensusEqualProx(k=2, dim=1)
+        for i, v in enumerate(vs):
+            b.add_factor(dq, [v], params={"q": [1.0], "c": [-float(i)]})
+        for i in range(3):
+            b.add_factor(ce, [vs[i], vs[i + 1]])
+        g = b.build()
+        s_twa = ADMMState(g, rho=1.5).init_random(seed=3)
+        s_std = s_twa.copy()
+        from repro.core import updates
+
+        for _ in range(15):
+            run_iteration_twa(g, s_twa)
+            updates.run_iteration(g, s_std)
+        np.testing.assert_allclose(s_twa.z, s_std.z, atol=1e-12)
+
+    def test_zero_weight_factor_excluded_from_average(self):
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        b.add_factor(ZeroProx(), [w])
+        b.add_factor(DiagQuadProx(dims=(1,)), [w], params={"q": [1.0], "c": [-4.0]})
+        g = b.build()
+        s = ADMMState(g, rho=1.0).init_zeros()
+        run_iteration_twa(g, s)
+        # With weight 0 on the zero factor, z equals the quadratic's message
+        # alone: prox of 0 -> 4/(1+1) = 2.
+        assert abs(s.z[0] - 2.0) < 1e-12
+
+    def test_all_zero_weights_fall_back_to_plain_mean(self):
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        b.add_factor(ZeroProx(), [w])
+        b.add_factor(ZeroProx(), [w])
+        g = b.build()
+        s = ADMMState(g, rho=1.0).init_zeros()
+        s.n[:] = [2.0, 6.0]
+        from repro.core.three_weight import (
+            x_update_with_weights,
+            z_update_weighted,
+        )
+
+        x_update_with_weights(g, s)
+        np.add(s.x, s.u, out=s.m)
+        z_update_weighted(g, s)
+        assert abs(s.z[0] - 4.0) < 1e-12
+
+    def test_three_weight_backend_converges(self):
+        g = self.graph_with_pinned_var()
+        solver = ADMMSolver(g, backend=ThreeWeightBackend())
+        result = solver.solve(max_iterations=200, check_every=10)
+        np.testing.assert_allclose(result.variable(0), [5.0], atol=1e-6)
+
+    def test_three_weight_backend_with_timers(self):
+        from repro.utils.timing import KernelTimers
+
+        g = self.graph_with_pinned_var()
+        s = ADMMState(g).init_zeros()
+        timers = KernelTimers()
+        ThreeWeightBackend().run(g, s, 5, timers)
+        assert timers["x"].calls == 5
+        assert s.iteration == 5
+
+    def test_dual_reset_on_certain_edges(self):
+        g = self.graph_with_pinned_var()
+        s = ADMMState(g, rho=1.0).init_random(seed=1)
+        run_iteration_twa(g, s)
+        # The FixedValue factor's edge (edge 0) must carry no dual memory.
+        assert s.u[g.edge_slots(0)][0] == 0.0
+
+
+class TestAsyncADMM:
+    def test_full_fraction_matches_synchronous(self, chain_graph):
+        g = chain_graph
+        s_async = ADMMState(g, rho=1.2).init_random(seed=8)
+        s_sync = s_async.copy()
+        from repro.core import updates
+
+        mask = np.ones(g.num_factors, dtype=bool)
+        for _ in range(10):
+            run_iteration_async(g, s_async, mask)
+            updates.run_iteration(g, s_sync)
+        np.testing.assert_allclose(s_async.z, s_sync.z, atol=1e-12)
+
+    def test_partial_updates_converge(self):
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        dq = DiagQuadProx(dims=(1,))
+        b.add_factor(dq, [w], params={"q": [1.0], "c": [0.0]})
+        b.add_factor(dq, [w], params={"q": [1.0], "c": [-4.0]})
+        g = b.build()
+        s = ADMMState(g, rho=1.0).init_zeros()
+        solve_async(g, s, iterations=3000, fraction=0.5, seed=2)
+        assert abs(s.z[0] - 2.0) < 1e-2
+
+    def test_mask_shape_validated(self, chain_graph):
+        s = ADMMState(chain_graph)
+        with pytest.raises(ValueError, match="factor_mask"):
+            run_iteration_async(chain_graph, s, np.ones(3, dtype=bool))
+
+    def test_plan_draw_guarantees_progress(self, chain_graph):
+        plan = AsyncSweepPlan(chain_graph, fraction=1e-9, seed=0)
+        for _ in range(20):
+            assert plan.draw().any()
+
+    def test_plan_fraction_validated(self, chain_graph):
+        with pytest.raises(ValueError):
+            AsyncSweepPlan(chain_graph, fraction=0.0)
+        with pytest.raises(ValueError):
+            AsyncSweepPlan(chain_graph, fraction=1.5)
+
+    def test_untouched_factor_edges_keep_state(self, chain_graph):
+        g = chain_graph
+        s = ADMMState(g, rho=1.0).init_random(seed=4)
+        mask = np.zeros(g.num_factors, dtype=bool)
+        mask[0] = True
+        x_before = s.x.copy()
+        u_before = s.u.copy()
+        run_iteration_async(g, s, mask)
+        untouched = ~mask[g.edge_factor]
+        slot_untouched = untouched[g.slot_edge]
+        np.testing.assert_array_equal(s.x[slot_untouched], x_before[slot_untouched])
+        np.testing.assert_array_equal(s.u[slot_untouched], u_before[slot_untouched])

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are executed in-process (imported as modules with patched argv)
+at reduced sizes so the whole suite stays fast.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", []),
+    ("examples/circle_packing.py", ["3"]),
+    ("examples/mpc_pendulum.py", ["5"]),
+    ("examples/svm_classification.py", ["24", "2"]),
+    ("examples/lasso_consensus.py", ["60", "20", "4"]),
+    ("examples/gpu_simulation.py", []),
+    ("examples/three_weight_packing.py", ["3"]),
+]
+
+
+@pytest.mark.parametrize("path,argv", EXAMPLES, ids=[p for p, _ in EXAMPLES])
+def test_example_runs(path, argv, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path, *argv])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} printed nothing"
+
+
+def test_quickstart_agreement_message(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    assert "all backends agree" in capsys.readouterr().out
+
+
+def test_packing_example_feasible(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/circle_packing.py", "3"])
+    runpy.run_path("examples/circle_packing.py", run_name="__main__")
+    assert "feasible:          True" in capsys.readouterr().out

@@ -1,0 +1,340 @@
+"""Tests for the SIMT GPU and multicore CPU performance models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import packing_graph, star_graph
+from repro.gpusim.cpumodel import (
+    simulate_admm_cpu,
+    simulate_parallel_loop,
+    speedup_vs_cores,
+)
+from repro.gpusim.device import CPUSpec, DeviceSpec, OPTERON_6300, TESLA_K40
+from repro.gpusim.kernel import KernelWorkload
+from repro.gpusim.simt import (
+    assign_blocks,
+    best_ntb,
+    serial_time,
+    simulate_kernel,
+    warp_times,
+)
+from repro.gpusim.workloads import CostModel, admm_workloads, simulate_admm_gpu
+from dataclasses import replace
+
+
+def uniform_workload(n=1000, cycles=100.0, bpi=32.0, access="contiguous"):
+    return KernelWorkload(
+        "test", np.full(n, cycles), np.full(n, bpi), access=access
+    )
+
+
+class TestDeviceSpecs:
+    def test_k40_constants(self):
+        assert TESLA_K40.num_sms == 15
+        assert TESLA_K40.warp_size == 32
+        assert TESLA_K40.total_cores == 15 * 192
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replace(TESLA_K40, num_sms=0)
+        with pytest.raises(ValueError):
+            replace(TESLA_K40, clock_ghz=-1.0)
+        with pytest.raises(ValueError):
+            replace(TESLA_K40, cores_per_sm=100)  # not multiple of 32
+        with pytest.raises(ValueError):
+            replace(OPTERON_6300, cores=0)
+
+    def test_opteron_constants(self):
+        assert OPTERON_6300.cores == 32
+        assert abs(OPTERON_6300.clock_ghz - 2.8) < 1e-12
+
+
+class TestWarpPacking:
+    def test_uniform_items_exact(self):
+        work, crit = warp_times(np.full(64, 10.0), ntb=32, warp_size=32)
+        # 2 blocks, 1 warp each, warp time = 10.
+        np.testing.assert_allclose(work, [10.0, 10.0])
+        np.testing.assert_allclose(crit, [10.0, 10.0])
+
+    def test_divergence_is_max_over_lanes(self):
+        cycles = np.full(32, 1.0)
+        cycles[5] = 100.0
+        work, crit = warp_times(cycles, ntb=32, warp_size=32)
+        assert work[0] == 100.0  # one slow lane stalls the warp
+
+    def test_partial_warp_still_full_slot(self):
+        # 16 items at ntb=16: one warp with 16 active lanes, time = max.
+        work16, _ = warp_times(np.full(16, 10.0), ntb=16, warp_size=32)
+        work32, _ = warp_times(np.full(32, 10.0), ntb=32, warp_size=32)
+        # Same per-block time for half the items: 50% lane waste.
+        assert work16[0] == work32[0]
+
+    def test_multi_warp_blocks(self):
+        work, crit = warp_times(np.full(64, 7.0), ntb=64, warp_size=32)
+        assert work.shape == (1,)
+        assert work[0] == 14.0  # two warps summed
+        assert crit[0] == 7.0
+
+    def test_empty(self):
+        work, crit = warp_times(np.zeros(0), ntb=32, warp_size=32)
+        assert work.size == 0
+
+
+class TestBlockAssignment:
+    def test_fewer_blocks_than_sms(self):
+        loads, _ = assign_blocks(np.array([5.0, 5.0]), num_sms=4)
+        assert sorted(loads.tolist()) == [0.0, 0.0, 5.0, 5.0]
+
+    def test_list_scheduling_balances(self):
+        rng = np.random.default_rng(0)
+        work = rng.uniform(1.0, 2.0, 1000)
+        loads, _ = assign_blocks(work, num_sms=10)
+        assert loads.max() / loads.mean() < 1.05
+
+    def test_conservation(self):
+        work = np.random.default_rng(1).uniform(0.5, 2.0, 500)
+        loads, _ = assign_blocks(work, num_sms=7)
+        assert abs(loads.sum() - work.sum()) < 1e-6
+
+
+class TestSimulateKernel:
+    def test_more_sms_never_slower(self):
+        wl = uniform_workload(5000)
+        t15 = simulate_kernel(TESLA_K40, wl, 32).time_s
+        big = replace(TESLA_K40, num_sms=30)
+        t30 = simulate_kernel(big, wl, 32).time_s
+        assert t30 <= t15 + 1e-12
+
+    def test_more_work_never_faster(self):
+        a = simulate_kernel(TESLA_K40, uniform_workload(1000), 32).time_s
+        b = simulate_kernel(TESLA_K40, uniform_workload(4000), 32).time_s
+        assert b >= a
+
+    def test_scaling_cycles_scales_compute(self):
+        wl1 = uniform_workload(20000, cycles=100.0, bpi=0.001)
+        wl2 = uniform_workload(20000, cycles=200.0, bpi=0.001)
+        t1 = simulate_kernel(TESLA_K40, wl1, 32)
+        t2 = simulate_kernel(TESLA_K40, wl2, 32)
+        assert t2.compute_s > 1.5 * t1.compute_s
+
+    def test_ntb_bounds_enforced(self):
+        wl = uniform_workload(100)
+        with pytest.raises(ValueError):
+            simulate_kernel(TESLA_K40, wl, 0)
+        with pytest.raises(ValueError):
+            simulate_kernel(TESLA_K40, wl, 2048)
+
+    def test_empty_workload_costs_launch_only(self):
+        wl = KernelWorkload("e", np.zeros(0), np.zeros(0))
+        t = simulate_kernel(TESLA_K40, wl, 32)
+        assert t.time_s == pytest.approx(TESLA_K40.launch_overhead_us * 1e-6)
+
+    def test_coalescing_hurts_memory_bound(self):
+        good = uniform_workload(200000, cycles=1.0, bpi=64.0, access="contiguous")
+        bad = uniform_workload(200000, cycles=1.0, bpi=64.0, access="scattered")
+        tg = simulate_kernel(TESLA_K40, good, 32)
+        tb = simulate_kernel(TESLA_K40, bad, 32)
+        assert tb.memory_s > 4 * tg.memory_s
+
+    def test_imbalance_reported_for_heterogeneous_blocks(self):
+        cycles = np.ones(32 * 16)
+        cycles[:32] = 1000.0  # one huge block
+        wl = KernelWorkload("h", cycles, np.ones(cycles.size))
+        t = simulate_kernel(TESLA_K40, wl, 32)
+        assert t.sm_imbalance > 1.5
+
+    @given(ntb=st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]))
+    @settings(max_examples=11, deadline=None)
+    def test_time_positive_any_ntb(self, ntb):
+        wl = uniform_workload(3000)
+        t = simulate_kernel(TESLA_K40, wl, ntb)
+        assert t.time_s > 0
+
+
+class TestNtbSweep:
+    def test_paper_shape_peak_at_32(self):
+        g = packing_graph(300)
+        wl = admm_workloads(g)
+        best, timings = best_ntb(TESLA_K40, wl["x"])
+        assert best == 32
+        # below 32: monotone improvement (lane waste decreasing)
+        assert timings[1].time_s > timings[8].time_s > timings[32].time_s
+        # far above 32: worse than the peak (cache pressure)
+        assert timings[256].time_s > timings[32].time_s
+
+    def test_sweep_respects_device_limit(self):
+        small = replace(TESLA_K40, max_threads_per_block=64)
+        wl = uniform_workload(500)
+        best, timings = best_ntb(small, wl)
+        assert max(timings) <= 64
+
+
+class TestSerialTime:
+    def test_compute_bound(self):
+        wl = uniform_workload(1000, cycles=1e6, bpi=1.0)
+        t = serial_time(wl, OPTERON_6300)
+        expected = 1000 * 1e6 / (OPTERON_6300.clock_hz * OPTERON_6300.serial_efficiency)
+        assert t == pytest.approx(expected)
+
+    def test_memory_bound(self):
+        wl = uniform_workload(1000, cycles=1.0, bpi=1e6)
+        t = serial_time(wl, OPTERON_6300)
+        expected = 1000 * 1e6 / (OPTERON_6300.core_mem_bandwidth_gbs * 1e9)
+        assert t == pytest.approx(expected)
+
+
+class TestWorkloadTranslation:
+    def test_five_kernels_present(self, chain_graph):
+        wl = admm_workloads(chain_graph)
+        assert set(wl) == {"x", "m", "z", "u", "n"}
+
+    def test_item_counts_match_graph(self, chain_graph):
+        wl = admm_workloads(chain_graph)
+        assert wl["x"].n_items == chain_graph.num_factors
+        assert wl["m"].n_items == chain_graph.num_edges
+        assert wl["z"].n_items == chain_graph.num_vars
+
+    def test_z_cost_scales_with_degree(self):
+        g = star_graph(50)
+        wl = admm_workloads(g)
+        # hub (variable 0) must dominate.
+        assert wl["z"].cycles[0] > 10 * wl["z"].cycles[1]
+
+    def test_per_prox_cost_override(self, chain_graph):
+        base = admm_workloads(chain_graph, CostModel())
+        bumped = admm_workloads(
+            chain_graph, CostModel(x_per_slot_by_prox={"diag_quad": 400.0})
+        )
+        assert bumped["x"].total_cycles > base["x"].total_cycles
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            KernelWorkload("bad", np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            KernelWorkload("bad", np.ones(3), np.ones(2))
+        with pytest.raises(ValueError):
+            KernelWorkload("bad", -np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            KernelWorkload("bad", np.ones(3), np.ones(3), access="warp")
+
+
+class TestEndToEndGPUSim:
+    def test_speedup_grows_then_saturates(self):
+        speeds = []
+        for n in (20, 100, 400):
+            res = simulate_admm_gpu(
+                TESLA_K40, packing_graph(n), OPTERON_6300, ntb=32
+            )
+            speeds.append(res.combined_speedup)
+        assert speeds[0] < speeds[1] <= speeds[2] * 1.05
+
+    def test_packing_combined_speedup_in_paper_band(self):
+        res = simulate_admm_gpu(
+            TESLA_K40, packing_graph(500), OPTERON_6300, ntb=32
+        )
+        # Paper: 10-18x for the GPU across applications (16x packing).
+        assert 8.0 <= res.combined_speedup <= 25.0
+
+    def test_fractions_sum_to_one(self):
+        res = simulate_admm_gpu(TESLA_K40, packing_graph(100), OPTERON_6300)
+        for where in ("gpu", "serial"):
+            assert abs(sum(res.fractions(where).values()) - 1.0) < 1e-9
+
+    def test_per_kernel_ntb_dict(self):
+        g = packing_graph(50)
+        res = simulate_admm_gpu(
+            TESLA_K40, g, OPTERON_6300,
+            ntb={"x": 32, "m": 64, "z": 16, "u": 32, "n": 32},
+        )
+        assert res.timings["m"].ntb == 64
+
+    def test_ntb_dict_must_cover_all(self):
+        g = packing_graph(20)
+        with pytest.raises(ValueError, match="missing"):
+            simulate_admm_gpu(TESLA_K40, g, OPTERON_6300, ntb={"x": 32})
+
+
+class TestCPUModel:
+    def test_two_cores_faster_than_one(self):
+        wl = uniform_workload(100000, cycles=50.0, bpi=1.0)
+        t1 = simulate_parallel_loop(OPTERON_6300, wl, 1).time_s
+        t2 = simulate_parallel_loop(OPTERON_6300, wl, 2).time_s
+        assert t2 < t1
+
+    def test_memory_ceiling_saturates(self):
+        wl = uniform_workload(500000, cycles=2.0, bpi=64.0)
+        t8 = simulate_parallel_loop(OPTERON_6300, wl, 8).time_s
+        t32 = simulate_parallel_loop(OPTERON_6300, wl, 32).time_s
+        # Bandwidth-bound: no further gain from 8 -> 32 cores.
+        assert t32 >= t8 * 0.95
+
+    def test_overhead_hurts_tiny_loops(self):
+        wl = uniform_workload(64, cycles=10.0, bpi=1.0)
+        t1 = simulate_parallel_loop(OPTERON_6300, wl, 1).time_s
+        t32 = simulate_parallel_loop(OPTERON_6300, wl, 32).time_s
+        assert t32 > t1  # the paper's "more cores actually hurt"
+
+    def test_lpt_beats_contiguous_on_imbalanced(self):
+        g = star_graph(400)
+        wl = admm_workloads(g)["z"]
+        tc = simulate_parallel_loop(OPTERON_6300, wl, 8, balance="contiguous")
+        tl = simulate_parallel_loop(OPTERON_6300, wl, 8, balance="lpt")
+        assert tl.compute_s <= tc.compute_s
+
+    def test_core_bounds(self):
+        wl = uniform_workload(10)
+        with pytest.raises(ValueError):
+            simulate_parallel_loop(OPTERON_6300, wl, 0)
+        with pytest.raises(ValueError):
+            simulate_parallel_loop(OPTERON_6300, wl, 64)
+        with pytest.raises(ValueError):
+            simulate_parallel_loop(OPTERON_6300, wl, 4, balance="nope")
+
+    def test_speedup_curve_shape(self):
+        g = packing_graph(200)
+        wl = admm_workloads(g)
+        curve = speedup_vs_cores(OPTERON_6300, wl, [1, 2, 8, 32])
+        assert curve[1] == pytest.approx(1.0, abs=1e-9)
+        assert curve[2] > 1.5
+        # Saturation in the paper's 5-9x multicore band.
+        assert 3.0 < curve[32] < 12.0
+
+    def test_simulate_admm_cpu_fractions(self):
+        g = packing_graph(100)
+        res = simulate_admm_cpu(OPTERON_6300, admm_workloads(g), 4)
+        assert abs(sum(res.fractions().values()) - 1.0) < 1e-9
+        assert res.combined_speedup > 1.0
+
+
+class TestCalibration:
+    def test_scale_to_measurements(self, chain_graph):
+        from repro.gpusim.calibrate import (
+            measure_kernel_seconds,
+            measured_fractions,
+            scale_workloads_to_measurements,
+        )
+        from repro.backends.vectorized import VectorizedBackend
+
+        meas = measure_kernel_seconds(chain_graph, VectorizedBackend(), iterations=3)
+        assert set(meas) == {"x", "m", "z", "u", "n"}
+        assert all(v >= 0 for v in meas.values())
+        wl = admm_workloads(chain_graph)
+        scaled = scale_workloads_to_measurements(wl, meas, OPTERON_6300)
+        eff = OPTERON_6300.clock_hz * OPTERON_6300.serial_efficiency
+        for k, w in scaled.items():
+            if meas[k] > 0:
+                assert w.total_cycles / eff == pytest.approx(meas[k], rel=1e-9)
+        fr = measured_fractions(meas)
+        assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+    def test_zero_measurements_keep_nominal(self, chain_graph):
+        from repro.gpusim.calibrate import scale_workloads_to_measurements
+
+        wl = admm_workloads(chain_graph)
+        scaled = scale_workloads_to_measurements(
+            wl, {k: 0.0 for k in wl}, OPTERON_6300
+        )
+        for k in wl:
+            assert scaled[k].total_cycles == wl[k].total_cycles

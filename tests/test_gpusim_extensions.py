@@ -1,0 +1,118 @@
+"""Tests for the future-work extensions: multi-GPU model, fp32 what-if."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import OPTERON_6300, TESLA_K40
+from repro.gpusim.kernel import KernelWorkload
+from repro.gpusim.multidevice import (
+    Interconnect,
+    scaling_curve,
+    shard_workload,
+    simulate_multi_gpu,
+)
+from repro.gpusim.precision import (
+    K40_FP32,
+    TITANX_FP32,
+    PrecisionProfile,
+    with_precision,
+)
+from repro.gpusim.synthetic import packing_workloads
+from repro.gpusim.workloads import simulate_admm_gpu
+
+
+class TestSharding:
+    def test_shards_cover_all_items(self):
+        wl = KernelWorkload("t", np.arange(100.0), np.ones(100))
+        shards = shard_workload(wl, 3)
+        assert sum(s.n_items for s in shards) == 100
+        recon = np.concatenate([s.cycles for s in shards])
+        np.testing.assert_array_equal(recon, wl.cycles)
+
+    def test_single_device_is_whole(self):
+        wl = KernelWorkload("t", np.ones(10), np.ones(10))
+        shards = shard_workload(wl, 1)
+        assert len(shards) == 1 and shards[0].n_items == 10
+
+    def test_validation(self):
+        wl = KernelWorkload("t", np.ones(4), np.ones(4))
+        with pytest.raises(ValueError):
+            shard_workload(wl, 0)
+
+
+class TestInterconnect:
+    def test_latency_floor(self):
+        link = Interconnect(bandwidth_gbs=10.0, latency_us=5.0)
+        assert link.transfer_s(0.0) == 0.0
+        assert link.transfer_s(1.0) >= 5e-6
+
+    def test_bandwidth_term(self):
+        link = Interconnect(bandwidth_gbs=10.0, latency_us=0.0)
+        assert link.transfer_s(10e9) == pytest.approx(1.0)
+
+
+class TestMultiGPU:
+    def test_two_gpus_beat_one_on_big_graphs(self):
+        wl, _ = packing_workloads(3000)
+        r1 = simulate_multi_gpu(TESLA_K40, OPTERON_6300, wl, 1)
+        r2 = simulate_multi_gpu(TESLA_K40, OPTERON_6300, wl, 2, cut_fraction=0.05)
+        assert r2.iteration_s < r1.iteration_s
+        assert r2.combined_speedup > r1.combined_speedup
+
+    def test_communication_can_dominate_small_graphs(self):
+        wl, _ = packing_workloads(20)
+        r1 = simulate_multi_gpu(TESLA_K40, OPTERON_6300, wl, 1)
+        r8 = simulate_multi_gpu(
+            TESLA_K40, OPTERON_6300, wl, 8, cut_fraction=0.5
+        )
+        # Tiny problem: launch + link latency swamps the shard speedup.
+        assert r8.iteration_s >= r1.iteration_s * 0.9
+
+    def test_cut_fraction_monotone(self):
+        wl, _ = packing_workloads(1000)
+        lo = simulate_multi_gpu(TESLA_K40, OPTERON_6300, wl, 4, cut_fraction=0.01)
+        hi = simulate_multi_gpu(TESLA_K40, OPTERON_6300, wl, 4, cut_fraction=0.5)
+        assert hi.comm_s > lo.comm_s
+        assert hi.iteration_s > lo.iteration_s
+
+    def test_single_device_no_comm(self):
+        wl, _ = packing_workloads(100)
+        r = simulate_multi_gpu(TESLA_K40, OPTERON_6300, wl, 1)
+        assert r.comm_s == 0.0
+
+    def test_scaling_curve_shape(self):
+        wl, _ = packing_workloads(2000)
+        curve = scaling_curve(TESLA_K40, OPTERON_6300, wl)
+        assert set(curve) == {1, 2, 4, 8}
+        assert curve[2].combined_speedup > curve[1].combined_speedup
+
+    def test_validation(self):
+        wl, _ = packing_workloads(50)
+        with pytest.raises(ValueError):
+            simulate_multi_gpu(TESLA_K40, OPTERON_6300, wl, 2, cut_fraction=1.5)
+
+
+class TestPrecision:
+    def test_fp32_scales_cycles_and_bytes(self):
+        wl, _ = packing_workloads(100)
+        fp32 = with_precision(wl, K40_FP32)
+        for k in wl:
+            assert fp32[k].total_cycles == pytest.approx(
+                wl[k].total_cycles / 3.0
+            )
+            assert fp32[k].total_bytes == pytest.approx(wl[k].total_bytes / 2.0)
+
+    def test_fp32_speeds_up_gpu_iteration(self):
+        wl, _ = packing_workloads(1000)
+        fp64 = simulate_admm_gpu(TESLA_K40, None, OPTERON_6300, workloads=wl)
+        fp32 = simulate_admm_gpu(
+            TESLA_K40, None, OPTERON_6300, workloads=with_precision(wl, K40_FP32)
+        )
+        assert fp32.gpu_iteration_s < fp64.gpu_iteration_s
+
+    def test_titanx_profile_more_aggressive(self):
+        assert TITANX_FP32.compute_scale < K40_FP32.compute_scale + 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrecisionProfile("bad", compute_scale=0.0)

@@ -1,0 +1,87 @@
+"""Tests for simulator scheduling edge paths (round-robin fallback, waves)."""
+
+import numpy as np
+import pytest
+
+import repro.gpusim.simt as simt
+from repro.gpusim.device import TESLA_K40
+from repro.gpusim.kernel import KernelWorkload
+from repro.gpusim.simt import assign_blocks, simulate_kernel
+
+
+class TestRoundRobinFallback:
+    def test_paths_agree_on_uniform_work(self, monkeypatch):
+        work = np.full(5000, 3.0)
+        exact, _ = assign_blocks(work, 15)
+        monkeypatch.setattr(simt, "LIST_SCHEDULING_MAX_BLOCKS", 10)
+        rr, _ = assign_blocks(work, 15)
+        # Uniform blocks: both schedules balance to the same loads (±1 block).
+        assert abs(exact.max() - rr.max()) <= 3.0 + 1e-12
+
+    def test_round_robin_conserves_work(self, monkeypatch):
+        monkeypatch.setattr(simt, "LIST_SCHEDULING_MAX_BLOCKS", 10)
+        work = np.random.default_rng(0).uniform(1, 5, size=997)
+        loads, _ = assign_blocks(work, 15)
+        assert loads.sum() == pytest.approx(work.sum())
+
+    def test_large_kernel_uses_fallback_fast(self):
+        # 500k items at ntb=1 → 500k blocks > threshold → vectorized path.
+        wl = KernelWorkload("big", np.ones(500_000), np.ones(500_000))
+        t = simulate_kernel(TESLA_K40, wl, 1)
+        assert t.time_s > 0
+
+
+class TestWaveQuantization:
+    def test_single_wave_tail(self):
+        # 16 equal blocks on 15 SMs: one SM gets two blocks -> ~2x time of
+        # a 15-block launch.
+        def launch(n_blocks):
+            wl = KernelWorkload(
+                "t", np.full(n_blocks * 32, 1000.0), np.full(n_blocks * 32, 0.001)
+            )
+            return simulate_kernel(TESLA_K40, wl, 32).compute_s
+
+        t15 = launch(15)
+        t16 = launch(16)
+        assert t16 > 1.7 * t15
+
+    def test_many_waves_amortize_tail(self):
+        def launch(n_blocks):
+            wl = KernelWorkload(
+                "t", np.full(n_blocks * 32, 1000.0), np.full(n_blocks * 32, 0.001)
+            )
+            return simulate_kernel(TESLA_K40, wl, 32).compute_s
+
+        # 150 vs 151 blocks: tail is only ~1/10 extra.
+        assert launch(151) < 1.2 * launch(150)
+
+
+class TestDivergenceScenarios:
+    def test_sorted_vs_shuffled_heterogeneous_costs(self):
+        # Sorting items by cost reduces intra-warp divergence loss.
+        rng = np.random.default_rng(1)
+        costs = rng.choice([10.0, 1000.0], size=32 * 256, p=[0.9, 0.1])
+        bpi = np.full(costs.size, 0.001)
+        shuffled = simulate_kernel(
+            TESLA_K40, KernelWorkload("s", costs, bpi), 32
+        )
+        sorted_ = simulate_kernel(
+            TESLA_K40, KernelWorkload("o", np.sort(costs), bpi), 32
+        )
+        assert sorted_.compute_s < shuffled.compute_s
+
+    def test_uniform_costs_no_divergence_penalty(self):
+        costs = np.full(32 * 64, 100.0)
+        bpi = np.full(costs.size, 0.001)
+        t = simulate_kernel(TESLA_K40, KernelWorkload("u", costs, bpi), 32)
+        # Total warp-cycles = blocks × 100 (+overhead); check the throughput
+        # identity: compute_s ≈ (blocks × (100 + overhead)) / slots / clock.
+        blocks = 64
+        expected = (
+            blocks * (100.0 + TESLA_K40.block_overhead_cycles)
+            / TESLA_K40.num_sms
+            / TESLA_K40.warp_slots_per_sm
+        ) / TESLA_K40.clock_hz
+        # 64 blocks on 15 SMs don't divide evenly; allow wave slack.
+        assert t.compute_s >= expected * 0.9
+        assert t.compute_s <= expected * 1.6

@@ -1,0 +1,95 @@
+"""Faithfulness tests: synthetic paper-scale workloads vs real graphs.
+
+The performance models run at paper scale on analytically synthesized
+element populations; these tests pin the synthesis to the materialized
+graphs exactly (same arrays, element-for-element) at small sizes, and check
+the closed-form growth identities at large ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import mpc_graph, packing_graph, svm_graph
+from repro.gpusim.synthetic import (
+    FactorFamily,
+    VariableFamily,
+    mpc_workloads,
+    packing_workloads,
+    svm_workloads,
+    synthetic_workloads,
+)
+from repro.gpusim.workloads import CostModel, admm_workloads
+
+CASES = [
+    ("packing", lambda s: packing_workloads(s), packing_graph, (3, 8, 15)),
+    ("mpc", lambda s: mpc_workloads(s), mpc_graph, (1, 5, 30)),
+    ("svm", lambda s: svm_workloads(s), svm_graph, (2, 7, 25)),
+]
+
+
+@pytest.mark.parametrize("name,syn,real,sizes", CASES)
+class TestFaithfulness:
+    def test_workloads_identical_to_real_graph(self, name, syn, real, sizes):
+        for size in sizes:
+            wl_syn, elements = syn(size)
+            g = real(size)
+            wl_real = admm_workloads(g)
+            assert elements == g.num_elements
+            for k in ("x", "m", "z", "u", "n"):
+                np.testing.assert_array_equal(
+                    wl_syn[k].cycles, wl_real[k].cycles, err_msg=f"{name}/{k}"
+                )
+                np.testing.assert_array_equal(
+                    wl_syn[k].bytes_per_item,
+                    wl_real[k].bytes_per_item,
+                    err_msg=f"{name}/{k}",
+                )
+                assert wl_syn[k].access == wl_real[k].access
+
+
+class TestGrowthIdentities:
+    def test_packing_edge_formula_at_paper_scale(self):
+        n, s = 5000, 3
+        wl, elements = packing_workloads(n, s)
+        assert wl["m"].n_items == 2 * n * n - n + 2 * n * s
+        assert wl["x"].n_items == n * (n - 1) // 2 + n + n * s
+        assert wl["z"].n_items == 2 * n
+
+    def test_mpc_linear_growth(self):
+        wl1, e1 = mpc_workloads(1000)
+        wl2, e2 = mpc_workloads(2000)
+        assert wl1["m"].n_items == 3 * 1000 + 2  # |E| = 3K + 2
+        assert wl2["m"].n_items == 3 * 2000 + 2
+        assert e2 > e1
+
+    def test_svm_linear_growth(self):
+        wl, _ = svm_workloads(100_000)
+        assert wl["m"].n_items == 6 * 100_000 - 2
+
+
+class TestValidation:
+    def test_handshake_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="handshake"):
+            synthetic_workloads(
+                [FactorFamily(2, (1,))], [VariableFamily(1, 1, 3)]
+            )
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            packing_workloads(0)
+        with pytest.raises(ValueError):
+            mpc_workloads(0)
+        with pytest.raises(ValueError):
+            svm_workloads(1)
+
+    def test_cost_model_propagates(self):
+        base, _ = packing_workloads(10)
+        bumped, _ = packing_workloads(
+            10, cost=CostModel(x_per_slot_by_prox={"packing_pair": 500.0})
+        )
+        assert bumped["x"].total_cycles > base["x"].total_cycles
+
+    def test_empty_families(self):
+        wl, elements = synthetic_workloads([], [])
+        assert elements == 0
+        assert wl["x"].n_items == 0

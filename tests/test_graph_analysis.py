@@ -1,0 +1,79 @@
+"""Unit tests for graph structural analysis."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import star_graph
+from repro.graph.analysis import (
+    degree_histogram,
+    factor_degree_stats,
+    graph_report,
+    is_bipartite_consistent,
+    memory_footprint_bytes,
+    variable_degree_stats,
+)
+
+
+class TestDegreeStats:
+    def test_figure1_variable_stats(self, figure1_graph):
+        s = variable_degree_stats(figure1_graph)
+        assert (s.min, s.max) == (1, 3)
+        assert s.count == 5
+        assert abs(s.mean - 9 / 5) < 1e-12
+
+    def test_figure1_factor_stats(self, figure1_graph):
+        s = factor_degree_stats(figure1_graph)
+        assert (s.min, s.max) == (1, 3)
+        assert abs(s.mean - 9 / 4) < 1e-12
+
+    def test_imbalance_of_star(self):
+        g = star_graph(30)
+        s = variable_degree_stats(g)
+        assert s.max == 30
+        assert s.imbalance > 10.0
+
+    def test_empty_graph_stats(self):
+        from repro.graph.factor_graph import FactorGraph
+
+        g = FactorGraph(var_dims=[], factors=[])
+        s = variable_degree_stats(g)
+        assert s.count == 0
+        assert s.imbalance == 1.0
+
+
+class TestHistogram:
+    def test_var_histogram(self, figure1_graph):
+        h = degree_histogram(figure1_graph, "var")
+        assert h == {1: 2, 2: 2, 3: 1}
+
+    def test_factor_histogram(self, figure1_graph):
+        h = degree_histogram(figure1_graph, "factor")
+        assert h == {1: 1, 2: 1, 3: 2}
+
+    def test_bad_side_rejected(self, figure1_graph):
+        with pytest.raises(ValueError, match="side"):
+            degree_histogram(figure1_graph, "nope")
+
+
+class TestMemoryFootprint:
+    def test_edge_arrays_dominate(self, chain_graph):
+        mem = memory_footprint_bytes(chain_graph)
+        assert mem["edge_arrays"] == 4 * chain_graph.edge_size * 8
+        assert mem["total"] >= mem["edge_arrays"] + mem["z_array"]
+
+    def test_total_is_sum_of_parts(self, chain_graph):
+        mem = memory_footprint_bytes(chain_graph)
+        parts = sum(v for k, v in mem.items() if k != "total")
+        assert mem["total"] == parts
+
+
+class TestConsistencyAndReport:
+    def test_consistency_on_fixtures(self, figure1_graph, chain_graph, mixed_dims_graph):
+        for g in (figure1_graph, chain_graph, mixed_dims_graph):
+            assert is_bipartite_consistent(g)
+
+    def test_report_contains_key_lines(self, chain_graph):
+        text = graph_report(chain_graph)
+        assert "var degree" in text
+        assert "memory" in text
+        assert "imbalance" in text

@@ -1,0 +1,100 @@
+"""Unit tests for GraphBuilder and construction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder, graph_from_edges, start_graph
+from repro.prox.standard import ZeroProx
+
+
+class TestGraphBuilder:
+    def test_add_variable_returns_sequential_ids(self):
+        b = GraphBuilder()
+        assert b.add_variable(1) == 0
+        assert b.add_variable(3) == 1
+        assert b.num_vars == 2
+
+    def test_add_variables_bulk(self):
+        b = GraphBuilder()
+        ids = b.add_variables(4, dim=2, prefix="x")
+        assert ids == [0, 1, 2, 3]
+        g = b.build()
+        assert g.var_names == ("x0", "x1", "x2", "x3")
+
+    def test_add_variables_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GraphBuilder().add_variables(-1)
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            GraphBuilder().add_variable(0)
+
+    def test_add_factor_returns_sequential_ids(self):
+        b = GraphBuilder()
+        b.add_variables(2)
+        z = ZeroProx()
+        assert b.add_factor(z, [0]) == 0
+        assert b.add_factor(z, [1]) == 1
+        assert b.num_factors == 2
+
+    def test_add_node_alias(self):
+        b = GraphBuilder()
+        b.add_variable(1)
+        assert b.add_node is b.add_factor or b.add_node.__func__ is b.add_factor.__func__
+
+    def test_params_frozen_as_float_arrays(self):
+        b = GraphBuilder()
+        b.add_variable(1)
+        b.add_factor(ZeroProx(), [0], params={"p": [1, 2, 3]})
+        g = b.build()
+        p = g.factors[0].params["p"]
+        assert p.dtype == np.float64
+        np.testing.assert_array_equal(p, [1.0, 2.0, 3.0])
+
+    def test_start_graph_returns_builder(self):
+        assert isinstance(start_graph(), GraphBuilder)
+
+    def test_default_variable_names(self):
+        b = GraphBuilder()
+        b.add_variable(1)
+        b.add_variable(1, name="named")
+        b.add_factor(ZeroProx(), [0, 1])
+        g = b.build()
+        assert g.var_names == ("v0", "named")
+
+
+class TestGraphFromEdges:
+    def test_uniform_dims(self):
+        z = ZeroProx()
+        g = graph_from_edges([z, z], [[0, 1], [1, 2]], var_dims=2)
+        assert g.num_vars == 3
+        assert all(d == 2 for d in g.var_dims)
+        assert g.num_edges == 4
+
+    def test_explicit_dims(self):
+        z = ZeroProx()
+        g = graph_from_edges([z], [[0, 1]], var_dims=[3, 1])
+        assert list(g.var_dims) == [3, 1]
+        assert g.edge_size == 4
+
+    def test_params_by_factor(self):
+        z = ZeroProx()
+        g = graph_from_edges(
+            [z, z],
+            [[0], [1]],
+            var_dims=1,
+            params_by_factor=[{"a": [1.0]}, {"a": [2.0]}],
+        )
+        assert float(g.factors[1].params["a"][0]) == 2.0
+
+    def test_length_mismatch_rejected(self):
+        z = ZeroProx()
+        with pytest.raises(ValueError, match="entries"):
+            graph_from_edges([z], [[0], [1]])
+        with pytest.raises(ValueError, match="params_by_factor"):
+            graph_from_edges([z], [[0]], params_by_factor=[None, None])
+
+    def test_empty_scopes_allowed_when_no_factors(self):
+        g = graph_from_edges([], [], var_dims=1)
+        assert g.num_factors == 0
+        assert g.num_vars == 0

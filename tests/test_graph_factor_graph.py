@@ -1,0 +1,233 @@
+"""Unit tests for the factor-graph data structure and its index maps."""
+
+import numpy as np
+import pytest
+
+from repro.graph.analysis import is_bipartite_consistent
+from repro.graph.builder import GraphBuilder
+from repro.graph.factor_graph import FactorGraph, FactorSpec
+from repro.prox.standard import ConsensusEqualProx, DiagQuadProx, ZeroProx
+
+
+def _zero():
+    return ZeroProx()
+
+
+class TestConstruction:
+    def test_figure1_counts(self, figure1_graph):
+        g = figure1_graph
+        assert g.num_vars == 5
+        assert g.num_factors == 4
+        assert g.num_edges == 3 + 3 + 2 + 1
+        assert g.num_elements == 5 + 4 + 9
+
+    def test_edge_creation_order_is_factor_major(self, figure1_graph):
+        g = figure1_graph
+        # Edges appear factor by factor, scope order preserved.
+        assert list(g.edge_var) == [0, 1, 2, 0, 3, 4, 1, 4, 4]
+        assert list(g.edge_factor) == [0, 0, 0, 1, 1, 1, 2, 2, 3]
+
+    def test_flat_layout_uniform_dims(self, figure1_graph):
+        g = figure1_graph
+        assert g.edge_size == g.num_edges  # all dims 1
+        assert g.z_size == g.num_vars
+        assert list(g.flat_edge_to_z) == list(g.edge_var)
+
+    def test_mixed_dims_layout(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        # factor 0: var a (3); factor 1: c,d (2+1); factor 2: d,c,a (1+2+3)
+        assert g.edge_size == 3 + 3 + 6
+        assert g.z_size == 6
+        assert list(np.diff(g.factor_slot_indptr)) == [3, 3, 6]
+
+    def test_flat_edge_to_z_mixed(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        # Variable layout: a -> z[0:3], c -> z[3:5], d -> z[5].
+        expected = [0, 1, 2, 3, 4, 5, 5, 3, 4, 0, 1, 2]
+        assert list(g.flat_edge_to_z) == expected
+
+    def test_var_names_roundtrip(self):
+        b = GraphBuilder()
+        b.add_variable(1, name="alpha")
+        b.add_variable(2, name="beta")
+        b.add_factor(_zero(), [0])
+        b.add_factor(_zero(), [1])
+        g = b.build()
+        assert g.var_names == ("alpha", "beta")
+
+    def test_empty_graph(self):
+        g = FactorGraph(var_dims=[], factors=[])
+        assert g.num_vars == 0
+        assert g.num_edges == 0
+        assert g.edge_size == 0
+        assert is_bipartite_consistent(g)
+
+
+class TestValidation:
+    def test_rejects_zero_dim_variable(self):
+        with pytest.raises(ValueError, match="dimension"):
+            FactorGraph(var_dims=[0], factors=[])
+
+    def test_rejects_out_of_range_scope(self):
+        spec = FactorSpec(prox=_zero(), variables=(3,))
+        with pytest.raises(ValueError, match="references variable 3"):
+            FactorGraph(var_dims=[1, 1], factors=[spec])
+
+    def test_rejects_duplicate_variable_in_scope(self):
+        spec = FactorSpec(prox=_zero(), variables=(0, 0))
+        with pytest.raises(ValueError, match="twice"):
+            FactorGraph(var_dims=[1], factors=[spec])
+
+    def test_rejects_empty_scope(self):
+        spec = FactorSpec(prox=_zero(), variables=())
+        with pytest.raises(ValueError, match="empty"):
+            FactorGraph(var_dims=[1], factors=[spec])
+
+    def test_rejects_mismatched_var_names(self):
+        with pytest.raises(ValueError, match="var_names"):
+            FactorGraph(var_dims=[1, 1], factors=[], var_names=["only_one"])
+
+    def test_inconsistent_param_shapes_within_group(self):
+        b = GraphBuilder()
+        b.add_variables(2, dim=1)
+        z = _zero()
+        b.add_factor(z, [0], params={"p": np.zeros(2)})
+        b.add_factor(z, [1], params={"p": np.zeros(3)})
+        with pytest.raises(ValueError, match="inconsistent shapes"):
+            b.build()
+
+
+class TestIndexMaps:
+    def test_scatter_matrix_row_sums_equal_degrees(self, figure1_graph):
+        g = figure1_graph
+        rows = np.asarray(g.scatter_matrix.sum(axis=1)).ravel()
+        assert list(rows.astype(int)) == list(g.var_degree)
+
+    def test_edges_of_var(self, figure1_graph):
+        g = figure1_graph
+        assert list(g.edges_of_var(4)) == [5, 7, 8]  # w5 in f2, f3, f4
+        assert list(g.edges_of_var(0)) == [0, 3]
+        assert list(g.edges_of_var(2)) == [2]
+
+    def test_factor_slots_and_edges(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        assert g.factor_slots(2) == slice(6, 12)
+        assert g.factor_edges(2) == slice(3, 6)
+
+    def test_var_slots(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        assert g.var_slots(0) == slice(0, 3)
+        assert g.var_slots(1) == slice(3, 5)
+        assert g.var_slots(2) == slice(5, 6)
+
+    def test_bipartite_consistency(self, figure1_graph, mixed_dims_graph, chain_graph):
+        for g in (figure1_graph, mixed_dims_graph, chain_graph):
+            assert is_bipartite_consistent(g)
+
+    def test_degrees(self, figure1_graph):
+        g = figure1_graph
+        assert list(g.var_degree) == [2, 2, 1, 1, 3]
+        assert list(g.factor_degree) == [3, 3, 2, 1]
+
+    def test_isolated_variable_recorded(self):
+        b = GraphBuilder()
+        b.add_variables(3, dim=1)
+        b.add_factor(_zero(), [0])
+        g = b.build()
+        assert list(g.isolated_vars) == [1, 2]
+
+
+class TestGroups:
+    def test_groups_split_by_prox_identity(self, chain_graph):
+        names = sorted(
+            getattr(grp.prox, "name", "?") for grp in chain_graph.groups
+        )
+        assert names == ["consensus_equal", "diag_quad", "l1"]
+
+    def test_group_sizes(self, chain_graph):
+        by_name = {g.prox.name: g for g in chain_graph.groups}
+        assert by_name["diag_quad"].size == 6
+        assert by_name["consensus_equal"].size == 5
+        assert by_name["l1"].size == 1
+
+    def test_contiguous_fast_path_detected(self, chain_graph):
+        assert all(g.contiguous for g in chain_graph.groups)
+
+    def test_noncontiguous_group_detected(self):
+        b = GraphBuilder()
+        b.add_variables(4, dim=1)
+        z = ZeroProx()
+        dq = DiagQuadProx(dims=(1,))
+        b.add_factor(z, [0])
+        b.add_factor(dq, [1], params={"q": [1.0], "c": [0.0]})
+        b.add_factor(z, [2])  # same group as factor 0, but factor 1 between
+        g = b.build()
+        zero_group = next(grp for grp in g.groups if grp.prox is z)
+        assert not zero_group.contiguous
+
+    def test_take_put_roundtrip_contiguous(self, chain_graph):
+        g = chain_graph
+        flat = np.arange(g.edge_size, dtype=float)
+        for grp in g.groups:
+            rows = grp.take_slots(flat)
+            assert rows.shape == (grp.size, grp.slot_count)
+            out = np.zeros_like(flat)
+            grp.put_slots(out, rows)
+            # Every slot this group owns must round-trip exactly.
+            idx = grp.gather_slots.reshape(-1)
+            np.testing.assert_array_equal(out[idx], flat[idx])
+
+    def test_take_put_roundtrip_noncontiguous(self):
+        b = GraphBuilder()
+        b.add_variables(4, dim=2)
+        z = ZeroProx()
+        dq = DiagQuadProx(dims=(2,))
+        b.add_factor(z, [0])
+        b.add_factor(dq, [1], params={"q": np.ones(2), "c": np.zeros(2)})
+        b.add_factor(z, [2])
+        g = b.build()
+        grp = next(gr for gr in g.groups if gr.prox is z)
+        assert not grp.contiguous
+        flat = np.arange(g.edge_size, dtype=float) * 10
+        rows = grp.take_slots(flat)
+        out = np.zeros_like(flat)
+        grp.put_slots(out, rows)
+        idx = grp.gather_slots.reshape(-1)
+        np.testing.assert_array_equal(out[idx], flat[idx])
+
+    def test_expand_rho(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        grp = next(gr for gr in g.groups if gr.var_dims == (1, 2, 3))
+        rho_rows = np.array([[1.0, 2.0, 3.0]])
+        expanded = grp.expand_rho(rho_rows)
+        assert list(expanded[0]) == [1.0, 2.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_group_params_stacked(self, chain_graph):
+        grp = next(g for g in chain_graph.groups if g.prox.name == "diag_quad")
+        assert grp.params["q"].shape == (6, 2)
+        assert grp.params["c"].shape == (6, 2)
+        np.testing.assert_array_equal(grp.params["c"][:, 1], -np.ones(6))
+
+    def test_group_order_deterministic(self, chain_graph):
+        firsts = [int(g.factor_ids[0]) for g in chain_graph.groups]
+        assert firsts == sorted(firsts)
+
+
+class TestReadout:
+    def test_read_solution_shapes(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        z = np.arange(g.z_size, dtype=float)
+        parts = g.read_solution(z)
+        assert [p.size for p in parts] == [3, 2, 1]
+        np.testing.assert_array_equal(parts[0], [0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(parts[2], [5.0])
+
+    def test_read_variable(self, mixed_dims_graph):
+        g = mixed_dims_graph
+        z = np.arange(g.z_size, dtype=float)
+        np.testing.assert_array_equal(g.read_variable(z, 1), [3.0, 4.0])
+
+    def test_summary_mentions_groups(self, chain_graph):
+        text = chain_graph.summary()
+        assert "diag_quad" in text
+        assert "|E|=17" in text

@@ -1,0 +1,114 @@
+"""Tests for graph/state serialization (build once, reuse forever)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mpc import default_problem
+from repro.apps.packing import PackingProblem
+from repro.backends.vectorized import VectorizedBackend
+from repro.core.state import ADMMState
+from repro.graph.io import load_graph, load_state, save_graph, save_state
+
+
+def roundtrip_graph(tmp_path, graph):
+    path = str(tmp_path / "graph.npz")
+    save_graph(path, graph)
+    return load_graph(path)
+
+
+class TestGraphRoundtrip:
+    def test_structure_preserved(self, tmp_path, chain_graph):
+        g2 = roundtrip_graph(tmp_path, chain_graph)
+        assert g2.num_vars == chain_graph.num_vars
+        assert g2.num_factors == chain_graph.num_factors
+        np.testing.assert_array_equal(g2.edge_var, chain_graph.edge_var)
+        np.testing.assert_array_equal(g2.var_dims, chain_graph.var_dims)
+        assert g2.var_names == chain_graph.var_names
+
+    def test_params_preserved(self, tmp_path, chain_graph):
+        g2 = roundtrip_graph(tmp_path, chain_graph)
+        for f1, f2 in zip(chain_graph.factors, g2.factors):
+            assert sorted(f1.params) == sorted(f2.params)
+            for k in f1.params:
+                np.testing.assert_array_equal(f1.params[k], f2.params[k])
+
+    def test_prox_identity_shared_within_family(self, tmp_path, chain_graph):
+        g2 = roundtrip_graph(tmp_path, chain_graph)
+        # Factors that shared an operator instance still do (same grouping).
+        assert len(g2.groups) == len(chain_graph.groups)
+
+    def test_iterates_identical_after_reload(self, tmp_path, chain_graph):
+        g2 = roundtrip_graph(tmp_path, chain_graph)
+        s1 = ADMMState(chain_graph, rho=1.4).init_random(seed=9)
+        s2 = ADMMState(g2, rho=1.4).init_random(seed=9)
+        VectorizedBackend().run(chain_graph, s1, 10)
+        VectorizedBackend().run(g2, s2, 10)
+        np.testing.assert_allclose(s1.z, s2.z, atol=1e-14)
+
+    def test_packing_graph_roundtrip(self, tmp_path):
+        g = PackingProblem(4).build_graph()
+        g2 = roundtrip_graph(tmp_path, g)
+        s1 = ADMMState(g, rho=3.0).init_random(seed=1)
+        s2 = ADMMState(g2, rho=3.0).init_random(seed=1)
+        VectorizedBackend().run(g, s1, 5)
+        VectorizedBackend().run(g2, s2, 5)
+        np.testing.assert_allclose(s1.z, s2.z, atol=1e-14)
+
+    def test_mpc_graph_roundtrip(self, tmp_path):
+        # Exercises instance-level constructor args (A matrix) persistence.
+        g = default_problem(6).build_graph()
+        g2 = roundtrip_graph(tmp_path, g)
+        s1 = ADMMState(g, rho=2.0).init_random(seed=2)
+        s2 = ADMMState(g2, rho=2.0).init_random(seed=2)
+        VectorizedBackend().run(g, s1, 5)
+        VectorizedBackend().run(g2, s2, 5)
+        np.testing.assert_allclose(s1.z, s2.z, atol=1e-12)
+
+    def test_custom_prox_via_lookup(self, tmp_path):
+        from repro.graph.builder import GraphBuilder
+        from repro.prox.standard import DiagQuadProx
+
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        b.add_factor(DiagQuadProx(dims=(1,)), [w], params={"q": [1.0], "c": [0.0]})
+        g = b.build()
+        path = str(tmp_path / "g.npz")
+        save_graph(path, g)
+        made = {}
+
+        def factory(**kwargs):
+            made["called"] = True
+            return DiagQuadProx(dims=tuple(kwargs["dims"]))
+
+        g2 = load_graph(path, prox_lookup={"diag_quad": factory})
+        assert made.get("called")
+        assert g2.num_factors == 1
+
+
+class TestStateRoundtrip:
+    def test_all_families_preserved(self, tmp_path, chain_graph):
+        s = ADMMState(chain_graph, rho=1.7, alpha=0.8).init_random(seed=3)
+        s.iteration = 42
+        path = str(tmp_path / "state.npz")
+        save_state(path, s)
+        s2 = load_state(path, chain_graph)
+        for fam in ("x", "m", "u", "n", "z", "rho", "alpha"):
+            np.testing.assert_array_equal(getattr(s, fam), getattr(s2, fam))
+        assert s2.iteration == 42
+
+    def test_resume_continues_identically(self, tmp_path, chain_graph):
+        s = ADMMState(chain_graph, rho=1.2).init_random(seed=4)
+        VectorizedBackend().run(chain_graph, s, 5)
+        path = str(tmp_path / "ckpt.npz")
+        save_state(path, s)
+        resumed = load_state(path, chain_graph)
+        VectorizedBackend().run(chain_graph, s, 5)
+        VectorizedBackend().run(chain_graph, resumed, 5)
+        np.testing.assert_array_equal(s.z, resumed.z)
+
+    def test_shape_mismatch_rejected(self, tmp_path, chain_graph, figure1_graph):
+        s = ADMMState(chain_graph).init_random(seed=5)
+        path = str(tmp_path / "s.npz")
+        save_state(path, s)
+        with pytest.raises(ValueError, match="does not match"):
+            load_state(path, figure1_graph)

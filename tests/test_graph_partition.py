@@ -1,0 +1,115 @@
+"""Unit + property tests for work partitioning and rebalancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import star_graph
+from repro.graph.partition import (
+    balanced_partition,
+    balanced_variable_groups,
+    chunk_loads,
+    contiguous_chunks,
+)
+
+
+class TestContiguousChunks:
+    def test_exact_division(self):
+        assert contiguous_chunks(10, 2) == [(0, 5), (5, 10)]
+
+    def test_remainder_goes_to_last(self):
+        chunks = contiguous_chunks(10, 3)
+        assert chunks[-1][1] == 10
+        sizes = [t - s for s, t in chunks]
+        assert sum(sizes) == 10
+
+    def test_more_workers_than_items(self):
+        chunks = contiguous_chunks(2, 5)
+        covered = [i for s, t in chunks for i in range(s, t)]
+        assert covered == [0, 1]
+
+    def test_zero_items(self):
+        assert all(s == t for s, t in contiguous_chunks(0, 4))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            contiguous_chunks(-1, 2)
+        with pytest.raises(ValueError):
+            contiguous_chunks(5, 0)
+
+    @given(n=st.integers(0, 500), k=st.integers(1, 40))
+    @settings(max_examples=60)
+    def test_cover_and_disjoint(self, n, k):
+        chunks = contiguous_chunks(n, k)
+        assert len(chunks) == k
+        covered = []
+        for s, t in chunks:
+            assert 0 <= s <= t <= n
+            covered.extend(range(s, t))
+        assert covered == list(range(n))
+
+
+class TestBalancedPartition:
+    def test_all_items_assigned_once(self):
+        w = np.array([5.0, 3.0, 2.0, 2.0, 1.0])
+        p = balanced_partition(w, 2)
+        items = sorted(i for grp in p.groups for i in grp)
+        assert items == [0, 1, 2, 3, 4]
+
+    def test_makespan_bounds(self):
+        rng = np.random.default_rng(0)
+        w = rng.uniform(0.1, 10.0, size=50)
+        for k in (1, 2, 5, 8):
+            p = balanced_partition(w, k)
+            assert p.makespan >= w.max() - 1e-12
+            assert p.makespan >= w.sum() / k - 1e-12
+            # LPT guarantee: makespan <= lower bound + max item
+            assert p.makespan <= w.sum() / k + w.max() + 1e-12
+
+    def test_loads_match_groups(self):
+        w = np.array([4.0, 1.0, 3.0])
+        p = balanced_partition(w, 2)
+        for grp, load in zip(p.groups, p.loads):
+            assert abs(sum(w[i] for i in grp) - load) < 1e-12
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            balanced_partition(np.array([-1.0]), 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            balanced_partition(np.ones(3), 0)
+
+    @given(
+        weights=st.lists(st.floats(0.0, 100.0), min_size=0, max_size=60),
+        k=st.integers(1, 10),
+    )
+    @settings(max_examples=60)
+    def test_property_partition_is_exact_cover(self, weights, k):
+        w = np.asarray(weights)
+        p = balanced_partition(w, k)
+        items = sorted(i for grp in p.groups for i in grp)
+        assert items == list(range(len(weights)))
+        assert abs(p.loads.sum() - w.sum()) < 1e-6 * max(1.0, w.sum())
+
+
+class TestRebalancing:
+    def test_star_graph_hub_imbalance_visible_in_chunks(self):
+        g = star_graph(64)
+        naive = chunk_loads(g.var_degree.astype(float), 4)
+        # The hub (degree 64) lands in one chunk: makespan >> mean.
+        assert naive.imbalance > 2.0
+
+    def test_lpt_beats_contiguous_on_star(self):
+        g = star_graph(64)
+        w = g.var_degree.astype(float)
+        naive = chunk_loads(w, 4)
+        lpt = balanced_variable_groups(g, 4)
+        assert lpt.makespan <= naive.makespan
+        assert lpt.imbalance < naive.imbalance
+
+    def test_balanced_variable_groups_on_uniform_graph(self, chain_graph):
+        p = balanced_variable_groups(chain_graph, 3)
+        # Near-uniform degrees -> near-perfect balance.
+        assert p.imbalance < 1.5

@@ -1,0 +1,153 @@
+"""Cross-module integration tests: full pipelines on every application.
+
+These are the "does the whole system reproduce the math" checks — each one
+runs graph construction → solver → solution extraction → validation against
+an independent reference, mirroring how the examples use the public API.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.lasso import LassoProblem, make_lasso_data, solve_lasso_fista
+from repro.apps.mpc import default_problem, solve_mpc_exact
+from repro.apps.packing import PackingProblem, square_region
+from repro.apps.svm import SVMProblem, make_blobs, solve_svm_reference
+from repro.backends.threaded import ThreadedBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.core.solver import ADMMSolver
+from repro.core.stopping import MaxIterations
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        for name in (
+            "GraphBuilder",
+            "ADMMSolver",
+            "SerialBackend",
+            "VectorizedBackend",
+            "ThreadedBackend",
+            "ProcessBackend",
+        ):
+            assert hasattr(repro, name)
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_docstring_example_runs(self):
+        from repro.prox import DiagQuadProx
+
+        b = repro.GraphBuilder()
+        w = b.add_variable(dim=2)
+        b.add_factor(
+            DiagQuadProx(dims=(2,)),
+            [w],
+            params={"q": [1.0, 1.0], "c": [-2.0, 2.0]},
+        )
+        result = repro.ADMMSolver(b.build()).solve(max_iterations=200)
+        np.testing.assert_allclose(result.variable(w), [2.0, -2.0], atol=1e-4)
+
+
+class TestEndToEndPacking:
+    def test_two_disks_in_square(self):
+        p = PackingProblem(2, region=square_region(1.0))
+        g = p.build_graph()
+        solver = ADMMSolver(g, rho=3.0)
+        solver.state = p.initial_state(g, rho=3.0, seed=4)
+        result = solver.solve(
+            max_iterations=1500, stopping=MaxIterations(1500), check_every=300, init="keep"
+        )
+        centers, radii = p.extract(g, result.z)
+        rep = p.validate(centers, radii)
+        assert rep["feasible"]
+        # The solver finds the greedy optimum: one incircle disk (r = 1/2)
+        # plus a corner disk — coverage ≈ 0.81, far above a degenerate
+        # solution and below the theoretical ceiling.
+        assert 0.3 < rep["coverage"] <= 0.85
+
+    def test_threaded_backend_full_pipeline(self):
+        p = PackingProblem(3)
+        g = p.build_graph()
+        backend = ThreadedBackend(num_workers=2)
+        solver = ADMMSolver(g, backend=backend, rho=3.0)
+        solver.state = p.initial_state(g, rho=3.0, seed=5)
+        result = solver.solve(
+            max_iterations=800, stopping=MaxIterations(800), check_every=200, init="keep"
+        )
+        solver.close()
+        centers, radii = p.extract(g, result.z)
+        assert p.validate(centers, radii)["overlap_violation"] < 1e-2
+
+
+class TestEndToEndMPC:
+    def test_pipeline_matches_kkt(self):
+        p = default_problem(8)
+        g = p.build_graph()
+        result = ADMMSolver(g, rho=10.0).solve(
+            max_iterations=8000, stopping=MaxIterations(8000), check_every=500
+        )
+        states, inputs = p.extract(result.z)
+        st_ex, in_ex, obj_ex = solve_mpc_exact(p)
+        assert p.dynamics_violation(states, inputs) < 1e-4
+        assert p.objective(states, inputs) == pytest.approx(obj_ex, rel=1e-3)
+
+    def test_controller_stabilizes_pendulum(self):
+        # Simulate the closed loop: the first input of each solve is applied.
+        p = default_problem(25, q0=np.array([0.0, 0.0, 0.15, 0.0]))
+        st_ex, in_ex, _ = solve_mpc_exact(p)
+        # Exact MPC drives the angle toward 0 across the horizon.
+        assert abs(st_ex[-1, 2]) < abs(p.q0[2])
+
+
+class TestEndToEndSVM:
+    def test_pipeline_close_to_qp(self):
+        X, y = make_blobs(20, dim=2, seed=11)
+        p = SVMProblem(X, y, lam=1.0)
+        g = p.build_graph()
+        result = ADMMSolver(g, backend=VectorizedBackend()).solve(
+            max_iterations=4000, stopping=MaxIterations(4000), check_every=500
+        )
+        w, b, slacks = p.extract(result.z)
+        _, _, obj_ref = solve_svm_reference(p)
+        assert p.objective(w, b) <= obj_ref * 1.05 + 1e-6
+        assert np.all(slacks >= -1e-6)
+
+
+class TestEndToEndLasso:
+    def test_pipeline_matches_fista(self):
+        A, y, w_true = make_lasso_data(80, 25, sparsity=5, noise=0.0, seed=12)
+        p = LassoProblem(A, y, lam=0.02, n_blocks=5)
+        g = p.build_graph()
+        result = ADMMSolver(g).solve(
+            max_iterations=5000, eps_abs=1e-10, eps_rel=1e-9, check_every=50
+        )
+        w = result.variable(0)
+        w_ref = solve_lasso_fista(A, y, 0.02)
+        np.testing.assert_allclose(w, w_ref, atol=1e-4)
+        # Support recovery on noiseless data with mild regularization.
+        big_true = np.abs(w_true) > 0.5
+        assert np.all(np.abs(w[big_true]) > 1e-3)
+
+
+class TestBackendsAgreeOnApplications:
+    @pytest.mark.parametrize("app", ["packing", "mpc", "svm"])
+    def test_serial_vs_vectorized_on_real_graphs(self, app):
+        from repro.backends.serial import SerialBackend
+        from repro.core.state import ADMMState
+
+        if app == "packing":
+            g = PackingProblem(4).build_graph()
+            rho = 3.0
+        elif app == "mpc":
+            g = default_problem(6).build_graph()
+            rho = 2.0
+        else:
+            X, y = make_blobs(10, seed=1)
+            g = SVMProblem(X, y).build_graph()
+            rho = 1.0
+        s1 = ADMMState(g, rho=rho).init_random(0.1, 0.9, seed=3)
+        s2 = s1.copy()
+        SerialBackend().run(g, s1, 5)
+        VectorizedBackend().run(g, s2, 5)
+        np.testing.assert_allclose(s1.z, s2.z, atol=1e-11)
+        np.testing.assert_allclose(s1.u, s2.u, atol=1e-11)

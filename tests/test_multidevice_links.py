@@ -1,0 +1,44 @@
+"""Tests for the interconnect presets (PCIe vs Ethernet — "multiple computers")."""
+
+import pytest
+
+from repro.gpusim.device import OPTERON_6300, TESLA_K40
+from repro.gpusim.multidevice import ETHERNET_10G, PCIE_GEN3, simulate_multi_gpu
+from repro.gpusim.synthetic import packing_workloads
+
+
+class TestLinkPresets:
+    def test_ethernet_slower_than_pcie(self):
+        bytes_ = 1e6
+        assert ETHERNET_10G.transfer_s(bytes_) > PCIE_GEN3.transfer_s(bytes_)
+
+    def test_multi_computer_needs_low_cut_fraction(self):
+        """Over Ethernet the cut fraction decides, not the problem size.
+
+        Boundary traffic scales with the edge count exactly like compute
+        does, so at a 10% cut a second machine never pays off; at a 0.1%
+        cut (a genuinely separable decomposition) it does.  This is the
+        quantified version of the paper's caution that the multi-computer
+        extension "requires new code" — it also requires a good partition.
+        """
+        wl, _ = packing_workloads(3000)
+        r1 = simulate_multi_gpu(TESLA_K40, OPTERON_6300, wl, 1)
+        bad_cut = simulate_multi_gpu(
+            TESLA_K40, OPTERON_6300, wl, 2, cut_fraction=0.1, link=ETHERNET_10G
+        )
+        good_cut = simulate_multi_gpu(
+            TESLA_K40, OPTERON_6300, wl, 2, cut_fraction=0.001, link=ETHERNET_10G
+        )
+        assert bad_cut.iteration_s > r1.iteration_s
+        assert good_cut.iteration_s < r1.iteration_s
+
+    def test_pcie_vs_ethernet_same_compute(self):
+        wl, _ = packing_workloads(1000)
+        pcie = simulate_multi_gpu(
+            TESLA_K40, OPTERON_6300, wl, 4, cut_fraction=0.1, link=PCIE_GEN3
+        )
+        eth = simulate_multi_gpu(
+            TESLA_K40, OPTERON_6300, wl, 4, cut_fraction=0.1, link=ETHERNET_10G
+        )
+        assert pcie.compute_s == pytest.approx(eth.compute_s)
+        assert eth.comm_s > pcie.comm_s

@@ -1,0 +1,141 @@
+"""Unit tests for the ProxOperator protocol and registry."""
+
+import numpy as np
+import pytest
+
+from repro.prox.base import ProxOperator, expand_rho, slot_offsets
+from repro.prox.registry import (
+    get_prox_class,
+    iter_registered,
+    make_prox,
+    register_prox,
+    registered_prox_names,
+)
+from repro.prox.standard import DiagQuadProx, ZeroProx
+
+
+class TestProtocol:
+    def test_must_override_something(self):
+        class Bad(ProxOperator):
+            pass
+
+        with pytest.raises(TypeError, match="must override"):
+            Bad()
+
+    def test_scalar_delegates_to_batch(self):
+        class BatchOnly(ProxOperator):
+            def prox_batch(self, n, rho, params):
+                return n * 2.0
+
+        op = BatchOnly()
+        out = op.prox(np.array([1.0, 2.0]), np.array([1.0]), {})
+        np.testing.assert_array_equal(out, [2.0, 4.0])
+
+    def test_batch_delegates_to_scalar(self):
+        class ScalarOnly(ProxOperator):
+            def prox(self, n, rho, params):
+                return n + params["shift"]
+
+        op = ScalarOnly()
+        out = op.prox_batch(
+            np.array([[1.0], [2.0]]),
+            np.ones((2, 1)),
+            {"shift": np.array([[10.0], [20.0]])},
+        )
+        np.testing.assert_array_equal(out, [[11.0], [22.0]])
+
+    def test_default_name_is_class_name(self):
+        class MyOp(ProxOperator):
+            def prox_batch(self, n, rho, params):
+                return n
+
+        assert MyOp().name == "MyOp"
+
+    def test_validate_dims(self):
+        op = DiagQuadProx(dims=(2,))
+        op.validate_dims((2,))
+        with pytest.raises(ValueError, match="expects variable dims"):
+            op.validate_dims((3,))
+
+    def test_default_outgoing_weights_are_rho(self):
+        op = ZeroProx()
+        rho = np.array([[1.0, 2.0]])
+        # ZeroProx overrides to zeros; use a DiagQuad for the default.
+        dq = DiagQuadProx(dims=(1, 1))
+        w = dq.outgoing_weights(np.zeros((1, 2)), np.zeros((1, 2)), rho, {})
+        np.testing.assert_array_equal(w, rho)
+        assert w is not rho  # must be a copy
+
+    def test_default_evaluate_is_nan(self):
+        class BatchOnly(ProxOperator):
+            def prox_batch(self, n, rho, params):
+                return n
+
+        v = BatchOnly().evaluate(np.zeros(2), {})
+        assert v != v
+
+
+class TestHelpers:
+    def test_expand_rho(self):
+        rho = np.array([[1.0, 2.0, 3.0]])
+        out = expand_rho(rho, (2, 1, 3))
+        np.testing.assert_array_equal(out, [[1, 1, 2, 3, 3, 3]])
+
+    def test_expand_rho_1d(self):
+        out = expand_rho(np.array([5.0, 7.0]), (1, 2))
+        np.testing.assert_array_equal(out, [5.0, 7.0, 7.0])
+
+    def test_slot_offsets(self):
+        np.testing.assert_array_equal(slot_offsets((2, 1, 3)), [0, 2, 3, 6])
+
+
+class TestRegistry:
+    def test_known_names_present(self):
+        names = registered_prox_names()
+        for expected in (
+            "zero",
+            "l1",
+            "diag_quad",
+            "consensus_equal",
+            "packing_pair",
+            "packing_wall",
+            "packing_radius",
+            "mpc_cost",
+            "svm_margin",
+            "svm_norm",
+            "svm_slack",
+            "data_fidelity",
+        ):
+            assert expected in names
+
+    def test_get_and_make(self):
+        cls = get_prox_class("l1")
+        op = make_prox("l1", lam=0.5)
+        assert isinstance(op, cls)
+        assert op.lam == 0.5
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown proximal operator"):
+            get_prox_class("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup1(ProxOperator):
+            name = "dup_test_op"
+
+            def prox_batch(self, n, rho, params):
+                return n
+
+        register_prox(Dup1)
+
+        class Dup2(ProxOperator):
+            name = "dup_test_op"
+
+            def prox_batch(self, n, rho, params):
+                return n
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_prox(Dup2)
+
+    def test_iter_registered_sorted(self):
+        names = [n for n, _ in iter_registered()]
+        assert names == sorted(names)

@@ -1,0 +1,155 @@
+"""Tests for the extra proximal operators (Huber, simplex, entropy, logistic)."""
+
+import numpy as np
+import pytest
+import scipy.optimize as sopt
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.prox.extras import EntropyProx, HuberProx, LogisticProx, SimplexProx
+
+finite = st.floats(-8.0, 8.0, allow_nan=False, allow_infinity=False)
+
+
+def brute_prox(h, n, rho):
+    res = sopt.minimize_scalar(
+        lambda t: h(t) + 0.5 * rho * (t - n) ** 2, bounds=(-50, 50), method="bounded",
+        options={"xatol": 1e-12},
+    )
+    return res.x
+
+
+class TestHuber:
+    def test_quadratic_region(self):
+        op = HuberProx(delta=10.0)
+        out = op.prox(np.array([1.0]), np.array([1.0]), {})
+        np.testing.assert_allclose(out, [0.5])  # rho n/(1+rho)
+
+    def test_linear_region(self):
+        op = HuberProx(delta=0.5)
+        out = op.prox(np.array([10.0]), np.array([1.0]), {})
+        np.testing.assert_allclose(out, [9.5])  # n - delta/rho
+
+    @given(n=finite, rho=st.floats(0.3, 5.0), delta=st.floats(0.2, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, n, rho, delta):
+        op = HuberProx(delta=delta)
+        got = float(op.prox(np.array([n]), np.array([rho]), {})[0])
+
+        def h(t):
+            return 0.5 * t * t if abs(t) <= delta else delta * abs(t) - 0.5 * delta**2
+
+        ref = brute_prox(h, n, rho)
+        assert abs(got - ref) < 1e-5
+
+    def test_evaluate(self):
+        op = HuberProx(delta=1.0)
+        assert op.evaluate(np.array([0.5]), {}) == pytest.approx(0.125)
+        assert op.evaluate(np.array([3.0]), {}) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HuberProx(delta=0.0)
+
+
+class TestSimplex:
+    def test_already_on_simplex(self):
+        op = SimplexProx()
+        n = np.array([[0.2, 0.3, 0.5]])
+        np.testing.assert_allclose(op.prox_batch(n, np.ones((1, 1)), {}), n, atol=1e-12)
+
+    def test_output_on_simplex(self):
+        op = SimplexProx()
+        rng = np.random.default_rng(0)
+        n = rng.normal(scale=3.0, size=(20, 6))
+        out = op.prox_batch(n, np.ones((20, 1)), {})
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(out >= -1e-12)
+
+    def test_single_dominant_coordinate(self):
+        op = SimplexProx()
+        out = op.prox(np.array([10.0, 0.0, 0.0]), np.ones(1), {})
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.0], atol=1e-9)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_optimality(self, data):
+        op = SimplexProx()
+        n = data.draw(hnp.arrays(np.float64, (4,), elements=finite))
+        x = op.prox(n, np.ones(1), {})
+        d_opt = np.sum((x - n) ** 2)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            c = rng.dirichlet(np.ones(4))
+            assert np.sum((c - n) ** 2) >= d_opt - 1e-9
+
+    def test_evaluate(self):
+        op = SimplexProx()
+        assert op.evaluate(np.array([0.5, 0.5]), {}) == 0.0
+        assert op.evaluate(np.array([0.5, 0.6]), {}) == float("inf")
+
+
+class TestEntropy:
+    @given(n=st.floats(-3.0, 5.0), rho=st.floats(0.5, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_stationarity(self, n, rho):
+        op = EntropyProx()
+        x = float(op.prox(np.array([n]), np.array([rho]), {})[0])
+        assert x > 0
+        grad = np.log(x) + 1.0 + rho * (x - n)
+        assert abs(grad) < 1e-8
+
+    def test_output_positive_for_negative_input(self):
+        op = EntropyProx()
+        out = op.prox(np.array([-10.0]), np.array([1.0]), {})
+        assert 0 < out[0] < 1e-3
+
+    def test_evaluate(self):
+        op = EntropyProx()
+        assert op.evaluate(np.array([1.0]), {}) == pytest.approx(0.0)
+        assert op.evaluate(np.array([-0.1]), {}) == float("inf")
+
+
+class TestLogistic:
+    @given(n=finite, rho=st.floats(0.2, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_stationarity(self, n, rho):
+        op = LogisticProx()
+        x = float(op.prox(np.array([n]), np.array([rho]), {})[0])
+        import scipy.special as ssp
+
+        grad = ssp.expit(x) + rho * (x - n)
+        assert abs(grad) < 1e-10
+
+    def test_matches_brute_force(self):
+        op = LogisticProx()
+        got = float(op.prox(np.array([2.0]), np.array([1.0]), {})[0])
+        ref = brute_prox(lambda t: np.logaddexp(0.0, t), 2.0, 1.0)
+        assert abs(got - ref) < 1e-6
+
+    def test_batched_rows_independent(self):
+        op = LogisticProx()
+        n = np.array([[1.0, -1.0], [3.0, 0.0]])
+        rho = np.ones((2, 1))
+        batch = op.prox_batch(n, rho, {})
+        for i in range(2):
+            single = op.prox(n[i], np.ones(1), {})
+            np.testing.assert_allclose(batch[i], single, atol=1e-12)
+
+    def test_in_solver(self):
+        """End to end: softplus + quadratic anchor has a unique optimum."""
+        from repro.core.solver import ADMMSolver
+        from repro.graph.builder import GraphBuilder
+        from repro.prox.standard import DiagQuadProx
+
+        b = GraphBuilder()
+        w = b.add_variable(1)
+        b.add_factor(LogisticProx(), [w])
+        b.add_factor(DiagQuadProx(dims=(1,)), [w], params={"q": [1.0], "c": [-2.0]})
+        res = ADMMSolver(b.build()).solve(max_iterations=2000, eps_abs=1e-10)
+        # Optimum of log(1+e^x) + x^2/2 - 2x: grad = sigmoid(x) + x - 2 = 0.
+        import scipy.special as ssp
+
+        x = float(res.variable(0)[0])
+        assert abs(ssp.expit(x) + x - 2.0) < 1e-4

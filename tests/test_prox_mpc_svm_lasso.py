@@ -1,0 +1,219 @@
+"""Unit tests for the MPC, SVM, and Lasso proximal operators."""
+
+import numpy as np
+import pytest
+
+from repro.prox.lasso import DataFidelityProx
+from repro.prox.mpc import MPCCostProx, make_dynamics_prox, make_initial_state_prox
+from repro.prox.svm import SVMMarginProx, SVMNormProx, SVMSlackProx
+
+RNG = np.random.default_rng(11)
+
+
+class TestMPCCost:
+    def test_closed_form(self):
+        op = MPCCostProx(dq=2, du=1)
+        n = np.array([[1.0, 2.0, 3.0]])
+        out = op.prox_batch(
+            n,
+            np.array([[2.0]]),
+            {"qdiag": np.array([[1.0, 1.0]]), "rdiag": np.array([[0.5]])},
+        )
+        # x = rho n / (2 diag + rho)
+        np.testing.assert_allclose(out, [[2.0 / 4.0, 4.0 / 4.0, 6.0 / 3.0]])
+
+    def test_zero_cost_is_identity(self):
+        op = MPCCostProx(dq=1, du=1)
+        n = np.array([[5.0, -3.0]])
+        out = op.prox_batch(
+            n, np.array([[1.0]]), {"qdiag": np.zeros((1, 1)), "rdiag": np.zeros((1, 1))}
+        )
+        np.testing.assert_allclose(out, n)
+
+    def test_stationarity(self):
+        op = MPCCostProx(dq=2, du=1)
+        qd, rd, rho = np.array([1.5, 0.3]), np.array([2.0]), 1.7
+        n = RNG.normal(size=3)
+        x = op.prox(n, np.array([rho]), {"qdiag": qd, "rdiag": rd})
+        diag = np.concatenate([qd, rd])
+        grad = 2 * diag * x + rho * (x - n)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-12)
+
+    def test_dims_validation(self):
+        with pytest.raises(ValueError):
+            MPCCostProx(dq=0, du=1)
+
+    def test_evaluate(self):
+        op = MPCCostProx(dq=1, du=1)
+        v = op.evaluate(
+            np.array([2.0, 3.0]), {"qdiag": np.array([1.0]), "rdiag": np.array([2.0])}
+        )
+        assert abs(v - (4.0 + 18.0)) < 1e-12
+
+
+class TestMPCDynamics:
+    A = np.array([[0.0, 0.04], [-0.02, 0.0]])
+    B = np.array([[0.0], [0.04]])
+
+    def test_output_satisfies_dynamics(self):
+        op = make_dynamics_prox(self.A, self.B)
+        n = RNG.normal(size=(4, 6))  # (q,u) dim 3 per node, two nodes
+        out = op.prox_batch(n, np.ones((4, 2)), {})
+        for row in out:
+            q0, u0, q1 = row[0:2], row[2:3], row[3:5]
+            res = q1 - q0 - self.A @ q0 - self.B @ u0
+            np.testing.assert_allclose(res, 0.0, atol=1e-9)
+
+    def test_feasible_input_unchanged(self):
+        op = make_dynamics_prox(self.A, self.B)
+        q0 = RNG.normal(size=2)
+        u0 = RNG.normal(size=1)
+        q1 = q0 + self.A @ q0 + self.B @ u0
+        u1 = RNG.normal(size=1)
+        n = np.concatenate([q0, u0, q1, u1])[None, :]
+        out = op.prox_batch(n, np.ones((1, 2)), {})
+        np.testing.assert_allclose(out, n, atol=1e-10)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            make_dynamics_prox(np.zeros((2, 3)), self.B)
+        with pytest.raises(ValueError, match="dq"):
+            make_dynamics_prox(self.A, np.zeros((3, 1)))
+
+    def test_name(self):
+        assert make_dynamics_prox(self.A, self.B).name == "mpc_dynamics"
+
+
+class TestMPCInitialState:
+    def test_pins_state_passes_input(self):
+        op = make_initial_state_prox(dq=2, du=1)
+        n = np.array([[9.0, 9.0, 7.0]])
+        out = op.prox_batch(n, np.ones((1, 1)), {"c": np.array([[0.1, 0.2]])})
+        np.testing.assert_allclose(out[0, 0:2], [0.1, 0.2], atol=1e-12)
+        np.testing.assert_allclose(out[0, 2], 7.0)
+
+
+class TestSVMNorm:
+    def test_shrinks_w_not_b(self):
+        op = SVMNormProx(dim=2, kappa=0.5)
+        n = np.array([[2.0, -2.0, 3.0]])
+        out = op.prox_batch(n, np.array([[1.0]]), {})
+        np.testing.assert_allclose(out[0, :2], [2.0 / 1.5, -2.0 / 1.5])
+        assert out[0, 2] == 3.0
+
+    def test_stationarity(self):
+        op = SVMNormProx(dim=3, kappa=0.25)
+        n = RNG.normal(size=4)
+        x = op.prox(n, np.array([2.0]), {})
+        grad_w = 0.25 * x[:3] + 2.0 * (x[:3] - n[:3])
+        np.testing.assert_allclose(grad_w, 0.0, atol=1e-12)
+
+    def test_evaluate(self):
+        op = SVMNormProx(dim=2, kappa=1.0)
+        assert abs(op.evaluate(np.array([3.0, 4.0, 7.0]), {}) - 12.5) < 1e-12
+
+
+class TestSVMSlack:
+    def test_semi_lasso(self):
+        op = SVMSlackProx(lam=1.0)
+        out = op.prox_batch(np.array([[2.0], [0.5], [-1.0]]), np.ones((3, 1)), {})
+        np.testing.assert_allclose(out, [[1.0], [0.0], [0.0]])
+
+    def test_rho_scales_shift(self):
+        op = SVMSlackProx(lam=2.0)
+        out = op.prox(np.array([3.0]), np.array([4.0]), {})
+        np.testing.assert_allclose(out, [2.5])
+
+    def test_evaluate(self):
+        op = SVMSlackProx(lam=3.0)
+        assert op.evaluate(np.array([2.0]), {}) == 6.0
+        assert op.evaluate(np.array([-1.0]), {}) == float("inf")
+
+
+class TestSVMMargin:
+    def test_feasible_unchanged(self):
+        op = SVMMarginProx(dim=2)
+        # w=(1,0), b=0, xi=0; point x=(2,0), y=+1: margin 2 >= 1 ok.
+        n = np.array([[1.0, 0.0, 0.0, 0.0]])
+        out = op.prox_batch(
+            n, np.ones((1, 2)), {"x": np.array([[2.0, 0.0]]), "y": np.array([1.0])}
+        )
+        np.testing.assert_allclose(out, n)
+
+    def test_violated_lands_on_boundary(self):
+        op = SVMMarginProx(dim=2)
+        n = np.array([[0.0, 0.0, 0.0, 0.0]])  # margin 0 < 1: violated
+        x = np.array([[1.0, 1.0]])
+        out = op.prox_batch(n, np.ones((1, 2)), {"x": x, "y": np.array([1.0])})
+        w, b, xi = out[0, :2], out[0, 2], out[0, 3]
+        g = 1.0 * (w @ x[0] + b) - 1.0 + xi
+        assert abs(g) < 1e-9
+
+    def test_negative_label(self):
+        op = SVMMarginProx(dim=1)
+        n = np.array([[1.0, 1.0, 0.0]])  # y=-1, x=1: y(w x + b) = -2 < 1
+        out = op.prox_batch(
+            n, np.ones((1, 2)), {"x": np.array([[1.0]]), "y": np.array([-1.0])}
+        )
+        w, b, xi = out[0, 0], out[0, 1], out[0, 2]
+        g = -1.0 * (w * 1.0 + b) - 1.0 + xi
+        assert g >= -1e-9
+
+    def test_projection_optimality(self):
+        # The output must be the closest point (in the weighted norm)
+        # among random feasible candidates.
+        op = SVMMarginProx(dim=2)
+        rng = np.random.default_rng(3)
+        x = np.array([0.5, -1.0])
+        y = 1.0
+        rho = np.array([2.0, 3.0])
+        n = np.array([0.1, 0.1, -0.4, 0.05])
+        out = op.prox(n, rho, {"x": x, "y": y})
+
+        def cost(v):
+            return (
+                rho[0] / 2 * np.sum((v[:3] - n[:3]) ** 2)
+                + rho[1] / 2 * (v[3] - n[3]) ** 2
+            )
+
+        c_opt = cost(out)
+        for _ in range(300):
+            cand = n + rng.normal(scale=0.6, size=4)
+            if y * (cand[:2] @ x + cand[2]) >= 1.0 - cand[3]:
+                assert cost(cand) >= c_opt - 1e-9
+
+    def test_evaluate(self):
+        op = SVMMarginProx(dim=1)
+        params = {"x": np.array([1.0]), "y": np.array([1.0])}
+        assert op.evaluate(np.array([2.0, 0.0, 0.0]), params) == 0.0
+        assert op.evaluate(np.array([0.0, 0.0, 0.0]), params) == float("inf")
+
+
+class TestDataFidelity:
+    def test_stationarity(self):
+        op = DataFidelityProx(dim=3)
+        A = RNG.normal(size=(1, 5, 3))
+        y = RNG.normal(size=(1, 5))
+        n = RNG.normal(size=(1, 3))
+        rho = np.array([[1.3]])
+        x = op.prox_batch(n, rho, {"A": A, "y": y})[0]
+        grad = A[0].T @ (A[0] @ x - y[0]) + 1.3 * (x - n[0])
+        np.testing.assert_allclose(grad, 0.0, atol=1e-10)
+
+    def test_batch_independent_rows(self):
+        op = DataFidelityProx(dim=2)
+        A = RNG.normal(size=(3, 4, 2))
+        y = RNG.normal(size=(3, 4))
+        n = RNG.normal(size=(3, 2))
+        rho = np.full((3, 1), 2.0)
+        batch = op.prox_batch(n, rho, {"A": A, "y": y})
+        for i in range(3):
+            single = op.prox(n[i], np.array([2.0]), {"A": A[i], "y": y[i]})
+            np.testing.assert_allclose(batch[i], single, atol=1e-12)
+
+    def test_evaluate(self):
+        op = DataFidelityProx(dim=1)
+        v = op.evaluate(
+            np.array([1.0]), {"A": np.array([[2.0]]), "y": np.array([1.0])}
+        )
+        assert abs(v - 0.5) < 1e-12

@@ -1,0 +1,176 @@
+"""Unit tests for the packing proximal operators (Appendix A).
+
+The pair operator implements the sign-corrected KKT solution (the paper's
+printed formula grows radii and is infeasible — see the module docstring of
+``repro.prox.packing``); these tests verify feasibility and optimality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.prox.packing import PairNoCollisionProx, RadiusRewardProx, WallProx
+
+RNG = np.random.default_rng(7)
+
+
+def pair_input(c1, r1, c2, r2):
+    return np.array([*c1, r1, *c2, r2], dtype=float)
+
+
+def split_pair(x):
+    return x[0:2], float(x[2]), x[3:5], float(x[5])
+
+
+class TestPairNoCollision:
+    def test_feasible_input_unchanged(self):
+        op = PairNoCollisionProx()
+        n = pair_input([0.0, 0.0], 1.0, [5.0, 0.0], 1.0)
+        out = op.prox(n, np.ones(4), {})
+        np.testing.assert_allclose(out, n)
+
+    def test_output_satisfies_constraint(self):
+        op = PairNoCollisionProx()
+        for _ in range(50):
+            c1 = RNG.normal(size=2)
+            c2 = c1 + RNG.normal(scale=0.5, size=2)
+            n = pair_input(c1, RNG.uniform(0.1, 2.0), c2, RNG.uniform(0.1, 2.0))
+            out = op.prox(n, np.ones(4) * RNG.uniform(0.5, 3.0), {})
+            o1, s1, o2, s2 = split_pair(out)
+            gap = np.linalg.norm(o1 - o2) - (s1 + s2)
+            assert gap >= -1e-9
+
+    def test_active_constraint_when_violated(self):
+        op = PairNoCollisionProx()
+        n = pair_input([0.0, 0.0], 1.0, [1.0, 0.0], 1.0)  # overlap D=1
+        out = op.prox(n, np.ones(4), {})
+        o1, s1, o2, s2 = split_pair(out)
+        # Projection lands exactly on the boundary.
+        assert abs(np.linalg.norm(o1 - o2) - (s1 + s2)) < 1e-9
+
+    def test_symmetric_split_equal_rho(self):
+        op = PairNoCollisionProx()
+        n = pair_input([0.0, 0.0], 1.0, [1.0, 0.0], 1.0)
+        out = op.prox(n, np.ones(4), {})
+        o1, s1, o2, s2 = split_pair(out)
+        # Equal weights: both disks shrink and move by the same amount.
+        assert abs(s1 - s2) < 1e-12
+        np.testing.assert_allclose(o1, [-0.25, 0.0])
+        np.testing.assert_allclose(o2, [1.25, 0.0])
+        assert abs(s1 - 0.75) < 1e-12
+
+    def test_weighted_split_favors_heavy_disk(self):
+        op = PairNoCollisionProx()
+        n = pair_input([0.0, 0.0], 1.0, [1.0, 0.0], 1.0)
+        rho = np.array([10.0, 10.0, 1.0, 1.0])  # disk 1 heavy -> moves less
+        out = op.prox(n, rho, {})
+        o1, s1, o2, s2 = split_pair(out)
+        move1 = np.linalg.norm(o1 - [0.0, 0.0])
+        move2 = np.linalg.norm(o2 - [1.0, 0.0])
+        assert move1 < move2
+        assert (1.0 - s1) < (1.0 - s2)
+
+    def test_coincident_centers_deterministic(self):
+        op = PairNoCollisionProx()
+        n = pair_input([0.5, 0.5], 1.0, [0.5, 0.5], 1.0)
+        out1 = op.prox(n, np.ones(4), {})
+        out2 = op.prox(n, np.ones(4), {})
+        np.testing.assert_array_equal(out1, out2)
+        o1, s1, o2, s2 = split_pair(out1)
+        assert np.linalg.norm(o1 - o2) - (s1 + s2) >= -1e-9
+
+    def test_projection_is_closest_feasible_point_1d(self):
+        # Brute force on the line: equal rho, 1-D geometry.
+        op = PairNoCollisionProx()
+        n = pair_input([0.0, 0.0], 1.0, [1.0, 0.0], 1.0)
+        out = op.prox(n, np.ones(4), {})
+        cost_opt = np.sum((out - n) ** 2)
+        # Random feasible candidates must not beat it.
+        for _ in range(200):
+            d = RNG.uniform(0.0, 3.0)
+            r1 = RNG.uniform(0.0, 1.5)
+            r2 = RNG.uniform(0.0, max(d - r1, 0.0)) if d > r1 else 0.0
+            cand = pair_input([-(d - 1.0) / 2.0, 0.0], r1, [1.0 + (d - 1.0) / 2.0, 0.0], r2)
+            if np.linalg.norm(cand[0:2] - cand[3:5]) < r1 + r2 - 1e-12:
+                continue
+            assert np.sum((cand - n) ** 2) >= cost_opt - 1e-9
+
+    def test_evaluate(self):
+        op = PairNoCollisionProx()
+        ok = pair_input([0.0, 0.0], 1.0, [3.0, 0.0], 1.0)
+        bad = pair_input([0.0, 0.0], 1.0, [1.0, 0.0], 1.0)
+        assert op.evaluate(ok, {}) == 0.0
+        assert op.evaluate(bad, {}) == float("inf")
+
+
+class TestWall:
+    Q = np.array([0.0, 1.0])  # inward normal: inside is y >= r
+    V = np.array([0.0, 0.0])
+
+    def test_inside_unchanged(self):
+        op = WallProx()
+        n = np.array([0.0, 2.0, 1.0])  # center (0,2), r=1: 2 >= 1 ok
+        out = op.prox(n, np.ones(2), {"Q": self.Q, "V": self.V})
+        np.testing.assert_allclose(out, n)
+
+    def test_violation_projected_to_boundary(self):
+        op = WallProx()
+        n = np.array([0.0, 0.5, 1.0])  # 0.5 < 1: violated by 0.5
+        out = op.prox(n, np.ones(2), {"Q": self.Q, "V": self.V})
+        c, r = out[0:2], out[2]
+        assert abs(float(self.Q @ (c - self.V)) - r) < 1e-9
+        # Paper's closed form: E = min(0, (g)/2) with g = -0.5.
+        np.testing.assert_allclose(out, [0.0, 0.75, 0.75])
+
+    def test_matches_paper_equal_rho_formula(self):
+        op = WallProx()
+        for _ in range(25):
+            n = np.concatenate([RNG.normal(size=2), [RNG.uniform(0.1, 2.0)]])
+            Q = RNG.normal(size=2)
+            Q = Q / np.linalg.norm(Q)
+            V = RNG.normal(size=2)
+            out = op.prox(n, np.ones(2), {"Q": Q, "V": V})
+            E = min(0.0, 0.5 * (Q @ (n[0:2] - V) - n[2]))
+            expected = n + E * np.array([-Q[0], -Q[1], 1.0])
+            # Paper formula: (c, r) = (nc, nr) + E(−Q, 1).
+            np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    def test_weighted_shifts_burden(self):
+        op = WallProx()
+        n = np.array([0.0, 0.0, 1.0])  # g = -1
+        heavy_center = op.prox(n, np.array([100.0, 1.0]), {"Q": self.Q, "V": self.V})
+        # Center nearly fixed; radius absorbs the correction.
+        assert abs(heavy_center[1]) < 0.05
+        assert heavy_center[2] < 0.05
+
+    def test_evaluate(self):
+        op = WallProx()
+        assert op.evaluate(np.array([0.0, 2.0, 1.0]), {"Q": self.Q, "V": self.V}) == 0.0
+        assert op.evaluate(np.array([0.0, 0.0, 1.0]), {"Q": self.Q, "V": self.V}) == float("inf")
+
+
+class TestRadiusReward:
+    def test_closed_form(self):
+        op = RadiusRewardProx(kappa=1.0)
+        out = op.prox(np.array([1.0]), np.array([3.0]), {})
+        np.testing.assert_allclose(out, [1.5])  # rho n/(rho-1) = 3/2
+
+    def test_requires_rho_above_kappa(self):
+        op = RadiusRewardProx(kappa=1.0)
+        with pytest.raises(ValueError, match="unbounded"):
+            op.prox(np.array([1.0]), np.array([1.0]), {})
+
+    def test_kappa_validation(self):
+        with pytest.raises(ValueError):
+            RadiusRewardProx(kappa=0.0)
+
+    def test_stationarity(self):
+        # d/dr [-kappa/2 r^2 + rho/2 (r-n)^2] = 0 at the output.
+        op = RadiusRewardProx(kappa=0.7)
+        n, rho = 0.9, 2.5
+        r = float(op.prox(np.array([n]), np.array([rho]), {})[0])
+        grad = -0.7 * r + rho * (r - n)
+        assert abs(grad) < 1e-12
+
+    def test_evaluate(self):
+        op = RadiusRewardProx(kappa=2.0)
+        assert abs(op.evaluate(np.array([3.0]), {}) + 9.0) < 1e-12

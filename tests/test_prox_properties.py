@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on proximal-operator invariants.
+
+Two classic theorems drive these checks:
+
+* a proximal map of a **convex** function is firmly nonexpansive, hence
+  1-Lipschitz: ``||prox(a) − prox(b)|| ≤ ||a − b||``;
+* the prox output must beat every candidate point on the prox objective
+  ``h(s) + ρ/2 ||s − n||²`` (checked against random perturbations, using
+  each operator's ``evaluate``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.prox.base import expand_rho
+from repro.prox.packing import PairNoCollisionProx, WallProx
+from repro.prox.standard import (
+    AffineConstraintProx,
+    ConsensusEqualProx,
+    DiagQuadProx,
+    L1Prox,
+    L2BallProx,
+    NonNegativeProx,
+    ZeroProx,
+)
+from repro.prox.svm import SVMMarginProx, SVMNormProx, SVMSlackProx
+
+finite = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def vec(size):
+    return hnp.arrays(np.float64, (size,), elements=finite)
+
+
+# Convex operators with fixed scope dims and parameter factories.
+CONVEX_CASES = [
+    ("zero", ZeroProx(), (2,), lambda: {}),
+    (
+        "diag_quad",
+        DiagQuadProx(dims=(2,)),
+        (2,),
+        lambda: {"q": np.array([1.0, 2.0]), "c": np.array([0.3, -0.4])},
+    ),
+    ("l1", L1Prox(lam=0.7), (2,), lambda: {}),
+    ("nonneg", NonNegativeProx(), (3,), lambda: {}),
+    ("ball", L2BallProx(radius=1.5), (2,), lambda: {}),
+    ("consensus", ConsensusEqualProx(k=2, dim=2), (2, 2), lambda: {}),
+    (
+        "affine",
+        AffineConstraintProx(np.array([[1.0, -1.0, 0.5]]), dims=(3,)),
+        (3,),
+        lambda: {"c": np.array([0.25])},
+    ),
+    ("svm_norm", SVMNormProx(dim=2, kappa=0.5), (3,), lambda: {}),
+    ("svm_slack", SVMSlackProx(lam=1.0), (1,), lambda: {}),
+    (
+        "svm_margin",
+        SVMMarginProx(dim=2),
+        (3, 1),
+        lambda: {"x": np.array([0.7, -0.2]), "y": np.array(1.0)},
+    ),
+]
+
+
+@pytest.mark.parametrize("name,op,dims,make_params", CONVEX_CASES)
+class TestNonexpansiveness:
+    @given(data=st.data(), rho=st.floats(0.2, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_prox_is_nonexpansive(self, name, op, dims, make_params, data, rho):
+        L = sum(dims)
+        a = data.draw(vec(L))
+        b = data.draw(vec(L))
+        params = make_params()
+        rho_vec = np.full(len(dims), rho)
+        xa = op.prox(a, rho_vec, params)
+        xb = op.prox(b, rho_vec, params)
+        lhs = np.linalg.norm(xa - xb)
+        rhs = np.linalg.norm(a - b)
+        assert lhs <= rhs + 1e-9
+
+
+@pytest.mark.parametrize("name,op,dims,make_params", CONVEX_CASES)
+class TestProxOptimality:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_output_beats_perturbations(self, name, op, dims, make_params, data):
+        L = sum(dims)
+        n = data.draw(vec(L))
+        params = make_params()
+        rho = 1.3
+        rho_vec = np.full(len(dims), rho)
+        x = op.prox(n, rho_vec, params)
+        fx = op.evaluate(x, params)
+        if fx != fx:  # evaluate not implemented
+            pytest.skip("operator has no evaluate")
+        assert fx < float("inf"), f"{name} produced an infeasible prox output"
+        rho_slots = expand_rho(rho_vec, tuple(dims))
+        obj_x = fx + 0.5 * float(rho_slots @ ((x - n) ** 2))
+        rng = np.random.default_rng(abs(hash((name, n.tobytes()))) % 2**32)
+        for scale in (1e-3, 0.1, 1.0):
+            y = x + rng.normal(scale=scale, size=L)
+            fy = op.evaluate(y, params)
+            if fy == float("inf"):
+                continue
+            obj_y = fy + 0.5 * float(rho_slots @ ((y - n) ** 2))
+            assert obj_x <= obj_y + 1e-7
+
+
+class TestNonConvexProjections:
+    """Non-convex sets are not nonexpansive, but outputs stay feasible."""
+
+    @given(data=st.data(), rho=st.floats(0.3, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_pair_output_feasible(self, data, rho):
+        op = PairNoCollisionProx()
+        n = data.draw(vec(6))
+        n[2] = abs(n[2])
+        n[5] = abs(n[5])
+        out = op.prox(n, np.full(4, rho), {})
+        gap = np.linalg.norm(out[0:2] - out[3:5]) - (out[2] + out[5])
+        assert gap >= -1e-8
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_wall_output_feasible(self, data):
+        op = WallProx()
+        n = data.draw(vec(3))
+        theta = data.draw(st.floats(0.0, 2 * np.pi))
+        Q = np.array([np.cos(theta), np.sin(theta)])
+        V = data.draw(vec(2))
+        out = op.prox(n, np.ones(2), {"Q": Q, "V": V})
+        assert float(Q @ (out[0:2] - V) - out[2]) >= -1e-9
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_pair_idempotent(self, data):
+        op = PairNoCollisionProx()
+        n = data.draw(vec(6))
+        n[2] = abs(n[2]) + 0.1
+        n[5] = abs(n[5]) + 0.1
+        once = op.prox(n, np.ones(4), {})
+        twice = op.prox(once, np.ones(4), {})
+        np.testing.assert_allclose(once, twice, atol=1e-8)
+
+
+class TestBatchScalarAgreement:
+    """prox_batch must equal row-by-row prox for every operator."""
+
+    @pytest.mark.parametrize("name,op,dims,make_params", CONVEX_CASES)
+    def test_agreement(self, name, op, dims, make_params):
+        rng = np.random.default_rng(5)
+        L = sum(dims)
+        B = 7
+        n = rng.normal(size=(B, L))
+        rho = rng.uniform(0.5, 3.0, size=(B, len(dims)))
+        params_single = make_params()
+        params_batch = {
+            k: np.stack([np.asarray(v, dtype=float)] * B) for k, v in params_single.items()
+        }
+        batch = op.prox_batch(n, rho, params_batch)
+        for i in range(B):
+            single = op.prox(n[i], rho[i], params_single)
+            np.testing.assert_allclose(batch[i], single, atol=1e-10, err_msg=name)

@@ -1,0 +1,301 @@
+"""Unit tests for the standard proximal-operator library.
+
+Each operator is checked against its closed form and, where cheap, against a
+brute-force numerical minimization of ``h(s) + ρ/2||s − n||²``.
+"""
+
+import numpy as np
+import pytest
+import scipy.optimize as sopt
+
+from repro.prox.standard import (
+    AffineConstraintProx,
+    BoxProx,
+    ConsensusEqualProx,
+    DiagQuadProx,
+    FixedValueProx,
+    HalfspaceProx,
+    L1Prox,
+    L2BallProx,
+    LinearProx,
+    NonNegativeProx,
+    QuadraticProx,
+    ZeroProx,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def brute_force_prox(objective, n, rho, x0=None):
+    """Numerically minimize h(s) + rho/2 ||s-n||^2 (smooth h only)."""
+    def f(s):
+        return objective(s) + 0.5 * rho * np.sum((s - n) ** 2)
+
+    res = sopt.minimize(f, n if x0 is None else x0, method="Nelder-Mead",
+                        options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 20000})
+    return res.x
+
+
+class TestZeroAndLinear:
+    def test_zero_is_identity(self):
+        op = ZeroProx()
+        n = RNG.normal(size=(4, 3))
+        out = op.prox_batch(n, np.ones((4, 1)), {})
+        np.testing.assert_array_equal(out, n)
+        assert out is not n
+
+    def test_zero_weights_are_zero(self):
+        op = ZeroProx()
+        w = op.outgoing_weights(np.zeros((2, 1)), np.zeros((2, 1)), np.ones((2, 1)), {})
+        assert np.all(w == 0)
+
+    def test_linear_shift(self):
+        op = LinearProx(dims=(2,))
+        n = np.array([[1.0, 2.0]])
+        out = op.prox_batch(n, np.array([[2.0]]), {"c": np.array([[4.0, -2.0]])})
+        np.testing.assert_allclose(out, [[1.0 - 2.0, 2.0 + 1.0]])
+
+    def test_linear_matches_brute_force(self):
+        c = np.array([0.7, -1.3])
+        op = LinearProx(dims=(2,))
+        n = np.array([0.2, 0.9])
+        got = op.prox(n, np.array([1.5]), {"c": c})
+        ref = brute_force_prox(lambda s: c @ s, n, 1.5)
+        np.testing.assert_allclose(got, ref, atol=1e-5)
+
+
+class TestDiagQuad:
+    def test_closed_form(self):
+        op = DiagQuadProx(dims=(2,))
+        n = np.array([[4.0, -4.0]])
+        out = op.prox_batch(
+            n, np.array([[2.0]]), {"q": np.array([[2.0, 2.0]]), "c": np.array([[0.0, 0.0]])}
+        )
+        np.testing.assert_allclose(out, [[2.0, -2.0]])
+
+    def test_matches_brute_force(self):
+        q = np.array([1.0, 3.0])
+        c = np.array([-0.5, 0.2])
+        op = DiagQuadProx(dims=(2,))
+        n = np.array([1.1, -0.3])
+        got = op.prox(n, np.array([2.0]), {"q": q, "c": c})
+        ref = brute_force_prox(lambda s: 0.5 * q @ (s * s) + c @ s, n, 2.0)
+        np.testing.assert_allclose(got, ref, atol=1e-5)
+
+    def test_negative_curvature_guard(self):
+        op = DiagQuadProx(dims=(1,))
+        with pytest.raises(ValueError, match="q \\+ rho"):
+            op.prox_batch(
+                np.array([[1.0]]), np.array([[1.0]]), {"q": np.array([[-2.0]])}
+            )
+
+    def test_evaluate(self):
+        op = DiagQuadProx(dims=(2,))
+        v = op.evaluate(np.array([1.0, 2.0]), {"q": np.array([2.0, 2.0])})
+        assert abs(v - 5.0) < 1e-12
+
+
+class TestQuadratic:
+    def test_matches_diag_case(self):
+        P = np.diag([1.0, 3.0])
+        op = QuadraticProx(dims=(2,))
+        dop = DiagQuadProx(dims=(2,))
+        n = np.array([[0.4, -2.0]])
+        rho = np.array([[1.7]])
+        full = op.prox_batch(n, rho, {"P": P[None], "c": np.zeros((1, 2))})
+        diag = dop.prox_batch(
+            n, rho, {"q": np.array([[1.0, 3.0]]), "c": np.zeros((1, 2))}
+        )
+        np.testing.assert_allclose(full, diag, atol=1e-12)
+
+    def test_requires_uniform_rho(self):
+        op = QuadraticProx(dims=(1, 1))
+        with pytest.raises(ValueError, match="equal rho"):
+            op.prox_batch(
+                np.zeros((1, 2)), np.array([[1.0, 2.0]]), {"P": np.eye(2)[None]}
+            )
+
+    def test_matches_brute_force(self):
+        A = RNG.normal(size=(2, 2))
+        P = A @ A.T + np.eye(2)
+        op = QuadraticProx(dims=(2,))
+        n = np.array([0.3, -0.8])
+        got = op.prox(n, np.array([1.0]), {"P": P})
+        ref = brute_force_prox(lambda s: 0.5 * s @ P @ s, n, 1.0)
+        np.testing.assert_allclose(got, ref, atol=1e-4)
+
+
+class TestProjections:
+    def test_box_clips(self):
+        op = BoxProx()
+        out = op.prox_batch(
+            np.array([[-2.0, 0.5, 9.0]]),
+            np.ones((1, 1)),
+            {"lo": np.array([[0.0, 0.0, 0.0]]), "hi": np.array([[1.0, 1.0, 1.0]])},
+        )
+        np.testing.assert_array_equal(out, [[0.0, 0.5, 1.0]])
+
+    def test_box_evaluate_infeasible(self):
+        op = BoxProx()
+        v = op.evaluate(np.array([2.0]), {"lo": np.array([0.0]), "hi": np.array([1.0])})
+        assert v == float("inf")
+
+    def test_nonnegative(self):
+        op = NonNegativeProx()
+        out = op.prox_batch(np.array([[-1.0, 2.0]]), np.ones((1, 1)), {})
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_l2_ball_inside_unchanged(self):
+        op = L2BallProx(radius=2.0)
+        n = np.array([[1.0, 0.0]])
+        np.testing.assert_allclose(op.prox_batch(n, np.ones((1, 1)), {}), n)
+
+    def test_l2_ball_projects_radially(self):
+        op = L2BallProx(radius=1.0)
+        out = op.prox_batch(np.array([[3.0, 4.0]]), np.ones((1, 1)), {})
+        np.testing.assert_allclose(out, [[0.6, 0.8]], atol=1e-12)
+
+    def test_halfspace_feasible_unchanged(self):
+        op = HalfspaceProx(dims=(2,))
+        n = np.array([[0.0, 0.0]])
+        out = op.prox_batch(
+            n, np.ones((1, 1)), {"g": np.array([[1.0, 0.0]]), "h": np.array([1.0])}
+        )
+        np.testing.assert_allclose(out, n)
+
+    def test_halfspace_projects_onto_boundary(self):
+        op = HalfspaceProx(dims=(2,))
+        out = op.prox_batch(
+            np.array([[2.0, 0.0]]),
+            np.ones((1, 1)),
+            {"g": np.array([[1.0, 0.0]]), "h": np.array([1.0])},
+        )
+        np.testing.assert_allclose(out, [[1.0, 0.0]], atol=1e-12)
+
+    def test_halfspace_weighted(self):
+        # Heavier rho on the first variable -> correction shifts to second.
+        op = HalfspaceProx(dims=(1, 1))
+        out = op.prox_batch(
+            np.array([[1.0, 1.0]]),
+            np.array([[10.0, 1.0]]),
+            {"g": np.array([[1.0, 1.0]]), "h": np.array([0.0])},
+        )
+        # Constraint active: x1 + x2 = 0; first barely moves.
+        assert abs(out[0].sum()) < 1e-9
+        assert abs(out[0, 0] - 1.0) < abs(out[0, 1] - 1.0)
+
+
+class TestL1:
+    def test_soft_threshold(self):
+        op = L1Prox(lam=1.0)
+        out = op.prox_batch(np.array([[3.0, -0.5, -2.0]]), np.ones((1, 1)), {})
+        np.testing.assert_allclose(out, [[2.0, 0.0, -1.0]])
+
+    def test_lam_param_overrides(self):
+        op = L1Prox(lam=1.0)
+        out = op.prox_batch(
+            np.array([[3.0]]), np.ones((1, 1)), {"lam": np.array([2.0])}
+        )
+        np.testing.assert_allclose(out, [[1.0]])
+
+    def test_rho_scales_threshold(self):
+        op = L1Prox(lam=1.0)
+        out = op.prox_batch(np.array([[3.0]]), np.array([[2.0]]), {})
+        np.testing.assert_allclose(out, [[2.5]])
+
+    def test_invalid_lam(self):
+        with pytest.raises(ValueError):
+            L1Prox(lam=0.0)
+
+
+class TestAffineConstraint:
+    def test_projection_onto_hyperplane(self):
+        A = np.array([[1.0, 1.0]])
+        op = AffineConstraintProx(A, dims=(2,))
+        out = op.prox_batch(
+            np.array([[2.0, 0.0]]), np.ones((1, 1)), {"c": np.array([[0.0]])}
+        )
+        np.testing.assert_allclose(out, [[1.0, -1.0]], atol=1e-12)
+
+    def test_constraint_satisfied_after_prox(self):
+        A = RNG.normal(size=(2, 5))
+        op = AffineConstraintProx(A, dims=(5,))
+        n = RNG.normal(size=(3, 5))
+        c = RNG.normal(size=(3, 2))
+        out = op.prox_batch(n, np.ones((3, 1)), {"c": c})
+        np.testing.assert_allclose(
+            np.einsum("ml,bl->bm", A, out), c, atol=1e-9
+        )
+
+    def test_weighted_projection_constraint_satisfied(self):
+        A = RNG.normal(size=(2, 4))
+        op = AffineConstraintProx(A, dims=(2, 2))
+        n = RNG.normal(size=(3, 4))
+        rho = RNG.uniform(0.5, 4.0, size=(3, 2))
+        out = op.prox_batch(n, rho, {})
+        np.testing.assert_allclose(
+            np.einsum("ml,bl->bm", A, out), np.zeros((3, 2)), atol=1e-9
+        )
+
+    def test_weighted_matches_uniform_when_equal(self):
+        A = RNG.normal(size=(1, 3))
+        op = AffineConstraintProx(A, dims=(1, 1, 1))
+        n = RNG.normal(size=(2, 3))
+        uni = op.prox_batch(n, np.full((2, 3), 2.0), {})
+        # Force the non-uniform branch with epsilon difference.
+        rho = np.full((2, 3), 2.0)
+        rho[0, 0] += 1e-13
+        wgt = op.prox_batch(n, rho, {})
+        np.testing.assert_allclose(uni, wgt, atol=1e-8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="columns"):
+            AffineConstraintProx(np.eye(2), dims=(3,))
+
+    def test_idempotent(self):
+        A = RNG.normal(size=(2, 4))
+        op = AffineConstraintProx(A, dims=(4,))
+        n = RNG.normal(size=(1, 4))
+        once = op.prox_batch(n, np.ones((1, 1)), {})
+        twice = op.prox_batch(once, np.ones((1, 1)), {})
+        np.testing.assert_allclose(once, twice, atol=1e-10)
+
+
+class TestConsensusEqual:
+    def test_weighted_mean(self):
+        op = ConsensusEqualProx(k=2, dim=1)
+        out = op.prox(
+            np.array([0.0, 3.0]), np.array([1.0, 2.0]), {}
+        )
+        np.testing.assert_allclose(out, [2.0, 2.0])
+
+    def test_three_way(self):
+        op = ConsensusEqualProx(k=3, dim=2)
+        n = np.array([[1.0, 0.0, 3.0, 0.0, 5.0, 0.0]])
+        out = op.prox_batch(n, np.ones((1, 3)), {})
+        np.testing.assert_allclose(out[0, 0::2], [3.0, 3.0, 3.0])
+
+    def test_needs_two_variables(self):
+        with pytest.raises(ValueError, match="k >= 2"):
+            ConsensusEqualProx(k=1, dim=1)
+
+    def test_evaluate(self):
+        op = ConsensusEqualProx(k=2, dim=1)
+        assert op.evaluate(np.array([1.0, 1.0]), {}) == 0.0
+        assert op.evaluate(np.array([1.0, 2.0]), {}) == float("inf")
+
+
+class TestFixedValue:
+    def test_pins_value(self):
+        op = FixedValueProx()
+        out = op.prox_batch(
+            np.array([[9.0, 9.0]]), np.ones((1, 1)), {"value": np.array([[1.0, 2.0]])}
+        )
+        np.testing.assert_array_equal(out, [[1.0, 2.0]])
+
+    def test_infinite_weights(self):
+        op = FixedValueProx()
+        w = op.outgoing_weights(
+            np.zeros((2, 1)), np.zeros((2, 1)), np.ones((2, 1)), {}
+        )
+        assert np.all(np.isinf(w))

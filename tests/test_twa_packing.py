@@ -1,0 +1,91 @@
+"""Three-weight algorithm on packing + the negative-radius regression.
+
+[9]/[24] report that TWA-style weighting gives the ADMM record packing
+results; here we check the mechanics: inactive constraints abstain from the
+z-average, iterates stay feasible, and the radius clamp prevents the
+negative-radius runaway that the paper's raw formula admits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.packing import PackingProblem
+from repro.backends.vectorized import ThreeWeightBackend, VectorizedBackend
+from repro.prox.packing import PairNoCollisionProx, RadiusRewardProx, WallProx
+
+
+class TestRadiusClamp:
+    def test_negative_message_projects_to_zero(self):
+        op = RadiusRewardProx(kappa=1.0)
+        out = op.prox(np.array([-2.0]), np.array([3.0]), {})
+        np.testing.assert_array_equal(out, [0.0])
+
+    def test_positive_message_unchanged_formula(self):
+        op = RadiusRewardProx(kappa=1.0)
+        out = op.prox(np.array([1.0]), np.array([3.0]), {})
+        np.testing.assert_allclose(out, [1.5])
+
+    def test_negative_radius_infeasible_in_objective(self):
+        op = RadiusRewardProx()
+        assert op.evaluate(np.array([-0.5]), {}) == float("inf")
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_no_runaway_across_seeds(self, seed):
+        """Regression: seed 1 used to diverge to r -> -inf pre-clamp."""
+        p = PackingProblem(5)
+        g = p.build_graph()
+        s = p.initial_state(g, rho=3.0, seed=seed)
+        VectorizedBackend().run(g, s, 1500)
+        centers, radii = p.extract(g, s.z)
+        assert np.all(np.isfinite(s.z))
+        assert np.all(radii >= -1e-9)
+        assert p.validate(centers, radii)["feasible"]
+
+
+class TestAbstentionWeights:
+    def test_inactive_pair_abstains(self):
+        op = PairNoCollisionProx()
+        n = np.array([[0.0, 0.0, 0.5, 5.0, 0.0, 0.5]])  # far apart
+        rho = np.ones((1, 4))
+        w = op.outgoing_weights(n, n, rho, {})
+        assert np.all(w == 0.0)
+
+    def test_active_pair_votes(self):
+        op = PairNoCollisionProx()
+        n = np.array([[0.0, 0.0, 1.0, 1.0, 0.0, 1.0]])  # overlapping
+        rho = np.full((1, 4), 2.0)
+        w = op.outgoing_weights(n, n, rho, {})
+        np.testing.assert_array_equal(w, rho)
+
+    def test_wall_abstains_inside(self):
+        op = WallProx()
+        n = np.array([[0.0, 2.0, 1.0]])  # well inside
+        rho = np.ones((1, 2))
+        params = {"Q": np.array([[0.0, 1.0]]), "V": np.array([[0.0, 0.0]])}
+        w = op.outgoing_weights(n, n, rho, params)
+        assert np.all(w == 0.0)
+
+    def test_wall_votes_when_violated(self):
+        op = WallProx()
+        n = np.array([[0.0, 0.1, 1.0]])
+        rho = np.full((1, 2), 3.0)
+        params = {"Q": np.array([[0.0, 1.0]]), "V": np.array([[0.0, 0.0]])}
+        w = op.outgoing_weights(n, n, rho, params)
+        np.testing.assert_array_equal(w, rho)
+
+
+class TestTWAOnPacking:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_twa_feasible_and_competitive(self, seed):
+        p = PackingProblem(5)
+        g = p.build_graph()
+        s_std = p.initial_state(g, rho=3.0, seed=seed)
+        s_twa = s_std.copy()
+        VectorizedBackend().run(g, s_std, 2000)
+        ThreeWeightBackend().run(g, s_twa, 2000)
+        rep_std = p.validate(*p.extract(g, s_std.z))
+        rep_twa = p.validate(*p.extract(g, s_twa.z))
+        assert rep_twa["feasible"]
+        # TWA should be competitive with the standard weights ([9]'s claim
+        # is that it is often better); allow a small slack.
+        assert rep_twa["coverage"] >= rep_std["coverage"] - 0.05

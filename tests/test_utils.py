@@ -1,0 +1,134 @@
+"""Unit tests for utils: rng, timing, validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, default_rng, shuffled, spawn_rngs
+from repro.utils.timing import KernelTimers, Timer, format_seconds
+from repro.utils.validation import (
+    check_array,
+    check_finite,
+    check_positive,
+    check_shape,
+)
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        a = default_rng().random(5)
+        b = default_rng().random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_explicit_seed(self):
+        a = default_rng(7).random(3)
+        b = default_rng(7).random(3)
+        c = default_rng(8).random(3)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(3)
+        vals = [r.random() for r in rngs]
+        assert len(set(vals)) == 3
+
+    def test_spawn_rngs_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(-1)
+
+    def test_shuffled_is_permutation(self):
+        out = shuffled(range(10))
+        assert sorted(out) == list(range(10))
+
+    def test_shuffled_deterministic(self):
+        assert shuffled(range(10), seed=1) == shuffled(range(10), seed=1)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.calls == 2
+        assert t.elapsed >= 0.015
+
+    def test_mean(self):
+        t = Timer()
+        assert t.mean == 0.0
+        with t:
+            pass
+        assert t.mean >= 0.0
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.calls == 0 and t.elapsed == 0.0
+
+
+class TestKernelTimers:
+    def test_fractions_sum_to_one(self):
+        kt = KernelTimers()
+        for k in ("x", "m", "z", "u", "n"):
+            kt[k].elapsed = 1.0
+        fr = kt.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-12
+
+    def test_fractions_zero_when_untimed(self):
+        kt = KernelTimers()
+        assert all(v == 0.0 for v in kt.fractions().values())
+
+    def test_summary_format(self):
+        kt = KernelTimers()
+        kt["x"].elapsed = 0.5
+        assert "x:" in kt.summary()
+
+    def test_unknown_kind_raises(self):
+        kt = KernelTimers()
+        with pytest.raises(KeyError):
+            kt["w"]
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expect",
+        [(2.5, "2.500s"), (0.0031, "3.100ms"), (2e-6, "2.0us")],
+    )
+    def test_ranges(self, value, expect):
+        assert format_seconds(value) == expect
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "nan"
+
+
+class TestValidation:
+    def test_check_array_ndim(self):
+        with pytest.raises(ValueError, match="ndim"):
+            check_array([[1.0]], "x", ndim=1)
+
+    def test_check_array_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_array([], "x", allow_empty=False)
+
+    def test_check_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite(np.array([1.0, np.nan]), "x")
+        check_finite(np.array([1.0]), "x")
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "p")
+
+    def test_check_positive_accepts(self):
+        assert check_positive(2, "p") == 2.0
+
+    def test_check_shape_wildcards(self):
+        a = np.zeros((3, 2))
+        check_shape(a, (-1, 2), "a")
+        with pytest.raises(ValueError, match="shape"):
+            check_shape(a, (3, 3), "a")

@@ -1,0 +1,70 @@
+"""Cross-feature workflow tests: solver + serialization + validation together.
+
+Mirrors how a downstream user chains the library's features: build once,
+persist, reload elsewhere, resume with invariant checking, switch engines
+mid-run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.packing import PackingProblem
+from repro.backends.serial import SerialBackend
+from repro.backends.validating import ValidatingBackend
+from repro.backends.vectorized import VectorizedBackend
+from repro.core.solver import ADMMSolver
+from repro.core.state import ADMMState
+from repro.core.stopping import MaxIterations
+from repro.graph.io import load_graph, load_state, save_graph, save_state
+
+
+class TestBuildPersistResume:
+    def test_full_lifecycle(self, tmp_path):
+        # 1. Build and partially solve.
+        problem = PackingProblem(3)
+        graph = problem.build_graph()
+        state = problem.initial_state(graph, rho=3.0, seed=11)
+        VectorizedBackend().run(graph, state, 500)
+        # 2. Persist graph + checkpoint ("the graph can be reused").
+        gpath, spath = str(tmp_path / "g.npz"), str(tmp_path / "s.npz")
+        save_graph(gpath, graph)
+        save_state(spath, state)
+        # 3. Reload in a "new process" and resume under validation.
+        graph2 = load_graph(gpath)
+        state2 = load_state(spath, graph2)
+        backend = ValidatingBackend(VectorizedBackend())
+        backend.run(graph2, state2, 1500)
+        # 4. Continue the original run the same amount; iterates must match.
+        VectorizedBackend().run(graph, state, 1500)
+        np.testing.assert_allclose(state2.z, state.z, atol=1e-10)
+        # 5. The resumed run produces a valid packing.
+        centers, radii = problem.extract(graph2, state2.z)
+        assert problem.validate(centers, radii)["feasible"]
+
+    def test_engine_switch_mid_run(self):
+        """Serial for a while, then vectorized: identical to all-vectorized."""
+        problem = PackingProblem(3)
+        graph = problem.build_graph()
+        mixed = problem.initial_state(graph, rho=3.0, seed=12)
+        pure = mixed.copy()
+        SerialBackend().run(graph, mixed, 10)
+        VectorizedBackend().run(graph, mixed, 10)
+        VectorizedBackend().run(graph, pure, 20)
+        np.testing.assert_allclose(mixed.z, pure.z, atol=1e-11)
+
+    def test_solver_over_reloaded_graph(self, tmp_path):
+        problem = PackingProblem(2)
+        graph = problem.build_graph()
+        gpath = str(tmp_path / "g.npz")
+        save_graph(gpath, graph)
+        graph2 = load_graph(gpath)
+        solver = ADMMSolver(graph2, rho=3.0)
+        solver.state = problem.initial_state(graph2, rho=3.0, seed=13)
+        result = solver.solve(
+            max_iterations=800,
+            stopping=MaxIterations(800),
+            check_every=200,
+            init="keep",
+        )
+        centers, radii = problem.extract(graph2, result.z)
+        assert problem.validate(centers, radii)["feasible"]
