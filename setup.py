@@ -13,4 +13,7 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={
+        "console_scripts": ["repro-bench = repro.bench.cli:main"],
+    },
 )

@@ -17,6 +17,34 @@ Quickstart::
     result = ADMMSolver(b.build()).solve(max_iterations=200)
     print(result.variable(w))   # -> approx [2, -2]
 
+Batched multi-instance solving
+------------------------------
+Fleets of independent problems (e.g. one MPC instance per controlled
+device) stack into a single block-diagonal graph whose factor groups stay
+memory-coalesced, so one vectorized sweep advances every instance::
+
+    from repro import BatchedSolver, replicate_graph
+
+    batch = replicate_graph(template, batch_size=64,
+                            params_per_instance=overrides)
+    results = BatchedSolver(batch).solve_batch(max_iterations=500)
+
+``BatchedSolver`` tracks residuals, stopping, and the ρ-schedule per
+instance (converged instances freeze but keep sweeping with the fleet) and
+returns one ``ADMMResult`` per instance; ``warm_start_pool`` seeds the
+fleet from previous solutions, the real-time MPC pattern at scale.
+
+Testing layers
+--------------
+The suite guards the engine at three levels: a cross-backend equivalence
+matrix (every scheduling strategy must reproduce the serial iterates
+bit-for-bit — ``tests/test_backend_equivalence.py``), property-based
+invariants on every registered convex proximal operator (nonexpansiveness
+and the fixed-point property at the minimizer —
+``tests/test_prox_properties.py``), and golden-trace regressions pinning
+the residual trajectory of a reference solve against drift
+(``tests/test_golden_trace.py``).
+
 Subpackages
 -----------
 ``repro.graph``    factor-graph structure, builder, partitioning, analysis
@@ -28,11 +56,18 @@ Subpackages
 ``repro.bench``    benchmark harness reproducing the paper's figures
 """
 
-from repro.graph import FactorGraph, GraphBuilder, start_graph
+from repro.graph import (
+    FactorGraph,
+    GraphBatch,
+    GraphBuilder,
+    replicate_graph,
+    start_graph,
+)
 from repro.core import (
     ADMMResult,
     ADMMSolver,
     ADMMState,
+    BatchedSolver,
     MaxIterations,
     ResidualTolerance,
     classic_admm,
@@ -50,11 +85,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "FactorGraph",
+    "GraphBatch",
     "GraphBuilder",
+    "replicate_graph",
     "start_graph",
     "ADMMResult",
     "ADMMSolver",
     "ADMMState",
+    "BatchedSolver",
     "MaxIterations",
     "ResidualTolerance",
     "classic_admm",

@@ -12,14 +12,17 @@ from repro.apps.mpc import (
     default_problem,
     inverted_pendulum,
     solve_mpc,
+    solve_mpc_batch,
     solve_mpc_exact,
 )
+from repro.apps.mpc import build_batch as build_mpc_batch
 from repro.apps.svm import (
     SVMProblem,
     make_blobs,
     solve_svm,
     solve_svm_reference,
 )
+from repro.apps.svm import build_batch as build_svm_batch
 from repro.apps.lasso import (
     LassoProblem,
     make_lasso_data,
@@ -37,7 +40,10 @@ __all__ = [
     "default_problem",
     "inverted_pendulum",
     "solve_mpc",
+    "solve_mpc_batch",
     "solve_mpc_exact",
+    "build_mpc_batch",
+    "build_svm_batch",
     "SVMProblem",
     "make_blobs",
     "solve_svm",

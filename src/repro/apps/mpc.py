@@ -22,13 +22,16 @@ one sparse solve — the ground truth the ADMM iterates are tested against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.core.batched import BatchedSolver
 from repro.core.solver import ADMMSolver
 from repro.core.stopping import MaxIterations
+from repro.graph.batch import GraphBatch, replicate_graph
 from repro.graph.builder import GraphBuilder
 from repro.graph.factor_graph import FactorGraph
 from repro.prox.mpc import MPCCostProx, make_dynamics_prox, make_initial_state_prox
@@ -211,6 +214,88 @@ def default_problem(horizon: int, q0: np.ndarray | None = None) -> MPCProblem:
     if q0 is None:
         q0 = np.array([0.1, 0.0, 0.05, 0.0])
     return MPCProblem(A=A, B=B, q0=np.asarray(q0, dtype=np.float64), horizon=horizon)
+
+
+def build_batch(problems: Sequence[MPCProblem]) -> GraphBatch:
+    """Stack a fleet of MPC instances into one block-diagonal graph.
+
+    All instances must share the dynamics ``(A, B)``, the horizon, and the
+    state/input dimensions — the dynamics constraint matrix lives on the
+    shared proximal operator, so only *parameters* may vary per instance:
+    the initial state ``q0`` and the cost diagonals flow in through
+    ``params_per_instance``.  This is the fleet-control pattern: one plant
+    model, one device per instance, one vectorized sweep for all.
+    """
+    if not problems:
+        raise ValueError("build_batch needs at least one MPCProblem")
+    first = problems[0]
+    K = first.horizon
+    for j, p in enumerate(problems[1:], start=1):
+        if p.horizon != K or p.dq != first.dq or p.du != first.du:
+            raise ValueError(
+                f"problem {j} has horizon/dims "
+                f"({p.horizon}, {p.dq}, {p.du}); expected "
+                f"({K}, {first.dq}, {first.du})"
+            )
+        if not (np.allclose(p.A, first.A) and np.allclose(p.B, first.B)):
+            raise ValueError(
+                f"problem {j} has different dynamics (A, B); a batch shares "
+                "one plant model — per-instance variation goes through q0 "
+                "and the cost diagonals"
+            )
+    template = first.build_graph()
+    # build_graph order: cost factors 0..K, dynamics K+1..2K, initial 2K+1.
+    init_factor = 2 * K + 1
+    overrides = []
+    for p in problems:
+        per_factor: dict[int, dict[str, np.ndarray]] = {}
+        for t in range(K + 1):
+            qd = p.qf_diag if t == K else p.q_diag
+            per_factor[t] = {"qdiag": qd, "rdiag": p.r_diag}
+        per_factor[init_factor] = {"c": p.q0}
+        overrides.append(per_factor)
+    return replicate_graph(template, len(problems), params_per_instance=overrides)
+
+
+def solve_mpc_batch(
+    problems: Sequence[MPCProblem],
+    iterations: int = 2000,
+    rho: float = 10.0,
+    alpha: float = 1.0,
+    backend=None,
+) -> list[dict]:
+    """Fleet analog of :func:`solve_mpc`: one dict per instance.
+
+    Runs the full fixed iteration budget (``eps = 0``), matching
+    :func:`solve_mpc`'s ``MaxIterations`` protocol, so each instance's
+    trajectory equals its solo solve bit-for-bit.
+    """
+    batch = build_batch(problems)
+    solver = BatchedSolver(batch, backend=backend, rho=rho, alpha=alpha)
+    try:
+        results = solver.solve_batch(
+            max_iterations=iterations,
+            eps_abs=0.0,
+            eps_rel=0.0,
+            check_every=max(iterations // 10, 1),
+            init="zeros",
+        )
+    finally:
+        solver.close()
+    out = []
+    for problem, result in zip(problems, results):
+        states, inputs = problem.extract(result.z)
+        out.append(
+            {
+                "problem": problem,
+                "result": result,
+                "states": states,
+                "inputs": inputs,
+                "objective": problem.objective(states, inputs),
+                "dynamics_violation": problem.dynamics_violation(states, inputs),
+            }
+        )
+    return out
 
 
 def solve_mpc(

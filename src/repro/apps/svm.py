@@ -146,6 +146,42 @@ class SVMProblem:
         return float(np.mean(pred == self.y))
 
 
+def build_batch(problems: "Sequence[SVMProblem]") -> "GraphBatch":
+    """Stack a fleet of same-shaped SVM training instances into one graph.
+
+    All instances must share ``n_points``, ``dim``, ``lam`` and ``ring``
+    (those live in the shared operators / topology); the per-point data
+    ``(x_i, y_i)`` varies per instance through the margin-factor parameters.
+    The fleet trains ``B`` classifiers — e.g. per-user models — in one
+    vectorized sweep.
+    """
+    from repro.graph.batch import replicate_graph
+
+    if not problems:
+        raise ValueError("build_batch needs at least one SVMProblem")
+    first = problems[0]
+    n = first.n_points
+    for j, p in enumerate(problems[1:], start=1):
+        if (
+            p.n_points != n
+            or p.dim != first.dim
+            or p.lam != first.lam
+            or p.ring != first.ring
+        ):
+            raise ValueError(
+                f"problem {j} has (n_points, dim, lam, ring)="
+                f"({p.n_points}, {p.dim}, {p.lam}, {p.ring}); expected "
+                f"({n}, {first.dim}, {first.lam}, {first.ring})"
+            )
+    template = first.build_graph()
+    # build_graph order: norm 0..n-1, slack n..2n-1, margin 2n..3n-1, chain.
+    overrides = [
+        {2 * n + i: {"x": p.X[i], "y": p.y[i]} for i in range(n)}
+        for p in problems
+    ]
+    return replicate_graph(template, len(problems), params_per_instance=overrides)
+
+
 def solve_svm_reference(problem: SVMProblem) -> tuple[np.ndarray, float, float]:
     """Exact primal QP optimum via SLSQP (small instances only).
 

@@ -57,6 +57,33 @@ def run_model_sweep(app: str, sizes) -> int:
     return 0
 
 
+def run_fleet(args) -> int:
+    """Batched fleet solving vs a per-instance loop (vectorized backend)."""
+    from repro.bench.harness import time_fleet_batched, time_fleet_loop
+    from repro.bench.workloads import mpc_fleet
+
+    sizes = args.sizes if args.sizes else (4, 16, 64)
+    iterations = 30
+    t = SeriesTable(
+        f"MPC fleet (horizon {args.horizon}) — batched sweep vs per-instance "
+        f"loop, {iterations} iterations",
+        ("B", "elements", "loop s", "batched s", "speedup"),
+    )
+    for B in sizes:
+        batch = mpc_fleet(B, horizon=args.horizon)
+        loop_s = time_fleet_loop(batch.template, B, iterations)
+        batched_s = time_fleet_batched(batch, iterations)
+        t.add_row(
+            B,
+            batch.graph.num_elements,
+            loop_s,
+            batched_s,
+            loop_s / batched_s if batched_s > 0 else float("inf"),
+        )
+    t.emit()
+    return 0
+
+
 def run_ntb(args) -> int:
     wl = packing_workloads(args.packing_n)[0]["x"]
     base = serial_time(wl, OPTERON_6300)
@@ -77,6 +104,7 @@ COMMANDS = {
     "fig10": "MPC GPU model sweep",
     "fig13": "SVM GPU model sweep",
     "ntb": "threads-per-block sweep",
+    "fleet": "batched multi-instance solving vs per-instance loop",
 }
 
 
@@ -85,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("command", choices=[*COMMANDS, "list"])
     parser.add_argument("--sizes", type=int, nargs="*", default=None)
     parser.add_argument("--packing-n", type=int, default=5000)
+    parser.add_argument("--horizon", type=int, default=8)
     args = parser.parse_args(argv)
     if args.command == "list":
         for name, desc in COMMANDS.items():
@@ -94,6 +123,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_fig05(args)
     if args.command == "ntb":
         return run_ntb(args)
+    if args.command == "fleet":
+        return run_fleet(args)
     app = {"fig07": "packing", "fig10": "mpc", "fig13": "svm"}[args.command]
     sizes = args.sizes if args.sizes else DEFAULT_SIZES[app]
     return run_model_sweep(app, sizes)

@@ -88,6 +88,45 @@ class SpeedupComparison:
         return out
 
 
+def time_fleet_loop(
+    template: FactorGraph, batch_size: int, iterations: int, rho: float = 10.0
+) -> float:
+    """Wall time of the per-instance baseline: B solo runs on one solver.
+
+    Each instance re-initializes to zeros and sweeps ``iterations`` times —
+    the work a service without batching performs per fleet tick.
+    """
+    from repro.core.solver import ADMMSolver
+
+    solver = ADMMSolver(template, rho=rho)
+    solver.iterate(1)  # warmup
+    t0 = time.perf_counter()
+    for _ in range(batch_size):
+        solver.initialize("zeros")
+        solver.iterate(iterations)
+    elapsed = time.perf_counter() - t0
+    solver.close()
+    return elapsed
+
+
+def time_fleet_batched(batch, iterations: int, rho: float = 10.0) -> float:
+    """Wall time of the batched path: one block-diagonal sweep for the fleet.
+
+    Initialization is inside the timed region, mirroring
+    :func:`time_fleet_loop`, so the two measure the same end-to-end work.
+    """
+    from repro.core.batched import BatchedSolver
+
+    solver = BatchedSolver(batch, rho=rho)
+    solver.iterate(1)  # warmup
+    t0 = time.perf_counter()
+    solver.initialize("zeros")
+    solver.iterate(iterations)
+    elapsed = time.perf_counter() - t0
+    solver.close()
+    return elapsed
+
+
 def compare_backends(
     graph: FactorGraph,
     baseline: Backend,

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.mpc import default_problem
+from repro.apps.mpc import MPCProblem, default_problem, inverted_pendulum
 from repro.apps.packing import PackingProblem
 from repro.apps.svm import SVMProblem, make_blobs
+from repro.graph.batch import GraphBatch
 from repro.graph.factor_graph import FactorGraph
+from repro.utils.rng import default_rng
 
 #: Measured sweeps (this machine, wall clock; serial baseline is Python).
 PACKING_MEASURED_N = (5, 10, 20, 40, 60)
@@ -54,6 +56,101 @@ def svm_graph(n_points: int, dim: int = 2, seed: int = 0) -> FactorGraph:
     """Two-Gaussian SVM graph for N points (paper §V-C workload)."""
     X, y = make_blobs(n_points, dim=dim, seed=seed)
     return SVMProblem(X, y).build_graph()
+
+
+def mpc_fleet_problems(
+    batch_size: int, horizon: int = 8, seed: int | None = 0
+) -> list[MPCProblem]:
+    """The instances behind :func:`mpc_fleet`, for solo-solve comparisons."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    rng = default_rng(seed)
+    A, B = inverted_pendulum()
+    return [
+        MPCProblem(A=A, B=B, q0=rng.uniform(-0.2, 0.2, size=4), horizon=horizon)
+        for _ in range(batch_size)
+    ]
+
+
+def mpc_fleet(
+    batch_size: int, horizon: int = 8, seed: int | None = 0
+) -> GraphBatch:
+    """Fleet workload: B pendulum MPC instances with random initial states.
+
+    All instances share the plant model; only ``q0`` varies — the
+    one-model-many-devices pattern the batching subsystem targets.
+    """
+    from repro.apps.mpc import build_batch
+
+    return build_batch(mpc_fleet_problems(batch_size, horizon, seed))
+
+
+def svm_fleet(
+    batch_size: int, n_points: int = 12, dim: int = 2, seed: int | None = 0
+) -> GraphBatch:
+    """Fleet workload: B small SVM training sets (per-instance blobs)."""
+    from repro.apps.svm import build_batch
+
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    problems = []
+    base = 0 if seed is None else seed
+    for i in range(batch_size):
+        X, y = make_blobs(n_points, dim=dim, seed=base + i)
+        problems.append(SVMProblem(X, y))
+    return build_batch(problems)
+
+
+def figure1_graph() -> FactorGraph:
+    """The paper's Figure-1 graph: f1(w1,w2,w3) f2(w1,w4,w5) f3(w2,w5) f4(w5).
+
+    All functions are benign diagonal quadratics so the graph is solvable;
+    shared by the test fixtures, the equivalence matrix, and the golden
+    trace.
+    """
+    from repro.graph.builder import GraphBuilder
+    from repro.prox.standard import DiagQuadProx
+
+    b = GraphBuilder()
+    w = [b.add_variable(1, name=f"w{i + 1}") for i in range(5)]
+
+    def quad(dims, target):
+        return (
+            DiagQuadProx(dims=dims),
+            {"q": np.ones(sum(dims)), "c": -np.asarray(target, dtype=float)},
+        )
+
+    p1, par1 = quad((1, 1, 1), [1.0, 2.0, 3.0])
+    p2, par2 = quad((1, 1, 1), [1.0, 4.0, 5.0])
+    p3, par3 = quad((1, 1), [2.0, 5.0])
+    p4, par4 = quad((1,), [5.0])
+    b.add_factor(p1, [w[0], w[1], w[2]], par1)
+    b.add_factor(p2, [w[0], w[3], w[4]], par2)
+    b.add_factor(p3, [w[1], w[4]], par3)
+    b.add_factor(p4, [w[4]], par4)
+    return b.build()
+
+
+def chain_graph() -> FactorGraph:
+    """Six 2-D variables chained with consensus factors + anchors.
+
+    A well-conditioned convex problem exercising mixed groups, used by the
+    backend-equivalence and solver tests.
+    """
+    from repro.graph.builder import GraphBuilder
+    from repro.prox.standard import ConsensusEqualProx, DiagQuadProx, L1Prox
+
+    b = GraphBuilder()
+    vs = b.add_variables(6, dim=2)
+    dq = DiagQuadProx(dims=(2,))
+    ce = ConsensusEqualProx(k=2, dim=2)
+    l1 = L1Prox(lam=0.3)
+    for i, v in enumerate(vs):
+        b.add_factor(dq, [v], params={"q": [1.0, 2.0], "c": [float(i), -1.0]})
+    for i in range(5):
+        b.add_factor(ce, [vs[i], vs[i + 1]])
+    b.add_factor(l1, [vs[0]])
+    return b.build()
 
 
 def star_graph(n_leaves: int, hub_extra: int = 0) -> FactorGraph:

@@ -2,6 +2,7 @@
 
 from repro.core.state import ADMMState
 from repro.core.solver import ADMMSolver
+from repro.core.batched import BatchedSolver, per_instance_residuals
 from repro.core.diagnostics import ADMMResult, SolveHistory
 from repro.core.residuals import (
     Residuals,
@@ -30,6 +31,8 @@ from repro.core import updates
 __all__ = [
     "ADMMState",
     "ADMMSolver",
+    "BatchedSolver",
+    "per_instance_residuals",
     "ADMMResult",
     "SolveHistory",
     "Residuals",

@@ -1,0 +1,246 @@
+"""Fleet solving: one ADMM driver advancing many independent instances.
+
+:class:`BatchedSolver` runs Algorithm 2 on the block-diagonal graph of a
+:class:`repro.graph.batch.GraphBatch`.  The inner loop is unchanged — any
+backend sweeps the batched graph exactly as it would a single instance; the
+batching win is that one vectorized sweep advances all ``B`` problems.  The
+*outer* loop becomes per-instance:
+
+* residuals and stopping thresholds are evaluated per instance (restricted
+  to that instance's slots, identical to a solo
+  :func:`repro.core.residuals.compute_residuals` on its subgraph);
+* an instance that converges is **frozen**: it drops out of the ρ-schedule
+  and the convergence bookkeeping but keeps sweeping with the fleet (its
+  iterate only tightens further — lanes stay full, matching the paper's
+  fine-grained-parallelism thesis);
+* the penalty schedule runs one independent copy per instance, applied
+  through per-edge ρ scaling so converged instances are untouched;
+* :meth:`BatchedSolver.warm_start_pool` seeds each instance from a pool of
+  previous solutions (the real-time MPC pattern, fleet-sized).
+
+``solve_batch`` returns one :class:`ADMMResult` per instance, byte-for-byte
+comparable to solving that instance alone for the same iteration count.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+import numpy as np
+
+from repro.core.diagnostics import ADMMResult, SolveHistory
+from repro.core.parameters import ConstantPenalty, PenaltySchedule, apply_rho_scale
+from repro.core.residuals import Residuals
+from repro.core.solver import ADMMSolver
+from repro.core.state import ADMMState
+from repro.graph.batch import GraphBatch
+from repro.utils.timing import KernelTimers
+
+
+def per_instance_residuals(
+    batch: GraphBatch,
+    state: ADMMState,
+    z_prev: np.ndarray,
+    eps_abs: float = 1e-6,
+    eps_rel: float = 1e-4,
+) -> list[Residuals]:
+    """Residuals of every instance at the current iterate (one pass).
+
+    Each entry equals :func:`repro.core.residuals.compute_residuals` run on
+    the instance's subgraph: norms are restricted to the instance's slots
+    and thresholds use the *template* edge count.
+    """
+    g = batch.graph
+    S = batch.slot_index  # (B, S_t) gather map
+    zmap = state.z[g.flat_edge_to_z]
+    primal = np.linalg.norm((state.x - zmap)[S], axis=1)
+    dual_vec = state.rho_slots * (zmap - z_prev[g.flat_edge_to_z])
+    dual = np.linalg.norm(dual_vec[S], axis=1)
+    x_norm = np.linalg.norm(state.x[S], axis=1)
+    z_norm = np.linalg.norm(zmap[S], axis=1)
+    u_norm = np.linalg.norm((state.rho_slots * state.u)[S], axis=1)
+    sqrt_n = float(np.sqrt(max(batch.template.edge_size, 1)))
+    eps_primal = sqrt_n * eps_abs + eps_rel * np.maximum(x_norm, z_norm)
+    eps_dual = sqrt_n * eps_abs + eps_rel * u_norm
+    return [
+        Residuals(
+            primal=float(primal[i]),
+            dual=float(dual[i]),
+            eps_primal=float(eps_primal[i]),
+            eps_dual=float(eps_dual[i]),
+            iteration=state.iteration,
+        )
+        for i in range(batch.batch_size)
+    ]
+
+
+class BatchedSolver:
+    """Lockstep ADMM over a :class:`GraphBatch` of independent instances.
+
+    Parameters mirror :class:`repro.core.solver.ADMMSolver`; ``schedule`` is
+    deep-copied per instance so stateful schedules (e.g. residual balancing)
+    adapt each problem independently.  ``rho`` additionally accepts a
+    ``(B,)`` per-instance or ``(B, E_t)`` per-instance-per-edge array.
+    """
+
+    def __init__(
+        self,
+        batch: GraphBatch,
+        backend=None,
+        rho=1.0,
+        alpha=1.0,
+        schedule: PenaltySchedule | None = None,
+    ) -> None:
+        self.batch = batch
+        rho_arr = np.asarray(rho, dtype=np.float64)
+        if rho_arr.ndim and rho_arr.shape[0] == batch.batch_size and rho_arr.shape != (
+            batch.graph.num_edges,
+        ):
+            rho = batch.instance_rho(rho_arr)
+        # Delegates signature validation, state construction, and backend
+        # preparation; the batched outer loop below replaces .solve().
+        self._solver = ADMMSolver(batch.graph, backend=backend, rho=rho, alpha=alpha)
+        self.schedule = schedule if schedule is not None else ConstantPenalty()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> ADMMState:
+        return self._solver.state
+
+    @property
+    def backend(self):
+        return self._solver.backend
+
+    @property
+    def graph(self):
+        return self.batch.graph
+
+    @property
+    def batch_size(self) -> int:
+        return self.batch.batch_size
+
+    # ------------------------------------------------------------------ #
+    def initialize(self, how: str = "zeros", **kwargs) -> ADMMState:
+        """(Re-)initialize the fleet iterate (see ``ADMMSolver.initialize``)."""
+        return self._solver.initialize(how, **kwargs)
+
+    def warm_start_pool(self, pool) -> ADMMState:
+        """Seed every instance from a pool of previous solutions.
+
+        ``pool`` is a ``(B, z_size)`` matrix, a length-``B`` sequence of
+        per-instance z vectors, or one ``(z_size,)`` vector broadcast to the
+        whole fleet (template layout; ``z_size`` is the template's).
+        """
+        return self.state.init_from_z(self.batch.pack_z(pool))
+
+    def iterate(self, iterations: int, timers: KernelTimers | None = None) -> None:
+        """Advance the whole fleet a fixed number of sweeps (benchmark mode)."""
+        self._solver.iterate(iterations, timers)
+
+    # ------------------------------------------------------------------ #
+    def solve_batch(
+        self,
+        max_iterations: int = 1000,
+        eps_abs: float = 1e-6,
+        eps_rel: float = 1e-4,
+        check_every: int = 10,
+        init: str = "keep",
+        seed: int | None = None,
+    ) -> list[ADMMResult]:
+        """Iterate until every instance converges or the iteration cap.
+
+        Returns one :class:`ADMMResult` per instance.  ``iterations`` and
+        ``residuals`` of a converged instance are frozen at the check where
+        it first converged (it keeps sweeping afterwards, so its returned
+        ``z`` reflects the final iterate — at least as tight).  The shared
+        ``timers``/``wall_time`` cover the whole fleet run.
+        """
+        if max_iterations < 0:
+            raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        self.initialize(init, seed=seed)
+        B = self.batch.batch_size
+        schedules = [copy.deepcopy(self.schedule) for _ in range(B)]
+        for s in schedules:
+            s.reset()
+
+        state = self.state
+        graph = self.batch.graph
+        backend = self.backend
+        timers = KernelTimers()
+        histories = [SolveHistory() for _ in range(B)]
+        active = np.ones(B, dtype=bool)
+        frozen_iterations = np.full(B, -1, dtype=np.int64)
+        last_residuals: list[Residuals | None] = [None] * B
+        rho_by_instance = self.batch.split_edges(state.rho)
+        t0 = time.perf_counter()
+
+        if max_iterations == 0:
+            # Same contract as ADMMSolver.solve(max_iterations=0): residuals
+            # of the initial iterate, computed once, converged=False.
+            res = per_instance_residuals(
+                self.batch, state, state.z, eps_abs, eps_rel
+            )
+            for i in range(B):
+                histories[i].append(res[i], None, float(rho_by_instance[i].mean()))
+                last_residuals[i] = res[i]
+
+        while state.iteration < max_iterations:
+            block = min(check_every, max_iterations - state.iteration)
+            if block > 1:
+                backend.run(graph, state, block - 1, timers)
+            z_prev = state.z.copy()
+            backend.run(graph, state, 1, timers)
+            res = per_instance_residuals(self.batch, state, z_prev, eps_abs, eps_rel)
+            rho_by_instance = self.batch.split_edges(state.rho)
+            for i in np.flatnonzero(active):
+                last_residuals[i] = res[i]
+                histories[i].append(res[i], None, float(rho_by_instance[i].mean()))
+                if res[i].converged:
+                    frozen_iterations[i] = state.iteration
+                    active[i] = False
+            if not active.any():
+                break
+            # Per-instance ρ adaptation; frozen instances keep scale 1.
+            scale = np.ones(graph.num_edges)
+            changed = False
+            for i in np.flatnonzero(active):
+                s = float(schedules[i].rho_scale(state, res[i]))
+                if s != 1.0:
+                    scale[self.batch.edge_index[i]] = s
+                    changed = True
+            if changed:
+                apply_rho_scale(state, scale)
+
+        wall = time.perf_counter() - t0
+        results = []
+        for i in range(B):
+            converged = frozen_iterations[i] >= 0
+            results.append(
+                ADMMResult(
+                    solution=self.batch.instance_solution(state.z, i),
+                    z=state.z[self.batch.z_slice(i)].copy(),
+                    converged=bool(converged),
+                    iterations=int(
+                        frozen_iterations[i] if converged else state.iteration
+                    ),
+                    residuals=last_residuals[i],
+                    history=histories[i],
+                    timers=timers,
+                    wall_time=wall,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release backend resources (worker pools)."""
+        self._solver.close()
+
+    def __enter__(self) -> "BatchedSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

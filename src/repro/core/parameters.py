@@ -77,11 +77,32 @@ class ResidualBalancing(PenaltySchedule):
         return 1.0
 
 
-def apply_rho_scale(state: ADMMState, scale: float) -> None:
-    """Scale ρ uniformly and rescale the scaled dual ``u`` accordingly."""
-    if scale == 1.0:
+def apply_rho_scale(state: ADMMState, scale) -> None:
+    """Scale ρ and rescale the scaled dual ``u`` accordingly.
+
+    ``scale`` is a scalar (uniform, the classical case) or a per-edge array
+    of shape ``(num_edges,)`` — the latter lets
+    :class:`repro.core.batched.BatchedSolver` adapt each problem instance's
+    penalty independently while the fleet shares one state.
+    """
+    scale_arr = np.asarray(scale, dtype=np.float64)
+    if scale_arr.ndim == 0:
+        s = float(scale_arr)
+        if s == 1.0:
+            return
+        if s <= 0:
+            raise ValueError(f"rho scale must be positive, got {s}")
+        state.set_rho(state.rho * s)
+        state.u /= s
         return
-    if scale <= 0:
-        raise ValueError(f"rho scale must be positive, got {scale}")
-    state.set_rho(state.rho * scale)
-    state.u /= scale
+    if scale_arr.shape != state.rho.shape:
+        raise ValueError(
+            f"per-edge rho scale must have shape {state.rho.shape}, "
+            f"got {scale_arr.shape}"
+        )
+    if np.any(scale_arr <= 0):
+        raise ValueError("all rho scale entries must be positive")
+    if np.all(scale_arr == 1.0):
+        return
+    state.set_rho(state.rho * scale_arr)
+    state.u /= scale_arr[state.graph.slot_edge]

@@ -134,6 +134,11 @@ class ADMMSolver:
         is run separately so the dual residual sees one z-step), evaluates
         the stopping criterion, applies the penalty schedule, and invokes
         the callback.
+
+        ``max_iterations=0`` is well-defined: no sweeps run, the residuals
+        of the initial iterate are computed once (with a zero dual residual,
+        as there is no previous z), ``converged`` is ``False``, and the
+        history holds that single entry.
         """
         if max_iterations < 0:
             raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
@@ -153,6 +158,11 @@ class ADMMSolver:
         residuals: Residuals | None = None
         converged = False
         t0 = time.perf_counter()
+
+        if max_iterations == 0:
+            residuals = compute_residuals(graph, state, state.z, eps_abs, eps_rel)
+            obj = objective_value(graph, state) if self.record_objective else None
+            history.append(residuals, obj, float(state.rho.mean()))
 
         while state.iteration < max_iterations:
             block = min(check_every, max_iterations - state.iteration)

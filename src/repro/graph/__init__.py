@@ -2,6 +2,7 @@
 
 from repro.graph.factor_graph import FactorGraph, FactorGroup, FactorSpec
 from repro.graph.builder import GraphBuilder, graph_from_edges, start_graph
+from repro.graph.batch import GraphBatch, replicate_graph
 from repro.graph.partition import (
     Partition,
     balanced_factor_groups,
@@ -28,6 +29,8 @@ __all__ = [
     "GraphBuilder",
     "graph_from_edges",
     "start_graph",
+    "GraphBatch",
+    "replicate_graph",
     "Partition",
     "balanced_factor_groups",
     "balanced_partition",

@@ -1,0 +1,283 @@
+"""Batched multi-instance graphs: many independent problems, one sweep.
+
+The paper parallelizes *within* one factor graph; the production-scale
+extension is parallelism *across* problem instances.  Stacking ``B``
+independent copies of a template graph into one block-diagonal
+:class:`FactorGraph` lets a single vectorized Algorithm-2 sweep advance the
+whole fleet: the x-update sees one ``(B·n, L)`` matrix per operator, the
+z-update one sparse matvec over all instances.
+
+Layout guarantees (load-bearing for performance):
+
+* **Variables** are instance-major: instance ``i``'s variable ``b`` becomes
+  batch variable ``i·V + b``, so each instance owns one contiguous z slice
+  (``z.reshape(B, z_size)`` splits the fleet for free).
+* **Factors** are group-major: all ``B`` copies of a template factor group
+  are created consecutively, so every batched group stays *contiguous* —
+  ``prox_batch`` runs on a zero-copy reshape of the flat edge array (the
+  paper's memory-coalesced fast path), never the gathered path.
+
+Per-instance parameters (``params_per_instance``) flow into the stacked
+group parameter matrices, which is how a fleet of MPC instances with
+different initial states or cost weights shares one graph.
+
+:class:`GraphBatch` carries the index maps connecting template and batch
+layouts; :class:`repro.core.batched.BatchedSolver` consumes them for
+per-instance residuals, stopping masks, and warm starts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.factor_graph import FactorGraph
+
+
+class GraphBatch:
+    """A block-diagonal graph of ``B`` template copies plus its index maps.
+
+    Attributes
+    ----------
+    graph:
+        The batched :class:`FactorGraph` (``B`` disconnected copies).
+    template:
+        The single-instance graph the batch was replicated from.
+    batch_size:
+        Number of instances ``B``.
+    factor_index, edge_index, slot_index:
+        Integer maps of shapes ``(B, F_t)``, ``(B, E_t)``, ``(B, S_t)``
+        taking a template factor/edge/flat-slot id to the corresponding id
+        in the batched graph (``_t`` = template counts).
+    """
+
+    def __init__(
+        self,
+        graph: FactorGraph,
+        template: FactorGraph,
+        factor_index: np.ndarray,
+        edge_index: np.ndarray,
+        slot_index: np.ndarray,
+    ) -> None:
+        self.graph = graph
+        self.template = template
+        self.batch_size = int(factor_index.shape[0])
+        self.factor_index = factor_index
+        self.edge_index = edge_index
+        self.slot_index = slot_index
+
+    # ------------------------------------------------------------------ #
+    # z (variable) views — instance-major, so these are cheap reshapes.    #
+    # ------------------------------------------------------------------ #
+    def z_slice(self, i: int) -> slice:
+        """Flat z range of instance ``i`` in the batched layout."""
+        self._check_instance(i)
+        zt = self.template.z_size
+        return slice(i * zt, (i + 1) * zt)
+
+    def split_z(self, z_flat: np.ndarray) -> np.ndarray:
+        """View a batched z array as one ``(B, z_size)`` row per instance."""
+        z_flat = np.asarray(z_flat)
+        if z_flat.shape != (self.graph.z_size,):
+            raise ValueError(
+                f"z must have shape ({self.graph.z_size},), got {z_flat.shape}"
+            )
+        return z_flat.reshape(self.batch_size, self.template.z_size)
+
+    def pack_z(self, per_instance: np.ndarray | Sequence[np.ndarray]) -> np.ndarray:
+        """Stack per-instance z vectors into one batched flat array.
+
+        Accepts a ``(B, z_size)`` matrix, a length-``B`` sequence of
+        ``(z_size,)`` vectors, or a single ``(z_size,)`` vector broadcast to
+        every instance (warm-starting a fleet from one solution).
+        """
+        zt = self.template.z_size
+        arr = np.asarray(
+            per_instance if not isinstance(per_instance, (list, tuple))
+            else np.stack([np.asarray(v, dtype=np.float64) for v in per_instance]),
+            dtype=np.float64,
+        )
+        if arr.shape == (zt,):
+            arr = np.broadcast_to(arr, (self.batch_size, zt))
+        if arr.shape != (self.batch_size, zt):
+            raise ValueError(
+                f"expected ({self.batch_size}, {zt}), (B,)-sequence of ({zt},) "
+                f"vectors, or a single ({zt},) vector; got shape {arr.shape}"
+            )
+        return arr.reshape(-1).copy()
+
+    # ------------------------------------------------------------------ #
+    # Edge/slot views — factor order is group-major, so these gather.      #
+    # ------------------------------------------------------------------ #
+    def split_slots(self, flat: np.ndarray) -> np.ndarray:
+        """Gather a batched flat edge array as ``(B, S_t)`` instance rows."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.graph.edge_size,):
+            raise ValueError(
+                f"expected shape ({self.graph.edge_size},), got {flat.shape}"
+            )
+        return flat[self.slot_index]
+
+    def split_edges(self, per_edge: np.ndarray) -> np.ndarray:
+        """Gather a batched per-edge array as ``(B, E_t)`` instance rows."""
+        per_edge = np.asarray(per_edge)
+        if per_edge.shape != (self.graph.num_edges,):
+            raise ValueError(
+                f"expected shape ({self.graph.num_edges},), got {per_edge.shape}"
+            )
+        return per_edge[self.edge_index]
+
+    def instance_rho(self, rho_per_instance) -> np.ndarray:
+        """Expand per-instance ρ to a per-edge array of the batched graph.
+
+        ``rho_per_instance`` is ``(B,)`` scalars (uniform within each
+        instance) or ``(B, E_t)`` per-edge values in template edge order.
+        """
+        rho = np.asarray(rho_per_instance, dtype=np.float64)
+        out = np.empty(self.graph.num_edges)
+        if rho.shape == (self.batch_size,):
+            out[self.edge_index] = rho[:, None]
+        elif rho.shape == (self.batch_size, self.template.num_edges):
+            out[self.edge_index] = rho
+        else:
+            raise ValueError(
+                f"expected shape ({self.batch_size},) or "
+                f"({self.batch_size}, {self.template.num_edges}), got {rho.shape}"
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    def instance_solution(self, z_flat: np.ndarray, i: int) -> list[np.ndarray]:
+        """Per-variable solution vectors of instance ``i`` (template order)."""
+        zi = np.asarray(z_flat)[self.z_slice(i)]
+        return self.template.read_solution(zi)
+
+    def _check_instance(self, i: int) -> None:
+        if not 0 <= i < self.batch_size:
+            raise IndexError(
+                f"instance {i} out of range for batch of {self.batch_size}"
+            )
+
+    def summary(self) -> str:
+        t, g = self.template, self.graph
+        return (
+            f"GraphBatch: B={self.batch_size} x template(|F|={t.num_factors} "
+            f"|V|={t.num_vars} |E|={t.num_edges}) -> "
+            f"batched(|F|={g.num_factors} |V|={g.num_vars} |E|={g.num_edges}, "
+            f"groups={len(g.groups)}, all_contiguous="
+            f"{all(grp.contiguous for grp in g.groups)})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"GraphBatch(B={self.batch_size}, template_elements="
+            f"{self.template.num_elements})"
+        )
+
+
+def replicate_graph(
+    template: FactorGraph,
+    batch_size: int,
+    params_per_instance: Sequence[Mapping[int, Mapping[str, np.ndarray]]]
+    | None = None,
+) -> GraphBatch:
+    """Replicate ``template`` into a block-diagonal batch of ``batch_size``.
+
+    ``params_per_instance``, when given, is one mapping per instance from
+    *template factor id* to parameter overrides for that factor in that
+    instance (merged over the template factor's params).  Override keys must
+    already exist on the template factor — adding new keys would split the
+    factor group and break the coalesced layout; shapes must match the
+    template's so the group's stacked parameter matrices stay rectangular.
+
+    Prox operator objects are shared across all instances (grouping is by
+    operator identity), so per-instance variation must flow through params.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if template.num_factors == 0:
+        raise ValueError("cannot replicate an empty template graph")
+    if params_per_instance is not None and len(params_per_instance) != batch_size:
+        raise ValueError(
+            f"params_per_instance has {len(params_per_instance)} entries "
+            f"for batch_size={batch_size}"
+        )
+
+    B = batch_size
+    V = template.num_vars
+    builder = GraphBuilder()
+
+    # Variables: instance-major (instance i's variable b -> i*V + b).
+    for i in range(B):
+        for b in range(V):
+            name = (
+                f"{template.var_names[b]}@{i}"
+                if template.var_names is not None
+                else None
+            )
+            builder.add_variable(int(template.var_dims[b]), name=name)
+
+    # Factors: group-major, so every batched group is one contiguous slot
+    # run (the coalesced prox_batch fast path).  Within a group: instance 0's
+    # factors first, then instance 1's, ... — each instance owns a contiguous
+    # row block of the group's (B·n, L) matrix.
+    order: list[tuple[int, int]] = []  # (instance, template factor id)
+    for group in template.groups:
+        for i in range(B):
+            for a in group.factor_ids:
+                order.append((i, int(a)))
+
+    for i, a in order:
+        spec = template.factors[a]
+        params = dict(spec.params)
+        if params_per_instance is not None:
+            overrides = params_per_instance[i].get(a, {})
+            for key, value in overrides.items():
+                if key not in params:
+                    raise ValueError(
+                        f"instance {i} overrides unknown parameter {key!r} of "
+                        f"factor {a}; overrides may only replace existing "
+                        f"template parameters (new keys would split the "
+                        f"factor group)"
+                    )
+                value = np.asarray(value, dtype=np.float64)
+                if value.shape != params[key].shape:
+                    raise ValueError(
+                        f"instance {i} override of factor {a} parameter "
+                        f"{key!r} has shape {value.shape}; template has "
+                        f"{params[key].shape}"
+                    )
+                params[key] = value
+        scope = [i * V + b for b in spec.variables]
+        builder.add_factor(spec.prox, scope, params)
+
+    graph = builder.build()
+
+    # Index maps: batch factor k (creation order) is (instance, template id)
+    # order[k]; its edge/slot ranges in both layouts come from the indptrs.
+    factor_index = np.empty((B, template.num_factors), dtype=np.int64)
+    edge_index = np.empty((B, template.num_edges), dtype=np.int64)
+    slot_index = np.empty((B, template.edge_size), dtype=np.int64)
+    for k, (i, a) in enumerate(order):
+        factor_index[i, a] = k
+        t0, t1 = template.factor_indptr[a], template.factor_indptr[a + 1]
+        g0, g1 = graph.factor_indptr[k], graph.factor_indptr[k + 1]
+        edge_index[i, t0:t1] = np.arange(g0, g1)
+        ts0, ts1 = template.factor_slot_indptr[a], template.factor_slot_indptr[a + 1]
+        gs0, gs1 = graph.factor_slot_indptr[k], graph.factor_slot_indptr[k + 1]
+        slot_index[i, ts0:ts1] = np.arange(gs0, gs1)
+
+    batch = GraphBatch(
+        graph=graph,
+        template=template,
+        factor_index=factor_index,
+        edge_index=edge_index,
+        slot_index=slot_index,
+    )
+    # The whole point of the group-major order: every group must coalesce.
+    assert all(g.contiguous for g in graph.groups), (
+        "replicate_graph produced a non-contiguous group; this is a bug"
+    )
+    return batch

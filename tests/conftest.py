@@ -5,53 +5,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bench.workloads import chain_graph as make_chain_graph
+from repro.bench.workloads import figure1_graph as make_figure1_graph
 from repro.graph.builder import GraphBuilder
-from repro.prox.standard import ConsensusEqualProx, DiagQuadProx, L1Prox
+from repro.prox.standard import DiagQuadProx
 
 
 @pytest.fixture()
 def figure1_graph():
-    """The paper's Figure-1 graph: f1(w1,w2,w3) f2(w1,w4,w5) f3(w2,w5) f4(w5).
-
-    All functions are benign diagonal quadratics so the graph is solvable.
-    """
-    b = GraphBuilder()
-    w = [b.add_variable(1, name=f"w{i + 1}") for i in range(5)]
-    def quad(dims, target):
-        return (
-            DiagQuadProx(dims=dims),
-            {"q": np.ones(sum(dims)), "c": -np.asarray(target, dtype=float)},
-        )
-
-    p1, par1 = quad((1, 1, 1), [1.0, 2.0, 3.0])
-    p2, par2 = quad((1, 1, 1), [1.0, 4.0, 5.0])
-    p3, par3 = quad((1, 1), [2.0, 5.0])
-    p4, par4 = quad((1,), [5.0])
-    b.add_factor(p1, [w[0], w[1], w[2]], par1)
-    b.add_factor(p2, [w[0], w[3], w[4]], par2)
-    b.add_factor(p3, [w[1], w[4]], par3)
-    b.add_factor(p4, [w[4]], par4)
-    return b.build()
+    """The paper's Figure-1 graph (see ``repro.bench.workloads.figure1_graph``)."""
+    return make_figure1_graph()
 
 
 @pytest.fixture()
 def chain_graph():
-    """Six 2-D variables chained with consensus factors + anchors.
-
-    A well-conditioned convex problem exercising mixed groups, used by the
-    backend-equivalence and solver tests.
-    """
-    b = GraphBuilder()
-    vs = b.add_variables(6, dim=2)
-    dq = DiagQuadProx(dims=(2,))
-    ce = ConsensusEqualProx(k=2, dim=2)
-    l1 = L1Prox(lam=0.3)
-    for i, v in enumerate(vs):
-        b.add_factor(dq, [v], params={"q": [1.0, 2.0], "c": [float(i), -1.0]})
-    for i in range(5):
-        b.add_factor(ce, [vs[i], vs[i + 1]])
-    b.add_factor(l1, [vs[0]])
-    return b.build()
+    """Chained consensus graph (see ``repro.bench.workloads.chain_graph``)."""
+    return make_chain_graph()
 
 
 @pytest.fixture()

@@ -5,9 +5,11 @@ import pytest
 
 from repro.apps.mpc import (
     MPCProblem,
+    build_batch,
     default_problem,
     inverted_pendulum,
     solve_mpc,
+    solve_mpc_batch,
     solve_mpc_exact,
 )
 
@@ -108,6 +110,64 @@ class TestADMMvsExact:
         # trending to zero rather than exact agreement.
         assert out["dynamics_violation"] < 5e-2
         assert out["objective"] < 2.0 * obj_exact + 1.0
+
+
+class TestMPCBatch:
+    def make_problems(self, count=3, horizon=5):
+        A, B = inverted_pendulum()
+        return [
+            MPCProblem(
+                A=A,
+                B=B,
+                q0=np.array([0.05 * (i + 1), 0.0, 0.02 * i, 0.0]),
+                horizon=horizon,
+            )
+            for i in range(count)
+        ]
+
+    def test_build_batch_structure(self):
+        problems = self.make_problems()
+        batch = build_batch(problems)
+        assert batch.batch_size == 3
+        assert batch.template.num_factors == 2 * 5 + 2
+        assert all(g.contiguous for g in batch.graph.groups)
+
+    def test_batch_matches_solo_solves(self):
+        problems = self.make_problems()
+        out = solve_mpc_batch(problems, iterations=2000, rho=10.0)
+        for problem, fleet in zip(problems, out):
+            solo = solve_mpc(problem, iterations=2000, rho=10.0)
+            np.testing.assert_allclose(
+                fleet["states"], solo["states"], atol=1e-8
+            )
+            np.testing.assert_allclose(
+                fleet["objective"], solo["objective"], rtol=1e-6
+            )
+            assert fleet["dynamics_violation"] < 1e-2
+
+    def test_mismatched_horizon_rejected(self):
+        A, B = inverted_pendulum()
+        q0 = np.zeros(4)
+        problems = [
+            MPCProblem(A=A, B=B, q0=q0, horizon=4),
+            MPCProblem(A=A, B=B, q0=q0, horizon=5),
+        ]
+        with pytest.raises(ValueError, match="horizon"):
+            build_batch(problems)
+
+    def test_mismatched_dynamics_rejected(self):
+        A, B = inverted_pendulum()
+        q0 = np.zeros(4)
+        problems = [
+            MPCProblem(A=A, B=B, q0=q0, horizon=4),
+            MPCProblem(A=2.0 * A, B=B, q0=q0, horizon=4),
+        ]
+        with pytest.raises(ValueError, match="dynamics"):
+            build_batch(problems)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_batch([])
 
 
 class TestWarmStartMPC:

@@ -11,6 +11,7 @@ from repro.apps.lasso import (
 )
 from repro.apps.svm import (
     SVMProblem,
+    build_batch,
     make_blobs,
     solve_svm,
     solve_svm_reference,
@@ -102,6 +103,54 @@ class TestSVMSolve:
         planes = z[: n * (d + 1)].reshape(n, d + 1)
         spread = np.max(np.abs(planes - planes.mean(axis=0)))
         assert spread < 5e-2
+
+
+class TestSVMBatch:
+    def make_problems(self, count=2, n_points=8):
+        return [
+            SVMProblem(*make_blobs(n_points, dim=2, seed=10 + i))
+            for i in range(count)
+        ]
+
+    def test_build_batch_structure(self):
+        problems = self.make_problems()
+        batch = build_batch(problems)
+        assert batch.batch_size == 2
+        assert all(g.contiguous for g in batch.graph.groups)
+        # Per-instance data reached the margin group's stacked params.
+        margin = next(
+            g for g in batch.graph.groups
+            if getattr(g.prox, "name", "") == "svm_margin"
+        )
+        assert margin.size == 2 * problems[0].n_points
+
+    def test_batched_iterates_match_solo(self):
+        from repro.core.batched import BatchedSolver
+        from repro.core.solver import ADMMSolver
+
+        problems = self.make_problems()
+        batch = build_batch(problems)
+        fleet = BatchedSolver(batch, rho=1.5)
+        fleet.initialize("zeros")
+        fleet.iterate(40)
+        z_rows = batch.split_z(fleet.state.z)
+        for i, problem in enumerate(problems):
+            solo = ADMMSolver(problem.build_graph(), rho=1.5)
+            solo.initialize("zeros")
+            solo.iterate(40)
+            np.testing.assert_allclose(z_rows[i], solo.state.z, atol=1e-10)
+
+    def test_mismatched_shape_rejected(self):
+        problems = [
+            SVMProblem(*make_blobs(8, dim=2, seed=1)),
+            SVMProblem(*make_blobs(10, dim=2, seed=2)),
+        ]
+        with pytest.raises(ValueError, match="n_points"):
+            build_batch(problems)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_batch([])
 
 
 class TestLassoData:

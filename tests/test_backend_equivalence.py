@@ -1,0 +1,98 @@
+"""Cross-backend equivalence matrix (ISSUE 2 satellite).
+
+The paper's parallelization claims correctness because the five kernels are
+data-parallel: any scheduling of the element updates must produce the same
+iterates.  This matrix pins that down exhaustively — every backend x every
+canonical fixture, 25 iterations, all five auxiliary families compared
+against the serial reference at 1e-10.
+
+The three-weight backend is included because with no operator overriding
+``outgoing_weights`` every weight equals ρ, which reduces the TWA z/u
+updates to the classical ADMM — a strong algebraic identity worth guarding.
+
+(``tests/test_backends.py`` keeps the randomized-graph and backend-detail
+tests; this module is the systematic fixture matrix.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.persistent import PersistentWorkerBackend
+from repro.backends.process import ProcessBackend
+from repro.backends.serial import SerialBackend
+from repro.backends.threaded import ThreadedBackend
+from repro.backends.vectorized import ThreeWeightBackend, VectorizedBackend
+from repro.bench.workloads import chain_graph, figure1_graph
+from repro.core.state import ADMMState
+
+ITERATIONS = 25
+ATOL = 1e-10
+FAMILIES = ("x", "m", "z", "u", "n")
+
+BACKENDS = [
+    ("vectorized", lambda: VectorizedBackend()),
+    ("threaded", lambda: ThreadedBackend(num_workers=2)),
+    ("persistent", lambda: PersistentWorkerBackend(num_workers=2)),
+    ("process", lambda: ProcessBackend(num_workers=2)),
+    ("three_weight", lambda: ThreeWeightBackend()),
+]
+
+GRAPHS = [
+    ("figure1", figure1_graph),
+    ("chain", chain_graph),
+]
+
+
+def run_all_families(graph, factory, iterations=ITERATIONS, seed=29):
+    backend = factory()
+    state = ADMMState(graph, rho=1.7, alpha=0.9).init_random(
+        0.05, 0.95, seed=seed
+    )
+    try:
+        backend.prepare(graph)
+        backend.run(graph, state, iterations)
+    finally:
+        backend.close()
+    return state
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Serial-backend iterates, one per fixture graph (shared by the matrix)."""
+    out = {}
+    for gname, graph_fn in GRAPHS:
+        graph = graph_fn()
+        out[gname] = (graph, run_all_families(graph, lambda: SerialBackend()))
+    return out
+
+
+@pytest.mark.parametrize("gname", [g for g, _ in GRAPHS])
+@pytest.mark.parametrize("bname,factory", BACKENDS)
+def test_equivalence_matrix(bname, factory, gname, references):
+    graph, ref = references[gname]
+    got = run_all_families(graph, factory)
+    for family in FAMILIES:
+        np.testing.assert_allclose(
+            getattr(got, family),
+            getattr(ref, family),
+            atol=ATOL,
+            err_msg=f"{bname} diverged from serial on {gname} family {family}",
+        )
+    assert got.iteration == ref.iteration == ITERATIONS
+
+
+@pytest.mark.parametrize("gname,graph_fn", GRAPHS)
+def test_three_weight_reduces_to_admm_every_iteration(gname, graph_fn):
+    """TWA == ADMM at *every* iteration (not just after 25) with default weights."""
+    graph = graph_fn()
+    ref = ADMMState(graph, rho=2.2).init_random(0.1, 0.9, seed=5)
+    twa = ref.copy()
+    serial = SerialBackend()
+    three = ThreeWeightBackend()
+    for _ in range(8):
+        serial.run(graph, ref, 1)
+        three.run(graph, twa, 1)
+        for family in FAMILIES:
+            np.testing.assert_allclose(
+                getattr(twa, family), getattr(ref, family), atol=ATOL
+            )

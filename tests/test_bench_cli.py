@@ -28,6 +28,11 @@ class TestCLI:
         assert main(["fig13", "--sizes", "100"]) == 0
         assert "svm" in capsys.readouterr().out
 
+    def test_fleet_small(self, capsys):
+        assert main(["fleet", "--sizes", "2", "4", "--horizon", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out and "speedup" in out
+
     def test_ntb_sweep(self, capsys):
         assert main(["ntb", "--packing-n", "200"]) == 0
         assert "best" in capsys.readouterr().out

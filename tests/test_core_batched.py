@@ -1,0 +1,254 @@
+"""Tests for the fleet solver (repro.core.batched).
+
+The central claim: solving B instances in one block-diagonal batch is
+*exactly* the same math as solving each instance alone — per-instance
+solutions, residuals, convergence flags, and iteration counts all match
+the solo :class:`ADMMSolver` runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.serial import SerialBackend
+from repro.core.batched import BatchedSolver, per_instance_residuals
+from repro.core.parameters import ResidualBalancing, apply_rho_scale
+from repro.core.residuals import compute_residuals
+from repro.core.solver import ADMMSolver
+from repro.core.state import ADMMState
+from repro.graph.batch import replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import DiagQuadProx
+
+
+def quad_template():
+    """One 2-D variable under a diagonal quadratic (target via param c)."""
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    return b.build()
+
+
+def quad_batch(targets):
+    overrides = [
+        {0: {"c": -np.asarray(t, dtype=float)}} for t in targets
+    ]
+    return replicate_graph(quad_template(), len(targets), overrides)
+
+
+def solo_quad_solver(target, **kwargs):
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": -np.asarray(target, dtype=float)},
+    )
+    return ADMMSolver(b.build(), **kwargs)
+
+
+class TestBatchedMatchesIndividual:
+    def test_b64_solutions_match_individual(self):
+        """Acceptance: B=64 batched solutions == per-instance solves (1e-8)."""
+        rng = np.random.default_rng(42)
+        targets = rng.normal(size=(64, 2))
+        batch = quad_batch(targets)
+        solver = BatchedSolver(batch, rho=1.3)
+        results = solver.solve_batch(
+            max_iterations=60, check_every=10, init="zeros"
+        )
+        for target, result in zip(targets, results):
+            solo = solo_quad_solver(target, rho=1.3).solve(
+                max_iterations=60, check_every=10, init="zeros"
+            )
+            np.testing.assert_allclose(result.z, solo.z, atol=1e-8)
+            assert result.converged == solo.converged
+            assert result.iterations == solo.iterations
+
+    def test_residuals_match_individual(self, chain_graph):
+        batch = replicate_graph(chain_graph, 3)
+        solver = BatchedSolver(batch, rho=1.4)
+        results = solver.solve_batch(
+            max_iterations=30, eps_abs=1e-14, eps_rel=1e-13,
+            check_every=6, init="zeros",
+        )
+        solo = ADMMSolver(chain_graph, rho=1.4).solve(
+            max_iterations=30, eps_abs=1e-14, eps_rel=1e-13,
+            check_every=6, init="zeros",
+        )
+        for result in results:
+            assert result.residuals is not None
+            np.testing.assert_allclose(
+                result.residuals.primal, solo.residuals.primal, rtol=1e-10
+            )
+            np.testing.assert_allclose(
+                result.residuals.dual, solo.residuals.dual, rtol=1e-10
+            )
+            np.testing.assert_allclose(result.z, solo.z, atol=1e-10)
+            assert len(result.history) == len(solo.history)
+
+    def test_serial_backend_agrees_with_vectorized(self):
+        targets = [[1.0, -2.0], [0.5, 3.0]]
+        ref = BatchedSolver(quad_batch(targets), rho=2.0)
+        got = BatchedSolver(quad_batch(targets), backend=SerialBackend(), rho=2.0)
+        r1 = ref.solve_batch(max_iterations=20, check_every=5, init="zeros")
+        r2 = got.solve_batch(max_iterations=20, check_every=5, init="zeros")
+        for a, b in zip(r1, r2):
+            np.testing.assert_allclose(a.z, b.z, atol=1e-12)
+
+
+class TestPerInstanceResiduals:
+    def test_matches_compute_residuals_per_instance(self, chain_graph):
+        batch = replicate_graph(chain_graph, 4)
+        state = ADMMState(batch.graph, rho=1.7).init_random(0.1, 0.9, seed=11)
+        solver = ADMMSolver(batch.graph, rho=1.7)
+        solver.state = state
+        z_prev = state.z.copy()
+        solver.backend.run(batch.graph, state, 1)
+        batched = per_instance_residuals(batch, state, z_prev, 1e-6, 1e-4)
+        # Reference: restrict the batched state to each instance's subgraph.
+        for i in range(4):
+            sub = ADMMState(chain_graph)
+            sub.x[:] = state.x[batch.slot_index[i]]
+            sub.u[:] = state.u[batch.slot_index[i]]
+            sub.z[:] = state.z[batch.z_slice(i)]
+            sub.set_rho(state.rho[batch.edge_index[i]])
+            sub.iteration = state.iteration
+            ref = compute_residuals(
+                chain_graph, sub, z_prev[batch.z_slice(i)], 1e-6, 1e-4
+            )
+            assert batched[i].primal == pytest.approx(ref.primal, rel=1e-12)
+            assert batched[i].dual == pytest.approx(ref.dual, rel=1e-12)
+            assert batched[i].eps_primal == pytest.approx(ref.eps_primal, rel=1e-12)
+            assert batched[i].eps_dual == pytest.approx(ref.eps_dual, rel=1e-12)
+
+
+class TestStoppingMasks:
+    def test_early_instance_freezes_but_keeps_sweeping(self):
+        # Instance 0 starts at its optimum (target 0) and converges at the
+        # first check; instance 1 must keep iterating much longer.
+        batch = quad_batch([[0.0, 0.0], [8.0, -8.0]])
+        solver = BatchedSolver(batch, rho=0.5)
+        results = solver.solve_batch(
+            max_iterations=400, check_every=5, init="zeros"
+        )
+        assert results[0].converged
+        assert results[1].converged
+        assert results[0].iterations < results[1].iterations
+        # Frozen instances stop accumulating history.
+        assert len(results[0].history) < len(results[1].history)
+
+    def test_frozen_instance_rho_untouched_by_schedule(self):
+        batch = quad_batch([[0.0, 0.0], [50.0, -50.0]])
+        schedule = ResidualBalancing(mu=1.0001, tau=2.0)
+        solver = BatchedSolver(batch, rho=100.0, schedule=schedule)
+        results = solver.solve_batch(
+            max_iterations=300, check_every=5, init="zeros"
+        )
+        rho_rows = batch.split_edges(solver.state.rho)
+        assert np.allclose(rho_rows[0], 100.0), "frozen instance's rho moved"
+        assert not np.allclose(rho_rows[1], 100.0), "schedule never fired"
+        assert results[0].iterations < results[1].iterations
+
+    def test_all_converged_stops_early(self):
+        batch = quad_batch([[0.1, 0.0], [0.0, 0.1]])
+        solver = BatchedSolver(batch, rho=1.0)
+        results = solver.solve_batch(
+            max_iterations=10_000, check_every=10, init="zeros"
+        )
+        assert all(r.converged for r in results)
+        assert solver.state.iteration < 10_000
+
+    def test_unconverged_instance_reports_cap(self):
+        batch = quad_batch([[5.0, 5.0]])
+        solver = BatchedSolver(batch, rho=1.0)
+        (result,) = solver.solve_batch(
+            max_iterations=3, check_every=10, init="zeros"
+        )
+        assert not result.converged
+        assert result.iterations == 3
+
+
+class TestWarmStartPool:
+    def test_pool_roundtrip_forms(self, chain_graph):
+        batch = replicate_graph(chain_graph, 3)
+        solver = BatchedSolver(batch)
+        zt = chain_graph.z_size
+        pool = np.arange(3 * zt, dtype=float).reshape(3, zt)
+        solver.warm_start_pool(pool)
+        np.testing.assert_array_equal(batch.split_z(solver.state.z), pool)
+        solver.warm_start_pool(list(pool))
+        np.testing.assert_array_equal(batch.split_z(solver.state.z), pool)
+        solver.warm_start_pool(pool[0])
+        np.testing.assert_array_equal(
+            batch.split_z(solver.state.z), np.stack([pool[0]] * 3)
+        )
+
+    def test_warm_start_from_solution_is_fixed_pointish(self):
+        targets = [[1.0, 1.0], [2.0, -2.0]]
+        batch = quad_batch(targets)
+        solver = BatchedSolver(batch, rho=1.0)
+        cold = solver.solve_batch(max_iterations=500, check_every=10, init="zeros")
+        solver.warm_start_pool(np.stack([r.z for r in cold]))
+        warm = solver.solve_batch(max_iterations=100, check_every=5, init="keep")
+        for c, w in zip(cold, warm):
+            np.testing.assert_allclose(w.z, c.z, atol=1e-5)
+
+
+class TestContractsAndConfig:
+    def test_zero_iterations_contract(self):
+        batch = quad_batch([[1.0, 0.0], [0.0, 1.0]])
+        solver = BatchedSolver(batch)
+        results = solver.solve_batch(max_iterations=0, init="zeros")
+        for r in results:
+            assert r.iterations == 0
+            assert not r.converged
+            assert r.residuals is not None
+            assert len(r.history) == 1
+
+    def test_invalid_args(self):
+        solver = BatchedSolver(quad_batch([[1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            solver.solve_batch(max_iterations=-1)
+        with pytest.raises(ValueError):
+            solver.solve_batch(check_every=0)
+
+    def test_per_instance_rho_array(self):
+        batch = quad_batch([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        solver = BatchedSolver(batch, rho=np.array([1.0, 2.0, 3.0]))
+        rows = batch.split_edges(solver.state.rho)
+        np.testing.assert_allclose(rows[:, 0], [1.0, 2.0, 3.0])
+
+    def test_context_manager(self):
+        with BatchedSolver(quad_batch([[1.0, 0.0]])) as solver:
+            solver.solve_batch(max_iterations=5, init="zeros")
+
+
+class TestApplyRhoScalePerEdge:
+    def test_array_scale_rescales_dual(self, chain_graph):
+        state = ADMMState(chain_graph, rho=2.0).init_random(seed=3)
+        u_before = state.u.copy()
+        scale = np.ones(chain_graph.num_edges)
+        scale[0] = 4.0
+        apply_rho_scale(state, scale)
+        assert state.rho[0] == pytest.approx(8.0)
+        assert state.rho[1] == pytest.approx(2.0)
+        sl = chain_graph.edge_slots(0)
+        np.testing.assert_allclose(state.u[sl], u_before[sl] / 4.0)
+
+    def test_array_scale_validation(self, chain_graph):
+        state = ADMMState(chain_graph)
+        with pytest.raises(ValueError):
+            apply_rho_scale(state, np.ones(3))
+        with pytest.raises(ValueError):
+            apply_rho_scale(state, np.full(chain_graph.num_edges, -1.0))
+
+    def test_all_ones_is_noop(self, chain_graph):
+        state = ADMMState(chain_graph, rho=2.0).init_random(seed=3)
+        u = state.u.copy()
+        apply_rho_scale(state, np.ones(chain_graph.num_edges))
+        np.testing.assert_array_equal(state.u, u)
+        assert np.all(state.rho == 2.0)

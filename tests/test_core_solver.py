@@ -78,10 +78,35 @@ class TestBasicSolve:
         assert calls and calls == sorted(calls)
 
     def test_zero_iterations(self):
+        # max_iterations=0 contract: no sweeps, residuals of the initial
+        # iterate computed once, converged False, one history entry.
         g = single_quad_graph()
         result = ADMMSolver(g).solve(max_iterations=0)
         assert result.iterations == 0
         assert not result.converged
+        assert result.residuals is not None
+        assert result.residuals.iteration == 0
+        assert result.residuals.dual == 0.0  # no z-step has happened
+        assert len(result.history) == 1
+
+    def test_zero_iterations_after_warm_start(self):
+        # The residual snapshot reflects the warm-started iterate, and the
+        # iterate itself is untouched.
+        g = single_quad_graph(target=(1.0, 1.0))
+        solver = ADMMSolver(g)
+        first = solver.solve(max_iterations=300)
+        solver.warm_start(first.z)
+        probe = solver.solve(max_iterations=0, init="keep")
+        np.testing.assert_array_equal(probe.z, first.z)
+        assert probe.residuals is not None
+        # Warm start broadcasts z along edges, so consensus is exact.
+        assert probe.residuals.primal == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_iterations_records_objective(self):
+        g = single_quad_graph()
+        solver = ADMMSolver(g, record_objective=True)
+        result = solver.solve(max_iterations=0)
+        assert len(result.history.objective) == 1
 
 
 class TestSolverConfig:

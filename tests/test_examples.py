@@ -17,6 +17,7 @@ EXAMPLES = [
     ("examples/lasso_consensus.py", ["60", "20", "4"]),
     ("examples/gpu_simulation.py", []),
     ("examples/three_weight_packing.py", ["3"]),
+    ("examples/fleet_mpc.py", ["4", "5"]),
 ]
 
 

@@ -1,0 +1,130 @@
+"""Golden-trace regression: the solver's residual trajectory is pinned.
+
+A fixed, fully-deterministic solve (figure-1 graph, vectorized backend,
+seeded random init, constant ρ) is serialized into ``tests/data/``; every
+future run must reproduce the primal/dual residual trajectory and the
+final iterate.  Solver-math refactors that change results — even by more
+than float-reassociation noise — fail here before they can silently drift.
+
+Regenerate (after an *intentional* math change, with justification in the
+commit message)::
+
+    PYTHONPATH=src python tests/test_golden_trace.py
+
+which rewrites ``tests/data/figure1_trace.json``.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.backends.vectorized import VectorizedBackend
+from repro.bench.workloads import figure1_graph
+from repro.core.solver import ADMMSolver
+from repro.core.stopping import MaxIterations
+
+DATA_PATH = os.path.join(os.path.dirname(__file__), "data", "figure1_trace.json")
+
+#: Reference-run configuration (all recorded into the trace file, so a
+#: mismatch between code and data is detected rather than silently diffed).
+CONFIG = {
+    "graph": "figure1",
+    "backend": "vectorized",
+    "rho": 1.4,
+    "alpha": 0.9,
+    "seed": 2024,
+    "max_iterations": 60,
+    "check_every": 5,
+}
+
+#: Bitwise reproducibility is expected on one platform; the tolerance only
+#: allows float reassociation across BLAS/NumPy builds.
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+def run_reference():
+    graph = figure1_graph()
+    solver = ADMMSolver(
+        graph,
+        backend=VectorizedBackend(),
+        rho=CONFIG["rho"],
+        alpha=CONFIG["alpha"],
+    )
+    result = solver.solve(
+        max_iterations=CONFIG["max_iterations"],
+        check_every=CONFIG["check_every"],
+        stopping=MaxIterations(CONFIG["max_iterations"]),
+        init="random",
+        seed=CONFIG["seed"],
+    )
+    solver.close()
+    return result
+
+
+def test_trace_file_exists():
+    assert os.path.exists(DATA_PATH), (
+        f"golden trace missing; generate with: PYTHONPATH=src python {__file__}"
+    )
+
+
+def test_residual_trajectory_reproduces():
+    with open(DATA_PATH) as fh:
+        golden = json.load(fh)
+    assert golden["config"] == CONFIG, (
+        "trace config drifted from the recorded one; regenerate the golden "
+        "file if the change is intentional"
+    )
+    result = run_reference()
+    assert list(result.history.iterations) == golden["iterations"]
+    np.testing.assert_allclose(
+        result.history.primal_array(),
+        np.asarray(golden["primal"]),
+        rtol=RTOL,
+        atol=ATOL,
+        err_msg="primal residual trajectory drifted",
+    )
+    np.testing.assert_allclose(
+        result.history.dual_array(),
+        np.asarray(golden["dual"]),
+        rtol=RTOL,
+        atol=ATOL,
+        err_msg="dual residual trajectory drifted",
+    )
+    np.testing.assert_allclose(
+        result.z,
+        np.asarray(golden["z_final"]),
+        rtol=RTOL,
+        atol=ATOL,
+        err_msg="final iterate drifted",
+    )
+
+
+def test_trace_is_nontrivial():
+    """Guard the guard: the stored trajectory actually decreases."""
+    with open(DATA_PATH) as fh:
+        golden = json.load(fh)
+    primal = np.asarray(golden["primal"])
+    assert len(primal) == CONFIG["max_iterations"] // CONFIG["check_every"]
+    assert primal[-1] < primal[0]
+    assert np.all(primal > 0)
+
+
+def _generate():
+    result = run_reference()
+    payload = {
+        "config": CONFIG,
+        "iterations": [int(i) for i in result.history.iterations],
+        "primal": [float(v) for v in result.history.primal],
+        "dual": [float(v) for v in result.history.dual],
+        "z_final": [float(v) for v in result.z],
+    }
+    os.makedirs(os.path.dirname(DATA_PATH), exist_ok=True)
+    with open(DATA_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    print(f"wrote {DATA_PATH}: {len(payload['primal'])} checks")
+
+
+if __name__ == "__main__":
+    _generate()

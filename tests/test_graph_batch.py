@@ -1,0 +1,227 @@
+"""Tests for block-diagonal graph replication (repro.graph.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mpc import default_problem
+from repro.graph.batch import GraphBatch, replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import ConsensusEqualProx, DiagQuadProx
+
+
+class TestReplicateStructure:
+    def test_counts_scale_linearly(self, chain_graph):
+        batch = replicate_graph(chain_graph, 5)
+        g = batch.graph
+        assert g.num_vars == 5 * chain_graph.num_vars
+        assert g.num_factors == 5 * chain_graph.num_factors
+        assert g.num_edges == 5 * chain_graph.num_edges
+        assert g.edge_size == 5 * chain_graph.edge_size
+        assert g.z_size == 5 * chain_graph.z_size
+
+    def test_groups_match_template_and_coalesce(self, chain_graph):
+        batch = replicate_graph(chain_graph, 7)
+        assert len(batch.graph.groups) == len(chain_graph.groups)
+        for tg, bg in zip(chain_graph.groups, batch.graph.groups):
+            assert bg.size == 7 * tg.size
+            assert bg.slot_count == tg.slot_count
+            assert bg.contiguous, "batched group lost the coalesced layout"
+
+    def test_index_maps_are_permutations(self, mixed_dims_graph):
+        B = 4
+        batch = replicate_graph(mixed_dims_graph, B)
+        for index, total in (
+            (batch.factor_index, batch.graph.num_factors),
+            (batch.edge_index, batch.graph.num_edges),
+            (batch.slot_index, batch.graph.edge_size),
+        ):
+            flat = np.sort(index.reshape(-1))
+            np.testing.assert_array_equal(flat, np.arange(total))
+
+    def test_edges_stay_within_instance(self, figure1_graph):
+        batch = replicate_graph(figure1_graph, 3)
+        g = batch.graph
+        V = figure1_graph.num_vars
+        for i in range(3):
+            vars_of_instance = g.edge_var[batch.edge_index[i]]
+            assert np.all(vars_of_instance // V == i), (
+                "an edge crosses instance boundaries — the batch is not "
+                "block-diagonal"
+            )
+
+    def test_slot_index_consistent_with_edge_layout(self, chain_graph):
+        batch = replicate_graph(chain_graph, 3)
+        t, g = chain_graph, batch.graph
+        for i in range(3):
+            for e in range(t.num_edges):
+                te = t.edge_slots(e)
+                ge = g.edge_slots(int(batch.edge_index[i, e]))
+                np.testing.assert_array_equal(
+                    batch.slot_index[i, te], np.arange(ge.start, ge.stop)
+                )
+
+    def test_var_names_suffixed(self, figure1_graph):
+        batch = replicate_graph(figure1_graph, 2)
+        assert batch.graph.var_names[0] == "w1@0"
+        assert batch.graph.var_names[figure1_graph.num_vars] == "w1@1"
+
+    def test_batch_of_one(self, chain_graph):
+        batch = replicate_graph(chain_graph, 1)
+        assert batch.batch_size == 1
+        assert batch.graph.num_elements == chain_graph.num_elements
+
+
+class TestPerInstanceParams:
+    def build_template(self):
+        b = GraphBuilder()
+        w = b.add_variable(2)
+        b.add_factor(
+            DiagQuadProx(dims=(2,)),
+            [w],
+            params={"q": np.ones(2), "c": np.zeros(2)},
+        )
+        return b.build()
+
+    def test_overrides_reach_group_params(self):
+        template = self.build_template()
+        overrides = [
+            {0: {"c": np.array([float(i), -float(i)])}} for i in range(3)
+        ]
+        batch = replicate_graph(template, 3, params_per_instance=overrides)
+        (group,) = batch.graph.groups
+        np.testing.assert_allclose(
+            group.params["c"], [[0.0, 0.0], [1.0, -1.0], [2.0, -2.0]]
+        )
+
+    def test_unknown_key_rejected(self):
+        template = self.build_template()
+        with pytest.raises(ValueError, match="unknown parameter"):
+            replicate_graph(template, 2, params_per_instance=[{0: {"bogus": 1.0}}, {}])
+
+    def test_shape_mismatch_rejected(self):
+        template = self.build_template()
+        with pytest.raises(ValueError, match="shape"):
+            replicate_graph(
+                template, 2, params_per_instance=[{0: {"c": np.zeros(3)}}, {}]
+            )
+
+    def test_wrong_length_rejected(self):
+        template = self.build_template()
+        with pytest.raises(ValueError, match="params_per_instance"):
+            replicate_graph(template, 3, params_per_instance=[{}])
+
+
+class TestGraphBatchViews:
+    def test_z_roundtrip(self, chain_graph):
+        batch = replicate_graph(chain_graph, 4)
+        rows = np.arange(4 * chain_graph.z_size, dtype=float).reshape(4, -1)
+        flat = batch.pack_z(rows)
+        np.testing.assert_array_equal(batch.split_z(flat), rows)
+        np.testing.assert_array_equal(
+            flat[batch.z_slice(2)], rows[2]
+        )
+
+    def test_pack_z_broadcast_single_vector(self, chain_graph):
+        batch = replicate_graph(chain_graph, 3)
+        one = np.arange(chain_graph.z_size, dtype=float)
+        flat = batch.pack_z(one)
+        np.testing.assert_array_equal(batch.split_z(flat), np.stack([one] * 3))
+
+    def test_pack_z_bad_shape(self, chain_graph):
+        batch = replicate_graph(chain_graph, 3)
+        with pytest.raises(ValueError):
+            batch.pack_z(np.zeros((2, chain_graph.z_size)))
+
+    def test_split_slots_and_edges(self, figure1_graph):
+        batch = replicate_graph(figure1_graph, 3)
+        flat = np.arange(batch.graph.edge_size, dtype=float)
+        rows = batch.split_slots(flat)
+        assert rows.shape == (3, figure1_graph.edge_size)
+        per_edge = np.arange(batch.graph.num_edges, dtype=float)
+        erows = batch.split_edges(per_edge)
+        assert erows.shape == (3, figure1_graph.num_edges)
+
+    def test_instance_rho_scalar_per_instance(self, figure1_graph):
+        batch = replicate_graph(figure1_graph, 3)
+        rho = batch.instance_rho(np.array([1.0, 2.0, 3.0]))
+        for i in range(3):
+            np.testing.assert_allclose(rho[batch.edge_index[i]], float(i + 1))
+
+    def test_instance_rho_bad_shape(self, figure1_graph):
+        batch = replicate_graph(figure1_graph, 3)
+        with pytest.raises(ValueError):
+            batch.instance_rho(np.ones(4))
+
+    def test_instance_solution_shapes(self):
+        problem = default_problem(4)
+        batch = replicate_graph(problem.build_graph(), 2)
+        z = np.arange(batch.graph.z_size, dtype=float)
+        sol = batch.instance_solution(z, 1)
+        assert len(sol) == batch.template.num_vars
+        np.testing.assert_array_equal(
+            np.concatenate(sol), z[batch.z_slice(1)]
+        )
+
+    def test_instance_out_of_range(self, chain_graph):
+        batch = replicate_graph(chain_graph, 2)
+        with pytest.raises(IndexError):
+            batch.z_slice(2)
+
+    def test_summary_mentions_batch(self, chain_graph):
+        batch = replicate_graph(chain_graph, 2)
+        assert "B=2" in batch.summary()
+        assert "all_contiguous=True" in batch.summary()
+
+
+class TestFleetWorkloads:
+    def test_mpc_fleet_builds(self):
+        from repro.bench.workloads import mpc_fleet, mpc_fleet_problems
+
+        batch = mpc_fleet(3, horizon=4)
+        assert batch.batch_size == 3
+        assert all(g.contiguous for g in batch.graph.groups)
+        problems = mpc_fleet_problems(3, horizon=4)
+        assert len(problems) == 3
+        # Instances differ only in q0 (deterministic seeded draw).
+        assert not np.allclose(problems[0].q0, problems[1].q0)
+
+    def test_svm_fleet_builds(self):
+        from repro.bench.workloads import svm_fleet
+
+        batch = svm_fleet(2, n_points=6)
+        assert batch.batch_size == 2
+        assert all(g.contiguous for g in batch.graph.groups)
+
+    def test_fleet_validation(self):
+        from repro.bench.workloads import mpc_fleet, svm_fleet
+
+        with pytest.raises(ValueError):
+            mpc_fleet(0)
+        with pytest.raises(ValueError):
+            svm_fleet(0)
+
+
+class TestReplicateValidation:
+    def test_zero_batch_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            replicate_graph(chain_graph, 0)
+
+    def test_empty_template_rejected(self):
+        b = GraphBuilder()
+        b.add_variable(1)
+        with pytest.raises(ValueError, match="empty template"):
+            replicate_graph(b.build(), 2)
+
+    def test_consensus_template(self):
+        # Multi-variable factors replicate with correctly shifted scopes.
+        b = GraphBuilder()
+        vs = b.add_variables(3, dim=2)
+        ce = ConsensusEqualProx(k=3, dim=2)
+        dq = DiagQuadProx(dims=(2,))
+        b.add_factor(ce, vs)
+        for i, v in enumerate(vs):
+            b.add_factor(dq, [v], params={"q": [1.0, 1.0], "c": [float(i), 0.0]})
+        template = b.build()
+        batch = replicate_graph(template, 4)
+        spec = batch.graph.factors[int(batch.factor_index[3, 0])]
+        assert spec.variables == (9, 10, 11)
