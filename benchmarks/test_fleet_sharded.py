@@ -1,0 +1,97 @@
+"""Sharded fleet — instance-block shards on parallel workers vs one process.
+
+Acceptance bench for the sharding subsystem: at B=64 MPC instances the
+process-mode :class:`ShardedBatchedSolver` must beat the single-process
+``BatchedSolver`` sweep by >= 1.5x wall clock on a multicore host (each
+shard runs the same vectorized block-diagonal sweep on 1/S of the fleet,
+concurrently on its own core), while producing bit-identical per-instance
+iterates.  The speedup assertion is skipped on single-core hosts — there
+is no parallel hardware to win on — and runs non-blocking in CI (shared
+runners gate nothing on wall clock).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import time_fleet_batched, time_fleet_sharded
+from repro.bench.reporting import SeriesTable, results_path
+from repro.bench.workloads import mpc_fleet
+from repro.core.batched import BatchedSolver
+from repro.core.sharded import ShardedBatchedSolver
+
+FLEET_B = 64
+FLEET_HORIZON = 8
+FLEET_ITERS = 30
+SHARD_COUNTS = (2, 4)
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def sharded_sweep():
+    out = results_path("fleet_sharded.txt")
+    table = SeriesTable(
+        f"Sharded fleet — B={FLEET_B} x MPC(K={FLEET_HORIZON}), process-mode "
+        f"shards vs single-process batched sweep, {FLEET_ITERS} iterations "
+        f"({usable_cores()} usable cores)",
+        ("shards", "batched s", "sharded s", "speedup"),
+    )
+    batch = mpc_fleet(FLEET_B, horizon=FLEET_HORIZON)
+    batched_s = time_fleet_batched(batch, FLEET_ITERS)
+    speedups = {}
+    for shards in SHARD_COUNTS:
+        sharded_s = time_fleet_sharded(batch, FLEET_ITERS, shards, mode="process")
+        speedup = batched_s / sharded_s if sharded_s > 0 else float("inf")
+        table.add_row(shards, batched_s, sharded_s, speedup)
+        speedups[shards] = speedup
+    table.add_note(
+        "sharded: one forked worker per shard running the vectorized sweep "
+        "on its contiguous instance block; speedup needs >= 2 cores"
+    )
+    table.emit(out)
+    return speedups
+
+
+def test_sharded_iterates_match_batched():
+    """Sharding is free: shard iterates == single-process batched iterates."""
+    batch = mpc_fleet(FLEET_B, horizon=FLEET_HORIZON)
+    plain = BatchedSolver(batch, rho=10.0)
+    plain.initialize("zeros")
+    plain.iterate(5)
+    sharded = ShardedBatchedSolver(
+        mpc_fleet(FLEET_B, horizon=FLEET_HORIZON),
+        num_shards=4,
+        mode="process",
+        rho=10.0,
+    )
+    sharded.initialize("zeros")
+    sharded.iterate(5)
+    np.testing.assert_allclose(sharded.fleet_z(), plain.state.z, atol=1e-10)
+    sharded.close()
+    plain.close()
+
+
+def test_sharded_sweep_recorded(sharded_sweep):
+    """The sweep always runs and lands in results/ (the CI artifact)."""
+    assert all(s > 0 for s in sharded_sweep.values())
+    assert os.path.exists(results_path("fleet_sharded.txt"))
+
+
+@pytest.mark.skipif(
+    usable_cores() < 2,
+    reason="sharded speedup needs parallel hardware; host has one usable core",
+)
+def test_sharded_speedup_at_b64(sharded_sweep):
+    """Acceptance: sharded fleet >= 1.5x over single-process batched at B=64."""
+    best = max(sharded_sweep.values())
+    assert best >= 1.5, (
+        f"sharded fleet speedup {best:.2f}x < 1.5x at B={FLEET_B} "
+        f"(per-shard: {sharded_sweep})"
+    )

@@ -32,17 +32,44 @@ memory-coalesced, so one vectorized sweep advances every instance::
 ``BatchedSolver`` tracks residuals, stopping, and the ρ-schedule per
 instance (converged instances freeze but keep sweeping with the fleet) and
 returns one ``ADMMResult`` per instance; ``warm_start_pool`` seeds the
-fleet from previous solutions, the real-time MPC pattern at scale.
+fleet from a pool of previous solutions (cycled when smaller than the
+fleet), the real-time MPC pattern at scale.
+
+Sharded + elastic fleets
+------------------------
+``ShardedBatchedSolver`` splits a ``GraphBatch`` into contiguous
+instance-block shards — zero-copy z slices, thanks to the instance-major
+layout — and drives one vectorized worker per shard (forked process or
+pool thread), with residuals, stopping masks, and ρ-schedules still
+per-instance, aggregated across shards::
+
+    from repro import ShardedBatchedSolver
+
+    results = ShardedBatchedSolver(batch, num_shards=4).solve_batch()
+
+Batches are elastic: ``BatchedSolver.add_instances`` /
+``remove_instances`` (and the ``GraphBatch`` methods underneath) grow or
+shrink a running fleet between solves while surviving instances keep their
+iterates, duals, and penalties bit-for-bit (the randomized-async backend
+re-binds across a resize, restarting its per-instance streams).  The
+three-weight and randomized-async variants run through the same fleet path
+(``solve_batch_twa``, ``solve_batch_async``, and the ``variant`` argument
+of ``ShardedBatchedSolver``) with per-instance randomized streams, so
+every combination stays numerically identical to solo solves.
 
 Testing layers
 --------------
-The suite guards the engine at three levels: a cross-backend equivalence
+The suite guards the engine at four levels: a cross-backend equivalence
 matrix (every scheduling strategy must reproduce the serial iterates
-bit-for-bit — ``tests/test_backend_equivalence.py``), property-based
-invariants on every registered convex proximal operator (nonexpansiveness
-and the fixed-point property at the minimizer —
-``tests/test_prox_properties.py``), and golden-trace regressions pinning
-the residual trajectory of a reference solve against drift
+bit-for-bit — ``tests/test_backend_equivalence.py``), a fleet equivalence
+matrix (every backend x {plain, sharded} x {classic, three-weight, async}
+combination must match solo solves per instance —
+``tests/test_fleet_equivalence.py``, with elastic add/remove property
+tests in ``tests/test_fleet_elastic.py``), property-based invariants on
+every registered convex proximal operator (nonexpansiveness and the
+fixed-point property at the minimizer — ``tests/test_prox_properties.py``),
+and golden-trace regressions pinning the residual trajectories of
+reference solves (figure-1, MPC, SVM) against drift
 (``tests/test_golden_trace.py``).
 
 Subpackages
@@ -70,6 +97,8 @@ from repro.core import (
     BatchedSolver,
     MaxIterations,
     ResidualTolerance,
+    ShardedBatchedSolver,
+    carry_state,
     classic_admm,
 )
 from repro.backends import (
@@ -93,6 +122,8 @@ __all__ = [
     "ADMMSolver",
     "ADMMState",
     "BatchedSolver",
+    "ShardedBatchedSolver",
+    "carry_state",
     "MaxIterations",
     "ResidualTolerance",
     "classic_admm",

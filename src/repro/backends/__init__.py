@@ -6,7 +6,7 @@ from repro.backends.vectorized import ThreeWeightBackend, VectorizedBackend
 from repro.backends.threaded import ThreadedBackend, edge_balanced_boundaries
 from repro.backends.persistent import PersistentWorkerBackend
 from repro.backends.process import ProcessBackend
-from repro.backends.randomized import RandomizedBackend
+from repro.backends.randomized import FleetRandomizedBackend, RandomizedBackend
 from repro.backends.validating import InvariantViolation, ValidatingBackend
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "PersistentWorkerBackend",
     "ProcessBackend",
     "RandomizedBackend",
+    "FleetRandomizedBackend",
     "InvariantViolation",
     "ValidatingBackend",
 ]

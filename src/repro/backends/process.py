@@ -43,6 +43,28 @@ def _as_np(raw) -> np.ndarray:
     return np.frombuffer(raw, dtype=np.float64)
 
 
+def shared_state_buffers(ctx, graph: FactorGraph):
+    """Allocate one shared-memory block per iterate family of ``graph``.
+
+    Returns ``(raws, views, sizes)`` for the seven arrays
+    ``x, m, u, n, z, rho, alpha`` (in that order) — the mirror every
+    shared-memory worker scheme uses (:class:`ProcessBackend` here, the
+    shard workers of :class:`repro.core.sharded.ShardedBatchedSolver`).
+    """
+    sizes = [
+        graph.edge_size,  # x
+        graph.edge_size,  # m
+        graph.edge_size,  # u
+        graph.edge_size,  # n
+        graph.z_size,  # z
+        graph.num_edges,  # rho
+        graph.num_edges,  # alpha
+    ]
+    raws = [ctx.RawArray("d", max(s, 1)) for s in sizes]
+    views = [_as_np(r)[:s] for r, s in zip(raws, sizes)]
+    return raws, views, sizes
+
+
 def _worker_main(w, graph, raws, ranges, barrier, cmd_q, done_q):
     """Worker loop: execute run commands over this worker's element ranges."""
     state = _SharedState(*[_as_np(r) for r in raws])
@@ -104,17 +126,7 @@ class ProcessBackend(Backend):
             return
         self.close()
         ctx = mp.get_context("fork")
-        sizes = [
-            graph.edge_size,  # x
-            graph.edge_size,  # m
-            graph.edge_size,  # u
-            graph.edge_size,  # n
-            graph.z_size,  # z
-            graph.num_edges,  # rho
-            graph.num_edges,  # alpha
-        ]
-        self._raws = [ctx.RawArray("d", max(s, 1)) for s in sizes]
-        self._views = [_as_np(r)[:s] for r, s in zip(self._raws, sizes)]
+        self._raws, self._views, _ = shared_state_buffers(ctx, graph)
         barrier = ctx.Barrier(self.num_workers)
         self._done_q = ctx.Queue()
         self._cmd_qs = [ctx.Queue() for _ in range(self.num_workers)]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 
 from repro.backends.base import Backend
-from repro.core.async_admm import AsyncSweepPlan, run_iteration_async
+from repro.core.async_admm import AsyncSweepPlan, FleetSweepPlan, run_iteration_async
 from repro.core.state import ADMMState
 from repro.graph.factor_graph import FactorGraph
 from repro.utils.timing import KernelTimers
@@ -58,3 +58,53 @@ class RandomizedBackend(Backend):
             run_iteration_async(graph, state, self._plan.draw())
             timers["x"].elapsed += time.perf_counter() - t0
             timers["x"].calls += 1
+
+
+class FleetRandomizedBackend(RandomizedBackend):
+    """Randomized-block sweeps over a batched fleet, per-instance streams.
+
+    Backend form of :class:`repro.core.async_admm.FleetSweepPlan`: plug into
+    :class:`repro.core.batched.BatchedSolver` and every instance of the
+    fleet follows exactly the randomized trajectory a solo
+    :class:`RandomizedBackend` with seed ``seed + instance_offset + i``
+    would produce on that instance alone.  ``instance_offset`` makes shard
+    backends (covering global instances ``[lo, hi)``) draw the unsharded
+    fleet's streams.  The sweep loop is inherited; only the plan (fleet
+    masks instead of whole-graph masks) differs.
+    """
+
+    name = "fleet_randomized"
+
+    def __init__(
+        self,
+        batch,
+        fraction: float = 0.5,
+        seed: int | None = None,
+        instance_offset: int = 0,
+    ) -> None:
+        super().__init__(fraction=fraction, seed=seed)
+        self.batch = batch
+        self.instance_offset = int(instance_offset)
+
+    def rebind(self, batch) -> None:
+        """Re-bind to a resized batch (the elastic add/remove path).
+
+        The per-instance streams restart from their seeds for the new
+        fleet layout — sweep history is not replayed across a resize.
+        """
+        self.batch = batch
+        self._plan = None
+        self._graph = None
+
+    def prepare(self, graph: FactorGraph) -> None:
+        if graph is not self.batch.graph:
+            raise ValueError(
+                "FleetRandomizedBackend is bound to its batch's graph; "
+                "got a different graph (after an elastic resize, call "
+                "rebind(new_batch) — BatchedSolver's elastic methods do)"
+            )
+        if self._plan is None:
+            self._plan = FleetSweepPlan(
+                self.batch, self.fraction, self.seed, self.instance_offset
+            )
+            self._graph = graph

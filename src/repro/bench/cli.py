@@ -58,29 +58,109 @@ def run_model_sweep(app: str, sizes) -> int:
 
 
 def run_fleet(args) -> int:
-    """Batched fleet solving vs a per-instance loop (vectorized backend)."""
-    from repro.bench.harness import time_fleet_batched, time_fleet_loop
+    """Batched fleet solving vs a per-instance loop (vectorized backend).
+
+    ``--shards N`` adds the sharded path (one vectorized worker per shard,
+    ``--mode`` process/thread); ``--elastic`` appends an add/remove demo
+    showing survivors' iterates are preserved bit-for-bit.
+    """
+    from repro.bench.harness import (
+        time_fleet_batched,
+        time_fleet_loop,
+        time_fleet_sharded,
+    )
     from repro.bench.workloads import mpc_fleet
 
     sizes = args.sizes if args.sizes else (4, 16, 64)
     iterations = 30
+    columns = ["B", "elements", "loop s", "batched s", "speedup"]
+    if args.shards:
+        columns += ["shards", "sharded s", "shard x"]
     t = SeriesTable(
         f"MPC fleet (horizon {args.horizon}) — batched sweep vs per-instance "
         f"loop, {iterations} iterations",
-        ("B", "elements", "loop s", "batched s", "speedup"),
+        tuple(columns),
     )
     for B in sizes:
         batch = mpc_fleet(B, horizon=args.horizon)
         loop_s = time_fleet_loop(batch.template, B, iterations)
         batched_s = time_fleet_batched(batch, iterations)
-        t.add_row(
+        row = [
             B,
             batch.graph.num_elements,
             loop_s,
             batched_s,
             loop_s / batched_s if batched_s > 0 else float("inf"),
+        ]
+        if args.shards:
+            shards = min(args.shards, B)  # a shard needs >= 1 instance
+            sharded_s = time_fleet_sharded(batch, iterations, shards, args.mode)
+            row += [
+                shards,
+                sharded_s,
+                batched_s / sharded_s if sharded_s > 0 else float("inf"),
+            ]
+        t.add_row(*row)
+    if args.shards:
+        t.add_note(
+            f"sharded: {args.mode}-mode ShardedBatchedSolver with the row's "
+            "shard count (requested shards clamped to B); shard x = "
+            "batched s / sharded s (needs multiple cores to exceed 1)"
         )
     t.emit()
+    if args.elastic:
+        run_fleet_elastic_demo(args, iterations)
+    return 0
+
+
+def run_fleet_elastic_demo(args, iterations: int) -> int:
+    """Elastic fleet demo: grow/shrink between solves, survivors untouched."""
+    import numpy as np
+
+    from repro.core.batched import BatchedSolver
+    from repro.bench.workloads import mpc_fleet
+
+    B = args.sizes[-1] if args.sizes else 8
+    if B < 2:
+        print("\n(elastic demo needs a fleet of >= 2 instances; skipping)")
+        return 0
+    batch = mpc_fleet(B, horizon=args.horizon)
+    solver = BatchedSolver(batch, rho=10.0)
+    solver.initialize("zeros")
+    reference = BatchedSolver(mpc_fleet(B, horizon=args.horizon), rho=10.0)
+    reference.initialize("zeros")
+
+    t = SeriesTable(
+        f"Elastic fleet demo (horizon {args.horizon}) — add/remove between "
+        "solves, survivors bit-identical",
+        ("op", "B", "fleet iter", "max |dz| survivors"),
+    )
+    drop = list(range(0, B, 3))
+    survivors = [i for i in range(B) if i not in drop]
+
+    def dev() -> float:
+        rows = solver.batch.split_z(solver.state.z)
+        ref_rows = reference.batch.split_z(reference.state.z)
+        pairs = zip(rows, (ref_rows[i] for i in survivors))
+        return max(float(np.max(np.abs(a - b))) for a, b in pairs)
+
+    solver.iterate(iterations)
+    reference.iterate(iterations)
+    t.add_row("solve", solver.batch_size, solver.state.iteration, 0.0)
+    solver.remove_instances(drop)
+    t.add_row(f"remove {len(drop)}", solver.batch_size, solver.state.iteration, dev())
+    solver.iterate(iterations)
+    reference.iterate(iterations)
+    t.add_row("solve", solver.batch_size, solver.state.iteration, dev())
+    solver.add_instances(len(drop))
+    t.add_row(f"add {len(drop)} cold", solver.batch_size, solver.state.iteration, dev())
+    t.add_note(
+        "max |dz| survivors compares surviving instances against an untouched "
+        "fleet advanced the same number of sweeps (0 = bit-identical)"
+    )
+    t.emit()
+    solver.close()
+    reference.close()
     return 0
 
 
@@ -104,7 +184,7 @@ COMMANDS = {
     "fig10": "MPC GPU model sweep",
     "fig13": "SVM GPU model sweep",
     "ntb": "threads-per-block sweep",
-    "fleet": "batched multi-instance solving vs per-instance loop",
+    "fleet": "batched/sharded multi-instance solving vs per-instance loop",
 }
 
 
@@ -114,6 +194,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sizes", type=int, nargs="*", default=None)
     parser.add_argument("--packing-n", type=int, default=5000)
     parser.add_argument("--horizon", type=int, default=8)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="fleet: also time a ShardedBatchedSolver with this many shards",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("process", "thread"),
+        default="process",
+        help="fleet: shard worker mode",
+    )
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="fleet: append the elastic add/remove demo",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         for name, desc in COMMANDS.items():

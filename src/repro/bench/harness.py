@@ -127,6 +127,32 @@ def time_fleet_batched(batch, iterations: int, rho: float = 10.0) -> float:
     return elapsed
 
 
+def time_fleet_sharded(
+    batch,
+    iterations: int,
+    num_shards: int,
+    mode: str = "process",
+    rho: float = 10.0,
+) -> float:
+    """Wall time of the sharded path: one vectorized worker per shard.
+
+    Worker startup (fork, sub-batch construction) happens outside the timed
+    region — it is a once-per-fleet cost, amortized over every solve of a
+    long-lived service — while initialization and sweeps are timed exactly
+    as in :func:`time_fleet_batched`.
+    """
+    from repro.core.sharded import ShardedBatchedSolver
+
+    solver = ShardedBatchedSolver(batch, num_shards=num_shards, mode=mode, rho=rho)
+    solver.iterate(1)  # warmup
+    t0 = time.perf_counter()
+    solver.initialize("zeros")
+    solver.iterate(iterations)
+    elapsed = time.perf_counter() - t0
+    solver.close()
+    return elapsed
+
+
 def compare_backends(
     graph: FactorGraph,
     baseline: Backend,

@@ -2,7 +2,13 @@
 
 from repro.core.state import ADMMState
 from repro.core.solver import ADMMSolver
-from repro.core.batched import BatchedSolver, per_instance_residuals
+from repro.core.batched import (
+    BatchedSolver,
+    carry_state,
+    normalize_pool,
+    per_instance_residuals,
+)
+from repro.core.sharded import ShardedBatchedSolver, run_variant_sweeps
 from repro.core.diagnostics import ADMMResult, SolveHistory
 from repro.core.residuals import (
     Residuals,
@@ -24,15 +30,29 @@ from repro.core.parameters import (
     apply_rho_scale,
 )
 from repro.core.classic import ClassicADMMResult, classic_admm
-from repro.core.three_weight import run_iteration_twa
-from repro.core.async_admm import AsyncSweepPlan, run_iteration_async, solve_async
+from repro.core.three_weight import (
+    run_iteration_twa,
+    run_iterations_twa,
+    solve_batch_twa,
+)
+from repro.core.async_admm import (
+    AsyncSweepPlan,
+    FleetSweepPlan,
+    run_iteration_async,
+    solve_async,
+    solve_batch_async,
+)
 from repro.core import updates
 
 __all__ = [
     "ADMMState",
     "ADMMSolver",
     "BatchedSolver",
+    "ShardedBatchedSolver",
+    "carry_state",
+    "normalize_pool",
     "per_instance_residuals",
+    "run_variant_sweeps",
     "ADMMResult",
     "SolveHistory",
     "Residuals",
@@ -51,8 +71,12 @@ __all__ = [
     "ClassicADMMResult",
     "classic_admm",
     "run_iteration_twa",
+    "run_iterations_twa",
+    "solve_batch_twa",
     "AsyncSweepPlan",
+    "FleetSweepPlan",
     "run_iteration_async",
     "solve_async",
+    "solve_batch_async",
     "updates",
 ]

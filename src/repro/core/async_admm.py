@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.state import ADMMState
 from repro.graph.factor_graph import FactorGraph
-from repro.utils.rng import default_rng
+from repro.utils.rng import DEFAULT_SEED, default_rng
 
 
 class AsyncSweepPlan:
@@ -105,3 +105,76 @@ def solve_async(
     for _ in range(iterations):
         run_iteration_async(graph, state, plan.draw())
     return state
+
+
+# --------------------------------------------------------------------- #
+# Batch-aware entry points: randomized sweeps over a fleet.              #
+# --------------------------------------------------------------------- #
+
+
+class FleetSweepPlan:
+    """Per-instance randomized plans for a :class:`~repro.graph.batch.GraphBatch`.
+
+    Instance ``i`` owns an independent :class:`AsyncSweepPlan` over the
+    *template* graph, seeded ``seed + instance_offset + i`` — exactly the
+    stream a solo randomized solve of that instance with that seed draws.
+    Each :meth:`draw` maps the per-instance template masks through
+    ``batch.factor_index`` into one batched factor mask, so a fleet sweep
+    fires precisely the factors the ``B`` solo sweeps would: randomized
+    fleet solving stays per-instance equivalent to solo solving (the
+    property the fleet equivalence matrix pins at 1e-10).
+
+    ``instance_offset`` shifts the seed base so a shard covering global
+    instances ``[lo, hi)`` (``instance_offset=lo``) draws the same
+    per-instance streams as the unsharded fleet.
+    """
+
+    def __init__(
+        self,
+        batch,
+        fraction: float = 0.5,
+        seed: int | None = None,
+        instance_offset: int = 0,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.batch = batch
+        self.fraction = float(fraction)
+        base = DEFAULT_SEED if seed is None else int(seed)
+        self.plans = [
+            AsyncSweepPlan(batch.template, fraction, base + instance_offset + i)
+            for i in range(batch.batch_size)
+        ]
+
+    def draw(self) -> np.ndarray:
+        """Boolean mask over the batched graph's factors for one sweep."""
+        mask = np.zeros(self.batch.graph.num_factors, dtype=bool)
+        for i, plan in enumerate(self.plans):
+            mask[self.batch.factor_index[i]] = plan.draw()
+        return mask
+
+
+def solve_batch_async(
+    batch,
+    fraction: float = 0.5,
+    seed: int | None = None,
+    rho=1.0,
+    alpha=1.0,
+    schedule=None,
+    **solve_kwargs,
+):
+    """Randomized-block fleet solve: one result per instance.
+
+    Batch-aware analog of wrapping :class:`AsyncSweepPlan` in a solo
+    solver — drives :class:`repro.core.batched.BatchedSolver` with a
+    :class:`repro.backends.randomized.FleetRandomizedBackend` so residuals,
+    stopping masks, and ρ-schedules stay per-instance.
+    """
+    from repro.backends.randomized import FleetRandomizedBackend
+    from repro.core.batched import BatchedSolver
+
+    backend = FleetRandomizedBackend(batch, fraction=fraction, seed=seed)
+    with BatchedSolver(
+        batch, backend=backend, rho=rho, alpha=alpha, schedule=schedule
+    ) as solver:
+        return solver.solve_batch(**solve_kwargs)

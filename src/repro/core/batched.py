@@ -16,10 +16,17 @@ batching win is that one vectorized sweep advances all ``B`` problems.  The
 * the penalty schedule runs one independent copy per instance, applied
   through per-edge ρ scaling so converged instances are untouched;
 * :meth:`BatchedSolver.warm_start_pool` seeds each instance from a pool of
-  previous solutions (the real-time MPC pattern, fleet-sized).
+  previous solutions (cycled when smaller than the fleet — the real-time
+  MPC pattern, fleet-sized);
+* the fleet is **elastic**: :meth:`BatchedSolver.add_instances` /
+  :meth:`BatchedSolver.remove_instances` (via :func:`carry_state`) grow or
+  shrink a running fleet between solves while surviving instances keep
+  their iterates, duals, and per-edge penalties bit-for-bit.
 
 ``solve_batch`` returns one :class:`ADMMResult` per instance, byte-for-byte
 comparable to solving that instance alone for the same iteration count.
+:class:`repro.core.sharded.ShardedBatchedSolver` scales the same outer loop
+across worker processes, one contiguous instance block per shard.
 """
 
 from __future__ import annotations
@@ -75,6 +82,110 @@ def per_instance_residuals(
     ]
 
 
+def normalize_pool(pool, batch_size: int, z_size: int) -> np.ndarray:
+    """Normalize a warm-start pool to one ``(B, z_size)`` row per instance.
+
+    Accepts a ``(P, z_size)`` matrix or length-``P`` sequence for any
+    ``P >= 1`` — a pool smaller than the fleet is *cycled* (instance ``i``
+    takes row ``i % P``, the round-robin reuse pattern of a solution cache
+    that has not seen every instance yet; a pool larger than the fleet
+    contributes its first ``B`` rows by the same rule).  A single
+    ``(z_size,)`` vector broadcasts to every instance.
+    """
+    arr = np.asarray(
+        pool if not isinstance(pool, (list, tuple))
+        else np.stack([np.asarray(v, dtype=np.float64) for v in pool]),
+        dtype=np.float64,
+    )
+    if arr.shape == (z_size,):
+        return np.broadcast_to(arr, (batch_size, z_size))
+    if arr.ndim != 2 or arr.shape[1] != z_size or arr.shape[0] < 1:
+        raise ValueError(
+            f"pool must be ({z_size},), or (P, {z_size}) with P >= 1; "
+            f"got shape {arr.shape}"
+        )
+    if arr.shape[0] == batch_size:
+        return arr
+    return arr[np.arange(batch_size) % arr.shape[0]]
+
+
+def carry_state(
+    old_batch: GraphBatch,
+    old_state: ADMMState,
+    new_batch: GraphBatch,
+    sources,
+    fresh_rho=1.0,
+    fresh_alpha=1.0,
+) -> ADMMState:
+    """Map per-instance iterates from one batch layout to another.
+
+    ``sources[j]`` names the old instance whose state seeds new instance
+    ``j``, or ``-1`` for a cold instance (all-zeros iterate, ``fresh_rho`` /
+    ``fresh_alpha`` penalties — scalar or template-per-edge ``(E_t,)``).
+    Carried instances keep their x/m/u/n/z families, per-edge ρ/α, *and*
+    the scaled dual ``u`` bit-for-bit: because every per-instance quantity
+    is gathered through the index maps, a carried instance's subsequent
+    sweeps are identical to the ones it would have taken in the old batch.
+    The fleet iteration counter is carried so segmented solves stay aligned
+    across elastic resizes.  TWA certainty weights are transient (recomputed
+    by the next x-update) and are not carried.
+    """
+    if old_batch.template is not new_batch.template and (
+        old_batch.template.num_factors != new_batch.template.num_factors
+        or old_batch.template.z_size != new_batch.template.z_size
+    ):
+        raise ValueError("old and new batches must share a template layout")
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.shape != (new_batch.batch_size,):
+        raise ValueError(
+            f"sources must have shape ({new_batch.batch_size},), "
+            f"got {sources.shape}"
+        )
+    if np.any(sources >= old_batch.batch_size) or np.any(sources < -1):
+        raise ValueError(
+            "sources must be old instance ids in [0, old B) or the cold "
+            "sentinel -1"
+        )
+
+    new_graph = new_batch.graph
+    state = ADMMState(new_graph)
+    rho = np.empty(new_graph.num_edges)
+    alpha = np.empty(new_graph.num_edges)
+    for arr, fresh in ((rho, fresh_rho), (alpha, fresh_alpha)):
+        fresh_arr = np.asarray(fresh, dtype=np.float64)
+        if fresh_arr.ndim == 0:
+            arr.fill(float(fresh_arr))
+        elif fresh_arr.shape == (new_batch.template.num_edges,):
+            arr[new_batch.edge_index] = fresh_arr
+        else:
+            raise ValueError(
+                f"fresh penalty must be scalar or "
+                f"({new_batch.template.num_edges},), got {fresh_arr.shape}"
+            )
+
+    carried = np.flatnonzero(sources >= 0)
+    if carried.size:
+        old_ids = sources[carried]
+        new_slots = new_batch.slot_index[carried].reshape(-1)
+        old_slots = old_batch.slot_index[old_ids].reshape(-1)
+        for family in ("x", "m", "u", "n"):
+            getattr(state, family)[new_slots] = getattr(old_state, family)[old_slots]
+        zt = new_batch.template.z_size
+        state.z.reshape(new_batch.batch_size, zt)[carried] = (
+            old_state.z.reshape(old_batch.batch_size, zt)[old_ids]
+        )
+        rho[new_batch.edge_index[carried]] = (
+            old_state.rho[old_batch.edge_index[old_ids]]
+        )
+        alpha[new_batch.edge_index[carried]] = (
+            old_state.alpha[old_batch.edge_index[old_ids]]
+        )
+    state.set_rho(rho)
+    state.set_alpha(alpha)
+    state.iteration = old_state.iteration
+    return state
+
+
 class BatchedSolver:
     """Lockstep ADMM over a :class:`GraphBatch` of independent instances.
 
@@ -102,6 +213,11 @@ class BatchedSolver:
         # preparation; the batched outer loop below replaces .solve().
         self._solver = ADMMSolver(batch.graph, backend=backend, rho=rho, alpha=alpha)
         self.schedule = schedule if schedule is not None else ConstantPenalty()
+        # Construction-time penalties, in template edge order: the defaults
+        # cold instances receive when the fleet grows (schedule drift on the
+        # running fleet must not leak into newcomers).
+        self._fresh_rho = self.batch.split_edges(self.state.rho)[0].copy()
+        self._fresh_alpha = self.batch.split_edges(self.state.alpha)[0].copy()
 
     # ------------------------------------------------------------------ #
     @property
@@ -128,11 +244,76 @@ class BatchedSolver:
     def warm_start_pool(self, pool) -> ADMMState:
         """Seed every instance from a pool of previous solutions.
 
-        ``pool`` is a ``(B, z_size)`` matrix, a length-``B`` sequence of
-        per-instance z vectors, or one ``(z_size,)`` vector broadcast to the
-        whole fleet (template layout; ``z_size`` is the template's).
+        ``pool`` is a ``(P, z_size)`` matrix or length-``P`` sequence of
+        per-instance z vectors for any ``P >= 1``, or one ``(z_size,)``
+        vector broadcast to the whole fleet (template layout; ``z_size`` is
+        the template's).  A pool smaller than the fleet — the steady state
+        of a solution cache while a fleet grows — is cycled: instance ``i``
+        is seeded from row ``i % P``.
         """
-        return self.state.init_from_z(self.batch.pack_z(pool))
+        rows = normalize_pool(pool, self.batch.batch_size, self.batch.template.z_size)
+        return self.state.init_from_z(self.batch.pack_z(rows))
+
+    # ------------------------------------------------------------------ #
+    # Elastic fleet: grow/shrink between solves, preserving iterates.      #
+    # ------------------------------------------------------------------ #
+    def add_instances(self, new_instances, rho=None, alpha=None) -> None:
+        """Grow the fleet in place, appending cold instances.
+
+        ``new_instances`` is a count or a sequence of per-factor override
+        mappings (see :meth:`GraphBatch.add_instances`).  Existing instances
+        keep their iterates, duals, and per-edge penalties bit-for-bit; new
+        instances start from zeros with ``rho``/``alpha`` penalties.  The
+        default is the fleet's construction-time values — so schedule drift
+        on the running fleet does not leak into newcomers — taken from
+        *instance 0's* row; if the fleet was constructed with per-instance
+        penalties, pass ``rho``/``alpha`` explicitly rather than relying on
+        that arbitrary choice.
+        """
+        new_batch = self.batch.add_instances(new_instances)
+        n_new = new_batch.batch_size - self.batch.batch_size
+        sources = list(range(self.batch.batch_size)) + [-1] * n_new
+        self._adopt(new_batch, sources, rho, alpha)
+
+    def remove_instances(self, drop) -> None:
+        """Shrink the fleet in place, dropping the given instances.
+
+        Survivors keep their relative order and their iterates, duals, and
+        per-edge penalties bit-for-bit — with a deterministic backend their
+        subsequent sweeps are identical to the ones they would have taken
+        in the unshrunk fleet.  (A batch-bound randomized backend re-binds
+        to the new layout and restarts its per-instance streams from their
+        seeds, so post-resize *randomized* trajectories are freshly seeded,
+        not a continuation.)
+        """
+        dropset = {int(i) for i in drop}
+        survivors = [
+            i for i in range(self.batch.batch_size) if i not in dropset
+        ]
+        new_batch = self.batch.remove_instances(dropset)
+        self._adopt(new_batch, survivors, None, None)
+
+    def _adopt(self, new_batch: GraphBatch, sources, rho, alpha) -> None:
+        """Swap in a resized batch, carrying per-instance state across."""
+        state = carry_state(
+            self.batch,
+            self.state,
+            new_batch,
+            sources,
+            fresh_rho=self._fresh_rho if rho is None else rho,
+            fresh_alpha=self._fresh_alpha if alpha is None else alpha,
+        )
+        backend = self.backend
+        # Rebuild the inner driver on the new graph; the backend is reused
+        # (its prepare() re-plans for the new graph, re-forking workers if
+        # it owns any).  Batch-bound backends re-bind to the resized batch
+        # first; their per-instance streams restart for the new layout.
+        rebind = getattr(backend, "rebind", None)
+        if rebind is not None:
+            rebind(new_batch)
+        self._solver = ADMMSolver(new_batch.graph, backend=backend)
+        self._solver.state = state
+        self.batch = new_batch
 
     def iterate(self, iterations: int, timers: KernelTimers | None = None) -> None:
         """Advance the whole fleet a fixed number of sweeps (benchmark mode)."""
@@ -155,6 +336,10 @@ class BatchedSolver:
         it first converged (it keeps sweeping afterwards, so its returned
         ``z`` reflects the final iterate — at least as tight).  The shared
         ``timers``/``wall_time`` cover the whole fleet run.
+
+        :meth:`ShardedBatchedSolver.solve_batch` mirrors this outer loop
+        shard-locally; behavioral changes must be made in both (parity is
+        pinned by ``tests/test_fleet_sharding.py::TestMatchesBatched``).
         """
         if max_iterations < 0:
             raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
@@ -177,9 +362,11 @@ class BatchedSolver:
         rho_by_instance = self.batch.split_edges(state.rho)
         t0 = time.perf_counter()
 
-        if max_iterations == 0:
-            # Same contract as ADMMSolver.solve(max_iterations=0): residuals
-            # of the initial iterate, computed once, converged=False.
+        if state.iteration >= max_iterations:
+            # No sweeps will run (max_iterations == 0, or a kept iterate
+            # already past the cap) — same contract as
+            # ADMMSolver.solve(max_iterations=0): residuals of the current
+            # iterate, computed once, converged=False.
             res = per_instance_residuals(
                 self.batch, state, state.z, eps_abs, eps_rel
             )

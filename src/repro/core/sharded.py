@@ -1,0 +1,592 @@
+"""Sharded fleet solving: contiguous instance blocks on parallel workers.
+
+:class:`repro.core.batched.BatchedSolver` advances a whole fleet with one
+vectorized sweep — fine-grained parallelism *within* one process.  This
+module adds the next axis the ROADMAP names: split a
+:class:`~repro.graph.batch.GraphBatch` into contiguous **instance-block
+shards** and drive one worker per shard, so a fleet scales across cores
+(process mode) the way a single graph scales across SIMD lanes.
+
+Sharding exploits the batch layout guarantees:
+
+* variables are instance-major, so a shard covering instances ``[lo, hi)``
+  owns one contiguous z block of the fleet iterate (``fleet_z`` is a plain
+  concatenation of shard z arrays, and splitting costs nothing);
+* every instance records its exact factor parameters, so
+  :meth:`GraphBatch.select_instances` re-replicates a shard's sub-batch
+  whose per-instance math is bit-identical to the unsharded fleet's.
+
+Workers run the *vectorized* sweep over their shard's block-diagonal
+sub-graph (not the per-element loops of
+:class:`~repro.backends.process.ProcessBackend`): each shard is itself a
+batched fleet, so the paper's memory-coalesced fast path is preserved
+inside every worker.  Two execution modes:
+
+``process``
+    one forked OS process per shard, iterate in shared memory, commands
+    over queues — true multicore scaling, the production mode;
+``thread``
+    one pool thread per shard — no fork cost, concurrency limited to the
+    GIL-released portions of NumPy kernels, the portable/debug mode.
+
+The outer loop stays per-instance exactly as in ``BatchedSolver``:
+residuals, stopping masks, and ρ-schedules are evaluated per instance and
+aggregated across shards (a shard whose every instance froze still sweeps
+with the fleet).  All three sweep variants run through the same path:
+``classic`` (Algorithm 2), ``three_weight``
+(:func:`repro.core.three_weight.run_iterations_twa`), and ``async``
+(randomized-block sweeps with the per-instance streams of
+:class:`repro.core.async_admm.FleetSweepPlan`, seeded by *global* instance
+index so sharded == unsharded == solo).
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import queue
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+
+import numpy as np
+
+from repro.core import updates
+from repro.core.async_admm import FleetSweepPlan, run_iteration_async
+from repro.core.batched import normalize_pool, per_instance_residuals
+from repro.core.diagnostics import ADMMResult, SolveHistory
+from repro.core.parameters import ConstantPenalty, PenaltySchedule, apply_rho_scale
+from repro.core.residuals import Residuals
+from repro.core.state import ADMMState
+from repro.core.three_weight import run_iterations_twa
+from repro.graph.batch import GraphBatch
+from repro.graph.partition import contiguous_chunks
+from repro.utils.rng import DEFAULT_SEED
+from repro.utils.timing import KernelTimers
+
+VARIANTS = ("classic", "three_weight", "async")
+MODES = ("process", "thread")
+
+
+def run_variant_sweeps(
+    graph, state: ADMMState, iterations: int, variant: str, plan=None
+) -> None:
+    """Advance ``state`` by ``iterations`` sweeps of the chosen variant.
+
+    The single sweep loop shared by both shard execution modes; ``plan``
+    (a :class:`FleetSweepPlan`) is required for the ``async`` variant.
+    """
+    if variant == "classic":
+        for _ in range(iterations):
+            updates.run_iteration(graph, state)
+    elif variant == "three_weight":
+        run_iterations_twa(graph, state, iterations)
+    elif variant == "async":
+        if plan is None:
+            raise ValueError("the async variant needs a FleetSweepPlan")
+        for _ in range(iterations):
+            run_iteration_async(graph, state, plan.draw())
+    else:
+        raise ValueError(f"unknown variant {variant!r}; use one of {VARIANTS}")
+
+
+# The shared-memory mirror follows repro.backends.process.shared_state_buffers
+# order: x, m, u, n, z, rho, alpha.  These three helpers are the only places
+# that order is spelled out.
+
+
+def _push_shared(views, state: ADMMState) -> None:
+    """Parent -> shared: the full iterate plus penalties."""
+    for view, arr in zip(
+        views,
+        (state.x, state.m, state.u, state.n, state.z, state.rho, state.alpha),
+    ):
+        view[:] = arr
+
+
+def _pull_families(views, state: ADMMState) -> None:
+    """Shared -> state: the five families a sweep advances (x, m, u, n, z)."""
+    for view, arr in zip(views[:5], (state.x, state.m, state.u, state.n, state.z)):
+        arr[:] = view
+
+
+def _push_families(views, state: ADMMState) -> None:
+    """State -> shared: the five families a sweep advances."""
+    for view, arr in zip(views[:5], (state.x, state.m, state.u, state.n, state.z)):
+        view[:] = arr
+
+
+def _shard_worker_main(graph, variant, plan, raws, sizes, cmd_q, done_q):
+    """Worker loop: vectorized variant sweeps over this shard's sub-graph.
+
+    The iterate lives in shared memory; every run command reloads it (the
+    parent may have warm-started, frozen, or ρ-rescaled instances between
+    runs) and writes the advanced families back.  Exceptions are reported
+    back on ``done_q`` (the worker survives them), so a bad per-instance
+    parameter fails the fleet solve instead of hanging it.
+    """
+    from repro.backends.process import _as_np
+
+    views = [_as_np(r)[:s] for r, s in zip(raws, sizes)]
+    state = ADMMState(graph)
+    while True:
+        cmd = cmd_q.get()
+        if cmd[0] == "stop":
+            return
+        iterations = cmd[1]
+        try:
+            _pull_families(views, state)
+            state.set_rho(views[5].copy())
+            state.set_alpha(views[6].copy())
+            t0 = time.perf_counter()
+            run_variant_sweeps(graph, state, iterations, variant, plan)
+            elapsed = time.perf_counter() - t0
+        except Exception as err:  # noqa: BLE001 - relayed to the parent
+            done_q.put(("error", f"{type(err).__name__}: {err}"))
+            continue
+        _push_families(views, state)
+        done_q.put(("ok", elapsed))
+
+
+class _Shard:
+    """One contiguous instance block: its sub-batch, state, and worker."""
+
+    def __init__(self, sub_batch: GraphBatch, lo: int, hi: int) -> None:
+        self.batch = sub_batch
+        self.lo = lo
+        self.hi = hi
+        self.state: ADMMState | None = None
+        self.plan: FleetSweepPlan | None = None
+        # process-mode plumbing
+        self.proc: mp.Process | None = None
+        self.views: list[np.ndarray] = []
+        self.cmd_q = None
+        self.done_q = None
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+class ShardedBatchedSolver:
+    """Fleet ADMM over instance-block shards, one parallel worker each.
+
+    Parameters mirror :class:`~repro.core.batched.BatchedSolver`; ``rho``
+    additionally accepts ``(B,)`` per-instance or ``(B, E_t)``
+    per-instance-per-edge arrays (fleet order — the solver routes each
+    shard its rows).  ``variant`` selects the sweep math (``classic`` /
+    ``three_weight`` / ``async``); ``fraction``/``seed`` parameterize the
+    async variant's per-instance randomized streams.
+
+    Per-instance results are numerically identical to a plain
+    ``BatchedSolver`` (and to solo solves) for every variant — sharding
+    changes *where* a shard's sweeps execute, never their math.
+    """
+
+    def __init__(
+        self,
+        batch: GraphBatch,
+        num_shards: int = 2,
+        mode: str = "process",
+        variant: str = "classic",
+        rho=1.0,
+        alpha=1.0,
+        schedule: PenaltySchedule | None = None,
+        fraction: float = 0.5,
+        seed: int | None = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if variant not in VARIANTS:
+            raise ValueError(
+                f"variant must be one of {VARIANTS}, got {variant!r}"
+            )
+        if not 1 <= num_shards <= batch.batch_size:
+            raise ValueError(
+                f"num_shards must be in [1, {batch.batch_size}], got {num_shards}"
+            )
+        self.batch = batch
+        self.mode = mode
+        self.variant = variant
+        self.num_shards = int(num_shards)
+        self.schedule = schedule if schedule is not None else ConstantPenalty()
+        self._closed = False
+        self._pool: ThreadPoolExecutor | None = None
+
+        self.shards: list[_Shard] = []
+        for lo, hi in contiguous_chunks(batch.batch_size, self.num_shards):
+            shard = _Shard(batch.select_instances(range(lo, hi)), lo, hi)
+            shard.state = ADMMState(
+                shard.batch.graph,
+                rho=self._shard_edge_param(rho, shard, "rho"),
+                alpha=self._shard_edge_param(alpha, shard, "alpha"),
+            )
+            if variant == "async":
+                # Global-instance seeding: shard [lo, hi) draws exactly the
+                # streams the unsharded fleet (and B solo solves) would.
+                base = DEFAULT_SEED if seed is None else seed
+                shard.plan = FleetSweepPlan(
+                    shard.batch, fraction, base, instance_offset=lo
+                )
+            self.shards.append(shard)
+
+        if mode == "process":
+            self._start_workers()
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_shards, thread_name_prefix="paradmm-shard"
+            )
+
+    # ------------------------------------------------------------------ #
+    def _shard_edge_param(self, value, shard: _Shard, name: str):
+        """Route a fleet-level ρ/α argument to one shard's edge layout."""
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.ndim == 0:
+            return float(arr)
+        B, Et = self.batch.batch_size, self.batch.template.num_edges
+        if arr.shape == (B,) or arr.shape == (B, Et):
+            return shard.batch.instance_rho(arr[shard.lo : shard.hi])
+        raise ValueError(
+            f"{name} must be scalar, ({B},) per-instance, or ({B}, {Et}) "
+            f"per-instance-per-edge; got shape {arr.shape}"
+        )
+
+    def _start_workers(self) -> None:
+        from repro.backends.process import shared_state_buffers
+
+        ctx = mp.get_context("fork")
+        for shard in self.shards:
+            g = shard.batch.graph
+            raws, shard.views, sizes = shared_state_buffers(ctx, g)
+            shard.cmd_q = ctx.Queue()
+            shard.done_q = ctx.Queue()
+            shard.proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    g,
+                    self.variant,
+                    shard.plan,
+                    raws,
+                    sizes,
+                    shard.cmd_q,
+                    shard.done_q,
+                ),
+                daemon=True,
+            )
+            shard.proc.start()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_size(self) -> int:
+        return self.batch.batch_size
+
+    @property
+    def iteration(self) -> int:
+        """Completed fleet sweeps (every shard advances in lockstep)."""
+        return self.shards[0].state.iteration
+
+    def shard_bounds(self) -> list[tuple[int, int]]:
+        """The contiguous global instance range ``[lo, hi)`` of each shard."""
+        return [(s.lo, s.hi) for s in self.shards]
+
+    def fleet_z(self) -> np.ndarray:
+        """The fleet iterate in the batched z layout (instance-major).
+
+        Shards cover contiguous instance blocks and variables are
+        instance-major, so the fleet z is the plain concatenation of shard
+        z arrays — byte-comparable to ``BatchedSolver.state.z``.
+        """
+        return np.concatenate([s.state.z for s in self.shards])
+
+    def split_z(self) -> np.ndarray:
+        """Per-instance ``(B, z_size)`` rows of the fleet iterate."""
+        return self.fleet_z().reshape(self.batch_size, self.batch.template.z_size)
+
+    def rho_rows(self) -> np.ndarray:
+        """Per-instance ``(B, E_t)`` ρ rows (template edge order)."""
+        return np.vstack(
+            [s.batch.split_edges(s.state.rho) for s in self.shards]
+        )
+
+    def summary(self) -> str:
+        t = self.batch.template
+        sizes = "+".join(str(s.size) for s in self.shards)
+        return (
+            f"ShardedBatchedSolver: B={self.batch_size} as {self.num_shards} "
+            f"shards ({sizes}) x template(|F|={t.num_factors} |V|={t.num_vars} "
+            f"|E|={t.num_edges}), mode={self.mode}, variant={self.variant}"
+        )
+
+    # ------------------------------------------------------------------ #
+    def initialize(
+        self,
+        how: str = "zeros",
+        low: float = 0.0,
+        high: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        """(Re-)initialize the fleet iterate: "zeros", "random", or "keep".
+
+        "random" draws one stream per shard (seeded ``seed + lo`` so the
+        layout is stable under re-sharding by instance count, though not
+        equal to an unsharded random init).
+        """
+        if how == "zeros":
+            for shard in self.shards:
+                shard.state.init_zeros()
+        elif how == "random":
+            base = DEFAULT_SEED if seed is None else seed
+            for shard in self.shards:
+                shard.state.init_random(low, high, seed=base + shard.lo)
+        elif how == "keep":
+            pass
+        else:
+            raise ValueError(f"unknown init {how!r}; use zeros|random|keep")
+
+    def warm_start_pool(self, pool) -> None:
+        """Seed every instance from a pool of previous solutions.
+
+        Same contract as :meth:`BatchedSolver.warm_start_pool`, including
+        cycling pools smaller than the fleet; rows are routed to the shard
+        owning each instance.
+        """
+        rows = normalize_pool(pool, self.batch_size, self.batch.template.z_size)
+        for shard in self.shards:
+            shard.state.init_from_z(
+                shard.batch.pack_z(rows[shard.lo : shard.hi])
+            )
+
+    # ------------------------------------------------------------------ #
+    def iterate(self, iterations: int, timers: KernelTimers | None = None) -> None:
+        """Advance the whole fleet a fixed number of sweeps (benchmark mode)."""
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        if iterations:
+            self._run_all(iterations, timers)
+
+    def _run_all(self, iterations: int, timers: KernelTimers | None = None) -> None:
+        """Advance every shard ``iterations`` sweeps, workers in parallel."""
+        if self._closed:
+            raise RuntimeError("solver is closed")
+        if self.mode == "process":
+            for shard in self.shards:
+                _push_shared(shard.views, shard.state)
+                shard.cmd_q.put(("run", iterations))
+            # Collect every shard before touching any state: a failure in
+            # one shard must not leave another's result queued (a stale
+            # entry would desynchronize the next run).
+            elapsed = []
+            failure: Exception | None = None
+            for shard in self.shards:
+                try:
+                    elapsed.append(self._collect(shard))
+                except RuntimeError as err:
+                    failure = failure or err
+            if failure is None:
+                for shard in self.shards:
+                    _pull_families(shard.views, shard.state)
+                    shard.state.iteration += iterations
+                if timers is not None:
+                    # Barrier semantics: the fleet waits for the slowest shard.
+                    timers["x"].elapsed += max(elapsed)
+                    timers["x"].calls += iterations
+        else:
+            t0 = time.perf_counter()
+            futures = [
+                self._pool.submit(
+                    run_variant_sweeps,
+                    shard.batch.graph,
+                    shard.state,
+                    iterations,
+                    self.variant,
+                    shard.plan,
+                )
+                for shard in self.shards
+            ]
+            done, _ = wait(futures)
+            failure = None
+            for f in done:
+                exc = f.exception()
+                if exc is not None:
+                    failure = failure or exc
+            if failure is None and timers is not None:
+                timers["x"].elapsed += time.perf_counter() - t0
+                timers["x"].calls += iterations
+        if failure is not None:
+            # The fleet iterate is no longer consistent across shards;
+            # shut the solver down rather than risk desynchronized reuse.
+            self.close()
+            raise failure
+
+    def _collect(self, shard: _Shard) -> float:
+        """Wait for one shard's run result, surfacing worker failures.
+
+        A worker relays sweep exceptions over ``done_q``; a worker that
+        died outright (killed, segfaulted) is detected by a liveness check
+        instead of blocking the fleet forever.
+        """
+        while True:
+            try:
+                status, payload = shard.done_q.get(timeout=5)
+            except queue.Empty:
+                if shard.proc is not None and not shard.proc.is_alive():
+                    raise RuntimeError(
+                        f"shard [{shard.lo}, {shard.hi}) worker died "
+                        "without reporting a result"
+                    ) from None
+                continue
+            if status == "error":
+                raise RuntimeError(
+                    f"shard [{shard.lo}, {shard.hi}) sweep failed: {payload}"
+                )
+            return payload
+
+    # ------------------------------------------------------------------ #
+    def _fleet_residuals(
+        self, z_prevs: list[np.ndarray], eps_abs: float, eps_rel: float
+    ) -> list[Residuals]:
+        """Per-instance residuals, shard by shard, in global fleet order."""
+        out: list[Residuals] = []
+        for shard, z_prev in zip(self.shards, z_prevs):
+            out.extend(
+                per_instance_residuals(
+                    shard.batch, shard.state, z_prev, eps_abs, eps_rel
+                )
+            )
+        return out
+
+    def solve_batch(
+        self,
+        max_iterations: int = 1000,
+        eps_abs: float = 1e-6,
+        eps_rel: float = 1e-4,
+        check_every: int = 10,
+        init: str = "keep",
+        seed: int | None = None,
+    ) -> list[ADMMResult]:
+        """Iterate until every instance converges or the iteration cap.
+
+        Same contract as :meth:`BatchedSolver.solve_batch` — one
+        :class:`ADMMResult` per instance, converged instances frozen out of
+        the ρ-schedule and the bookkeeping but still sweeping with their
+        shard — with the sweeps executed by the shard workers.
+
+        The outer loop deliberately mirrors ``BatchedSolver.solve_batch``
+        (only the run/residual/ρ-apply steps are shard-local); behavioral
+        changes must be made in both, and the parity is pinned by
+        ``tests/test_fleet_sharding.py::TestMatchesBatched``.
+        """
+        if max_iterations < 0:
+            raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        self.initialize(init, seed=seed)
+        B = self.batch_size
+        schedules = [copy.deepcopy(self.schedule) for _ in range(B)]
+        for s in schedules:
+            s.reset()
+
+        timers = KernelTimers()
+        histories = [SolveHistory() for _ in range(B)]
+        active = np.ones(B, dtype=bool)
+        frozen_iterations = np.full(B, -1, dtype=np.int64)
+        last_residuals: list[Residuals | None] = [None] * B
+        rho_by_instance = self.rho_rows()
+        t0 = time.perf_counter()
+
+        if self.iteration >= max_iterations:
+            # No sweeps will run (max_iterations == 0, or a kept iterate
+            # already past the cap): residuals of the current iterate,
+            # computed once, converged=False — the documented
+            # ``max_iterations=0`` contract, generalized.
+            res = self._fleet_residuals(
+                [sh.state.z for sh in self.shards], eps_abs, eps_rel
+            )
+            for i in range(B):
+                histories[i].append(res[i], None, float(rho_by_instance[i].mean()))
+                last_residuals[i] = res[i]
+
+        while self.iteration < max_iterations:
+            block = min(check_every, max_iterations - self.iteration)
+            if block > 1:
+                self._run_all(block - 1, timers)
+            z_prevs = [sh.state.z.copy() for sh in self.shards]
+            self._run_all(1, timers)
+            res = self._fleet_residuals(z_prevs, eps_abs, eps_rel)
+            rho_by_instance = self.rho_rows()
+            for i in np.flatnonzero(active):
+                last_residuals[i] = res[i]
+                histories[i].append(res[i], None, float(rho_by_instance[i].mean()))
+                if res[i].converged:
+                    frozen_iterations[i] = self.iteration
+                    active[i] = False
+            if not active.any():
+                break
+            # Per-instance ρ adaptation, applied shard-locally; frozen
+            # instances keep scale 1 (their ρ and dual stay untouched).
+            for shard in self.shards:
+                scale = np.ones(shard.batch.graph.num_edges)
+                changed = False
+                for i in np.flatnonzero(active[shard.lo : shard.hi]) + shard.lo:
+                    s = float(schedules[i].rho_scale(shard.state, res[i]))
+                    if s != 1.0:
+                        scale[shard.batch.edge_index[i - shard.lo]] = s
+                        changed = True
+                if changed:
+                    apply_rho_scale(shard.state, scale)
+
+        wall = time.perf_counter() - t0
+        results: list[ADMMResult] = []
+        for shard in self.shards:
+            for j in range(shard.size):
+                i = shard.lo + j
+                converged = frozen_iterations[i] >= 0
+                results.append(
+                    ADMMResult(
+                        solution=shard.batch.instance_solution(shard.state.z, j),
+                        z=shard.state.z[shard.batch.z_slice(j)].copy(),
+                        converged=bool(converged),
+                        iterations=int(
+                            frozen_iterations[i] if converged else self.iteration
+                        ),
+                        residuals=last_residuals[i],
+                        history=histories[i],
+                        timers=timers,
+                        wall_time=wall,
+                    )
+                )
+        return results
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop shard workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.mode == "process":
+            for shard in self.shards:
+                if shard.cmd_q is not None:
+                    try:
+                        shard.cmd_q.put(("stop",))
+                    except Exception:
+                        pass
+            for shard in self.shards:
+                if shard.proc is not None:
+                    shard.proc.join(timeout=5)
+                    if shard.proc.is_alive():
+                        shard.proc.terminate()
+                    shard.proc = None
+        elif self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedBatchedSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ShardedBatchedSolver(B={self.batch_size}, shards={self.num_shards}, "
+            f"mode={self.mode}, variant={self.variant})"
+        )

@@ -159,7 +159,10 @@ class ADMMSolver:
         converged = False
         t0 = time.perf_counter()
 
-        if max_iterations == 0:
+        if state.iteration >= max_iterations:
+            # No sweeps will run (max_iterations == 0, or a kept iterate
+            # already past the cap): residuals of the current iterate,
+            # computed once, converged=False.
             residuals = compute_residuals(graph, state, state.z, eps_abs, eps_rel)
             obj = objective_value(graph, state) if self.record_objective else None
             history.append(residuals, obj, float(state.rho.mean()))

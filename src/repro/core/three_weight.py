@@ -104,3 +104,41 @@ def run_iteration_twa(graph: FactorGraph, state: ADMMState) -> None:
     u_update_weighted(graph, state)
     np.subtract(state.z[graph.flat_edge_to_z], state.u, out=state.n)
     state.iteration += 1
+
+
+# --------------------------------------------------------------------- #
+# Batch-aware entry points: TWA sweeps over a fleet.                     #
+# --------------------------------------------------------------------- #
+
+
+def run_iterations_twa(graph: FactorGraph, state: ADMMState, iterations: int) -> None:
+    """Advance ``state`` by ``iterations`` three-weight sweeps.
+
+    Works unchanged on a block-diagonal fleet graph: every TWA update is
+    local to one factor row or one variable's incoming messages, so TWA on
+    a :class:`~repro.graph.batch.GraphBatch` is per-instance *exact* — each
+    instance follows the trajectory a solo TWA solve would (the fleet
+    equivalence matrix pins this at 1e-10).  This is the sweep loop the
+    shard workers of :class:`repro.core.sharded.ShardedBatchedSolver` run
+    in the ``three_weight`` variant.
+    """
+    if iterations < 0:
+        raise ValueError(f"iterations must be >= 0, got {iterations}")
+    for _ in range(iterations):
+        run_iteration_twa(graph, state)
+
+
+def solve_batch_twa(batch, rho=1.0, alpha=1.0, schedule=None, **solve_kwargs):
+    """Three-weight fleet solve: one result per instance.
+
+    Drives :class:`repro.core.batched.BatchedSolver` with the
+    :class:`repro.backends.vectorized.ThreeWeightBackend`, keeping
+    residuals, stopping masks, and ρ-schedules per-instance.
+    """
+    from repro.backends.vectorized import ThreeWeightBackend
+    from repro.core.batched import BatchedSolver
+
+    with BatchedSolver(
+        batch, backend=ThreeWeightBackend(), rho=rho, alpha=alpha, schedule=schedule
+    ) as solver:
+        return solver.solve_batch(**solve_kwargs)

@@ -24,6 +24,13 @@ different initial states or cost weights shares one graph.
 :class:`GraphBatch` carries the index maps connecting template and batch
 layouts; :class:`repro.core.batched.BatchedSolver` consumes them for
 per-instance residuals, stopping masks, and warm starts.
+
+Batches are **elastic**: because every instance records its exact factor
+parameters inside the batched graph, :meth:`GraphBatch.add_instances`,
+:meth:`GraphBatch.remove_instances`, and :meth:`GraphBatch.select_instances`
+re-replicate any subset without the application layer re-deriving anything —
+the substrate for fleet growth/shrink between solves and for splitting a
+fleet into contiguous shards (:class:`repro.core.sharded.ShardedBatchedSolver`).
 """
 
 from __future__ import annotations
@@ -147,6 +154,93 @@ class GraphBatch:
                 f"({self.batch_size}, {self.template.num_edges}), got {rho.shape}"
             )
         return out
+
+    # ------------------------------------------------------------------ #
+    # Elastic batches: grow/shrink the fleet between solves.               #
+    # ------------------------------------------------------------------ #
+    def instance_params(self, i: int) -> dict[int, dict[str, np.ndarray]]:
+        """Recover instance ``i``'s full per-factor parameters.
+
+        Returns one mapping from *template factor id* to that factor's
+        parameter dict as realized in the batched graph — exactly the
+        override form :func:`replicate_graph` accepts, so an instance can be
+        re-replicated (sharding, elastic resize) without the application
+        layer re-deriving anything.
+        """
+        self._check_instance(i)
+        out: dict[int, dict[str, np.ndarray]] = {}
+        for a in range(self.template.num_factors):
+            spec = self.graph.factors[int(self.factor_index[i, a])]
+            out[a] = {k: np.array(v, copy=True) for k, v in spec.params.items()}
+        return out
+
+    def select_instances(self, keep: Sequence[int]) -> "GraphBatch":
+        """A new batch of the given instances, in the given order.
+
+        Each kept instance carries its exact parameters, so the new batch's
+        per-instance math is bit-identical to the old one's.  This is the
+        primitive behind sharding (contiguous ``keep`` ranges) and the
+        elastic :meth:`add_instances` / :meth:`remove_instances`.
+        """
+        keep = [int(i) for i in keep]
+        if not keep:
+            raise ValueError("select_instances needs at least one instance")
+        for i in keep:
+            self._check_instance(i)
+        return replicate_graph(
+            self.template, len(keep), [self.instance_params(i) for i in keep]
+        )
+
+    def add_instances(
+        self,
+        new_instances: int | Sequence[Mapping[int, Mapping[str, np.ndarray]]],
+    ) -> "GraphBatch":
+        """Grow the fleet: a new batch with fresh instances appended.
+
+        ``new_instances`` is either a count (template-parameter clones) or a
+        sequence of per-factor override mappings, one per new instance (the
+        :func:`replicate_graph` override form).  Existing instances keep
+        their exact parameters and their positions ``0..B-1``; new instances
+        take positions ``B..B+n-1``.  The template graph is never re-derived
+        and the application layer never re-enters — the batch re-replicates
+        itself from its own recorded parameters.  (Structurally this is a
+        full O(B) re-replication of the block-diagonal graph, a
+        once-per-resize cost amortized over the solves between resizes;
+        incremental structural append is a ROADMAP item.)
+        """
+        if isinstance(new_instances, int):
+            if new_instances < 1:
+                raise ValueError(
+                    f"must add at least one instance, got {new_instances}"
+                )
+            fresh: list[Mapping[int, Mapping[str, np.ndarray]]] = [
+                {} for _ in range(new_instances)
+            ]
+        else:
+            fresh = list(new_instances)
+            if not fresh:
+                raise ValueError("must add at least one instance")
+        combined = [self.instance_params(i) for i in range(self.batch_size)]
+        combined.extend(fresh)
+        return replicate_graph(self.template, len(combined), combined)
+
+    def remove_instances(self, drop: Sequence[int]) -> "GraphBatch":
+        """Shrink the fleet: a new batch without the dropped instances.
+
+        Survivors keep their relative order (instance ``i`` moves to
+        position ``sum(j not in drop for j < i)``) and their exact
+        parameters.  Dropping every instance is an error — a batch is never
+        empty.  Use :func:`repro.core.batched.carry_state` (or the elastic
+        methods on :class:`repro.core.batched.BatchedSolver`) to carry the
+        survivors' iterates and duals into the new layout.
+        """
+        dropset = {int(i) for i in drop}
+        for i in dropset:
+            self._check_instance(i)
+        keep = [i for i in range(self.batch_size) if i not in dropset]
+        if not keep:
+            raise ValueError("cannot remove every instance from a batch")
+        return self.select_instances(keep)
 
     # ------------------------------------------------------------------ #
     def instance_solution(self, z_flat: np.ndarray, i: int) -> list[np.ndarray]:

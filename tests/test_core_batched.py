@@ -187,6 +187,34 @@ class TestWarmStartPool:
             batch.split_z(solver.state.z), np.stack([pool[0]] * 3)
         )
 
+    def test_pool_smaller_than_fleet_cycles(self, chain_graph):
+        """A pool of P < B solutions is cycled, not an index error."""
+        batch = replicate_graph(chain_graph, 5)
+        solver = BatchedSolver(batch)
+        zt = chain_graph.z_size
+        pool = np.arange(2 * zt, dtype=float).reshape(2, zt)
+        solver.warm_start_pool(pool)
+        np.testing.assert_array_equal(
+            batch.split_z(solver.state.z), pool[[0, 1, 0, 1, 0]]
+        )
+        # Sequences cycle too, and a pool larger than B contributes its
+        # first B rows.
+        solver.warm_start_pool([pool[0]])
+        np.testing.assert_array_equal(
+            batch.split_z(solver.state.z), np.stack([pool[0]] * 5)
+        )
+        big = np.arange(7 * zt, dtype=float).reshape(7, zt)
+        solver.warm_start_pool(big)
+        np.testing.assert_array_equal(batch.split_z(solver.state.z), big[:5])
+
+    def test_pool_shape_validation(self, chain_graph):
+        batch = replicate_graph(chain_graph, 3)
+        solver = BatchedSolver(batch)
+        with pytest.raises(ValueError):
+            solver.warm_start_pool(np.ones((2, chain_graph.z_size + 1)))
+        with pytest.raises(ValueError):
+            solver.warm_start_pool(np.ones((0, chain_graph.z_size)))
+
     def test_warm_start_from_solution_is_fixed_pointish(self):
         targets = [[1.0, 1.0], [2.0, -2.0]]
         batch = quad_batch(targets)
@@ -205,6 +233,20 @@ class TestContractsAndConfig:
         results = solver.solve_batch(max_iterations=0, init="zeros")
         for r in results:
             assert r.iterations == 0
+            assert not r.converged
+            assert r.residuals is not None
+            assert len(r.history) == 1
+
+    def test_kept_iterate_past_cap_still_reports_residuals(self):
+        """init="keep" on an iterate already past the cap follows the
+        max_iterations=0 contract: one residual check, no sweeps."""
+        batch = quad_batch([[1.0, 0.0], [0.0, 1.0]])
+        solver = BatchedSolver(batch)
+        solver.initialize("zeros")
+        solver.iterate(10)
+        results = solver.solve_batch(max_iterations=5, init="keep")
+        for r in results:
+            assert r.iterations == 10
             assert not r.converged
             assert r.residuals is not None
             assert len(r.history) == 1

@@ -18,6 +18,7 @@ EXAMPLES = [
     ("examples/gpu_simulation.py", []),
     ("examples/three_weight_packing.py", ["3"]),
     ("examples/fleet_mpc.py", ["4", "5"]),
+    ("examples/fleet_sharded.py", ["6", "4", "2"]),
 ]
 
 

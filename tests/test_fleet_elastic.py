@@ -1,0 +1,285 @@
+"""Elastic fleet property tests (ISSUE 4 satellite).
+
+Instances of a block-diagonal fleet are mathematically independent, so
+growing or shrinking the batch between solves must be invisible to the
+survivors: their iterates, duals, penalties, and residual histories are
+**bit-identical** to an untouched fleet advanced the same sweeps — the
+per-edge ρ-scaling and per-instance index maps guarantee not even float
+reassociation changes.  A randomized (seeded) add/remove sequence pins
+this, along with the removed-then-re-added convergence property.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedSolver, carry_state
+from repro.core.parameters import ResidualBalancing, apply_rho_scale
+from repro.core.state import ADMMState
+from repro.graph.batch import replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import DiagQuadProx
+
+
+def quad_template():
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    return b.build()
+
+
+def overrides_for(targets):
+    return [{0: {"c": -np.asarray(t, dtype=float)}} for t in targets]
+
+
+def quad_fleet(targets):
+    return replicate_graph(quad_template(), len(targets), overrides_for(targets))
+
+
+# --------------------------------------------------------------------- #
+# GraphBatch elastic primitives                                          #
+# --------------------------------------------------------------------- #
+
+
+class TestGraphBatchElastic:
+    def test_instance_params_roundtrip(self):
+        targets = np.arange(6.0).reshape(3, 2)
+        batch = quad_fleet(targets)
+        for i in range(3):
+            params = batch.instance_params(i)
+            np.testing.assert_array_equal(params[0]["c"], -targets[i])
+
+    def test_select_preserves_order_and_params(self):
+        targets = np.arange(8.0).reshape(4, 2)
+        batch = quad_fleet(targets)
+        sub = batch.select_instances([3, 1])
+        assert sub.batch_size == 2
+        np.testing.assert_array_equal(sub.instance_params(0)[0]["c"], -targets[3])
+        np.testing.assert_array_equal(sub.instance_params(1)[0]["c"], -targets[1])
+
+    def test_add_count_clones_template(self):
+        batch = quad_fleet(np.ones((2, 2)))
+        grown = batch.add_instances(2)
+        assert grown.batch_size == 4
+        # Template params (c = 0), not instance 0's override.
+        np.testing.assert_array_equal(grown.instance_params(2)[0]["c"], np.zeros(2))
+
+    def test_add_with_overrides_appends(self):
+        batch = quad_fleet(np.ones((2, 2)))
+        grown = batch.add_instances([{0: {"c": np.array([5.0, 6.0])}}])
+        assert grown.batch_size == 3
+        np.testing.assert_array_equal(
+            grown.instance_params(2)[0]["c"], [5.0, 6.0]
+        )
+        np.testing.assert_array_equal(grown.instance_params(0)[0]["c"], -np.ones(2))
+
+    def test_remove_keeps_survivor_order(self):
+        targets = np.arange(10.0).reshape(5, 2)
+        shrunk = quad_fleet(targets).remove_instances([0, 3])
+        assert shrunk.batch_size == 3
+        for j, i in enumerate([1, 2, 4]):
+            np.testing.assert_array_equal(
+                shrunk.instance_params(j)[0]["c"], -targets[i]
+            )
+
+    def test_validation_errors(self):
+        batch = quad_fleet(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            batch.remove_instances([0, 1])
+        with pytest.raises(IndexError):
+            batch.remove_instances([5])
+        with pytest.raises(ValueError):
+            batch.add_instances(0)
+        with pytest.raises(ValueError):
+            batch.add_instances([])
+        with pytest.raises(ValueError):
+            batch.select_instances([])
+
+
+class TestCarryState:
+    def test_validation(self):
+        batch = quad_fleet(np.ones((3, 2)))
+        state = ADMMState(batch.graph)
+        smaller = batch.remove_instances([2])
+        with pytest.raises(ValueError):
+            carry_state(batch, state, smaller, [0])  # wrong length
+        with pytest.raises(ValueError):
+            carry_state(batch, state, smaller, [0, 7])  # out of range
+        with pytest.raises(ValueError):
+            carry_state(batch, state, smaller, [0, -2])  # only -1 is cold
+        with pytest.raises(ValueError):
+            carry_state(batch, state, smaller, [0, 1], fresh_rho=np.ones(99))
+
+    def test_fresh_instances_get_default_penalties(self):
+        targets = np.ones((2, 2))
+        batch = quad_fleet(targets)
+        state = ADMMState(batch.graph, rho=3.0)
+        state.init_random(seed=4)
+        grown = batch.add_instances(1)
+        carried = carry_state(batch, state, grown, [0, 1, -1], fresh_rho=7.0)
+        rows = grown.split_edges(carried.rho)
+        assert np.all(rows[:2] == 3.0)
+        assert np.all(rows[2] == 7.0)
+        # Cold instance starts from zeros.
+        assert np.all(carried.z[grown.z_slice(2)] == 0.0)
+        assert np.all(carried.x[grown.slot_index[2]] == 0.0)
+
+
+# --------------------------------------------------------------------- #
+# Solver-level elasticity                                                #
+# --------------------------------------------------------------------- #
+
+
+class TestElasticSolver:
+    def test_survivors_bit_identical_to_untouched_fleet(self):
+        rng = np.random.default_rng(7)
+        targets = rng.normal(size=(6, 2))
+        elastic = BatchedSolver(quad_fleet(targets), rho=1.3)
+        untouched = BatchedSolver(quad_fleet(targets), rho=1.3)
+        for s in (elastic, untouched):
+            s.initialize("zeros")
+        elastic.iterate(9)
+        untouched.iterate(9)
+        elastic.remove_instances([1, 4])
+        elastic.iterate(11)
+        untouched.iterate(11)
+        elastic.add_instances(1)
+        elastic.iterate(5)
+        untouched.iterate(5)
+        survivors = [0, 2, 3, 5]
+        for j, i in enumerate(survivors):
+            np.testing.assert_array_equal(
+                elastic.state.z[elastic.batch.z_slice(j)],
+                untouched.state.z[untouched.batch.z_slice(i)],
+            )
+            for family in ("x", "m", "u", "n"):
+                np.testing.assert_array_equal(
+                    getattr(elastic.state, family)[elastic.batch.slot_index[j]],
+                    getattr(untouched.state, family)[untouched.batch.slot_index[i]],
+                )
+        elastic.close()
+        untouched.close()
+
+    def test_randomized_add_remove_sequence(self):
+        """Seeded add/remove between solve segments; survivors' residual
+        histories, iterates, and duals stay bit-identical to the untouched
+        fleet (ε = 0 keeps every instance active so both fleets sweep in
+        lockstep; ResidualBalancing exercises the per-instance ρ path)."""
+        rng = np.random.default_rng(1234)
+        targets = rng.normal(size=(8, 2)) + 1.0
+        schedule = ResidualBalancing(mu=1.5, tau=2.0, max_updates=10)
+        untouched = BatchedSolver(quad_fleet(targets), rho=1.3, schedule=schedule)
+        elastic = BatchedSolver(quad_fleet(targets), rho=1.3, schedule=schedule)
+
+        # alive: (original id, continuously-alive-since-start)
+        alive = [(i, True) for i in range(8)]
+        cap = 0
+        for segment in range(3):
+            cap += 9
+            init = "zeros" if segment == 0 else "keep"
+            res_u = untouched.solve_batch(
+                max_iterations=cap, eps_abs=0.0, eps_rel=0.0,
+                check_every=3, init=init,
+            )
+            res_e = elastic.solve_batch(
+                max_iterations=cap, eps_abs=0.0, eps_rel=0.0,
+                check_every=3, init=init,
+            )
+            for pos, (orig, continuous) in enumerate(alive):
+                if not continuous:
+                    continue
+                assert res_e[pos].history.primal == res_u[orig].history.primal
+                assert res_e[pos].history.dual == res_u[orig].history.dual
+                assert res_e[pos].history.rho == res_u[orig].history.rho
+                np.testing.assert_array_equal(res_e[pos].z, res_u[orig].z)
+                np.testing.assert_array_equal(
+                    elastic.state.u[elastic.batch.slot_index[pos]],
+                    untouched.state.u[untouched.batch.slot_index[orig]],
+                )
+            # Randomized elastic op between segments.
+            if segment == 2:
+                break
+            removable = list(range(len(alive)))
+            n_drop = int(rng.integers(1, len(alive) - 2))
+            drop_pos = sorted(
+                rng.choice(removable, size=n_drop, replace=False).tolist()
+            )
+            dropped = [alive[p][0] for p in drop_pos]
+            elastic.remove_instances(drop_pos)
+            alive = [a for p, a in enumerate(alive) if p not in drop_pos]
+            if rng.random() < 0.8:
+                # Re-add one dropped template as a cold instance.
+                back = dropped[int(rng.integers(len(dropped)))]
+                elastic.add_instances(overrides_for([targets[back]]))
+                alive.append((back, False))
+        untouched.close()
+        elastic.close()
+
+    def test_removed_then_readded_converges_to_same_solution(self):
+        targets = np.array([[1.0, -2.0], [0.5, 3.0], [2.0, 2.0]])
+        solver = BatchedSolver(quad_fleet(targets), rho=1.0)
+        solver.solve_batch(max_iterations=50, check_every=5, init="zeros")
+        solver.remove_instances([1])
+        solver.solve_batch(max_iterations=100, check_every=5, init="keep")
+        solver.add_instances(overrides_for([targets[1]]))
+        results = solver.solve_batch(max_iterations=600, check_every=5, init="keep")
+        readded = results[-1]
+        solo = BatchedSolver(quad_fleet(targets[1:2]), rho=1.0)
+        (ref,) = solo.solve_batch(max_iterations=600, check_every=5, init="zeros")
+        np.testing.assert_allclose(readded.z, ref.z, atol=1e-6)
+        assert readded.converged
+        solver.close()
+        solo.close()
+
+    def test_elastic_resize_rebinds_fleet_randomized_backend(self):
+        """Elastic resize composes with the batch-bound async backend: the
+        backend re-binds to the new batch (streams restart for the new
+        layout) and a fresh solve still matches solo randomized solves."""
+        from repro.backends.randomized import (
+            FleetRandomizedBackend,
+            RandomizedBackend,
+        )
+        from repro.core.solver import ADMMSolver
+
+        targets = np.array([[1.0, -1.0], [2.0, 0.5], [0.0, 3.0]])
+        batch = quad_fleet(targets)
+        solver = BatchedSolver(
+            batch,
+            backend=FleetRandomizedBackend(batch, fraction=0.7, seed=31),
+            rho=1.2,
+        )
+        solver.initialize("zeros")
+        solver.iterate(6)
+        solver.add_instances(overrides_for([[4.0, 4.0]]))
+        solver.remove_instances([0])
+        assert solver.batch_size == 3
+        solver.initialize("zeros")
+        solver.iterate(10)
+        rows = solver.batch.split_z(solver.state.z)
+        new_targets = [targets[1], targets[2], np.array([4.0, 4.0])]
+        for i, t in enumerate(new_targets):
+            solo = ADMMSolver(
+                quad_fleet([t]).graph,
+                backend=RandomizedBackend(0.7, seed=31 + i),
+                rho=1.2,
+            )
+            solo.initialize("zeros")
+            solo.iterate(10)
+            np.testing.assert_allclose(rows[i], solo.state.z, atol=1e-10)
+            solo.close()
+        solver.close()
+
+    def test_fresh_instances_ignore_schedule_drift(self):
+        """Newcomers get construction-time penalties, not drifted ones."""
+        targets = np.ones((2, 2))
+        solver = BatchedSolver(quad_fleet(targets), rho=5.0)
+        solver.initialize("zeros")
+        apply_rho_scale(solver.state, np.full(solver.graph.num_edges, 3.0))
+        solver.add_instances(1)
+        rows = solver.batch.split_edges(solver.state.rho)
+        assert np.all(rows[:2] == 15.0), "existing instances keep drifted rho"
+        assert np.all(rows[2] == 5.0), "newcomer gets construction-time rho"
+        solver.close()

@@ -1,0 +1,203 @@
+"""Fleet equivalence matrix (ISSUE 4 satellite).
+
+The batching subsystem's central claim, extended to the full fleet stack:
+for every execution backend x {plain, sharded} x {classic, three-weight,
+async} combination, solving ``B`` instances as one fleet is numerically
+identical to solving each instance alone — per-instance iterates match a
+solo solve at 1e-10 after a fixed iteration count.
+
+The async cells work because fleet randomized sweeps draw *per-instance*
+streams seeded by global instance index
+(:class:`repro.core.async_admm.FleetSweepPlan`): instance ``i`` of the
+fleet fires exactly the factors a solo :class:`RandomizedBackend` with
+seed ``SEED + i`` fires, whether the fleet is sharded or not.
+
+(``tests/test_backend_equivalence.py`` keeps the single-graph backend
+matrix; this module is the fleet-level one.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.persistent import PersistentWorkerBackend
+from repro.backends.process import ProcessBackend
+from repro.backends.randomized import FleetRandomizedBackend, RandomizedBackend
+from repro.backends.serial import SerialBackend
+from repro.backends.threaded import ThreadedBackend
+from repro.backends.vectorized import ThreeWeightBackend, VectorizedBackend
+from repro.core.batched import BatchedSolver
+from repro.core.sharded import ShardedBatchedSolver
+from repro.core.solver import ADMMSolver
+from repro.graph.batch import replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import ConsensusEqualProx, DiagQuadProx
+
+B = 4
+ITERATIONS = 20
+RHO = 1.7
+ATOL = 1e-10
+FRACTION = 0.6
+SEED = 411
+
+#: Per-instance targets for the 3 quadratic anchors of each instance.
+TARGETS = np.random.default_rng(90).normal(size=(B, 3, 2))
+
+
+def build_instance_graph(targets) -> "GraphBuilder":
+    """Three 2-D variables chained by consensus, anchored by quadratics.
+
+    Factor creation order is the template order — the same order the
+    batched graph's per-instance index maps (and the async per-instance
+    masks) use, so a graph built here is the exact solo reference for one
+    fleet instance.
+    """
+    b = GraphBuilder()
+    vs = b.add_variables(3, dim=2)
+    dq = DiagQuadProx(dims=(2,))
+    for v, t in zip(vs, targets):
+        b.add_factor(
+            dq, [v], params={"q": np.ones(2), "c": -np.asarray(t, dtype=float)}
+        )
+    ce = ConsensusEqualProx(k=2, dim=2)
+    for i in range(2):
+        b.add_factor(ce, [vs[i], vs[i + 1]])
+    return b.build()
+
+
+def build_fleet():
+    template = build_instance_graph(TARGETS[0])
+    overrides = [
+        {j: {"c": -np.asarray(TARGETS[i, j], dtype=float)} for j in range(3)}
+        for i in range(B)
+    ]
+    return replicate_graph(template, B, overrides)
+
+
+def solo_backend(variant, instance):
+    if variant == "classic":
+        return VectorizedBackend()
+    if variant == "three_weight":
+        return ThreeWeightBackend()
+    return RandomizedBackend(FRACTION, seed=SEED + instance)
+
+
+@pytest.fixture(scope="module")
+def solo_refs():
+    """Per-variant solo iterates: the ground truth every fleet cell must hit."""
+    out = {}
+    for variant in ("classic", "three_weight", "async"):
+        refs = []
+        for i in range(B):
+            solver = ADMMSolver(
+                build_instance_graph(TARGETS[i]),
+                backend=solo_backend(variant, i),
+                rho=RHO,
+            )
+            solver.initialize("zeros")
+            solver.iterate(ITERATIONS)
+            refs.append((solver.state.z.copy(), solver.state.u.copy()))
+            solver.close()
+        out[variant] = refs
+    return out
+
+
+def assert_matches_solo(batch, z_flat, u_flat, refs, label):
+    z_rows = batch.split_z(z_flat)
+    u_rows = u_flat[batch.slot_index]
+    for i, (z_ref, u_ref) in enumerate(refs):
+        np.testing.assert_allclose(
+            z_rows[i], z_ref, atol=ATOL,
+            err_msg=f"{label}: instance {i} z diverged from solo solve",
+        )
+        np.testing.assert_allclose(
+            u_rows[i], u_ref, atol=ATOL,
+            err_msg=f"{label}: instance {i} dual diverged from solo solve",
+        )
+
+
+PLAIN_CELLS = [
+    ("classic", "vectorized", lambda batch: VectorizedBackend()),
+    ("classic", "serial", lambda batch: SerialBackend()),
+    ("classic", "threaded", lambda batch: ThreadedBackend(num_workers=2)),
+    ("classic", "persistent", lambda batch: PersistentWorkerBackend(num_workers=2)),
+    ("classic", "process", lambda batch: ProcessBackend(num_workers=2)),
+    ("three_weight", "three_weight", lambda batch: ThreeWeightBackend()),
+    (
+        "async",
+        "fleet_randomized",
+        lambda batch: FleetRandomizedBackend(batch, fraction=FRACTION, seed=SEED),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "variant,bname,factory",
+    PLAIN_CELLS,
+    ids=[f"{v}-{b}" for v, b, _ in PLAIN_CELLS],
+)
+def test_plain_fleet_matches_solo(variant, bname, factory, solo_refs):
+    batch = build_fleet()
+    solver = BatchedSolver(batch, backend=factory(batch), rho=RHO)
+    try:
+        solver.initialize("zeros")
+        solver.iterate(ITERATIONS)
+        assert_matches_solo(
+            batch,
+            solver.state.z,
+            solver.state.u,
+            solo_refs[variant],
+            f"plain/{bname}/{variant}",
+        )
+        assert solver.state.iteration == ITERATIONS
+    finally:
+        solver.close()
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+@pytest.mark.parametrize("variant", ["classic", "three_weight", "async"])
+def test_sharded_fleet_matches_solo(mode, variant, solo_refs):
+    batch = build_fleet()
+    with ShardedBatchedSolver(
+        batch,
+        num_shards=2,
+        mode=mode,
+        variant=variant,
+        rho=RHO,
+        fraction=FRACTION,
+        seed=SEED,
+    ) as solver:
+        solver.initialize("zeros")
+        solver.iterate(ITERATIONS)
+        z_rows = solver.split_z()
+        for i, (z_ref, _) in enumerate(solo_refs[variant]):
+            np.testing.assert_allclose(
+                z_rows[i], z_ref, atol=ATOL,
+                err_msg=(
+                    f"sharded/{mode}/{variant}: instance {i} diverged from "
+                    "solo solve"
+                ),
+            )
+        # Duals shard by shard (each shard's sub-batch maps its own slots).
+        for shard in solver.shards:
+            u_rows = shard.state.u[shard.batch.slot_index]
+            for j in range(shard.size):
+                np.testing.assert_allclose(
+                    u_rows[j], solo_refs[variant][shard.lo + j][1], atol=ATOL,
+                    err_msg=(
+                        f"sharded/{mode}/{variant}: instance {shard.lo + j} "
+                        "dual diverged from solo solve"
+                    ),
+                )
+        assert solver.iteration == ITERATIONS
+
+
+def test_sharded_equals_plain_bitwise():
+    """Sharding only moves sweeps across workers — iterates stay bitwise equal."""
+    plain = BatchedSolver(build_fleet(), rho=RHO)
+    plain.initialize("zeros")
+    plain.iterate(ITERATIONS)
+    with ShardedBatchedSolver(build_fleet(), num_shards=3, mode="thread", rho=RHO) as sh:
+        sh.initialize("zeros")
+        sh.iterate(ITERATIONS)
+        np.testing.assert_array_equal(sh.fleet_z(), plain.state.z)
+    plain.close()

@@ -1,0 +1,257 @@
+"""Unit tests for the sharded fleet solver (repro.core.sharded).
+
+The central claim: splitting a fleet into contiguous instance-block shards
+driven by parallel workers changes *where* sweeps execute, never their
+math — iterates, residuals, stopping decisions, and ρ-schedules match the
+single-process :class:`BatchedSolver` exactly.  (The fleet equivalence
+matrix in ``tests/test_fleet_equivalence.py`` covers backend x variant
+cells; this module covers the solver's own contracts.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedSolver
+from repro.core.parameters import ResidualBalancing
+from repro.core.sharded import ShardedBatchedSolver
+from repro.graph.batch import replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import DiagQuadProx
+
+
+def quad_template():
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    return b.build()
+
+
+def quad_batch(targets):
+    overrides = [{0: {"c": -np.asarray(t, dtype=float)}} for t in targets]
+    return replicate_graph(quad_template(), len(targets), overrides)
+
+
+TARGETS = np.random.default_rng(21).normal(size=(5, 2)) * 3.0
+
+
+class TestConstruction:
+    def test_validation(self):
+        batch = quad_batch(TARGETS)
+        with pytest.raises(ValueError):
+            ShardedBatchedSolver(batch, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedBatchedSolver(batch, num_shards=6)
+        with pytest.raises(ValueError):
+            ShardedBatchedSolver(batch, mode="gpu")
+        with pytest.raises(ValueError):
+            ShardedBatchedSolver(batch, variant="quantum")
+
+    def test_shard_bounds_cover_fleet(self):
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=3, mode="thread"
+        ) as solver:
+            bounds = solver.shard_bounds()
+            assert bounds[0][0] == 0 and bounds[-1][1] == 5
+            assert all(b0 == a1 for (_, a1), (b0, _) in zip(bounds, bounds[1:]))
+            assert solver.batch_size == 5
+            assert "shards" in solver.summary()
+
+    def test_per_instance_rho_forms(self):
+        rho_b = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread", rho=rho_b
+        ) as solver:
+            np.testing.assert_allclose(solver.rho_rows()[:, 0], rho_b)
+        Et = quad_template().num_edges
+        rho_be = np.tile(rho_b[:, None], (1, Et)) * 2.0
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread", rho=rho_be
+        ) as solver:
+            np.testing.assert_allclose(solver.rho_rows(), rho_be)
+        with pytest.raises(ValueError):
+            ShardedBatchedSolver(
+                quad_batch(TARGETS), num_shards=2, mode="thread", rho=np.ones(3)
+            )
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+class TestMatchesBatched:
+    def test_iterate_bitwise_equal(self, mode):
+        plain = BatchedSolver(quad_batch(TARGETS), rho=1.4)
+        plain.initialize("zeros")
+        plain.iterate(17)
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode=mode, rho=1.4
+        ) as solver:
+            solver.initialize("zeros")
+            solver.iterate(17)
+            np.testing.assert_array_equal(solver.fleet_z(), plain.state.z)
+            assert solver.iteration == plain.state.iteration == 17
+        plain.close()
+
+    def test_solve_batch_full_parity(self, mode):
+        plain = BatchedSolver(quad_batch(TARGETS), rho=0.9)
+        ref = plain.solve_batch(max_iterations=200, check_every=5, init="zeros")
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=3, mode=mode, rho=0.9
+        ) as solver:
+            got = solver.solve_batch(max_iterations=200, check_every=5, init="zeros")
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+            assert a.converged == b.converged
+            assert a.iterations == b.iterations
+            assert a.history.primal == b.history.primal
+            assert a.history.dual == b.history.dual
+            assert a.residuals.primal == b.residuals.primal
+        plain.close()
+
+    def test_schedule_parity_and_frozen_rho(self, mode):
+        # Instance 0 starts at its optimum and freezes early; the schedule
+        # must adapt the straggler's rho only, in both solvers.
+        targets = np.array([[0.0, 0.0], [40.0, -40.0]])
+        schedule = ResidualBalancing(mu=1.0001, tau=2.0)
+        plain = BatchedSolver(quad_batch(targets), rho=100.0, schedule=schedule)
+        ref = plain.solve_batch(max_iterations=300, check_every=5, init="zeros")
+        with ShardedBatchedSolver(
+            quad_batch(targets),
+            num_shards=2,
+            mode=mode,
+            rho=100.0,
+            schedule=schedule,
+        ) as solver:
+            got = solver.solve_batch(max_iterations=300, check_every=5, init="zeros")
+            rows = solver.rho_rows()
+            assert np.allclose(rows[0], 100.0), "frozen instance's rho moved"
+            assert not np.allclose(rows[1], 100.0), "schedule never fired"
+        for a, b in zip(got, ref):
+            assert a.iterations == b.iterations
+            np.testing.assert_array_equal(a.z, b.z)
+        plain.close()
+
+
+class TestContracts:
+    def test_zero_iterations_contract(self):
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            results = solver.solve_batch(max_iterations=0, init="zeros")
+            for r in results:
+                assert r.iterations == 0
+                assert not r.converged
+                assert r.residuals is not None
+                assert len(r.history) == 1
+
+    def test_invalid_solve_args(self):
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            with pytest.raises(ValueError):
+                solver.solve_batch(max_iterations=-1)
+            with pytest.raises(ValueError):
+                solver.solve_batch(check_every=0)
+            with pytest.raises(ValueError):
+                solver.iterate(-1)
+            with pytest.raises(ValueError):
+                solver.initialize("magic")
+
+    def test_warm_start_pool_cycles_across_shards(self):
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            zt = solver.batch.template.z_size
+            pool = np.arange(2 * zt, dtype=float).reshape(2, zt)
+            solver.warm_start_pool(pool)
+            np.testing.assert_array_equal(
+                solver.split_z(), pool[[0, 1, 0, 1, 0]]
+            )
+
+    def test_worker_error_propagates_instead_of_hanging(self):
+        """A sweep exception inside a forked worker fails the solve with a
+        shard-labelled RuntimeError; the solver then shuts down (the fleet
+        iterate is no longer consistent) instead of reusing stale queues."""
+        from repro.core.parameters import apply_rho_scale
+
+        b = GraphBuilder()
+        w = b.add_variable(2)
+        # Non-convex curvature: the diag-quad prox is defined only while
+        # q + rho > 0, so shrinking rho below |q| raises inside the sweep.
+        b.add_factor(
+            DiagQuadProx(dims=(2,)),
+            [w],
+            params={"q": np.full(2, -0.5), "c": np.zeros(2)},
+        )
+        batch = replicate_graph(b.build(), 2)
+        solver = ShardedBatchedSolver(batch, num_shards=2, mode="process", rho=1.0)
+        solver.iterate(2)
+        for shard in solver.shards:
+            apply_rho_scale(shard.state, 0.2)  # rho -> 0.2 < |q|
+        with pytest.raises(RuntimeError, match="sweep failed"):
+            solver.iterate(1)
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.iterate(1)
+        solver.close()
+
+    def test_thread_mode_error_also_closes_solver(self):
+        """Thread mode mirrors process mode: a sweep exception shuts the
+        solver down instead of leaving shards desynchronized."""
+        from repro.core.parameters import apply_rho_scale
+
+        b = GraphBuilder()
+        w = b.add_variable(2)
+        b.add_factor(
+            DiagQuadProx(dims=(2,)),
+            [w],
+            params={"q": np.full(2, -0.5), "c": np.zeros(2)},
+        )
+        batch = replicate_graph(b.build(), 2)
+        solver = ShardedBatchedSolver(batch, num_shards=2, mode="thread", rho=1.0)
+        solver.iterate(2)
+        for shard in solver.shards:
+            apply_rho_scale(shard.state, 0.2)
+        with pytest.raises(ValueError, match="diag_quad prox undefined"):
+            solver.iterate(1)
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.iterate(1)
+        solver.close()
+
+    def test_kept_iterate_past_cap_still_reports_residuals(self):
+        """solve_batch(init="keep") on an iterate already past the cap
+        follows the max_iterations=0 contract: one residual check, no
+        sweeps, converged=False."""
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            solver.initialize("zeros")
+            solver.iterate(10)
+            results = solver.solve_batch(max_iterations=5, init="keep")
+            for r in results:
+                assert r.iterations == 10
+                assert not r.converged
+                assert r.residuals is not None
+                assert len(r.history) == 1
+
+    def test_close_is_idempotent_and_blocks_runs(self):
+        solver = ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="process"
+        )
+        solver.iterate(2)
+        solver.close()
+        solver.close()
+        with pytest.raises(RuntimeError):
+            solver.iterate(1)
+
+    def test_single_shard_degenerates_to_batched(self):
+        plain = BatchedSolver(quad_batch(TARGETS), rho=1.1)
+        plain.initialize("zeros")
+        plain.iterate(10)
+        with ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=1, mode="thread", rho=1.1
+        ) as solver:
+            solver.initialize("zeros")
+            solver.iterate(10)
+            np.testing.assert_array_equal(solver.fleet_z(), plain.state.z)
+        plain.close()

@@ -1,41 +1,83 @@
-"""Golden-trace regression: the solver's residual trajectory is pinned.
+"""Golden-trace regression: solver residual trajectories are pinned.
 
-A fixed, fully-deterministic solve (figure-1 graph, vectorized backend,
-seeded random init, constant ρ) is serialized into ``tests/data/``; every
-future run must reproduce the primal/dual residual trajectory and the
-final iterate.  Solver-math refactors that change results — even by more
-than float-reassociation noise — fail here before they can silently drift.
+Fixed, fully-deterministic solves (vectorized backend, seeded random init,
+constant ρ) are serialized into ``tests/data/``; every future run must
+reproduce the primal/dual residual trajectory and the final iterate.
+Solver-math refactors that change results — even by more than
+float-reassociation noise — fail here before they can silently drift.
 
-Regenerate (after an *intentional* math change, with justification in the
-commit message)::
+The golden set covers three workloads:
+
+* ``figure1`` — the paper's Figure-1 graph (``figure1_trace.json``);
+* ``mpc``     — the inverted-pendulum MPC graph (``mpc_trace.json``);
+* ``svm``     — the two-Gaussian SVM training graph (``svm_trace.json``).
+
+**Regeneration note**: only after an *intentional* solver-math change,
+with justification in the commit message, regenerate ALL traces with::
 
     PYTHONPATH=src python tests/test_golden_trace.py
 
-which rewrites ``tests/data/figure1_trace.json``.
+which rewrites every ``tests/data/*_trace.json``.  Each file records its
+full run configuration, so a config drift between code and data is
+detected rather than silently diffed.
 """
 
 import json
 import os
 
 import numpy as np
+import pytest
 
+from repro.apps.mpc import default_problem
 from repro.backends.vectorized import VectorizedBackend
-from repro.bench.workloads import figure1_graph
+from repro.bench.workloads import figure1_graph, svm_graph
 from repro.core.solver import ADMMSolver
 from repro.core.stopping import MaxIterations
 
-DATA_PATH = os.path.join(os.path.dirname(__file__), "data", "figure1_trace.json")
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 
-#: Reference-run configuration (all recorded into the trace file, so a
+#: Reference-run configurations (all recorded into the trace files, so a
 #: mismatch between code and data is detected rather than silently diffed).
-CONFIG = {
-    "graph": "figure1",
-    "backend": "vectorized",
-    "rho": 1.4,
-    "alpha": 0.9,
-    "seed": 2024,
-    "max_iterations": 60,
-    "check_every": 5,
+TRACES = {
+    "figure1": {
+        "file": "figure1_trace.json",
+        "build": figure1_graph,
+        "config": {
+            "graph": "figure1",
+            "backend": "vectorized",
+            "rho": 1.4,
+            "alpha": 0.9,
+            "seed": 2024,
+            "max_iterations": 60,
+            "check_every": 5,
+        },
+    },
+    "mpc": {
+        "file": "mpc_trace.json",
+        "build": lambda: default_problem(5).build_graph(),
+        "config": {
+            "graph": "mpc_pendulum_h5",
+            "backend": "vectorized",
+            "rho": 10.0,
+            "alpha": 1.0,
+            "seed": 77,
+            "max_iterations": 60,
+            "check_every": 5,
+        },
+    },
+    "svm": {
+        "file": "svm_trace.json",
+        "build": lambda: svm_graph(20, dim=2, seed=3),
+        "config": {
+            "graph": "svm_blobs_n20_d2_s3",
+            "backend": "vectorized",
+            "rho": 2.0,
+            "alpha": 1.0,
+            "seed": 13,
+            "max_iterations": 60,
+            "check_every": 5,
+        },
+    },
 }
 
 #: Bitwise reproducibility is expected on one platform; the tolerance only
@@ -44,86 +86,97 @@ RTOL = 1e-9
 ATOL = 1e-12
 
 
-def run_reference():
-    graph = figure1_graph()
+def trace_path(name: str) -> str:
+    return os.path.join(DATA_DIR, TRACES[name]["file"])
+
+
+def run_reference(name: str):
+    spec = TRACES[name]
+    config = spec["config"]
     solver = ADMMSolver(
-        graph,
+        spec["build"](),
         backend=VectorizedBackend(),
-        rho=CONFIG["rho"],
-        alpha=CONFIG["alpha"],
+        rho=config["rho"],
+        alpha=config["alpha"],
     )
     result = solver.solve(
-        max_iterations=CONFIG["max_iterations"],
-        check_every=CONFIG["check_every"],
-        stopping=MaxIterations(CONFIG["max_iterations"]),
+        max_iterations=config["max_iterations"],
+        check_every=config["check_every"],
+        stopping=MaxIterations(config["max_iterations"]),
         init="random",
-        seed=CONFIG["seed"],
+        seed=config["seed"],
     )
     solver.close()
     return result
 
 
-def test_trace_file_exists():
-    assert os.path.exists(DATA_PATH), (
-        f"golden trace missing; generate with: PYTHONPATH=src python {__file__}"
+@pytest.mark.parametrize("name", sorted(TRACES))
+def test_trace_file_exists(name):
+    assert os.path.exists(trace_path(name)), (
+        f"golden trace {name!r} missing; generate with: "
+        f"PYTHONPATH=src python {__file__}"
     )
 
 
-def test_residual_trajectory_reproduces():
-    with open(DATA_PATH) as fh:
+@pytest.mark.parametrize("name", sorted(TRACES))
+def test_residual_trajectory_reproduces(name):
+    with open(trace_path(name)) as fh:
         golden = json.load(fh)
-    assert golden["config"] == CONFIG, (
-        "trace config drifted from the recorded one; regenerate the golden "
-        "file if the change is intentional"
+    assert golden["config"] == TRACES[name]["config"], (
+        f"trace {name!r} config drifted from the recorded one; regenerate "
+        "the golden file if the change is intentional"
     )
-    result = run_reference()
+    result = run_reference(name)
     assert list(result.history.iterations) == golden["iterations"]
     np.testing.assert_allclose(
         result.history.primal_array(),
         np.asarray(golden["primal"]),
         rtol=RTOL,
         atol=ATOL,
-        err_msg="primal residual trajectory drifted",
+        err_msg=f"{name}: primal residual trajectory drifted",
     )
     np.testing.assert_allclose(
         result.history.dual_array(),
         np.asarray(golden["dual"]),
         rtol=RTOL,
         atol=ATOL,
-        err_msg="dual residual trajectory drifted",
+        err_msg=f"{name}: dual residual trajectory drifted",
     )
     np.testing.assert_allclose(
         result.z,
         np.asarray(golden["z_final"]),
         rtol=RTOL,
         atol=ATOL,
-        err_msg="final iterate drifted",
+        err_msg=f"{name}: final iterate drifted",
     )
 
 
-def test_trace_is_nontrivial():
+@pytest.mark.parametrize("name", sorted(TRACES))
+def test_trace_is_nontrivial(name):
     """Guard the guard: the stored trajectory actually decreases."""
-    with open(DATA_PATH) as fh:
+    with open(trace_path(name)) as fh:
         golden = json.load(fh)
+    config = TRACES[name]["config"]
     primal = np.asarray(golden["primal"])
-    assert len(primal) == CONFIG["max_iterations"] // CONFIG["check_every"]
+    assert len(primal) == config["max_iterations"] // config["check_every"]
     assert primal[-1] < primal[0]
     assert np.all(primal > 0)
 
 
 def _generate():
-    result = run_reference()
-    payload = {
-        "config": CONFIG,
-        "iterations": [int(i) for i in result.history.iterations],
-        "primal": [float(v) for v in result.history.primal],
-        "dual": [float(v) for v in result.history.dual],
-        "z_final": [float(v) for v in result.z],
-    }
-    os.makedirs(os.path.dirname(DATA_PATH), exist_ok=True)
-    with open(DATA_PATH, "w") as fh:
-        json.dump(payload, fh, indent=1)
-    print(f"wrote {DATA_PATH}: {len(payload['primal'])} checks")
+    os.makedirs(DATA_DIR, exist_ok=True)
+    for name in sorted(TRACES):
+        result = run_reference(name)
+        payload = {
+            "config": TRACES[name]["config"],
+            "iterations": [int(i) for i in result.history.iterations],
+            "primal": [float(v) for v in result.history.primal],
+            "dual": [float(v) for v in result.history.dual],
+            "z_final": [float(v) for v in result.z],
+        }
+        with open(trace_path(name), "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"wrote {trace_path(name)}: {len(payload['primal'])} checks")
 
 
 if __name__ == "__main__":
