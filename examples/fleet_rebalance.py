@@ -1,0 +1,86 @@
+"""Live fleet rebalancing: work-stealing shards on an uneven MPC fleet.
+
+Builds a fleet of inverted-pendulum MPC instances where half start at the
+origin (they converge almost immediately) and half start far out (they
+grind), then solves it with a :class:`RebalancingShardedSolver`: as easy
+instances freeze, their shard's active count drops below the steal
+threshold and the shard steals work from the heaviest one — every steal
+is logged, and the results stay bit-identical to the plain batched solve.
+Then the live fleet is re-sharded in place and grown with appended
+instances (the O(k) incremental structural append), state carried
+bit-for-bit throughout.
+
+Run:  python examples/fleet_rebalance.py [batch_size] [horizon] [shards]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import BatchedSolver, RebalancingShardedSolver
+from repro.apps.mpc import MPCProblem, build_batch, inverted_pendulum
+from repro.graph.batch import REBUILD_COUNTER
+
+
+def make_problems(batch_size, horizon):
+    A, B = inverted_pendulum()
+    problems = []
+    for i in range(batch_size):
+        if i < batch_size // 2:
+            q0 = np.zeros(4)  # already at the target: converges instantly
+        else:
+            q0 = np.full(4, 0.35) * (1 + i / batch_size)  # far out: grinds
+        problems.append(MPCProblem(A=A, B=B, q0=q0, horizon=horizon))
+    return problems
+
+
+def main():
+    batch_size = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    horizon = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+    shards = int(sys.argv[3]) if len(sys.argv) > 3 else 2
+
+    problems = make_problems(batch_size, horizon)
+    batch = build_batch(problems)
+    print(f"uneven fleet of {batch_size} pendulum MPC instances, "
+          f"horizon K={horizon}")
+
+    kwargs = dict(max_iterations=150, check_every=5, init="zeros")
+    plain = BatchedSolver(build_batch(problems), rho=10.0)
+    ref = plain.solve_batch(**kwargs)
+
+    # --- work-stealing solve: idle shards take load from the heaviest --- #
+    solver = RebalancingShardedSolver(
+        batch, num_shards=shards, mode="thread", rho=10.0, steal_threshold=2
+    )
+    print(solver.summary())
+    got = solver.solve_batch(**kwargs)
+    for ev in solver.steal_log:
+        print(f"  steal @ iter {ev.iteration}: shard {ev.thief} took "
+              f"instances {list(ev.instances)} from shard {ev.donor}")
+    dev = max(float(np.max(np.abs(a.z - b.z))) for a, b in zip(got, ref))
+    print(f"steals: {len(solver.steal_log)}   "
+          f"max |dz| vs plain batched: {dev:.1e} (0 = bit-identical)")
+
+    # --- live re-shard: repartition in place, state carried ------------- #
+    solver.reshard(max(1, shards - 1))
+    solver.initialize("zeros")
+    plain.initialize("zeros")
+    solver.iterate(40)
+    plain.iterate(40)
+    dev = float(np.max(np.abs(solver.fleet_z() - plain.state.z)))
+    print(f"resharded live to {solver.num_shards} shard(s); after 40 more "
+          f"sweeps max |dz| = {dev:.1e}")
+
+    # --- incremental append: only the new blocks are built -------------- #
+    before = REBUILD_COUNTER.snapshot()
+    solver.add_instances(2)
+    delta = REBUILD_COUNTER.instances_built - before["instances_built"]
+    print(f"appended 2 cold instances -> B={solver.batch_size}; structural "
+          f"builds: {delta} (O(k), not O(B)); rosters {solver.shard_rosters()}")
+
+    solver.close()
+    plain.close()
+
+
+if __name__ == "__main__":
+    main()

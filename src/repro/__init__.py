@@ -57,6 +57,31 @@ three-weight and randomized-async variants run through the same fleet path
 of ``ShardedBatchedSolver``) with per-instance randomized streams, so
 every combination stays numerically identical to solo solves.
 
+Live rebalancing
+----------------
+Elastic resizes are structurally **incremental**:
+``GraphBatch.append_instances`` splices only the k new instance blocks
+into the canonical group-major layout (O(k) instance builds, witnessed by
+``repro.graph.REBUILD_COUNTER``) and ``remove_instances`` compacts the
+index maps instead of re-replicating survivors.  On top of that,
+``RebalancingShardedSolver`` keeps shard ownership *fluid* on a live
+fleet: idle shards **work-steal** contiguous roster blocks from the
+heaviest shard as instances converge unevenly (deterministic, seeded
+decisions logged in ``steal_log``), ``reshard``/``rebalance`` repartition
+the fleet in place without restarting workers, and ``add_instances`` /
+``remove_instances`` grow or shrink the rosters mid-flight.  Because
+every migration moves per-instance state bit-for-bit through the batch
+index maps, results stay bit-identical to a plain ``BatchedSolver`` under
+any churn — pinned by the churn stress suite (``tests/test_fleet_churn.py``)
+and the stealing determinism matrix (``tests/test_fleet_rebalancing.py``)::
+
+    from repro import RebalancingShardedSolver
+
+    solver = RebalancingShardedSolver(batch, num_shards=4,
+                                      steal_threshold=2)
+    results = solver.solve_batch()       # steals as instances freeze
+    solver.reshard(2)                    # live repartition, state carried
+
 Testing layers
 --------------
 The suite guards the engine at four levels: a cross-backend equivalence
@@ -96,6 +121,7 @@ from repro.core import (
     ADMMState,
     BatchedSolver,
     MaxIterations,
+    RebalancingShardedSolver,
     ResidualTolerance,
     ShardedBatchedSolver,
     carry_state,
@@ -123,6 +149,7 @@ __all__ = [
     "ADMMState",
     "BatchedSolver",
     "ShardedBatchedSolver",
+    "RebalancingShardedSolver",
     "carry_state",
     "MaxIterations",
     "ResidualTolerance",

@@ -62,7 +62,9 @@ def run_fleet(args) -> int:
 
     ``--shards N`` adds the sharded path (one vectorized worker per shard,
     ``--mode`` process/thread); ``--elastic`` appends an add/remove demo
-    showing survivors' iterates are preserved bit-for-bit.
+    showing survivors' iterates are preserved bit-for-bit; ``--rebalance``
+    appends the work-stealing / live-resharding demo
+    (``--steal-threshold`` tunes when idle shards steal).
     """
     from repro.bench.harness import (
         time_fleet_batched,
@@ -72,6 +74,18 @@ def run_fleet(args) -> int:
     from repro.bench.workloads import mpc_fleet
 
     sizes = args.sizes if args.sizes else (4, 16, 64)
+    if args.shards and args.shards > min(sizes):
+        # A shard with zero instances would idle a worker and break the
+        # per-instance bookkeeping; refuse loudly instead of clamping or
+        # spawning empty shards.
+        print(
+            f"error: --shards {args.shards} exceeds the smallest fleet size "
+            f"B={min(sizes)}; every shard must own at least one instance "
+            f"(empty shards are not allowed). Lower --shards or raise "
+            f"--sizes.",
+            file=sys.stderr,
+        )
+        return 2
     iterations = 30
     columns = ["B", "elements", "loop s", "batched s", "speedup"]
     if args.shards:
@@ -93,10 +107,9 @@ def run_fleet(args) -> int:
             loop_s / batched_s if batched_s > 0 else float("inf"),
         ]
         if args.shards:
-            shards = min(args.shards, B)  # a shard needs >= 1 instance
-            sharded_s = time_fleet_sharded(batch, iterations, shards, args.mode)
+            sharded_s = time_fleet_sharded(batch, iterations, args.shards, args.mode)
             row += [
-                shards,
+                args.shards,
                 sharded_s,
                 batched_s / sharded_s if sharded_s > 0 else float("inf"),
             ]
@@ -104,12 +117,95 @@ def run_fleet(args) -> int:
     if args.shards:
         t.add_note(
             f"sharded: {args.mode}-mode ShardedBatchedSolver with the row's "
-            "shard count (requested shards clamped to B); shard x = "
-            "batched s / sharded s (needs multiple cores to exceed 1)"
+            "shard count; shard x = batched s / sharded s (needs multiple "
+            "cores to exceed 1)"
         )
     t.emit()
     if args.elastic:
         run_fleet_elastic_demo(args, iterations)
+    if args.rebalance:
+        run_fleet_rebalance_demo(args)
+    return 0
+
+
+def run_fleet_rebalance_demo(args) -> int:
+    """Work-stealing + live-resharding demo: results match plain batched.
+
+    Builds an unevenly-converging MPC fleet, solves it with a
+    :class:`RebalancingShardedSolver` (idle shards steal from the heaviest
+    once their active count drops below ``--steal-threshold``), then
+    re-shards the live fleet and verifies every iterate stayed
+    bit-identical to the plain ``BatchedSolver`` solve.
+    """
+    import numpy as np
+
+    from repro.apps.mpc import MPCProblem, build_batch, inverted_pendulum
+    from repro.core.batched import BatchedSolver
+    from repro.core.rebalance import RebalancingShardedSolver
+
+    B = max(args.sizes[-1] if args.sizes else 8, 4)
+    shards = args.shards if args.shards else 2
+
+    def uneven_fleet():
+        # Half the fleet starts at the target (freezes at the first check),
+        # half far out (grinds) — the convergence skew that makes fixed
+        # shards idle and stealing worthwhile.
+        A, Bm = inverted_pendulum()
+        return build_batch(
+            [
+                MPCProblem(
+                    A=A,
+                    B=Bm,
+                    q0=np.zeros(4) if i < B // 2 else np.full(4, 0.4),
+                    horizon=args.horizon,
+                )
+                for i in range(B)
+            ]
+        )
+
+    batch = uneven_fleet()
+    kwargs = dict(max_iterations=150, check_every=5, init="zeros")
+    plain = BatchedSolver(uneven_fleet(), rho=10.0)
+    ref = plain.solve_batch(**kwargs)
+
+    t = SeriesTable(
+        f"Rebalancing fleet demo (horizon {args.horizon}) — work-stealing "
+        f"shards vs plain batched, steal threshold {args.steal_threshold}",
+        ("op", "B", "shards", "steals", "max |dz| vs batched"),
+    )
+    with RebalancingShardedSolver(
+        batch,
+        num_shards=shards,
+        mode=args.mode,
+        rho=10.0,
+        steal_threshold=args.steal_threshold,
+    ) as solver:
+        got = solver.solve_batch(**kwargs)
+        dev = max(
+            float(np.max(np.abs(a.z - b.z))) for a, b in zip(got, ref)
+        )
+        t.add_row("solve+steal", B, solver.num_shards, len(solver.steal_log), dev)
+        solver.reshard(max(1, shards - 1))
+        solver.initialize("zeros")
+        plain.initialize("zeros")
+        solver.iterate(30)
+        plain.iterate(30)
+        dev = float(np.max(np.abs(solver.fleet_z() - plain.state.z)))
+        t.add_row(
+            f"reshard->{solver.num_shards}+iterate",
+            B,
+            solver.num_shards,
+            len(solver.steal_log),
+            dev,
+        )
+        for ev in solver.steal_log:
+            t.add_note(
+                f"steal @ iter {ev.iteration}: shard {ev.thief} took "
+                f"instances {list(ev.instances)} from shard {ev.donor}"
+            )
+    t.add_note("max |dz| = 0 means bit-identical to the plain batched solve")
+    t.emit()
+    plain.close()
     return 0
 
 
@@ -184,7 +280,7 @@ COMMANDS = {
     "fig10": "MPC GPU model sweep",
     "fig13": "SVM GPU model sweep",
     "ntb": "threads-per-block sweep",
-    "fleet": "batched/sharded multi-instance solving vs per-instance loop",
+    "fleet": "batched/sharded/rebalancing multi-instance solving vs per-instance loop",
 }
 
 
@@ -210,6 +306,18 @@ def main(argv: list[str] | None = None) -> int:
         "--elastic",
         action="store_true",
         help="fleet: append the elastic add/remove demo",
+    )
+    parser.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="fleet: append the work-stealing / live-resharding demo",
+    )
+    parser.add_argument(
+        "--steal-threshold",
+        type=int,
+        default=1,
+        help="fleet --rebalance: a shard steals once its active instance "
+        "count drops below this (0 disables stealing)",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -153,6 +153,39 @@ def time_fleet_sharded(
     return elapsed
 
 
+def time_fleet_rebalanced(
+    batch,
+    iterations: int,
+    num_shards: int,
+    mode: str = "thread",
+    steal_threshold: int = 1,
+    rho: float = 10.0,
+) -> float:
+    """Wall time of the rebalancing path (roster shards, stealing enabled).
+
+    Same timed region as :func:`time_fleet_sharded`; ``iterate`` performs
+    no convergence checks, so stealing never fires here — the number
+    measures the roster machinery's sweep overhead versus the fixed-shard
+    solver.
+    """
+    from repro.core.rebalance import RebalancingShardedSolver
+
+    solver = RebalancingShardedSolver(
+        batch,
+        num_shards=num_shards,
+        mode=mode,
+        steal_threshold=steal_threshold,
+        rho=rho,
+    )
+    solver.iterate(1)  # warmup
+    t0 = time.perf_counter()
+    solver.initialize("zeros")
+    solver.iterate(iterations)
+    elapsed = time.perf_counter() - t0
+    solver.close()
+    return elapsed
+
+
 def compare_backends(
     graph: FactorGraph,
     baseline: Backend,

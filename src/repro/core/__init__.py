@@ -9,6 +9,7 @@ from repro.core.batched import (
     per_instance_residuals,
 )
 from repro.core.sharded import ShardedBatchedSolver, run_variant_sweeps
+from repro.core.rebalance import RebalancingShardedSolver, StealEvent
 from repro.core.diagnostics import ADMMResult, SolveHistory
 from repro.core.residuals import (
     Residuals,
@@ -49,6 +50,8 @@ __all__ = [
     "ADMMSolver",
     "BatchedSolver",
     "ShardedBatchedSolver",
+    "RebalancingShardedSolver",
+    "StealEvent",
     "carry_state",
     "normalize_pool",
     "per_instance_residuals",

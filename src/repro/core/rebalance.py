@@ -1,0 +1,1012 @@
+"""Live fleet rebalancing: work-stealing shards over elastic rosters.
+
+:class:`repro.core.sharded.ShardedBatchedSolver` fixes its contiguous
+instance-block shards at construction, which loses the paper's
+keep-every-lane-busy property the moment instances converge unevenly (a
+shard whose instances all froze idles while another grinds) or the fleet
+resizes (a new sharded solver must be built).  This module adds the
+load-aware layer the ROADMAP names, in the spirit of parallel multi-block
+ADMM (Deng et al.) and Bethe-ADMM's tree-decomposition parallelism: the
+*blocks* are mathematically independent, so ownership can move freely
+between workers as long as each instance's state moves bit-for-bit.
+
+:class:`RebalancingShardedSolver` keeps a **roster** of global instance
+ids per shard instead of a fixed range, and supports, on a *live* fleet:
+
+* **work stealing** — inside :meth:`solve_batch`, when a shard's active
+  (non-converged) instance count drops below ``steal_threshold``, it
+  steals a contiguous roster block covering half the load imbalance from
+  the heaviest shard.  Decisions are deterministic and seeded
+  (``steal_seed``); every event is recorded in :attr:`steal_log`.
+* **live re-sharding** — :meth:`reshard` / :meth:`rebalance` repartition
+  the fleet across shards in place, migrating iterates, duals,
+  ρ/α-schedules, and stopping bookkeeping across shard boundaries without
+  restarting workers (pool threads are task-agnostic; process workers are
+  generic loops that re-``bind`` to a new sub-graph over their command
+  queue).
+* **elastic rosters** — :meth:`add_instances` splices new instances into
+  the fleet batch through the incremental
+  :meth:`~repro.graph.batch.GraphBatch.append_instances` (O(k) structural
+  builds) and routes them to the lightest shard; :meth:`remove_instances`
+  compacts the fleet and every affected roster.
+
+Because every per-instance quantity moves through the batch index maps,
+migration never reassociates a single floating-point operation: iterates,
+residual traces, freezing decisions, and ρ-schedules stay **bit-identical**
+to a plain :class:`~repro.core.batched.BatchedSolver` solve of the same
+fleet, under any interleaving of steals and reshards (pinned by
+``tests/test_fleet_rebalancing.py`` and ``tests/test_fleet_churn.py``).
+
+Execution modes mirror the sharded solver with one twist: the randomized
+``async`` variant's per-instance streams are held by the *parent* (one
+:class:`~repro.core.async_admm.AsyncSweepPlan` per global instance, seeded
+``seed + instance``), and each run hands workers the pre-drawn factor
+masks — so a stolen instance's stream continues exactly where it left
+off, wherever it executes.  Process mode trades the sharded solver's
+shared-memory buffers for queue-serialized state (rosters change shape;
+``ShardedBatchedSolver`` remains the fast path for static fleets).
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import queue
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.async_admm import AsyncSweepPlan, run_iteration_async
+from repro.core.batched import normalize_pool, per_instance_residuals
+from repro.core.diagnostics import ADMMResult, SolveHistory
+from repro.core.parameters import ConstantPenalty, PenaltySchedule, apply_rho_scale
+from repro.core.residuals import Residuals
+from repro.core.sharded import MODES, VARIANTS, run_variant_sweeps
+from repro.core.state import ADMMState
+from repro.graph.batch import GraphBatch
+from repro.graph.partition import contiguous_chunks
+from repro.utils.rng import DEFAULT_SEED, default_rng
+from repro.utils.timing import KernelTimers
+
+_FAMILIES = ("x", "m", "u", "n")
+
+
+@dataclass(frozen=True)
+class StealEvent:
+    """One executed work-steal: which shard took which instances from whom."""
+
+    iteration: int
+    thief: int
+    donor: int
+    instances: tuple[int, ...]
+
+
+def _run_sweeps(graph, state: ADMMState, iterations: int, variant: str, masks):
+    """Advance ``state`` by ``iterations`` sweeps of the chosen variant.
+
+    ``masks`` (``(iterations, num_factors)`` bool) carries the parent-drawn
+    randomized plans for the ``async`` variant; ``None`` otherwise.
+    """
+    if variant == "async":
+        for s in range(iterations):
+            run_iteration_async(graph, state, masks[s])
+    else:
+        run_variant_sweeps(graph, state, iterations, variant)
+
+
+def _worker_main(cmd_q, done_q):
+    """Generic shard worker: owns no graph until told to ``bind``.
+
+    Unlike the sharded solver's workers (forked around one fixed shard
+    graph), this loop is re-targetable: a ``bind`` command delivers a new
+    sub-graph over the queue, so live re-sharding never restarts the
+    process.  ``run`` commands carry the full iterate (rosters change
+    shape, so state is serialized rather than shared) and return the
+    advanced families.  Exceptions are relayed; the worker survives them.
+    """
+    graph = None
+    variant = "classic"
+    state: ADMMState | None = None
+    while True:
+        cmd = cmd_q.get()
+        op = cmd[0]
+        if op == "stop":
+            return
+        try:
+            if op == "bind":
+                graph, variant = cmd[1], cmd[2]
+                state = ADMMState(graph)
+                done_q.put(("ok", None))
+            elif op == "run":
+                iterations, payload, masks = cmd[1], cmd[2], cmd[3]
+                x, m, u, n, z, rho, alpha = payload
+                state.x[:] = x
+                state.m[:] = m
+                state.u[:] = u
+                state.n[:] = n
+                state.z[:] = z
+                state.set_rho(rho)
+                state.set_alpha(alpha)
+                t0 = time.perf_counter()
+                _run_sweeps(graph, state, iterations, variant, masks)
+                elapsed = time.perf_counter() - t0
+                done_q.put(
+                    ("ok", ((state.x, state.m, state.u, state.n, state.z), elapsed))
+                )
+            else:  # pragma: no cover - protocol misuse
+                done_q.put(("error", f"unknown command {op!r}"))
+        except Exception as err:  # noqa: BLE001 - relayed to the parent
+            done_q.put(("error", f"{type(err).__name__}: {err}"))
+
+
+class _Worker:
+    """One persistent generic worker process plus its command plumbing."""
+
+    def __init__(self, ctx) -> None:
+        self.cmd_q = ctx.Queue()
+        self.done_q = ctx.Queue()
+        self.proc = ctx.Process(
+            target=_worker_main, args=(self.cmd_q, self.done_q), daemon=True
+        )
+        self.proc.start()
+        self.bound: GraphBatch | None = None  # sub-batch it currently holds
+
+
+class _RosterShard:
+    """One shard: its roster of global instance ids, sub-batch, and state."""
+
+    def __init__(self, ids: list[int], batch: GraphBatch, state: ADMMState) -> None:
+        self.ids = list(ids)
+        self.batch = batch
+        self.state = state
+        self.pending = None  # process-mode result awaiting adoption
+
+    @property
+    def size(self) -> int:
+        return len(self.ids)
+
+
+class RebalancingShardedSolver:
+    """Fleet ADMM over work-stealing, live-reshardable instance rosters.
+
+    Parameters mirror :class:`~repro.core.sharded.ShardedBatchedSolver`
+    (``rho`` additionally accepts ``(B,)`` / ``(B, E_t)`` fleet forms) plus
+    the rebalancing knobs:
+
+    ``steal_threshold``
+        a shard whose *active* instance count falls below this value
+        steals from the heaviest shard at every convergence check of
+        :meth:`solve_batch`; ``0`` disables stealing.
+    ``steal_seed``
+        seeds the deterministic tie-breaking of steal decisions.
+
+    Default ``mode`` is ``"thread"``: pool threads are task-agnostic, so
+    re-sharding is free.  ``"process"`` drives generic re-bindable worker
+    processes (state travels the command queues — for static fleets the
+    shared-memory :class:`ShardedBatchedSolver` is the faster path).
+
+    Per-instance results are numerically identical to a plain
+    :class:`~repro.core.batched.BatchedSolver` for every variant, under
+    any interleaving of steals, reshards, and rebalances — migration moves
+    state bit-for-bit and never changes per-instance math.
+    """
+
+    def __init__(
+        self,
+        batch: GraphBatch,
+        num_shards: int = 2,
+        mode: str = "thread",
+        variant: str = "classic",
+        rho=1.0,
+        alpha=1.0,
+        schedule: PenaltySchedule | None = None,
+        fraction: float = 0.5,
+        seed: int | None = None,
+        steal_threshold: int = 1,
+        steal_seed: int | None = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        if not 1 <= num_shards <= batch.batch_size:
+            raise ValueError(
+                f"num_shards must be in [1, {batch.batch_size}], got "
+                f"{num_shards}: every shard must own at least one instance "
+                f"(empty shards are not allowed)"
+            )
+        if steal_threshold < 0:
+            raise ValueError(
+                f"steal_threshold must be >= 0, got {steal_threshold}"
+            )
+        self.batch = batch
+        self.mode = mode
+        self.variant = variant
+        self.schedule = schedule if schedule is not None else ConstantPenalty()
+        self.fraction = float(fraction)
+        self.seed = seed
+        self.steal_threshold = int(steal_threshold)
+        self.steal_log: list[StealEvent] = []
+        self._steal_rng = default_rng(
+            DEFAULT_SEED if steal_seed is None else steal_seed
+        )
+        self._iteration = 0
+        self._closed = False
+        self._pool: ThreadPoolExecutor | None = None
+        self._workers: list[_Worker] = []
+
+        rows = self._penalty_rows(rho, "rho")
+        arows = self._penalty_rows(alpha, "alpha")
+        # Construction-time defaults for cold newcomers (instance 0's row,
+        # same convention as BatchedSolver.add_instances).
+        self._fresh_rho = rows[0].copy()
+        self._fresh_alpha = arows[0].copy()
+
+        self.plans: list[AsyncSweepPlan] | None = None
+        if variant == "async":
+            self._reseed_plans()
+
+        self.shards: list[_RosterShard] = []
+        for lo, hi in contiguous_chunks(batch.batch_size, int(num_shards)):
+            ids = list(range(lo, hi))
+            sub = batch.select_instances(ids)
+            state = ADMMState(
+                sub.graph,
+                rho=sub.instance_rho(rows[ids]),
+                alpha=sub.instance_rho(arows[ids]),
+            )
+            self.shards.append(_RosterShard(ids, sub, state))
+
+        if mode == "process":
+            self._ctx = mp.get_context("fork")
+            self._workers = [_Worker(self._ctx) for _ in self.shards]
+        else:
+            self._pool_size = len(self.shards)
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._pool_size, thread_name_prefix="paradmm-rebal"
+            )
+
+    # ------------------------------------------------------------------ #
+    def _penalty_rows(self, value, name: str) -> np.ndarray:
+        """Normalize a fleet ρ/α argument to per-instance ``(B, E_t)`` rows."""
+        B, Et = self.batch.batch_size, self.batch.template.num_edges
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.ndim == 0:
+            return np.full((B, Et), float(arr))
+        if arr.shape == (B,):
+            return np.repeat(arr[:, None], Et, axis=1)
+        if arr.shape == (B, Et):
+            return arr.astype(np.float64, copy=True)
+        raise ValueError(
+            f"{name} must be scalar, ({B},) per-instance, or ({B}, {Et}) "
+            f"per-instance-per-edge; got shape {arr.shape}"
+        )
+
+    def _reseed_plans(self) -> None:
+        """(Re-)seed the per-instance randomized streams for the fleet.
+
+        Seeding matches :class:`~repro.core.async_admm.FleetSweepPlan`
+        (``seed + global instance``), so solves equal the plain fleet's and
+        solo randomized solves.  Called at construction and after elastic
+        resizes — a resize restarts streams for the new layout, exactly
+        like ``FleetRandomizedBackend.rebind``.  Steals and reshards do
+        *not* reseed: a migrated instance's stream continues where it left
+        off, which is what keeps stolen trajectories bit-identical.
+        """
+        base = DEFAULT_SEED if self.seed is None else int(self.seed)
+        self.plans = [
+            AsyncSweepPlan(self.batch.template, self.fraction, base + g)
+            for g in range(self.batch.batch_size)
+        ]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_size(self) -> int:
+        return self.batch.batch_size
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def iteration(self) -> int:
+        """Completed fleet sweeps (every shard advances in lockstep)."""
+        return self._iteration
+
+    def shard_rosters(self) -> list[tuple[int, ...]]:
+        """The global instance ids owned by each shard, in shard order."""
+        return [tuple(sh.ids) for sh in self.shards]
+
+    def owner_of(self, instance: int) -> tuple[int, int]:
+        """``(shard index, local index)`` currently owning a global instance."""
+        for s, sh in enumerate(self.shards):
+            if instance in sh.ids:
+                return s, sh.ids.index(instance)
+        raise IndexError(
+            f"instance {instance} out of range for fleet of {self.batch_size}"
+        )
+
+    def summary(self) -> str:
+        t = self.batch.template
+        sizes = "+".join(str(sh.size) for sh in self.shards)
+        return (
+            f"RebalancingShardedSolver: B={self.batch_size} as "
+            f"{self.num_shards} shards ({sizes}) x template("
+            f"|F|={t.num_factors} |V|={t.num_vars} |E|={t.num_edges}), "
+            f"mode={self.mode}, variant={self.variant}, "
+            f"steal_threshold={self.steal_threshold}, "
+            f"steals={len(self.steal_log)}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fleet views (global instance order, independent of shard rosters).  #
+    # ------------------------------------------------------------------ #
+    def split_z(self) -> np.ndarray:
+        """Per-instance ``(B, z_size)`` rows of the fleet iterate."""
+        zt = self.batch.template.z_size
+        rows = np.empty((self.batch_size, zt))
+        for sh in self.shards:
+            rows[sh.ids] = sh.state.z.reshape(sh.size, zt)
+        return rows
+
+    def fleet_z(self) -> np.ndarray:
+        """The fleet iterate in the batched z layout (instance-major).
+
+        Byte-comparable to ``BatchedSolver.state.z`` — rosters only decide
+        *where* an instance's rows live, never their values.
+        """
+        return self.split_z().reshape(-1)
+
+    def family_rows(self, family: str) -> np.ndarray:
+        """Per-instance ``(B, S_t)`` rows of one edge family (x/m/u/n)."""
+        if family not in _FAMILIES:
+            raise ValueError(f"family must be one of {_FAMILIES}, got {family!r}")
+        rows = np.empty((self.batch_size, self.batch.template.edge_size))
+        for sh in self.shards:
+            rows[sh.ids] = getattr(sh.state, family)[sh.batch.slot_index]
+        return rows
+
+    def rho_rows(self) -> np.ndarray:
+        """Per-instance ``(B, E_t)`` ρ rows (template edge order)."""
+        rows = np.empty((self.batch_size, self.batch.template.num_edges))
+        for sh in self.shards:
+            rows[sh.ids] = sh.batch.split_edges(sh.state.rho)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    def initialize(
+        self,
+        how: str = "zeros",
+        low: float = 0.0,
+        high: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        """(Re-)initialize the fleet iterate: "zeros", "random", or "keep".
+
+        "random" draws one stream per *instance* (seeded ``seed + global
+        id``), so the initialization is stable under re-sharding and
+        stealing — though, like the sharded solver's, not equal to an
+        unsharded random init.
+        """
+        if how == "zeros":
+            for sh in self.shards:
+                sh.state.init_zeros()
+            self._iteration = 0
+        elif how == "random":
+            if not low < high:
+                raise ValueError(f"need low < high, got [{low}, {high})")
+            base = DEFAULT_SEED if seed is None else seed
+            zt = self.batch.template.z_size
+            for sh in self.shards:
+                for p, g in enumerate(sh.ids):
+                    rng = default_rng(base + g)
+                    for fam in _FAMILIES:
+                        rows = sh.batch.slot_index[p]
+                        getattr(sh.state, fam)[rows] = rng.uniform(
+                            low, high, size=rows.size
+                        )
+                    sh.state.z[p * zt : (p + 1) * zt] = rng.uniform(
+                        low, high, size=zt
+                    )
+                sh.state.iteration = 0
+            self._iteration = 0
+        elif how == "keep":
+            pass
+        else:
+            raise ValueError(f"unknown init {how!r}; use zeros|random|keep")
+
+    def warm_start_pool(self, pool) -> None:
+        """Seed every instance from a pool of previous solutions.
+
+        Same contract as :meth:`BatchedSolver.warm_start_pool`, including
+        cycling pools smaller than the fleet; rows are routed to the shard
+        owning each instance, wherever stealing has put it.
+        """
+        rows = normalize_pool(pool, self.batch_size, self.batch.template.z_size)
+        for sh in self.shards:
+            sh.state.init_from_z(sh.batch.pack_z(rows[sh.ids]))
+        self._iteration = 0
+
+    # ------------------------------------------------------------------ #
+    # Sweep execution.                                                    #
+    # ------------------------------------------------------------------ #
+    def _draw_masks(self, iterations: int):
+        """Pre-draw per-shard randomized factor masks (async variant).
+
+        The parent owns every instance's stream, so drawing is independent
+        of which shard executes the sweep — the migration-safety property.
+        """
+        if self.variant != "async":
+            return [None] * len(self.shards)
+        out = []
+        for sh in self.shards:
+            masks = np.zeros((iterations, sh.batch.graph.num_factors), dtype=bool)
+            for s in range(iterations):
+                for p, g in enumerate(sh.ids):
+                    masks[s, sh.batch.factor_index[p]] = self.plans[g].draw()
+            out.append(masks)
+        return out
+
+    def iterate(self, iterations: int, timers: KernelTimers | None = None) -> None:
+        """Advance the whole fleet a fixed number of sweeps (benchmark mode)."""
+        if iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        if iterations:
+            self._run_all(iterations, timers)
+
+    def _run_all(self, iterations: int, timers: KernelTimers | None = None) -> None:
+        """Advance every shard ``iterations`` sweeps, workers in parallel."""
+        if self._closed:
+            raise RuntimeError("solver is closed")
+        masks = self._draw_masks(iterations)
+        failure: Exception | None = None
+        if self.mode == "process":
+            self._ensure_workers()
+            for idx, sh in enumerate(self.shards):
+                w = self._workers[idx]
+                if w.bound is not sh.batch:
+                    w.cmd_q.put(("bind", sh.batch.graph, self.variant))
+            for idx, sh in enumerate(self.shards):
+                w = self._workers[idx]
+                if w.bound is not sh.batch:
+                    try:
+                        self._collect(w, idx, "bind")
+                        w.bound = sh.batch
+                    except RuntimeError as err:
+                        failure = failure or err
+            if failure is None:
+                for idx, sh in enumerate(self.shards):
+                    st = sh.state
+                    payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
+                    self._workers[idx].cmd_q.put(
+                        ("run", iterations, payload, masks[idx])
+                    )
+                # Collect every shard before touching any state: a failure
+                # in one shard must not leave another's result queued.
+                elapsed = []
+                for idx, sh in enumerate(self.shards):
+                    try:
+                        sh.pending, dt = self._collect(
+                            self._workers[idx], idx, "sweep"
+                        )
+                        elapsed.append(dt)
+                    except RuntimeError as err:
+                        failure = failure or err
+                if failure is None:
+                    for sh in self.shards:
+                        for fam, arr in zip(_FAMILIES, sh.pending[:4]):
+                            getattr(sh.state, fam)[:] = arr
+                        sh.state.z[:] = sh.pending[4]
+                        sh.pending = None
+                        sh.state.iteration += iterations
+                    if timers is not None:
+                        # Barrier semantics: the fleet waits for the
+                        # slowest shard.
+                        timers["x"].elapsed += max(elapsed)
+                        timers["x"].calls += iterations
+        else:
+            self._ensure_pool()
+            t0 = time.perf_counter()
+            futures = [
+                self._pool.submit(
+                    _run_sweeps,
+                    sh.batch.graph,
+                    sh.state,
+                    iterations,
+                    self.variant,
+                    masks[idx],
+                )
+                for idx, sh in enumerate(self.shards)
+            ]
+            done, _ = wait(futures)
+            for f in done:
+                exc = f.exception()
+                if exc is not None:
+                    failure = failure or exc
+        if failure is not None:
+            # The fleet iterate is no longer consistent across shards;
+            # shut the solver down rather than risk desynchronized reuse.
+            self.close()
+            raise failure
+        self._iteration += iterations
+
+    def _ensure_workers(self) -> None:
+        """Grow the process-worker pool to cover every shard (never shrinks)."""
+        while len(self._workers) < len(self.shards):
+            self._workers.append(_Worker(self._ctx))
+
+    def _ensure_pool(self) -> None:
+        """Grow the thread pool so every shard sweeps concurrently.
+
+        Re-sharding up past the construction-time shard count would
+        otherwise queue the extra shards behind the old ``max_workers``.
+        Pool threads hold no shard state, so swapping in a wider pool is
+        not a worker restart in any state-bearing sense.
+        """
+        if len(self.shards) > self._pool_size:
+            self._pool.shutdown(wait=True)
+            self._pool_size = len(self.shards)
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._pool_size, thread_name_prefix="paradmm-rebal"
+            )
+
+    def _collect(self, worker: _Worker, idx: int, what: str):
+        """Wait for one worker's reply, surfacing failures and dead workers."""
+        while True:
+            try:
+                status, payload = worker.done_q.get(timeout=5)
+            except queue.Empty:
+                if worker.proc is not None and not worker.proc.is_alive():
+                    raise RuntimeError(
+                        f"shard {idx} worker died without reporting a result"
+                    ) from None
+                continue
+            if status == "error":
+                raise RuntimeError(f"shard {idx} {what} failed: {payload}")
+            return payload
+
+    # ------------------------------------------------------------------ #
+    # Live migration: steals, reshards, elastic rosters.                  #
+    # ------------------------------------------------------------------ #
+    def _remap(self, assignments: list[list[int]], source_of, fresh=None) -> None:
+        """Rebuild shards to own the given rosters, migrating state.
+
+        ``assignments`` lists each new shard's global instance ids
+        (ascending); ``source_of(gid)`` returns the ``(shard, local)``
+        currently holding that instance's state, or ``None`` for a cold
+        newcomer (zero iterate, ``fresh=(rho_row, alpha_row)`` penalties in
+        template edge order).  Shards whose roster and sources are
+        unchanged are reused as-is — a steal rebuilds exactly two shards.
+        Every copied quantity moves through the batch index maps, so
+        migration is bit-exact per instance.
+        """
+        existing: dict[tuple[int, ...], _RosterShard] = {}
+        for sh in self.shards:
+            existing[tuple(sh.ids)] = sh
+        new_shards: list[_RosterShard] = []
+        for ids in assignments:
+            ids = [int(g) for g in ids]
+            sh = existing.get(tuple(ids))
+            if sh is not None and all(
+                source_of(g) == (sh, p) for p, g in enumerate(ids)
+            ):
+                new_shards.append(sh)
+                continue
+            sub = self.batch.select_instances(ids)
+            state = ADMMState(sub.graph)
+            rho = np.empty(sub.graph.num_edges)
+            alpha = np.empty(sub.graph.num_edges)
+            zt = self.batch.template.z_size
+            for p, g in enumerate(ids):
+                src = source_of(g)
+                if src is None:
+                    rho[sub.edge_index[p]] = fresh[0]
+                    alpha[sub.edge_index[p]] = fresh[1]
+                    continue  # cold: families stay zero
+                osh, q = src
+                for fam in _FAMILIES:
+                    getattr(state, fam)[sub.slot_index[p]] = getattr(
+                        osh.state, fam
+                    )[osh.batch.slot_index[q]]
+                state.z[p * zt : (p + 1) * zt] = osh.state.z[
+                    q * zt : (q + 1) * zt
+                ]
+                rho[sub.edge_index[p]] = osh.state.rho[osh.batch.edge_index[q]]
+                alpha[sub.edge_index[p]] = osh.state.alpha[
+                    osh.batch.edge_index[q]
+                ]
+            state.set_rho(rho)
+            state.set_alpha(alpha)
+            state.iteration = self._iteration
+            new_shards.append(_RosterShard(ids, sub, state))
+        self.shards = new_shards
+
+    def _owner_map(self):
+        owner: dict[int, tuple[_RosterShard, int]] = {}
+        for sh in self.shards:
+            for p, g in enumerate(sh.ids):
+                owner[g] = (sh, p)
+        return owner
+
+    def reshard(self, num_shards: int) -> None:
+        """Repartition the live fleet into contiguous global-id rosters.
+
+        State (iterates, duals, per-edge penalties) migrates across shard
+        boundaries bit-for-bit; workers are not restarted (process workers
+        lazily re-``bind`` to their new sub-graph at the next run).
+        """
+        if self._closed:
+            raise RuntimeError("solver is closed")
+        if not 1 <= num_shards <= self.batch_size:
+            raise ValueError(
+                f"cannot reshard a fleet of {self.batch_size} instances "
+                f"into {num_shards} shards: every shard must own at least "
+                f"one instance (empty shards are not allowed)"
+            )
+        owner = self._owner_map()
+        assignments = [
+            list(range(lo, hi))
+            for lo, hi in contiguous_chunks(self.batch_size, int(num_shards))
+        ]
+        self._remap(assignments, lambda g: owner[g])
+
+    def rebalance(self, active=None) -> None:
+        """Re-split the fleet so shards carry (near-)equal active load.
+
+        ``active`` is an optional ``(B,)`` boolean mask of non-converged
+        instances; without it every instance counts equally (an even
+        re-shard).  Rosters stay contiguous in global id order; the
+        partition is a deterministic greedy sweep that weights active
+        instances first and instance counts second.
+        """
+        if self._closed:
+            raise RuntimeError("solver is closed")
+        B, k = self.batch_size, self.num_shards
+        if active is None:
+            self.reshard(k)
+            return
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (B,):
+            raise ValueError(f"active must have shape ({B},), got {active.shape}")
+        # Weight actives heavily, idles lightly, so actives balance first
+        # but every shard still gets a roster.
+        w = active.astype(np.int64) * B + 1
+        owner = self._owner_map()
+        assignments: list[list[int]] = []
+        start = 0
+        for s in range(k):
+            if s == k - 1:
+                stop = B
+            else:
+                remaining = int(w[start:].sum())
+                target = remaining / (k - s)
+                max_stop = B - (k - s - 1)
+                stop = start + 1
+                acc = int(w[start])
+                while stop < max_stop and acc + int(w[stop]) <= target:
+                    acc += int(w[stop])
+                    stop += 1
+            assignments.append(list(range(start, stop)))
+            start = stop
+        self._remap(assignments, lambda g: owner[g])
+
+    # ------------------------------------------------------------------ #
+    def _pick(self, candidates: list[int]) -> int:
+        """Seeded tie-break: deterministic given the steal seed and history."""
+        if len(candidates) == 1:
+            return candidates[0]
+        return int(candidates[int(self._steal_rng.integers(len(candidates)))])
+
+    def _steal(self, thief_idx: int, donor_idx: int, active: np.ndarray):
+        """Move half the active-load imbalance from donor to thief.
+
+        The stolen instances are the smallest contiguous *tail block* of
+        the donor's roster covering the target active count (trailing
+        frozen instances ride along — moving them is free).  Returns the
+        executed :class:`StealEvent`, or ``None`` if no move helps.
+        """
+        donor = self.shards[donor_idx]
+        thief = self.shards[thief_idx]
+        d_act = int(active[donor.ids].sum())
+        t_act = int(active[thief.ids].sum())
+        n_move = (d_act - t_act) // 2
+        if n_move <= 0:
+            return None
+        flags = np.flatnonzero(active[donor.ids])
+        cut = int(flags[-n_move])
+        if cut == 0:
+            cut = 1  # the donor always keeps at least one instance
+        block = donor.ids[cut:]
+        if not block:
+            return None
+        owner = self._owner_map()
+        rosters = [list(sh.ids) for sh in self.shards]
+        rosters[donor_idx] = donor.ids[:cut]
+        rosters[thief_idx] = sorted(thief.ids + block)
+        self._remap(rosters, lambda g: owner[g])
+        event = StealEvent(
+            iteration=self._iteration,
+            thief=thief_idx,
+            donor=donor_idx,
+            instances=tuple(int(g) for g in block),
+        )
+        self.steal_log.append(event)
+        return event
+
+    def steal_once(self, active=None):
+        """One manual steal from the heaviest to the lightest shard.
+
+        ``active`` defaults to all-instances-active (pure size balancing).
+        Returns the :class:`StealEvent` or ``None`` when the fleet is
+        already balanced.  Useful for scripted churn; :meth:`solve_batch`
+        triggers steals automatically from convergence masks.
+        """
+        if self._closed:
+            raise RuntimeError("solver is closed")
+        if self.num_shards < 2:
+            return None
+        if active is None:
+            active = np.ones(self.batch_size, dtype=bool)
+        counts = [int(np.asarray(active)[sh.ids].sum()) for sh in self.shards]
+        lo, hi = min(counts), max(counts)
+        thief = self._pick([i for i, c in enumerate(counts) if c == lo])
+        donor = self._pick(
+            [i for i, c in enumerate(counts) if c == hi and i != thief]
+        )
+        return self._steal(thief, donor, np.asarray(active, dtype=bool))
+
+    def _auto_steal(self, active: np.ndarray) -> list[StealEvent]:
+        """Stealing pass run at every convergence check of the solve loop."""
+        if self.steal_threshold <= 0 or self.num_shards < 2:
+            return []
+        events = []
+        order = self._steal_rng.permutation(self.num_shards)
+        for thief_idx in order:
+            counts = [int(active[sh.ids].sum()) for sh in self.shards]
+            if counts[thief_idx] >= self.steal_threshold:
+                continue
+            hi = max(c for i, c in enumerate(counts) if i != thief_idx)
+            if hi <= counts[thief_idx]:
+                continue
+            donor_idx = self._pick(
+                [i for i, c in enumerate(counts) if c == hi and i != thief_idx]
+            )
+            ev = self._steal(int(thief_idx), donor_idx, active)
+            if ev is not None:
+                events.append(ev)
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Elastic rosters: grow/shrink the live fleet.                        #
+    # ------------------------------------------------------------------ #
+    def add_instances(self, new_instances, rho=None, alpha=None) -> None:
+        """Grow the live fleet, appending cold instances to the lightest shard.
+
+        The fleet batch grows through the incremental
+        :meth:`GraphBatch.append_instances` (O(k) structural builds); only
+        the receiving shard is rebuilt.  Existing instances keep their
+        iterates, duals, and per-edge penalties bit-for-bit.  ``rho`` /
+        ``alpha`` (scalar or template-per-edge ``(E_t,)``) default to the
+        construction-time values, so schedule drift on the running fleet
+        does not leak into newcomers.  The async variant's per-instance
+        streams restart for the new layout (the
+        ``FleetRandomizedBackend.rebind`` convention).
+        """
+        if self._closed:
+            raise RuntimeError("solver is closed")
+        old_B = self.batch_size
+        self.batch = self.batch.append_instances(new_instances)
+        new_ids = list(range(old_B, self.batch.batch_size))
+        fresh = (
+            self._fresh_edges(rho, self._fresh_rho, "rho"),
+            self._fresh_edges(alpha, self._fresh_alpha, "alpha"),
+        )
+        owner = self._owner_map()
+        target = int(np.argmin([sh.size for sh in self.shards]))
+        rosters = [list(sh.ids) for sh in self.shards]
+        rosters[target] = sorted(rosters[target] + new_ids)
+        self._remap(
+            rosters, lambda g: owner[g] if g < old_B else None, fresh=fresh
+        )
+        if self.variant == "async":
+            self._reseed_plans()
+
+    def remove_instances(self, drop) -> None:
+        """Shrink the live fleet, dropping the given global instances.
+
+        The fleet batch compacts (no re-replication); survivors are
+        renumbered to their compacted global ids, rosters shed the dropped
+        members, and shards left empty are dissolved (their worker stays
+        in the pool for the next reshard).  Survivors keep their state
+        bit-for-bit; async streams restart for the new layout.
+        """
+        if self._closed:
+            raise RuntimeError("solver is closed")
+        dropset = {int(i) for i in drop}
+        old_B = self.batch_size
+        owner = self._owner_map()
+        self.batch = self.batch.remove_instances(dropset)  # validates ids
+        old_to_new = {}
+        pos = 0
+        for g in range(old_B):
+            if g not in dropset:
+                old_to_new[g] = pos
+                pos += 1
+        new_to_old = {v: k for k, v in old_to_new.items()}
+        rosters = []
+        for sh in self.shards:
+            roster = [old_to_new[g] for g in sh.ids if g not in dropset]
+            if roster:
+                rosters.append(roster)
+        self._remap(rosters, lambda g: owner[new_to_old[g]])
+        if self.variant == "async":
+            self._reseed_plans()
+
+    def _fresh_edges(self, value, default: np.ndarray, name: str) -> np.ndarray:
+        if value is None:
+            return default
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.ndim == 0:
+            return np.full(self.batch.template.num_edges, float(arr))
+        if arr.shape == (self.batch.template.num_edges,):
+            return arr
+        raise ValueError(
+            f"fresh {name} must be scalar or "
+            f"({self.batch.template.num_edges},), got shape {arr.shape}"
+        )
+
+    # ------------------------------------------------------------------ #
+    def _fleet_residuals(
+        self, z_prevs: list[np.ndarray], eps_abs: float, eps_rel: float
+    ) -> list[Residuals]:
+        """Per-instance residuals in *global* fleet order."""
+        out: list[Residuals | None] = [None] * self.batch_size
+        for sh, z_prev in zip(self.shards, z_prevs):
+            res = per_instance_residuals(sh.batch, sh.state, z_prev, eps_abs, eps_rel)
+            for p, g in enumerate(sh.ids):
+                out[g] = res[p]
+        return out
+
+    def solve_batch(
+        self,
+        max_iterations: int = 1000,
+        eps_abs: float = 1e-6,
+        eps_rel: float = 1e-4,
+        check_every: int = 10,
+        init: str = "keep",
+        seed: int | None = None,
+    ) -> list[ADMMResult]:
+        """Iterate until every instance converges or the iteration cap.
+
+        Same per-instance contract as :meth:`BatchedSolver.solve_batch`
+        (results in global instance order, converged instances frozen out
+        of the ρ-schedule but still sweeping), plus automatic work
+        stealing: after every convergence check, shards whose active count
+        fell below ``steal_threshold`` steal from the heaviest shard.
+
+        The outer loop deliberately mirrors ``BatchedSolver.solve_batch`` /
+        ``ShardedBatchedSolver.solve_batch`` (run/residual/ρ-apply are
+        shard-local; the steal pass only moves state); behavioral changes
+        must be made in all three — parity is pinned by
+        ``tests/test_fleet_rebalancing.py``.
+        """
+        if max_iterations < 0:
+            raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        self.initialize(init, seed=seed)
+        B = self.batch_size
+        schedules = [copy.deepcopy(self.schedule) for _ in range(B)]
+        for s in schedules:
+            s.reset()
+
+        timers = KernelTimers()
+        histories = [SolveHistory() for _ in range(B)]
+        active = np.ones(B, dtype=bool)
+        frozen_iterations = np.full(B, -1, dtype=np.int64)
+        last_residuals: list[Residuals | None] = [None] * B
+        rho_by_instance = self.rho_rows()
+        t0 = time.perf_counter()
+
+        if self._iteration >= max_iterations:
+            # No sweeps will run: residuals of the current iterate, computed
+            # once, converged=False — the max_iterations=0 contract.
+            res = self._fleet_residuals(
+                [sh.state.z for sh in self.shards], eps_abs, eps_rel
+            )
+            for i in range(B):
+                histories[i].append(res[i], None, float(rho_by_instance[i].mean()))
+                last_residuals[i] = res[i]
+
+        while self._iteration < max_iterations:
+            block = min(check_every, max_iterations - self._iteration)
+            if block > 1:
+                self._run_all(block - 1, timers)
+            z_prevs = [sh.state.z.copy() for sh in self.shards]
+            self._run_all(1, timers)
+            res = self._fleet_residuals(z_prevs, eps_abs, eps_rel)
+            rho_by_instance = self.rho_rows()
+            for i in np.flatnonzero(active):
+                last_residuals[i] = res[i]
+                histories[i].append(res[i], None, float(rho_by_instance[i].mean()))
+                if res[i].converged:
+                    frozen_iterations[i] = self._iteration
+                    active[i] = False
+            if not active.any():
+                break
+            # Per-instance ρ adaptation, applied shard-locally; frozen
+            # instances keep scale 1 (their ρ and dual stay untouched).
+            for sh in self.shards:
+                scale = np.ones(sh.batch.graph.num_edges)
+                changed = False
+                for p, g in enumerate(sh.ids):
+                    if not active[g]:
+                        continue
+                    s = float(schedules[g].rho_scale(sh.state, res[g]))
+                    if s != 1.0:
+                        scale[sh.batch.edge_index[p]] = s
+                        changed = True
+                if changed:
+                    apply_rho_scale(sh.state, scale)
+            # Work stealing: shards starved of active instances take load
+            # from the heaviest shard.  Pure state motion — per-instance
+            # math is unchanged, so results stay bit-identical.
+            self._auto_steal(active)
+
+        wall = time.perf_counter() - t0
+        owner = self._owner_map()
+        results: list[ADMMResult] = []
+        for i in range(B):
+            sh, p = owner[i]
+            converged = frozen_iterations[i] >= 0
+            results.append(
+                ADMMResult(
+                    solution=sh.batch.instance_solution(sh.state.z, p),
+                    z=sh.state.z[sh.batch.z_slice(p)].copy(),
+                    converged=bool(converged),
+                    iterations=int(
+                        frozen_iterations[i] if converged else self._iteration
+                    ),
+                    residuals=last_residuals[i],
+                    history=histories[i],
+                    timers=timers,
+                    wall_time=wall,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            try:
+                w.cmd_q.put(("stop",))
+            except Exception:
+                pass
+        for w in self._workers:
+            if w.proc is not None:
+                w.proc.join(timeout=5)
+                if w.proc.is_alive():
+                    w.proc.terminate()
+                w.proc = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "RebalancingShardedSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"RebalancingShardedSolver(B={self.batch_size}, "
+            f"shards={self.num_shards}, mode={self.mode}, "
+            f"variant={self.variant}, steals={len(self.steal_log)})"
+        )

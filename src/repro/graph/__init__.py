@@ -2,7 +2,12 @@
 
 from repro.graph.factor_graph import FactorGraph, FactorGroup, FactorSpec
 from repro.graph.builder import GraphBuilder, graph_from_edges, start_graph
-from repro.graph.batch import GraphBatch, replicate_graph
+from repro.graph.batch import (
+    REBUILD_COUNTER,
+    GraphBatch,
+    StructuralRebuildCounter,
+    replicate_graph,
+)
 from repro.graph.partition import (
     Partition,
     balanced_factor_groups,
@@ -30,6 +35,8 @@ __all__ = [
     "graph_from_edges",
     "start_graph",
     "GraphBatch",
+    "REBUILD_COUNTER",
+    "StructuralRebuildCounter",
     "replicate_graph",
     "Partition",
     "balanced_factor_groups",

@@ -28,19 +28,256 @@ per-instance residuals, stopping masks, and warm starts.
 Batches are **elastic**: because every instance records its exact factor
 parameters inside the batched graph, :meth:`GraphBatch.add_instances`,
 :meth:`GraphBatch.remove_instances`, and :meth:`GraphBatch.select_instances`
-re-replicate any subset without the application layer re-deriving anything —
+rebuild any subset without the application layer re-deriving anything —
 the substrate for fleet growth/shrink between solves and for splitting a
 fleet into contiguous shards (:class:`repro.core.sharded.ShardedBatchedSolver`).
+
+Elastic resizes are **incremental**: the batched layout is a pure function
+of ``(template, B)`` — parameters aside, every index array is arithmetic —
+so :meth:`GraphBatch.append_instances` materializes only the ``k`` new
+instance blocks (factor specs, stacked group-parameter rows) and splices
+them into the canonical layout, and :meth:`GraphBatch.remove_instances`
+compacts the maps with row gathers.  Neither path re-replicates surviving
+instances through :class:`~repro.graph.builder.GraphBuilder`; the module
+counter :data:`REBUILD_COUNTER` records how many instance blocks each
+operation structurally built, which is what the O(k)-append tests assert
+(wall-clock is too noisy to gate on).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.graph.builder import GraphBuilder
-from repro.graph.factor_graph import FactorGraph
+from repro.graph.factor_graph import FactorGraph, FactorGroup, FactorSpec
+
+
+class StructuralRebuildCounter:
+    """Operation counters witnessing the cost class of batch restructures.
+
+    ``instances_built`` counts instance blocks whose factor specs were
+    materialized (parameter merge + spec creation) — the unit the
+    "append is O(k), not O(B)" acceptance tests assert on, because on
+    shared 1-core runners wall-clock cannot gate anything.
+    """
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.instances_built = 0
+        self.full_replications = 0
+        self.incremental_appends = 0
+        self.compactions = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "instances_built": self.instances_built,
+            "full_replications": self.full_replications,
+            "incremental_appends": self.incremental_appends,
+            "compactions": self.compactions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"StructuralRebuildCounter({self.snapshot()})"
+
+
+#: Process-wide counter of structural batch rebuild work (see class docs).
+REBUILD_COUNTER = StructuralRebuildCounter()
+
+
+def _merge_factor_params(
+    params: Mapping[str, np.ndarray],
+    overrides: Mapping[str, np.ndarray],
+    i: int,
+    a: int,
+) -> dict[str, np.ndarray]:
+    """Merge per-instance overrides over a template factor's parameters.
+
+    Shared by :func:`replicate_graph` and the incremental append so both
+    paths validate identically (same error messages, same float64
+    freezing).
+    """
+    merged = dict(params)
+    for key, value in overrides.items():
+        if key not in merged:
+            raise ValueError(
+                f"instance {i} overrides unknown parameter {key!r} of "
+                f"factor {a}; overrides may only replace existing "
+                f"template parameters (new keys would split the "
+                f"factor group)"
+            )
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != merged[key].shape:
+            raise ValueError(
+                f"instance {i} override of factor {a} parameter "
+                f"{key!r} has shape {value.shape}; template has "
+                f"{merged[key].shape}"
+            )
+        merged[key] = value
+    return merged
+
+
+class _BatchLayout:
+    """Canonical constants of the group-major batched layout of a template.
+
+    Every structural array of ``replicate_graph(template, B)`` — edge
+    lists, indptrs, group gather matrices, and the batch index maps — is a
+    pure arithmetic function of the template and ``B``; parameters are the
+    only per-instance content.  This class computes those arrays with
+    vectorized NumPy (no per-factor Python loop), which is what makes
+    :meth:`GraphBatch.append_instances` and map compaction incremental:
+    surviving instances contribute pointer copies and row gathers, never a
+    rebuild through :class:`GraphBuilder`.
+    """
+
+    def __init__(self, template: FactorGraph) -> None:
+        t = template
+        self.template = t
+        self.n = np.array([g.size for g in t.groups], dtype=np.int64)
+        self.e = np.array([g.edge_count for g in t.groups], dtype=np.int64)
+        self.L = np.array([g.slot_count for g in t.groups], dtype=np.int64)
+
+        def exclusive(a: np.ndarray) -> np.ndarray:
+            out = np.zeros(a.size, dtype=np.int64)
+            np.cumsum(a[:-1], out=out[1:])
+            return out
+
+        self.prefix_f = exclusive(self.n)
+        self.prefix_e = exclusive(self.n * self.e)
+        self.prefix_s = exclusive(self.n * self.L)
+        self.f_group = np.empty(t.num_factors, dtype=np.int64)
+        self.f_pos = np.empty(t.num_factors, dtype=np.int64)
+        for gi, grp in enumerate(t.groups):
+            self.f_group[grp.factor_ids] = gi
+            self.f_pos[grp.factor_ids] = np.arange(grp.size)
+        # Template variable ids of each group's edges, one instance's worth,
+        # in batched creation order (factor by factor within the group).
+        self.edge_pattern = [
+            t.edge_var[grp.gather_edges.reshape(-1)] for grp in t.groups
+        ]
+
+    # ------------------------------------------------------------------ #
+    def maps(self, Bn: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(Bn, ·)`` factor/edge/slot index maps of a ``Bn``-batch."""
+        t = self.template
+        rows = np.arange(Bn, dtype=np.int64)[:, None]
+        g = self.f_group
+        base_f = Bn * self.prefix_f[g] + self.f_pos
+        factor_index = base_f[None, :] + rows * self.n[g][None, :]
+
+        a = t.edge_factor
+        ge = self.f_group[a]
+        within = np.arange(t.num_edges, dtype=np.int64) - t.factor_indptr[a]
+        base_e = Bn * self.prefix_e[ge] + self.f_pos[a] * self.e[ge] + within
+        edge_index = base_e[None, :] + rows * (self.n[ge] * self.e[ge])[None, :]
+
+        ae = t.edge_factor[t.slot_edge]
+        gs = self.f_group[ae]
+        ws = np.arange(t.edge_size, dtype=np.int64) - t.factor_slot_indptr[ae]
+        base_s = Bn * self.prefix_s[gs] + self.f_pos[ae] * self.L[gs] + ws
+        slot_index = base_s[None, :] + rows * (self.n[gs] * self.L[gs])[None, :]
+        return factor_index, edge_index, slot_index
+
+    def skeleton(
+        self, Bn: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``var_dims, edge_var, edge_factor, factor_indptr`` of a ``Bn``-batch."""
+        t = self.template
+        V = t.num_vars
+        var_dims = np.tile(t.var_dims, Bn)
+        offs = np.arange(Bn, dtype=np.int64)[:, None] * V
+        ev, ef, deg = [], [], []
+        for gi in range(len(t.groups)):
+            ev.append((offs + self.edge_pattern[gi][None, :]).reshape(-1))
+            first = Bn * self.prefix_f[gi]
+            count = Bn * self.n[gi]
+            ef.append(
+                np.repeat(np.arange(first, first + count, dtype=np.int64), self.e[gi])
+            )
+            deg.append(np.full(count, self.e[gi], dtype=np.int64))
+        edge_var = np.concatenate(ev) if ev else np.zeros(0, dtype=np.int64)
+        edge_factor = np.concatenate(ef) if ef else np.zeros(0, dtype=np.int64)
+        degrees = np.concatenate(deg) if deg else np.zeros(0, dtype=np.int64)
+        factor_indptr = np.zeros(degrees.size + 1, dtype=np.int64)
+        np.cumsum(degrees, out=factor_indptr[1:])
+        return var_dims, edge_var, edge_factor, factor_indptr
+
+    def var_names(self, positions) -> list[str]:
+        """Canonical batched variable names for the given instance positions.
+
+        Matches :func:`replicate_graph` exactly: template names get an
+        ``@position`` suffix; an unnamed template takes the builder default
+        ``v{batched id}``.
+        """
+        t = self.template
+        V = t.num_vars
+        if t.var_names is not None:
+            return [f"{t.var_names[b]}@{p}" for p in positions for b in range(V)]
+        return [f"v{p * V + b}" for p in positions for b in range(V)]
+
+    def build_groups(
+        self, Bn: int, params_per_group: Sequence[Mapping[str, np.ndarray]]
+    ) -> tuple[FactorGroup, ...]:
+        """Canonical contiguous factor groups with the given stacked params."""
+        t = self.template
+        out = []
+        for gi, grp in enumerate(t.groups):
+            count = Bn * int(self.n[gi])
+            f0 = Bn * int(self.prefix_f[gi])
+            e0 = Bn * int(self.prefix_e[gi])
+            s0 = Bn * int(self.prefix_s[gi])
+            Lg, eg = int(self.L[gi]), int(self.e[gi])
+            out.append(
+                FactorGroup(
+                    prox=grp.prox,
+                    factor_ids=np.arange(f0, f0 + count, dtype=np.int64),
+                    var_dims=grp.var_dims,
+                    gather_slots=np.arange(
+                        s0, s0 + count * Lg, dtype=np.int64
+                    ).reshape(count, Lg),
+                    gather_edges=np.arange(
+                        e0, e0 + count * eg, dtype=np.int64
+                    ).reshape(count, eg),
+                    params=dict(params_per_group[gi]),
+                )
+            )
+        return tuple(out)
+
+    def assemble(
+        self,
+        Bn: int,
+        factors: Sequence[FactorSpec],
+        names: Sequence[str] | None,
+        params_per_group: Sequence[Mapping[str, np.ndarray]],
+        maps: tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> "GraphBatch":
+        """Build the batch from spliced parts (no builder, no re-validation)."""
+        var_dims, edge_var, edge_factor, factor_indptr = self.skeleton(Bn)
+        graph = FactorGraph.from_parts(
+            var_dims,
+            factors,
+            names,
+            edge_var,
+            edge_factor,
+            factor_indptr,
+            groups_fn=lambda g: self.build_groups(Bn, params_per_group),
+        )
+        batch = GraphBatch(
+            graph=graph,
+            template=self.template,
+            factor_index=maps[0],
+            edge_index=maps[1],
+            slot_index=maps[2],
+        )
+        assert all(g.contiguous for g in graph.groups), (
+            "incremental batch assembly produced a non-contiguous group; "
+            "this is a bug"
+        )
+        return batch
 
 
 class GraphBatch:
@@ -181,32 +418,89 @@ class GraphBatch:
         per-instance math is bit-identical to the old one's.  This is the
         primitive behind sharding (contiguous ``keep`` ranges) and the
         elastic :meth:`add_instances` / :meth:`remove_instances`.
+
+        An order-preserving (strictly ascending) ``keep`` goes through map
+        compaction — vectorized gathers over the existing layout, no
+        re-replication; arbitrary orderings (reorderings, duplicates) fall
+        back to :func:`replicate_graph` from recorded parameters.
         """
         keep = [int(i) for i in keep]
         if not keep:
             raise ValueError("select_instances needs at least one instance")
         for i in keep:
             self._check_instance(i)
+        if all(b > a for a, b in zip(keep, keep[1:])):
+            return self._compact(keep)
         return replicate_graph(
             self.template, len(keep), [self.instance_params(i) for i in keep]
         )
 
-    def add_instances(
+    def _compact(self, keep: Sequence[int]) -> "GraphBatch":
+        """Order-preserving subset via map compaction (no re-replication).
+
+        Surviving instances' factor specs are reused (scopes rebased by a
+        pointer-level :func:`dataclasses.replace` when their position
+        shifts), group parameter matrices are row-gathered, and all index
+        arrays come from the canonical layout — zero instance blocks are
+        structurally rebuilt (``REBUILD_COUNTER.instances_built`` is
+        untouched).
+        """
+        t = self.template
+        lay = _BatchLayout(t)
+        Bn = len(keep)
+        F_t, V = t.num_factors, t.num_vars
+        REBUILD_COUNTER.compactions += 1
+
+        maps = lay.maps(Bn)
+        fi = maps[0]
+        old_specs = np.empty(self.graph.num_factors, dtype=object)
+        old_specs[:] = self.graph.factors
+        spec_arr = np.empty(Bn * F_t, dtype=object)
+        for p, i in enumerate(keep):
+            src = old_specs[self.factor_index[i]]
+            if p != i:
+                shift = (p - i) * V
+                rebased = np.empty(F_t, dtype=object)
+                rebased[:] = [
+                    replace(s, variables=tuple(b + shift for b in s.variables))
+                    for s in src
+                ]
+                src = rebased
+            spec_arr[fi[p]] = src
+
+        keep_arr = np.asarray(keep, dtype=np.int64)
+        params_per_group = []
+        for gi, old_grp in enumerate(self.graph.groups):
+            n_g = int(lay.n[gi])
+            merged: dict[str, np.ndarray] = {}
+            for key, stack in old_grp.params.items():
+                rows = stack.reshape(self.batch_size, n_g, *stack.shape[1:])
+                merged[key] = rows[keep_arr].reshape(Bn * n_g, *stack.shape[1:]).copy()
+            params_per_group.append(merged)
+
+        return lay.assemble(
+            Bn, spec_arr.tolist(), lay.var_names(range(Bn)), params_per_group, maps
+        )
+
+    def append_instances(
         self,
         new_instances: int | Sequence[Mapping[int, Mapping[str, np.ndarray]]],
     ) -> "GraphBatch":
-        """Grow the fleet: a new batch with fresh instances appended.
+        """Incrementally grow the fleet: splice ``k`` new instance blocks in.
 
         ``new_instances`` is either a count (template-parameter clones) or a
         sequence of per-factor override mappings, one per new instance (the
         :func:`replicate_graph` override form).  Existing instances keep
         their exact parameters and their positions ``0..B-1``; new instances
-        take positions ``B..B+n-1``.  The template graph is never re-derived
-        and the application layer never re-enters — the batch re-replicates
-        itself from its own recorded parameters.  (Structurally this is a
-        full O(B) re-replication of the block-diagonal graph, a
-        once-per-resize cost amortized over the solves between resizes;
-        incremental structural append is a ROADMAP item.)
+        take positions ``B..B+k-1``.
+
+        Only the ``k`` new instances are structurally built (factor specs
+        materialized, group-parameter rows stacked); everything existing is
+        spliced by pointer copies and whole-array concatenation into the
+        canonical group-major layout — O(k) instance builds, not the O(B)
+        re-replication :func:`replicate_graph` performs, witnessed by
+        :data:`REBUILD_COUNTER`.  The result is field-by-field identical to
+        a full re-replication of the grown fleet.
         """
         if isinstance(new_instances, int):
             if new_instances < 1:
@@ -220,19 +514,83 @@ class GraphBatch:
             fresh = list(new_instances)
             if not fresh:
                 raise ValueError("must add at least one instance")
-        combined = [self.instance_params(i) for i in range(self.batch_size)]
-        combined.extend(fresh)
-        return replicate_graph(self.template, len(combined), combined)
+        k = len(fresh)
+        B = self.batch_size
+        Bk = B + k
+        t = self.template
+        F_t, V = t.num_factors, t.num_vars
+        lay = _BatchLayout(t)
+        maps = lay.maps(Bk)
+        fi = maps[0]
+        # Existing specs keep their scopes (positions are unchanged); they
+        # move to their spliced slots by pointer copy.
+        old_specs = np.empty(self.graph.num_factors, dtype=object)
+        old_specs[:] = self.graph.factors
+        spec_arr = np.empty(Bk * F_t, dtype=object)
+        spec_arr[fi[:B].reshape(-1)] = old_specs[self.factor_index.reshape(-1)]
+        for j, overrides in enumerate(fresh):
+            i = B + j
+            for a in range(F_t):
+                spec = t.factors[a]
+                spec_arr[fi[i, a]] = FactorSpec(
+                    prox=spec.prox,
+                    variables=tuple(i * V + b for b in spec.variables),
+                    params=_merge_factor_params(
+                        spec.params, overrides.get(a, {}), i, a
+                    ),
+                )
+        # Count only once the k new blocks actually materialized — a
+        # rejected override must not skew the O(k) witness.
+        REBUILD_COUNTER.incremental_appends += 1
+        REBUILD_COUNTER.instances_built += k
+
+        params_per_group = []
+        for gi, old_grp in enumerate(self.graph.groups):
+            tgrp = t.groups[gi]
+            merged: dict[str, np.ndarray] = {}
+            for key, stack in old_grp.params.items():
+                new_rows = np.stack(
+                    [
+                        spec_arr[fi[B + j, a]].params[key]
+                        for j in range(k)
+                        for a in tgrp.factor_ids
+                    ],
+                    axis=0,
+                )
+                merged[key] = np.concatenate([stack, new_rows], axis=0)
+            params_per_group.append(merged)
+
+        old_names = self.graph.var_names
+        if old_names is None:  # pragma: no cover - batches always carry names
+            names = lay.var_names(range(Bk))
+        else:
+            names = list(old_names) + lay.var_names(range(B, Bk))
+        return lay.assemble(Bk, spec_arr.tolist(), names, params_per_group, maps)
+
+    def add_instances(
+        self,
+        new_instances: int | Sequence[Mapping[int, Mapping[str, np.ndarray]]],
+    ) -> "GraphBatch":
+        """Grow the fleet (alias of the incremental :meth:`append_instances`).
+
+        Kept as the historical elastic entry point; since the incremental
+        structural append landed, growing a fleet costs O(k) instance
+        builds instead of the old full O(B) re-replication.
+        """
+        return self.append_instances(new_instances)
 
     def remove_instances(self, drop: Sequence[int]) -> "GraphBatch":
         """Shrink the fleet: a new batch without the dropped instances.
 
         Survivors keep their relative order (instance ``i`` moves to
         position ``sum(j not in drop for j < i)``) and their exact
-        parameters.  Dropping every instance is an error — a batch is never
-        empty.  Use :func:`repro.core.batched.carry_state` (or the elastic
-        methods on :class:`repro.core.batched.BatchedSolver`) to carry the
-        survivors' iterates and duals into the new layout.
+        parameters.  The shrink **compacts** the existing layout (map
+        gathers + pointer-level scope rebasing — see :meth:`_compact`)
+        instead of re-replicating the survivors.  Dropping every instance
+        is an error — a batch is never empty.  Use
+        :func:`repro.core.batched.carry_state` (or the elastic methods on
+        :class:`repro.core.batched.BatchedSolver`) to carry the survivors'
+        iterates and duals into the new layout.
         """
         dropset = {int(i) for i in drop}
         for i in dropset:
@@ -240,7 +598,7 @@ class GraphBatch:
         keep = [i for i in range(self.batch_size) if i not in dropset]
         if not keep:
             raise ValueError("cannot remove every instance from a batch")
-        return self.select_instances(keep)
+        return self._compact(keep)
 
     # ------------------------------------------------------------------ #
     def instance_solution(self, z_flat: np.ndarray, i: int) -> list[np.ndarray]:
@@ -298,6 +656,8 @@ def replicate_graph(
             f"params_per_instance has {len(params_per_instance)} entries "
             f"for batch_size={batch_size}"
         )
+    REBUILD_COUNTER.full_replications += 1
+    REBUILD_COUNTER.instances_built += batch_size
 
     B = batch_size
     V = template.num_vars
@@ -325,25 +685,12 @@ def replicate_graph(
 
     for i, a in order:
         spec = template.factors[a]
-        params = dict(spec.params)
         if params_per_instance is not None:
-            overrides = params_per_instance[i].get(a, {})
-            for key, value in overrides.items():
-                if key not in params:
-                    raise ValueError(
-                        f"instance {i} overrides unknown parameter {key!r} of "
-                        f"factor {a}; overrides may only replace existing "
-                        f"template parameters (new keys would split the "
-                        f"factor group)"
-                    )
-                value = np.asarray(value, dtype=np.float64)
-                if value.shape != params[key].shape:
-                    raise ValueError(
-                        f"instance {i} override of factor {a} parameter "
-                        f"{key!r} has shape {value.shape}; template has "
-                        f"{params[key].shape}"
-                    )
-                params[key] = value
+            params = _merge_factor_params(
+                spec.params, params_per_instance[i].get(a, {}), i, a
+            )
+        else:
+            params = dict(spec.params)
         scope = [i * V + b for b in spec.variables]
         builder.add_factor(spec.prox, scope, params)
 

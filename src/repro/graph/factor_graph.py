@@ -190,6 +190,57 @@ class FactorGraph:
         self.edge_factor = np.asarray(edge_factor, dtype=np.int64)
         self.num_edges = int(self.edge_var.size)
 
+        self._finalize_layout()
+
+        # ---- factor groups (x-update batching) -------------------------- #
+        self.groups = self._build_groups()
+
+    @classmethod
+    def from_parts(
+        cls,
+        var_dims: Sequence[int],
+        factors: Sequence[FactorSpec],
+        var_names: Sequence[str] | None,
+        edge_var: np.ndarray,
+        edge_factor: np.ndarray,
+        factor_indptr: np.ndarray,
+        groups_fn,
+    ) -> "FactorGraph":
+        """Assemble a graph from prevalidated parts, skipping the scan.
+
+        The regular constructor re-derives the edge layout from every
+        :class:`FactorSpec` with a per-factor validation loop and regroups
+        factors from scratch — O(F) Python work.  Structural editors that
+        already know the exact layout (:meth:`repro.graph.batch.GraphBatch.
+        append_instances` splicing k new instance blocks into an existing
+        block-diagonal batch) pass the edge arrays directly and supply the
+        factor groups via ``groups_fn(graph)``, called once the index maps
+        exist.  The caller guarantees consistency; nothing is re-validated.
+        """
+        g = object.__new__(cls)
+        g.var_dims = np.asarray(var_dims, dtype=np.int64)
+        g.num_vars = int(g.var_dims.size)
+        g.factors = tuple(factors)
+        g.num_factors = len(g.factors)
+        g.var_names = tuple(var_names) if var_names is not None else None
+        g.z_indptr = np.zeros(g.num_vars + 1, dtype=np.int64)
+        np.cumsum(g.var_dims, out=g.z_indptr[1:])
+        g.z_size = int(g.z_indptr[-1])
+        g.factor_indptr = np.asarray(factor_indptr, dtype=np.int64)
+        g.edge_var = np.asarray(edge_var, dtype=np.int64)
+        g.edge_factor = np.asarray(edge_factor, dtype=np.int64)
+        g.num_edges = int(g.edge_var.size)
+        g._finalize_layout()
+        g.groups = tuple(groups_fn(g))
+        return g
+
+    def _finalize_layout(self) -> None:
+        """Derive the vectorized index maps from the edge arrays.
+
+        Everything here is a pure array computation over ``var_dims``,
+        ``edge_var``, ``edge_factor``, and ``factor_indptr`` — shared by the
+        validating constructor and :meth:`from_parts`.
+        """
         # ---- flat slot layout ----------------------------------------- #
         self.edge_dims = self.var_dims[self.edge_var]
         self.edge_indptr = np.zeros(self.num_edges + 1, dtype=np.int64)
@@ -230,9 +281,6 @@ class FactorGraph:
         np.cumsum(counts, out=self.var_edge_indptr[1:])
         self.var_degree = counts.astype(np.int64)
         self.factor_degree = np.diff(self.factor_indptr)
-
-        # ---- factor groups (x-update batching) -------------------------- #
-        self.groups = self._build_groups()
 
         # sanity: every variable should appear in >= 1 factor for the ADMM
         # z-update to be defined; we allow isolated variables but remember

@@ -33,6 +33,32 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "fleet" in out and "speedup" in out
 
+    def test_fleet_shards_exceeding_smallest_b_is_a_clear_error(self, capsys):
+        """--shards N with N > B must refuse loudly, not clamp or spawn
+        empty shards (ISSUE 5 satellite bugfix)."""
+        assert main(["fleet", "--sizes", "2", "8", "--shards", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "empty shards are not allowed" in err
+        assert "--shards 4" in err and "B=2" in err
+
+    def test_fleet_rebalance_demo(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--sizes", "4",
+                    "--horizon", "4",
+                    "--rebalance",
+                    "--steal-threshold", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Rebalancing fleet demo" in out
+        assert "bit-identical" in out
+        assert "steal @ iter" in out  # the uneven demo fleet must steal
+
     def test_ntb_sweep(self, capsys):
         assert main(["ntb", "--packing-n", "200"]) == 0
         assert "best" in capsys.readouterr().out

@@ -19,6 +19,7 @@ EXAMPLES = [
     ("examples/three_weight_packing.py", ["3"]),
     ("examples/fleet_mpc.py", ["4", "5"]),
     ("examples/fleet_sharded.py", ["6", "4", "2"]),
+    ("examples/fleet_rebalance.py", ["6", "4", "2"]),
 ]
 
 

@@ -1,0 +1,232 @@
+"""Churn stress suite: random add/remove/reshard/steal under solving (ISSUE 5).
+
+Seeded random sequences of elastic and rebalancing operations — remove,
+re-add, reshard, rebalance, steal — interleaved with solve segments on a
+:class:`RebalancingShardedSolver`.  At every checkpoint, each instance
+that has been continuously alive since the start must be **bit-identical**
+(iterates, duals, penalties, residual histories) to the same instance in
+an untouched reference :class:`BatchedSolver` fleet that never saw any
+churn.  ε = 0 keeps every instance active so the two fleets sweep in
+lockstep; a ResidualBalancing schedule exercises per-instance ρ migration.
+
+The seed list is a matrix: CI gates on the defaults and runs extra seeds
+via the ``REPRO_CHURN_SEEDS`` environment variable (comma-separated ints,
+*replacing* the defaults so matrix steps never repeat each other's work).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedSolver
+from repro.core.parameters import ResidualBalancing
+from repro.core.rebalance import RebalancingShardedSolver
+from repro.graph.batch import replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import DiagQuadProx
+
+DEFAULT_SEEDS = (0, 1, 2, 3, 4)
+
+
+def churn_seeds():
+    override = [
+        int(tok)
+        for tok in os.environ.get("REPRO_CHURN_SEEDS", "").split(",")
+        if tok.strip()
+    ]
+    return override if override else list(DEFAULT_SEEDS)
+
+
+def quad_template():
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    return b.build()
+
+
+def overrides_for(targets):
+    return [{0: {"c": -np.asarray(t, dtype=float)}} for t in targets]
+
+
+def quad_fleet(targets):
+    return replicate_graph(quad_template(), len(targets), overrides_for(targets))
+
+
+def check_survivors(live, untouched, alive, res_live, res_ref):
+    """Bit-identity of every continuously-alive instance at a checkpoint."""
+    u_rows = live.family_rows("u")
+    x_rows = live.family_rows("x")
+    rho_rows = live.rho_rows()
+    z_rows = live.split_z()
+    for pos, (orig, continuous) in enumerate(alive):
+        if not continuous:
+            continue
+        assert res_live[pos].history.primal == res_ref[orig].history.primal
+        assert res_live[pos].history.dual == res_ref[orig].history.dual
+        assert res_live[pos].history.rho == res_ref[orig].history.rho
+        np.testing.assert_array_equal(res_live[pos].z, res_ref[orig].z)
+        slot = untouched.batch.slot_index[orig]
+        np.testing.assert_array_equal(u_rows[pos], untouched.state.u[slot])
+        np.testing.assert_array_equal(x_rows[pos], untouched.state.x[slot])
+        np.testing.assert_array_equal(
+            rho_rows[pos],
+            untouched.batch.split_edges(untouched.state.rho)[orig],
+        )
+        np.testing.assert_array_equal(
+            z_rows[pos], untouched.batch.split_z(untouched.state.z)[orig]
+        )
+
+
+def apply_random_op(rng, live, alive, targets):
+    """One random churn op; returns a log string.  Keeps >= 3 alive."""
+    ops = ["reshard", "rebalance", "steal"]
+    if len(alive) > 3:
+        ops.append("remove")
+    if len(alive) < len(targets) + 4:
+        ops.append("add")
+    op = ops[int(rng.integers(len(ops)))]
+    if op == "remove":
+        n_drop = int(rng.integers(1, len(alive) - 2))
+        drop_pos = sorted(
+            rng.choice(len(alive), size=n_drop, replace=False).tolist()
+        )
+        live.remove_instances(drop_pos)
+        dropped = [alive[p] for p in drop_pos]
+        alive[:] = [a for p, a in enumerate(alive) if p not in drop_pos]
+        return f"remove {drop_pos} ({[d[0] for d in dropped]})"
+    if op == "add":
+        # Re-add a random original template as a cold (not compared) member.
+        back = int(rng.integers(len(targets)))
+        live.add_instances(overrides_for([targets[back]]))
+        alive.append((back, False))
+        return f"add back {back}"
+    if op == "reshard":
+        k = int(rng.integers(1, min(4, len(alive)) + 1))
+        live.reshard(k)
+        return f"reshard {k}"
+    if op == "rebalance":
+        mask = rng.random(len(alive)) < 0.6
+        if not mask.any():
+            mask[0] = True
+        live.rebalance(active=mask)
+        return f"rebalance {mask.astype(int).tolist()}"
+    ev = live.steal_once()
+    return f"steal {ev}"
+
+
+@pytest.mark.parametrize("seed", churn_seeds())
+def test_churn_sequence_keeps_survivors_bit_identical(seed):
+    rng = np.random.default_rng(seed)
+    B = 8
+    targets = rng.normal(size=(B, 2)) + 1.0
+    schedule = ResidualBalancing(mu=1.5, tau=2.0, max_updates=10)
+    untouched = BatchedSolver(quad_fleet(targets), rho=1.3, schedule=schedule)
+    live = RebalancingShardedSolver(
+        quad_fleet(targets),
+        num_shards=int(rng.integers(2, 5)),
+        mode="thread",
+        rho=1.3,
+        schedule=schedule,
+        steal_threshold=0,  # scripted churn below; auto-steal needs freezing
+        steal_seed=seed,
+    )
+
+    alive = [(i, True) for i in range(B)]  # (original id, alive-since-start)
+    log = []
+    cap = 0
+    try:
+        for segment in range(4):
+            cap += 9
+            init = "zeros" if segment == 0 else "keep"
+            res_ref = untouched.solve_batch(
+                max_iterations=cap, eps_abs=0.0, eps_rel=0.0,
+                check_every=3, init=init,
+            )
+            res_live = live.solve_batch(
+                max_iterations=cap, eps_abs=0.0, eps_rel=0.0,
+                check_every=3, init=init,
+            )
+            try:
+                check_survivors(live, untouched, alive, res_live, res_ref)
+            except AssertionError as err:  # pragma: no cover - diagnostics
+                raise AssertionError(
+                    f"checkpoint {segment} diverged after ops {log}: {err}"
+                ) from err
+            if segment == 3:
+                break
+            for _ in range(int(rng.integers(1, 3))):
+                log.append(apply_random_op(rng, live, alive, targets))
+    finally:
+        untouched.close()
+        live.close()
+
+
+@pytest.mark.parametrize("seed", churn_seeds()[:2])
+def test_churn_with_auto_stealing_and_convergence(seed):
+    """Churn variant with real freezing: an uneven fleet solved to
+    convergence with stealing enabled, reshard/rebalance between segments;
+    results must stay bit-identical to the untouched fleet's solve."""
+    rng = np.random.default_rng(1000 + seed)
+    easy = np.zeros((3, 2))
+    hard = rng.normal(size=(5, 2)) * 25.0
+    targets = np.concatenate([easy, hard])
+    plain = BatchedSolver(quad_fleet(targets), rho=1.1)
+    live = RebalancingShardedSolver(
+        quad_fleet(targets),
+        num_shards=3,
+        mode="thread",
+        rho=1.1,
+        steal_threshold=2,
+        steal_seed=seed,
+    )
+    try:
+        live.reshard(int(rng.integers(2, 5)))
+        live.steal_once()
+        ref = plain.solve_batch(max_iterations=250, check_every=5, init="zeros")
+        got = live.solve_batch(max_iterations=250, check_every=5, init="zeros")
+        assert live.steal_log, "uneven convergence fired no steals"
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+            assert a.iterations == b.iterations
+            assert a.converged == b.converged
+            assert a.history.primal == b.history.primal
+    finally:
+        plain.close()
+        live.close()
+
+
+def test_churn_process_mode_smoke():
+    """One short churn on forked generic workers: reshard + steal + solve
+    parity (kept small — fork-heavy)."""
+    targets = np.concatenate([np.zeros((2, 2)), np.full((4, 2), 9.0)])
+    plain = BatchedSolver(quad_fleet(targets), rho=1.2)
+    live = RebalancingShardedSolver(
+        quad_fleet(targets),
+        num_shards=2,
+        mode="process",
+        rho=1.2,
+        steal_threshold=1,
+    )
+    try:
+        live.initialize("zeros")
+        plain.initialize("zeros")
+        live.iterate(4)
+        plain.iterate(4)
+        live.reshard(3)
+        live.steal_once()
+        live.iterate(4)
+        plain.iterate(4)
+        np.testing.assert_array_equal(live.fleet_z(), plain.state.z)
+        ref = plain.solve_batch(max_iterations=100, check_every=5, init="keep")
+        got = live.solve_batch(max_iterations=100, check_every=5, init="keep")
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+            assert a.iterations == b.iterations
+    finally:
+        plain.close()
+        live.close()

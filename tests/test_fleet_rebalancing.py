@@ -1,0 +1,431 @@
+"""Unit + determinism tests for the work-stealing rebalancer (ISSUE 5).
+
+The central claim extends the sharded solver's: moving instance ownership
+between shards — stealing, live re-sharding, rebalancing, elastic roster
+changes — changes *where* sweeps execute, never their math.  Stolen and
+never-stolen instances produce identical iterates and residual traces
+(1e-10, bitwise for the deterministic variants) across mode x variant
+{classic, three_weight, async}, and steal decisions themselves are
+deterministic and seeded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedSolver
+from repro.core.parameters import ResidualBalancing
+from repro.core.rebalance import RebalancingShardedSolver
+from repro.graph.batch import replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import DiagQuadProx
+
+
+def quad_template():
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    return b.build()
+
+
+def quad_batch(targets):
+    overrides = [{0: {"c": -np.asarray(t, dtype=float)}} for t in targets]
+    return replicate_graph(quad_template(), len(targets), overrides)
+
+
+def uneven_targets(B=8, easy=3):
+    """Fleet where ``easy`` instances start at their optimum (freeze at the
+    first check) and the rest are far away — the skew that triggers
+    stealing."""
+    rng = np.random.default_rng(3)
+    return np.concatenate(
+        [np.zeros((easy, 2)), rng.normal(size=(B - easy, 2)) * 20.0]
+    )
+
+
+TARGETS = uneven_targets()
+SOLVE = dict(max_iterations=200, check_every=5, init="zeros")
+
+
+class TestConstruction:
+    def test_validation(self):
+        batch = quad_batch(TARGETS)
+        with pytest.raises(ValueError, match="empty shards"):
+            RebalancingShardedSolver(batch, num_shards=0)
+        with pytest.raises(ValueError, match="empty shards"):
+            RebalancingShardedSolver(batch, num_shards=9)
+        with pytest.raises(ValueError):
+            RebalancingShardedSolver(batch, mode="gpu")
+        with pytest.raises(ValueError):
+            RebalancingShardedSolver(batch, variant="quantum")
+        with pytest.raises(ValueError):
+            RebalancingShardedSolver(batch, steal_threshold=-1)
+        with pytest.raises(ValueError):
+            RebalancingShardedSolver(batch, rho=np.ones(3))
+
+    def test_rosters_cover_fleet(self):
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=3, mode="thread"
+        ) as solver:
+            rosters = solver.shard_rosters()
+            assert sorted(g for r in rosters for g in r) == list(range(8))
+            assert solver.batch_size == 8
+            assert solver.num_shards == 3
+            assert "steal_threshold" in solver.summary()
+            assert solver.owner_of(0) == (0, 0)
+            with pytest.raises(IndexError):
+                solver.owner_of(99)
+
+    def test_per_instance_rho_forms(self):
+        rho_b = np.arange(1.0, 9.0)
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread", rho=rho_b
+        ) as solver:
+            np.testing.assert_allclose(solver.rho_rows()[:, 0], rho_b)
+
+    def test_reshard_validation(self):
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            with pytest.raises(ValueError, match="empty shards"):
+                solver.reshard(9)
+            with pytest.raises(ValueError, match="empty shards"):
+                solver.reshard(0)
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+class TestStealingParity:
+    def test_solve_with_steals_bitwise_equals_batched(self, mode):
+        plain = BatchedSolver(quad_batch(TARGETS), rho=1.1)
+        ref = plain.solve_batch(**SOLVE)
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS),
+            num_shards=3,
+            mode=mode,
+            rho=1.1,
+            steal_threshold=2,
+        ) as solver:
+            got = solver.solve_batch(**SOLVE)
+            assert solver.steal_log, "uneven fleet fired no steals"
+            stolen = {g for ev in solver.steal_log for g in ev.instances}
+            assert stolen, "steal events carried no instances"
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+            assert a.converged == b.converged
+            assert a.iterations == b.iterations
+            assert a.history.primal == b.history.primal
+            assert a.history.dual == b.history.dual
+            assert a.residuals.primal == b.residuals.primal
+        plain.close()
+
+    def test_iterate_with_live_resharding_bitwise_equal(self, mode):
+        plain = BatchedSolver(quad_batch(TARGETS), rho=1.4)
+        plain.initialize("zeros")
+        plain.iterate(17)
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode=mode, rho=1.4
+        ) as solver:
+            solver.initialize("zeros")
+            solver.iterate(5)
+            solver.reshard(4)
+            solver.iterate(4)
+            solver.steal_once()
+            solver.rebalance(
+                active=np.array([1, 0, 1, 0, 1, 1, 0, 1], dtype=bool)
+            )
+            solver.iterate(8)
+            np.testing.assert_array_equal(solver.fleet_z(), plain.state.z)
+            assert solver.iteration == 17
+        plain.close()
+
+
+@pytest.mark.parametrize("variant", ["classic", "three_weight", "async"])
+class TestVariantStealingDeterminism:
+    """Stolen vs never-stolen instances: identical traces at 1e-10."""
+
+    def reference(self, variant):
+        batch = quad_batch(TARGETS)
+        if variant == "classic":
+            with BatchedSolver(batch, rho=1.2) as s:
+                return s.solve_batch(**SOLVE)
+        if variant == "three_weight":
+            from repro.core.three_weight import solve_batch_twa
+
+            return solve_batch_twa(batch, rho=1.2, **SOLVE)
+        from repro.core.async_admm import solve_batch_async
+
+        return solve_batch_async(batch, fraction=0.7, seed=11, rho=1.2, **SOLVE)
+
+    def test_stolen_trajectories_match_plain(self, variant):
+        ref = self.reference(variant)
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS),
+            num_shards=3,
+            mode="thread",
+            variant=variant,
+            rho=1.2,
+            fraction=0.7,
+            seed=11,
+            steal_threshold=2,
+        ) as solver:
+            got = solver.solve_batch(**SOLVE)
+            assert solver.steal_log, f"{variant}: no steals fired"
+        for a, b in zip(got, ref):
+            np.testing.assert_allclose(a.z, b.z, atol=1e-10)
+            assert a.iterations == b.iterations
+            assert a.converged == b.converged
+            np.testing.assert_allclose(
+                a.history.primal, b.history.primal, atol=1e-10
+            )
+            np.testing.assert_allclose(a.history.dual, b.history.dual, atol=1e-10)
+
+    def test_steal_decisions_are_seeded_deterministic(self, variant):
+        def run(steal_seed):
+            with RebalancingShardedSolver(
+                quad_batch(TARGETS),
+                num_shards=3,
+                mode="thread",
+                variant=variant,
+                rho=1.2,
+                fraction=0.7,
+                seed=11,
+                steal_threshold=2,
+                steal_seed=steal_seed,
+            ) as solver:
+                results = solver.solve_batch(**SOLVE)
+                return solver.steal_log, results
+
+        log_a, res_a = run(42)
+        log_b, res_b = run(42)
+        assert log_a == log_b, "same steal seed must reproduce decisions"
+        log_c, res_c = run(43)
+        # A different steal seed may permute decisions but never results.
+        for a, b, c in zip(res_a, res_b, res_c):
+            np.testing.assert_array_equal(a.z, b.z)
+            np.testing.assert_array_equal(a.z, c.z)
+            assert a.iterations == b.iterations == c.iterations
+
+
+class TestScheduleParity:
+    def test_schedule_adapts_only_stragglers(self):
+        targets = np.array([[0.0, 0.0], [40.0, -40.0], [30.0, 30.0]])
+        schedule = ResidualBalancing(mu=1.0001, tau=2.0)
+        plain = BatchedSolver(quad_batch(targets), rho=100.0, schedule=schedule)
+        ref = plain.solve_batch(max_iterations=300, check_every=5, init="zeros")
+        with RebalancingShardedSolver(
+            quad_batch(targets),
+            num_shards=2,
+            mode="thread",
+            rho=100.0,
+            schedule=schedule,
+            steal_threshold=1,
+        ) as solver:
+            got = solver.solve_batch(max_iterations=300, check_every=5, init="zeros")
+            rows = solver.rho_rows()
+            assert np.allclose(rows[0], 100.0), "frozen instance's rho moved"
+            assert not np.allclose(rows[1], 100.0), "schedule never fired"
+        for a, b in zip(got, ref):
+            assert a.iterations == b.iterations
+            np.testing.assert_array_equal(a.z, b.z)
+        plain.close()
+
+
+class TestContracts:
+    def test_zero_iterations_contract(self):
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            results = solver.solve_batch(max_iterations=0, init="zeros")
+            for r in results:
+                assert r.iterations == 0
+                assert not r.converged
+                assert r.residuals is not None
+                assert len(r.history) == 1
+
+    def test_invalid_args(self):
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            with pytest.raises(ValueError):
+                solver.solve_batch(max_iterations=-1)
+            with pytest.raises(ValueError):
+                solver.solve_batch(check_every=0)
+            with pytest.raises(ValueError):
+                solver.iterate(-1)
+            with pytest.raises(ValueError):
+                solver.initialize("magic")
+            with pytest.raises(ValueError):
+                solver.family_rows("w")
+            with pytest.raises(ValueError):
+                solver.rebalance(active=np.ones(3, dtype=bool))
+
+    def test_warm_start_pool_cycles_across_rosters(self):
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            solver.steal_once(active=np.ones(8, dtype=bool))  # balanced: no-op
+            solver.reshard(3)
+            zt = solver.batch.template.z_size
+            pool = np.arange(3 * zt, dtype=float).reshape(3, zt)
+            solver.warm_start_pool(pool)
+            np.testing.assert_array_equal(
+                solver.split_z(), pool[np.arange(8) % 3]
+            )
+
+    def test_random_init_stable_under_resharding(self):
+        a = RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        )
+        a.initialize("random", seed=5)
+        rows_a = a.split_z()
+        a.reshard(4)
+        a.initialize("random", seed=5)
+        np.testing.assert_array_equal(a.split_z(), rows_a)
+        a.close()
+
+    def test_worker_error_closes_solver_thread(self):
+        from repro.core.parameters import apply_rho_scale
+
+        b = GraphBuilder()
+        w = b.add_variable(2)
+        b.add_factor(
+            DiagQuadProx(dims=(2,)),
+            [w],
+            params={"q": np.full(2, -0.5), "c": np.zeros(2)},
+        )
+        batch = replicate_graph(b.build(), 2)
+        solver = RebalancingShardedSolver(batch, num_shards=2, mode="thread")
+        solver.iterate(2)
+        for sh in solver.shards:
+            apply_rho_scale(sh.state, 0.2)  # rho -> 0.2 < |q|: prox undefined
+        with pytest.raises(ValueError, match="diag_quad prox undefined"):
+            solver.iterate(1)
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.iterate(1)
+        solver.close()
+
+    def test_worker_error_closes_solver_process(self):
+        from repro.core.parameters import apply_rho_scale
+
+        b = GraphBuilder()
+        w = b.add_variable(2)
+        b.add_factor(
+            DiagQuadProx(dims=(2,)),
+            [w],
+            params={"q": np.full(2, -0.5), "c": np.zeros(2)},
+        )
+        batch = replicate_graph(b.build(), 2)
+        solver = RebalancingShardedSolver(batch, num_shards=2, mode="process")
+        solver.iterate(2)
+        for sh in solver.shards:
+            apply_rho_scale(sh.state, 0.2)
+        with pytest.raises(RuntimeError, match="sweep failed"):
+            solver.iterate(1)
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.iterate(1)
+        solver.close()
+
+    def test_close_is_idempotent_and_blocks_migration(self):
+        solver = RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        )
+        solver.close()
+        solver.close()
+        with pytest.raises(RuntimeError):
+            solver.iterate(1)
+        with pytest.raises(RuntimeError):
+            solver.reshard(2)
+        with pytest.raises(RuntimeError):
+            solver.steal_once()
+        with pytest.raises(RuntimeError):
+            solver.add_instances(1)
+        with pytest.raises(RuntimeError):
+            solver.remove_instances([0])
+
+    def test_single_shard_degenerates_to_batched(self):
+        plain = BatchedSolver(quad_batch(TARGETS), rho=1.1)
+        plain.initialize("zeros")
+        plain.iterate(10)
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=1, mode="thread", rho=1.1
+        ) as solver:
+            solver.initialize("zeros")
+            solver.iterate(10)
+            assert solver.steal_once() is None  # nothing to steal from
+            np.testing.assert_array_equal(solver.fleet_z(), plain.state.z)
+        plain.close()
+
+
+class TestElasticRosters:
+    def test_add_remove_preserves_survivors(self):
+        elastic = RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=3, mode="thread", rho=1.3
+        )
+        untouched = BatchedSolver(quad_batch(TARGETS), rho=1.3)
+        elastic.initialize("zeros")
+        untouched.initialize("zeros")
+        elastic.iterate(9)
+        untouched.iterate(9)
+        elastic.remove_instances([1, 4])
+        elastic.iterate(11)
+        untouched.iterate(11)
+        elastic.add_instances(1)
+        elastic.iterate(5)
+        untouched.iterate(5)
+        survivors = [0, 2, 3, 5, 6, 7]
+        rows = elastic.split_z()
+        urows = untouched.batch.split_z(untouched.state.z)
+        for j, i in enumerate(survivors):
+            np.testing.assert_array_equal(rows[j], urows[i])
+            np.testing.assert_array_equal(
+                elastic.family_rows("u")[j],
+                untouched.state.u[untouched.batch.slot_index[i]],
+            )
+        elastic.close()
+        untouched.close()
+
+    def test_add_routes_to_lightest_shard_and_is_incremental(self):
+        from repro.graph.batch import REBUILD_COUNTER
+
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            solver.remove_instances([0, 1, 2])  # shard 0 now lighter
+            sizes = [len(r) for r in solver.shard_rosters()]
+            before = REBUILD_COUNTER.snapshot()
+            solver.add_instances(2)
+            assert (
+                REBUILD_COUNTER.instances_built - before["instances_built"] == 2
+            ), "solver add must use the incremental append"
+            assert (
+                REBUILD_COUNTER.full_replications == before["full_replications"]
+            ), "solver add must not re-replicate the fleet"
+            new_sizes = [len(r) for r in solver.shard_rosters()]
+            lightest = int(np.argmin(sizes))
+            assert new_sizes[lightest] == sizes[lightest] + 2
+
+    def test_fresh_instances_ignore_schedule_drift(self):
+        from repro.core.parameters import apply_rho_scale
+
+        with RebalancingShardedSolver(
+            quad_batch(np.ones((2, 2))), num_shards=2, mode="thread", rho=5.0
+        ) as solver:
+            for sh in solver.shards:
+                apply_rho_scale(sh.state, 3.0)
+            solver.add_instances(1)
+            rows = solver.rho_rows()
+            assert np.all(rows[:2] == 15.0), "existing instances keep drifted rho"
+            assert np.all(rows[2] == 5.0), "newcomer gets construction-time rho"
+
+    def test_remove_dissolving_a_shard(self):
+        with RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=4, mode="thread"
+        ) as solver:
+            first = list(solver.shard_rosters()[0])
+            solver.remove_instances(first)
+            assert solver.num_shards == 3
+            assert solver.batch_size == 8 - len(first)
+            solver.iterate(3)  # still sweeps fine

@@ -1,0 +1,329 @@
+"""Structural equivalence of the incremental batch editors (ISSUE 5).
+
+``GraphBatch.append_instances`` splices k new instance blocks into the
+existing block-diagonal layout and ``remove_instances`` compacts the index
+maps — neither re-replicates surviving instances through the builder.  The
+contract pinned here: the spliced/compacted batch is **field-by-field
+identical** to a full :func:`replicate_graph` re-replication of the same
+fleet (index maps, edge arrays, z layout, factor groups, specs, instance
+parameters), for synthetic multi-group templates and for every app
+family's ``build_batch``; and the structural work is O(k), witnessed by
+:data:`repro.graph.batch.REBUILD_COUNTER` (operation counters, not
+wall-clock — shared runners can be 1-core).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.batch import REBUILD_COUNTER, replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import DiagQuadProx
+
+GRAPH_ARRAYS = (
+    "var_dims",
+    "z_indptr",
+    "edge_var",
+    "edge_factor",
+    "factor_indptr",
+    "edge_dims",
+    "edge_indptr",
+    "factor_slot_indptr",
+    "flat_edge_to_z",
+    "slot_edge",
+    "var_edge_ids",
+    "var_edge_indptr",
+    "var_degree",
+    "factor_degree",
+    "isolated_vars",
+)
+
+
+def assert_batches_equal(got, ref, ctx=""):
+    """Field-by-field equality of two GraphBatch objects (maps + graph)."""
+    assert got.batch_size == ref.batch_size, ctx
+    assert got.template is ref.template or (
+        got.template.num_factors == ref.template.num_factors
+    ), ctx
+    for name in ("factor_index", "edge_index", "slot_index"):
+        np.testing.assert_array_equal(
+            getattr(got, name), getattr(ref, name), err_msg=f"{ctx} {name}"
+        )
+    g, r = got.graph, ref.graph
+    assert (g.num_factors, g.num_vars, g.num_edges, g.edge_size, g.z_size) == (
+        r.num_factors,
+        r.num_vars,
+        r.num_edges,
+        r.edge_size,
+        r.z_size,
+    ), ctx
+    for name in GRAPH_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(g, name), getattr(r, name), err_msg=f"{ctx} {name}"
+        )
+    assert g.var_names == r.var_names, ctx
+    assert (g.scatter_matrix != r.scatter_matrix).nnz == 0, f"{ctx} scatter"
+    assert len(g.groups) == len(r.groups), ctx
+    for a, b in zip(g.groups, r.groups):
+        assert a.prox is b.prox, ctx
+        assert a.var_dims == b.var_dims, ctx
+        assert a.contiguous and b.contiguous, ctx
+        np.testing.assert_array_equal(a.factor_ids, b.factor_ids, err_msg=ctx)
+        np.testing.assert_array_equal(a.gather_slots, b.gather_slots, err_msg=ctx)
+        np.testing.assert_array_equal(a.gather_edges, b.gather_edges, err_msg=ctx)
+        assert sorted(a.params) == sorted(b.params), ctx
+        for key in a.params:
+            np.testing.assert_array_equal(
+                a.params[key], b.params[key], err_msg=f"{ctx} group param {key}"
+            )
+    for fa, fb in zip(g.factors, r.factors):
+        assert fa.prox is fb.prox, ctx
+        assert fa.variables == fb.variables, ctx
+        assert sorted(fa.params) == sorted(fb.params), ctx
+        for key in fa.params:
+            np.testing.assert_array_equal(
+                fa.params[key], fb.params[key], err_msg=f"{ctx} spec param {key}"
+            )
+    for i in range(got.batch_size):
+        pa, pb = got.instance_params(i), ref.instance_params(i)
+        assert pa.keys() == pb.keys(), ctx
+        for f in pa:
+            assert pa[f].keys() == pb[f].keys(), ctx
+            for key in pa[f]:
+                np.testing.assert_array_equal(pa[f][key], pb[f][key], err_msg=ctx)
+
+
+def all_params(batch):
+    """The batch's recorded per-instance params, in replicate override form."""
+    return [batch.instance_params(i) for i in range(batch.batch_size)]
+
+
+# --------------------------------------------------------------------- #
+# Synthetic multi-group template                                         #
+# --------------------------------------------------------------------- #
+
+
+def multi_template():
+    """Two variables, three factor groups with mixed dims and params."""
+    b = GraphBuilder()
+    w = b.add_variable(2, name="w")
+    v = b.add_variable(1, name="v")
+    b.add_factor(
+        DiagQuadProx(dims=(2,)), [w], params={"q": np.ones(2), "c": np.zeros(2)}
+    )
+    b.add_factor(
+        DiagQuadProx(dims=(2, 1)),
+        [w, v],
+        params={"q": np.ones(3), "c": np.zeros(3)},
+    )
+    b.add_factor(
+        DiagQuadProx(dims=(1,)), [v], params={"q": np.ones(1), "c": np.ones(1)}
+    )
+    return b.build()
+
+
+def override(i):
+    return {
+        0: {"c": np.array([float(i), -float(i)])},
+        2: {"q": np.array([2.0 + i])},
+    }
+
+
+class TestAppendSynthetic:
+    def test_append_matches_full_replication(self):
+        t = multi_template()
+        base = replicate_graph(t, 4, [override(i) for i in range(4)])
+        grown = base.append_instances([override(10), {}])
+        ref = replicate_graph(
+            t, 6, [override(i) for i in range(4)] + [override(10), {}]
+        )
+        assert_batches_equal(grown, ref, "append-overrides")
+
+    def test_append_count_clones_template(self):
+        t = multi_template()
+        base = replicate_graph(t, 3, [override(i) for i in range(3)])
+        grown = base.append_instances(2)
+        ref = replicate_graph(t, 5, [override(i) for i in range(3)] + [{}, {}])
+        assert_batches_equal(grown, ref, "append-count")
+
+    def test_chained_append_remove_select(self):
+        t = multi_template()
+        batch = replicate_graph(t, 3, [override(i) for i in range(3)])
+        batch = batch.append_instances([override(7)])
+        batch = batch.remove_instances([1])
+        batch = batch.append_instances(1)
+        ref = replicate_graph(
+            t, 4, [override(0), override(2), override(7), {}]
+        )
+        assert_batches_equal(batch, ref, "chain")
+
+    def test_remove_compacts_to_replication(self):
+        t = multi_template()
+        base = replicate_graph(t, 5, [override(i) for i in range(5)])
+        shrunk = base.remove_instances([0, 3])
+        ref = replicate_graph(t, 3, [override(1), override(2), override(4)])
+        assert_batches_equal(shrunk, ref, "remove")
+
+    def test_select_ascending_and_reordered(self):
+        t = multi_template()
+        base = replicate_graph(t, 5, [override(i) for i in range(5)])
+        asc = base.select_instances([1, 3, 4])
+        assert_batches_equal(
+            asc,
+            replicate_graph(t, 3, [override(1), override(3), override(4)]),
+            "select-asc",
+        )
+        # Reorderings fall back to full replication and must still match.
+        rev = base.select_instances([4, 1])
+        assert_batches_equal(
+            rev, replicate_graph(t, 2, [override(4), override(1)]), "select-rev"
+        )
+
+    def test_append_validation_matches_replicate(self):
+        base = replicate_graph(multi_template(), 2)
+        before = REBUILD_COUNTER.snapshot()
+        with pytest.raises(ValueError, match="unknown parameter"):
+            base.append_instances([{0: {"nope": np.zeros(2)}}])
+        with pytest.raises(ValueError, match="has shape"):
+            base.append_instances([{0: {"c": np.zeros(3)}}])
+        with pytest.raises(ValueError, match="at least one"):
+            base.append_instances(0)
+        with pytest.raises(ValueError, match="at least one"):
+            base.append_instances([])
+        # Rejected appends must not skew the O(k) witness.
+        assert REBUILD_COUNTER.snapshot() == before
+
+    def test_solver_math_identical_on_spliced_batch(self):
+        """A spliced batch is not just structurally equal — sweeps on it are
+        bit-identical to sweeps on the re-replicated fleet."""
+        from repro.core.batched import BatchedSolver
+
+        t = multi_template()
+        base = replicate_graph(t, 3, [override(i) for i in range(3)])
+        grown = base.append_instances([override(9)])
+        ref = replicate_graph(t, 4, [override(i) for i in range(3)] + [override(9)])
+        a = BatchedSolver(grown, rho=1.2)
+        b = BatchedSolver(ref, rho=1.2)
+        for s in (a, b):
+            s.initialize("zeros")
+            s.iterate(25)
+        np.testing.assert_array_equal(a.state.z, b.state.z)
+        a.close()
+        b.close()
+
+
+# --------------------------------------------------------------------- #
+# O(k) witness: the structural-rebuild counter                           #
+# --------------------------------------------------------------------- #
+
+
+class TestRebuildCounter:
+    def test_append_builds_only_k_instances(self):
+        base = replicate_graph(multi_template(), 6)
+        before = REBUILD_COUNTER.snapshot()
+        base.append_instances(2)
+        delta = REBUILD_COUNTER.snapshot()
+        assert delta["instances_built"] - before["instances_built"] == 2
+        assert delta["full_replications"] == before["full_replications"]
+        assert delta["incremental_appends"] - before["incremental_appends"] == 1
+
+    def test_remove_builds_zero_instances(self):
+        base = replicate_graph(multi_template(), 6)
+        before = REBUILD_COUNTER.snapshot()
+        base.remove_instances([1, 4])
+        delta = REBUILD_COUNTER.snapshot()
+        assert delta["instances_built"] == before["instances_built"]
+        assert delta["full_replications"] == before["full_replications"]
+        assert delta["compactions"] - before["compactions"] == 1
+
+    def test_replicate_counts_full_batch(self):
+        before = REBUILD_COUNTER.snapshot()
+        replicate_graph(multi_template(), 5)
+        delta = REBUILD_COUNTER.snapshot()
+        assert delta["instances_built"] - before["instances_built"] == 5
+        assert delta["full_replications"] - before["full_replications"] == 1
+
+    def test_counter_reset_and_repr(self):
+        c = type(REBUILD_COUNTER)()
+        c.instances_built = 3
+        c.reset()
+        assert c.snapshot() == {
+            "instances_built": 0,
+            "full_replications": 0,
+            "incremental_appends": 0,
+            "compactions": 0,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Every app family's build_batch                                         #
+# --------------------------------------------------------------------- #
+
+
+def mpc_batch(B):
+    from repro.apps.mpc import MPCProblem, build_batch, inverted_pendulum
+
+    A, Bm = inverted_pendulum()
+    rng = np.random.default_rng(5)
+    return build_batch(
+        [
+            MPCProblem(A=A, B=Bm, q0=rng.uniform(-0.2, 0.2, size=4), horizon=4)
+            for _ in range(B)
+        ]
+    )
+
+
+def svm_batch(B):
+    from repro.apps.svm import SVMProblem, build_batch
+
+    rng = np.random.default_rng(9)
+    problems = []
+    for _ in range(B):
+        X = rng.normal(size=(6, 2))
+        y = np.sign(rng.normal(size=6))
+        y[y == 0] = 1.0
+        problems.append(SVMProblem(X, y))
+    return build_batch(problems)
+
+
+def packing_batch(B):
+    from repro.apps.packing import PackingProblem
+
+    return replicate_graph(PackingProblem(3).build_graph(), B)
+
+
+def lasso_batch(B):
+    from repro.apps.lasso import LassoProblem, make_lasso_data
+
+    A, y, _ = make_lasso_data(n_samples=12, dim=4, sparsity=2, seed=3)
+    return replicate_graph(LassoProblem(A, y, lam=0.1, n_blocks=2).build_graph(), B)
+
+
+FAMILIES = {
+    "mpc": mpc_batch,
+    "svm": svm_batch,
+    "packing": packing_batch,
+    "lasso": lasso_batch,
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+class TestAppFamilies:
+    def test_append_matches_replication(self, family):
+        batch = FAMILIES[family](3)
+        before = REBUILD_COUNTER.snapshot()
+        grown = batch.append_instances(2)
+        assert (
+            REBUILD_COUNTER.instances_built - before["instances_built"] == 2
+        ), "append re-replicated existing instances"
+        ref = replicate_graph(
+            batch.template, 5, all_params(batch) + [{}, {}]
+        )
+        assert_batches_equal(grown, ref, family)
+
+    def test_remove_matches_replication(self, family):
+        batch = FAMILIES[family](4)
+        shrunk = batch.remove_instances([0, 2])
+        ref = replicate_graph(
+            batch.template, 2, [batch.instance_params(1), batch.instance_params(3)]
+        )
+        assert_batches_equal(shrunk, ref, family)
