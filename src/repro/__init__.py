@@ -82,6 +82,37 @@ and the stealing determinism matrix (``tests/test_fleet_rebalancing.py``)::
     results = solver.solve_batch()       # steals as instances freeze
     solver.reshard(2)                    # live repartition, state carried
 
+Fault tolerance
+---------------
+Process-mode fleets survive their workers (``repro.core.supervision``).
+Workers heartbeat on their result queues while sweeping; the parent polls
+liveness at ``WorkerPolicy.poll_interval`` granularity, so a SIGKILLed,
+hung, or queue-corrupting worker is *detected* within one
+``wait_timeout`` — never by hanging — and *recovered* without losing a
+single in-flight instance: the parent holds the authoritative per-instance
+state (iterates, async streams, ρ-schedules) and every sweep is
+deterministic given (graph, state, masks), so restarting a fresh worker
+and replaying the lost segment reproduces the unfailed run bit-for-bit.
+When the restart budget is exhausted, ``RebalancingShardedSolver``
+executes the segment in the parent and migrates the dead shard's roster
+onto a survivor through the work-stealing path — a dead worker is just an
+**involuntary steal**.  Every crash, restart, failover, and migration is
+recorded in the solver's ``fault_log`` (a ``FaultLog``, mirror of
+``steal_log``)::
+
+    from repro import RebalancingShardedSolver
+    from repro.core import WorkerPolicy
+
+    solver = RebalancingShardedSolver(batch, num_shards=4, mode="process",
+                                      policy=WorkerPolicy(max_restarts=2))
+    results = solver.solve_batch()       # crashes recovered, bit-identical
+    print(solver.fault_log.summary())
+
+``repro.testing.faults`` makes these failures a scripted, seeded input
+(SIGKILL / severed queue / delayed or corrupt replies at chosen sweep
+segments) — driving the chaos suite (``tests/test_fleet_faults.py``), the
+``repro-bench fleet --fault-plan`` demo, and ``examples/fleet_faults.py``.
+
 Testing layers
 --------------
 The suite guards the engine at four levels: a cross-backend equivalence

@@ -10,6 +10,7 @@ from repro.core.batched import (
 )
 from repro.core.sharded import ShardedBatchedSolver, run_variant_sweeps
 from repro.core.rebalance import RebalancingShardedSolver, StealEvent
+from repro.core.supervision import FaultEvent, FaultLog, WorkerPolicy
 from repro.core.diagnostics import ADMMResult, SolveHistory
 from repro.core.residuals import (
     Residuals,
@@ -52,6 +53,9 @@ __all__ = [
     "ShardedBatchedSolver",
     "RebalancingShardedSolver",
     "StealEvent",
+    "FaultEvent",
+    "FaultLog",
+    "WorkerPolicy",
     "carry_state",
     "normalize_pool",
     "per_instance_residuals",

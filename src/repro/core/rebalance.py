@@ -45,13 +45,26 @@ masks — so a stolen instance's stream continues exactly where it left
 off, wherever it executes.  Process mode trades the sharded solver's
 shared-memory buffers for queue-serialized state (rosters change shape;
 ``ShardedBatchedSolver`` remains the fast path for static fleets).
+
+Parent-held state is also what makes the fleet **fault tolerant**
+(:mod:`repro.core.supervision`): workers heartbeat while sweeping, the
+parent checks liveness at every poll, and a worker that dies, hangs, or
+corrupts its queue mid-segment is recovered without losing a single
+in-flight instance — first by restarting it and replaying the segment
+(up to ``WorkerPolicy.max_restarts`` replacements, exponential backoff),
+then, when the budget is exhausted, by executing the segment in the
+parent and migrating the shard's roster onto a survivor through the
+normal ``_remap`` path: a dead worker is just an **involuntary steal**
+(appended to ``steal_log``; every crash/restart/failover/migration is
+recorded in :attr:`RebalancingShardedSolver.fault_log`).  Because the
+parent re-sends the exact pre-segment state and pre-drawn masks, a
+recovered solve is bit-identical to an unfailed one.
 """
 
 from __future__ import annotations
 
 import copy
 import multiprocessing as mp
-import queue
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass
@@ -65,6 +78,15 @@ from repro.core.parameters import ConstantPenalty, PenaltySchedule, apply_rho_sc
 from repro.core.residuals import Residuals
 from repro.core.sharded import MODES, VARIANTS, run_variant_sweeps
 from repro.core.state import ADMMState
+from repro.core.supervision import (
+    FaultLog,
+    WorkerFault,
+    WorkerPolicy,
+    close_queue,
+    collect_reply,
+    heartbeat,
+    reap_process,
+)
 from repro.graph.batch import GraphBatch
 from repro.graph.partition import contiguous_chunks
 from repro.utils.rng import DEFAULT_SEED, default_rng
@@ -96,7 +118,7 @@ def _run_sweeps(graph, state: ADMMState, iterations: int, variant: str, masks):
         run_variant_sweeps(graph, state, iterations, variant)
 
 
-def _worker_main(cmd_q, done_q):
+def _worker_main(cmd_q, done_q, heartbeat_interval=None):
     """Generic shard worker: owns no graph until told to ``bind``.
 
     Unlike the sharded solver's workers (forked around one fixed shard
@@ -105,6 +127,8 @@ def _worker_main(cmd_q, done_q):
     process.  ``run`` commands carry the full iterate (rosters change
     shape, so state is serialized rather than shared) and return the
     advanced families.  Exceptions are relayed; the worker survives them.
+    While a sweep runs, a heartbeat thread signals liveness on ``done_q``
+    so the parent can tell a slow shard from a hung one.
     """
     graph = None
     variant = "classic"
@@ -130,7 +154,8 @@ def _worker_main(cmd_q, done_q):
                 state.set_rho(rho)
                 state.set_alpha(alpha)
                 t0 = time.perf_counter()
-                _run_sweeps(graph, state, iterations, variant, masks)
+                with heartbeat(done_q, heartbeat_interval):
+                    _run_sweeps(graph, state, iterations, variant, masks)
                 elapsed = time.perf_counter() - t0
                 done_q.put(
                     ("ok", ((state.x, state.m, state.u, state.n, state.z), elapsed))
@@ -144,11 +169,13 @@ def _worker_main(cmd_q, done_q):
 class _Worker:
     """One persistent generic worker process plus its command plumbing."""
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, heartbeat_interval=None) -> None:
         self.cmd_q = ctx.Queue()
         self.done_q = ctx.Queue()
         self.proc = ctx.Process(
-            target=_worker_main, args=(self.cmd_q, self.done_q), daemon=True
+            target=_worker_main,
+            args=(self.cmd_q, self.done_q, heartbeat_interval),
+            daemon=True,
         )
         self.proc.start()
         self.bound: GraphBatch | None = None  # sub-batch it currently holds
@@ -181,6 +208,19 @@ class RebalancingShardedSolver:
         :meth:`solve_batch`; ``0`` disables stealing.
     ``steal_seed``
         seeds the deterministic tie-breaking of steal decisions.
+    ``policy``
+        a :class:`~repro.core.supervision.WorkerPolicy` tuning process-mode
+        supervision: heartbeat period, silence budget, liveness-poll
+        granularity, restart budget, and backoff.  A worker that dies or
+        hangs mid-segment is restarted and its segment replayed; once the
+        restart budget is exhausted the segment executes in the parent and
+        the shard's roster migrates to a survivor — an involuntary steal.
+        All events land in :attr:`fault_log` (and migrations also in
+        :attr:`steal_log`); recovered solves stay bit-identical.
+    ``injector``
+        a :class:`repro.testing.faults.FaultInjector` (or anything with a
+        ``before_segment(solver)`` hook) for chaos testing; process mode
+        only.
 
     Default ``mode`` is ``"thread"``: pool threads are task-agnostic, so
     re-sharding is free.  ``"process"`` drives generic re-bindable worker
@@ -206,6 +246,8 @@ class RebalancingShardedSolver:
         seed: int | None = None,
         steal_threshold: int = 1,
         steal_seed: int | None = None,
+        policy: WorkerPolicy | None = None,
+        injector=None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -221,6 +263,10 @@ class RebalancingShardedSolver:
             raise ValueError(
                 f"steal_threshold must be >= 0, got {steal_threshold}"
             )
+        if injector is not None and mode != "process":
+            raise ValueError(
+                "fault injection drives worker processes; use mode='process'"
+            )
         self.batch = batch
         self.mode = mode
         self.variant = variant
@@ -229,6 +275,9 @@ class RebalancingShardedSolver:
         self.seed = seed
         self.steal_threshold = int(steal_threshold)
         self.steal_log: list[StealEvent] = []
+        self.policy = policy if policy is not None else WorkerPolicy()
+        self.injector = injector
+        self.fault_log = FaultLog()
         self._steal_rng = default_rng(
             DEFAULT_SEED if steal_seed is None else steal_seed
         )
@@ -236,6 +285,7 @@ class RebalancingShardedSolver:
         self._closed = False
         self._pool: ThreadPoolExecutor | None = None
         self._workers: list[_Worker] = []
+        self._doomed: set[int] = set()  # shards awaiting failover migration
 
         rows = self._penalty_rows(rho, "rho")
         arows = self._penalty_rows(alpha, "alpha")
@@ -261,7 +311,7 @@ class RebalancingShardedSolver:
 
         if mode == "process":
             self._ctx = mp.get_context("fork")
-            self._workers = [_Worker(self._ctx) for _ in self.shards]
+            self._workers = [self._spawn_worker() for _ in self.shards]
         else:
             self._pool_size = len(self.shards)
             self._pool = ThreadPoolExecutor(
@@ -457,55 +507,116 @@ class RebalancingShardedSolver:
             self._run_all(iterations, timers)
 
     def _run_all(self, iterations: int, timers: KernelTimers | None = None) -> None:
-        """Advance every shard ``iterations`` sweeps, workers in parallel."""
+        """Advance every shard ``iterations`` sweeps, workers in parallel.
+
+        Any exception — a relayed sweep error or a ``KeyboardInterrupt``
+        while waiting on workers — closes the solver on the way out: the
+        fleet iterate may no longer be consistent across shards, and an
+        interrupted parent must never leak worker processes.  Worker
+        *faults* (death, hang, corrupt queue) do not surface here: they
+        are recovered by restart-and-replay or parent failover.
+        """
         if self._closed:
             raise RuntimeError("solver is closed")
+        try:
+            failure = self._run_all_inner(iterations, timers)
+        except BaseException:
+            self.close()
+            raise
+        if failure is not None:
+            # The fleet iterate is no longer consistent across shards;
+            # shut the solver down rather than risk desynchronized reuse.
+            self.close()
+            raise failure
+        self._iteration += iterations
+
+    def _run_all_inner(
+        self, iterations: int, timers: KernelTimers | None
+    ) -> Exception | None:
         masks = self._draw_masks(iterations)
         failure: Exception | None = None
         if self.mode == "process":
             self._ensure_workers()
-            for idx, sh in enumerate(self.shards):
-                w = self._workers[idx]
-                if w.bound is not sh.batch:
-                    w.cmd_q.put(("bind", sh.batch.graph, self.variant))
-            for idx, sh in enumerate(self.shards):
-                w = self._workers[idx]
-                if w.bound is not sh.batch:
-                    try:
-                        self._collect(w, idx, "bind")
-                        w.bound = sh.batch
-                    except RuntimeError as err:
-                        failure = failure or err
-            if failure is None:
-                for idx, sh in enumerate(self.shards):
-                    st = sh.state
-                    payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
-                    self._workers[idx].cmd_q.put(
-                        ("run", iterations, payload, masks[idx])
+            if self.injector is not None:
+                self.injector.before_segment(self)
+            faults: dict[int, WorkerFault] = {}
+            # Phase 1: re-bind workers whose shard changed under them.
+            need_bind = [
+                idx
+                for idx, sh in enumerate(self.shards)
+                if self._workers[idx].bound is not sh.batch
+            ]
+            for idx in need_bind:
+                self._workers[idx].cmd_q.put(
+                    ("bind", self.shards[idx].batch.graph, self.variant)
+                )
+            for idx in need_bind:
+                try:
+                    self._collect(idx, "bind")
+                    self._workers[idx].bound = self.shards[idx].batch
+                except WorkerFault as fault:
+                    faults[idx] = fault
+                except RuntimeError as err:
+                    failure = failure or err
+            if failure is not None:
+                return failure
+            # Phase 2: dispatch the segment to every healthy worker, then
+            # collect every reply before touching any state (a failure in
+            # one shard must not leave another's result queued).
+            healthy = [i for i in range(len(self.shards)) if i not in faults]
+            for idx in healthy:
+                st = self.shards[idx].state
+                payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
+                self._workers[idx].cmd_q.put(
+                    ("run", iterations, payload, masks[idx])
+                )
+            elapsed = []
+            results: dict[int, tuple] = {}
+            for idx in healthy:
+                try:
+                    results[idx], dt = self._collect(idx, "sweep")
+                    elapsed.append(dt)
+                except WorkerFault as fault:
+                    faults[idx] = fault
+                except RuntimeError as err:
+                    failure = failure or err
+            if failure is not None:
+                return failure
+            # Phase 3: recover faulted shards — restart & replay, falling
+            # back to executing the segment in the parent (both replay the
+            # exact pre-segment state and masks: bit-identical).
+            parent_ran: set[int] = set()
+            for idx in sorted(faults):
+                try:
+                    out = self._recover_shard(
+                        idx, iterations, masks[idx], faults[idx]
                     )
-                # Collect every shard before touching any state: a failure
-                # in one shard must not leave another's result queued.
-                elapsed = []
-                for idx, sh in enumerate(self.shards):
-                    try:
-                        sh.pending, dt = self._collect(
-                            self._workers[idx], idx, "sweep"
-                        )
-                        elapsed.append(dt)
-                    except RuntimeError as err:
-                        failure = failure or err
-                if failure is None:
-                    for sh in self.shards:
-                        for fam, arr in zip(_FAMILIES, sh.pending[:4]):
-                            getattr(sh.state, fam)[:] = arr
-                        sh.state.z[:] = sh.pending[4]
-                        sh.pending = None
-                        sh.state.iteration += iterations
-                    if timers is not None:
-                        # Barrier semantics: the fleet waits for the
-                        # slowest shard.
-                        timers["x"].elapsed += max(elapsed)
-                        timers["x"].calls += iterations
+                except RuntimeError as err:
+                    failure = failure or err
+                    continue
+                if out is None:
+                    parent_ran.add(idx)
+                else:
+                    results[idx], dt = out
+                    elapsed.append(dt)
+            if failure is not None:
+                return failure
+            # Phase 4: adopt every shard's advanced families.
+            for idx, sh in enumerate(self.shards):
+                if idx in parent_ran:
+                    continue  # _run_sweeps advanced sh.state in place
+                for fam, arr in zip(_FAMILIES, results[idx][:4]):
+                    getattr(sh.state, fam)[:] = arr
+                sh.state.z[:] = results[idx][4]
+                sh.state.iteration += iterations
+            if timers is not None and elapsed:
+                # Barrier semantics: the fleet waits for the slowest shard.
+                timers["x"].elapsed += max(elapsed)
+                timers["x"].calls += iterations
+            # Phase 5: failover — migrate rosters of shards whose worker
+            # is gone for good onto survivors (the involuntary steal).
+            if self._doomed:
+                self._migrate_doomed()
         else:
             self._ensure_pool()
             t0 = time.perf_counter()
@@ -525,17 +636,124 @@ class RebalancingShardedSolver:
                 exc = f.exception()
                 if exc is not None:
                     failure = failure or exc
-        if failure is not None:
-            # The fleet iterate is no longer consistent across shards;
-            # shut the solver down rather than risk desynchronized reuse.
-            self.close()
-            raise failure
-        self._iteration += iterations
+        return failure
+
+    def _spawn_worker(self) -> _Worker:
+        return _Worker(self._ctx, self.policy.heartbeat_interval)
 
     def _ensure_workers(self) -> None:
         """Grow the process-worker pool to cover every shard (never shrinks)."""
         while len(self._workers) < len(self.shards):
-            self._workers.append(_Worker(self._ctx))
+            self._workers.append(self._spawn_worker())
+
+    def _retire_worker(self, worker: _Worker) -> None:
+        """Forcibly dispose of a worker (dead, hung, or corrupt): kill + close."""
+        reap_process(worker.proc, grace=False)
+        worker.proc = None
+        close_queue(worker.cmd_q)
+        close_queue(worker.done_q)
+        worker.bound = None
+
+    def _recover_shard(
+        self, idx: int, iterations: int, masks, fault: WorkerFault
+    ):
+        """Recover shard ``idx`` after its worker faulted mid-segment.
+
+        Tries up to ``policy.max_restarts`` replacement workers (fresh
+        queues — a command the dead worker never consumed must not be
+        replayed by its successor), re-sending the exact pre-segment state
+        and masks.  When the budget is exhausted, the segment executes in
+        the parent (same math on the same state: bit-identical) and the
+        shard is marked for roster migration.  Returns the run reply, or
+        ``None`` when the parent ran the segment.
+        """
+        sh = self.shards[idx]
+        self.fault_log.record(
+            "crash", self._iteration, idx, f"{type(fault).__name__}: {fault}"
+        )
+        self._retire_worker(self._workers[idx])
+        for attempt in range(self.policy.max_restarts):
+            time.sleep(self.policy.restart_delay(attempt))
+            w = self._spawn_worker()
+            self._workers[idx] = w
+            self.fault_log.record(
+                "restart",
+                self._iteration,
+                idx,
+                f"replacement worker pid={w.proc.pid} "
+                f"(attempt {attempt + 1}/{self.policy.max_restarts})",
+            )
+            try:
+                w.cmd_q.put(("bind", sh.batch.graph, self.variant))
+                self._collect(idx, "bind")
+                w.bound = sh.batch
+                st = sh.state
+                payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
+                w.cmd_q.put(("run", iterations, payload, masks))
+                return self._collect(idx, "sweep")
+            except WorkerFault as again:
+                self.fault_log.record(
+                    "crash",
+                    self._iteration,
+                    idx,
+                    f"{type(again).__name__}: {again}",
+                )
+                self._retire_worker(w)
+        self.fault_log.record(
+            "failover",
+            self._iteration,
+            idx,
+            f"restart budget exhausted ({self.policy.max_restarts}); segment "
+            f"of {iterations} sweep(s) executed in the parent, roster will "
+            f"migrate to a survivor",
+        )
+        _run_sweeps(sh.batch.graph, sh.state, iterations, self.variant, masks)
+        self._doomed.add(idx)
+        return None
+
+    def _migrate_doomed(self) -> None:
+        """Migrate rosters of worker-less shards onto survivors.
+
+        The involuntary steal: each doomed shard's roster (state already
+        advanced through the parent's failover sweep) moves to the lightest
+        surviving shard through the normal ``_remap`` path, its worker slot
+        is dropped, and the move is recorded in both ``fault_log`` and
+        ``steal_log``.  With no survivors the shards are kept and fresh
+        workers are forked lazily at the next run (a fleet-wide restart).
+        """
+        doomed = sorted(self._doomed)
+        self._doomed = set()
+        for idx in reversed(doomed):
+            self._workers.pop(idx)  # already retired by _recover_shard
+        survivors = [i for i in range(len(self.shards)) if i not in doomed]
+        if not survivors:
+            return
+        owner = self._owner_map()
+        keep = [self.shards[i] for i in survivors]
+        rosters = [list(sh.ids) for sh in keep]
+        for idx in doomed:
+            dead = self.shards[idx]
+            target = min(range(len(rosters)), key=lambda j: len(rosters[j]))
+            rosters[target] = sorted(rosters[target] + list(dead.ids))
+            instances = tuple(int(g) for g in dead.ids)
+            self.fault_log.record(
+                "migration",
+                self._iteration,
+                idx,
+                f"roster migrated to shard {survivors[target]} "
+                f"(involuntary steal)",
+                instances=instances,
+            )
+            self.steal_log.append(
+                StealEvent(
+                    iteration=self._iteration,
+                    thief=survivors[target],
+                    donor=idx,
+                    instances=instances,
+                )
+            )
+        self.shards = keep
+        self._remap(rosters, lambda g: owner[g])
 
     def _ensure_pool(self) -> None:
         """Grow the thread pool so every shard sweeps concurrently.
@@ -552,20 +770,22 @@ class RebalancingShardedSolver:
                 max_workers=self._pool_size, thread_name_prefix="paradmm-rebal"
             )
 
-    def _collect(self, worker: _Worker, idx: int, what: str):
-        """Wait for one worker's reply, surfacing failures and dead workers."""
-        while True:
-            try:
-                status, payload = worker.done_q.get(timeout=5)
-            except queue.Empty:
-                if worker.proc is not None and not worker.proc.is_alive():
-                    raise RuntimeError(
-                        f"shard {idx} worker died without reporting a result"
-                    ) from None
-                continue
-            if status == "error":
-                raise RuntimeError(f"shard {idx} {what} failed: {payload}")
-            return payload
+    def _collect(self, idx: int, what: str):
+        """Wait for shard ``idx``'s reply under the supervision policy.
+
+        Dead / hung / corrupt workers raise a
+        :class:`~repro.core.supervision.WorkerFault` subclass (recoverable:
+        the caller restarts or fails over); a relayed sweep exception stays
+        a plain ``RuntimeError`` (deterministic — replay would just fail
+        again).
+        """
+        w = self._workers[idx]
+        status, payload = collect_reply(
+            w.done_q, w.proc, self.policy, f"shard {idx} {what}"
+        )
+        if status == "error":
+            raise RuntimeError(f"shard {idx} {what} failed: {payload}")
+        return payload
 
     # ------------------------------------------------------------------ #
     # Live migration: steals, reshards, elastic rosters.                  #
@@ -859,11 +1079,18 @@ class RebalancingShardedSolver:
 
     # ------------------------------------------------------------------ #
     def _fleet_residuals(
-        self, z_prevs: list[np.ndarray], eps_abs: float, eps_rel: float
+        self, z_prev_rows: np.ndarray, eps_abs: float, eps_rel: float
     ) -> list[Residuals]:
-        """Per-instance residuals in *global* fleet order."""
+        """Per-instance residuals in *global* fleet order.
+
+        ``z_prev_rows`` is the pre-sweep iterate as per-instance ``(B,
+        z_size)`` rows (:meth:`split_z`) — keyed by global id rather than
+        shard position, because a failover migration inside :meth:`_run_all`
+        can change the shard layout between capture and use.
+        """
         out: list[Residuals | None] = [None] * self.batch_size
-        for sh, z_prev in zip(self.shards, z_prevs):
+        for sh in self.shards:
+            z_prev = sh.batch.pack_z(z_prev_rows[sh.ids])
             res = per_instance_residuals(sh.batch, sh.state, z_prev, eps_abs, eps_rel)
             for p, g in enumerate(sh.ids):
                 out[g] = res[p]
@@ -913,9 +1140,7 @@ class RebalancingShardedSolver:
         if self._iteration >= max_iterations:
             # No sweeps will run: residuals of the current iterate, computed
             # once, converged=False — the max_iterations=0 contract.
-            res = self._fleet_residuals(
-                [sh.state.z for sh in self.shards], eps_abs, eps_rel
-            )
+            res = self._fleet_residuals(self.split_z(), eps_abs, eps_rel)
             for i in range(B):
                 histories[i].append(res[i], None, float(rho_by_instance[i].mean()))
                 last_residuals[i] = res[i]
@@ -924,9 +1149,9 @@ class RebalancingShardedSolver:
             block = min(check_every, max_iterations - self._iteration)
             if block > 1:
                 self._run_all(block - 1, timers)
-            z_prevs = [sh.state.z.copy() for sh in self.shards]
+            z_prev_rows = self.split_z()
             self._run_all(1, timers)
-            res = self._fleet_residuals(z_prevs, eps_abs, eps_rel)
+            res = self._fleet_residuals(z_prev_rows, eps_abs, eps_rel)
             rho_by_instance = self.rho_rows()
             for i in np.flatnonzero(active):
                 last_residuals[i] = res[i]
@@ -979,21 +1204,27 @@ class RebalancingShardedSolver:
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Stop workers (idempotent)."""
-        if self._closed:
-            return
+        """Stop workers and release their queues — idempotent, crash-safe.
+
+        Live workers get a polite ``stop``; any that do not exit (hung in
+        a sweep, or already dead with a clogged queue) are reaped with
+        ``terminate()`` → ``kill()`` escalation, and queues are closed
+        without joining feeder threads.  Safe to call repeatedly, after a
+        crash, or mid-fault: it never hangs and never leaks zombies.
+        """
         self._closed = True
-        for w in self._workers:
-            try:
-                w.cmd_q.put(("stop",))
-            except Exception:
-                pass
-        for w in self._workers:
-            if w.proc is not None:
-                w.proc.join(timeout=5)
-                if w.proc.is_alive():
-                    w.proc.terminate()
-                w.proc = None
+        workers, self._workers = self._workers, []
+        for w in workers:
+            if w.proc is not None and w.proc.is_alive():
+                try:
+                    w.cmd_q.put(("stop",))
+                except Exception:
+                    pass
+        for w in workers:
+            reap_process(w.proc, timeout=5.0)
+            w.proc = None
+            close_queue(w.cmd_q)
+            close_queue(w.done_q)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -38,13 +38,24 @@ with the fleet).  All three sweep variants run through the same path:
 (randomized-block sweeps with the per-instance streams of
 :class:`repro.core.async_admm.FleetSweepPlan`, seeded by *global* instance
 index so sharded == unsharded == solo).
+
+Workers are supervised (:mod:`repro.core.supervision`): they emit
+heartbeats on the result queue while sweeping, the parent checks liveness
+at every ``WorkerPolicy.poll_interval``, and a worker that dies or goes
+silent is **restarted and its segment replayed** — the parent holds the
+authoritative iterate and re-pushes it into shared memory, and the async
+variant's streams are fast-forwarded to the shard's completed draw count,
+so a recovered run is bit-identical to an unfailed one.  Every crash and
+restart is recorded in :attr:`ShardedBatchedSolver.fault_log`; when the
+restart budget is exhausted the solve fails (fixed contiguous shards have
+nowhere to migrate — :class:`~repro.core.rebalance.RebalancingShardedSolver`
+adds roster failover on top of this).
 """
 
 from __future__ import annotations
 
 import copy
 import multiprocessing as mp
-import queue
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
 
@@ -57,6 +68,15 @@ from repro.core.diagnostics import ADMMResult, SolveHistory
 from repro.core.parameters import ConstantPenalty, PenaltySchedule, apply_rho_scale
 from repro.core.residuals import Residuals
 from repro.core.state import ADMMState
+from repro.core.supervision import (
+    FaultLog,
+    WorkerFault,
+    WorkerPolicy,
+    close_queue,
+    collect_reply,
+    heartbeat,
+    reap_process,
+)
 from repro.core.three_weight import run_iterations_twa
 from repro.graph.batch import GraphBatch
 from repro.graph.partition import contiguous_chunks
@@ -115,14 +135,18 @@ def _push_families(views, state: ADMMState) -> None:
         view[:] = arr
 
 
-def _shard_worker_main(graph, variant, plan, raws, sizes, cmd_q, done_q):
+def _shard_worker_main(
+    graph, variant, plan, raws, sizes, cmd_q, done_q, heartbeat_interval=None
+):
     """Worker loop: vectorized variant sweeps over this shard's sub-graph.
 
     The iterate lives in shared memory; every run command reloads it (the
     parent may have warm-started, frozen, or ρ-rescaled instances between
     runs) and writes the advanced families back.  Exceptions are reported
     back on ``done_q`` (the worker survives them), so a bad per-instance
-    parameter fails the fleet solve instead of hanging it.
+    parameter fails the fleet solve instead of hanging it.  While a sweep
+    runs, a heartbeat thread signals liveness on ``done_q`` so the parent
+    can tell a slow shard from a hung one.
     """
     from repro.backends.process import _as_np
 
@@ -138,7 +162,8 @@ def _shard_worker_main(graph, variant, plan, raws, sizes, cmd_q, done_q):
             state.set_rho(views[5].copy())
             state.set_alpha(views[6].copy())
             t0 = time.perf_counter()
-            run_variant_sweeps(graph, state, iterations, variant, plan)
+            with heartbeat(done_q, heartbeat_interval):
+                run_variant_sweeps(graph, state, iterations, variant, plan)
             elapsed = time.perf_counter() - t0
         except Exception as err:  # noqa: BLE001 - relayed to the parent
             done_q.put(("error", f"{type(err).__name__}: {err}"))
@@ -159,8 +184,13 @@ class _Shard:
         # process-mode plumbing
         self.proc: mp.Process | None = None
         self.views: list[np.ndarray] = []
+        self.raws = []
+        self.sizes: list[int] = []
         self.cmd_q = None
         self.done_q = None
+        # async-variant draws the worker has consumed (completed runs only);
+        # a restarted worker's fresh plan is fast-forwarded to this count.
+        self.draws_done = 0
 
     @property
     def size(self) -> int:
@@ -180,6 +210,15 @@ class ShardedBatchedSolver:
     Per-instance results are numerically identical to a plain
     ``BatchedSolver`` (and to solo solves) for every variant — sharding
     changes *where* a shard's sweeps execute, never their math.
+
+    ``policy`` (a :class:`~repro.core.supervision.WorkerPolicy`) tunes the
+    process-mode supervision: heartbeat period, silence budget, liveness
+    poll granularity, and the restart budget.  A worker that dies or goes
+    silent mid-run is restarted and its segment replayed from the
+    parent-held iterate — bit-identical, since sweeps are deterministic —
+    with every crash and restart recorded in :attr:`fault_log`.
+    ``injector`` (see :mod:`repro.testing.faults`) hooks fault injection
+    into each run dispatch for chaos testing; process mode only.
     """
 
     def __init__(
@@ -193,6 +232,8 @@ class ShardedBatchedSolver:
         schedule: PenaltySchedule | None = None,
         fraction: float = 0.5,
         seed: int | None = None,
+        policy: WorkerPolicy | None = None,
+        injector=None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -204,11 +245,20 @@ class ShardedBatchedSolver:
             raise ValueError(
                 f"num_shards must be in [1, {batch.batch_size}], got {num_shards}"
             )
+        if injector is not None and mode != "process":
+            raise ValueError(
+                "fault injection drives worker processes; use mode='process'"
+            )
         self.batch = batch
         self.mode = mode
         self.variant = variant
         self.num_shards = int(num_shards)
         self.schedule = schedule if schedule is not None else ConstantPenalty()
+        self.policy = policy if policy is not None else WorkerPolicy()
+        self.injector = injector
+        self.fault_log = FaultLog()
+        self._fraction = float(fraction)
+        self._seed_base = DEFAULT_SEED if seed is None else int(seed)
         self._closed = False
         self._pool: ThreadPoolExecutor | None = None
 
@@ -253,26 +303,54 @@ class ShardedBatchedSolver:
     def _start_workers(self) -> None:
         from repro.backends.process import shared_state_buffers
 
-        ctx = mp.get_context("fork")
+        self._ctx = mp.get_context("fork")
         for shard in self.shards:
-            g = shard.batch.graph
-            raws, shard.views, sizes = shared_state_buffers(ctx, g)
-            shard.cmd_q = ctx.Queue()
-            shard.done_q = ctx.Queue()
-            shard.proc = ctx.Process(
-                target=_shard_worker_main,
-                args=(
-                    g,
-                    self.variant,
-                    shard.plan,
-                    raws,
-                    sizes,
-                    shard.cmd_q,
-                    shard.done_q,
-                ),
-                daemon=True,
+            shard.raws, shard.views, shard.sizes = shared_state_buffers(
+                self._ctx, shard.batch.graph
             )
-            shard.proc.start()
+            self._spawn_shard_worker(shard)
+
+    def _worker_plan(self, shard: _Shard) -> FleetSweepPlan | None:
+        """A fresh sweep plan for a (re)started worker, fast-forwarded.
+
+        The forked worker owns its plan copy and advances it run by run;
+        the parent only tracks the consumed draw count.  A replacement
+        worker gets a fresh plan advanced by ``shard.draws_done``, so its
+        next draw is exactly the one the dead worker would have made —
+        replayed runs stay bit-identical.
+        """
+        if self.variant != "async":
+            return None
+        plan = FleetSweepPlan(
+            shard.batch, self._fraction, self._seed_base, instance_offset=shard.lo
+        )
+        for _ in range(shard.draws_done):
+            plan.draw()
+        return plan
+
+    def _spawn_shard_worker(self, shard: _Shard) -> None:
+        """Fork one worker for ``shard`` on fresh queues (initial or restart).
+
+        Fresh queues matter on restart: a command the dead worker never
+        consumed must not be replayed by its replacement.
+        """
+        shard.cmd_q = self._ctx.Queue()
+        shard.done_q = self._ctx.Queue()
+        shard.proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                shard.batch.graph,
+                self.variant,
+                self._worker_plan(shard),
+                shard.raws,
+                shard.sizes,
+                shard.cmd_q,
+                shard.done_q,
+                self.policy.heartbeat_interval,
+            ),
+            daemon=True,
+        )
+        shard.proc.start()
 
     # ------------------------------------------------------------------ #
     @property
@@ -364,10 +442,31 @@ class ShardedBatchedSolver:
             self._run_all(iterations, timers)
 
     def _run_all(self, iterations: int, timers: KernelTimers | None = None) -> None:
-        """Advance every shard ``iterations`` sweeps, workers in parallel."""
+        """Advance every shard ``iterations`` sweeps, workers in parallel.
+
+        Any exception — a relayed sweep error, an exhausted restart
+        budget, or a ``KeyboardInterrupt`` while waiting on workers —
+        closes the solver on the way out: the fleet iterate may no longer
+        be consistent across shards, and an interrupted parent must never
+        leak worker processes.
+        """
         if self._closed:
             raise RuntimeError("solver is closed")
+        try:
+            failure = self._run_all_inner(iterations, timers)
+        except BaseException:
+            self.close()
+            raise
+        if failure is not None:
+            self.close()
+            raise failure
+
+    def _run_all_inner(
+        self, iterations: int, timers: KernelTimers | None
+    ) -> Exception | None:
         if self.mode == "process":
+            if self.injector is not None:
+                self.injector.before_segment(self)
             for shard in self.shards:
                 _push_shared(shard.views, shard.state)
                 shard.cmd_q.put(("run", iterations))
@@ -376,69 +475,119 @@ class ShardedBatchedSolver:
             # entry would desynchronize the next run).
             elapsed = []
             failure: Exception | None = None
-            for shard in self.shards:
+            for idx, shard in enumerate(self.shards):
                 try:
                     elapsed.append(self._collect(shard))
+                except WorkerFault as fault:
+                    try:
+                        elapsed.append(
+                            self._restart_and_replay(idx, shard, iterations, fault)
+                        )
+                    except RuntimeError as err:
+                        failure = failure or err
                 except RuntimeError as err:
                     failure = failure or err
             if failure is None:
                 for shard in self.shards:
                     _pull_families(shard.views, shard.state)
                     shard.state.iteration += iterations
+                    if self.variant == "async":
+                        shard.draws_done += iterations
                 if timers is not None:
                     # Barrier semantics: the fleet waits for the slowest shard.
                     timers["x"].elapsed += max(elapsed)
                     timers["x"].calls += iterations
-        else:
-            t0 = time.perf_counter()
-            futures = [
-                self._pool.submit(
-                    run_variant_sweeps,
-                    shard.batch.graph,
-                    shard.state,
-                    iterations,
-                    self.variant,
-                    shard.plan,
-                )
-                for shard in self.shards
-            ]
-            done, _ = wait(futures)
-            failure = None
-            for f in done:
-                exc = f.exception()
-                if exc is not None:
-                    failure = failure or exc
-            if failure is None and timers is not None:
-                timers["x"].elapsed += time.perf_counter() - t0
-                timers["x"].calls += iterations
-        if failure is not None:
-            # The fleet iterate is no longer consistent across shards;
-            # shut the solver down rather than risk desynchronized reuse.
-            self.close()
-            raise failure
+            return failure
+        t0 = time.perf_counter()
+        futures = [
+            self._pool.submit(
+                run_variant_sweeps,
+                shard.batch.graph,
+                shard.state,
+                iterations,
+                self.variant,
+                shard.plan,
+            )
+            for shard in self.shards
+        ]
+        done, _ = wait(futures)
+        failure = None
+        for f in done:
+            exc = f.exception()
+            if exc is not None:
+                failure = failure or exc
+        if failure is None and timers is not None:
+            timers["x"].elapsed += time.perf_counter() - t0
+            timers["x"].calls += iterations
+        return failure
 
     def _collect(self, shard: _Shard) -> float:
         """Wait for one shard's run result, surfacing worker failures.
 
-        A worker relays sweep exceptions over ``done_q``; a worker that
-        died outright (killed, segfaulted) is detected by a liveness check
-        instead of blocking the fleet forever.
+        A worker relays sweep exceptions over ``done_q`` (raised here as
+        plain ``RuntimeError`` — deterministic, not retried); a worker
+        that died, hung, or corrupted its queue raises a
+        :class:`~repro.core.supervision.WorkerFault` for the caller's
+        restart-and-replay logic.  Liveness is checked on every
+        ``poll_interval``, so a killed worker surfaces immediately
+        instead of blocking the fleet.
         """
-        while True:
+        status, payload = collect_reply(
+            shard.done_q,
+            shard.proc,
+            self.policy,
+            f"shard [{shard.lo}, {shard.hi})",
+        )
+        if status == "error":
+            raise RuntimeError(
+                f"shard [{shard.lo}, {shard.hi}) sweep failed: {payload}"
+            )
+        return payload
+
+    def _restart_and_replay(
+        self, idx: int, shard: _Shard, iterations: int, fault: WorkerFault
+    ) -> float:
+        """Recover a crashed shard worker: fresh fork, replay the segment.
+
+        The parent's ``shard.state`` is authoritative (only updated after
+        a successful collect), so re-pushing it into shared memory and
+        re-sending the run command replays the segment bit-identically —
+        even if the dead worker had already written partial or complete
+        results into the shared buffers.  Raises ``RuntimeError`` once
+        ``policy.max_restarts`` replacements have failed.
+        """
+        self.fault_log.record(
+            "crash", self.iteration, idx, f"{type(fault).__name__}: {fault}"
+        )
+        for attempt in range(self.policy.max_restarts):
+            time.sleep(self.policy.restart_delay(attempt))
+            reap_process(shard.proc, grace=False)
+            close_queue(shard.cmd_q)
+            close_queue(shard.done_q)
+            self._spawn_shard_worker(shard)
+            self.fault_log.record(
+                "restart",
+                self.iteration,
+                idx,
+                f"replacement worker pid={shard.proc.pid} "
+                f"(attempt {attempt + 1}/{self.policy.max_restarts})",
+            )
+            _push_shared(shard.views, shard.state)
+            shard.cmd_q.put(("run", iterations))
             try:
-                status, payload = shard.done_q.get(timeout=5)
-            except queue.Empty:
-                if shard.proc is not None and not shard.proc.is_alive():
-                    raise RuntimeError(
-                        f"shard [{shard.lo}, {shard.hi}) worker died "
-                        "without reporting a result"
-                    ) from None
-                continue
-            if status == "error":
-                raise RuntimeError(
-                    f"shard [{shard.lo}, {shard.hi}) sweep failed: {payload}"
+                return self._collect(shard)
+            except WorkerFault as again:
+                self.fault_log.record(
+                    "crash",
+                    self.iteration,
+                    idx,
+                    f"{type(again).__name__}: {again}",
                 )
-            return payload
+                fault = again
+        raise RuntimeError(
+            f"shard [{shard.lo}, {shard.hi}) worker kept failing after "
+            f"{self.policy.max_restarts} restart(s): {fault}"
+        )
 
     # ------------------------------------------------------------------ #
     def _fleet_residuals(
@@ -558,8 +707,14 @@ class ShardedBatchedSolver:
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Stop shard workers (idempotent)."""
-        if self._closed:
+        """Stop shard workers (idempotent, crash-safe).
+
+        Safe to call repeatedly and after worker crashes: a worker that
+        ignores the stop command (or its SIGTERM) is escalated to
+        ``kill()``, and queues are closed without joining their feeder
+        threads — close never hangs and never leaks zombies or fds.
+        """
+        if self._closed and not any(s.proc is not None for s in self.shards):
             return
         self._closed = True
         if self.mode == "process":
@@ -570,11 +725,11 @@ class ShardedBatchedSolver:
                     except Exception:
                         pass
             for shard in self.shards:
-                if shard.proc is not None:
-                    shard.proc.join(timeout=5)
-                    if shard.proc.is_alive():
-                        shard.proc.terminate()
-                    shard.proc = None
+                reap_process(shard.proc, timeout=5)
+                shard.proc = None
+                close_queue(shard.cmd_q)
+                close_queue(shard.done_q)
+                shard.cmd_q = shard.done_q = None
         elif self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

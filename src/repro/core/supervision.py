@@ -1,0 +1,345 @@
+"""Worker supervision: liveness, restart policy, and the fault log.
+
+The process-mode fleet solvers (:class:`repro.core.sharded.ShardedBatchedSolver`,
+:class:`repro.core.rebalance.RebalancingShardedSolver`) fork one worker per
+shard and wait for replies on result queues.  Before this module, a worker
+that died mid-sweep (SIGKILL, OOM, segfault) was only noticed after a
+hard-coded 5-second poll, and the solve then failed outright — losing every
+in-flight instance.  The ROADMAP's cross-host item frames the fix: a dead
+shard is *just an involuntary steal* onto a survivor, because the parent
+holds the authoritative per-instance state and every sweep is deterministic
+given (graph, state, masks).
+
+This module centralizes the supervision primitives both solvers share:
+
+* :class:`WorkerPolicy` — heartbeat period, silence budget, restart budget,
+  and exponential backoff, in one validated knob object;
+* :func:`heartbeat` — a worker-side context manager that emits periodic
+  ``("heartbeat", t)`` messages on the result queue while a sweep runs, so
+  the parent can tell *slow* from *hung*;
+* :func:`collect_reply` — the parent-side wait loop: polls the result
+  queue at ``poll_interval`` granularity, checks ``proc.is_alive()`` on
+  every miss (a SIGKILLed worker surfaces within one poll, never by
+  hanging), treats heartbeats as liveness, and classifies failures into
+  :class:`WorkerDied` / :class:`WorkerUnresponsive` /
+  :class:`WorkerProtocolError` (corrupt or unpicklable messages);
+* :class:`FaultLog` — the structured mirror of PR 5's ``steal_log``: every
+  detected crash, restart, failover, and roster migration is recorded as a
+  :class:`FaultEvent`, so recovery is observable instead of silent;
+* :func:`reap_process` / :func:`close_queue` — shutdown hardening: join,
+  then ``terminate()``, then escalate to ``kill()``; close queues without
+  risking a feeder-thread hang.
+
+Recovery *policy* (replay on a fresh worker, failover to a survivor or the
+parent) lives in the solvers; this module only detects, classifies, and
+records.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+HEARTBEAT = "heartbeat"
+
+#: FaultEvent kinds, in the order a failover typically emits them.
+FAULT_KINDS = ("crash", "restart", "failover", "migration")
+
+
+class WorkerFault(RuntimeError):
+    """Base class: a worker failed in a way that is *not* a sweep error.
+
+    Sweep exceptions relayed by a live worker (``("error", msg)`` replies)
+    stay plain ``RuntimeError`` — they are deterministic and would recur on
+    replay.  ``WorkerFault`` subclasses mark the recoverable machinery
+    failures: the sweep itself is fine, only the executor was lost.
+    """
+
+
+class WorkerDied(WorkerFault):
+    """The worker process exited (killed, segfaulted, OOMed) mid-command."""
+
+
+class WorkerUnresponsive(WorkerFault):
+    """The worker is alive but sent no heartbeat or reply for wait_timeout."""
+
+
+class WorkerProtocolError(WorkerFault):
+    """The result queue delivered a corrupt, unpicklable, or alien message."""
+
+
+@dataclass(frozen=True)
+class WorkerPolicy:
+    """Supervision knobs for process-mode shard workers.
+
+    ``heartbeat_interval``
+        worker-side period of liveness messages while a sweep runs
+        (``<= 0`` disables heartbeats);
+    ``wait_timeout``
+        parent-side silence budget: a worker that is alive but produced no
+        heartbeat or reply for this long is declared
+        :class:`WorkerUnresponsive` (``None`` waits forever — death is
+        still detected by liveness polls);
+    ``poll_interval``
+        granularity of the parent's queue polls; ``proc.is_alive()`` is
+        checked on every empty poll, so a dead worker is detected within
+        roughly one ``poll_interval`` — and always within one
+        ``wait_timeout``;
+    ``max_restarts``
+        replacement workers to try per incident before failing over;
+    ``backoff`` / ``backoff_factor``
+        exponential restart backoff: attempt ``a`` sleeps
+        ``backoff * backoff_factor**a`` seconds first.
+    """
+
+    heartbeat_interval: float = 0.5
+    wait_timeout: float | None = 30.0
+    poll_interval: float = 0.25
+    max_restarts: int = 2
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.wait_timeout is not None and self.wait_timeout <= 0:
+            raise ValueError(
+                f"wait_timeout must be positive or None, got {self.wait_timeout}"
+            )
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if (
+            self.wait_timeout is not None
+            and self.poll_interval > self.wait_timeout
+        ):
+            raise ValueError(
+                f"poll_interval ({self.poll_interval}) must not exceed "
+                f"wait_timeout ({self.wait_timeout})"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def restart_delay(self, attempt: int) -> float:
+        """Backoff before restart ``attempt`` (0-based): exponential."""
+        return self.backoff * self.backoff_factor**attempt
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One supervision event: a detected crash, a restart, or a migration.
+
+    ``kind``
+        one of :data:`FAULT_KINDS` — ``"crash"`` (worker declared dead /
+        unresponsive / corrupt), ``"restart"`` (replacement worker forked),
+        ``"failover"`` (segment re-executed off the dead worker, e.g. in
+        the parent), ``"migration"`` (roster moved to survivors — the
+        involuntary steal);
+    ``iteration``
+        fleet sweep count when the event was recorded;
+    ``shard``
+        index of the shard whose worker faulted (position at event time);
+    ``detail``
+        human-readable cause / action;
+    ``instances``
+        global instance ids moved, for ``"migration"`` events.
+    """
+
+    kind: str
+    iteration: int
+    shard: int
+    detail: str
+    instances: tuple[int, ...] = ()
+
+
+@dataclass
+class FaultLog:
+    """Structured record of every supervision event (mirror of ``steal_log``).
+
+    Append-only; never consulted by the solver's control flow, so replaying
+    a recovered solve produces the same math with a different log.
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        iteration: int,
+        shard: int,
+        detail: str,
+        instances: tuple[int, ...] = (),
+    ) -> FaultEvent:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
+        event = FaultEvent(kind, int(iteration), int(shard), detail, instances)
+        self.events.append(event)
+        return event
+
+    def by_kind(self, kind: str) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def crashes(self) -> list[FaultEvent]:
+        return self.by_kind("crash")
+
+    @property
+    def restarts(self) -> list[FaultEvent]:
+        return self.by_kind("restart")
+
+    @property
+    def failovers(self) -> list[FaultEvent]:
+        return self.by_kind("failover")
+
+    @property
+    def migrations(self) -> list[FaultEvent]:
+        return self.by_kind("migration")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def summary(self) -> str:
+        counts = {k: len(self.by_kind(k)) for k in FAULT_KINDS}
+        body = ", ".join(f"{k}={v}" for k, v in counts.items())
+        return f"FaultLog({body})"
+
+
+@contextmanager
+def heartbeat(done_q, interval: float | None):
+    """Worker-side: emit ``(HEARTBEAT, t)`` on ``done_q`` every ``interval``.
+
+    Wrap the sweep execution with this so the parent sees liveness during
+    long compute (NumPy releases the GIL, so the beat thread runs).  The
+    thread is stopped before the reply is posted, bounding stray beats; the
+    parent skips any that straggle.  ``interval`` of ``None`` / ``<= 0``
+    disables the thread entirely.
+    """
+    if interval is None or interval <= 0:
+        yield
+        return
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(interval):
+            try:
+                done_q.put((HEARTBEAT, time.monotonic()))
+            except Exception:  # queue closed mid-shutdown: just stop beating
+                return
+
+    thread = threading.Thread(
+        target=_beat, name="paradmm-heartbeat", daemon=True
+    )
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join(timeout=interval + 1.0)
+
+
+def collect_reply(done_q, proc, policy: WorkerPolicy, describe: str):
+    """Parent-side: wait for one ``(status, payload)`` reply with supervision.
+
+    Polls at ``policy.poll_interval`` so liveness is checked continuously:
+
+    * worker exited → :class:`WorkerDied` within ~one poll;
+    * alive but silent past ``policy.wait_timeout`` (heartbeats reset the
+      clock) → :class:`WorkerUnresponsive`;
+    * unpicklable / malformed / unknown-status message →
+      :class:`WorkerProtocolError`.
+
+    Heartbeats are consumed and skipped.  Returns ``(status, payload)``
+    where ``status`` is ``"ok"`` or ``"error"`` — interpreting ``"error"``
+    (a relayed sweep exception) is the caller's job.
+    """
+    last_signal = time.monotonic()
+    while True:
+        try:
+            msg = done_q.get(timeout=policy.poll_interval)
+        except queue.Empty:
+            if proc is not None and not proc.is_alive():
+                raise WorkerDied(
+                    f"{describe}: worker died (exitcode "
+                    f"{proc.exitcode}) without reporting a result"
+                ) from None
+            silence = time.monotonic() - last_signal
+            if policy.wait_timeout is not None and silence > policy.wait_timeout:
+                raise WorkerUnresponsive(
+                    f"{describe}: worker alive but silent for "
+                    f"{silence:.1f}s (wait_timeout={policy.wait_timeout}s)"
+                ) from None
+            continue
+        except Exception as err:
+            # The queue delivered bytes that failed to unpickle — a corrupt
+            # payload.  The worker may be fine, but this command's reply is
+            # unrecoverable: classify for the caller's replay logic.
+            raise WorkerProtocolError(
+                f"{describe}: corrupt message on result queue "
+                f"({type(err).__name__}: {err})"
+            ) from err
+        if not (isinstance(msg, tuple) and len(msg) == 2):
+            raise WorkerProtocolError(
+                f"{describe}: malformed message {msg!r} on result queue"
+            )
+        status, payload = msg
+        if status == HEARTBEAT:
+            last_signal = time.monotonic()
+            continue
+        if status not in ("ok", "error"):
+            raise WorkerProtocolError(
+                f"{describe}: unknown reply status {status!r}"
+            )
+        return status, payload
+
+
+def reap_process(proc, timeout: float = 5.0, grace: bool = True) -> None:
+    """Make sure a worker process is gone, escalating as needed.
+
+    ``grace=True`` first joins (for workers that were told to stop), then
+    ``terminate()`` (SIGTERM), then ``kill()`` (SIGKILL) — a worker stuck
+    in a sweep or ignoring SIGTERM can never outlive its solver.  Safe on
+    processes that are already dead or were never started.
+    """
+    if proc is None:
+        return
+    try:
+        if grace:
+            proc.join(timeout=timeout)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=timeout)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=timeout)
+    except ValueError:  # pragma: no cover - already closed process object
+        pass
+
+
+def close_queue(q) -> None:
+    """Close an mp.Queue without risking a feeder-thread join hang."""
+    if q is None:
+        return
+    try:
+        q.cancel_join_thread()
+    except Exception:
+        pass
+    try:
+        q.close()
+    except Exception:
+        pass

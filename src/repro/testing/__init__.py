@@ -1,0 +1,13 @@
+"""Test-support machinery shipped with the package (not test cases).
+
+:mod:`repro.testing.faults` is the fault-injection harness for the
+process-mode fleet solvers: seeded fault plans that kill workers, sever
+or delay their result queues, and corrupt replies at chosen sweep
+segments, so the supervision layer (:mod:`repro.core.supervision`) can be
+exercised deterministically from ``tests/test_fleet_faults.py``, the
+bench CLI (``--fault-plan``), and ``examples/fleet_faults.py``.
+"""
+
+from repro.testing.faults import FaultAction, FaultInjector, FaultPlan, kill_worker
+
+__all__ = ["FaultAction", "FaultInjector", "FaultPlan", "kill_worker"]

@@ -1,0 +1,270 @@
+"""Deterministic fault injection for the process-mode fleet solvers.
+
+The supervision layer (:mod:`repro.core.supervision`) exists to survive
+workers that die, hang, or corrupt their queues — failures that are
+miserable to reproduce by accident.  This module makes them a scripted,
+seeded input instead:
+
+* :class:`FaultAction` — one fault: a ``kind`` (``kill`` / ``drop`` /
+  ``delay`` / ``corrupt``), the target shard, and the sweep *segment*
+  (0-based count of ``_run_all`` calls) at which to strike;
+* :class:`FaultPlan` — an ordered collection of actions, buildable from
+  the compact spec DSL (``"kill:0@2,corrupt:1@3,delay:0@1:0.5"``) or
+  drawn from a seeded RNG (:meth:`FaultPlan.random`) for chaos matrices;
+* :class:`FaultInjector` — the hook object both solvers accept as
+  ``injector=``: their ``_run_all`` calls :meth:`before_segment` right
+  before dispatching each segment, and the injector applies whatever the
+  plan scripts for that segment.
+
+Fault semantics (all parent-observable, so recovery is testable):
+
+``kill``
+    SIGKILL the shard's worker process — the canonical crash.  The parent
+    sees :class:`~repro.core.supervision.WorkerDied` within one poll.
+``drop``
+    sever the result queue: every message (heartbeats included) is
+    swallowed for the rest of the segment, emulating a dead link to a
+    live worker.  The parent sees
+    :class:`~repro.core.supervision.WorkerUnresponsive` after
+    ``wait_timeout``.
+``delay``
+    hold the next reply for ``duration`` seconds, emulating a straggler.
+    A delay under ``wait_timeout`` must produce *no* fault — the test for
+    false positives.
+``corrupt``
+    the segment's reply fails to decode (as an unpicklable payload
+    would), surfacing :class:`~repro.core.supervision.WorkerProtocolError`.
+
+Because plans are data and the solvers' recovery replays exact pre-segment
+state, a faulted solve must match its fault-free twin bit-for-bit — the
+acceptance bar pinned by ``tests/test_fleet_faults.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.core.supervision import HEARTBEAT
+from repro.utils.rng import DEFAULT_SEED, default_rng
+
+#: Supported fault kinds, in rough order of severity.
+KINDS = ("kill", "drop", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scripted fault: strike ``shard`` at sweep segment ``segment``.
+
+    ``duration`` only matters for ``delay`` (seconds to hold the reply).
+    """
+
+    kind: str
+    shard: int
+    segment: int
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.segment < 0:
+            raise ValueError(f"segment must be >= 0, got {self.segment}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+
+    def spec(self) -> str:
+        """The DSL form of this action (inverse of :meth:`FaultPlan.parse`)."""
+        base = f"{self.kind}:{self.shard}@{self.segment}"
+        if self.duration:
+            base += f":{self.duration:g}"
+        return base
+
+
+class FaultPlan:
+    """An ordered script of :class:`FaultAction`\\ s, indexable by segment."""
+
+    def __init__(self, actions=()) -> None:
+        self.actions = sorted(
+            actions, key=lambda a: (a.segment, a.shard, a.kind)
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from the compact DSL.
+
+        ``spec`` is a comma-separated list of ``kind:shard@segment`` items,
+        with an optional ``:duration`` tail for ``delay`` — e.g.
+        ``"kill:0@2,corrupt:1@3,delay:0@1:0.5"``.  Whitespace around items
+        is ignored; an empty spec is an empty plan.
+        """
+        actions = []
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            try:
+                kind, rest = item.split(":", 1)
+                at = rest.split("@", 1)
+                shard = int(at[0])
+                tail = at[1].split(":", 1)
+                segment = int(tail[0])
+                duration = float(tail[1]) if len(tail) > 1 else 0.0
+            except (ValueError, IndexError) as err:
+                raise ValueError(
+                    f"bad fault spec item {item!r} (want kind:shard@segment"
+                    f"[:duration], e.g. 'kill:0@2'): {err}"
+                ) from None
+            actions.append(FaultAction(kind.strip(), shard, segment, duration))
+        return cls(actions)
+
+    @classmethod
+    def random(
+        cls,
+        num_faults: int,
+        num_shards: int,
+        num_segments: int,
+        seed: int | None = None,
+        kinds=("kill",),
+        delay: float = 0.1,
+    ) -> "FaultPlan":
+        """Draw a seeded plan: ``num_faults`` strikes over a segment range.
+
+        Deterministic given the seed — the chaos-matrix entry point
+        (``REPRO_FAULT_SEEDS`` widens the matrix in CI).
+        """
+        if num_shards < 1 or num_segments < 1:
+            raise ValueError("need at least one shard and one segment")
+        rng = default_rng(DEFAULT_SEED if seed is None else seed)
+        actions = []
+        for _ in range(int(num_faults)):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            actions.append(
+                FaultAction(
+                    kind,
+                    int(rng.integers(num_shards)),
+                    int(rng.integers(num_segments)),
+                    delay if kind == "delay" else 0.0,
+                )
+            )
+        return cls(actions)
+
+    def for_segment(self, segment: int) -> list[FaultAction]:
+        return [a for a in self.actions if a.segment == segment]
+
+    def spec(self) -> str:
+        return ",".join(a.spec() for a in self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"FaultPlan({self.spec()!r})"
+
+
+class _MisbehavingQueue:
+    """Parent-side wrapper that makes a result queue misbehave on command.
+
+    Wraps the real ``done_q`` (workers keep writing to the real queue;
+    only the parent's view is sabotaged).  ``mode`` is one of ``None``
+    (transparent), ``"drop"`` (swallow everything — a severed link),
+    ``"delay"`` (hold the next reply ``delay`` seconds, once), or
+    ``"corrupt"`` (the next non-heartbeat reply raises, as an unpicklable
+    payload would).  Restart-recovery replaces faulted queues wholesale,
+    so a wrapper never outlives the incident it scripted.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.mode: str | None = None
+        self.delay = 0.0
+
+    def get(self, block=True, timeout=None):
+        if self.mode == "drop":
+            self._inner.get(block, timeout)  # queue.Empty propagates
+            raise _queue.Empty  # a message arrived: swallow it
+        if self.mode == "delay":
+            self.mode = None
+            time.sleep(self.delay)
+            return self._inner.get(block, timeout)
+        if self.mode == "corrupt":
+            msg = self._inner.get(block, timeout)
+            if isinstance(msg, tuple) and msg and msg[0] == HEARTBEAT:
+                return msg  # liveness still flows; only the reply is bad
+            self.mode = None
+            raise RuntimeError("injected corrupt payload (unpicklable reply)")
+        return self._inner.get(block, timeout)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _worker_slot(solver, shard_idx: int):
+    """The object carrying shard ``shard_idx``'s ``proc``/``done_q``.
+
+    ``RebalancingShardedSolver`` keeps them on ``_workers`` entries;
+    ``ShardedBatchedSolver`` keeps them on the shards themselves.
+    """
+    workers = getattr(solver, "_workers", None)
+    if workers:
+        return workers[shard_idx]
+    return solver.shards[shard_idx]
+
+
+def kill_worker(solver, shard_idx: int) -> int:
+    """SIGKILL shard ``shard_idx``'s worker right now; returns the pid.
+
+    The scripted-plan path goes through :class:`FaultInjector`; this
+    direct form is for composing crashes with churn in tests (kill, then
+    ``append_instances`` / ``reshard`` / steal, then solve on).
+    """
+    slot = _worker_slot(solver, shard_idx)
+    pid = slot.proc.pid
+    os.kill(pid, signal.SIGKILL)
+    slot.proc.join(timeout=10)
+    return pid
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` as a fleet solver runs.
+
+    Pass as ``injector=`` to :class:`~repro.core.sharded.ShardedBatchedSolver`
+    or :class:`~repro.core.rebalance.RebalancingShardedSolver`
+    (``mode="process"`` only).  The solver calls :meth:`before_segment`
+    right before dispatching each ``_run_all`` segment; every applied
+    action is mirrored into :attr:`applied` as ``(segment, action)`` so
+    tests can assert the script actually fired.
+    """
+
+    def __init__(self, plan: FaultPlan | str) -> None:
+        self.plan = FaultPlan.parse(plan) if isinstance(plan, str) else plan
+        self.segment = 0
+        self.applied: list[tuple[int, FaultAction]] = []
+        self.skipped: list[tuple[int, FaultAction]] = []
+
+    def before_segment(self, solver) -> None:
+        seg, self.segment = self.segment, self.segment + 1
+        for action in self.plan.for_segment(seg):
+            if action.shard >= len(solver.shards):
+                # A migration may have shrunk the fleet under the plan.
+                self.skipped.append((seg, action))
+                continue
+            self._apply(solver, action)
+            self.applied.append((seg, action))
+
+    def _apply(self, solver, action: FaultAction) -> None:
+        if action.kind == "kill":
+            kill_worker(solver, action.shard)
+            return
+        slot = _worker_slot(solver, action.shard)
+        if not isinstance(slot.done_q, _MisbehavingQueue):
+            slot.done_q = _MisbehavingQueue(slot.done_q)
+        slot.done_q.mode = action.kind
+        slot.done_q.delay = action.duration

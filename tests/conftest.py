@@ -1,6 +1,18 @@
-"""Shared fixtures: canonical small graphs used across the suite."""
+"""Shared fixtures: canonical small graphs, plus a hang guard.
+
+The fleet/chaos suites (``test_fleet_*``) drive forked worker processes;
+a supervision regression there manifests as a *hang*, not a failure.  CI
+installs ``pytest-timeout`` for a per-test ceiling; when it is absent
+(local runs — it is not a package dependency) a SIGALRM fallback guard
+arms the same ceiling for the fleet suites only.  ``REPRO_TEST_TIMEOUT``
+overrides the ceiling in seconds; ``0`` disables the fallback (e.g. when
+debugging under a debugger that owns SIGALRM).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -9,6 +21,53 @@ from repro.bench.workloads import chain_graph as make_chain_graph
 from repro.bench.workloads import figure1_graph as make_figure1_graph
 from repro.graph.builder import GraphBuilder
 from repro.prox.standard import DiagQuadProx
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_GUARDED_PREFIXES = ("test_fleet_",)
+
+
+def _fallback_timeout() -> float:
+    return float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard(request):
+    """SIGALRM per-test ceiling for the fleet suites (pytest-timeout stand-in).
+
+    Only armed when pytest-timeout is unavailable, only on the main
+    thread's test runs, and only for fleet/chaos test files.  Forked
+    workers inherit no alarm (POSIX clears pending alarms across fork),
+    so worker processes are unaffected.
+    """
+    limit = _fallback_timeout()
+    if (
+        _HAVE_PYTEST_TIMEOUT
+        or limit <= 0
+        or not request.node.fspath.basename.startswith(_GUARDED_PREFIXES)
+        or not hasattr(signal, "SIGALRM")
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit:.0f}s hang guard "
+            f"(REPRO_TEST_TIMEOUT to adjust)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(int(limit))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture()

@@ -1,0 +1,423 @@
+"""Chaos suite: worker crashes, hangs, and corrupt queues under solving.
+
+Seeded fault plans (:mod:`repro.testing.faults`) SIGKILL workers, sever or
+delay result queues, and corrupt replies while the process-mode fleet
+solvers run.  The acceptance bar is the same as the churn suite's
+(``tests/test_fleet_churn.py``): a faulted solve must match its fault-free
+twin **bit-identically** — supervision recovers the machinery, never the
+math — and every crash/restart/failover/migration must land in the
+solver's :attr:`fault_log`.  A dead worker must be *detected* within one
+``wait_timeout``, never by hanging (the suite itself is the regression
+test: a hang here fails the CI timeout ceiling).
+
+The seed list is a matrix: CI gates on the defaults and runs extra seeds
+via ``REPRO_FAULT_SEEDS`` (comma-separated ints, replacing the defaults).
+Fork-heavy tests keep fleets small — one template factor, 4-8 instances.
+"""
+
+import multiprocessing as mp
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedSolver
+from repro.core.parameters import ResidualBalancing
+from repro.core.rebalance import RebalancingShardedSolver
+from repro.core.sharded import ShardedBatchedSolver
+from repro.core.supervision import FaultLog, WorkerPolicy
+from repro.graph.batch import replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.prox.standard import DiagQuadProx
+from repro.testing.faults import FaultAction, FaultInjector, FaultPlan, kill_worker
+
+DEFAULT_SEEDS = (0, 1)
+
+#: Fast supervision for tests: failures surface in tenths of a second.
+FAST = WorkerPolicy(
+    heartbeat_interval=0.05,
+    wait_timeout=2.0,
+    poll_interval=0.05,
+    max_restarts=2,
+    backoff=0.01,
+)
+
+
+def fault_seeds():
+    override = [
+        int(tok)
+        for tok in os.environ.get("REPRO_FAULT_SEEDS", "").split(",")
+        if tok.strip()
+    ]
+    return override if override else list(DEFAULT_SEEDS)
+
+
+def quad_template():
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    return b.build()
+
+
+def overrides_for(targets):
+    return [{0: {"c": -np.asarray(t, dtype=float)}} for t in targets]
+
+
+def quad_fleet(targets):
+    return replicate_graph(quad_template(), len(targets), overrides_for(targets))
+
+
+def assert_no_orphans():
+    deadline = time.monotonic() + 10.0
+    while mp.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not mp.active_children(), (
+        f"orphaned worker processes: {mp.active_children()}"
+    )
+
+
+def assert_results_equal(got, ref, atol=0.0):
+    """Trajectory equality: bit-exact by default, 1e-10 for references
+    whose compute path legitimately differs (three-weight/async solvers)."""
+    for a, b in zip(got, ref):
+        assert a.iterations == b.iterations
+        assert a.converged == b.converged
+        if atol == 0.0:
+            np.testing.assert_array_equal(a.z, b.z)
+            assert a.history.primal == b.history.primal
+            assert a.history.dual == b.history.dual
+            assert a.history.rho == b.history.rho
+        else:
+            np.testing.assert_allclose(a.z, b.z, atol=atol)
+            np.testing.assert_allclose(a.history.primal, b.history.primal, atol=atol)
+            np.testing.assert_allclose(a.history.dual, b.history.dual, atol=atol)
+
+
+# --------------------------------------------------------------------- #
+# Plumbing units: policy, log, plan.                                     #
+# --------------------------------------------------------------------- #
+def test_worker_policy_validation():
+    WorkerPolicy(wait_timeout=None)  # None waits forever: allowed
+    with pytest.raises(ValueError, match="wait_timeout"):
+        WorkerPolicy(wait_timeout=0.0)
+    with pytest.raises(ValueError, match="poll_interval"):
+        WorkerPolicy(poll_interval=-1.0)
+    with pytest.raises(ValueError, match="poll_interval"):
+        WorkerPolicy(wait_timeout=1.0, poll_interval=2.0)
+    with pytest.raises(ValueError, match="max_restarts"):
+        WorkerPolicy(max_restarts=-1)
+    with pytest.raises(ValueError, match="backoff_factor"):
+        WorkerPolicy(backoff_factor=0.5)
+    p = WorkerPolicy(backoff=0.1, backoff_factor=3.0)
+    assert p.restart_delay(0) == pytest.approx(0.1)
+    assert p.restart_delay(2) == pytest.approx(0.9)
+
+
+def test_fault_log_records_and_filters():
+    log = FaultLog()
+    assert not log and len(log) == 0
+    log.record("crash", 3, 1, "boom")
+    log.record("restart", 3, 1, "respawn")
+    log.record("migration", 3, 1, "moved", instances=(4, 5))
+    assert [e.kind for e in log] == ["crash", "restart", "migration"]
+    assert len(log.crashes) == len(log.restarts) == len(log.migrations) == 1
+    assert log.migrations[0].instances == (4, 5)
+    assert "crash=1" in log.summary()
+    with pytest.raises(ValueError, match="kind"):
+        log.record("explode", 0, 0, "nope")
+
+
+def test_fault_plan_parse_roundtrip_and_random():
+    plan = FaultPlan.parse(" kill:0@2, corrupt:1@3 ,delay:0@1:0.5 ")
+    assert [a.kind for a in plan] == ["delay", "kill", "corrupt"]  # by segment
+    assert plan.for_segment(2) == [FaultAction("kill", 0, 2)]
+    assert FaultPlan.parse(plan.spec()).spec() == plan.spec()
+    with pytest.raises(ValueError, match="bad fault spec"):
+        FaultPlan.parse("kill@0:2")
+    with pytest.raises(ValueError, match="kind"):
+        FaultPlan.parse("explode:0@1")
+    r1 = FaultPlan.random(4, 3, 5, seed=9, kinds=("kill", "drop"))
+    r2 = FaultPlan.random(4, 3, 5, seed=9, kinds=("kill", "drop"))
+    assert r1.spec() == r2.spec() and len(r1) == 4
+    assert all(a.shard < 3 and a.segment < 5 for a in r1)
+
+
+def test_injector_requires_process_mode():
+    fleet = quad_fleet(np.ones((4, 2)))
+    inj = FaultInjector("kill:0@0")
+    with pytest.raises(ValueError, match="process"):
+        RebalancingShardedSolver(fleet, num_shards=2, mode="thread", injector=inj)
+    with pytest.raises(ValueError, match="process"):
+        ShardedBatchedSolver(fleet, num_shards=2, mode="thread", injector=inj)
+
+
+# --------------------------------------------------------------------- #
+# Rebalancing solver: crash recovery is bit-identical.                   #
+# --------------------------------------------------------------------- #
+def crash_free_reference(variant, targets, seed, **solve):
+    """The unfaulted trajectory for a variant (churn-suite convention)."""
+    batch = quad_fleet(targets)
+    if variant == "classic":
+        with BatchedSolver(batch, rho=1.3) as s:
+            return s.solve_batch(**solve)
+    if variant == "three_weight":
+        from repro.core.three_weight import solve_batch_twa
+
+        return solve_batch_twa(batch, rho=1.3, **solve)
+    from repro.core.async_admm import solve_batch_async
+
+    return solve_batch_async(batch, fraction=0.7, seed=seed, rho=1.3, **solve)
+
+
+@pytest.mark.parametrize("seed", fault_seeds())
+@pytest.mark.parametrize("variant", ["classic", "three_weight", "async"])
+def test_kill_recovery_matches_crash_free_solve(variant, seed):
+    """SIGKILL mid-solve: restart-and-replay keeps the full trajectory
+    (iterates, histories, iteration counts) bit-identical to the
+    crash-free solve of the same variant."""
+    rng = np.random.default_rng(seed)
+    targets = rng.normal(size=(6, 2)) + 1.0
+    plan = FaultPlan.random(2, 3, 4, seed=seed, kinds=("kill",))
+    solve = dict(max_iterations=40, check_every=5, init="zeros")
+    ref = crash_free_reference(variant, targets, seed, **solve)
+    live = RebalancingShardedSolver(
+        quad_fleet(targets),
+        num_shards=3,
+        mode="process",
+        variant=variant,
+        rho=1.3,
+        fraction=0.7,
+        seed=seed,
+        policy=FAST,
+        injector=FaultInjector(plan),
+    )
+    try:
+        got = live.solve_batch(**solve)
+        assert_results_equal(got, ref, atol=0.0 if variant == "classic" else 1e-10)
+        assert live.fault_log.crashes, f"plan {plan.spec()} never struck"
+        assert live.fault_log.restarts
+    finally:
+        live.close()
+    assert_no_orphans()
+
+
+@pytest.mark.parametrize("seed", fault_seeds()[:1])
+def test_kill_without_restart_budget_fails_over_and_migrates(seed):
+    """max_restarts=0: the segment runs in the parent and the dead shard's
+    roster migrates to a survivor — recorded as an involuntary steal."""
+    rng = np.random.default_rng(seed)
+    targets = rng.normal(size=(6, 2)) + 1.0
+    policy = WorkerPolicy(
+        heartbeat_interval=0.05, wait_timeout=2.0, poll_interval=0.05,
+        max_restarts=0,
+    )
+    plain = BatchedSolver(quad_fleet(targets), rho=1.3)
+    live = RebalancingShardedSolver(
+        quad_fleet(targets),
+        num_shards=3,
+        mode="process",
+        rho=1.3,
+        policy=policy,
+        injector=FaultInjector("kill:1@1"),
+    )
+    try:
+        steals_before = len(live.steal_log)
+        ref = plain.solve_batch(max_iterations=30, check_every=5, init="zeros")
+        got = live.solve_batch(max_iterations=30, check_every=5, init="zeros")
+        assert_results_equal(got, ref)
+        assert live.num_shards == 2  # dead shard dissolved
+        assert live.fault_log.crashes and live.fault_log.failovers
+        migs = live.fault_log.migrations
+        assert len(migs) == 1 and migs[0].instances
+        steal = live.steal_log[steals_before:]
+        assert len(steal) == 1 and steal[0].instances == migs[0].instances
+        # The shrunken fleet keeps solving correctly.
+        ref2 = plain.solve_batch(max_iterations=60, check_every=5, init="keep")
+        got2 = live.solve_batch(max_iterations=60, check_every=5, init="keep")
+        assert_results_equal(got2, ref2)
+    finally:
+        plain.close()
+        live.close()
+    assert_no_orphans()
+
+
+@pytest.mark.parametrize(
+    "spec, expect_fault",
+    [("drop:0@1", True), ("corrupt:1@1", True), ("delay:0@1:0.3", False)],
+)
+def test_queue_faults_recover_or_pass(spec, expect_fault):
+    """A severed queue or corrupt reply is recovered like a crash; a delay
+    under wait_timeout is a straggler, not a fault (no false positives)."""
+    targets = np.random.default_rng(3).normal(size=(4, 2))
+    policy = WorkerPolicy(
+        heartbeat_interval=0.05, wait_timeout=0.6, poll_interval=0.05,
+        max_restarts=2, backoff=0.01,
+    )
+    plain = BatchedSolver(quad_fleet(targets), rho=1.2)
+    live = RebalancingShardedSolver(
+        quad_fleet(targets), num_shards=2, mode="process", rho=1.2,
+        policy=policy, injector=FaultInjector(spec),
+    )
+    try:
+        plain.initialize("zeros")
+        live.initialize("zeros")
+        for _ in range(2):
+            plain.iterate(2)
+            live.iterate(2)
+        np.testing.assert_array_equal(live.fleet_z(), plain.state.z)
+        if expect_fault:
+            assert live.fault_log.crashes and live.fault_log.restarts
+        else:
+            assert not live.fault_log, live.fault_log.summary()
+    finally:
+        plain.close()
+        live.close()
+    assert_no_orphans()
+
+
+@pytest.mark.parametrize("seed", fault_seeds()[:1])
+def test_crash_composed_with_churn_keeps_survivors_identical(seed):
+    """Kill a worker *between* churn ops (append/reshard/steal) and keep
+    solving: continuously-alive instances still match the untouched fleet."""
+    rng = np.random.default_rng(100 + seed)
+    B = 6
+    targets = rng.normal(size=(B, 2)) + 1.0
+    schedule = ResidualBalancing(mu=1.5, tau=2.0, max_updates=10)
+    untouched = BatchedSolver(quad_fleet(targets), rho=1.3, schedule=schedule)
+    live = RebalancingShardedSolver(
+        quad_fleet(targets),
+        num_shards=3,
+        mode="process",
+        rho=1.3,
+        schedule=schedule,
+        steal_threshold=0,
+        steal_seed=seed,
+        policy=FAST,
+    )
+    try:
+        cap = 6
+        ref = untouched.solve_batch(
+            max_iterations=cap, eps_abs=0.0, eps_rel=0.0, check_every=3,
+            init="zeros",
+        )
+        got = live.solve_batch(
+            max_iterations=cap, eps_abs=0.0, eps_rel=0.0, check_every=3,
+            init="zeros",
+        )
+        # Churn with a freshly-killed worker in the middle: the next run
+        # must detect the crash and replay — even though the shard layout
+        # changed under the dead worker.
+        kill_worker(live, int(rng.integers(live.num_shards)))
+        live.add_instances(overrides_for([targets[0]]))
+        live.reshard(2)
+        live.steal_once()
+        kill_worker(live, int(rng.integers(live.num_shards)))
+        cap += 6
+        ref = untouched.solve_batch(
+            max_iterations=cap, eps_abs=0.0, eps_rel=0.0, check_every=3,
+            init="keep",
+        )
+        got = live.solve_batch(
+            max_iterations=cap, eps_abs=0.0, eps_rel=0.0, check_every=3,
+            init="keep",
+        )
+        assert live.fault_log.crashes and live.fault_log.restarts
+        # Original instances (0..B-1) lived through everything: bit-equal.
+        z_rows = live.split_z()
+        u_rows = live.family_rows("u")
+        ref_z = untouched.batch.split_z(untouched.state.z)
+        for g in range(B):
+            assert got[g].history.primal == ref[g].history.primal
+            assert got[g].history.rho == ref[g].history.rho
+            np.testing.assert_array_equal(z_rows[g], ref_z[g])
+            slot = untouched.batch.slot_index[g]
+            np.testing.assert_array_equal(u_rows[g], untouched.state.u[slot])
+    finally:
+        untouched.close()
+        live.close()
+    assert_no_orphans()
+
+
+def test_dead_worker_detected_within_wait_timeout():
+    """Detection latency: a SIGKILLed worker surfaces via liveness polling
+    in ~poll_interval — far inside one wait_timeout, and never a hang."""
+    targets = np.zeros((4, 2))
+    policy = WorkerPolicy(
+        heartbeat_interval=0.05, wait_timeout=30.0, poll_interval=0.1,
+        max_restarts=1, backoff=0.0,
+    )
+    live = RebalancingShardedSolver(
+        quad_fleet(targets), num_shards=2, mode="process", rho=1.0,
+        policy=policy, injector=FaultInjector("kill:0@0"),
+    )
+    try:
+        live.initialize("zeros")
+        t0 = time.monotonic()
+        live.iterate(1)
+        elapsed = time.monotonic() - t0
+        assert live.fault_log.crashes
+        # One wait_timeout is the hard bar; polling makes it much faster.
+        assert elapsed < policy.wait_timeout, f"detection took {elapsed:.1f}s"
+    finally:
+        live.close()
+    assert_no_orphans()
+
+
+# --------------------------------------------------------------------- #
+# Sharded (static) solver: restart-and-replay.                           #
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("variant", ["classic", "async"])
+def test_sharded_solver_restart_and_replay(variant):
+    fleet = quad_fleet(np.random.default_rng(5).normal(size=(6, 2)))
+    inj = FaultInjector("kill:1@1")
+    faulted = ShardedBatchedSolver(
+        fleet, num_shards=2, mode="process", variant=variant, rho=1.2,
+        seed=7, fraction=0.7, policy=FAST, injector=inj,
+    )
+    clean = ShardedBatchedSolver(
+        fleet, num_shards=2, mode="process", variant=variant, rho=1.2,
+        seed=7, fraction=0.7,
+    )
+    try:
+        faulted.initialize("zeros")
+        clean.initialize("zeros")
+        faulted.iterate(2)
+        clean.iterate(2)
+        faulted.iterate(3)  # segment 1: shard 1's worker is killed
+        clean.iterate(3)
+        np.testing.assert_array_equal(faulted.fleet_z(), clean.fleet_z())
+        assert faulted.fault_log.crashes and faulted.fault_log.restarts
+        assert inj.applied
+    finally:
+        faulted.close()
+        clean.close()
+    assert_no_orphans()
+
+
+def test_sharded_solver_exhausted_restart_budget_raises_and_closes():
+    """The static solver has no migration path: a shard that keeps dying
+    exhausts max_restarts, raises, and the solver shuts down cleanly."""
+    fleet = quad_fleet(np.zeros((4, 2)))
+    policy = WorkerPolicy(
+        heartbeat_interval=0.05, wait_timeout=2.0, poll_interval=0.05,
+        max_restarts=0,
+    )
+    solver = ShardedBatchedSolver(
+        fleet, num_shards=2, mode="process", rho=1.0,
+        policy=policy, injector=FaultInjector("kill:0@0"),
+    )
+    try:
+        solver.initialize("zeros")
+        with pytest.raises(RuntimeError, match="kept failing"):
+            solver.iterate(1)
+        assert solver.fault_log.crashes
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.iterate(1)
+    finally:
+        solver.close()
+    assert_no_orphans()

@@ -255,3 +255,89 @@ class TestContracts:
             solver.iterate(10)
             np.testing.assert_array_equal(solver.fleet_z(), plain.state.z)
         plain.close()
+
+
+class TestInterruptAndShutdownSafety:
+    """ISSUE 6 satellites: interrupts and crashes never leak worker
+    processes, and ``close()`` is hardened against both."""
+
+    @staticmethod
+    def _assert_no_orphans():
+        import multiprocessing as mp
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while mp.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not mp.active_children(), (
+            f"orphaned worker processes: {mp.active_children()}"
+        )
+
+    def test_keyboard_interrupt_mid_sweep_leaves_no_orphans(self, monkeypatch):
+        """Ctrl-C while the parent waits on workers must tear the fleet
+        down on the way out — no zombie shard processes."""
+        solver = ShardedBatchedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="process"
+        )
+        solver.iterate(1)
+
+        def interrupt(shard):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(solver, "_collect", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            solver.iterate(3)
+        monkeypatch.undo()
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.iterate(1)
+        solver.close()  # still idempotent after the interrupt path
+        self._assert_no_orphans()
+
+    def test_rebalancing_interrupt_mid_sweep_leaves_no_orphans(self, monkeypatch):
+        from repro.core.rebalance import RebalancingShardedSolver
+
+        solver = RebalancingShardedSolver(
+            quad_batch(TARGETS), num_shards=2, mode="process"
+        )
+        solver.iterate(1)
+
+        def interrupt(idx, what):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(solver, "_collect", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            solver.iterate(3)
+        monkeypatch.undo()
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.iterate(1)
+        solver.close()
+        self._assert_no_orphans()
+
+    def test_close_after_worker_crash_neither_hangs_nor_leaks(self):
+        """close() on a fleet whose worker was SIGKILLed mid-life: the
+        polite stop is skipped for the corpse, queues are torn down, and
+        repeated close stays a no-op."""
+        import os
+        import signal
+
+        for make in (
+            lambda: ShardedBatchedSolver(
+                quad_batch(TARGETS), num_shards=2, mode="process"
+            ),
+            lambda: __import__(
+                "repro.core.rebalance", fromlist=["RebalancingShardedSolver"]
+            ).RebalancingShardedSolver(
+                quad_batch(TARGETS), num_shards=2, mode="process"
+            ),
+        ):
+            solver = make()
+            solver.iterate(1)
+            procs = [
+                slot.proc
+                for slot in getattr(solver, "_workers", None) or solver.shards
+            ]
+            os.kill(procs[0].pid, signal.SIGKILL)
+            procs[0].join(timeout=10)
+            solver.close()
+            solver.close()
+            self._assert_no_orphans()
