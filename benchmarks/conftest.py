@@ -3,12 +3,20 @@
 Each figure bench writes its paper-style series to ``results/<name>.txt``
 (pytest captures stdout; the files survive).  This conftest clears the
 results directory once per session so reruns don't append duplicates.
+
+``benchmarks/`` is a package (see ``__init__.py``) so its modules don't
+collide with same-basename files under ``tests/`` when one pytest run
+collects both directories; the path insert below keeps the historical
+``from _common import ...`` spelling working inside the package.
 """
 
 from __future__ import annotations
 
 import os
 import shutil
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import pytest
 

@@ -1,0 +1,105 @@
+"""Fleet service — streaming SLOs with bit-identical per-request results.
+
+Acceptance bench for the service layer (ISSUE 7).  The gating assertions
+are **equality and accounting**, not wall-clock (shared runners can be
+1-core): every request of a seeded 64-request open-loop Poisson trace
+must come back bit-identical (1e-10) to a dedicated ``BatchedSolver``
+solve of that request, and the latency percentiles must be internally
+consistent.  p50/p95/p99 latency and sustained instances/sec are checked
+against the tolerance-banded per-host baseline
+(:mod:`repro.bench.baseline` — loose "default" bands gate only on
+order-of-magnitude collapse) and reported to
+``results/fleet_service.txt`` as the artifact CI uploads.
+"""
+
+import numpy as np
+
+from repro.apps.mpc import MPCProblem, build_batch, inverted_pendulum
+from repro.bench.baseline import check_performance, reference_for
+from repro.bench.reporting import SeriesTable, results_path
+from repro.core.batched import BatchedSolver
+from repro.core.service import FleetService
+from repro.graph.batch import replicate_graph
+from repro.testing.traffic import poisson_trace, replay
+
+REQUESTS = 64
+HORIZON = 8
+ANCHOR = 2 * HORIZON + 1
+RHO = 10.0
+CHECK = 10
+CAP = 200
+RATE = 2.0
+SEED = 0
+
+
+def _template():
+    A, B = inverted_pendulum()
+    return build_batch(
+        [MPCProblem(A=A, B=B, q0=np.zeros(4), horizon=HORIZON)]
+    ).template
+
+
+def _make_params(rng, i):
+    return {ANCHOR: {"c": rng.uniform(-0.2, 0.2, 4)}}
+
+
+def test_service_trace_bit_identical_with_slo_report():
+    template = _template()
+    trace = poisson_trace(REQUESTS, rate=RATE, seed=SEED, make_params=_make_params)
+    with FleetService(
+        template,
+        rho=RHO,
+        num_shards=2,
+        mode="thread",
+        check_every=CHECK,
+        max_iterations=CAP,
+    ) as service:
+        results = replay(service, trace)
+        stats = service.stats()
+
+    assert stats.completed == REQUESTS
+    assert 0 <= stats.p50_latency <= stats.p95_latency <= stats.p99_latency
+
+    worst = 0.0
+    for rid in range(REQUESTS):
+        solo_batch = replicate_graph(template, 1, [dict(trace[rid].params)])
+        with BatchedSolver(solo_batch, rho=RHO) as solo:
+            ref = solo.solve_batch(
+                max_iterations=CAP, check_every=CHECK, init="zeros"
+            )[0]
+        worst = max(worst, float(np.max(np.abs(ref.z - results[rid].result.z))))
+    assert worst <= 1e-10, (
+        f"service results deviate from solo solves (max |dz| = {worst:.3e})"
+    )
+
+    host, reference = reference_for()
+    checks = check_performance(
+        {
+            "instances_per_sec": stats.instances_per_sec,
+            "p50_latency": stats.p50_latency,
+            "p99_latency": stats.p99_latency,
+        },
+        reference,
+    )
+
+    table = SeriesTable(
+        f"Fleet service bench — {REQUESTS} Poisson requests (rate {RATE}"
+        f"/segment, seed {SEED}), horizon {HORIZON}, check_every {CHECK}",
+        ("metric", "value", "unit"),
+    )
+    table.add_row("completed", stats.completed, "requests")
+    table.add_row("p50 latency", stats.p50_latency, "s")
+    table.add_row("p95 latency", stats.p95_latency, "s")
+    table.add_row("p99 latency", stats.p99_latency, "s")
+    table.add_row("throughput", stats.instances_per_sec, "inst/s")
+    table.add_row("segments", stats.segments, "")
+    table.add_row("max |dz| vs solo", worst, "")
+    table.add_note(f"baseline host: {host}")
+    for c in checks:
+        table.add_note(f"  {c.summary()}")
+    table.emit(results_path("fleet_service.txt"))
+
+    # Baseline bands are the perf gate; the loose default entry only
+    # fails on order-of-magnitude collapse, curated hosts get tight bands.
+    bad = [c.summary() for c in checks if not c.ok]
+    assert not bad, f"baseline band violations: {bad}"

@@ -113,6 +113,36 @@ recorded in the solver's ``fault_log`` (a ``FaultLog``, mirror of
 segments) — driving the chaos suite (``tests/test_fleet_faults.py``), the
 ``repro-bench fleet --fault-plan`` demo, and ``examples/fleet_faults.py``.
 
+Fleet as a service
+------------------
+``FleetService`` turns the live fleet into a long-lived solve daemon:
+requests (per-factor parameter overrides on one template graph, optional
+warm-start z, per-request iteration cap) queue on an input lane, are
+admission-batched into a running ``RebalancingShardedSolver`` between
+sweep segments (O(k) ``add_instances`` appends under a configurable
+``admit_every``/``max_batch`` latency window), and are evicted with their
+``ADMMResult`` the moment their stopping mask fires — while the service
+reports per-request p50/p95/p99 latency and sustained instances/sec
+(``stats()``) instead of one batch wall-clock number.  Because the
+service drives the exact ``solve_batch`` segment loop through the
+solver's public segment-boundary hooks, every returned result is
+bit-identical to a solo ``BatchedSolver`` run of that request, under any
+admission/eviction churn, stealing, resharding, or worker crash
+(``tests/test_fleet_service.py``)::
+
+    from repro import FleetService
+
+    service = FleetService(template, check_every=10)
+    rid = service.submit(params={anchor: {"c": q0}}, warm_start=z_prev)
+    for done in iter(service.step, None):      # one sweep segment per call
+        ...                                    # done: list[RequestResult]
+
+``repro.testing.traffic`` replays seeded arrival processes (open-loop
+Poisson, bursty, adversarial; closed-loop clients) against a service on
+its deterministic segment clock, and ``repro-bench serve`` benchmarks the
+whole stack against tolerance-banded per-host baselines
+(``repro.bench.baseline``).
+
 Testing layers
 --------------
 The suite guards the engine at four levels: a cross-backend equivalence
@@ -151,6 +181,7 @@ from repro.core import (
     ADMMSolver,
     ADMMState,
     BatchedSolver,
+    FleetService,
     MaxIterations,
     RebalancingShardedSolver,
     ResidualTolerance,
@@ -181,6 +212,7 @@ __all__ = [
     "BatchedSolver",
     "ShardedBatchedSolver",
     "RebalancingShardedSolver",
+    "FleetService",
     "carry_state",
     "MaxIterations",
     "ResidualTolerance",

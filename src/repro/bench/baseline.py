@@ -1,0 +1,117 @@
+"""Per-host reference-performance baselines with tolerance bands.
+
+Performance numbers only mean something relative to the machine that
+produced them, so the service benchmark checks its metrics against a
+ReFrame-style reference table::
+
+    {hostname: {metric: (ref, lower_frac, upper_frac, unit)}}
+
+``lower_frac``/``upper_frac`` are *fractional deviations from ref* (the
+ReFrame convention): ``(100, -0.5, None, "inst/s")`` accepts anything
+above 50 inst/s with no upper bound.  ``None`` on either side disables
+that bound.  Hosts are matched by :func:`platform.node` with a
+``"default"`` fallback whose bands are deliberately loose — on unknown
+hardware the check only gates on order-of-magnitude collapse, while a
+host with a curated entry gets a tight regression fence.
+
+For higher-is-better metrics (throughput) put the fence in
+``lower_frac``; for lower-is-better (latency) put it in ``upper_frac``.
+"""
+
+from __future__ import annotations
+
+import platform
+from dataclasses import dataclass
+from typing import Mapping
+
+# Reference values for the `repro-bench serve` smoke workload
+# (32 requests, seed 0, horizon 8, check_every 10, 2 thread shards).
+# The "default" entry gates only on collapse: an order of magnitude
+# below ref fails, anything else passes.  Add named hosts with tight
+# bands as curated machines appear.
+SERVE_BASELINES: dict[str, dict[str, tuple]] = {
+    "default": {
+        "instances_per_sec": (20.0, -0.9, None, "inst/s"),
+        "p50_latency": (0.5, None, 19.0, "s"),
+        "p99_latency": (2.0, None, 19.0, "s"),
+    },
+}
+
+
+@dataclass(frozen=True)
+class BaselineCheck:
+    """Verdict for one metric against its reference band."""
+
+    metric: str
+    value: float
+    ref: float
+    lower: float | None  # absolute bound, already ref*(1+lower_frac)
+    upper: float | None
+    unit: str
+    ok: bool
+
+    def summary(self) -> str:
+        lo = f"{self.lower:.4g}" if self.lower is not None else "-inf"
+        hi = f"{self.upper:.4g}" if self.upper is not None else "+inf"
+        verdict = "ok" if self.ok else "FAIL"
+        return (
+            f"{self.metric}: {self.value:.4g} {self.unit} "
+            f"(ref {self.ref:.4g}, band [{lo}, {hi}]) {verdict}"
+        )
+
+
+def reference_for(
+    baselines: Mapping[str, Mapping[str, tuple]] | None = None,
+    host: str | None = None,
+) -> tuple[str, Mapping[str, tuple]]:
+    """Pick the reference table for ``host`` (default: this machine).
+
+    Returns ``(matched_key, table)``; falls back to ``"default"`` and to
+    an empty table if no default exists.
+    """
+    if baselines is None:
+        baselines = SERVE_BASELINES
+    if host is None:
+        host = platform.node()
+    if host in baselines:
+        return host, baselines[host]
+    return "default", baselines.get("default", {})
+
+
+def check_performance(
+    metrics: Mapping[str, float],
+    reference: Mapping[str, tuple],
+) -> list[BaselineCheck]:
+    """Check measured ``metrics`` against one host's reference table.
+
+    Metrics without a reference entry are skipped (not failures —
+    baselines grow one curated metric at a time); reference entries
+    without a measurement are skipped likewise.
+    """
+    out: list[BaselineCheck] = []
+    for name, entry in reference.items():
+        if name not in metrics:
+            continue
+        ref, lower_frac, upper_frac, unit = entry
+        value = float(metrics[name])
+        lower = None if lower_frac is None else ref * (1.0 + lower_frac)
+        upper = None if upper_frac is None else ref * (1.0 + upper_frac)
+        ok = (lower is None or value >= lower) and (
+            upper is None or value <= upper
+        )
+        out.append(
+            BaselineCheck(
+                metric=name,
+                value=value,
+                ref=float(ref),
+                lower=lower,
+                upper=upper,
+                unit=unit,
+                ok=bool(ok),
+            )
+        )
+    return out
+
+
+def all_ok(checks: list[BaselineCheck]) -> bool:
+    return all(c.ok for c in checks)

@@ -121,13 +121,16 @@ def run_fleet(args) -> int:
             "cores to exceed 1)"
         )
     t.emit()
+    # Every demo audits a bit-identical invariant and reports pass/fail in
+    # its exit code; propagate the worst one instead of dropping returns.
+    rc = 0
     if args.elastic:
-        run_fleet_elastic_demo(args, iterations)
+        rc = max(rc, run_fleet_elastic_demo(args, iterations))
     if args.rebalance:
-        run_fleet_rebalance_demo(args)
+        rc = max(rc, run_fleet_rebalance_demo(args))
     if args.fault_plan:
-        return run_fleet_faults_demo(args)
-    return 0
+        rc = max(rc, run_fleet_faults_demo(args))
+    return rc
 
 
 def run_fleet_faults_demo(args) -> int:
@@ -268,6 +271,7 @@ def run_fleet_rebalance_demo(args) -> int:
         dev = max(
             float(np.max(np.abs(a.z - b.z))) for a, b in zip(got, ref)
         )
+        worst = dev
         t.add_row("solve+steal", B, solver.num_shards, len(solver.steal_log), dev)
         solver.reshard(max(1, shards - 1))
         solver.initialize("zeros")
@@ -275,6 +279,7 @@ def run_fleet_rebalance_demo(args) -> int:
         solver.iterate(30)
         plain.iterate(30)
         dev = float(np.max(np.abs(solver.fleet_z() - plain.state.z)))
+        worst = max(worst, dev)
         t.add_row(
             f"reshard->{solver.num_shards}+iterate",
             B,
@@ -290,7 +295,7 @@ def run_fleet_rebalance_demo(args) -> int:
     t.add_note("max |dz| = 0 means bit-identical to the plain batched solve")
     t.emit()
     plain.close()
-    return 0
+    return 0 if worst == 0.0 else 1
 
 
 def run_fleet_elastic_demo(args, iterations: int) -> int:
@@ -318,11 +323,16 @@ def run_fleet_elastic_demo(args, iterations: int) -> int:
     drop = list(range(0, B, 3))
     survivors = [i for i in range(B) if i not in drop]
 
+    worst = 0.0
+
     def dev() -> float:
+        nonlocal worst
         rows = solver.batch.split_z(solver.state.z)
         ref_rows = reference.batch.split_z(reference.state.z)
         pairs = zip(rows, (ref_rows[i] for i in survivors))
-        return max(float(np.max(np.abs(a - b))) for a, b in pairs)
+        d = max(float(np.max(np.abs(a - b))) for a, b in pairs)
+        worst = max(worst, d)
+        return d
 
     solver.iterate(iterations)
     reference.iterate(iterations)
@@ -341,6 +351,130 @@ def run_fleet_elastic_demo(args, iterations: int) -> int:
     t.emit()
     solver.close()
     reference.close()
+    return 0 if worst == 0.0 else 1
+
+
+def run_serve(args) -> int:
+    """Fleet-service benchmark: replay a seeded Poisson trace, report SLOs.
+
+    Streams ``--requests`` MPC solve requests (randomized initial states,
+    seeded by ``--seed``) through a live :class:`FleetService` as an
+    open-loop Poisson process, reports p50/p95/p99 per-request latency and
+    sustained instances/sec against the tolerance-banded per-host baseline
+    (:mod:`repro.bench.baseline`), and audits that every returned result
+    is bit-identical to a solo ``BatchedSolver`` run of the same request.
+    Exits nonzero on solo deviation > 1e-10 or a baseline band violation.
+    Appends the report (with a latency histogram) to
+    ``results/fleet_service.txt`` for CI artifact upload.
+    """
+    import numpy as np
+
+    from repro.apps.mpc import MPCProblem, build_batch, inverted_pendulum
+    from repro.bench.baseline import check_performance, reference_for
+    from repro.bench.reporting import results_path
+    from repro.core.batched import BatchedSolver
+    from repro.core.service import FleetService
+    from repro.graph.batch import replicate_graph
+    from repro.testing.traffic import poisson_trace, replay
+
+    A, Bm = inverted_pendulum()
+    template = build_batch(
+        [MPCProblem(A=A, B=Bm, q0=np.zeros(4), horizon=args.horizon)]
+    ).template
+    init_factor = 2 * args.horizon + 1  # the q0 anchor (see apps.mpc)
+
+    def make_params(rng, i):
+        return {init_factor: {"c": rng.uniform(-0.2, 0.2, 4)}}
+
+    trace = poisson_trace(
+        args.requests, rate=args.rate, seed=args.seed, make_params=make_params
+    )
+    rho, cap = 10.0, 200
+    shards = args.shards if args.shards else 2
+    with FleetService(
+        template,
+        rho=rho,
+        num_shards=shards,
+        mode="thread",
+        check_every=args.check_every,
+        max_iterations=cap,
+        steal_threshold=args.steal_threshold,
+    ) as service:
+        results = replay(service, trace)
+        stats = service.stats()
+
+    # Audit: every request bit-identical to its solo BatchedSolver solve.
+    eff_cap = -(-cap // args.check_every) * args.check_every
+    worst = 0.0
+    for rid in sorted(results):
+        res = results[rid]
+        solo_batch = replicate_graph(template, 1, [dict(trace[rid].params)])
+        with BatchedSolver(solo_batch, rho=rho) as solo:
+            ref = solo.solve_batch(
+                max_iterations=eff_cap,
+                check_every=args.check_every,
+                init="zeros",
+            )[0]
+        worst = max(worst, float(np.max(np.abs(ref.z - res.result.z))))
+
+    t = SeriesTable(
+        f"Fleet service — {args.requests} Poisson requests (rate "
+        f"{args.rate}/segment, seed {args.seed}), horizon {args.horizon}, "
+        f"{shards} thread shards, check_every {args.check_every}",
+        ("metric", "value", "unit"),
+    )
+    t.add_row("completed", stats.completed, "requests")
+    t.add_row("p50 latency", stats.p50_latency, "s")
+    t.add_row("p95 latency", stats.p95_latency, "s")
+    t.add_row("p99 latency", stats.p99_latency, "s")
+    t.add_row("mean latency", stats.mean_latency, "s")
+    t.add_row("throughput", stats.instances_per_sec, "inst/s")
+    t.add_row("segments", stats.segments, "")
+    t.add_row("sweeps/request", stats.sweeps_per_request_mean, "")
+    t.add_row("max |dz| vs solo", worst, "")
+
+    latencies = np.asarray([results[rid].latency for rid in sorted(results)])
+    if latencies.size:
+        edges = np.histogram_bin_edges(latencies, bins=8)
+        counts, _ = np.histogram(latencies, bins=edges)
+        t.add_note("latency histogram (s):")
+        peak = max(int(counts.max()), 1)
+        for lo, hi, n in zip(edges[:-1], edges[1:], counts):
+            bar = "#" * max(1, round(30 * int(n) / peak)) if n else ""
+            t.add_note(f"  [{lo:.4f}, {hi:.4f}) {bar} {int(n)}")
+
+    host, reference = reference_for()
+    checks = check_performance(
+        {
+            "instances_per_sec": stats.instances_per_sec,
+            "p50_latency": stats.p50_latency,
+            "p99_latency": stats.p99_latency,
+        },
+        reference,
+    )
+    t.add_note(f"baseline host: {host}")
+    for c in checks:
+        t.add_note(f"  {c.summary()}")
+    t.add_note(
+        "max |dz| vs solo = 0 means every request's iterate is bit-identical "
+        "to a dedicated BatchedSolver run of that request alone"
+    )
+    t.emit(results_path("fleet_service.txt"))
+    if worst > 1e-10:
+        print(
+            f"error: service results deviate from solo solves "
+            f"(max |dz| = {worst:.3e} > 1e-10)",
+            file=sys.stderr,
+        )
+        return 1
+    bad = [c for c in checks if not c.ok]
+    if bad:
+        print(
+            f"error: {len(bad)} baseline band violation(s): "
+            + "; ".join(c.summary() for c in bad),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -365,6 +499,7 @@ COMMANDS = {
     "fig13": "SVM GPU model sweep",
     "ntb": "threads-per-block sweep",
     "fleet": "batched/sharded/rebalancing multi-instance solving vs per-instance loop",
+    "serve": "fleet service: replay a seeded request trace, report latency SLOs",
 }
 
 
@@ -404,6 +539,31 @@ def main(argv: list[str] | None = None) -> int:
         "count drops below this (0 disables stealing)",
     )
     parser.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        help="serve: number of requests in the replayed trace",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=2.0,
+        help="serve: Poisson arrival rate (requests per sweep segment)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="serve: trace seed (arrivals and request parameters)",
+    )
+    parser.add_argument(
+        "--check-every",
+        type=int,
+        default=10,
+        help="serve: sweeps per segment (convergence-check and "
+        "admission/eviction cadence)",
+    )
+    parser.add_argument(
         "--fault-plan",
         default="",
         help="fleet: append the chaos demo — inject scripted worker faults "
@@ -422,6 +582,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_ntb(args)
     if args.command == "fleet":
         return run_fleet(args)
+    if args.command == "serve":
+        return run_serve(args)
     app = {"fig07": "packing", "fig10": "mpc", "fig13": "svm"}[args.command]
     sizes = args.sizes if args.sizes else DEFAULT_SIZES[app]
     return run_model_sweep(app, sizes)

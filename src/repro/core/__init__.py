@@ -10,6 +10,12 @@ from repro.core.batched import (
 )
 from repro.core.sharded import ShardedBatchedSolver, run_variant_sweeps
 from repro.core.rebalance import RebalancingShardedSolver, StealEvent
+from repro.core.service import (
+    FleetService,
+    RequestResult,
+    ServiceStats,
+    SolveRequest,
+)
 from repro.core.supervision import FaultEvent, FaultLog, WorkerPolicy
 from repro.core.diagnostics import ADMMResult, SolveHistory
 from repro.core.residuals import (
@@ -53,6 +59,10 @@ __all__ = [
     "ShardedBatchedSolver",
     "RebalancingShardedSolver",
     "StealEvent",
+    "FleetService",
+    "SolveRequest",
+    "RequestResult",
+    "ServiceStats",
     "FaultEvent",
     "FaultLog",
     "WorkerPolicy",

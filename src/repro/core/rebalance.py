@@ -1078,6 +1078,11 @@ class RebalancingShardedSolver:
         )
 
     # ------------------------------------------------------------------ #
+    # Segment-boundary hooks: the primitives :meth:`solve_batch` composes
+    # its outer loop from, public so external drivers (the service layer's
+    # admission/eviction loop in :mod:`repro.core.service`) can run the
+    # identical math between their own segments.
+    # ------------------------------------------------------------------ #
     def _fleet_residuals(
         self, z_prev_rows: np.ndarray, eps_abs: float, eps_rel: float
     ) -> list[Residuals]:
@@ -1095,6 +1100,99 @@ class RebalancingShardedSolver:
             for p, g in enumerate(sh.ids):
                 out[g] = res[p]
         return out
+
+    def residuals(
+        self,
+        z_prev_rows: np.ndarray,
+        eps_abs: float = 1e-6,
+        eps_rel: float = 1e-4,
+    ) -> list[Residuals]:
+        """Per-instance residuals of the fleet iterate, in global order.
+
+        ``z_prev_rows`` is the pre-sweep iterate captured with
+        :meth:`split_z` before the last sweep of a segment — the same
+        capture :meth:`solve_batch` performs, so an external segment loop
+        (run ``check_every - 1`` sweeps, capture, run 1, check) reproduces
+        the solve loop's stopping decisions bit-for-bit.
+        """
+        z_prev_rows = np.asarray(z_prev_rows, dtype=np.float64)
+        zt = self.batch.template.z_size
+        if z_prev_rows.shape != (self.batch_size, zt):
+            raise ValueError(
+                f"z_prev_rows must have shape ({self.batch_size}, {zt}), "
+                f"got {z_prev_rows.shape}"
+            )
+        return self._fleet_residuals(z_prev_rows, eps_abs, eps_rel)
+
+    def adapt_rho(self, schedules, residuals) -> None:
+        """Run per-instance ρ-schedules shard-locally (the solve-loop step).
+
+        ``schedules`` maps global instance id → its (deep-copied, stateful)
+        :class:`~repro.core.parameters.PenaltySchedule`; instances absent
+        from the mapping (converged/frozen ones) keep scale 1 and their ρ
+        and dual untouched.  ``residuals`` is the global-order list from
+        :meth:`residuals`.  Identical math to the adaptation pass inside
+        :meth:`solve_batch` — which delegates here.
+        """
+        for sh in self.shards:
+            scale = np.ones(sh.batch.graph.num_edges)
+            changed = False
+            for p, g in enumerate(sh.ids):
+                sched = schedules.get(g)
+                if sched is None:
+                    continue
+                s = float(sched.rho_scale(sh.state, residuals[g]))
+                if s != 1.0:
+                    scale[sh.batch.edge_index[p]] = s
+                    changed = True
+            if changed:
+                apply_rho_scale(sh.state, scale)
+
+    def warm_start_instance(self, instance: int, z_row: np.ndarray) -> None:
+        """Warm-start one live instance from a template-layout z vector.
+
+        The per-instance analog of
+        :meth:`~repro.core.batched.BatchedSolver.warm_start_pool`: sets the
+        instance's z, broadcasts it along its edges into x/m/n, and zeroes
+        its dual u — touching *only* that instance's slots, wherever its
+        shard currently holds them, so the rest of the fleet sweeps on
+        undisturbed.  (``ADMMState.init_from_z`` would reset the whole
+        shard; this is the admission path for warm-started service
+        requests.)
+        """
+        template = self.batch.template
+        z_row = np.asarray(z_row, dtype=np.float64)
+        if z_row.shape != (template.z_size,):
+            raise ValueError(
+                f"z_row must have shape ({template.z_size},), got {z_row.shape}"
+            )
+        s, p = self.owner_of(int(instance))
+        sh = self.shards[s]
+        slots = sh.batch.slot_index[p]
+        broadcast = z_row[template.flat_edge_to_z]
+        for fam in ("x", "m", "n"):
+            getattr(sh.state, fam)[slots] = broadcast
+        sh.state.u[slots] = 0.0
+        zt = template.z_size
+        sh.state.z[p * zt : (p + 1) * zt] = z_row
+
+    def steal_pass(self, active) -> list[StealEvent]:
+        """One auto-stealing pass from an activity mask (the solve-loop step).
+
+        ``active`` is a ``(B,)`` boolean mask of non-converged instances;
+        every shard whose active count fell below ``steal_threshold``
+        steals from the heaviest shard, exactly as :meth:`solve_batch`
+        does after each convergence check.  Pure state motion — results
+        stay bit-identical.  Returns the executed steals.
+        """
+        if self._closed:
+            raise RuntimeError("solver is closed")
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.batch_size,):
+            raise ValueError(
+                f"active must have shape ({self.batch_size},), got {active.shape}"
+            )
+        return self._auto_steal(active)
 
     def solve_batch(
         self,
@@ -1163,18 +1261,9 @@ class RebalancingShardedSolver:
                 break
             # Per-instance ρ adaptation, applied shard-locally; frozen
             # instances keep scale 1 (their ρ and dual stay untouched).
-            for sh in self.shards:
-                scale = np.ones(sh.batch.graph.num_edges)
-                changed = False
-                for p, g in enumerate(sh.ids):
-                    if not active[g]:
-                        continue
-                    s = float(schedules[g].rho_scale(sh.state, res[g]))
-                    if s != 1.0:
-                        scale[sh.batch.edge_index[p]] = s
-                        changed = True
-                if changed:
-                    apply_rho_scale(sh.state, scale)
+            self.adapt_rho(
+                {int(g): schedules[g] for g in np.flatnonzero(active)}, res
+            )
             # Work stealing: shards starved of active instances take load
             # from the heaviest shard.  Pure state motion — per-instance
             # math is unchanged, so results stay bit-identical.
@@ -1221,7 +1310,7 @@ class RebalancingShardedSolver:
                 except Exception:
                     pass
         for w in workers:
-            reap_process(w.proc, timeout=5.0)
+            reap_process(w.proc, timeout=self.policy.shutdown_timeout)
             w.proc = None
             close_queue(w.cmd_q)
             close_queue(w.done_q)

@@ -1,0 +1,601 @@
+"""Fleet-as-a-service: a streaming solve daemon over a live elastic fleet.
+
+Every solver below this layer is batch-mode — a caller builds one
+:class:`~repro.graph.batch.GraphBatch` and owns the whole fleet for the
+duration of one ``solve_batch``.  :class:`FleetService` is the ingress
+layer the ROADMAP's "millions of users" north star implies: a long-lived
+daemon that
+
+* **accepts solve requests** (:meth:`FleetService.submit`: per-factor
+  parameter overrides in the :func:`~repro.graph.batch.replicate_graph`
+  form, an optional warm-start z vector, a per-request iteration cap) on
+  an input queue;
+* **admission-batches** them into a live
+  :class:`~repro.core.rebalance.RebalancingShardedSolver` fleet under a
+  configurable latency window — pending requests are appended between
+  sweep segments through the O(k) ``add_instances`` path, at every
+  ``admit_every``-th segment boundary, up to ``max_batch`` per admission;
+* **evicts and returns** each instance the moment its stopping mask fires
+  (``remove_instances``; survivors' state is carried bit-for-bit), or when
+  its iteration cap is reached;
+* **reports per-request latency** (p50/p95/p99) and sustained
+  instances/sec throughput (:meth:`FleetService.stats`) instead of one
+  wall-clock number.
+
+The correctness contract that makes this more than plumbing: the service
+drives the *same* segment loop as ``solve_batch`` (``check_every - 1``
+sweeps, capture ``z_prev``, one sweep, per-instance residual check,
+per-instance ρ-schedules applied shard-locally) through the solver's
+public segment-boundary hooks, and admission/eviction move state through
+the batch index maps only — so **every request's returned iterate is
+bit-identical to a solo** :class:`~repro.core.batched.BatchedSolver`
+**solve of that instance** with the same ``check_every``, no matter what
+the fleet around it was doing (admissions, evictions, steals, reshards,
+worker crashes).  Pinned by ``tests/test_fleet_service.py``.
+
+Two scheduling consequences worth knowing:
+
+* a request admitted at a segment boundary is age-aligned with the
+  segment grid, so its convergence checks land at the same sweep counts
+  as a solo solve with the same ``check_every``;
+* per-request ``max_iterations`` is rounded **up** to the next multiple
+  of ``check_every`` (the fleet cannot run a short segment for one
+  instance while others need a full one) — exactly the iterate a solo
+  ``solve_batch`` with the rounded cap returns.
+
+The ``async`` randomized variant is rejected: elastic resizes reseed its
+per-instance streams, so per-request trajectories would depend on the
+admission history — breaking the solo-equivalence contract this service
+is built on.
+
+Traffic generation and replay (seeded Poisson / bursty / adversarial
+arrival processes, open- and closed-loop) live in
+:mod:`repro.testing.traffic`; tolerance-banded per-host performance
+baselines in :mod:`repro.bench.baseline`; the CLI front end is
+``repro-bench serve``.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.diagnostics import ADMMResult, SolveHistory
+from repro.core.parameters import ConstantPenalty, PenaltySchedule
+from repro.core.rebalance import RebalancingShardedSolver
+from repro.core.residuals import Residuals
+from repro.core.supervision import WorkerPolicy
+from repro.graph.batch import replicate_graph
+from repro.graph.factor_graph import FactorGraph
+from repro.utils.timing import KernelTimers
+
+
+@dataclass
+class SolveRequest:
+    """One queued solve: parameters, optional warm start, per-request cap.
+
+    ``params`` is the per-factor override mapping of
+    :func:`~repro.graph.batch.replicate_graph` (``{factor_id: {name:
+    value}}``; empty = template parameters).  ``warm_start`` is a
+    template-layout z vector seeding the instance on admission
+    (broadcast to x/m/n, dual zeroed — the real-time MPC pattern).
+    ``max_iterations`` of ``None`` falls back to the service default.
+    """
+
+    request_id: int
+    params: dict = field(default_factory=dict)
+    warm_start: np.ndarray | None = None
+    max_iterations: int | None = None
+    submit_time: float = 0.0
+    submit_segment: int = 0
+
+
+@dataclass
+class RequestResult:
+    """One completed request: its solo-equivalent result plus latency.
+
+    ``result`` is the per-instance :class:`ADMMResult` (z bit-identical to
+    the solo solve); ``latency`` is wall-clock submit → completion;
+    ``wait_segments`` counts segments spent queued before admission and
+    ``sweeps`` the ADMM iterations executed in the fleet.
+    """
+
+    request_id: int
+    result: ADMMResult
+    latency: float
+    wait_segments: int
+    sweeps: int
+    submit_time: float
+    admit_time: float
+    complete_time: float
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Latency/throughput digest of a service run (the SLO view).
+
+    Percentiles are over per-request wall-clock latencies; throughput is
+    completed instances per second of service wall time (first submit →
+    last completion).
+    """
+
+    completed: int
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_latency: float
+    max_latency: float
+    instances_per_sec: float
+    segments: int
+    sweeps_per_request_mean: float
+
+    def summary(self) -> str:
+        return (
+            f"ServiceStats(completed={self.completed}, "
+            f"p50={self.p50_latency:.4f}s p95={self.p95_latency:.4f}s "
+            f"p99={self.p99_latency:.4f}s, "
+            f"throughput={self.instances_per_sec:.2f} inst/s)"
+        )
+
+
+class _LiveInstance:
+    """Book-keeping for one admitted request while it sweeps in the fleet."""
+
+    def __init__(
+        self,
+        request: SolveRequest,
+        cap: int,
+        schedule: PenaltySchedule,
+        admit_time: float,
+        admit_segment: int,
+    ) -> None:
+        self.request = request
+        self.cap = cap
+        self.schedule = schedule
+        self.admit_time = admit_time
+        self.admit_segment = admit_segment
+        self.sweeps = 0
+        self.history = SolveHistory()
+        self.residuals: Residuals | None = None
+
+
+class FleetService:
+    """Long-lived solve daemon over one live rebalancing fleet.
+
+    The service is bound to one *template* graph (the homogeneous-fleet
+    assumption every batch below it shares; the heterogeneous mixed-family
+    batch is a separate ROADMAP item) and accepts requests that vary its
+    parameters.  Drive it with :meth:`submit` + :meth:`step` (one sweep
+    segment per call — the unit of admission latency), or :meth:`drain`
+    to run the backlog dry; :mod:`repro.testing.traffic` replays seeded
+    arrival processes against it.
+
+    Parameters
+    ----------
+    template:
+        the :class:`FactorGraph` every request instantiates.  Degenerate
+        templates (isolated variables — see
+        :class:`~repro.graph.DegenerateGraphWarning`) are rejected here,
+        at admission time, instead of converging to garbage per request.
+    rho, alpha, schedule:
+        solver parameters, as in :class:`~repro.core.batched.BatchedSolver`
+        (the schedule is deep-copied per request at admission).
+    num_shards, mode, variant, steal_threshold, steal_seed, policy:
+        fleet knobs, as in :class:`RebalancingShardedSolver`; the shard
+        count is capped at the live instance count while the fleet is
+        small.  ``variant="async"`` is rejected (resizes reseed streams —
+        per-request results would depend on admission history).
+    check_every:
+        sweeps per segment: the convergence-check cadence *and* the
+        admission/eviction granularity.  Requests complete only at
+        segment boundaries, so this is the latency/throughput dial.
+    eps_abs, eps_rel:
+        service-wide stopping tolerances (per-request tolerances would
+        need per-instance thresholds in one vectorized residual pass —
+        not worth it until a workload demands it).
+    max_iterations:
+        default per-request cap, rounded up to a multiple of
+        ``check_every`` (see the module docstring).
+    admit_every, max_batch:
+        the admission latency window: pending requests are admitted at
+        every ``admit_every``-th segment boundary (1 = every boundary),
+        at most ``max_batch`` per admission (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        template: FactorGraph,
+        rho=1.0,
+        alpha=1.0,
+        schedule: PenaltySchedule | None = None,
+        num_shards: int = 2,
+        mode: str = "thread",
+        variant: str = "classic",
+        check_every: int = 10,
+        eps_abs: float = 1e-6,
+        eps_rel: float = 1e-4,
+        max_iterations: int = 1000,
+        admit_every: int = 1,
+        max_batch: int | None = None,
+        steal_threshold: int = 1,
+        steal_seed: int | None = None,
+        policy: WorkerPolicy | None = None,
+    ) -> None:
+        if template.isolated_vars.size:
+            raise ValueError(
+                f"template graph is degenerate: {template.isolated_vars.size} "
+                f"variable(s) (ids {template.isolated_vars[:8].tolist()}"
+                f"{'...' if template.isolated_vars.size > 8 else ''}) appear "
+                f"in no factor scope and would never be optimized; the "
+                f"service rejects degenerate graphs at admission"
+            )
+        if variant == "async":
+            raise ValueError(
+                "variant='async' is not supported by the service: elastic "
+                "admission/eviction reseeds the randomized streams, so "
+                "per-request results would depend on the admission history "
+                "(breaking solo equivalence); use 'classic' or 'three_weight'"
+            )
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        if max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
+        if admit_every < 1:
+            raise ValueError(f"admit_every must be >= 1, got {admit_every}")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1 or None, got {max_batch}"
+            )
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.template = template
+        self.rho = rho
+        self.alpha = alpha
+        self.schedule = schedule if schedule is not None else ConstantPenalty()
+        self.num_shards = int(num_shards)
+        self.mode = mode
+        self.variant = variant
+        self.check_every = int(check_every)
+        self.eps_abs = float(eps_abs)
+        self.eps_rel = float(eps_rel)
+        self.max_iterations = int(max_iterations)
+        self.admit_every = int(admit_every)
+        self.max_batch = max_batch
+        self.steal_threshold = int(steal_threshold)
+        self.steal_seed = steal_seed
+        self.policy = policy
+
+        self._solver: RebalancingShardedSolver | None = None
+        self._pending: deque[SolveRequest] = deque()
+        self._live: list[_LiveInstance] = []  # position == global instance id
+        self._segment = 0
+        self._next_id = 0
+        self._closed = False
+        self._completed: list[RequestResult] = []
+        self._first_submit: float | None = None
+        self._last_complete: float | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def solver(self) -> RebalancingShardedSolver | None:
+        """The live fleet solver (``None`` while the fleet is empty).
+
+        Exposed so churn can be scripted against a running service
+        (``service.solver.reshard(2)``, ``kill_worker(service.solver, 0)``)
+        — every such move must leave per-request results bit-identical.
+        """
+        return self._solver
+
+    @property
+    def segment(self) -> int:
+        """Completed sweep segments (the service's virtual clock)."""
+        return self._segment
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet admitted."""
+        return len(self._pending)
+
+    @property
+    def live(self) -> int:
+        """Requests currently sweeping in the fleet."""
+        return len(self._live)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet completed (queued + sweeping)."""
+        return len(self._pending) + len(self._live)
+
+    @property
+    def completed(self) -> list[RequestResult]:
+        """Every completed request so far, in completion order."""
+        return self._completed
+
+    def _effective_cap(self, max_iterations: int | None) -> int:
+        cap = self.max_iterations if max_iterations is None else int(max_iterations)
+        if cap < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {cap}")
+        c = self.check_every
+        return ((cap + c - 1) // c) * c
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        params=None,
+        warm_start=None,
+        max_iterations: int | None = None,
+    ) -> int:
+        """Queue one solve request; returns its request id.
+
+        ``params`` is a per-factor override mapping (the
+        :func:`replicate_graph` form) or ``None`` for template parameters;
+        ``warm_start`` an optional template-layout z vector;
+        ``max_iterations`` a per-request cap (rounded up to a multiple of
+        ``check_every``).  The request is admitted into the fleet at the
+        next admission boundary of :meth:`step`.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self._effective_cap(max_iterations)  # validate eagerly
+        if warm_start is not None:
+            warm_start = np.asarray(warm_start, dtype=np.float64)
+            if warm_start.shape != (self.template.z_size,):
+                raise ValueError(
+                    f"warm_start must have shape ({self.template.z_size},), "
+                    f"got {warm_start.shape}"
+                )
+        now = time.perf_counter()
+        if self._first_submit is None:
+            self._first_submit = now
+        req = SolveRequest(
+            request_id=self._next_id,
+            params=dict(params) if params else {},
+            warm_start=warm_start,
+            max_iterations=max_iterations,
+            submit_time=now,
+            submit_segment=self._segment,
+        )
+        self._next_id += 1
+        self._pending.append(req)
+        return req.request_id
+
+    # ------------------------------------------------------------------ #
+    def _make_solver(self, batch) -> RebalancingShardedSolver:
+        kwargs = dict(
+            num_shards=min(self.num_shards, batch.batch_size),
+            mode=self.mode,
+            variant=self.variant,
+            rho=self.rho,
+            alpha=self.alpha,
+            steal_threshold=self.steal_threshold,
+            steal_seed=self.steal_seed,
+        )
+        if self.policy is not None:
+            kwargs["policy"] = self.policy
+        solver = RebalancingShardedSolver(batch, **kwargs)
+        solver.initialize("zeros")
+        return solver
+
+    def _admit(self) -> int:
+        """Admit pending requests at this segment boundary; returns count."""
+        if not self._pending:
+            return 0
+        if self._live and self._segment % self.admit_every != 0:
+            # A live fleet admits on the window grid; an idle service
+            # admits immediately — there is nothing to batch against.
+            return 0
+        k = len(self._pending)
+        if self.max_batch is not None:
+            k = min(k, self.max_batch)
+        taken = [self._pending.popleft() for _ in range(k)]
+        params = [r.params for r in taken]
+        base = len(self._live)
+        if self._solver is None:
+            batch = replicate_graph(self.template, k, params)
+            self._solver = self._make_solver(batch)
+        else:
+            self._solver.add_instances(params)
+        now = time.perf_counter()
+        for j, req in enumerate(taken):
+            if req.warm_start is not None:
+                self._solver.warm_start_instance(base + j, req.warm_start)
+            schedule = copy.deepcopy(self.schedule)
+            schedule.reset()
+            self._live.append(
+                _LiveInstance(
+                    req,
+                    cap=self._effective_cap(req.max_iterations),
+                    schedule=schedule,
+                    admit_time=now,
+                    admit_segment=self._segment,
+                )
+            )
+        return k
+
+    def _evict(self, done: list[int], wall: float) -> list[RequestResult]:
+        """Pull completed instances out of the fleet and package results."""
+        solver = self._solver
+        z_rows = solver.split_z()
+        out: list[RequestResult] = []
+        doneset = set(done)
+        for g in done:
+            live = self._live[g]
+            z = z_rows[g].copy()
+            converged = (
+                live.residuals is not None and live.residuals.converged
+            )
+            result = ADMMResult(
+                solution=self.template.read_solution(z),
+                z=z,
+                converged=bool(converged),
+                iterations=int(live.sweeps),
+                residuals=live.residuals,
+                history=live.history,
+                timers=KernelTimers(),
+                wall_time=wall - live.admit_time,
+            )
+            out.append(
+                RequestResult(
+                    request_id=live.request.request_id,
+                    result=result,
+                    latency=wall - live.request.submit_time,
+                    wait_segments=live.admit_segment
+                    - live.request.submit_segment,
+                    sweeps=live.sweeps,
+                    submit_time=live.request.submit_time,
+                    admit_time=live.admit_time,
+                    complete_time=wall,
+                )
+            )
+        if len(doneset) == len(self._live):
+            # A batch can never be empty: dissolve the fleet instead.
+            solver.close()
+            self._solver = None
+            self._live = []
+        else:
+            solver.remove_instances(done)
+            self._live = [
+                live for g, live in enumerate(self._live) if g not in doneset
+            ]
+        self._completed.extend(out)
+        if out:
+            self._last_complete = wall
+        return out
+
+    def step(self) -> list[RequestResult]:
+        """Advance the service one sweep segment; returns completions.
+
+        One call = one admission boundary + one ``check_every``-sweep
+        segment of the live fleet + one convergence check with eviction +
+        one ρ-adaptation and stealing pass — the exact outer-loop cadence
+        of ``solve_batch``, interleaved with admission/eviction.  With an
+        empty fleet the segment is an idle tick (pending requests are
+        still admitted, arming the next segment).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self._admit()
+        self._segment += 1
+        if self._solver is None:
+            return []
+        solver = self._solver
+        c = self.check_every
+        # The solve_batch segment shape: sweep c-1, capture z_prev, sweep 1.
+        if c > 1:
+            solver.iterate(c - 1)
+        z_prev_rows = solver.split_z()
+        solver.iterate(1)
+        res = solver.residuals(z_prev_rows, self.eps_abs, self.eps_rel)
+        rho_rows = solver.rho_rows()
+        wall = time.perf_counter()
+        done: list[int] = []
+        for g, live in enumerate(self._live):
+            live.sweeps += c
+            live.residuals = res[g]
+            live.history.append(res[g], None, float(rho_rows[g].mean()))
+            if res[g].converged or live.sweeps >= live.cap:
+                done.append(g)
+        # ρ-adaptation for survivors only — converged instances are evicted
+        # at the very check that froze them, so (like solve_batch's frozen
+        # lanes) their ρ and dual are never touched again.
+        survivors = {
+            g: live.schedule
+            for g, live in enumerate(self._live)
+            if g not in set(done)
+        }
+        if survivors:
+            solver.adapt_rho(survivors, res)
+        completions = self._evict(done, wall) if done else []
+        # Keep rosters balanced as eviction hollows shards out: the same
+        # deterministic stealing pass solve_batch runs, driven by the
+        # live mask (every surviving instance is active by construction).
+        if self._solver is not None and self._solver.num_shards > 1:
+            self._solver.steal_pass(np.ones(len(self._live), dtype=bool))
+        return completions
+
+    def drain(self, max_segments: int | None = None) -> list[RequestResult]:
+        """Step until no request is in flight; returns the completions.
+
+        ``max_segments`` bounds the number of segments (``None`` = until
+        dry; the per-request caps guarantee termination).
+        """
+        out: list[RequestResult] = []
+        steps = 0
+        while self.in_flight:
+            if max_segments is not None and steps >= max_segments:
+                break
+            out.extend(self.step())
+            steps += 1
+        return out
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        """Latency percentiles + sustained throughput over completions."""
+        if not self._completed:
+            return ServiceStats(
+                completed=0,
+                p50_latency=0.0,
+                p95_latency=0.0,
+                p99_latency=0.0,
+                mean_latency=0.0,
+                max_latency=0.0,
+                instances_per_sec=0.0,
+                segments=self._segment,
+                sweeps_per_request_mean=0.0,
+            )
+        lat = np.asarray([r.latency for r in self._completed])
+        span = (self._last_complete or 0.0) - (self._first_submit or 0.0)
+        return ServiceStats(
+            completed=len(self._completed),
+            p50_latency=float(np.percentile(lat, 50)),
+            p95_latency=float(np.percentile(lat, 95)),
+            p99_latency=float(np.percentile(lat, 99)),
+            mean_latency=float(lat.mean()),
+            max_latency=float(lat.max()),
+            instances_per_sec=(
+                len(self._completed) / span if span > 0 else float("inf")
+            ),
+            segments=self._segment,
+            sweeps_per_request_mean=float(
+                np.mean([r.sweeps for r in self._completed])
+            ),
+        )
+
+    def summary(self) -> str:
+        t = self.template
+        fleet = (
+            self._solver.summary() if self._solver is not None else "(idle)"
+        )
+        return (
+            f"FleetService: template(|F|={t.num_factors} |V|={t.num_vars} "
+            f"|E|={t.num_edges}), check_every={self.check_every}, "
+            f"segment={self._segment}, pending={self.pending}, "
+            f"live={self.live}, completed={len(self._completed)}\n"
+            f"  fleet: {fleet}"
+        )
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the fleet down (idempotent; pending requests are dropped)."""
+        self._closed = True
+        if self._solver is not None:
+            self._solver.close()
+            self._solver = None
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"FleetService(segment={self._segment}, pending={self.pending}, "
+            f"live={self.live}, completed={len(self._completed)})"
+        )

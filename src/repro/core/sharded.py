@@ -725,7 +725,7 @@ class ShardedBatchedSolver:
                     except Exception:
                         pass
             for shard in self.shards:
-                reap_process(shard.proc, timeout=5)
+                reap_process(shard.proc, timeout=self.policy.shutdown_timeout)
                 shard.proc = None
                 close_queue(shard.cmd_q)
                 close_queue(shard.done_q)

@@ -92,7 +92,12 @@ class WorkerPolicy:
         replacement workers to try per incident before failing over;
     ``backoff`` / ``backoff_factor``
         exponential restart backoff: attempt ``a`` sleeps
-        ``backoff * backoff_factor**a`` seconds first.
+        ``backoff * backoff_factor**a`` seconds first;
+    ``shutdown_timeout``
+        per-stage budget of :func:`reap_process` during ``close()``: how
+        long to wait on join before escalating terminate → kill.  A
+        latency-sensitive drain path (e.g. a service evicting its fleet)
+        can lower this; a worker mid-sweep gets more grace by raising it.
     """
 
     heartbeat_interval: float = 0.5
@@ -101,6 +106,7 @@ class WorkerPolicy:
     max_restarts: int = 2
     backoff: float = 0.05
     backoff_factor: float = 2.0
+    shutdown_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if self.wait_timeout is not None and self.wait_timeout <= 0:
@@ -128,6 +134,10 @@ class WorkerPolicy:
         if self.backoff_factor < 1.0:
             raise ValueError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.shutdown_timeout <= 0:
+            raise ValueError(
+                f"shutdown_timeout must be positive, got {self.shutdown_timeout}"
             )
 
     def restart_delay(self, attempt: int) -> float:

@@ -1,6 +1,11 @@
 """Factor-graph substrate: structure, construction, partitioning, analysis."""
 
-from repro.graph.factor_graph import FactorGraph, FactorGroup, FactorSpec
+from repro.graph.factor_graph import (
+    DegenerateGraphWarning,
+    FactorGraph,
+    FactorGroup,
+    FactorSpec,
+)
 from repro.graph.builder import GraphBuilder, graph_from_edges, start_graph
 from repro.graph.batch import (
     REBUILD_COUNTER,
@@ -28,6 +33,7 @@ from repro.graph.analysis import (
 from repro.graph.io import load_graph, load_state, save_graph, save_state
 
 __all__ = [
+    "DegenerateGraphWarning",
     "FactorGraph",
     "FactorGroup",
     "FactorSpec",

@@ -126,14 +126,20 @@ def graph_report(graph: FactorGraph) -> str:
     """Multi-line human-readable structural report."""
     vs, fs = variable_degree_stats(graph), factor_degree_stats(graph)
     mem = memory_footprint_bytes(graph)
-    return "\n".join(
-        [
-            graph.summary(),
-            f"  var degree:    min={vs.min} max={vs.max} mean={vs.mean:.2f} "
-            f"imbalance={vs.imbalance:.2f}",
-            f"  factor degree: min={fs.min} max={fs.max} mean={fs.mean:.2f} "
-            f"imbalance={fs.imbalance:.2f}",
-            f"  memory: {mem['total'] / 1e6:.2f} MB "
-            f"(edge arrays {mem['edge_arrays'] / 1e6:.2f} MB)",
-        ]
-    )
+    lines = [
+        graph.summary(),
+        f"  var degree:    min={vs.min} max={vs.max} mean={vs.mean:.2f} "
+        f"imbalance={vs.imbalance:.2f}",
+        f"  factor degree: min={fs.min} max={fs.max} mean={fs.mean:.2f} "
+        f"imbalance={fs.imbalance:.2f}",
+        f"  memory: {mem['total'] / 1e6:.2f} MB "
+        f"(edge arrays {mem['edge_arrays'] / 1e6:.2f} MB)",
+    ]
+    if graph.isolated_vars.size:
+        lines.append(
+            f"  isolated vars: {graph.isolated_vars.size} "
+            f"(ids {graph.isolated_vars[:8].tolist()}"
+            f"{'...' if graph.isolated_vars.size > 8 else ''}) — degenerate: "
+            f"their z entries are never updated"
+        )
+    return "\n".join(lines)

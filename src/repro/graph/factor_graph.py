@@ -27,11 +27,26 @@ radii without padding.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 import scipy.sparse as sp
+
+
+class DegenerateGraphWarning(UserWarning):
+    """The graph has variables outside every factor scope (degree zero).
+
+    An isolated variable's z-update is ``0/0`` territory: no factor ever
+    writes a message to it, so its z entry stays at whatever it was
+    initialized to while every residual norm silently ignores it — a solve
+    "converges" without ever optimizing over that variable.  The graph
+    still builds (the ids are recorded in :attr:`FactorGraph.isolated_vars`
+    and skipped by the solver), but anything admitting user-supplied graphs
+    — the service layer in particular — should treat this warning as a
+    hard rejection.
+    """
 
 
 @dataclass(frozen=True)
@@ -284,8 +299,20 @@ class FactorGraph:
 
         # sanity: every variable should appear in >= 1 factor for the ADMM
         # z-update to be defined; we allow isolated variables but remember
-        # them so the solver can warn / skip.
+        # them (so the solver can skip them) and warn loudly — a degenerate
+        # graph "converges" without ever touching its isolated z entries.
         self.isolated_vars = np.flatnonzero(self.var_degree == 0)
+        if self.isolated_vars.size:
+            ids = self.isolated_vars[:8].tolist()
+            shown = str(ids) if self.isolated_vars.size <= 8 else f"{ids}..."
+            warnings.warn(
+                f"{self.isolated_vars.size} of {self.num_vars} variable(s) "
+                f"appear in no factor scope (ids {shown}); their z entries "
+                f"are never updated and residuals ignore them — the solve "
+                f"will not optimize over these variables",
+                DegenerateGraphWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------ #
     def _group_key(self, spec: FactorSpec) -> tuple:
@@ -394,6 +421,11 @@ class FactorGraph:
             f"  flat sizes: edge={self.edge_size} z={self.z_size}",
             f"  groups: {len(self.groups)}",
         ]
+        if self.isolated_vars.size:
+            lines.append(
+                f"  DEGENERATE: {self.isolated_vars.size} isolated "
+                f"variable(s) outside every factor scope"
+            )
         for g in self.groups:
             name = getattr(g.prox, "name", type(g.prox).__name__)
             lines.append(

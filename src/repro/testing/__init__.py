@@ -6,8 +6,33 @@ or delay their result queues, and corrupt replies at chosen sweep
 segments, so the supervision layer (:mod:`repro.core.supervision`) can be
 exercised deterministically from ``tests/test_fleet_faults.py``, the
 bench CLI (``--fault-plan``), and ``examples/fleet_faults.py``.
+
+:mod:`repro.testing.traffic` is the traffic harness for the fleet
+service (:mod:`repro.core.service`): seeded open-loop arrival processes
+(Poisson, bursty, adversarial) on the service's segment clock, plus
+open- and closed-loop replay drivers — deterministic workloads for
+``tests/test_fleet_service.py`` and ``repro-bench serve``.
 """
 
 from repro.testing.faults import FaultAction, FaultInjector, FaultPlan, kill_worker
+from repro.testing.traffic import (
+    TraceEntry,
+    adversarial_trace,
+    bursty_trace,
+    closed_loop,
+    poisson_trace,
+    replay,
+)
 
-__all__ = ["FaultAction", "FaultInjector", "FaultPlan", "kill_worker"]
+__all__ = [
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "kill_worker",
+    "TraceEntry",
+    "adversarial_trace",
+    "bursty_trace",
+    "closed_loop",
+    "poisson_trace",
+    "replay",
+]

@@ -1,0 +1,195 @@
+"""Traffic generation and replay for the fleet service.
+
+The service's latency/throughput behaviour depends on *when* requests
+arrive relative to the sweep-segment clock, so its tests and benchmarks
+need reproducible arrival processes, not ad-hoc loops.  This module
+provides seeded trace generators and two replay drivers:
+
+* **open-loop** traces (:func:`poisson_trace`, :func:`bursty_trace`,
+  :func:`adversarial_trace`): arrivals are scheduled in advance on the
+  service's virtual clock (the segment counter) regardless of how the
+  fleet is keeping up — the standard way to expose queueing behaviour
+  (and to avoid the coordinated-omission trap of only sending when the
+  system is ready).  :func:`replay` feeds such a trace to a service.
+* **closed-loop** driving (:func:`closed_loop`): a fixed number of
+  synthetic clients each submit, wait for completion, and immediately
+  resubmit — throughput-bound rather than arrival-bound.
+
+Arrival times are *segment ticks*, never wall-clock: replay is therefore
+deterministic, and identical traces replayed twice produce bit-identical
+per-request results (the property ``tests/test_fleet_service.py`` pins
+against solo solves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One scheduled request: arrival tick + submit() arguments."""
+
+    arrival: int
+    params: Mapping = field(default_factory=dict)
+    warm_start: np.ndarray | None = None
+    max_iterations: int | None = None
+
+
+def _make_params(make_params, rng: np.random.Generator, i: int):
+    if make_params is None:
+        return {}
+    return make_params(rng, i)
+
+
+def poisson_trace(
+    num_requests: int,
+    rate: float,
+    seed: int = 0,
+    make_params: Callable[[np.random.Generator, int], Mapping] | None = None,
+) -> list[TraceEntry]:
+    """Open-loop Poisson arrivals: ``rate`` requests per segment tick.
+
+    Inter-arrival gaps are seeded exponential draws accumulated and
+    floored onto the segment grid (the service admits at boundaries, so
+    sub-segment timing is unobservable anyway).  ``make_params(rng, i)``
+    builds per-request parameter overrides from the same stream, so one
+    seed fixes the whole workload.
+    """
+    if num_requests < 0:
+        raise ValueError(f"num_requests must be >= 0, got {num_requests}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=num_requests)
+    arrivals = np.floor(np.cumsum(gaps)).astype(int)
+    return [
+        TraceEntry(arrival=int(arrivals[i]), params=_make_params(make_params, rng, i))
+        for i in range(num_requests)
+    ]
+
+
+def bursty_trace(
+    num_bursts: int,
+    burst_size: int,
+    gap: int,
+    seed: int = 0,
+    make_params: Callable[[np.random.Generator, int], Mapping] | None = None,
+) -> list[TraceEntry]:
+    """Bursty arrivals: ``num_bursts`` volleys of ``burst_size`` requests
+    landing on the same tick, ``gap`` segments apart.
+
+    Exercises admission batching (a whole burst should be admitted in one
+    ``add_instances`` call) and the tail-latency cost of queue spikes.
+    """
+    if num_bursts < 0 or burst_size < 0:
+        raise ValueError("num_bursts and burst_size must be >= 0")
+    if gap < 0:
+        raise ValueError(f"gap must be >= 0, got {gap}")
+    rng = np.random.default_rng(seed)
+    out: list[TraceEntry] = []
+    i = 0
+    for b in range(num_bursts):
+        for _ in range(burst_size):
+            out.append(
+                TraceEntry(
+                    arrival=b * gap, params=_make_params(make_params, rng, i)
+                )
+            )
+            i += 1
+    return out
+
+
+def adversarial_trace(
+    num_requests: int,
+    seed: int = 0,
+    make_params: Callable[[np.random.Generator, int], Mapping] | None = None,
+    max_iterations_choices: Sequence[int] = (10, 50, 200),
+) -> list[TraceEntry]:
+    """Worst-case mix: everything arrives at tick 0 with wildly mixed
+    per-request iteration caps.
+
+    The full backlog hits one admission, then evictions fire at staggered
+    segments as the short caps expire — the pattern that most stresses
+    ``remove_instances`` renumbering and the bit-identical contract.
+    """
+    if num_requests < 0:
+        raise ValueError(f"num_requests must be >= 0, got {num_requests}")
+    rng = np.random.default_rng(seed)
+    caps = rng.choice(list(max_iterations_choices), size=num_requests)
+    return [
+        TraceEntry(
+            arrival=0,
+            params=_make_params(make_params, rng, i),
+            max_iterations=int(caps[i]),
+        )
+        for i in range(num_requests)
+    ]
+
+
+def replay(service, trace: Sequence[TraceEntry]) -> dict[int, object]:
+    """Open-loop replay: feed ``trace`` to ``service`` on its segment clock.
+
+    Entries are submitted when their arrival tick is due (arrival <= the
+    service's current segment), then the service is stepped; repeats
+    until the trace is exhausted and the service is dry.  Returns
+    ``{request_id: RequestResult}`` — ids are assigned in trace order, so
+    ``trace[i]`` maps to the i-th submitted id.
+    """
+    entries = sorted(trace, key=lambda e: e.arrival)
+    results: dict[int, object] = {}
+    nxt = 0
+    while nxt < len(entries) or service.in_flight:
+        while nxt < len(entries) and entries[nxt].arrival <= service.segment:
+            e = entries[nxt]
+            service.submit(
+                params=dict(e.params),
+                warm_start=e.warm_start,
+                max_iterations=e.max_iterations,
+            )
+            nxt += 1
+        for r in service.step():
+            results[r.request_id] = r
+    return results
+
+
+def closed_loop(
+    service,
+    num_requests: int,
+    clients: int,
+    make_params: Callable[[np.random.Generator, int], Mapping] | None = None,
+    seed: int = 0,
+    max_iterations: int | None = None,
+) -> dict[int, object]:
+    """Closed-loop driver: ``clients`` synthetic users, each with one
+    request in flight at a time, until ``num_requests`` have completed.
+
+    Each completion immediately triggers that client's next submit, so
+    the offered load tracks service throughput — the saturation view that
+    complements open-loop latency measurement.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    rng = np.random.default_rng(seed)
+    results: dict[int, object] = {}
+    submitted = 0
+    target = int(num_requests)
+    while submitted < min(clients, target):
+        service.submit(
+            params=_make_params(make_params, rng, submitted),
+            max_iterations=max_iterations,
+        )
+        submitted += 1
+    while len(results) < target:
+        for r in service.step():
+            results[r.request_id] = r
+            if submitted < target:
+                service.submit(
+                    params=_make_params(make_params, rng, submitted),
+                    max_iterations=max_iterations,
+                )
+                submitted += 1
+    return results

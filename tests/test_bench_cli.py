@@ -63,6 +63,78 @@ class TestCLI:
         assert main(["ntb", "--packing-n", "200"]) == 0
         assert "best" in capsys.readouterr().out
 
+    def test_serve_small(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert (
+            main(
+                [
+                    "serve",
+                    "--requests", "6",
+                    "--seed", "0",
+                    "--horizon", "3",
+                    "--check-every", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "p50 latency" in out and "inst/s" in out
+        assert "max |dz| vs solo" in out
+        assert "latency histogram" in out
+        report = (tmp_path / "fleet_service.txt").read_text()
+        assert "Fleet service" in report
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nope"])
+
+
+class TestExitCodes:
+    """Failing sub-demos must propagate into the process exit code.
+
+    Regression for the bug where ``fleet --elastic``/``--rebalance``
+    discarded their demos' return values, so an invariant violation
+    printed a table but exited 0 (green CI over a broken solve).
+    """
+
+    def test_fleet_propagates_elastic_demo_failure(self, monkeypatch):
+        import repro.bench.cli as cli
+
+        monkeypatch.setattr(
+            cli, "run_fleet_elastic_demo", lambda args, iterations: 1
+        )
+        assert main(["fleet", "--sizes", "2", "--horizon", "3", "--elastic"]) == 1
+
+    def test_fleet_propagates_rebalance_demo_failure(self, monkeypatch):
+        import repro.bench.cli as cli
+
+        monkeypatch.setattr(cli, "run_fleet_rebalance_demo", lambda args: 1)
+        assert (
+            main(["fleet", "--sizes", "2", "--horizon", "3", "--rebalance"]) == 1
+        )
+
+    def test_fleet_propagates_worst_demo_code(self, monkeypatch):
+        import repro.bench.cli as cli
+
+        monkeypatch.setattr(
+            cli, "run_fleet_elastic_demo", lambda args, iterations: 0
+        )
+        monkeypatch.setattr(cli, "run_fleet_rebalance_demo", lambda args: 2)
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--sizes", "2",
+                    "--horizon", "3",
+                    "--elastic",
+                    "--rebalance",
+                ]
+            )
+            == 2
+        )
+
+    def test_serve_propagates_failure(self, monkeypatch):
+        import repro.bench.cli as cli
+
+        monkeypatch.setattr(cli, "run_serve", lambda args: 1)
+        assert main(["serve"]) == 1

@@ -79,13 +79,17 @@ class TestVectorizedKernels:
         assert s.iteration == 1
 
     def test_isolated_variable_keeps_z(self):
+        import pytest
+
+        from repro.graph import DegenerateGraphWarning
         from repro.graph.builder import GraphBuilder
         from repro.prox.standard import ZeroProx
 
         b = GraphBuilder()
         b.add_variables(2, dim=1)
         b.add_factor(ZeroProx(), [0])
-        g = b.build()
+        with pytest.warns(DegenerateGraphWarning):
+            g = b.build()
         s = ADMMState(g)
         s.z[:] = [5.0, 7.0]
         s.m[:] = 1.0

@@ -20,6 +20,7 @@ EXAMPLES = [
     ("examples/fleet_mpc.py", ["4", "5"]),
     ("examples/fleet_sharded.py", ["6", "4", "2"]),
     ("examples/fleet_rebalance.py", ["6", "4", "2"]),
+    ("examples/fleet_service.py", ["6", "3", "5"]),
 ]
 
 

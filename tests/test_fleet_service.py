@@ -1,0 +1,327 @@
+"""Fleet-service tests: streaming admission/eviction vs solo solves.
+
+The service contract under test: a request streamed through a live
+:class:`FleetService` — admitted mid-flight into a fleet that is
+simultaneously admitting others, evicting converged instances, stealing,
+resharding, and recovering from worker crashes — returns a result
+bit-identical to a dedicated :class:`BatchedSolver` solve of that request
+alone with the same ``check_every``.  Traces are seeded and replayed on
+the service's virtual segment clock (:mod:`repro.testing.traffic`), so
+every test here is deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.mpc import MPCProblem, build_batch, inverted_pendulum
+from repro.core.batched import BatchedSolver
+from repro.core.service import FleetService
+from repro.core.supervision import WorkerPolicy
+from repro.graph.batch import replicate_graph
+from repro.testing.traffic import (
+    TraceEntry,
+    adversarial_trace,
+    bursty_trace,
+    closed_loop,
+    poisson_trace,
+    replay,
+)
+
+HORIZON = 3
+ANCHOR = 2 * HORIZON + 1  # the q0-anchor factor id (see apps.mpc.build_batch)
+RHO = 10.0
+CHECK = 5
+CAP = 60
+TOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def template():
+    A, B = inverted_pendulum()
+    return build_batch(
+        [MPCProblem(A=A, B=B, q0=np.zeros(4), horizon=HORIZON)]
+    ).template
+
+
+def make_params(rng, i):
+    # Every other request starts at the target (converges at the first
+    # check) so traces interleave fast evictions with grinding solves.
+    if i % 2 == 0:
+        return {}
+    return {ANCHOR: {"c": rng.uniform(-0.3, 0.3, 4)}}
+
+
+def solo_solve(template, params, cap=CAP, warm=None):
+    """The dedicated-solver reference for one request."""
+    batch = replicate_graph(template, 1, [dict(params)])
+    with BatchedSolver(batch, rho=RHO) as solver:
+        if warm is not None:
+            solver.warm_start_pool([warm])
+        return solver.solve_batch(
+            max_iterations=cap,
+            check_every=CHECK,
+            init="keep" if warm is not None else "zeros",
+        )[0]
+
+
+def make_service(template, **kw):
+    kw.setdefault("rho", RHO)
+    kw.setdefault("num_shards", 2)
+    kw.setdefault("check_every", CHECK)
+    kw.setdefault("max_iterations", CAP)
+    return FleetService(template, **kw)
+
+
+class TestOpenLoopEquivalence:
+    def test_64_request_poisson_trace_bit_identical_to_solo(self, template):
+        """The acceptance trace: 64 open-loop Poisson arrivals, every
+        result bit-identical (1e-10) to a dedicated BatchedSolver run."""
+        trace = poisson_trace(64, rate=4.0, seed=0, make_params=make_params)
+        with make_service(template) as service:
+            results = replay(service, trace)
+            stats = service.stats()
+        assert sorted(results) == list(range(64))
+        assert stats.completed == 64
+        for rid in range(64):
+            got = results[rid]
+            ref = solo_solve(template, trace[rid].params)
+            assert np.max(np.abs(ref.z - got.result.z)) <= TOL, rid
+            assert ref.converged == got.result.converged
+            assert ref.iterations == got.sweeps
+
+    def test_replay_is_deterministic(self, template):
+        trace = poisson_trace(16, rate=3.0, seed=7, make_params=make_params)
+        runs = []
+        for _ in range(2):
+            with make_service(template) as service:
+                runs.append(replay(service, trace))
+        for rid in runs[0]:
+            a, b = runs[0][rid], runs[1][rid]
+            assert np.array_equal(a.result.z, b.result.z)
+            assert a.sweeps == b.sweeps
+            assert a.result.converged == b.result.converged
+
+    def test_bursty_trace_admits_whole_burst_at_one_boundary(self, template):
+        trace = bursty_trace(2, burst_size=4, gap=3, seed=1)
+        with make_service(template, max_iterations=CHECK) as service:
+            results = replay(service, trace)
+        assert len(results) == 8
+        for rid, entry in enumerate(trace):
+            ref = solo_solve(template, entry.params, cap=CHECK)
+            assert np.max(np.abs(ref.z - results[rid].result.z)) <= TOL
+
+    def test_adversarial_mixed_caps(self, template):
+        trace = adversarial_trace(
+            12, seed=3, make_params=make_params,
+            max_iterations_choices=(5, 20, 60),
+        )
+        with make_service(template) as service:
+            results = replay(service, trace)
+        for rid, entry in enumerate(trace):
+            ref = solo_solve(template, entry.params, cap=entry.max_iterations)
+            got = results[rid]
+            assert np.max(np.abs(ref.z - got.result.z)) <= TOL, rid
+            assert ref.iterations == got.sweeps
+
+
+class TestWarmStartAndCaps:
+    def test_warm_started_request_matches_solo_warm_start(self, template):
+        hard = {ANCHOR: {"c": np.full(4, 0.3)}}
+        z0 = solo_solve(template, hard, cap=20).z
+        with make_service(template) as service:
+            service.submit(params=hard, warm_start=z0)
+            service.submit()  # cold companion: fleet churn around the warm one
+            results = {r.request_id: r for r in service.drain()}
+        ref = solo_solve(template, hard, warm=z0)
+        got = results[0]
+        assert np.max(np.abs(ref.z - got.result.z)) <= TOL
+        assert ref.converged == got.result.converged
+        assert ref.iterations == got.sweeps
+
+    def test_cap_rounds_up_to_segment_grid(self, template):
+        hard = {ANCHOR: {"c": np.full(4, 0.3)}}
+        with make_service(template) as service:
+            service.submit(params=hard, max_iterations=7)
+            results = service.drain()
+        assert results[0].sweeps == 10  # ceil(7/5)*5
+        ref = solo_solve(template, hard, cap=10)
+        assert np.max(np.abs(ref.z - results[0].result.z)) <= TOL
+
+    def test_converged_requests_evict_at_first_check(self, template):
+        with make_service(template) as service:
+            service.submit()  # q0 = 0: already at the target
+            results = service.drain()
+        assert results[0].sweeps == CHECK
+        assert results[0].result.converged
+
+
+class TestChurnAndFaults:
+    def test_reshard_and_rebalance_mid_flight(self, template):
+        hard = [{ANCHOR: {"c": np.full(4, 0.2 + 0.05 * i)}} for i in range(6)]
+        with make_service(template, num_shards=3) as service:
+            for p in hard:
+                service.submit(params=p)
+            done = list(service.step())
+            service.solver.reshard(2)
+            done += service.step()
+            service.solver.rebalance()
+            done += service.drain()
+        results = {r.request_id: r for r in done}
+        for rid, p in enumerate(hard):
+            ref = solo_solve(template, p)
+            assert np.max(np.abs(ref.z - results[rid].result.z)) <= TOL, rid
+
+    def test_worker_kill_mid_service_recovers_bit_identical(self, template):
+        from repro.testing.faults import kill_worker
+
+        hard = {ANCHOR: {"c": np.full(4, 0.3)}}
+        policy = WorkerPolicy(
+            heartbeat_interval=0.1,
+            wait_timeout=15.0,
+            poll_interval=0.1,
+            max_restarts=2,
+            backoff=0.05,
+        )
+        with make_service(
+            template, mode="process", policy=policy
+        ) as service:
+            for _ in range(4):
+                service.submit(params=hard)
+            done = list(service.step())
+            kill_worker(service.solver, 0)
+            done += service.drain()
+        results = {r.request_id: r for r in done}
+        ref = solo_solve(template, hard)
+        assert len(results) == 4
+        for rid in range(4):
+            assert np.max(np.abs(ref.z - results[rid].result.z)) <= TOL, rid
+
+
+class TestAdmissionPolicy:
+    def test_admit_every_batches_arrivals(self, template):
+        hard = {ANCHOR: {"c": np.full(4, 0.3)}}
+        with make_service(template, admit_every=3) as service:
+            service.submit(params=hard)
+            service.step()  # idle service admits immediately (segment 0)
+            assert service.live == 1
+            service.submit(params=hard)
+            service.step()  # segment 1: not on the admit grid — still queued
+            assert service.pending == 1
+            service.step()  # segment 2
+            assert service.pending == 1
+            service.step()  # segment 3: admitted
+            assert service.pending == 0 and service.live == 2
+            service.drain()
+
+    def test_max_batch_limits_admission_size(self, template):
+        hard = {ANCHOR: {"c": np.full(4, 0.3)}}
+        with make_service(template, max_batch=2) as service:
+            for _ in range(5):
+                service.submit(params=hard)
+            service.step()
+            assert service.live == 2 and service.pending == 3
+            service.step()
+            assert service.live == 4 and service.pending == 1
+            service.drain()
+
+    def test_closed_loop_driver_completes_target(self, template):
+        with make_service(template) as service:
+            results = closed_loop(
+                service, num_requests=10, clients=3,
+                make_params=make_params, seed=5, max_iterations=20,
+            )
+        assert len(results) == 10
+        for rid, r in results.items():
+            assert r.sweeps <= 20
+
+
+class TestValidationAndStats:
+    def test_degenerate_template_rejected(self):
+        import warnings
+
+        from repro.graph.builder import GraphBuilder
+        from repro.prox.standard import ZeroProx
+
+        b = GraphBuilder()
+        b.add_variables(2, dim=1)
+        b.add_factor(ZeroProx(), [0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            g = b.build()
+        with pytest.raises(ValueError, match="degenerate"):
+            FleetService(g)
+
+    def test_async_variant_rejected(self, template):
+        with pytest.raises(ValueError, match="async"):
+            FleetService(template, variant="async")
+
+    def test_submit_validation(self, template):
+        with make_service(template) as service:
+            with pytest.raises(ValueError, match="warm_start"):
+                service.submit(warm_start=np.zeros(3))
+            with pytest.raises(ValueError, match="max_iterations"):
+                service.submit(max_iterations=0)
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.step()
+
+    def test_constructor_validation(self, template):
+        with pytest.raises(ValueError, match="check_every"):
+            FleetService(template, check_every=0)
+        with pytest.raises(ValueError, match="admit_every"):
+            FleetService(template, admit_every=0)
+        with pytest.raises(ValueError, match="max_batch"):
+            FleetService(template, max_batch=0)
+
+    def test_stats_shape(self, template):
+        trace = poisson_trace(8, rate=2.0, seed=2, make_params=make_params)
+        with make_service(template) as service:
+            assert service.stats().completed == 0
+            replay(service, trace)
+            stats = service.stats()
+        assert stats.completed == 8
+        assert 0 <= stats.p50_latency <= stats.p95_latency <= stats.p99_latency
+        assert stats.p99_latency <= stats.max_latency
+        assert stats.instances_per_sec > 0
+        assert stats.sweeps_per_request_mean >= CHECK
+        assert "p50" in stats.summary()
+
+    def test_summary_and_wait_segments(self, template):
+        hard = {ANCHOR: {"c": np.full(4, 0.3)}}
+        with make_service(template, admit_every=2) as service:
+            service.submit(params=hard)
+            assert "pending=1" in service.summary()
+            done = service.drain()
+            assert "completed=1" in service.summary()
+        assert done[0].wait_segments >= 0
+        assert done[0].latency >= done[0].complete_time - done[0].submit_time - 1e-9
+
+
+class TestTrafficGenerators:
+    def test_poisson_trace_is_seed_deterministic(self):
+        a = poisson_trace(20, rate=2.0, seed=9)
+        b = poisson_trace(20, rate=2.0, seed=9)
+        assert [e.arrival for e in a] == [e.arrival for e in b]
+        arr = [e.arrival for e in a]
+        assert arr == sorted(arr)
+        assert poisson_trace(20, rate=2.0, seed=10) != a
+
+    def test_bursty_trace_shape(self):
+        t = bursty_trace(3, burst_size=2, gap=4, seed=0)
+        assert [e.arrival for e in t] == [0, 0, 4, 4, 8, 8]
+
+    def test_adversarial_trace_all_arrive_at_zero(self):
+        t = adversarial_trace(5, seed=0, max_iterations_choices=(5, 10))
+        assert all(e.arrival == 0 for e in t)
+        assert all(e.max_iterations in (5, 10) for e in t)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace(-1, rate=1.0)
+        with pytest.raises(ValueError):
+            poisson_trace(4, rate=0.0)
+        with pytest.raises(ValueError):
+            bursty_trace(1, burst_size=1, gap=-1)
+        with pytest.raises(ValueError):
+            TraceEntry(arrival=0) and closed_loop(None, 1, clients=0)

@@ -15,10 +15,13 @@ class TestGraphBuilder:
         assert b.num_vars == 2
 
     def test_add_variables_bulk(self):
+        from repro.graph import DegenerateGraphWarning
+
         b = GraphBuilder()
         ids = b.add_variables(4, dim=2, prefix="x")
         assert ids == [0, 1, 2, 3]
-        g = b.build()
+        with pytest.warns(DegenerateGraphWarning):  # no factors yet: all isolated
+            g = b.build()
         assert g.var_names == ("x0", "x1", "x2", "x3")
 
     def test_add_variables_negative_count_rejected(self):

@@ -5,7 +5,11 @@ import pytest
 
 from repro.graph.analysis import is_bipartite_consistent
 from repro.graph.builder import GraphBuilder
-from repro.graph.factor_graph import FactorGraph, FactorSpec
+from repro.graph.factor_graph import (
+    DegenerateGraphWarning,
+    FactorGraph,
+    FactorSpec,
+)
 from repro.prox.standard import ConsensusEqualProx, DiagQuadProx, ZeroProx
 
 
@@ -133,8 +137,10 @@ class TestIndexMaps:
         b = GraphBuilder()
         b.add_variables(3, dim=1)
         b.add_factor(_zero(), [0])
-        g = b.build()
+        with pytest.warns(DegenerateGraphWarning, match="2 of 3 variable"):
+            g = b.build()
         assert list(g.isolated_vars) == [1, 2]
+        assert "DEGENERATE" in g.summary()
 
 
 class TestGroups:
@@ -161,7 +167,8 @@ class TestGroups:
         b.add_factor(z, [0])
         b.add_factor(dq, [1], params={"q": [1.0], "c": [0.0]})
         b.add_factor(z, [2])  # same group as factor 0, but factor 1 between
-        g = b.build()
+        with pytest.warns(DegenerateGraphWarning):  # var 3 unused, incidental
+            g = b.build()
         zero_group = next(grp for grp in g.groups if grp.prox is z)
         assert not zero_group.contiguous
 
@@ -185,7 +192,8 @@ class TestGroups:
         b.add_factor(z, [0])
         b.add_factor(dq, [1], params={"q": np.ones(2), "c": np.zeros(2)})
         b.add_factor(z, [2])
-        g = b.build()
+        with pytest.warns(DegenerateGraphWarning):  # var 3 unused, incidental
+            g = b.build()
         grp = next(gr for gr in g.groups if gr.prox is z)
         assert not grp.contiguous
         flat = np.arange(g.edge_size, dtype=float) * 10
