@@ -1,0 +1,112 @@
+"""Observability overhead — traced solves are bit-identical and cheap.
+
+Acceptance bench for the tracing subsystem (ISSUE 8).  The gating
+assertions are **equality and structure**, not wall-clock (shared runners
+can be 1-core): a solve with a live :class:`~repro.obs.Tracer` attached
+must produce bit-identical iterates to the untraced solve, the disabled
+path must not allocate a tracer at all, and the traced timeline must
+export to a valid Chrome trace.  Wall-clock for traced vs untraced runs
+is reported to ``results/fleet_obs.txt`` as advisory context, with only a
+very generous overhead ceiling gated (tracing buffers dataclasses — it
+must never be a multiple of the solve itself).
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.reporting import SeriesTable, results_path
+from repro.bench.workloads import mpc_fleet
+from repro.core.batched import BatchedSolver
+from repro.core.rebalance import RebalancingShardedSolver
+from repro.obs import Tracer, chrome_trace, fleet_metrics, validate_chrome_trace
+
+B = 16
+HORIZON = 8
+ITERS = 40
+RHO = 10.0
+#: Advisory ceiling: traced median must stay under this multiple of the
+#: untraced median.  Real overhead is a few percent; the slack absorbs
+#: noisy shared runners without letting a pathological regression through.
+OVERHEAD_CEILING = 5.0
+
+
+def _solve(tracer=None):
+    t0 = time.perf_counter()
+    with BatchedSolver(mpc_fleet(B, horizon=HORIZON), rho=RHO, tracer=tracer) as s:
+        res = s.solve_batch(max_iterations=ITERS, check_every=5, init="zeros")
+    return res, time.perf_counter() - t0
+
+
+def test_traced_solve_bit_identical_with_bounded_overhead():
+    """Equality-gated: tracing on vs off never changes a single bit."""
+    # Interleave repetitions so drift on shared runners hits both arms.
+    plain_s, traced_s = [], []
+    ref = None
+    tracer = Tracer()
+    for _ in range(3):
+        res, dt = _solve()
+        plain_s.append(dt)
+        if ref is None:
+            ref = res
+        traced, dt = _solve(tracer)
+        traced_s.append(dt)
+        for a, b in zip(traced, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+            assert a.iterations == b.iterations
+            assert a.history.primal == b.history.primal
+
+    # The disabled path is one None-check per segment: no tracer object
+    # exists unless REPRO_TRACE is set or one is passed in.
+    with BatchedSolver(mpc_fleet(4, horizon=4), rho=RHO) as s:
+        assert s.tracer is None
+
+    # The traced timeline is complete and exports cleanly.
+    events = tracer.timeline()
+    kinds = {ev.kind for ev in events}
+    assert {"solve", "segment", "kernel"} <= kinds
+    assert validate_chrome_trace(chrome_trace(events)) == []
+    assert tracer.dropped == 0
+    text = fleet_metrics(events).render()
+    assert "repro_segments_total" in text
+
+    plain_med = sorted(plain_s)[1]
+    traced_med = sorted(traced_s)[1]
+    assert traced_med < plain_med * OVERHEAD_CEILING + 0.05, (
+        f"tracing overhead blew the ceiling: {traced_med:.4f}s traced vs "
+        f"{plain_med:.4f}s untraced"
+    )
+
+    table = SeriesTable(
+        f"Tracing overhead — B={B} MPC fleet (K={HORIZON}), {ITERS} "
+        "iterations, median of 3 interleaved runs",
+        ("path", "seconds", "events"),
+    )
+    table.add_row("untraced", plain_med, 0)
+    table.add_row("traced", traced_med, len(events))
+    table.add_note(
+        "gating assertions are bit-identity + valid Chrome export; "
+        f"wall-clock gated only at a {OVERHEAD_CEILING:.0f}x ceiling"
+    )
+    table.emit(results_path("fleet_obs.txt"))
+
+
+def test_traced_fleet_solver_bit_identical():
+    """The rebalancing fleet under tracing matches the batched reference."""
+    with BatchedSolver(mpc_fleet(B, horizon=HORIZON), rho=RHO) as plain:
+        ref = plain.solve_batch(max_iterations=ITERS, check_every=5, init="zeros")
+    tracer = Tracer()
+    with RebalancingShardedSolver(
+        mpc_fleet(B, horizon=HORIZON),
+        num_shards=2,
+        mode="thread",
+        rho=RHO,
+        tracer=tracer,
+    ) as solver:
+        got = solver.solve_batch(max_iterations=ITERS, check_every=5, init="zeros")
+    for a, b in zip(got, ref):
+        np.testing.assert_array_equal(a.z, b.z)
+    # Per-worker kernel attribution: every worker lane carries kernel spans.
+    lanes = {ev.worker for ev in tracer.events() if ev.kind == "kernel"}
+    assert lanes == {0, 1}
+    assert validate_chrome_trace(chrome_trace(tracer.timeline())) == []

@@ -143,6 +143,39 @@ its deterministic segment clock, and ``repro-bench serve`` benchmarks the
 whole stack against tolerance-banded per-host baselines
 (``repro.bench.baseline``).
 
+Observability
+-------------
+``repro.obs`` is a dependency-free tracing and metrics layer over the
+whole fleet stack.  Every solver accepts a ``tracer`` (or consults the
+``REPRO_TRACE=1`` environment switch — the same opt-in pattern as the
+``REPRO_FAULT_SEEDS``/``REPRO_CHURN_SEEDS`` test matrices) and emits
+typed ``TraceEvent`` records on one unified clock: monotonic time (shared
+across forked workers), sweep-segment index, and worker id.  Shard
+workers buffer events in bounded rings and ship them piggybacked on the
+result-queue replies they already send at segment boundaries; the parent
+merges everything into one causally ordered fleet timeline — segment
+spans, **per-kernel timings attributed to the worker that ran them** (so
+``ADMMResult.timers.fractions()`` reproduces the paper's time-fraction
+table even in fleet mode), steals, reshards, crash/restart/failover/
+migration, and service admission/eviction.  Exporters turn a timeline
+into Chrome trace-event JSON (load it at https://ui.perfetto.dev),
+Prometheus text exposition, or a plain-text report; tracing never changes
+results (traced solves are bit-identical — ``tests/test_obs.py``) and
+costs one ``None``-check per segment when off::
+
+    from repro import RebalancingShardedSolver
+    from repro.obs import Tracer, write_chrome_trace, fleet_metrics
+
+    tracer = Tracer()
+    solver = RebalancingShardedSolver(batch, num_shards=4, tracer=tracer)
+    results = solver.solve_batch()
+    write_chrome_trace(tracer.timeline(), "trace.json")
+    print(fleet_metrics(tracer.timeline()).render())   # Prometheus text
+
+``repro-bench fleet --trace t.json`` / ``repro-bench serve --trace t.json``
+trace the demos end to end and ``repro-bench trace --input t.json``
+summarizes and validates any written trace.
+
 Testing layers
 --------------
 The suite guards the engine at four levels: a cross-backend equivalence
@@ -167,6 +200,7 @@ Subpackages
 ``repro.gpusim``   SIMT GPU / multicore CPU performance-model simulators
 ``repro.apps``     paper applications: packing, MPC, SVM, Lasso
 ``repro.bench``    benchmark harness reproducing the paper's figures
+``repro.obs``      fleet tracing/metrics: unified timeline + exporters
 """
 
 from repro.graph import (

@@ -39,17 +39,7 @@ class VectorizedBackend(Backend):
                 updates.run_iteration(graph, state)
             return
         for _ in range(iterations):
-            with timers["x"]:
-                updates.x_update(graph, state)
-            with timers["m"]:
-                updates.m_update(graph, state)
-            with timers["z"]:
-                updates.z_update(graph, state)
-            with timers["u"]:
-                updates.u_update(graph, state)
-            with timers["n"]:
-                updates.n_update(graph, state)
-            state.iteration += 1
+            updates.run_iteration_timed(graph, state, timers)
 
 
 class ThreeWeightBackend(Backend):
@@ -71,27 +61,5 @@ class ThreeWeightBackend(Backend):
     ) -> None:
         if iterations < 0:
             raise ValueError(f"iterations must be >= 0, got {iterations}")
-        if timers is None:
-            for _ in range(iterations):
-                run_iteration_twa(graph, state)
-            return
-        import numpy as np
-
-        from repro.core.three_weight import (
-            u_update_weighted,
-            x_update_with_weights,
-            z_update_weighted,
-        )
-
         for _ in range(iterations):
-            with timers["x"]:
-                x_update_with_weights(graph, state)
-            with timers["m"]:
-                np.add(state.x, state.u, out=state.m)
-            with timers["z"]:
-                z_update_weighted(graph, state)
-            with timers["u"]:
-                u_update_weighted(graph, state)
-            with timers["n"]:
-                np.subtract(state.z[graph.flat_edge_to_z], state.u, out=state.n)
-            state.iteration += 1
+            run_iteration_twa(graph, state, timers)

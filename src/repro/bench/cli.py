@@ -57,6 +57,49 @@ def run_model_sweep(app: str, sizes) -> int:
     return 0
 
 
+def _export_trace(tracer, path: str) -> int:
+    """Write a tracer's timeline as Chrome trace JSON + text report.
+
+    The JSON at ``path`` loads directly in Perfetto / ``chrome://tracing``
+    and is validated against the trace-event format (nonzero exit on a
+    malformed export — the CI gate); the plain-text timeline report is
+    appended to ``results/fleet_trace.txt`` for artifact upload.
+    """
+    import os
+
+    from repro.bench.reporting import results_path
+    from repro.obs.export import (
+        timeline_report,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    events = tracer.timeline()
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    obj = write_chrome_trace(events, path)
+    problems = validate_chrome_trace(obj)
+    report = timeline_report(events)
+    out = results_path("fleet_trace.txt")
+    with open(out, "a") as fh:
+        fh.write(report)
+        fh.write("\n")
+    print(
+        f"\ntrace: {len(events)} events -> {path} "
+        f"(timeline appended to {out})"
+    )
+    if tracer.dropped:
+        print(f"trace: {tracer.dropped} events dropped (ring buffer full)")
+    if problems:
+        print(
+            f"error: Chrome trace validation failed "
+            f"({len(problems)} problem(s)): {problems[0]}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def run_fleet(args) -> int:
     """Batched fleet solving vs a per-instance loop (vectorized backend).
 
@@ -64,7 +107,9 @@ def run_fleet(args) -> int:
     ``--mode`` process/thread); ``--elastic`` appends an add/remove demo
     showing survivors' iterates are preserved bit-for-bit; ``--rebalance``
     appends the work-stealing / live-resharding demo
-    (``--steal-threshold`` tunes when idle shards steal).
+    (``--steal-threshold`` tunes when idle shards steal).  ``--trace PATH``
+    records the demos' fleet timeline as Perfetto-loadable Chrome trace
+    JSON (forcing the rebalance demo on if no demo was selected).
     """
     from repro.bench.harness import (
         time_fleet_batched,
@@ -73,6 +118,15 @@ def run_fleet(args) -> int:
     )
     from repro.bench.workloads import mpc_fleet
 
+    tracer = None
+    if args.trace:
+        from repro.obs.events import Tracer
+
+        tracer = Tracer()
+        if not (args.elastic or args.rebalance or args.fault_plan):
+            # A trace needs a traced solve; the rebalance demo is the
+            # richest one (segments, kernels, steals, freezes).
+            args.rebalance = True
     sizes = args.sizes if args.sizes else (4, 16, 64)
     if args.shards and args.shards > min(sizes):
         # A shard with zero instances would idle a worker and break the
@@ -127,13 +181,15 @@ def run_fleet(args) -> int:
     if args.elastic:
         rc = max(rc, run_fleet_elastic_demo(args, iterations))
     if args.rebalance:
-        rc = max(rc, run_fleet_rebalance_demo(args))
+        rc = max(rc, run_fleet_rebalance_demo(args, tracer=tracer))
     if args.fault_plan:
-        rc = max(rc, run_fleet_faults_demo(args))
+        rc = max(rc, run_fleet_faults_demo(args, tracer=tracer))
+    if tracer is not None:
+        rc = max(rc, _export_trace(tracer, args.trace))
     return rc
 
 
-def run_fleet_faults_demo(args) -> int:
+def run_fleet_faults_demo(args, tracer=None) -> int:
     """Chaos demo: scripted worker faults under solving, recovery audited.
 
     Applies ``--fault-plan`` (DSL: ``kind:shard@segment[:duration]``, e.g.
@@ -191,6 +247,7 @@ def run_fleet_faults_demo(args) -> int:
         steal_threshold=args.steal_threshold,
         policy=policy,
         injector=injector,
+        tracer=tracer,
     ) as solver:
         got = solver.solve_batch(**kwargs)
         dev = max(float(np.max(np.abs(a.z - b.z))) for a, b in zip(got, ref))
@@ -215,7 +272,7 @@ def run_fleet_faults_demo(args) -> int:
     return 0 if dev == 0.0 else 1
 
 
-def run_fleet_rebalance_demo(args) -> int:
+def run_fleet_rebalance_demo(args, tracer=None) -> int:
     """Work-stealing + live-resharding demo: results match plain batched.
 
     Builds an unevenly-converging MPC fleet, solves it with a
@@ -266,6 +323,7 @@ def run_fleet_rebalance_demo(args) -> int:
         mode=args.mode,
         rho=10.0,
         steal_threshold=args.steal_threshold,
+        tracer=tracer,
     ) as solver:
         got = solver.solve_batch(**kwargs)
         dev = max(
@@ -389,6 +447,11 @@ def run_serve(args) -> int:
     trace = poisson_trace(
         args.requests, rate=args.rate, seed=args.seed, make_params=make_params
     )
+    tracer = None
+    if args.trace:
+        from repro.obs.events import Tracer
+
+        tracer = Tracer()
     rho, cap = 10.0, 200
     shards = args.shards if args.shards else 2
     with FleetService(
@@ -399,6 +462,7 @@ def run_serve(args) -> int:
         check_every=args.check_every,
         max_iterations=cap,
         steal_threshold=args.steal_threshold,
+        tracer=tracer,
     ) as service:
         results = replay(service, trace)
         stats = service.stats()
@@ -460,6 +524,10 @@ def run_serve(args) -> int:
         "to a dedicated BatchedSolver run of that request alone"
     )
     t.emit(results_path("fleet_service.txt"))
+    if tracer is not None:
+        rc = _export_trace(tracer, args.trace)
+        if rc:
+            return rc
     if worst > 1e-10:
         print(
             f"error: service results deviate from solo solves "
@@ -476,6 +544,61 @@ def run_serve(args) -> int:
         )
         return 1
     return 0
+
+
+def run_trace(args) -> int:
+    """Summarize a Chrome trace JSON written by ``--trace``.
+
+    Validates the file against the trace-event format (nonzero exit on a
+    malformed trace) and reports event counts and total duration per
+    category, plus the lanes and wall span covered.
+    """
+    import json
+
+    from repro.obs.export import validate_chrome_trace
+
+    path = args.input or args.trace
+    if not path:
+        print(
+            "error: trace requires --input PATH (a --trace JSON file)",
+            file=sys.stderr,
+        )
+        return 2
+    with open(path) as fh:
+        obj = json.load(fh)
+    problems = validate_chrome_trace(obj)
+    events = obj.get("traceEvents", []) if isinstance(obj, dict) else []
+    rows = [
+        e for e in events if isinstance(e, dict) and e.get("ph") in ("X", "i")
+    ]
+    agg: dict[str, tuple[int, float]] = {}
+    for e in rows:
+        cat = str(e.get("cat", e.get("name", "?")))
+        cnt, tot = agg.get(cat, (0, 0.0))
+        agg[cat] = (cnt + 1, tot + float(e.get("dur", 0.0)) / 1e3)
+    t = SeriesTable(
+        f"Trace summary — {path}", ("category", "events", "total ms")
+    )
+    for cat in sorted(agg, key=lambda c: (-agg[c][1], c)):
+        cnt, tot = agg[cat]
+        t.add_row(cat, cnt, tot)
+    if rows:
+        lanes = {e.get("tid") for e in rows}
+        ts = [float(e.get("ts", 0.0)) for e in rows]
+        te = [
+            float(e.get("ts", 0.0)) + float(e.get("dur", 0.0)) for e in rows
+        ]
+        t.add_note(
+            f"{len(rows)} events across {len(lanes)} lanes, "
+            f"span {(max(te) - min(ts)) / 1e3:.3f} ms"
+        )
+    if problems:
+        for p in problems[:10]:
+            t.add_note(f"INVALID: {p}")
+    else:
+        t.add_note("valid Chrome trace-event JSON (Perfetto-loadable)")
+    t.emit()
+    return 1 if problems else 0
 
 
 def run_ntb(args) -> int:
@@ -500,6 +623,7 @@ COMMANDS = {
     "ntb": "threads-per-block sweep",
     "fleet": "batched/sharded/rebalancing multi-instance solving vs per-instance loop",
     "serve": "fleet service: replay a seeded request trace, report latency SLOs",
+    "trace": "summarize + validate a Chrome trace JSON written by --trace",
 }
 
 
@@ -571,6 +695,20 @@ def main(argv: list[str] | None = None) -> int:
         "e.g. 'kill:0@2,drop:1@4') and audit recovery + fault log; exits "
         "nonzero if the recovered solve deviates from the crash-free one",
     )
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="PATH",
+        help="fleet/serve: record the run's fleet timeline as Chrome "
+        "trace-event JSON at PATH (Perfetto-loadable; validated, and the "
+        "plain-text timeline is appended to results/fleet_trace.txt)",
+    )
+    parser.add_argument(
+        "--input",
+        default="",
+        metavar="PATH",
+        help="trace: the Chrome trace JSON file to summarize",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         for name, desc in COMMANDS.items():
@@ -584,6 +722,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_fleet(args)
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "trace":
+        return run_trace(args)
     app = {"fig07": "packing", "fig10": "mpc", "fig13": "svm"}[args.command]
     sizes = args.sizes if args.sizes else DEFAULT_SIZES[app]
     return run_model_sweep(app, sizes)

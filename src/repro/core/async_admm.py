@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.state import ADMMState
 from repro.graph.factor_graph import FactorGraph
 from repro.utils.rng import DEFAULT_SEED, default_rng
+from repro.utils.timing import NULL_TIMERS
 
 
 class AsyncSweepPlan:
@@ -48,13 +49,17 @@ class AsyncSweepPlan:
 
 
 def run_iteration_async(
-    graph: FactorGraph, state: ADMMState, factor_mask: np.ndarray
+    graph: FactorGraph, state: ADMMState, factor_mask: np.ndarray, timers=None
 ) -> None:
     """One randomized sweep updating only the masked factors' messages.
 
     Edge updates (m, u, n) are restricted to edges whose factor fired; the
     z-update is global (it is a cheap average and in an asynchronous system
     the averaging node always uses the freshest messages it has).
+
+    With ``timers`` (a :class:`repro.utils.timing.KernelTimers`), each
+    kernel phase accumulates its time; there is a single code path (no-op
+    timers when untimed), so timed sweeps are bit-identical.
     """
     factor_mask = np.asarray(factor_mask, dtype=bool)
     if factor_mask.shape != (graph.num_factors,):
@@ -62,34 +67,40 @@ def run_iteration_async(
             f"factor_mask must have shape ({graph.num_factors},), "
             f"got {factor_mask.shape}"
         )
+    t = NULL_TIMERS if timers is None else timers
     edge_mask = factor_mask[graph.edge_factor]
     slot_mask = edge_mask[graph.slot_edge]
 
     # x-update on selected rows of each group.
-    for g in graph.groups:
-        rows = factor_mask[g.factor_ids]
-        if not rows.any():
-            continue
-        sub_slots = g.gather_slots[rows]
-        n_rows = state.n[sub_slots]
-        rho_rows = state.rho[g.gather_edges[rows]]
-        params = {k: v[rows] for k, v in g.params.items()}
-        x_rows = np.asarray(
-            g.prox.prox_batch(n_rows, rho_rows, params), dtype=np.float64
-        )
-        state.x[sub_slots.reshape(-1)] = x_rows.reshape(-1)
+    with t["x"]:
+        for g in graph.groups:
+            rows = factor_mask[g.factor_ids]
+            if not rows.any():
+                continue
+            sub_slots = g.gather_slots[rows]
+            n_rows = state.n[sub_slots]
+            rho_rows = state.rho[g.gather_edges[rows]]
+            params = {k: v[rows] for k, v in g.params.items()}
+            x_rows = np.asarray(
+                g.prox.prox_batch(n_rows, rho_rows, params), dtype=np.float64
+            )
+            state.x[sub_slots.reshape(-1)] = x_rows.reshape(-1)
 
     # m-update on fired edges only.
-    state.m[slot_mask] = state.x[slot_mask] + state.u[slot_mask]
+    with t["m"]:
+        state.m[slot_mask] = state.x[slot_mask] + state.u[slot_mask]
     # Global z-average over the freshest messages.
-    num = graph.scatter_matrix @ (state.rho_slots * state.m)
-    den = state.rho_den
-    np.divide(num, den, out=state.z, where=den > 0.0)
+    with t["z"]:
+        num = graph.scatter_matrix @ (state.rho_slots * state.m)
+        den = state.rho_den
+        np.divide(num, den, out=state.z, where=den > 0.0)
     # u/n refresh on fired edges only.
-    zmap = state.z[graph.flat_edge_to_z]
-    du = state.alpha_slots * (state.x - zmap)
-    state.u[slot_mask] += du[slot_mask]
-    state.n[slot_mask] = zmap[slot_mask] - state.u[slot_mask]
+    with t["u"]:
+        zmap = state.z[graph.flat_edge_to_z]
+        du = state.alpha_slots * (state.x - zmap)
+        state.u[slot_mask] += du[slot_mask]
+    with t["n"]:
+        state.n[slot_mask] = zmap[slot_mask] - state.u[slot_mask]
     state.iteration += 1
 
 

@@ -42,6 +42,11 @@ from repro.core.residuals import Residuals
 from repro.core.solver import ADMMSolver
 from repro.core.state import ADMMState
 from repro.graph.batch import GraphBatch
+from repro.obs.events import (
+    default_tracer,
+    now as monotonic_now,
+    segment_events,
+)
 from repro.utils.timing import KernelTimers
 
 
@@ -193,6 +198,12 @@ class BatchedSolver:
     deep-copied per instance so stateful schedules (e.g. residual balancing)
     adapt each problem independently.  ``rho`` additionally accepts a
     ``(B,)`` per-instance or ``(B, E_t)`` per-instance-per-edge array.
+
+    ``tracer`` (a :class:`repro.obs.events.Tracer`) records the solve
+    timeline: one segment span per convergence-check block with per-kernel
+    sub-spans, a freeze point per newly converged instance, and one solve
+    span.  Defaults to :func:`repro.obs.events.default_tracer` (off unless
+    ``REPRO_TRACE`` is set); tracing never changes the math.
     """
 
     def __init__(
@@ -202,8 +213,10 @@ class BatchedSolver:
         rho=1.0,
         alpha=1.0,
         schedule: PenaltySchedule | None = None,
+        tracer=None,
     ) -> None:
         self.batch = batch
+        self.tracer = tracer if tracer is not None else default_tracer()
         rho_arr = np.asarray(rho, dtype=np.float64)
         if rho_arr.ndim and rho_arr.shape[0] == batch.batch_size and rho_arr.shape != (
             batch.graph.num_edges,
@@ -360,7 +373,9 @@ class BatchedSolver:
         frozen_iterations = np.full(B, -1, dtype=np.int64)
         last_residuals: list[Residuals | None] = [None] * B
         rho_by_instance = self.batch.split_edges(state.rho)
+        tracer = self.tracer
         t0 = time.perf_counter()
+        solve_t0 = monotonic_now()
 
         if state.iteration >= max_iterations:
             # No sweeps will run (max_iterations == 0, or a kept iterate
@@ -376,10 +391,25 @@ class BatchedSolver:
 
         while state.iteration < max_iterations:
             block = min(check_every, max_iterations - state.iteration)
+            segment = state.iteration
+            pre = timers.elapsed_by_kind() if tracer is not None else None
+            seg_t0 = monotonic_now()
             if block > 1:
                 backend.run(graph, state, block - 1, timers)
             z_prev = state.z.copy()
             backend.run(graph, state, 1, timers)
+            if tracer is not None:
+                post = timers.elapsed_by_kind()
+                tracer.extend(
+                    segment_events(
+                        worker=0,
+                        segment=segment,
+                        t0=seg_t0,
+                        t1=monotonic_now(),
+                        sweeps=block,
+                        kernel_seconds={k: post[k] - pre[k] for k in post},
+                    )
+                )
             res = per_instance_residuals(self.batch, state, z_prev, eps_abs, eps_rel)
             rho_by_instance = self.batch.split_edges(state.rho)
             for i in np.flatnonzero(active):
@@ -388,6 +418,13 @@ class BatchedSolver:
                 if res[i].converged:
                     frozen_iterations[i] = state.iteration
                     active[i] = False
+                    if tracer is not None:
+                        tracer.point(
+                            "freeze",
+                            f"instance {i}",
+                            segment=state.iteration,
+                            instance=int(i),
+                        )
             if not active.any():
                 break
             # Per-instance ρ adaptation; frozen instances keep scale 1.
@@ -402,6 +439,15 @@ class BatchedSolver:
                 apply_rho_scale(state, scale)
 
         wall = time.perf_counter() - t0
+        if tracer is not None:
+            tracer.add_span(
+                "solve",
+                f"batched solve B={B}",
+                solve_t0,
+                monotonic_now(),
+                segment=state.iteration,
+                converged=int((frozen_iterations >= 0).sum()),
+            )
         results = []
         for i in range(B):
             converged = frozen_iterations[i] >= 0

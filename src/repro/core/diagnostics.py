@@ -26,8 +26,11 @@ class SolveHistory:
         self.iterations.append(residuals.iteration)
         self.primal.append(residuals.primal)
         self.dual.append(residuals.dual)
-        if objective is not None:
-            self.objective.append(objective)
+        # A check without an objective still consumes a row: every series
+        # stays index-aligned with `iterations` (nan marks "not recorded").
+        self.objective.append(
+            float("nan") if objective is None else objective
+        )
         self.rho.append(rho_mean)
 
     def __len__(self) -> int:

@@ -89,8 +89,14 @@ from repro.core.supervision import (
 )
 from repro.graph.batch import GraphBatch
 from repro.graph.partition import contiguous_chunks
+from repro.obs.events import (
+    PARENT,
+    default_tracer,
+    now as monotonic_now,
+    segment_events,
+)
 from repro.utils.rng import DEFAULT_SEED, default_rng
-from repro.utils.timing import KernelTimers
+from repro.utils.timing import UPDATE_KINDS, KernelTimers
 
 _FAMILIES = ("x", "m", "u", "n")
 
@@ -105,17 +111,26 @@ class StealEvent:
     instances: tuple[int, ...]
 
 
-def _run_sweeps(graph, state: ADMMState, iterations: int, variant: str, masks):
+def _run_sweeps(
+    graph,
+    state: ADMMState,
+    iterations: int,
+    variant: str,
+    masks,
+    timers: KernelTimers | None = None,
+):
     """Advance ``state`` by ``iterations`` sweeps of the chosen variant.
 
     ``masks`` (``(iterations, num_factors)`` bool) carries the parent-drawn
-    randomized plans for the ``async`` variant; ``None`` otherwise.
+    randomized plans for the ``async`` variant; ``None`` otherwise.  With
+    ``timers``, each kernel accumulates its elapsed time — the timed paths
+    execute identical math, so timed sweeps stay bit-identical.
     """
     if variant == "async":
         for s in range(iterations):
-            run_iteration_async(graph, state, masks[s])
+            run_iteration_async(graph, state, masks[s], timers)
     else:
-        run_variant_sweeps(graph, state, iterations, variant)
+        run_variant_sweeps(graph, state, iterations, variant, timers=timers)
 
 
 def _worker_main(cmd_q, done_q, heartbeat_interval=None):
@@ -145,6 +160,10 @@ def _worker_main(cmd_q, done_q, heartbeat_interval=None):
                 done_q.put(("ok", None))
             elif op == "run":
                 iterations, payload, masks = cmd[1], cmd[2], cmd[3]
+                # (want_timers, want_trace, segment, worker_id); absent on
+                # the legacy 4-element command.
+                want = cmd[4] if len(cmd) > 4 else (False, False, 0, 0)
+                want_timers, want_trace, segment, worker_id = want
                 x, m, u, n, z, rho, alpha = payload
                 state.x[:] = x
                 state.m[:] = m
@@ -153,12 +172,39 @@ def _worker_main(cmd_q, done_q, heartbeat_interval=None):
                 state.z[:] = z
                 state.set_rho(rho)
                 state.set_alpha(alpha)
+                ktimers = (
+                    KernelTimers() if (want_timers or want_trace) else None
+                )
                 t0 = time.perf_counter()
+                m0 = monotonic_now()
                 with heartbeat(done_q, heartbeat_interval):
-                    _run_sweeps(graph, state, iterations, variant, masks)
+                    _run_sweeps(graph, state, iterations, variant, masks, ktimers)
                 elapsed = time.perf_counter() - t0
+                events = ()
+                if want_trace:
+                    events = tuple(
+                        segment_events(
+                            worker=worker_id,
+                            segment=segment,
+                            t0=m0,
+                            t1=monotonic_now(),
+                            sweeps=iterations,
+                            kernel_seconds=ktimers.elapsed_by_kind(),
+                        )
+                    )
+                kernels = (
+                    ktimers.elapsed_by_kind() if ktimers is not None else None
+                )
                 done_q.put(
-                    ("ok", ((state.x, state.m, state.u, state.n, state.z), elapsed))
+                    (
+                        "ok",
+                        (
+                            (state.x, state.m, state.u, state.n, state.z),
+                            elapsed,
+                            kernels,
+                            events,
+                        ),
+                    )
                 )
             else:  # pragma: no cover - protocol misuse
                 done_q.put(("error", f"unknown command {op!r}"))
@@ -221,6 +267,13 @@ class RebalancingShardedSolver:
         a :class:`repro.testing.faults.FaultInjector` (or anything with a
         ``before_segment(solver)`` hook) for chaos testing; process mode
         only.
+    ``tracer``
+        a :class:`repro.obs.events.Tracer` collecting the fleet timeline:
+        per-worker segment spans with per-kernel sub-spans, steal /
+        reshard / rebalance / grow / shrink points, and every fault-log
+        event.  Defaults to :func:`repro.obs.events.default_tracer` (off
+        unless ``REPRO_TRACE`` is set).  Tracing never changes the math —
+        traced solves are bit-identical.
 
     Default ``mode`` is ``"thread"``: pool threads are task-agnostic, so
     re-sharding is free.  ``"process"`` drives generic re-bindable worker
@@ -248,6 +301,7 @@ class RebalancingShardedSolver:
         steal_seed: int | None = None,
         policy: WorkerPolicy | None = None,
         injector=None,
+        tracer=None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -277,7 +331,8 @@ class RebalancingShardedSolver:
         self.steal_log: list[StealEvent] = []
         self.policy = policy if policy is not None else WorkerPolicy()
         self.injector = injector
-        self.fault_log = FaultLog()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.fault_log = FaultLog(tracer=self.tracer)
         self._steal_rng = default_rng(
             DEFAULT_SEED if steal_seed is None else steal_seed
         )
@@ -535,6 +590,9 @@ class RebalancingShardedSolver:
     ) -> Exception | None:
         masks = self._draw_masks(iterations)
         failure: Exception | None = None
+        tracer = self.tracer
+        segment = self._iteration
+        seg_t0 = monotonic_now()
         if self.mode == "process":
             self._ensure_workers()
             if self.injector is not None:
@@ -564,22 +622,31 @@ class RebalancingShardedSolver:
             # collect every reply before touching any state (a failure in
             # one shard must not leave another's result queued).
             healthy = [i for i in range(len(self.shards)) if i not in faults]
+            want = (timers is not None, tracer is not None, segment)
             for idx in healthy:
                 st = self.shards[idx].state
                 payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
                 self._workers[idx].cmd_q.put(
-                    ("run", iterations, payload, masks[idx])
+                    ("run", iterations, payload, masks[idx], want + (idx,))
                 )
-            elapsed = []
             results: dict[int, tuple] = {}
             for idx in healthy:
                 try:
-                    results[idx], dt = self._collect(idx, "sweep")
-                    elapsed.append(dt)
+                    fams, _dt, kernels, events = self._collect(idx, "sweep")
                 except WorkerFault as fault:
                     faults[idx] = fault
+                    continue
                 except RuntimeError as err:
                     failure = failure or err
+                    continue
+                results[idx] = fams
+                if timers is not None and kernels is not None:
+                    # Per-worker kernel attribution: sum each worker's real
+                    # kernel seconds instead of charging the barrier wall
+                    # time to "x".
+                    timers.add_elapsed(kernels)
+                if tracer is not None:
+                    tracer.extend(events)
             if failure is not None:
                 return failure
             # Phase 3: recover faulted shards — restart & replay, falling
@@ -589,7 +656,7 @@ class RebalancingShardedSolver:
             for idx in sorted(faults):
                 try:
                     out = self._recover_shard(
-                        idx, iterations, masks[idx], faults[idx]
+                        idx, iterations, masks[idx], faults[idx], timers
                     )
                 except RuntimeError as err:
                     failure = failure or err
@@ -597,8 +664,12 @@ class RebalancingShardedSolver:
                 if out is None:
                     parent_ran.add(idx)
                 else:
-                    results[idx], dt = out
-                    elapsed.append(dt)
+                    fams, _dt, kernels, events = out
+                    results[idx] = fams
+                    if timers is not None and kernels is not None:
+                        timers.add_elapsed(kernels)
+                    if tracer is not None:
+                        tracer.extend(events)
             if failure is not None:
                 return failure
             # Phase 4: adopt every shard's advanced families.
@@ -609,26 +680,32 @@ class RebalancingShardedSolver:
                     getattr(sh.state, fam)[:] = arr
                 sh.state.z[:] = results[idx][4]
                 sh.state.iteration += iterations
-            if timers is not None and elapsed:
-                # Barrier semantics: the fleet waits for the slowest shard.
-                timers["x"].elapsed += max(elapsed)
-                timers["x"].calls += iterations
             # Phase 5: failover — migrate rosters of shards whose worker
             # is gone for good onto survivors (the involuntary steal).
             if self._doomed:
                 self._migrate_doomed()
         else:
             self._ensure_pool()
-            t0 = time.perf_counter()
-            futures = [
-                self._pool.submit(
-                    _run_sweeps,
+            need_kernels = timers is not None or tracer is not None
+            shard_timers = [
+                KernelTimers() if need_kernels else None for _ in self.shards
+            ]
+            spans: list[tuple[float, float] | None] = [None] * len(self.shards)
+
+            def _task(idx: int, sh: _RosterShard) -> None:
+                m0 = monotonic_now()
+                _run_sweeps(
                     sh.batch.graph,
                     sh.state,
                     iterations,
                     self.variant,
                     masks[idx],
+                    shard_timers[idx],
                 )
+                spans[idx] = (m0, monotonic_now())
+
+            futures = [
+                self._pool.submit(_task, idx, sh)
                 for idx, sh in enumerate(self.shards)
             ]
             done, _ = wait(futures)
@@ -636,6 +713,41 @@ class RebalancingShardedSolver:
                 exc = f.exception()
                 if exc is not None:
                     failure = failure or exc
+            if failure is None and need_kernels:
+                for idx, kt in enumerate(shard_timers):
+                    kernels = kt.elapsed_by_kind()
+                    if timers is not None:
+                        timers.add_elapsed(kernels)
+                    if tracer is not None and spans[idx] is not None:
+                        m0, m1 = spans[idx]
+                        tracer.extend(
+                            segment_events(
+                                worker=idx,
+                                segment=segment,
+                                t0=m0,
+                                t1=m1,
+                                sweeps=iterations,
+                                kernel_seconds=kernels,
+                            )
+                        )
+        if failure is None:
+            if timers is not None:
+                # One logical fleet sweep per iteration regardless of shard
+                # count — calls mirror BatchedSolver's accounting, while
+                # elapsed is the aggregate across workers.
+                for kind in UPDATE_KINDS:
+                    timers[kind].calls += iterations
+            if tracer is not None:
+                tracer.add_span(
+                    "segment",
+                    f"fleet sweep x{iterations}",
+                    seg_t0,
+                    monotonic_now(),
+                    worker=PARENT,
+                    segment=segment,
+                    sweeps=iterations,
+                    shards=len(self.shards),
+                )
         return failure
 
     def _spawn_worker(self) -> _Worker:
@@ -655,7 +767,12 @@ class RebalancingShardedSolver:
         worker.bound = None
 
     def _recover_shard(
-        self, idx: int, iterations: int, masks, fault: WorkerFault
+        self,
+        idx: int,
+        iterations: int,
+        masks,
+        fault: WorkerFault,
+        timers: KernelTimers | None = None,
     ):
         """Recover shard ``idx`` after its worker faulted mid-segment.
 
@@ -664,8 +781,9 @@ class RebalancingShardedSolver:
         replayed by its successor), re-sending the exact pre-segment state
         and masks.  When the budget is exhausted, the segment executes in
         the parent (same math on the same state: bit-identical) and the
-        shard is marked for roster migration.  Returns the run reply, or
-        ``None`` when the parent ran the segment.
+        shard is marked for roster migration.  Returns the run reply
+        payload, or ``None`` when the parent ran the segment (its kernel
+        seconds fold into ``timers`` and trace onto the parent lane here).
         """
         sh = self.shards[idx]
         self.fault_log.record(
@@ -689,7 +807,13 @@ class RebalancingShardedSolver:
                 w.bound = sh.batch
                 st = sh.state
                 payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
-                w.cmd_q.put(("run", iterations, payload, masks))
+                want = (
+                    timers is not None,
+                    self.tracer is not None,
+                    self._iteration,
+                    idx,
+                )
+                w.cmd_q.put(("run", iterations, payload, masks, want))
                 return self._collect(idx, "sweep")
             except WorkerFault as again:
                 self.fault_log.record(
@@ -707,7 +831,29 @@ class RebalancingShardedSolver:
             f"of {iterations} sweep(s) executed in the parent, roster will "
             f"migrate to a survivor",
         )
-        _run_sweeps(sh.batch.graph, sh.state, iterations, self.variant, masks)
+        ktimers = (
+            KernelTimers()
+            if (timers is not None or self.tracer is not None)
+            else None
+        )
+        f_t0 = monotonic_now()
+        _run_sweeps(
+            sh.batch.graph, sh.state, iterations, self.variant, masks, ktimers
+        )
+        if timers is not None:
+            timers.add_elapsed(ktimers.elapsed_by_kind())
+        if self.tracer is not None:
+            self.tracer.extend(
+                segment_events(
+                    worker=PARENT,
+                    segment=self._iteration,
+                    t0=f_t0,
+                    t1=monotonic_now(),
+                    sweeps=iterations,
+                    kernel_seconds=ktimers.elapsed_by_kind(),
+                    name=f"failover shard {idx}",
+                )
+            )
         self._doomed.add(idx)
         return None
 
@@ -865,12 +1011,19 @@ class RebalancingShardedSolver:
                 f"into {num_shards} shards: every shard must own at least "
                 f"one instance (empty shards are not allowed)"
             )
+        old_shards = self.num_shards
         owner = self._owner_map()
         assignments = [
             list(range(lo, hi))
             for lo, hi in contiguous_chunks(self.batch_size, int(num_shards))
         ]
         self._remap(assignments, lambda g: owner[g])
+        if self.tracer is not None:
+            self.tracer.point(
+                "reshard",
+                f"{old_shards} -> {self.num_shards} shards",
+                segment=self._iteration,
+            )
 
     def rebalance(self, active=None) -> None:
         """Re-split the fleet so shards carry (near-)equal active load.
@@ -911,6 +1064,13 @@ class RebalancingShardedSolver:
             assignments.append(list(range(start, stop)))
             start = stop
         self._remap(assignments, lambda g: owner[g])
+        if self.tracer is not None:
+            self.tracer.point(
+                "rebalance",
+                f"{k} shards by active load",
+                segment=self._iteration,
+                active=int(active.sum()),
+            )
 
     # ------------------------------------------------------------------ #
     def _pick(self, candidates: list[int]) -> int:
@@ -953,6 +1113,15 @@ class RebalancingShardedSolver:
             instances=tuple(int(g) for g in block),
         )
         self.steal_log.append(event)
+        if self.tracer is not None:
+            self.tracer.point(
+                "steal",
+                f"shard {donor_idx} -> {thief_idx}",
+                segment=self._iteration,
+                thief=thief_idx,
+                donor=donor_idx,
+                instances=list(event.instances),
+            )
         return event
 
     def steal_once(self, active=None):
@@ -1030,6 +1199,13 @@ class RebalancingShardedSolver:
         self._remap(
             rosters, lambda g: owner[g] if g < old_B else None, fresh=fresh
         )
+        if self.tracer is not None:
+            self.tracer.point(
+                "grow",
+                f"+{len(new_ids)} instances -> shard {target}",
+                segment=self._iteration,
+                instances=new_ids,
+            )
         if self.variant == "async":
             self._reseed_plans()
 
@@ -1061,6 +1237,13 @@ class RebalancingShardedSolver:
             if roster:
                 rosters.append(roster)
         self._remap(rosters, lambda g: owner[new_to_old[g]])
+        if self.tracer is not None:
+            self.tracer.point(
+                "shrink",
+                f"-{len(dropset)} instances",
+                segment=self._iteration,
+                instances=sorted(dropset),
+            )
         if self.variant == "async":
             self._reseed_plans()
 
@@ -1233,7 +1416,9 @@ class RebalancingShardedSolver:
         frozen_iterations = np.full(B, -1, dtype=np.int64)
         last_residuals: list[Residuals | None] = [None] * B
         rho_by_instance = self.rho_rows()
+        tracer = self.tracer
         t0 = time.perf_counter()
+        solve_t0 = monotonic_now()
 
         if self._iteration >= max_iterations:
             # No sweeps will run: residuals of the current iterate, computed
@@ -1257,6 +1442,13 @@ class RebalancingShardedSolver:
                 if res[i].converged:
                     frozen_iterations[i] = self._iteration
                     active[i] = False
+                    if tracer is not None:
+                        tracer.point(
+                            "freeze",
+                            f"instance {i}",
+                            segment=self._iteration,
+                            instance=int(i),
+                        )
             if not active.any():
                 break
             # Per-instance ρ adaptation, applied shard-locally; frozen
@@ -1270,6 +1462,16 @@ class RebalancingShardedSolver:
             self._auto_steal(active)
 
         wall = time.perf_counter() - t0
+        if tracer is not None:
+            tracer.add_span(
+                "solve",
+                f"rebalancing solve B={B}",
+                solve_t0,
+                monotonic_now(),
+                segment=self._iteration,
+                converged=int((frozen_iterations >= 0).sum()),
+                steals=len(self.steal_log),
+            )
         owner = self._owner_map()
         results: list[ADMMResult] = []
         for i in range(B):

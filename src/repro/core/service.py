@@ -71,6 +71,7 @@ from repro.core.residuals import Residuals
 from repro.core.supervision import WorkerPolicy
 from repro.graph.batch import replicate_graph
 from repro.graph.factor_graph import FactorGraph
+from repro.obs.events import default_tracer
 from repro.utils.timing import KernelTimers
 
 
@@ -204,6 +205,13 @@ class FleetService:
         the admission latency window: pending requests are admitted at
         every ``admit_every``-th segment boundary (1 = every boundary),
         at most ``max_batch`` per admission (``None`` = unbounded).
+    tracer:
+        a :class:`repro.obs.events.Tracer` recording the request lifecycle
+        (submit / admit / evict points, with per-request latency on evict)
+        alongside the fleet solver's segment/kernel/steal/fault timeline —
+        the same tracer is handed to every fleet solver the service builds.
+        Defaults to :func:`repro.obs.events.default_tracer` (off unless
+        ``REPRO_TRACE`` is set); tracing never changes results.
     """
 
     def __init__(
@@ -224,6 +232,7 @@ class FleetService:
         steal_threshold: int = 1,
         steal_seed: int | None = None,
         policy: WorkerPolicy | None = None,
+        tracer=None,
     ) -> None:
         if template.isolated_vars.size:
             raise ValueError(
@@ -270,6 +279,7 @@ class FleetService:
         self.steal_threshold = int(steal_threshold)
         self.steal_seed = steal_seed
         self.policy = policy
+        self.tracer = tracer if tracer is not None else default_tracer()
 
         self._solver: RebalancingShardedSolver | None = None
         self._pending: deque[SolveRequest] = deque()
@@ -363,6 +373,13 @@ class FleetService:
         )
         self._next_id += 1
         self._pending.append(req)
+        if self.tracer is not None:
+            self.tracer.point(
+                "submit",
+                f"request {req.request_id}",
+                segment=self._segment,
+                request=req.request_id,
+            )
         return req.request_id
 
     # ------------------------------------------------------------------ #
@@ -378,6 +395,8 @@ class FleetService:
         )
         if self.policy is not None:
             kwargs["policy"] = self.policy
+        if self.tracer is not None:
+            kwargs["tracer"] = self.tracer
         solver = RebalancingShardedSolver(batch, **kwargs)
         solver.initialize("zeros")
         return solver
@@ -416,6 +435,15 @@ class FleetService:
                     admit_segment=self._segment,
                 )
             )
+            if self.tracer is not None:
+                self.tracer.point(
+                    "admit",
+                    f"request {req.request_id}",
+                    segment=self._segment,
+                    request=req.request_id,
+                    instance=base + j,
+                    wait_segments=self._segment - req.submit_segment,
+                )
         return k
 
     def _evict(self, done: list[int], wall: float) -> list[RequestResult]:
@@ -453,6 +481,16 @@ class FleetService:
                     complete_time=wall,
                 )
             )
+            if self.tracer is not None:
+                self.tracer.point(
+                    "evict",
+                    f"request {live.request.request_id}",
+                    segment=self._segment,
+                    request=live.request.request_id,
+                    latency=wall - live.request.submit_time,
+                    sweeps=live.sweeps,
+                    converged=bool(converged),
+                )
         if len(doneset) == len(self._live):
             # A batch can never be empty: dissolve the fleet instead.
             solver.close()

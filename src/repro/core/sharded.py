@@ -80,31 +80,45 @@ from repro.core.supervision import (
 from repro.core.three_weight import run_iterations_twa
 from repro.graph.batch import GraphBatch
 from repro.graph.partition import contiguous_chunks
+from repro.obs.events import (
+    PARENT,
+    EventRing,
+    default_tracer,
+    now as monotonic_now,
+    segment_events,
+)
 from repro.utils.rng import DEFAULT_SEED
-from repro.utils.timing import KernelTimers
+from repro.utils.timing import UPDATE_KINDS, KernelTimers
 
 VARIANTS = ("classic", "three_weight", "async")
 MODES = ("process", "thread")
 
 
 def run_variant_sweeps(
-    graph, state: ADMMState, iterations: int, variant: str, plan=None
+    graph, state: ADMMState, iterations: int, variant: str, plan=None, timers=None
 ) -> None:
     """Advance ``state`` by ``iterations`` sweeps of the chosen variant.
 
     The single sweep loop shared by both shard execution modes; ``plan``
     (a :class:`FleetSweepPlan`) is required for the ``async`` variant.
+    With ``timers`` (a :class:`~repro.utils.timing.KernelTimers`), each
+    sweep accumulates per-kernel time — same math either way, so timed
+    runs stay bit-identical.
     """
     if variant == "classic":
-        for _ in range(iterations):
-            updates.run_iteration(graph, state)
+        if timers is None:
+            for _ in range(iterations):
+                updates.run_iteration(graph, state)
+        else:
+            for _ in range(iterations):
+                updates.run_iteration_timed(graph, state, timers)
     elif variant == "three_weight":
-        run_iterations_twa(graph, state, iterations)
+        run_iterations_twa(graph, state, iterations, timers)
     elif variant == "async":
         if plan is None:
             raise ValueError("the async variant needs a FleetSweepPlan")
         for _ in range(iterations):
-            run_iteration_async(graph, state, plan.draw())
+            run_iteration_async(graph, state, plan.draw(), timers)
     else:
         raise ValueError(f"unknown variant {variant!r}; use one of {VARIANTS}")
 
@@ -136,7 +150,15 @@ def _push_families(views, state: ADMMState) -> None:
 
 
 def _shard_worker_main(
-    graph, variant, plan, raws, sizes, cmd_q, done_q, heartbeat_interval=None
+    graph,
+    variant,
+    plan,
+    raws,
+    sizes,
+    cmd_q,
+    done_q,
+    heartbeat_interval=None,
+    worker_id=0,
 ):
     """Worker loop: vectorized variant sweeps over this shard's sub-graph.
 
@@ -147,29 +169,60 @@ def _shard_worker_main(
     parameter fails the fleet solve instead of hanging it.  While a sweep
     runs, a heartbeat thread signals liveness on ``done_q`` so the parent
     can tell a slow shard from a hung one.
+
+    Run commands are ``("run", iterations, want_timers, want_trace,
+    segment)``; the reply payload is ``(elapsed, kernel_seconds | None,
+    events, dropped)``.  When the parent asks for timing/tracing, sweeps
+    run with per-kernel timers and the resulting events — one segment
+    span plus per-kernel spans on the shared monotonic clock — are
+    buffered in a bounded :class:`~repro.obs.events.EventRing` and
+    shipped back piggybacked on the ordinary reply at the segment
+    boundary.  Untraced runs take the exact pre-existing path.
     """
     from repro.backends.process import _as_np
 
     views = [_as_np(r)[:s] for r, s in zip(raws, sizes)]
     state = ADMMState(graph)
+    ring = EventRing(1 << 12)
     while True:
         cmd = cmd_q.get()
         if cmd[0] == "stop":
             return
         iterations = cmd[1]
+        want_timers = len(cmd) > 2 and cmd[2]
+        want_trace = len(cmd) > 3 and cmd[3]
+        segment = cmd[4] if len(cmd) > 4 else 0
+        ktimers = KernelTimers() if (want_timers or want_trace) else None
         try:
             _pull_families(views, state)
             state.set_rho(views[5].copy())
             state.set_alpha(views[6].copy())
             t0 = time.perf_counter()
+            m0 = monotonic_now()
             with heartbeat(done_q, heartbeat_interval):
-                run_variant_sweeps(graph, state, iterations, variant, plan)
+                run_variant_sweeps(graph, state, iterations, variant, plan, ktimers)
             elapsed = time.perf_counter() - t0
         except Exception as err:  # noqa: BLE001 - relayed to the parent
             done_q.put(("error", f"{type(err).__name__}: {err}"))
             continue
         _push_families(views, state)
-        done_q.put(("ok", elapsed))
+        events: tuple = ()
+        dropped = 0
+        if want_trace:
+            ring.extend(
+                segment_events(
+                    worker=worker_id,
+                    segment=segment,
+                    t0=m0,
+                    t1=monotonic_now(),
+                    sweeps=iterations,
+                    kernel_seconds=ktimers.elapsed_by_kind(),
+                )
+            )
+            events = tuple(ring.drain())
+            dropped = ring.dropped
+        kernels = ktimers.elapsed_by_kind() if ktimers is not None else None
+        done_q.put(("ok", (elapsed, kernels, events, dropped)))
 
 
 class _Shard:
@@ -219,6 +272,13 @@ class ShardedBatchedSolver:
     with every crash and restart recorded in :attr:`fault_log`.
     ``injector`` (see :mod:`repro.testing.faults`) hooks fault injection
     into each run dispatch for chaos testing; process mode only.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) turns on fleet tracing:
+    workers measure per-kernel time and ship segment/kernel events back
+    with their replies, and faults emit onto the same timeline.  Defaults
+    to :func:`repro.obs.default_tracer` — ``None`` (off) unless the
+    ``REPRO_TRACE`` environment switch is set.  Tracing never changes the
+    math; traced solves are bit-identical.
     """
 
     def __init__(
@@ -234,6 +294,7 @@ class ShardedBatchedSolver:
         seed: int | None = None,
         policy: WorkerPolicy | None = None,
         injector=None,
+        tracer=None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -256,7 +317,8 @@ class ShardedBatchedSolver:
         self.schedule = schedule if schedule is not None else ConstantPenalty()
         self.policy = policy if policy is not None else WorkerPolicy()
         self.injector = injector
-        self.fault_log = FaultLog()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.fault_log = FaultLog(tracer=self.tracer)
         self._fraction = float(fraction)
         self._seed_base = DEFAULT_SEED if seed is None else int(seed)
         self._closed = False
@@ -347,6 +409,7 @@ class ShardedBatchedSolver:
                 shard.cmd_q,
                 shard.done_q,
                 self.policy.heartbeat_interval,
+                self.shards.index(shard),
             ),
             daemon=True,
         )
@@ -464,51 +527,98 @@ class ShardedBatchedSolver:
     def _run_all_inner(
         self, iterations: int, timers: KernelTimers | None
     ) -> Exception | None:
+        tracer = self.tracer
+        segment = self.iteration
         if self.mode == "process":
             if self.injector is not None:
                 self.injector.before_segment(self)
+            run_cmd = (
+                "run",
+                iterations,
+                timers is not None,
+                tracer is not None,
+                segment,
+            )
+            seg_t0 = monotonic_now()
             for shard in self.shards:
                 _push_shared(shard.views, shard.state)
-                shard.cmd_q.put(("run", iterations))
+                shard.cmd_q.put(run_cmd)
             # Collect every shard before touching any state: a failure in
             # one shard must not leave another's result queued (a stale
             # entry would desynchronize the next run).
-            elapsed = []
+            replies = []
             failure: Exception | None = None
             for idx, shard in enumerate(self.shards):
                 try:
-                    elapsed.append(self._collect(shard))
+                    replies.append(self._collect(shard))
                 except WorkerFault as fault:
                     try:
-                        elapsed.append(
-                            self._restart_and_replay(idx, shard, iterations, fault)
+                        replies.append(
+                            self._restart_and_replay(idx, shard, run_cmd, fault)
                         )
                     except RuntimeError as err:
                         failure = failure or err
                 except RuntimeError as err:
                     failure = failure or err
             if failure is None:
-                for shard in self.shards:
+                for idx, (shard, payload) in enumerate(zip(self.shards, replies)):
                     _pull_families(shard.views, shard.state)
                     shard.state.iteration += iterations
                     if self.variant == "async":
                         shard.draws_done += iterations
+                    _, kernels, events, dropped = payload
+                    if timers is not None and kernels is not None:
+                        # Per-worker kernel attribution: sum each worker's
+                        # measured x/m/z/u/n seconds, so fractions() reads
+                        # where fleet compute time actually went (total is
+                        # aggregate worker seconds, not barrier wall-clock).
+                        timers.add_elapsed(kernels)
+                    if tracer is not None:
+                        tracer.extend(events)
+                        if dropped:
+                            tracer.point(
+                                "drop",
+                                f"worker {idx} ring dropped {dropped} events",
+                                worker=idx,
+                                segment=segment,
+                            )
                 if timers is not None:
-                    # Barrier semantics: the fleet waits for the slowest shard.
-                    timers["x"].elapsed += max(elapsed)
-                    timers["x"].calls += iterations
+                    for kind in UPDATE_KINDS:
+                        timers[kind].calls += iterations
+                if tracer is not None:
+                    tracer.add_span(
+                        "segment",
+                        f"fleet sweep x{iterations}",
+                        seg_t0,
+                        monotonic_now(),
+                        worker=PARENT,
+                        segment=segment,
+                        sweeps=iterations,
+                        shards=len(self.shards),
+                    )
             return failure
-        t0 = time.perf_counter()
-        futures = [
-            self._pool.submit(
-                run_variant_sweeps,
+        need_kernels = timers is not None or tracer is not None
+        shard_timers = [
+            KernelTimers() if need_kernels else None for _ in self.shards
+        ]
+        spans: list[tuple[float, float] | None] = [None] * len(self.shards)
+
+        def _task(shard: _Shard, ktimers, slot: int) -> None:
+            m0 = monotonic_now()
+            run_variant_sweeps(
                 shard.batch.graph,
                 shard.state,
                 iterations,
                 self.variant,
                 shard.plan,
+                ktimers,
             )
-            for shard in self.shards
+            spans[slot] = (m0, monotonic_now())
+
+        seg_t0 = monotonic_now()
+        futures = [
+            self._pool.submit(_task, shard, shard_timers[i], i)
+            for i, shard in enumerate(self.shards)
         ]
         done, _ = wait(futures)
         failure = None
@@ -516,13 +626,39 @@ class ShardedBatchedSolver:
             exc = f.exception()
             if exc is not None:
                 failure = failure or exc
-        if failure is None and timers is not None:
-            timers["x"].elapsed += time.perf_counter() - t0
-            timers["x"].calls += iterations
+        if failure is None and need_kernels:
+            for idx, (ktimers, span) in enumerate(zip(shard_timers, spans)):
+                if timers is not None:
+                    timers.add_elapsed(ktimers.elapsed_by_kind())
+                if tracer is not None and span is not None:
+                    tracer.extend(
+                        segment_events(
+                            worker=idx,
+                            segment=segment,
+                            t0=span[0],
+                            t1=span[1],
+                            sweeps=iterations,
+                            kernel_seconds=ktimers.elapsed_by_kind(),
+                        )
+                    )
+            if timers is not None:
+                for kind in UPDATE_KINDS:
+                    timers[kind].calls += iterations
+            if tracer is not None:
+                tracer.add_span(
+                    "segment",
+                    f"fleet sweep x{iterations}",
+                    seg_t0,
+                    monotonic_now(),
+                    worker=PARENT,
+                    segment=segment,
+                    sweeps=iterations,
+                    shards=len(self.shards),
+                )
         return failure
 
-    def _collect(self, shard: _Shard) -> float:
-        """Wait for one shard's run result, surfacing worker failures.
+    def _collect(self, shard: _Shard):
+        """Wait for one shard's run reply payload, surfacing worker failures.
 
         A worker relays sweep exceptions over ``done_q`` (raised here as
         plain ``RuntimeError`` — deterministic, not retried); a worker
@@ -545,8 +681,8 @@ class ShardedBatchedSolver:
         return payload
 
     def _restart_and_replay(
-        self, idx: int, shard: _Shard, iterations: int, fault: WorkerFault
-    ) -> float:
+        self, idx: int, shard: _Shard, run_cmd: tuple, fault: WorkerFault
+    ):
         """Recover a crashed shard worker: fresh fork, replay the segment.
 
         The parent's ``shard.state`` is authoritative (only updated after
@@ -573,7 +709,7 @@ class ShardedBatchedSolver:
                 f"(attempt {attempt + 1}/{self.policy.max_restarts})",
             )
             _push_shared(shard.views, shard.state)
-            shard.cmd_q.put(("run", iterations))
+            shard.cmd_q.put(run_cmd)
             try:
                 return self._collect(shard)
             except WorkerFault as again:
@@ -640,7 +776,9 @@ class ShardedBatchedSolver:
         frozen_iterations = np.full(B, -1, dtype=np.int64)
         last_residuals: list[Residuals | None] = [None] * B
         rho_by_instance = self.rho_rows()
+        tracer = self.tracer
         t0 = time.perf_counter()
+        solve_t0 = monotonic_now()
 
         if self.iteration >= max_iterations:
             # No sweeps will run (max_iterations == 0, or a kept iterate
@@ -668,6 +806,10 @@ class ShardedBatchedSolver:
                 if res[i].converged:
                     frozen_iterations[i] = self.iteration
                     active[i] = False
+                    if tracer is not None:
+                        tracer.point(
+                            "freeze", f"instance {i}", segment=self.iteration
+                        )
             if not active.any():
                 break
             # Per-instance ρ adaptation, applied shard-locally; frozen
@@ -684,6 +826,15 @@ class ShardedBatchedSolver:
                     apply_rho_scale(shard.state, scale)
 
         wall = time.perf_counter() - t0
+        if tracer is not None:
+            tracer.add_span(
+                "solve",
+                f"sharded solve B={B}",
+                solve_t0,
+                monotonic_now(),
+                segment=self.iteration,
+                converged=int((frozen_iterations >= 0).sum()),
+            )
         results: list[ADMMResult] = []
         for shard in self.shards:
             for j in range(shard.size):

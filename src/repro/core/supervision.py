@@ -178,9 +178,15 @@ class FaultLog:
 
     Append-only; never consulted by the solver's control flow, so replaying
     a recovered solve produces the same math with a different log.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, duck-typed) mirrors every
+    recorded event onto the fleet trace timeline as a point event of the
+    same kind, so fault history shows up interleaved with segments and
+    steals; the log itself stays the stable API.
     """
 
     events: list[FaultEvent] = field(default_factory=list)
+    tracer: object | None = field(default=None, repr=False, compare=False)
 
     def record(
         self,
@@ -194,6 +200,17 @@ class FaultLog:
             raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
         event = FaultEvent(kind, int(iteration), int(shard), detail, instances)
         self.events.append(event)
+        if self.tracer is not None:
+            data = {"detail": detail}
+            if instances:
+                data["instances"] = list(instances)
+            self.tracer.point(
+                kind,
+                f"shard {event.shard}",
+                worker=event.shard,
+                segment=event.iteration,
+                **data,
+            )
         return event
 
     def by_kind(self, kind: str) -> list[FaultEvent]:

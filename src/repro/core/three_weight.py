@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.state import ADMMState
 from repro.graph.factor_graph import FactorGraph
+from repro.utils.timing import NULL_TIMERS
 
 
 def x_update_with_weights(graph: FactorGraph, state: ADMMState) -> np.ndarray:
@@ -96,13 +97,24 @@ def u_update_weighted(graph: FactorGraph, state: ADMMState) -> None:
     state.u[:] = np.where(standard, updated, 0.0)
 
 
-def run_iteration_twa(graph: FactorGraph, state: ADMMState) -> None:
-    """One full three-weight sweep (x, m, weighted-z, gated-u, n)."""
-    x_update_with_weights(graph, state)
-    np.add(state.x, state.u, out=state.m)
-    z_update_weighted(graph, state)
-    u_update_weighted(graph, state)
-    np.subtract(state.z[graph.flat_edge_to_z], state.u, out=state.n)
+def run_iteration_twa(graph: FactorGraph, state: ADMMState, timers=None) -> None:
+    """One full three-weight sweep (x, m, weighted-z, gated-u, n).
+
+    With ``timers`` (a :class:`repro.utils.timing.KernelTimers`), each
+    kernel's time is accumulated; the math is identical either way (the
+    untimed path uses no-op timers, same kernel order, same arrays).
+    """
+    t = NULL_TIMERS if timers is None else timers
+    with t["x"]:
+        x_update_with_weights(graph, state)
+    with t["m"]:
+        np.add(state.x, state.u, out=state.m)
+    with t["z"]:
+        z_update_weighted(graph, state)
+    with t["u"]:
+        u_update_weighted(graph, state)
+    with t["n"]:
+        np.subtract(state.z[graph.flat_edge_to_z], state.u, out=state.n)
     state.iteration += 1
 
 
@@ -111,7 +123,9 @@ def run_iteration_twa(graph: FactorGraph, state: ADMMState) -> None:
 # --------------------------------------------------------------------- #
 
 
-def run_iterations_twa(graph: FactorGraph, state: ADMMState, iterations: int) -> None:
+def run_iterations_twa(
+    graph: FactorGraph, state: ADMMState, iterations: int, timers=None
+) -> None:
     """Advance ``state`` by ``iterations`` three-weight sweeps.
 
     Works unchanged on a block-diagonal fleet graph: every TWA update is
@@ -125,7 +139,7 @@ def run_iterations_twa(graph: FactorGraph, state: ADMMState, iterations: int) ->
     if iterations < 0:
         raise ValueError(f"iterations must be >= 0, got {iterations}")
     for _ in range(iterations):
-        run_iteration_twa(graph, state)
+        run_iteration_twa(graph, state, timers)
 
 
 def solve_batch_twa(batch, rho=1.0, alpha=1.0, schedule=None, **solve_kwargs):

@@ -97,6 +97,21 @@ def run_iteration(graph: FactorGraph, state: ADMMState) -> None:
     state.iteration += 1
 
 
+def run_iteration_timed(graph: FactorGraph, state: ADMMState, timers) -> None:
+    """One vectorized sweep accumulating per-kernel time into ``timers``.
+
+    Identical math to :func:`run_iteration` — kernels run in the same
+    order on the same arrays — so timed and untimed sweeps produce
+    bit-identical iterates.  ``timers`` is a
+    :class:`repro.utils.timing.KernelTimers` (or anything indexable by
+    update kind yielding context managers).
+    """
+    for kind, kernel in VECTOR_KERNELS:
+        with timers[kind]:
+            kernel(graph, state)
+    state.iteration += 1
+
+
 # --------------------------------------------------------------------- #
 # Per-element (reference) kernels                                        #
 # --------------------------------------------------------------------- #

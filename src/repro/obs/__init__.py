@@ -1,0 +1,67 @@
+"""repro.obs — dependency-free fleet observability.
+
+Structured trace events on a unified (monotonic, segment, worker) clock,
+a small metrics registry, and exporters for Chrome trace-event JSON
+(Perfetto / ``chrome://tracing``), Prometheus text exposition, and a
+plain-text timeline report.
+
+Enable tracing either per solver (``tracer=Tracer()``) or globally with
+``REPRO_TRACE=1``; off by default with near-zero disabled overhead.
+See the "Observability" section of :mod:`repro` for a walkthrough.
+"""
+
+from repro.obs.events import (
+    KINDS,
+    PARENT,
+    POINT_KINDS,
+    SPAN_KINDS,
+    TRACE_ENV,
+    EventRing,
+    TraceEvent,
+    Tracer,
+    default_tracer,
+    now,
+    segment_events,
+    trace_enabled,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fleet_metrics,
+)
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    timeline_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "EventRing",
+    "default_tracer",
+    "trace_enabled",
+    "segment_events",
+    "now",
+    "PARENT",
+    "TRACE_ENV",
+    "KINDS",
+    "SPAN_KINDS",
+    "POINT_KINDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "fleet_metrics",
+    "DEFAULT_BUCKETS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "prometheus_text",
+    "timeline_report",
+]

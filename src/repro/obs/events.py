@@ -1,0 +1,310 @@
+"""Typed structured events on a unified fleet clock.
+
+Every layer of the fleet stack (batched solver, shard workers, the
+rebalancer, supervision, the service) emits :class:`TraceEvent` records
+stamped with one shared clock:
+
+* **monotonic time** — ``time.monotonic()``.  ``CLOCK_MONOTONIC`` is a
+  per-boot clock shared by every process on the host, so timestamps taken
+  inside forked shard workers are directly comparable with the parent's.
+* **segment index** — the fleet sweep count at the start of the segment
+  the event belongs to (the solver's ``iteration`` counter).
+* **worker id** — the shard index that produced the event, or
+  :data:`PARENT` (``-1``) for the driver process.
+
+Workers buffer events in a bounded :class:`EventRing` and ship them back
+piggybacked on their existing result-queue replies at segment boundaries;
+the parent folds them into its :class:`Tracer`, whose :meth:`Tracer.timeline`
+is the single causally ordered fleet timeline (sorted by monotonic time,
+ties broken by segment then worker; per-producer order is preserved).
+
+Tracing is **off by default**: solvers take ``tracer=None`` and consult
+:func:`default_tracer`, which returns ``None`` unless the ``REPRO_TRACE``
+environment variable is set — so the disabled path is a single ``if`` on
+``None`` per segment.  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.utils.timing import UPDATE_KINDS
+
+#: Worker id used for events emitted by the driver (parent) process.
+PARENT = -1
+
+#: Environment variable that turns tracing on globally (see default_tracer).
+TRACE_ENV = "REPRO_TRACE"
+
+#: Event kinds with duration (``t1 > t0`` allowed).
+SPAN_KINDS = ("solve", "segment", "kernel", "request")
+
+#: Instantaneous event kinds (``t1 == t0``).
+POINT_KINDS = (
+    "steal",
+    "reshard",
+    "rebalance",
+    "grow",
+    "shrink",
+    "freeze",
+    "crash",
+    "restart",
+    "failover",
+    "migration",
+    "submit",
+    "admit",
+    "evict",
+    "drop",
+)
+
+#: Every kind a tracer accepts.
+KINDS = SPAN_KINDS + POINT_KINDS
+
+
+def now() -> float:
+    """The unified fleet clock (monotonic, comparable across fork)."""
+    return time.monotonic()
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event on the (monotonic, segment, worker) clock.
+
+    Picklable (it rides worker result queues); ``data`` carries small
+    kind-specific payloads (sweep counts, instance ids, details).
+    """
+
+    kind: str
+    name: str
+    t0: float
+    t1: float
+    segment: int = 0
+    worker: int = PARENT
+    data: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def is_span(self) -> bool:
+        return self.kind in SPAN_KINDS
+
+    def shifted(self, dt: float) -> "TraceEvent":
+        """A copy with both timestamps shifted by ``dt`` seconds."""
+        return replace(self, t0=self.t0 + dt, t1=self.t1 + dt)
+
+
+def _check_kind(kind: str) -> None:
+    if kind not in KINDS:
+        raise ValueError(f"unknown event kind {kind!r}; expected one of {KINDS}")
+
+
+class EventRing:
+    """Bounded event buffer: oldest events are dropped, and counted.
+
+    Workers hold one ring per process so a pathological segment cannot grow
+    an unbounded buffer; :meth:`drain` hands the buffered events (plus the
+    drop count) to the reply that ships them to the parent.
+    """
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._events: deque[TraceEvent] = deque()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+            self.dropped += 1
+        self._events.append(event)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for ev in events:
+            self.append(ev)
+
+    def drain(self) -> list[TraceEvent]:
+        """Return and clear the buffered events (drop count is kept)."""
+        out = list(self._events)
+        self._events.clear()
+        return out
+
+
+class Tracer:
+    """Parent-side event collector: emit, merge, and order fleet events.
+
+    A ``Tracer`` object means tracing is *on*; the disabled state is simply
+    ``tracer is None`` (see :func:`default_tracer`), so hot paths pay one
+    ``None`` check per segment when tracing is off.
+    """
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        self._ring = EventRing(capacity)
+        self.t_start = now()
+
+    # -- emission ------------------------------------------------------ #
+
+    def emit(self, event: TraceEvent) -> TraceEvent:
+        _check_kind(event.kind)
+        self._ring.append(event)
+        return event
+
+    def point(
+        self,
+        kind: str,
+        name: str = "",
+        *,
+        worker: int = PARENT,
+        segment: int = 0,
+        t: float | None = None,
+        **data,
+    ) -> TraceEvent:
+        """Emit an instantaneous event (steal, fault, admit, ...)."""
+        t = now() if t is None else t
+        return self.emit(TraceEvent(kind, name, t, t, segment, worker, data))
+
+    def add_span(
+        self,
+        kind: str,
+        name: str,
+        t0: float,
+        t1: float,
+        *,
+        worker: int = PARENT,
+        segment: int = 0,
+        **data,
+    ) -> TraceEvent:
+        """Emit a completed span from explicit timestamps."""
+        return self.emit(TraceEvent(kind, name, t0, t1, segment, worker, data))
+
+    @contextmanager
+    def span(
+        self,
+        kind: str,
+        name: str,
+        *,
+        worker: int = PARENT,
+        segment: int = 0,
+        **data,
+    ) -> Iterator[dict]:
+        """Context manager emitting a span on exit; yields its ``data``."""
+        _check_kind(kind)
+        t0 = now()
+        try:
+            yield data
+        finally:
+            self.emit(TraceEvent(kind, name, t0, now(), segment, worker, data))
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Fold worker-shipped events into the fleet timeline."""
+        self._ring.extend(events)
+
+    # -- inspection ---------------------------------------------------- #
+
+    @property
+    def dropped(self) -> int:
+        return self._ring.dropped
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> list[TraceEvent]:
+        """The collected events in arrival order (not cleared)."""
+        return list(self._ring._events)
+
+    def timeline(self) -> list[TraceEvent]:
+        """The merged, causally ordered fleet timeline.
+
+        Sorted by monotonic start time (the clock shared by parent and
+        forked workers), ties broken by segment index then worker id; the
+        sort is stable so each producer's own ordering is preserved.
+        """
+        return sorted(
+            self._ring._events, key=lambda e: (e.t0, e.segment, e.worker, e.t1)
+        )
+
+    def clear(self) -> None:
+        self._ring.drain()
+        self._ring.dropped = 0
+
+
+def segment_events(
+    *,
+    worker: int,
+    segment: int,
+    t0: float,
+    t1: float,
+    sweeps: int,
+    kernel_seconds: dict | None = None,
+    name: str | None = None,
+    **data,
+) -> list[TraceEvent]:
+    """Build the standard events for one worker's sweep segment.
+
+    One ``segment`` span covering [t0, t1), plus one ``kernel`` span per
+    update kind with nonzero measured time.  Kernel spans carry the *real*
+    accumulated duration of that kernel over the segment but are laid out
+    back-to-back from ``t0`` (their placement within the segment is
+    approximate; their durations and fractions are exact).
+    """
+    events = [
+        TraceEvent(
+            "segment",
+            name if name is not None else f"sweep[{sweeps}]",
+            t0,
+            t1,
+            segment,
+            worker,
+            {"sweeps": sweeps, **data},
+        )
+    ]
+    if kernel_seconds:
+        t = t0
+        for kind in UPDATE_KINDS:
+            s = float(kernel_seconds.get(kind, 0.0))
+            if s <= 0.0:
+                continue
+            events.append(
+                TraceEvent("kernel", kind, t, t + s, segment, worker, {})
+            )
+            t += s
+    return events
+
+
+def trace_enabled() -> bool:
+    """True when the ``REPRO_TRACE`` environment switch is on."""
+    return os.environ.get(TRACE_ENV, "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+_global_tracer: Tracer | None = None
+
+
+def default_tracer() -> Tracer | None:
+    """The tracer solvers use when none is passed explicitly.
+
+    Returns ``None`` (tracing disabled) unless ``REPRO_TRACE`` is set, in
+    which case one process-wide :class:`Tracer` is shared by every solver
+    constructed in this process.
+    """
+    global _global_tracer
+    if not trace_enabled():
+        return None
+    if _global_tracer is None:
+        _global_tracer = Tracer()
+    return _global_tracer

@@ -1,0 +1,195 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, plain-text timeline.
+
+The Chrome export follows the Trace Event Format (the JSON consumed by
+Perfetto and ``chrome://tracing``): spans become complete events
+(``"ph": "X"``, microsecond ``ts``/``dur``), points become instants
+(``"ph": "i"``), and per-worker metadata events name the rows.  Load the
+written file directly at https://ui.perfetto.dev.
+
+:func:`validate_chrome_trace` checks an export against the format's
+required fields and is the gate CI runs on every ``--trace`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _Counter
+from typing import Iterable
+
+from repro.obs.events import PARENT, SPAN_KINDS, TraceEvent
+from repro.obs.metrics import MetricsRegistry, fleet_metrics
+from repro.utils.timing import UPDATE_KINDS, format_seconds
+
+#: ph values the validator accepts (complete, instant, metadata).
+_VALID_PHASES = {"X", "i", "M"}
+
+
+def _worker_label(worker: int) -> str:
+    return "parent" if worker == PARENT else f"worker {worker}"
+
+
+def chrome_trace(events: Iterable[TraceEvent], *, pid: int = 0) -> dict:
+    """Render a timeline as a Chrome trace-event JSON object.
+
+    Timestamps are shifted so the earliest event starts at 0 and expressed
+    in microseconds, per the format.  Worker ids map to thread rows
+    (``tid``); the parent gets its own labeled row.
+    """
+    events = list(events)
+    t_base = min((ev.t0 for ev in events), default=0.0)
+    trace_events: list[dict] = []
+    workers: dict[int, str] = {}
+    for ev in events:
+        tid = ev.worker - PARENT  # parent -> row 0, worker k -> row k+1
+        workers.setdefault(tid, _worker_label(ev.worker))
+        ts = (ev.t0 - t_base) * 1e6
+        record = {
+            "name": ev.name or ev.kind,
+            "cat": ev.kind,
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "args": {"segment": ev.segment, **ev.data},
+        }
+        if ev.is_span:
+            record["ph"] = "X"
+            record["dur"] = max(ev.duration, 0.0) * 1e6
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    for tid, label in sorted(workers.items()):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path) -> dict:
+    """Write the Chrome trace JSON to ``path``; returns the exported object."""
+    obj = chrome_trace(events)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=1)
+        fh.write("\n")
+    return obj
+
+
+def validate_chrome_trace(obj) -> list[str]:
+    """Check an export against the trace-event format; returns problems.
+
+    An empty list means the object is a valid JSON-object-format trace
+    (``traceEvents`` array of events with name/ph/pid/tid/ts, non-negative
+    ``dur`` on complete events, a scope on instants).
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    evs = obj.get("traceEvents")
+    if not isinstance(evs, list):
+        return ["missing or non-array 'traceEvents'"]
+    for i, ev in enumerate(evs):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: bad ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"{where}: missing numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: complete event missing dur")
+            elif dur < 0:
+                problems.append(f"{where}: negative dur {dur}")
+        if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
+            problems.append(f"{where}: bad instant scope {ev.get('s')!r}")
+        args = ev.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def prometheus_text(source) -> str:
+    """Prometheus text exposition for a registry or an event timeline."""
+    if isinstance(source, MetricsRegistry):
+        return source.render()
+    return fleet_metrics(source).render()
+
+
+def timeline_report(
+    events: Iterable[TraceEvent], *, limit: int | None = 200
+) -> str:
+    """Human-readable fleet timeline (causal order) with summary tables."""
+    events = sorted(events, key=lambda e: (e.t0, e.segment, e.worker, e.t1))
+    if not events:
+        return "fleet timeline: no events\n"
+    t_base = events[0].t0
+    span = max(ev.t1 for ev in events) - t_base
+    workers = sorted({ev.worker for ev in events})
+    lines = [
+        f"fleet timeline: {len(events)} events, "
+        f"{len(workers)} lanes, span {format_seconds(span)}",
+        "",
+    ]
+
+    by_kind = _Counter(ev.kind for ev in events)
+    lines.append(
+        "events by kind: "
+        + ", ".join(f"{k}={n}" for k, n in sorted(by_kind.items()))
+    )
+
+    kernel_seconds = {k: 0.0 for k in UPDATE_KINDS}
+    for ev in events:
+        if ev.kind == "kernel" and ev.name in kernel_seconds:
+            kernel_seconds[ev.name] += ev.duration
+    total = sum(kernel_seconds.values())
+    if total > 0.0:
+        parts = [
+            f"{k}:{format_seconds(kernel_seconds[k])}({kernel_seconds[k] / total:.0%})"
+            for k in UPDATE_KINDS
+        ]
+        lines.append("kernel time:    " + " ".join(parts))
+
+    busy: dict[int, float] = {}
+    for ev in events:
+        if ev.kind == "segment":
+            busy[ev.worker] = busy.get(ev.worker, 0.0) + ev.duration
+    if busy:
+        lines.append(
+            "segment busy:   "
+            + " ".join(
+                f"{_worker_label(w)}={format_seconds(s)}"
+                for w, s in sorted(busy.items())
+            )
+        )
+    lines.append("")
+
+    shown = events if limit is None else events[:limit]
+    for ev in shown:
+        stamp = f"+{ev.t0 - t_base:10.6f}s seg {ev.segment:>4} {_worker_label(ev.worker):>9}"
+        if ev.is_span:
+            body = f"{ev.kind:<8} {ev.name} {format_seconds(ev.duration)}"
+        else:
+            body = f"{ev.kind:<8} {ev.name}"
+        extra = {k: v for k, v in ev.data.items()}
+        if extra:
+            body += "  " + " ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+        lines.append(f"[{stamp}] {body}")
+    if limit is not None and len(events) > limit:
+        lines.append(f"... ({len(events) - limit} more events)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,259 @@
+"""A small counter/gauge/histogram registry with Prometheus text exposition.
+
+Dependency-free and deliberately tiny: enough to publish fleet health
+(segments swept, kernel seconds per update kind, steals, faults, request
+latency) in the standard text format that Prometheus / ``promtool`` and
+every scrape-compatible agent understand.
+
+    reg = MetricsRegistry()
+    reg.counter("repro_steals_total", "Work-stealing events").inc()
+    reg.histogram("repro_request_latency_seconds").observe(0.12)
+    print(reg.render())
+
+:func:`fleet_metrics` derives the standard fleet metrics from a
+:class:`~repro.obs.events.TraceEvent` timeline, so any traced solve can be
+scraped without new plumbing in the solvers.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable
+
+from repro.obs.events import PARENT, TraceEvent
+
+#: Default histogram buckets (seconds), Prometheus' classic latency ladder.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _format_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def samples(self) -> list[tuple[str, tuple, float]]:
+        return [(self.name, self.labels, self.value)]
+
+
+class Gauge:
+    """Value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def samples(self) -> list[tuple[str, tuple, float]]:
+        return [(self.name, self.labels, self.value)]
+
+
+class Histogram:
+    """Cumulative histogram with fixed upper-bound buckets (le semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        # One count per finite bound plus the implicit +Inf bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    def samples(self) -> list[tuple[str, tuple, float]]:
+        out = []
+        cumulative = 0
+        for bound, c in zip(self.bounds, self.counts):
+            cumulative += c
+            out.append(
+                (
+                    self.name + "_bucket",
+                    self.labels + (("le", _format_value(bound)),),
+                    float(cumulative),
+                )
+            )
+        out.append(
+            (self.name + "_bucket", self.labels + (("le", "+Inf"),), float(self.count))
+        )
+        out.append((self.name + "_sum", self.labels, self.sum))
+        out.append((self.name + "_count", self.labels, float(self.count)))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by (metric name, label set)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple], object] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+        self._order: list[str] = []
+
+    def _get(self, cls, name: str, help: str, labels: dict, **kwargs):
+        label_items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        declared = self._kinds.get(name)
+        if declared is None:
+            self._kinds[name] = cls.kind
+            self._help[name] = help
+            self._order.append(name)
+        elif declared != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {declared}, not {cls.kind}"
+            )
+        elif help and not self._help[name]:
+            self._help[name] = help
+        key = (name, label_items)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, label_items, **kwargs)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def render(self) -> str:
+        """Prometheus text exposition (version 0.0.4)."""
+        lines: list[str] = []
+        for name in self._order:
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            for (mname, _), metric in sorted(self._metrics.items()):
+                if mname != name:
+                    continue
+                for sample_name, labels, value in metric.samples():
+                    lines.append(
+                        f"{sample_name}{_label_str(labels)} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def fleet_metrics(
+    events: Iterable[TraceEvent], registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Aggregate a trace timeline into the standard fleet metrics.
+
+    Populates segment/sweep counters, per-kernel time (the paper's
+    time-fraction table as ``repro_kernel_seconds_total{kernel=...}``),
+    steal/fault counters, service admission/eviction counters, per-worker
+    busy-time gauges, and a request-latency histogram (from ``evict``
+    events that carry a ``latency`` payload).
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    segments = reg.counter("repro_segments_total", "Sweep segments executed")
+    sweeps = reg.counter("repro_sweeps_total", "ADMM sweeps executed")
+    steals = reg.counter("repro_steals_total", "Work-stealing migrations")
+    latency = reg.histogram(
+        "repro_request_latency_seconds", "Per-request solve latency"
+    )
+    for ev in events:
+        if ev.kind == "segment":
+            segments.inc()
+            sweeps.inc(float(ev.data.get("sweeps", 0)))
+            who = "parent" if ev.worker == PARENT else str(ev.worker)
+            reg.gauge(
+                "repro_worker_busy_seconds",
+                "Time spent inside sweep segments",
+                worker=who,
+            ).inc(ev.duration)
+        elif ev.kind == "kernel":
+            reg.counter(
+                "repro_kernel_seconds_total",
+                "Per-kernel sweep time (x/m/z/u/n)",
+                kernel=ev.name,
+            ).inc(ev.duration)
+        elif ev.kind in ("steal", "migration"):
+            steals.inc()
+        elif ev.kind in ("crash", "restart", "failover"):
+            reg.counter(
+                "repro_faults_total", "Worker faults by kind", kind=ev.kind
+            ).inc()
+        elif ev.kind in ("submit", "admit", "evict"):
+            reg.counter(
+                "repro_requests_total", "Service request transitions", phase=ev.kind
+            ).inc()
+            if ev.kind == "evict" and "latency" in ev.data:
+                latency.observe(float(ev.data["latency"]))
+    return reg

@@ -54,6 +54,37 @@ class Timer:
 UPDATE_KINDS = ("x", "m", "z", "u", "n")
 
 
+class _NullTimer:
+    """No-op context manager standing in for a :class:`Timer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _NullTimers:
+    """``timers[kind]``-compatible object that times nothing.
+
+    Lets a kernel loop be written once with ``with timers[kind]:`` blocks
+    and run untimed by substituting this singleton (``NULL_TIMERS``).
+    """
+
+    __slots__ = ()
+
+    def __getitem__(self, kind: str) -> _NullTimer:
+        return _NULL_TIMER
+
+
+NULL_TIMERS = _NullTimers()
+
+
 @dataclass
 class KernelTimers:
     """One :class:`Timer` per Algorithm-2 kernel (x, m, z, u, n)."""
@@ -72,6 +103,30 @@ class KernelTimers:
     @property
     def total(self) -> float:
         return sum(t.elapsed for t in self.timers.values())
+
+    def elapsed_by_kind(self) -> dict[str, float]:
+        """Plain ``{kind: seconds}`` snapshot (picklable, queue-friendly)."""
+        return {k: t.elapsed for k, t in self.timers.items()}
+
+    def add_elapsed(self, seconds_by_kind: dict[str, float], calls: int = 0) -> None:
+        """Fold externally measured per-kernel seconds into these timers.
+
+        This is how the fleet solvers aggregate the per-kernel times their
+        shard workers measured and shipped back: summing across workers
+        keeps :meth:`fractions` faithful to where the compute time went
+        (``total`` then reads as aggregate worker seconds, not wall-clock).
+        """
+        for kind, seconds in seconds_by_kind.items():
+            timer = self.timers[kind]
+            timer.elapsed += float(seconds)
+            timer.calls += calls
+
+    def merge(self, other: "KernelTimers") -> None:
+        """Accumulate another :class:`KernelTimers` into this one."""
+        for kind, timer in other.timers.items():
+            mine = self.timers[kind]
+            mine.elapsed += timer.elapsed
+            mine.calls += timer.calls
 
     def fractions(self) -> dict[str, float]:
         """Fraction of total iteration time spent in each kernel.

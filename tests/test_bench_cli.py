@@ -108,7 +108,9 @@ class TestExitCodes:
     def test_fleet_propagates_rebalance_demo_failure(self, monkeypatch):
         import repro.bench.cli as cli
 
-        monkeypatch.setattr(cli, "run_fleet_rebalance_demo", lambda args: 1)
+        monkeypatch.setattr(
+            cli, "run_fleet_rebalance_demo", lambda args, tracer=None: 1
+        )
         assert (
             main(["fleet", "--sizes", "2", "--horizon", "3", "--rebalance"]) == 1
         )
@@ -119,7 +121,9 @@ class TestExitCodes:
         monkeypatch.setattr(
             cli, "run_fleet_elastic_demo", lambda args, iterations: 0
         )
-        monkeypatch.setattr(cli, "run_fleet_rebalance_demo", lambda args: 2)
+        monkeypatch.setattr(
+            cli, "run_fleet_rebalance_demo", lambda args, tracer=None: 2
+        )
         assert (
             main(
                 [

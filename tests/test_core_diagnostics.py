@@ -27,10 +27,25 @@ class TestSolveHistory:
         assert h.objective == [2.0, 1.5]
 
     def test_objective_optional(self):
+        # A check without an objective still consumes a row (nan), so every
+        # series stays index-aligned with `iterations`.
         h = SolveHistory()
         h.append(residuals_at(5), objective=None, rho_mean=2.0)
-        assert h.objective == []
+        assert len(h.objective) == 1
+        assert np.isnan(h.objective[0])
         assert h.rho == [2.0]
+
+    def test_objective_stays_aligned_with_iterations(self):
+        # Regression: mixed None/real objectives used to skip the None rows,
+        # silently misaligning `objective[i]` with `iterations[i]`.
+        h = SolveHistory()
+        h.append(residuals_at(10), objective=None, rho_mean=1.0)
+        h.append(residuals_at(20), objective=7.0, rho_mean=1.0)
+        h.append(residuals_at(30), objective=None, rho_mean=1.0)
+        assert len(h.objective) == len(h.iterations) == 3
+        assert np.isnan(h.objective[0])
+        assert h.objective[1] == 7.0
+        assert np.isnan(h.objective[2])
 
     def test_arrays(self):
         h = SolveHistory()

@@ -297,6 +297,82 @@ class TestValidationAndStats:
         assert done[0].wait_segments >= 0
         assert done[0].latency >= done[0].complete_time - done[0].submit_time - 1e-9
 
+    def test_stats_empty_service_is_all_zero(self, template):
+        with make_service(template) as service:
+            stats = service.stats()
+        assert stats.completed == 0
+        assert stats.p50_latency == stats.p95_latency == stats.p99_latency == 0.0
+        assert stats.mean_latency == stats.max_latency == 0.0
+        assert stats.instances_per_sec == 0.0
+        assert stats.sweeps_per_request_mean == 0.0
+
+    def test_stats_single_completion_collapses_percentiles(self, template):
+        with make_service(template) as service:
+            service.submit(params=make_params(np.random.default_rng(0), 1))
+            done = service.drain()
+            stats = service.stats()
+        lat = done[0].latency
+        assert stats.completed == 1
+        for v in (
+            stats.p50_latency,
+            stats.p95_latency,
+            stats.p99_latency,
+            stats.mean_latency,
+            stats.max_latency,
+        ):
+            assert v == pytest.approx(lat)
+        assert stats.sweeps_per_request_mean == done[0].sweeps
+
+    def test_stats_two_completions_interpolate(self, template):
+        rng = np.random.default_rng(5)
+        with make_service(template) as service:
+            service.submit(params=make_params(rng, 1))
+            service.submit(params=make_params(rng, 3))
+            done = service.drain()
+            stats = service.stats()
+        lats = sorted(r.latency for r in done)
+        assert stats.completed == 2
+        # numpy's linear interpolation: p50 of two samples is their mean,
+        # higher percentiles slide toward (but never past) the max.
+        assert stats.p50_latency == pytest.approx(np.mean(lats))
+        assert stats.mean_latency == pytest.approx(np.mean(lats))
+        assert (
+            stats.p50_latency
+            <= stats.p95_latency
+            <= stats.p99_latency
+            <= stats.max_latency + 1e-12
+        )
+        assert stats.max_latency == pytest.approx(lats[1])
+
+    def test_stats_after_drain_is_a_pure_read(self, template):
+        trace = poisson_trace(6, rate=2.0, seed=4, make_params=make_params)
+        with make_service(template) as service:
+            replay(service, trace)
+            first = service.stats()
+            again = service.stats()
+            service.step()  # idle segment: only the clock moves
+            after = service.stats()
+        assert first == again
+        assert after.completed == first.completed
+        assert after.segments == first.segments + 1
+        assert after.p99_latency == first.p99_latency
+        assert after.max_latency == first.max_latency
+
+    def test_stats_monotone_under_eviction_churn(self, template):
+        rng = np.random.default_rng(9)
+        with make_service(template) as service:
+            for i in range(6):
+                service.submit(params=make_params(rng, i))
+            prev = service.stats()
+            while service.pending or service.live:
+                service.step()
+                cur = service.stats()
+                assert cur.completed >= prev.completed
+                assert cur.segments == prev.segments + 1
+                assert cur.max_latency >= prev.max_latency
+                prev = cur
+        assert prev.completed == 6
+
 
 class TestTrafficGenerators:
     def test_poisson_trace_is_seed_deterministic(self):

@@ -1,0 +1,617 @@
+"""Tests for the observability subsystem (ISSUE 8: ``repro.obs``).
+
+Covers the three layers — typed events on the unified fleet clock, the
+metrics registry with Prometheus exposition, and the exporters — plus the
+end-to-end claims: a traced ``RebalancingShardedSolver`` run under faults
+and churn yields one causally ordered timeline carrying segment spans,
+per-worker kernel timings, steal and fault and request events; the Chrome
+export validates against the trace-event format; and tracing never
+changes results (traced solves are bit-identical to untraced ones).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedSolver
+from repro.core.rebalance import RebalancingShardedSolver
+from repro.core.service import FleetService
+from repro.core.sharded import ShardedBatchedSolver
+from repro.core.supervision import WorkerPolicy
+from repro.graph.batch import replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.obs.events import (
+    PARENT,
+    EventRing,
+    TraceEvent,
+    Tracer,
+    default_tracer,
+    segment_events,
+    trace_enabled,
+)
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    timeline_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, fleet_metrics
+from repro.prox.standard import DiagQuadProx
+from repro.testing.faults import FaultInjector
+from repro.utils.timing import UPDATE_KINDS
+
+#: Fast supervision for the fault-injection integration test.
+FAST = WorkerPolicy(
+    heartbeat_interval=0.05,
+    wait_timeout=2.0,
+    poll_interval=0.05,
+    max_restarts=1,
+    backoff=0.01,
+)
+
+
+def quad_template():
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    return b.build()
+
+
+def quad_batch(targets):
+    overrides = [{0: {"c": -np.asarray(t, dtype=float)}} for t in targets]
+    return replicate_graph(quad_template(), len(targets), overrides)
+
+
+def uneven_targets(B=8, easy=3):
+    rng = np.random.default_rng(3)
+    return np.concatenate(
+        [np.zeros((easy, 2)), rng.normal(size=(B - easy, 2)) * 20.0]
+    )
+
+
+SOLVE = dict(max_iterations=200, check_every=5, init="zeros")
+
+
+# --------------------------------------------------------------------- #
+# Events, rings, tracers.                                               #
+# --------------------------------------------------------------------- #
+
+
+class TestTraceEvent:
+    def test_span_and_point_properties(self):
+        span = TraceEvent("segment", "s", 1.0, 3.0, segment=2, worker=0)
+        assert span.is_span and span.duration == 2.0
+        pt = TraceEvent("steal", "p", 5.0, 5.0)
+        assert not pt.is_span and pt.duration == 0.0
+        assert pt.worker == PARENT
+
+    def test_shifted(self):
+        ev = TraceEvent("kernel", "x", 1.0, 2.0)
+        moved = ev.shifted(10.0)
+        assert (moved.t0, moved.t1) == (11.0, 12.0)
+        assert moved.kind == "kernel" and ev.t0 == 1.0
+
+    def test_picklable(self):
+        import pickle
+
+        ev = TraceEvent("steal", "s", 1.0, 1.0, data={"instances": [1, 2]})
+        assert pickle.loads(pickle.dumps(ev)) == ev
+
+
+class TestEventRing:
+    def test_bounded_with_drop_count(self):
+        ring = EventRing(capacity=3)
+        for i in range(5):
+            ring.append(TraceEvent("steal", str(i), float(i), float(i)))
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        names = [ev.name for ev in ring.drain()]
+        assert names == ["2", "3", "4"]  # oldest were dropped
+        assert len(ring) == 0
+        assert ring.dropped == 2  # drain keeps the count
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+
+
+class TestTracer:
+    def test_emit_rejects_unknown_kind(self):
+        tr = Tracer()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            tr.emit(TraceEvent("bogus", "x", 0.0, 0.0))
+        with pytest.raises(ValueError):
+            tr.point("nonsense")
+
+    def test_point_span_and_context_manager(self):
+        tr = Tracer()
+        tr.point("steal", "s", worker=1, segment=3, donor=0)
+        tr.add_span("segment", "seg", 1.0, 2.0, worker=0, sweeps=5)
+        with tr.span("solve", "solve") as data:
+            data["note"] = "ok"
+        assert len(tr) == 3
+        kinds = [ev.kind for ev in tr.events()]
+        assert kinds == ["steal", "segment", "solve"]
+        assert tr.events()[0].data == {"donor": 0}
+        assert tr.events()[2].data == {"note": "ok"}
+        solve = tr.events()[2]
+        assert solve.t1 >= solve.t0
+
+    def test_timeline_causal_order(self):
+        tr = Tracer()
+        # Emitted out of order: timeline sorts by (t0, segment, worker, t1).
+        tr.add_span("segment", "late", 5.0, 6.0, worker=1, segment=2)
+        tr.point("steal", "early", t=1.0, segment=0)
+        tr.add_span("segment", "tie-w0", 5.0, 6.0, worker=0, segment=2)
+        tl = tr.timeline()
+        assert [ev.name for ev in tl] == ["early", "tie-w0", "late"]
+
+    def test_extend_and_clear(self):
+        tr = Tracer()
+        tr.extend(
+            segment_events(
+                worker=2,
+                segment=4,
+                t0=1.0,
+                t1=2.0,
+                sweeps=5,
+                kernel_seconds={"x": 0.5, "z": 0.25},
+            )
+        )
+        assert len(tr) == 3  # segment + two kernel spans
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0
+
+
+class TestSegmentEvents:
+    def test_segment_plus_kernels_back_to_back(self):
+        evs = segment_events(
+            worker=1,
+            segment=7,
+            t0=10.0,
+            t1=11.0,
+            sweeps=5,
+            kernel_seconds={k: 0.1 for k in UPDATE_KINDS},
+        )
+        seg, kernels = evs[0], evs[1:]
+        assert seg.kind == "segment" and seg.data["sweeps"] == 5
+        assert [ev.name for ev in kernels] == list(UPDATE_KINDS)
+        t = 10.0
+        for ev in kernels:
+            assert ev.kind == "kernel" and ev.worker == 1 and ev.segment == 7
+            assert ev.t0 == pytest.approx(t)
+            assert ev.duration == pytest.approx(0.1)
+            t += 0.1
+
+    def test_zero_kernels_skipped_and_name_override(self):
+        evs = segment_events(
+            worker=0,
+            segment=0,
+            t0=0.0,
+            t1=1.0,
+            sweeps=1,
+            kernel_seconds={"x": 0.2, "m": 0.0},
+            name="failover shard 3",
+        )
+        assert evs[0].name == "failover shard 3"
+        assert [ev.name for ev in evs[1:]] == ["x"]
+
+    def test_no_kernel_seconds(self):
+        evs = segment_events(worker=0, segment=0, t0=0.0, t1=1.0, sweeps=2)
+        assert len(evs) == 1 and evs[0].kind == "segment"
+
+
+class TestDefaultTracer:
+    def test_env_gating(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not trace_enabled()
+        assert default_tracer() is None
+        for off in ("0", "false", "off", "no", ""):
+            monkeypatch.setenv("REPRO_TRACE", off)
+            assert not trace_enabled()
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert trace_enabled()
+        tr = default_tracer()
+        assert isinstance(tr, Tracer)
+        assert default_tracer() is tr  # process-wide singleton
+
+
+# --------------------------------------------------------------------- #
+# Metrics registry + Prometheus text.                                   #
+# --------------------------------------------------------------------- #
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        g = reg.gauge("g")
+        g.set(5)
+        g.dec(2)
+        assert g.value == 3.0
+        assert reg.counter("c_total") is c  # get-or-create
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("m")
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        samples = dict(
+            ((name, labels), value) for name, labels, value in h.samples()
+        )
+        assert samples[("lat_bucket", (("le", "0.1"),))] == 1
+        assert samples[("lat_bucket", (("le", "1"),))] == 3
+        assert samples[("lat_bucket", (("le", "+Inf"),))] == 4
+        assert samples[("lat_count", ())] == 4
+        assert samples[("lat_sum", ())] == pytest.approx(6.05)
+
+    def test_render_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_steals_total", "Steals").inc(2)
+        reg.gauge("repro_busy_seconds", worker="0").set(1.5)
+        reg.histogram("repro_lat", buckets=(1.0,)).observe(0.5)
+        text = reg.render()
+        assert "# HELP repro_steals_total Steals" in text
+        assert "# TYPE repro_steals_total counter" in text
+        assert "repro_steals_total 2" in text
+        assert 'repro_busy_seconds{worker="0"} 1.5' in text
+        assert "# TYPE repro_lat histogram" in text
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestFleetMetrics:
+    def make_timeline(self):
+        evs = segment_events(
+            worker=0,
+            segment=0,
+            t0=0.0,
+            t1=1.0,
+            sweeps=5,
+            kernel_seconds={"x": 0.25, "z": 0.5},
+        )
+        evs += segment_events(worker=1, segment=0, t0=0.0, t1=0.5, sweeps=5)
+        evs.append(TraceEvent("steal", "s", 1.0, 1.0))
+        evs.append(TraceEvent("migration", "m", 1.0, 1.0))
+        evs.append(TraceEvent("crash", "c", 1.0, 1.0))
+        evs.append(TraceEvent("restart", "r", 1.1, 1.1))
+        evs.append(TraceEvent("submit", "q", 1.2, 1.2))
+        evs.append(TraceEvent("admit", "q", 1.3, 1.3))
+        evs.append(
+            TraceEvent("evict", "q", 2.0, 2.0, data={"latency": 0.8})
+        )
+        return evs
+
+    def test_aggregation(self):
+        reg = fleet_metrics(self.make_timeline())
+        text = reg.render()
+        assert "repro_segments_total 2" in text
+        assert "repro_sweeps_total 10" in text
+        assert 'repro_kernel_seconds_total{kernel="x"} 0.25' in text
+        assert 'repro_kernel_seconds_total{kernel="z"} 0.5' in text
+        assert "repro_steals_total 2" in text  # steal + migration
+        assert 'repro_faults_total{kind="crash"} 1' in text
+        assert 'repro_faults_total{kind="restart"} 1' in text
+        assert 'repro_requests_total{phase="evict"} 1' in text
+        assert "repro_request_latency_seconds_count 1" in text
+        assert 'repro_worker_busy_seconds{worker="0"} 1' in text
+        assert 'repro_worker_busy_seconds{worker="1"} 0.5' in text
+
+    def test_prometheus_text_accepts_events_or_registry(self):
+        evs = self.make_timeline()
+        from_events = prometheus_text(evs)
+        from_registry = prometheus_text(fleet_metrics(evs))
+        assert from_events == from_registry
+
+
+# --------------------------------------------------------------------- #
+# Exporters.                                                            #
+# --------------------------------------------------------------------- #
+
+
+class TestChromeExport:
+    def make_events(self):
+        evs = segment_events(
+            worker=0,
+            segment=0,
+            t0=100.0,
+            t1=101.0,
+            sweeps=4,
+            kernel_seconds={"x": 0.5},
+        )
+        evs.append(
+            TraceEvent(
+                "segment", "parent", 100.0, 101.5, 0, PARENT, {"sweeps": 4}
+            )
+        )
+        evs.append(TraceEvent("steal", "s", 100.5, 100.5, 0, PARENT))
+        return evs
+
+    def test_structure_and_validation(self):
+        obj = chrome_trace(self.make_events())
+        assert validate_chrome_trace(obj) == []
+        assert obj["displayTimeUnit"] == "ms"
+        rows = obj["traceEvents"]
+        spans = [e for e in rows if e["ph"] == "X"]
+        instants = [e for e in rows if e["ph"] == "i"]
+        meta = [e for e in rows if e["ph"] == "M"]
+        assert len(spans) == 3 and len(instants) == 1
+        # tid mapping: parent -> 0, worker k -> k + 1; named via metadata.
+        names = {e["tid"]: e["args"]["name"] for e in meta}
+        assert names[0] == "parent" and names[1] == "worker 0"
+        # Timestamps rebased to zero, microseconds.
+        assert min(e["ts"] for e in spans) == 0.0
+        kernel = next(e for e in spans if e["cat"] == "kernel")
+        assert kernel["dur"] == pytest.approx(0.5e6)
+
+    def test_validator_catches_malformed(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        bad_events = {
+            "traceEvents": [
+                "not a dict",
+                {"ph": "Q", "name": "x", "pid": 0, "tid": 0, "ts": 0},
+                {"ph": "X", "name": "", "pid": 0, "tid": 0, "ts": 0, "dur": 1},
+                {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0},
+                {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0, "dur": -1},
+                {"ph": "i", "name": "x", "pid": 0, "tid": 0, "ts": 0, "s": "z"},
+                {"ph": "i", "name": "x", "pid": "0", "tid": 0, "ts": 0},
+            ]
+        }
+        problems = validate_chrome_trace(bad_events)
+        assert len(problems) == 7
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        obj = write_chrome_trace(self.make_events(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded == obj
+        assert validate_chrome_trace(loaded) == []
+
+
+class TestTimelineReport:
+    def test_report_contents(self):
+        evs = segment_events(
+            worker=0,
+            segment=0,
+            t0=0.0,
+            t1=1.0,
+            sweeps=5,
+            kernel_seconds={k: 0.1 for k in UPDATE_KINDS},
+        )
+        evs.append(TraceEvent("steal", "shard 1 -> 0", 0.5, 0.5))
+        text = timeline_report(evs)
+        assert "events by kind" in text
+        assert "kernel time:" in text
+        assert "segment busy:" in text
+        assert "steal" in text
+
+    def test_empty_and_limit(self):
+        assert "no events" in timeline_report([])
+        evs = [
+            TraceEvent("steal", str(i), float(i), float(i)) for i in range(10)
+        ]
+        text = timeline_report(evs, limit=3)
+        assert "(7 more events)" in text
+
+
+# --------------------------------------------------------------------- #
+# Solver integration: traced solves are bit-identical and complete.     #
+# --------------------------------------------------------------------- #
+
+
+class TestSolverIntegration:
+    def test_batched_solver_traced_bit_identical(self):
+        targets = uneven_targets()
+        with BatchedSolver(quad_batch(targets)) as plain:
+            ref = plain.solve_batch(**SOLVE)
+        tracer = Tracer()
+        with BatchedSolver(quad_batch(targets), tracer=tracer) as traced:
+            got = traced.solve_batch(**SOLVE)
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+        kinds = {ev.kind for ev in tracer.events()}
+        assert {"solve", "segment", "kernel", "freeze"} <= kinds
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_sharded_solver_traced_with_kernel_attribution(self, mode):
+        targets = uneven_targets()
+        with ShardedBatchedSolver(quad_batch(targets), num_shards=2) as plain:
+            ref = plain.solve_batch(**SOLVE)
+        tracer = Tracer()
+        with ShardedBatchedSolver(
+            quad_batch(targets), num_shards=2, mode=mode, tracer=tracer
+        ) as traced:
+            got = traced.solve_batch(**SOLVE)
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+        # Satellite 1: per-worker kernel attribution — every kernel gets
+        # real time (not everything lumped into "x"), so the paper's
+        # time-fraction table is reproducible in fleet mode.
+        timers = got[0].timers
+        fr = timers.fractions()
+        assert all(timers[k].elapsed > 0.0 for k in UPDATE_KINDS)
+        assert all(timers[k].calls > 0 for k in UPDATE_KINDS)
+        assert 0.0 < fr["x"] < 1.0 and 0.0 < fr["z"] < 1.0
+        assert sum(fr.values()) == pytest.approx(1.0)
+        # Worker lanes show up with their own kernel spans.
+        workers = {
+            ev.worker for ev in tracer.events() if ev.kind == "kernel"
+        }
+        assert workers == {0, 1}
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_rebalancing_solver_traced_bit_identical(self, mode):
+        targets = uneven_targets()
+        with BatchedSolver(quad_batch(targets)) as plain:
+            ref = plain.solve_batch(**SOLVE)
+        tracer = Tracer()
+        with RebalancingShardedSolver(
+            quad_batch(targets),
+            num_shards=3,
+            mode=mode,
+            steal_threshold=2,
+            tracer=tracer,
+        ) as solver:
+            got = solver.solve_batch(**SOLVE)
+            assert solver.steal_log  # the skew makes stealing happen
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+        kinds = {ev.kind for ev in tracer.events()}
+        assert {"solve", "segment", "kernel", "freeze", "steal"} <= kinds
+        # Per-worker kernel attribution holds here too.
+        timers = got[0].timers
+        assert all(timers[k].elapsed > 0.0 for k in UPDATE_KINDS)
+
+    def test_traced_fleet_under_faults_and_churn(self):
+        """The acceptance scenario: one merged, causally ordered timeline.
+
+        Two traced process-mode rebalancing solves under kill fault plans
+        share one tracer: the first has restart budget (crash leads to
+        restart-and-replay), the second has none (crash leads to parent
+        failover and roster migration).  The merged timeline carries
+        segment spans, per-worker kernel timings, steal, and fault
+        (crash/restart/failover/migration) events in causal order — and
+        both results still equal the crash-free plain solve exactly.
+        """
+        targets = uneven_targets()
+        with BatchedSolver(quad_batch(targets)) as plain:
+            ref = plain.solve_batch(**SOLVE)
+        tracer = Tracer()
+        with RebalancingShardedSolver(
+            quad_batch(targets),
+            num_shards=3,
+            mode="process",
+            steal_threshold=2,
+            policy=FAST,
+            injector=FaultInjector("kill:1@1"),
+            tracer=tracer,
+        ) as solver:
+            got = solver.solve_batch(**SOLVE)
+            log = solver.fault_log
+            assert log.crashes and log.restarts
+            assert solver.steal_log
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+
+        doom = WorkerPolicy(
+            heartbeat_interval=0.05,
+            wait_timeout=2.0,
+            poll_interval=0.05,
+            max_restarts=0,
+        )
+        with RebalancingShardedSolver(
+            quad_batch(targets),
+            num_shards=3,
+            mode="process",
+            steal_threshold=2,
+            policy=doom,
+            injector=FaultInjector("kill:1@1"),
+            tracer=tracer,
+        ) as solver2:
+            got2 = solver2.solve_batch(**SOLVE)
+            log2 = solver2.fault_log
+            assert log2.crashes and log2.failovers and log2.migrations
+            assert solver2.num_shards == 2  # dead shard dissolved
+        for a, b in zip(got2, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+
+        tl = tracer.timeline()
+        kinds = {ev.kind for ev in tl}
+        assert {
+            "solve",
+            "segment",
+            "kernel",
+            "steal",
+            "crash",
+            "restart",
+            "failover",
+            "migration",
+        } <= kinds
+        # Causal order: non-decreasing start times across the merge.
+        starts = [ev.t0 for ev in tl]
+        assert starts == sorted(starts)
+        # Fault events mirror the fault logs one-for-one.
+        assert len([e for e in tl if e.kind == "crash"]) == len(
+            log.crashes
+        ) + len(log2.crashes)
+        assert len([e for e in tl if e.kind == "migration"]) == len(
+            log2.migrations
+        )
+        # Kernel time is attributed per worker, parent included (failover
+        # segments run in the parent and land on its lane).
+        lanes = {e.worker for e in tl if e.kind == "segment"}
+        assert PARENT in lanes and lanes - {PARENT}
+        # The whole timeline exports to a valid Chrome trace and yields
+        # nonzero fleet metrics.
+        assert validate_chrome_trace(chrome_trace(tl)) == []
+        text = fleet_metrics(tl).render()
+        assert 'repro_faults_total{kind="crash"}' in text
+        assert "repro_steals_total" in text
+
+    def test_service_traced_request_lifecycle(self):
+        tracer = Tracer()
+        rng = np.random.default_rng(7)
+        with FleetService(
+            quad_template(),
+            num_shards=2,
+            check_every=5,
+            max_iterations=100,
+            tracer=tracer,
+        ) as service:
+            for _ in range(4):
+                service.submit(
+                    params={0: {"c": -rng.normal(size=2)}},
+                )
+            done = service.drain()
+        assert len(done) == 4
+        evs = tracer.events()
+        by_kind = {}
+        for ev in evs:
+            by_kind.setdefault(ev.kind, []).append(ev)
+        assert len(by_kind["submit"]) == 4
+        assert len(by_kind["admit"]) == 4
+        assert len(by_kind["evict"]) == 4
+        for ev in by_kind["evict"]:
+            assert ev.data["latency"] > 0.0
+            assert ev.data["sweeps"] > 0
+        # The latency histogram is fed from the evict events.
+        reg = fleet_metrics(tracer.timeline())
+        assert "repro_request_latency_seconds_count 4" in reg.render()
+        # Solver events share the same tracer: the service timeline also
+        # carries the fleet's segment/kernel spans.
+        assert "segment" in by_kind and "kernel" in by_kind
+
+    def test_env_switch_enables_tracing_in_solver(self, monkeypatch):
+        import repro.obs.events as events_mod
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setattr(events_mod, "_global_tracer", None)
+        targets = uneven_targets(B=4, easy=1)
+        with BatchedSolver(quad_batch(targets)) as solver:
+            assert solver.tracer is events_mod.default_tracer()
+            solver.solve_batch(max_iterations=20, check_every=5, init="zeros")
+        assert len(solver.tracer) > 0
+        monkeypatch.setattr(events_mod, "_global_tracer", None)
