@@ -35,6 +35,34 @@ returns one ``ADMMResult`` per instance; ``warm_start_pool`` seeds the
 fleet from a pool of previous solutions (cycled when smaller than the
 fleet), the real-time MPC pattern at scale.
 
+Heterogeneous mixed-family fleets
+---------------------------------
+Fleets are not restricted to copies of one template.  ``pack_graphs``
+packs instances of *different* templates — different app families,
+different sizes — into one group-major batch: factor groups bucket
+across instances by proximal-operator identity (the sweep only cares
+which operator runs, never which instance a factor came from), and
+per-instance index maps stay exact, so every solver layer below accepts
+a mixed batch unchanged and every instance still matches its solo solve
+at 1e-10 (``tests/test_fleet_mixed.py``).  Packing instances of a single
+template delegates to ``replicate_graph``, so homogeneous fleets keep
+the historical layout bit-for-bit::
+
+    from repro import BatchedSolver, pack_graphs
+    from repro.graph import pack_batches
+
+    batch = pack_graphs([mpc_graph, svm_graph, packing_graph],
+                        counts=[8, 4, 2])
+    results = BatchedSolver(batch).solve_batch(max_iterations=500)
+
+    fleet = pack_batches([build_mpc_batch(mpcs), build_svm_batch(svms)])
+
+``pack_batches`` concatenates per-family fleets built by the app-layer
+``build_*_batch`` helpers (``build_mpc_batch``, ``build_svm_batch``,
+``build_lasso_batch``, ``build_packing_batch``), and
+``FleetService.submit(..., template=...)`` admits requests carrying
+their own graphs into one live mixed fleet.
+
 Sharded + elastic fleets
 ------------------------
 ``ShardedBatchedSolver`` splits a ``GraphBatch`` into contiguous
@@ -207,6 +235,8 @@ from repro.graph import (
     FactorGraph,
     GraphBatch,
     GraphBuilder,
+    pack_batches,
+    pack_graphs,
     replicate_graph,
     start_graph,
 )
@@ -238,6 +268,8 @@ __all__ = [
     "FactorGraph",
     "GraphBatch",
     "GraphBuilder",
+    "pack_batches",
+    "pack_graphs",
     "replicate_graph",
     "start_graph",
     "ADMMResult",

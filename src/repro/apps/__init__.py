@@ -7,6 +7,7 @@ from repro.apps.packing import (
     square_region,
     triangle_region,
 )
+from repro.apps.packing import build_batch as build_packing_batch
 from repro.apps.mpc import (
     MPCProblem,
     default_problem,
@@ -29,6 +30,7 @@ from repro.apps.lasso import (
     solve_lasso,
     solve_lasso_fista,
 )
+from repro.apps.lasso import build_batch as build_lasso_batch
 
 __all__ = [
     "ConvexRegion",
@@ -42,7 +44,9 @@ __all__ = [
     "solve_mpc",
     "solve_mpc_batch",
     "solve_mpc_exact",
+    "build_lasso_batch",
     "build_mpc_batch",
+    "build_packing_batch",
     "build_svm_batch",
     "SVMProblem",
     "make_blobs",

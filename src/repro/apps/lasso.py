@@ -102,6 +102,48 @@ class LassoProblem:
         return float(0.5 * np.dot(r, r) + self.lam * np.abs(w).sum())
 
 
+def build_batch(problems: "Sequence[LassoProblem]") -> "GraphBatch":
+    """Stack a fleet of same-shaped Lasso instances into one graph.
+
+    All instances must share ``A.shape``, ``n_blocks``, and ``lam`` (the
+    ℓ₁ weight lives on the shared operator); the per-block data ``(Aᵢ,
+    yᵢ)`` varies per instance through the data-fidelity factor parameters.
+    The fleet fits ``B`` regressions — e.g. per-sensor models — in one
+    vectorized sweep.
+    """
+    from repro.graph.batch import replicate_graph
+
+    if not problems:
+        raise ValueError("build_batch needs at least one LassoProblem")
+    first = problems[0]
+    for j, p in enumerate(problems[1:], start=1):
+        if (
+            p.A.shape != first.A.shape
+            or p.n_blocks != first.n_blocks
+            or p.lam != first.lam
+        ):
+            raise ValueError(
+                f"problem {j} has (A.shape, n_blocks, lam)="
+                f"({p.A.shape}, {p.n_blocks}, {p.lam}); expected "
+                f"({first.A.shape}, {first.n_blocks}, {first.lam})"
+            )
+    template = first.build_graph()
+    # build_graph order: data-fidelity 0..n_blocks-1, then the ℓ₁ factor.
+    overrides = []
+    for p in problems:
+        blocks = p.blocks()
+        max_rows = max(a.shape[0] for a, _ in blocks)
+        per_factor: dict[int, dict[str, np.ndarray]] = {}
+        for fid_idx, (a_blk, y_blk) in enumerate(blocks):
+            pad = max_rows - a_blk.shape[0]
+            if pad:
+                a_blk = np.vstack([a_blk, np.zeros((pad, p.dim))])
+                y_blk = np.concatenate([y_blk, np.zeros(pad)])
+            per_factor[fid_idx] = {"A": a_blk, "y": y_blk}
+        overrides.append(per_factor)
+    return replicate_graph(template, len(problems), params_per_instance=overrides)
+
+
 def solve_lasso_fista(
     A: np.ndarray,
     y: np.ndarray,

@@ -233,6 +233,48 @@ class PackingProblem:
         }
 
 
+def build_batch(problems: "Sequence[PackingProblem]") -> "GraphBatch":
+    """Stack a fleet of same-shaped packing instances into one graph.
+
+    All instances must share ``n_disks``, ``kappa``, and the wall count
+    (those fix the topology and the shared operators); the region geometry
+    — wall normals and anchor points — varies per instance through the
+    wall-factor parameters.  The fleet packs ``B`` regions in one
+    vectorized sweep.
+    """
+    from repro.graph.batch import replicate_graph
+
+    if not problems:
+        raise ValueError("build_batch needs at least one PackingProblem")
+    first = problems[0]
+    n, s = first.n_disks, first.region.num_walls
+    for j, p in enumerate(problems[1:], start=1):
+        if (
+            p.n_disks != n
+            or p.kappa != first.kappa
+            or p.region.num_walls != s
+        ):
+            raise ValueError(
+                f"problem {j} has (n_disks, kappa, num_walls)="
+                f"({p.n_disks}, {p.kappa}, {p.region.num_walls}); expected "
+                f"({n}, {first.kappa}, {s})"
+            )
+    template = first.build_graph()
+    # build_graph order: pair 0..n(n-1)/2-1, wall next n*s, reward last n.
+    wall0 = n * (n - 1) // 2
+    overrides = []
+    for p in problems:
+        per_factor: dict[int, dict[str, np.ndarray]] = {}
+        for i in range(n):
+            for w in range(s):
+                per_factor[wall0 + i * s + w] = {
+                    "Q": p.region.normals[w],
+                    "V": p.region.points[w],
+                }
+        overrides.append(per_factor)
+    return replicate_graph(template, len(problems), params_per_instance=overrides)
+
+
 def solve_packing(
     n_disks: int,
     iterations: int = 2000,

@@ -184,6 +184,8 @@ def run_fleet(args) -> int:
         rc = max(rc, run_fleet_rebalance_demo(args, tracer=tracer))
     if args.fault_plan:
         rc = max(rc, run_fleet_faults_demo(args, tracer=tracer))
+    if args.mixed:
+        rc = max(rc, run_fleet_mixed_demo(args, iterations))
     if tracer is not None:
         rc = max(rc, _export_trace(tracer, args.trace))
     return rc
@@ -410,6 +412,107 @@ def run_fleet_elastic_demo(args, iterations: int) -> int:
     solver.close()
     reference.close()
     return 0 if worst == 0.0 else 1
+
+
+def run_fleet_mixed_demo(args, iterations: int) -> int:
+    """Heterogeneous fleet demo: MPC+SVM+lasso+packing in one batch.
+
+    Packs instances of all four app families into one group-major fleet
+    (:func:`repro.graph.batch.pack_graphs`), solves it plain, sharded, and
+    rebalancing-with-churn, and audits every instance against its own solo
+    :class:`ADMMSolver` run.  The table is written to
+    ``results/fleet_mixed.txt``; exits nonzero if any instance deviates
+    from its solo solve by more than 1e-10.
+    """
+    import numpy as np
+
+    from repro.apps.lasso import LassoProblem, make_lasso_data
+    from repro.bench.reporting import results_path
+    from repro.core.batched import BatchedSolver
+    from repro.core.rebalance import RebalancingShardedSolver
+    from repro.core.sharded import ShardedBatchedSolver
+    from repro.core.solver import ADMMSolver
+    from repro.bench.workloads import mpc_graph, packing_graph, svm_graph
+    from repro.graph.batch import pack_graphs
+
+    rho, atol = 10.0, 1e-10
+    A, y, _ = make_lasso_data(24, 6, seed=5)
+    templates = [
+        mpc_graph(args.horizon),
+        svm_graph(14, seed=3),
+        LassoProblem(A, y, lam=0.1, n_blocks=3).build_graph(),
+        packing_graph(4),
+    ]
+    counts = [2, 1, 1, 2]
+    batch = pack_graphs(templates, counts)
+    B = batch.batch_size
+
+    solo = []
+    for i, t in enumerate(batch.templates):
+        s = ADMMSolver(t, rho=rho)
+        s.initialize("zeros")
+        s.iterate(iterations)
+        solo.append(s.state.z.copy())
+        s.close()
+
+    def fleet_dev(rows) -> float:
+        return max(
+            float(np.max(np.abs(rows[i] - solo[i]))) for i in range(B)
+        )
+
+    t = SeriesTable(
+        f"Mixed-family fleet demo — {B} instances "
+        f"(MPC/SVM/lasso/packing) in one group-major batch, "
+        f"{iterations} iterations, max |z - solo| per path",
+        ("path", "B", "templates", "groups", "max |z - solo|"),
+    )
+    n_templates = len(set(id(g) for g in batch.templates))
+    n_groups = len(batch.graph.groups)
+    worst = 0.0
+
+    plain = BatchedSolver(pack_graphs(templates, counts), rho=rho)
+    plain.initialize("zeros")
+    plain.iterate(iterations)
+    d = fleet_dev(plain.batch.split_z(plain.state.z))
+    plain.close()
+    worst = max(worst, d)
+    t.add_row("batched", B, n_templates, n_groups, d)
+
+    with ShardedBatchedSolver(
+        pack_graphs(templates, counts), num_shards=3, mode=args.mode, rho=rho
+    ) as sh:
+        sh.initialize("zeros")
+        sh.iterate(iterations)
+        d = fleet_dev(sh.split_z())
+    worst = max(worst, d)
+    t.add_row(f"sharded/{args.mode}", B, n_templates, n_groups, d)
+
+    with RebalancingShardedSolver(
+        pack_graphs(templates, counts), num_shards=3, mode=args.mode, rho=rho
+    ) as rb:
+        rb.initialize("zeros")
+        rb.iterate(iterations // 2)
+        rb.steal_once()
+        rb.reshard(2)
+        rb.iterate(iterations - iterations // 2)
+        d = fleet_dev(rb.split_z())
+    worst = max(worst, d)
+    t.add_row(f"rebalance+churn/{args.mode}", B, n_templates, n_groups, d)
+
+    t.add_note(
+        "every instance is audited against its own solo ADMMSolver run; "
+        "max |z - solo| is the worst instance deviation (0 = bit-identical, "
+        f"tolerance {atol:g})"
+    )
+    t.emit(results_path("fleet_mixed.txt"))
+    if worst > atol:
+        print(
+            f"MIXED-FLEET AUDIT FAILED: worst deviation {worst:.3e} "
+            f"exceeds {atol:g}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def run_serve(args) -> int:
@@ -654,6 +757,14 @@ def main(argv: list[str] | None = None) -> int:
         "--rebalance",
         action="store_true",
         help="fleet: append the work-stealing / live-resharding demo",
+    )
+    parser.add_argument(
+        "--mixed",
+        action="store_true",
+        help="fleet: append the heterogeneous-fleet demo — pack "
+        "MPC/SVM/lasso/packing instances into one batch, audit every "
+        "instance against its solo solve (writes results/fleet_mixed.txt; "
+        "exits nonzero on deviation > 1e-10)",
     )
     parser.add_argument(
         "--steal-threshold",

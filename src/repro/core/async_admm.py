@@ -153,7 +153,7 @@ class FleetSweepPlan:
         self.fraction = float(fraction)
         base = DEFAULT_SEED if seed is None else int(seed)
         self.plans = [
-            AsyncSweepPlan(batch.template, fraction, base + instance_offset + i)
+            AsyncSweepPlan(batch.templates[i], fraction, base + instance_offset + i)
             for i in range(batch.batch_size)
         ]
 

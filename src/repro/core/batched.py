@@ -61,17 +61,40 @@ def per_instance_residuals(
 
     Each entry equals :func:`repro.core.residuals.compute_residuals` run on
     the instance's subgraph: norms are restricted to the instance's slots
-    and thresholds use the *template* edge count.
+    and thresholds use each instance's *own template* edge count (one
+    shared template for uniform batches, per-instance templates for mixed
+    packings).
     """
     g = batch.graph
-    S = batch.slot_index  # (B, S_t) gather map
     zmap = state.z[g.flat_edge_to_z]
-    primal = np.linalg.norm((state.x - zmap)[S], axis=1)
-    dual_vec = state.rho_slots * (zmap - z_prev[g.flat_edge_to_z])
-    dual = np.linalg.norm(dual_vec[S], axis=1)
+    primal_vec = state.x - zmap
+    dual_full = state.rho_slots * (zmap - z_prev[g.flat_edge_to_z])
+    u_full = state.rho_slots * state.u
+    if not batch.uniform:
+        out = []
+        for i in range(batch.batch_size):
+            S = batch.slot_index[i]
+            x_norm = float(np.linalg.norm(state.x[S]))
+            z_norm = float(np.linalg.norm(zmap[S]))
+            sqrt_n = float(np.sqrt(max(batch.templates[i].edge_size, 1)))
+            out.append(
+                Residuals(
+                    primal=float(np.linalg.norm(primal_vec[S])),
+                    dual=float(np.linalg.norm(dual_full[S])),
+                    eps_primal=sqrt_n * eps_abs
+                    + eps_rel * max(x_norm, z_norm),
+                    eps_dual=sqrt_n * eps_abs
+                    + eps_rel * float(np.linalg.norm(u_full[S])),
+                    iteration=state.iteration,
+                )
+            )
+        return out
+    S = batch.slot_index  # (B, S_t) gather map
+    primal = np.linalg.norm(primal_vec[S], axis=1)
+    dual = np.linalg.norm(dual_full[S], axis=1)
     x_norm = np.linalg.norm(state.x[S], axis=1)
     z_norm = np.linalg.norm(zmap[S], axis=1)
-    u_norm = np.linalg.norm((state.rho_slots * state.u)[S], axis=1)
+    u_norm = np.linalg.norm(u_full[S], axis=1)
     sqrt_n = float(np.sqrt(max(batch.template.edge_size, 1)))
     eps_primal = sqrt_n * eps_abs + eps_rel * np.maximum(x_norm, z_norm)
     eps_dual = sqrt_n * eps_abs + eps_rel * u_norm
@@ -96,14 +119,28 @@ def normalize_pool(pool, batch_size: int, z_size: int) -> np.ndarray:
     that has not seen every instance yet; a pool larger than the fleet
     contributes its first ``B`` rows by the same rule).  A single
     ``(z_size,)`` vector broadcasts to every instance.
+
+    Any non-ndarray iterable (generators included) is materialized first,
+    and the returned rows are always **writable** — the broadcast path
+    copies, so callers may edit one instance's row without silently
+    editing every other instance's (or tripping numpy's read-only guard).
     """
-    arr = np.asarray(
-        pool if not isinstance(pool, (list, tuple))
-        else np.stack([np.asarray(v, dtype=np.float64) for v in pool]),
-        dtype=np.float64,
-    )
+    if not isinstance(pool, (np.ndarray, list, tuple)):
+        pool = list(pool)
+    if isinstance(pool, (list, tuple)):
+        try:
+            arr = np.stack(
+                [np.asarray(v, dtype=np.float64) for v in pool]
+            ).astype(np.float64, copy=False)
+        except ValueError as exc:
+            raise ValueError(
+                f"pool must be ({z_size},), or (P, {z_size}) with P >= 1; "
+                f"got a sequence with mismatched row shapes"
+            ) from exc
+    else:
+        arr = np.asarray(pool, dtype=np.float64)
     if arr.shape == (z_size,):
-        return np.broadcast_to(arr, (batch_size, z_size))
+        return np.broadcast_to(arr, (batch_size, z_size)).copy()
     if arr.ndim != 2 or arr.shape[1] != z_size or arr.shape[0] < 1:
         raise ValueError(
             f"pool must be ({z_size},), or (P, {z_size}) with P >= 1; "
@@ -134,8 +171,16 @@ def carry_state(
     The fleet iteration counter is carried so segmented solves stay aligned
     across elastic resizes.  TWA certainty weights are transient (recomputed
     by the next x-update) and are not carried.
+
+    Both batches may be heterogeneous (:func:`repro.graph.batch.pack_graphs`
+    packings): compatibility is then checked per carried instance — each
+    source instance's template must structurally match its destination's —
+    and ``fresh_rho``/``fresh_alpha`` additionally accept a per-new-instance
+    sequence of scalars or per-edge vectors (each in that instance's own
+    template edge order).
     """
-    if old_batch.template is not new_batch.template and (
+    uniform = old_batch.uniform and new_batch.uniform
+    if uniform and old_batch.template is not new_batch.template and (
         old_batch.template.num_factors != new_batch.template.num_factors
         or old_batch.template.z_size != new_batch.template.z_size
     ):
@@ -151,25 +196,32 @@ def carry_state(
             "sources must be old instance ids in [0, old B) or the cold "
             "sentinel -1"
         )
+    if not uniform:
+        for j in np.flatnonzero(sources >= 0):
+            ot = old_batch.templates[int(sources[j])]
+            nt = new_batch.templates[int(j)]
+            if ot is not nt and (
+                ot.num_factors != nt.num_factors
+                or ot.z_size != nt.z_size
+                or ot.num_edges != nt.num_edges
+                or ot.edge_size != nt.edge_size
+            ):
+                raise ValueError(
+                    f"new instance {j} (template layout "
+                    f"|F|={nt.num_factors}, z={nt.z_size}) cannot carry "
+                    f"state from old instance {int(sources[j])} (template "
+                    f"layout |F|={ot.num_factors}, z={ot.z_size})"
+                )
 
     new_graph = new_batch.graph
     state = ADMMState(new_graph)
     rho = np.empty(new_graph.num_edges)
     alpha = np.empty(new_graph.num_edges)
     for arr, fresh in ((rho, fresh_rho), (alpha, fresh_alpha)):
-        fresh_arr = np.asarray(fresh, dtype=np.float64)
-        if fresh_arr.ndim == 0:
-            arr.fill(float(fresh_arr))
-        elif fresh_arr.shape == (new_batch.template.num_edges,):
-            arr[new_batch.edge_index] = fresh_arr
-        else:
-            raise ValueError(
-                f"fresh penalty must be scalar or "
-                f"({new_batch.template.num_edges},), got {fresh_arr.shape}"
-            )
+        _fill_fresh_penalty(arr, fresh, new_batch)
 
     carried = np.flatnonzero(sources >= 0)
-    if carried.size:
+    if carried.size and uniform:
         old_ids = sources[carried]
         new_slots = new_batch.slot_index[carried].reshape(-1)
         old_slots = old_batch.slot_index[old_ids].reshape(-1)
@@ -185,10 +237,83 @@ def carry_state(
         alpha[new_batch.edge_index[carried]] = (
             old_state.alpha[old_batch.edge_index[old_ids]]
         )
+    elif carried.size:
+        for j in carried:
+            src = int(sources[j])
+            new_slots = new_batch.slot_index[j]
+            old_slots = old_batch.slot_index[src]
+            for family in ("x", "m", "u", "n"):
+                getattr(state, family)[new_slots] = getattr(old_state, family)[
+                    old_slots
+                ]
+            state.z[new_batch.z_slice(int(j))] = old_state.z[
+                old_batch.z_slice(src)
+            ]
+            rho[new_batch.edge_index[j]] = old_state.rho[
+                old_batch.edge_index[src]
+            ]
+            alpha[new_batch.edge_index[j]] = old_state.alpha[
+                old_batch.edge_index[src]
+            ]
     state.set_rho(rho)
     state.set_alpha(alpha)
     state.iteration = old_state.iteration
     return state
+
+
+def _fill_fresh_penalty(arr: np.ndarray, fresh, new_batch: GraphBatch) -> None:
+    """Fill a per-edge penalty array from a fresh-penalty spec.
+
+    Accepts a scalar (fills everywhere), a template-per-edge ``(E_t,)``
+    vector (uniform batches), or a per-instance sequence — one scalar or
+    per-edge vector per instance of ``new_batch``, each in its own
+    template's edge order.
+    """
+    try:
+        fresh_arr = np.asarray(fresh, dtype=np.float64)
+    except (ValueError, TypeError):
+        fresh_arr = None
+    if fresh_arr is not None and fresh_arr.dtype == object:
+        fresh_arr = None
+    if fresh_arr is not None and fresh_arr.ndim == 0:
+        arr.fill(float(fresh_arr))
+        return
+    if (
+        fresh_arr is not None
+        and new_batch.uniform
+        and fresh_arr.shape == (new_batch.template.num_edges,)
+    ):
+        arr[new_batch.edge_index] = fresh_arr
+        return
+    rows = list(fresh) if not isinstance(fresh, np.ndarray) or fresh.ndim else None
+    if rows is not None and len(rows) == new_batch.batch_size:
+        ok = True
+        prepared = []
+        for j, row in enumerate(rows):
+            row = np.asarray(row, dtype=np.float64)
+            e_j = new_batch.templates[j].num_edges
+            if row.ndim == 0 or row.shape == (e_j,):
+                prepared.append(row)
+            else:
+                ok = False
+                break
+        if ok:
+            for j, row in enumerate(prepared):
+                arr[new_batch.edge_index[j]] = (
+                    float(row) if row.ndim == 0 else row
+                )
+            return
+    if new_batch.uniform:
+        raise ValueError(
+            f"fresh penalty must be scalar, "
+            f"({new_batch.template.num_edges},), or a per-instance "
+            f"sequence of length {new_batch.batch_size}; got "
+            f"{fresh_arr.shape if fresh_arr is not None else type(fresh)}"
+        )
+    raise ValueError(
+        f"fresh penalty must be scalar or a length-{new_batch.batch_size} "
+        f"per-instance sequence of scalars / per-edge vectors"
+    )
 
 
 class BatchedSolver:
@@ -217,9 +342,24 @@ class BatchedSolver:
     ) -> None:
         self.batch = batch
         self.tracer = tracer if tracer is not None else default_tracer()
-        rho_arr = np.asarray(rho, dtype=np.float64)
-        if rho_arr.ndim and rho_arr.shape[0] == batch.batch_size and rho_arr.shape != (
-            batch.graph.num_edges,
+        def _scalar(v):
+            if isinstance(v, (int, float, np.integer, np.floating)):
+                return float(v)
+            if isinstance(v, np.ndarray) and v.ndim == 0:
+                return float(v)
+            return None
+
+        self._fresh_scalar_rho = _scalar(rho)
+        self._fresh_scalar_alpha = _scalar(alpha)
+        try:
+            rho_arr = np.asarray(rho, dtype=np.float64)
+        except (ValueError, TypeError):
+            rho_arr = None
+        if rho_arr is None or rho_arr.dtype == object:
+            # Ragged per-instance penalties of a mixed batch.
+            rho = batch.instance_rho(rho)
+        elif rho_arr.ndim and rho_arr.shape[0] == batch.batch_size and (
+            rho_arr.shape != (batch.graph.num_edges,)
         ):
             rho = batch.instance_rho(rho_arr)
         # Delegates signature validation, state construction, and backend
@@ -228,9 +368,24 @@ class BatchedSolver:
         self.schedule = schedule if schedule is not None else ConstantPenalty()
         # Construction-time penalties, in template edge order: the defaults
         # cold instances receive when the fleet grows (schedule drift on the
-        # running fleet must not leak into newcomers).
-        self._fresh_rho = self.batch.split_edges(self.state.rho)[0].copy()
-        self._fresh_alpha = self.batch.split_edges(self.state.alpha)[0].copy()
+        # running fleet must not leak into newcomers).  Uniform fleets keep
+        # one row; mixed fleets keep one row per distinct template (first
+        # instance of each), plus the scalar construction values as the
+        # fallback for templates first admitted later.
+        if batch.uniform:
+            self._fresh_rho = self.batch.split_edges(self.state.rho)[0].copy()
+            self._fresh_alpha = self.batch.split_edges(self.state.alpha)[0].copy()
+            self._fresh_templates = {}
+        else:
+            rho_rows = self.batch.split_edges(self.state.rho)
+            alpha_rows = self.batch.split_edges(self.state.alpha)
+            self._fresh_rho = {}
+            self._fresh_alpha = {}
+            # Pins the keyed templates alive so the id() keys stay valid.
+            self._fresh_templates = {id(t): t for t in batch.templates}
+            for i, t in enumerate(batch.templates):
+                self._fresh_rho.setdefault(id(t), rho_rows[i].copy())
+                self._fresh_alpha.setdefault(id(t), alpha_rows[i].copy())
 
     # ------------------------------------------------------------------ #
     @property
@@ -263,27 +418,40 @@ class BatchedSolver:
         the template's).  A pool smaller than the fleet — the steady state
         of a solution cache while a fleet grows — is cycled: instance ``i``
         is seeded from row ``i % P``.
+
+        A mixed-template fleet has no shared row shape to cycle, so it
+        takes exactly one z vector per instance (each in its own
+        template's layout) — any length-``B`` sequence
+        :meth:`GraphBatch.pack_z` accepts.
         """
+        if not self.batch.uniform:
+            return self.state.init_from_z(self.batch.pack_z(pool))
         rows = normalize_pool(pool, self.batch.batch_size, self.batch.template.z_size)
         return self.state.init_from_z(self.batch.pack_z(rows))
 
     # ------------------------------------------------------------------ #
     # Elastic fleet: grow/shrink between solves, preserving iterates.      #
     # ------------------------------------------------------------------ #
-    def add_instances(self, new_instances, rho=None, alpha=None) -> None:
+    def add_instances(
+        self, new_instances, rho=None, alpha=None, templates=None
+    ) -> None:
         """Grow the fleet in place, appending cold instances.
 
         ``new_instances`` is a count or a sequence of per-factor override
-        mappings (see :meth:`GraphBatch.add_instances`).  Existing instances
-        keep their iterates, duals, and per-edge penalties bit-for-bit; new
+        mappings (see :meth:`GraphBatch.add_instances`); ``templates``
+        optionally names each new instance's template, which is how a
+        fleet goes (or stays) heterogeneous.  Existing instances keep
+        their iterates, duals, and per-edge penalties bit-for-bit; new
         instances start from zeros with ``rho``/``alpha`` penalties.  The
         default is the fleet's construction-time values — so schedule drift
         on the running fleet does not leak into newcomers — taken from
-        *instance 0's* row; if the fleet was constructed with per-instance
-        penalties, pass ``rho``/``alpha`` explicitly rather than relying on
-        that arbitrary choice.
+        *instance 0's* row (uniform fleets) or the first instance of the
+        same template (mixed fleets; scalar construction penalties are the
+        fallback for templates the fleet has not seen).  If the fleet was
+        constructed with per-instance penalties, pass ``rho``/``alpha``
+        explicitly rather than relying on that arbitrary choice.
         """
-        new_batch = self.batch.add_instances(new_instances)
+        new_batch = self.batch.add_instances(new_instances, templates=templates)
         n_new = new_batch.batch_size - self.batch.batch_size
         sources = list(range(self.batch.batch_size)) + [-1] * n_new
         self._adopt(new_batch, sources, rho, alpha)
@@ -306,16 +474,60 @@ class BatchedSolver:
         new_batch = self.batch.remove_instances(dropset)
         self._adopt(new_batch, survivors, None, None)
 
+    def _default_fresh(self, new_batch, sources, table, scalar_fallback, what):
+        """Per-instance fresh penalties for a resize with no explicit value."""
+        if isinstance(table, np.ndarray):
+            if new_batch.uniform:
+                return table
+            table = {id(self.batch.templates[0]): table}
+        if new_batch.uniform:
+            row = table.get(id(new_batch.templates[0]))
+            if row is not None:
+                return row
+        rows = []
+        for j, t in enumerate(new_batch.templates):
+            row = table.get(id(t))
+            if row is None and scalar_fallback is not None:
+                row = scalar_fallback
+            if row is None:
+                if sources[j] >= 0:
+                    row = 1.0  # placeholder; overwritten by the carried copy
+                else:
+                    raise ValueError(
+                        f"no default {what} for new instance {j}'s template "
+                        f"(never seen by this fleet and construction "
+                        f"{what} was not scalar); pass {what} explicitly"
+                    )
+            rows.append(row)
+        return rows
+
     def _adopt(self, new_batch: GraphBatch, sources, rho, alpha) -> None:
         """Swap in a resized batch, carrying per-instance state across."""
+        if rho is None:
+            rho = self._default_fresh(
+                new_batch, sources, self._fresh_rho, self._fresh_scalar_rho,
+                "rho",
+            )
+        if alpha is None:
+            alpha = self._default_fresh(
+                new_batch, sources, self._fresh_alpha,
+                self._fresh_scalar_alpha, "alpha",
+            )
         state = carry_state(
             self.batch,
             self.state,
             new_batch,
             sources,
-            fresh_rho=self._fresh_rho if rho is None else rho,
-            fresh_alpha=self._fresh_alpha if alpha is None else alpha,
+            fresh_rho=rho,
+            fresh_alpha=alpha,
         )
+        # Once the fleet goes mixed, key the construction-time defaults by
+        # template so they survive arbitrary later churn.
+        if not new_batch.uniform and isinstance(self._fresh_rho, np.ndarray):
+            old_t = self.batch.templates[0]
+            self._fresh_rho = {id(old_t): self._fresh_rho}
+            self._fresh_alpha = {id(old_t): self._fresh_alpha}
+            self._fresh_templates = {id(old_t): old_t}
         backend = self.backend
         # Rebuild the inner driver on the new graph; the backend is reused
         # (its prepare() re-plans for the new graph, re-forking workers if

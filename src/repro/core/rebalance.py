@@ -344,10 +344,30 @@ class RebalancingShardedSolver:
 
         rows = self._penalty_rows(rho, "rho")
         arows = self._penalty_rows(alpha, "alpha")
-        # Construction-time defaults for cold newcomers (instance 0's row,
-        # same convention as BatchedSolver.add_instances).
-        self._fresh_rho = rows[0].copy()
-        self._fresh_alpha = arows[0].copy()
+        # Construction-time defaults for cold newcomers (instance 0's row
+        # for uniform fleets, same convention as BatchedSolver.add_instances;
+        # one row per distinct template for mixed fleets, plus the scalar
+        # construction value as fallback for templates joining later).
+        def _scalar(v):
+            return (
+                float(v)
+                if isinstance(v, (int, float, np.floating, np.integer))
+                else None
+            )
+
+        self._fresh_scalar_rho = _scalar(rho)
+        self._fresh_scalar_alpha = _scalar(alpha)
+        if batch.uniform:
+            self._fresh_rho = rows[0].copy()
+            self._fresh_alpha = arows[0].copy()
+            self._fresh_templates = {}
+        else:
+            self._fresh_rho = {}
+            self._fresh_alpha = {}
+            for i, t in enumerate(batch.templates):
+                self._fresh_rho.setdefault(id(t), rows[i].copy())
+                self._fresh_alpha.setdefault(id(t), arows[i].copy())
+            self._fresh_templates = {id(t): t for t in batch.templates}
 
         self.plans: list[AsyncSweepPlan] | None = None
         if variant == "async":
@@ -375,19 +395,58 @@ class RebalancingShardedSolver:
 
     # ------------------------------------------------------------------ #
     def _penalty_rows(self, value, name: str) -> np.ndarray:
-        """Normalize a fleet ρ/α argument to per-instance ``(B, E_t)`` rows."""
-        B, Et = self.batch.batch_size, self.batch.template.num_edges
-        arr = np.asarray(value, dtype=np.float64)
-        if arr.ndim == 0:
-            return np.full((B, Et), float(arr))
-        if arr.shape == (B,):
-            return np.repeat(arr[:, None], Et, axis=1)
-        if arr.shape == (B, Et):
-            return arr.astype(np.float64, copy=True)
-        raise ValueError(
-            f"{name} must be scalar, ({B},) per-instance, or ({B}, {Et}) "
-            f"per-instance-per-edge; got shape {arr.shape}"
-        )
+        """Normalize a fleet ρ/α argument to per-instance edge rows.
+
+        ``(B, E_t)`` float rows for uniform fleets; a length-``B`` object
+        array of per-instance ``(E_i,)`` rows for mixed-template fleets.
+        """
+        B = self.batch.batch_size
+        if self.batch.uniform:
+            Et = self.batch.template.num_edges
+            arr = np.asarray(value, dtype=np.float64)
+            if arr.ndim == 0:
+                return np.full((B, Et), float(arr))
+            if arr.shape == (B,):
+                return np.repeat(arr[:, None], Et, axis=1)
+            if arr.shape == (B, Et):
+                return arr.astype(np.float64, copy=True)
+            raise ValueError(
+                f"{name} must be scalar, ({B},) per-instance, or ({B}, {Et}) "
+                f"per-instance-per-edge; got shape {arr.shape}"
+            )
+        try:
+            arr = np.asarray(value, dtype=np.float64)
+        except (ValueError, TypeError):
+            arr = None  # ragged per-instance rows
+        rows = np.empty(B, dtype=object)
+        if arr is not None and arr.ndim == 0:
+            for i, t in enumerate(self.batch.templates):
+                rows[i] = np.full(t.num_edges, float(arr))
+            return rows
+        if arr is not None and arr.shape == (B,):
+            for i, t in enumerate(self.batch.templates):
+                rows[i] = np.full(t.num_edges, float(arr[i]))
+            return rows
+        seq = value if isinstance(value, (list, tuple)) else list(value)
+        if len(seq) != B:
+            raise ValueError(
+                f"{name} for a mixed-template fleet must be scalar, ({B},) "
+                f"per-instance, or a length-{B} sequence of per-instance "
+                f"rows; got a sequence of length {len(seq)}"
+            )
+        for i, row in enumerate(seq):
+            row = np.asarray(row, dtype=np.float64)
+            e_i = self.batch.templates[i].num_edges
+            if row.ndim == 0:
+                rows[i] = np.full(e_i, float(row))
+            elif row.shape == (e_i,):
+                rows[i] = row.astype(np.float64, copy=True)
+            else:
+                raise ValueError(
+                    f"{name}: instance {i} row has shape {row.shape}; its "
+                    f"template expects a scalar or ({e_i},)"
+                )
+        return rows
 
     def _reseed_plans(self) -> None:
         """(Re-)seed the per-instance randomized streams for the fleet.
@@ -402,7 +461,7 @@ class RebalancingShardedSolver:
         """
         base = DEFAULT_SEED if self.seed is None else int(self.seed)
         self.plans = [
-            AsyncSweepPlan(self.batch.template, self.fraction, base + g)
+            AsyncSweepPlan(self.batch.templates[g], self.fraction, base + g)
             for g in range(self.batch.batch_size)
         ]
 
@@ -434,12 +493,19 @@ class RebalancingShardedSolver:
         )
 
     def summary(self) -> str:
-        t = self.batch.template
         sizes = "+".join(str(sh.size) for sh in self.shards)
+        if self.batch.uniform:
+            t = self.batch.template
+            shape = (
+                f"template(|F|={t.num_factors} |V|={t.num_vars} "
+                f"|E|={t.num_edges})"
+            )
+        else:
+            n_templates = len({id(t) for t in self.batch.templates})
+            shape = f"{n_templates} templates (mixed)"
         return (
             f"RebalancingShardedSolver: B={self.batch_size} as "
-            f"{self.num_shards} shards ({sizes}) x template("
-            f"|F|={t.num_factors} |V|={t.num_vars} |E|={t.num_edges}), "
+            f"{self.num_shards} shards ({sizes}) x {shape}, "
             f"mode={self.mode}, variant={self.variant}, "
             f"steal_threshold={self.steal_threshold}, "
             f"steals={len(self.steal_log)}"
@@ -449,11 +515,21 @@ class RebalancingShardedSolver:
     # Fleet views (global instance order, independent of shard rosters).  #
     # ------------------------------------------------------------------ #
     def split_z(self) -> np.ndarray:
-        """Per-instance ``(B, z_size)`` rows of the fleet iterate."""
-        zt = self.batch.template.z_size
-        rows = np.empty((self.batch_size, zt))
+        """Per-instance rows of the fleet iterate.
+
+        ``(B, z_size)`` for uniform fleets; a length-``B`` object array of
+        per-instance vectors for mixed-template fleets.
+        """
+        if self.batch.uniform:
+            zt = self.batch.template.z_size
+            rows = np.empty((self.batch_size, zt))
+            for sh in self.shards:
+                rows[sh.ids] = sh.state.z.reshape(sh.size, zt)
+            return rows
+        rows = np.empty(self.batch_size, dtype=object)
         for sh in self.shards:
-            rows[sh.ids] = sh.state.z.reshape(sh.size, zt)
+            for p, g in enumerate(sh.ids):
+                rows[g] = sh.state.z[sh.batch.z_slice(p)]
         return rows
 
     def fleet_z(self) -> np.ndarray:
@@ -462,22 +538,47 @@ class RebalancingShardedSolver:
         Byte-comparable to ``BatchedSolver.state.z`` — rosters only decide
         *where* an instance's rows live, never their values.
         """
-        return self.split_z().reshape(-1)
+        if self.batch.uniform:
+            return self.split_z().reshape(-1)
+        rows = self.split_z()
+        return np.concatenate([rows[g] for g in range(self.batch_size)])
 
     def family_rows(self, family: str) -> np.ndarray:
-        """Per-instance ``(B, S_t)`` rows of one edge family (x/m/u/n)."""
+        """Per-instance rows of one edge family (x/m/u/n).
+
+        ``(B, S_t)`` for uniform fleets; a length-``B`` object array for
+        mixed-template fleets.
+        """
         if family not in _FAMILIES:
             raise ValueError(f"family must be one of {_FAMILIES}, got {family!r}")
-        rows = np.empty((self.batch_size, self.batch.template.edge_size))
+        if self.batch.uniform:
+            rows = np.empty((self.batch_size, self.batch.template.edge_size))
+            for sh in self.shards:
+                rows[sh.ids] = getattr(sh.state, family)[sh.batch.slot_index]
+            return rows
+        rows = np.empty(self.batch_size, dtype=object)
         for sh in self.shards:
-            rows[sh.ids] = getattr(sh.state, family)[sh.batch.slot_index]
+            fam = getattr(sh.state, family)
+            for p, g in enumerate(sh.ids):
+                rows[g] = fam[sh.batch.slot_index[p]]
         return rows
 
     def rho_rows(self) -> np.ndarray:
-        """Per-instance ``(B, E_t)`` ρ rows (template edge order)."""
-        rows = np.empty((self.batch_size, self.batch.template.num_edges))
+        """Per-instance ρ rows (template edge order).
+
+        ``(B, E_t)`` for uniform fleets; a length-``B`` object array for
+        mixed-template fleets.
+        """
+        if self.batch.uniform:
+            rows = np.empty((self.batch_size, self.batch.template.num_edges))
+            for sh in self.shards:
+                rows[sh.ids] = sh.batch.split_edges(sh.state.rho)
+            return rows
+        rows = np.empty(self.batch_size, dtype=object)
         for sh in self.shards:
-            rows[sh.ids] = sh.batch.split_edges(sh.state.rho)
+            sub = sh.batch.split_edges(sh.state.rho)
+            for p, g in enumerate(sh.ids):
+                rows[g] = sub[p]
         return rows
 
     # ------------------------------------------------------------------ #
@@ -503,7 +604,6 @@ class RebalancingShardedSolver:
             if not low < high:
                 raise ValueError(f"need low < high, got [{low}, {high})")
             base = DEFAULT_SEED if seed is None else seed
-            zt = self.batch.template.z_size
             for sh in self.shards:
                 for p, g in enumerate(sh.ids):
                     rng = default_rng(base + g)
@@ -512,8 +612,8 @@ class RebalancingShardedSolver:
                         getattr(sh.state, fam)[rows] = rng.uniform(
                             low, high, size=rows.size
                         )
-                    sh.state.z[p * zt : (p + 1) * zt] = rng.uniform(
-                        low, high, size=zt
+                    sh.state.z[sh.batch.z_slice(p)] = rng.uniform(
+                        low, high, size=sh.batch.z_size_of(p)
                     )
                 sh.state.iteration = 0
             self._iteration = 0
@@ -527,8 +627,22 @@ class RebalancingShardedSolver:
 
         Same contract as :meth:`BatchedSolver.warm_start_pool`, including
         cycling pools smaller than the fleet; rows are routed to the shard
-        owning each instance, wherever stealing has put it.
+        owning each instance, wherever stealing has put it.  Mixed-template
+        fleets take exactly one vector per instance (no cycling — rows are
+        instance-shaped).
         """
+        if not self.batch.uniform:
+            if not isinstance(pool, (np.ndarray, list, tuple)):
+                pool = list(pool)
+            if len(pool) != self.batch_size:
+                raise ValueError(
+                    f"mixed-template fleet warm start needs one vector per "
+                    f"instance ({self.batch_size}); got {len(pool)}"
+                )
+            for sh in self.shards:
+                sh.state.init_from_z(sh.batch.pack_z([pool[g] for g in sh.ids]))
+            self._iteration = 0
+            return
         rows = normalize_pool(pool, self.batch_size, self.batch.template.z_size)
         for sh in self.shards:
             sh.state.init_from_z(sh.batch.pack_z(rows[sh.ids]))
@@ -942,11 +1056,13 @@ class RebalancingShardedSolver:
         ``assignments`` lists each new shard's global instance ids
         (ascending); ``source_of(gid)`` returns the ``(shard, local)``
         currently holding that instance's state, or ``None`` for a cold
-        newcomer (zero iterate, ``fresh=(rho_row, alpha_row)`` penalties in
-        template edge order).  Shards whose roster and sources are
-        unchanged are reused as-is — a steal rebuilds exactly two shards.
-        Every copied quantity moves through the batch index maps, so
-        migration is bit-exact per instance.
+        newcomer (zero iterate, fresh penalties in template edge order —
+        ``fresh`` is a ``(rho_row, alpha_row)`` pair, or a callable
+        ``fresh(gid)`` returning one, for mixed-template fleets whose
+        newcomers need per-template rows).  Shards whose roster and sources
+        are unchanged are reused as-is — a steal rebuilds exactly two
+        shards.  Every copied quantity moves through the batch index maps,
+        so migration is bit-exact per instance.
         """
         existing: dict[tuple[int, ...], _RosterShard] = {}
         for sh in self.shards:
@@ -964,21 +1080,19 @@ class RebalancingShardedSolver:
             state = ADMMState(sub.graph)
             rho = np.empty(sub.graph.num_edges)
             alpha = np.empty(sub.graph.num_edges)
-            zt = self.batch.template.z_size
             for p, g in enumerate(ids):
                 src = source_of(g)
                 if src is None:
-                    rho[sub.edge_index[p]] = fresh[0]
-                    alpha[sub.edge_index[p]] = fresh[1]
+                    fr, fa = fresh(g) if callable(fresh) else fresh
+                    rho[sub.edge_index[p]] = fr
+                    alpha[sub.edge_index[p]] = fa
                     continue  # cold: families stay zero
                 osh, q = src
                 for fam in _FAMILIES:
                     getattr(state, fam)[sub.slot_index[p]] = getattr(
                         osh.state, fam
                     )[osh.batch.slot_index[q]]
-                state.z[p * zt : (p + 1) * zt] = osh.state.z[
-                    q * zt : (q + 1) * zt
-                ]
+                state.z[sub.z_slice(p)] = osh.state.z[osh.batch.z_slice(q)]
                 rho[sub.edge_index[p]] = osh.state.rho[osh.batch.edge_index[q]]
                 alpha[sub.edge_index[p]] = osh.state.alpha[
                     osh.batch.edge_index[q]
@@ -1170,28 +1284,53 @@ class RebalancingShardedSolver:
     # ------------------------------------------------------------------ #
     # Elastic rosters: grow/shrink the live fleet.                        #
     # ------------------------------------------------------------------ #
-    def add_instances(self, new_instances, rho=None, alpha=None) -> None:
+    def add_instances(
+        self, new_instances, rho=None, alpha=None, templates=None
+    ) -> None:
         """Grow the live fleet, appending cold instances to the lightest shard.
 
         The fleet batch grows through the incremental
         :meth:`GraphBatch.append_instances` (O(k) structural builds); only
         the receiving shard is rebuilt.  Existing instances keep their
         iterates, duals, and per-edge penalties bit-for-bit.  ``rho`` /
-        ``alpha`` (scalar or template-per-edge ``(E_t,)``) default to the
-        construction-time values, so schedule drift on the running fleet
-        does not leak into newcomers.  The async variant's per-instance
-        streams restart for the new layout (the
+        ``alpha`` (scalar or template-per-edge ``(E_t,)``; for mixed fleets
+        scalar or one entry per newcomer) default to the construction-time
+        values, so schedule drift on the running fleet does not leak into
+        newcomers.  ``templates`` gives each newcomer's template when it
+        differs from the fleet's (one per new instance) — the path that
+        takes a homogeneous fleet heterogeneous.  The async variant's
+        per-instance streams restart for the new layout (the
         ``FleetRandomizedBackend.rebind`` convention).
         """
         if self._closed:
             raise RuntimeError("solver is closed")
         old_B = self.batch_size
-        self.batch = self.batch.append_instances(new_instances)
+        old_templates = self.batch.templates
+        self.batch = self.batch.append_instances(new_instances, templates=templates)
         new_ids = list(range(old_B, self.batch.batch_size))
-        fresh = (
-            self._fresh_edges(rho, self._fresh_rho, "rho"),
-            self._fresh_edges(alpha, self._fresh_alpha, "alpha"),
-        )
+        if self.batch.uniform:
+            fresh = (
+                self._fresh_edges(rho, self._fresh_rho, "rho"),
+                self._fresh_edges(alpha, self._fresh_alpha, "alpha"),
+            )
+        else:
+            if isinstance(self._fresh_rho, np.ndarray):
+                # The fleet just went mixed: key the construction-time
+                # defaults by the (previously sole) template.
+                tid = id(old_templates[0])
+                self._fresh_rho = {tid: self._fresh_rho}
+                self._fresh_alpha = {tid: self._fresh_alpha}
+                self._fresh_templates = {tid: old_templates[0]}
+            rho_rows = self._fresh_rows_mixed(
+                rho, new_ids, self._fresh_rho, self._fresh_scalar_rho, "rho"
+            )
+            alpha_rows = self._fresh_rows_mixed(
+                alpha, new_ids, self._fresh_alpha, self._fresh_scalar_alpha,
+                "alpha",
+            )
+
+            def fresh(g, _r=rho_rows, _a=alpha_rows):
+                return _r[g], _a[g]
         owner = self._owner_map()
         target = int(np.argmin([sh.size for sh in self.shards]))
         rosters = [list(sh.ids) for sh in self.shards]
@@ -1260,6 +1399,61 @@ class RebalancingShardedSolver:
             f"({self.batch.template.num_edges},), got shape {arr.shape}"
         )
 
+    def _fresh_rows_mixed(
+        self, value, new_ids, table: dict, scalar_fallback, name: str
+    ) -> dict:
+        """Fresh penalties for cold newcomers in a mixed-template fleet.
+
+        Returns global id → scalar or per-edge row.  ``None`` falls back to
+        the construction-time default of the newcomer's template, then the
+        scalar construction value; an unseen template with no scalar
+        fallback demands an explicit ``{name}``.
+        """
+        out = {}
+        if value is None:
+            for g in new_ids:
+                t = self.batch.templates[g]
+                row = table.get(id(t))
+                if row is not None:
+                    out[g] = row
+                elif scalar_fallback is not None:
+                    out[g] = scalar_fallback
+                else:
+                    raise ValueError(
+                        f"no default {name} for new instance {g}'s template "
+                        f"(|F|={t.num_factors}, z={t.z_size}): the fleet was "
+                        f"not constructed with a scalar {name} and this "
+                        f"template was not in the original packing; pass "
+                        f"{name} explicitly"
+                    )
+            return out
+        if isinstance(value, (int, float, np.floating, np.integer)) or (
+            isinstance(value, np.ndarray) and value.ndim == 0
+        ):
+            for g in new_ids:
+                out[g] = float(value)
+            return out
+        seq = value if isinstance(value, (list, tuple)) else list(value)
+        if len(seq) != len(new_ids):
+            raise ValueError(
+                f"fresh {name} for a mixed-template fleet must be scalar or "
+                f"a length-{len(new_ids)} sequence (one entry per new "
+                f"instance, scalar or per-edge row); got length {len(seq)}"
+            )
+        for g, entry in zip(new_ids, seq):
+            row = np.asarray(entry, dtype=np.float64)
+            e_g = self.batch.templates[g].num_edges
+            if row.ndim == 0:
+                out[g] = float(row)
+            elif row.shape == (e_g,):
+                out[g] = row
+            else:
+                raise ValueError(
+                    f"fresh {name} for new instance {g} has shape "
+                    f"{row.shape}; its template expects a scalar or ({e_g},)"
+                )
+        return out
+
     # ------------------------------------------------------------------ #
     # Segment-boundary hooks: the primitives :meth:`solve_batch` composes
     # its outer loop from, public so external drivers (the service layer's
@@ -1298,6 +1492,18 @@ class RebalancingShardedSolver:
         (run ``check_every - 1`` sweeps, capture, run 1, check) reproduces
         the solve loop's stopping decisions bit-for-bit.
         """
+        if not self.batch.uniform:
+            if not isinstance(z_prev_rows, (np.ndarray, list, tuple)):
+                z_prev_rows = list(z_prev_rows)
+            if len(z_prev_rows) != self.batch_size:
+                raise ValueError(
+                    f"z_prev_rows must have one row per instance "
+                    f"({self.batch_size}); got {len(z_prev_rows)}"
+                )
+            rows = np.empty(self.batch_size, dtype=object)
+            for i in range(self.batch_size):
+                rows[i] = np.asarray(z_prev_rows[i], dtype=np.float64)
+            return self._fleet_residuals(rows, eps_abs, eps_rel)
         z_prev_rows = np.asarray(z_prev_rows, dtype=np.float64)
         zt = self.batch.template.z_size
         if z_prev_rows.shape != (self.batch_size, zt):
@@ -1343,21 +1549,21 @@ class RebalancingShardedSolver:
         shard; this is the admission path for warm-started service
         requests.)
         """
-        template = self.batch.template
+        g = int(instance)
+        s, p = self.owner_of(g)
+        template = self.batch.templates[g]
         z_row = np.asarray(z_row, dtype=np.float64)
         if z_row.shape != (template.z_size,):
             raise ValueError(
                 f"z_row must have shape ({template.z_size},), got {z_row.shape}"
             )
-        s, p = self.owner_of(int(instance))
         sh = self.shards[s]
         slots = sh.batch.slot_index[p]
         broadcast = z_row[template.flat_edge_to_z]
         for fam in ("x", "m", "n"):
             getattr(sh.state, fam)[slots] = broadcast
         sh.state.u[slots] = 0.0
-        zt = template.z_size
-        sh.state.z[p * zt : (p + 1) * zt] = z_row
+        sh.state.z[sh.batch.z_slice(p)] = z_row
 
     def steal_pass(self, active) -> list[StealEvent]:
         """One auto-stealing pass from an activity mask (the solve-loop step).

@@ -69,7 +69,7 @@ from repro.core.parameters import ConstantPenalty, PenaltySchedule
 from repro.core.rebalance import RebalancingShardedSolver
 from repro.core.residuals import Residuals
 from repro.core.supervision import WorkerPolicy
-from repro.graph.batch import replicate_graph
+from repro.graph.batch import pack_graphs, replicate_graph
 from repro.graph.factor_graph import FactorGraph
 from repro.obs.events import default_tracer
 from repro.utils.timing import KernelTimers
@@ -85,6 +85,9 @@ class SolveRequest:
     template-layout z vector seeding the instance on admission
     (broadcast to x/m/n, dual zeroed — the real-time MPC pattern).
     ``max_iterations`` of ``None`` falls back to the service default.
+    ``template`` is the request's own factor graph (``None`` = the
+    service default template); requests with different templates pack
+    into one mixed-family fleet.
     """
 
     request_id: int
@@ -93,6 +96,7 @@ class SolveRequest:
     max_iterations: int | None = None
     submit_time: float = 0.0
     submit_segment: int = 0
+    template: FactorGraph | None = None
 
 
 @dataclass
@@ -143,6 +147,17 @@ class ServiceStats:
         )
 
 
+def _reject_degenerate(template: FactorGraph) -> None:
+    if template.isolated_vars.size:
+        raise ValueError(
+            f"template graph is degenerate: {template.isolated_vars.size} "
+            f"variable(s) (ids {template.isolated_vars[:8].tolist()}"
+            f"{'...' if template.isolated_vars.size > 8 else ''}) appear "
+            f"in no factor scope and would never be optimized; the "
+            f"service rejects degenerate graphs at admission"
+        )
+
+
 class _LiveInstance:
     """Book-keeping for one admitted request while it sweeps in the fleet."""
 
@@ -167,21 +182,24 @@ class _LiveInstance:
 class FleetService:
     """Long-lived solve daemon over one live rebalancing fleet.
 
-    The service is bound to one *template* graph (the homogeneous-fleet
-    assumption every batch below it shares; the heterogeneous mixed-family
-    batch is a separate ROADMAP item) and accepts requests that vary its
-    parameters.  Drive it with :meth:`submit` + :meth:`step` (one sweep
-    segment per call — the unit of admission latency), or :meth:`drain`
-    to run the backlog dry; :mod:`repro.testing.traffic` replays seeded
-    arrival processes against it.
+    The service carries one *default* template graph, but requests may
+    each bring their own (``submit(..., template=...)``): instances from
+    different app families — MPC, SVM, lasso, packing — pack into one
+    mixed-family fleet through :func:`~repro.graph.batch.pack_graphs`,
+    bucketed by prox operator across instances.  Drive it with
+    :meth:`submit` + :meth:`step` (one sweep segment per call — the unit
+    of admission latency), or :meth:`drain` to run the backlog dry;
+    :mod:`repro.testing.traffic` replays seeded arrival processes
+    against it.
 
     Parameters
     ----------
     template:
-        the :class:`FactorGraph` every request instantiates.  Degenerate
-        templates (isolated variables — see
-        :class:`~repro.graph.DegenerateGraphWarning`) are rejected here,
-        at admission time, instead of converging to garbage per request.
+        the default :class:`FactorGraph` a request instantiates when it
+        does not bring its own.  Degenerate templates (isolated variables
+        — see :class:`~repro.graph.DegenerateGraphWarning`) are rejected
+        here, and per-request templates at :meth:`submit`, instead of
+        converging to garbage per request.
     rho, alpha, schedule:
         solver parameters, as in :class:`~repro.core.batched.BatchedSolver`
         (the schedule is deep-copied per request at admission).
@@ -234,14 +252,7 @@ class FleetService:
         policy: WorkerPolicy | None = None,
         tracer=None,
     ) -> None:
-        if template.isolated_vars.size:
-            raise ValueError(
-                f"template graph is degenerate: {template.isolated_vars.size} "
-                f"variable(s) (ids {template.isolated_vars[:8].tolist()}"
-                f"{'...' if template.isolated_vars.size > 8 else ''}) appear "
-                f"in no factor scope and would never be optimized; the "
-                f"service rejects degenerate graphs at admission"
-            )
+        _reject_degenerate(template)
         if variant == "async":
             raise ValueError(
                 "variant='async' is not supported by the service: elastic "
@@ -340,6 +351,7 @@ class FleetService:
         params=None,
         warm_start=None,
         max_iterations: int | None = None,
+        template: FactorGraph | None = None,
     ) -> int:
         """Queue one solve request; returns its request id.
 
@@ -347,17 +359,24 @@ class FleetService:
         :func:`replicate_graph` form) or ``None`` for template parameters;
         ``warm_start`` an optional template-layout z vector;
         ``max_iterations`` a per-request cap (rounded up to a multiple of
-        ``check_every``).  The request is admitted into the fleet at the
-        next admission boundary of :meth:`step`.
+        ``check_every``); ``template`` the request's own factor graph
+        (``None`` = the service default — requests with different
+        templates pack into one mixed-family fleet).  The request is
+        admitted into the fleet at the next admission boundary of
+        :meth:`step`.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         self._effective_cap(max_iterations)  # validate eagerly
+        if template is None:
+            template = self.template
+        else:
+            _reject_degenerate(template)
         if warm_start is not None:
             warm_start = np.asarray(warm_start, dtype=np.float64)
-            if warm_start.shape != (self.template.z_size,):
+            if warm_start.shape != (template.z_size,):
                 raise ValueError(
-                    f"warm_start must have shape ({self.template.z_size},), "
+                    f"warm_start must have shape ({template.z_size},), "
                     f"got {warm_start.shape}"
                 )
         now = time.perf_counter()
@@ -370,6 +389,7 @@ class FleetService:
             max_iterations=max_iterations,
             submit_time=now,
             submit_segment=self._segment,
+            template=template,
         )
         self._next_id += 1
         self._pending.append(req)
@@ -414,12 +434,22 @@ class FleetService:
             k = min(k, self.max_batch)
         taken = [self._pending.popleft() for _ in range(k)]
         params = [r.params for r in taken]
+        inst_templates = [r.template for r in taken]
         base = len(self._live)
         if self._solver is None:
-            batch = replicate_graph(self.template, k, params)
+            if all(t is self.template for t in inst_templates):
+                # The homogeneous path stays bit-identical to the pre-mixed
+                # service: replication, not packing.
+                batch = replicate_graph(self.template, k, params)
+            else:
+                batch = pack_graphs(inst_templates, params_per_instance=params)
             self._solver = self._make_solver(batch)
-        else:
+        elif self._solver.batch.uniform and all(
+            t is self._solver.batch.templates[0] for t in inst_templates
+        ):
             self._solver.add_instances(params)
+        else:
+            self._solver.add_instances(params, templates=inst_templates)
         now = time.perf_counter()
         for j, req in enumerate(taken):
             if req.warm_start is not None:
@@ -459,7 +489,7 @@ class FleetService:
                 live.residuals is not None and live.residuals.converged
             )
             result = ADMMResult(
-                solution=self.template.read_solution(z),
+                solution=live.request.template.read_solution(z),
                 z=z,
                 converged=bool(converged),
                 iterations=int(live.sweeps),

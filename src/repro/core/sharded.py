@@ -351,15 +351,33 @@ class ShardedBatchedSolver:
     # ------------------------------------------------------------------ #
     def _shard_edge_param(self, value, shard: _Shard, name: str):
         """Route a fleet-level ρ/α argument to one shard's edge layout."""
-        arr = np.asarray(value, dtype=np.float64)
-        if arr.ndim == 0:
+        try:
+            arr = np.asarray(value, dtype=np.float64)
+        except (ValueError, TypeError):
+            arr = None  # ragged per-instance rows (mixed-template fleets)
+        if arr is not None and arr.ndim == 0:
             return float(arr)
-        B, Et = self.batch.batch_size, self.batch.template.num_edges
-        if arr.shape == (B,) or arr.shape == (B, Et):
+        B = self.batch.batch_size
+        if arr is not None and arr.shape == (B,):
             return shard.batch.instance_rho(arr[shard.lo : shard.hi])
-        raise ValueError(
-            f"{name} must be scalar, ({B},) per-instance, or ({B}, {Et}) "
-            f"per-instance-per-edge; got shape {arr.shape}"
+        if self.batch.uniform:
+            Et = self.batch.template.num_edges
+            if arr is not None and arr.shape == (B, Et):
+                return shard.batch.instance_rho(arr[shard.lo : shard.hi])
+            got = f"shape {arr.shape}" if arr is not None else f"{value!r}"
+            raise ValueError(
+                f"{name} must be scalar, ({B},) per-instance, or ({B}, {Et}) "
+                f"per-instance-per-edge; got {got}"
+            )
+        rows = value if isinstance(value, (list, tuple)) else list(value)
+        if len(rows) != B:
+            raise ValueError(
+                f"{name} for a mixed-template fleet must be scalar, ({B},) "
+                f"per-instance, or a length-{B} sequence of per-instance "
+                f"rows; got a sequence of length {len(rows)}"
+            )
+        return shard.batch.instance_rho(
+            [rows[i] for i in range(shard.lo, shard.hi)]
         )
 
     def _start_workers(self) -> None:
@@ -439,22 +457,43 @@ class ShardedBatchedSolver:
         return np.concatenate([s.state.z for s in self.shards])
 
     def split_z(self) -> np.ndarray:
-        """Per-instance ``(B, z_size)`` rows of the fleet iterate."""
-        return self.fleet_z().reshape(self.batch_size, self.batch.template.z_size)
+        """Per-instance rows of the fleet iterate.
+
+        ``(B, z_size)`` for uniform fleets; a length-``B`` object array of
+        per-instance vectors for mixed-template fleets.
+        """
+        if self.batch.uniform:
+            return self.fleet_z().reshape(
+                self.batch_size, self.batch.template.z_size
+            )
+        return self.batch.split_z(self.fleet_z())
 
     def rho_rows(self) -> np.ndarray:
-        """Per-instance ``(B, E_t)`` ρ rows (template edge order)."""
-        return np.vstack(
-            [s.batch.split_edges(s.state.rho) for s in self.shards]
-        )
+        """Per-instance ρ rows (template edge order).
+
+        ``(B, E_t)`` for uniform fleets; a length-``B`` object array of
+        per-instance rows for mixed-template fleets.
+        """
+        rows = [s.batch.split_edges(s.state.rho) for s in self.shards]
+        if self.batch.uniform:
+            return np.vstack(rows)
+        return np.concatenate(rows)
 
     def summary(self) -> str:
-        t = self.batch.template
         sizes = "+".join(str(s.size) for s in self.shards)
+        if self.batch.uniform:
+            t = self.batch.template
+            shape = (
+                f"template(|F|={t.num_factors} |V|={t.num_vars} "
+                f"|E|={t.num_edges})"
+            )
+        else:
+            n_templates = len({id(t) for t in self.batch.templates})
+            shape = f"{n_templates} templates (mixed)"
         return (
             f"ShardedBatchedSolver: B={self.batch_size} as {self.num_shards} "
-            f"shards ({sizes}) x template(|F|={t.num_factors} |V|={t.num_vars} "
-            f"|E|={t.num_edges}), mode={self.mode}, variant={self.variant}"
+            f"shards ({sizes}) x {shape}, mode={self.mode}, "
+            f"variant={self.variant}"
         )
 
     # ------------------------------------------------------------------ #
@@ -488,8 +527,24 @@ class ShardedBatchedSolver:
 
         Same contract as :meth:`BatchedSolver.warm_start_pool`, including
         cycling pools smaller than the fleet; rows are routed to the shard
-        owning each instance.
+        owning each instance.  Mixed-template fleets take exactly one
+        vector per instance (no cycling — rows are instance-shaped).
         """
+        if not self.batch.uniform:
+            if not isinstance(pool, (np.ndarray, list, tuple)):
+                pool = list(pool)
+            if len(pool) != self.batch_size:
+                raise ValueError(
+                    f"mixed-template fleet warm start needs one vector per "
+                    f"instance ({self.batch_size}); got {len(pool)}"
+                )
+            for shard in self.shards:
+                shard.state.init_from_z(
+                    shard.batch.pack_z(
+                        [pool[i] for i in range(shard.lo, shard.hi)]
+                    )
+                )
+            return
         rows = normalize_pool(pool, self.batch_size, self.batch.template.z_size)
         for shard in self.shards:
             shard.state.init_from_z(

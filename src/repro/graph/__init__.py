@@ -11,6 +11,8 @@ from repro.graph.batch import (
     REBUILD_COUNTER,
     GraphBatch,
     StructuralRebuildCounter,
+    pack_batches,
+    pack_graphs,
     replicate_graph,
 )
 from repro.graph.partition import (
@@ -43,6 +45,8 @@ __all__ = [
     "GraphBatch",
     "REBUILD_COUNTER",
     "StructuralRebuildCounter",
+    "pack_batches",
+    "pack_graphs",
     "replicate_graph",
     "Partition",
     "balanced_factor_groups",

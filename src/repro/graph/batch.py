@@ -42,6 +42,47 @@ instances through :class:`~repro.graph.builder.GraphBuilder`; the module
 counter :data:`REBUILD_COUNTER` records how many instance blocks each
 operation structurally built, which is what the O(k)-append tests assert
 (wall-clock is too noisy to gate on).
+
+Heterogeneous (multi-template) packings
+---------------------------------------
+:func:`pack_graphs` generalizes replication from "``B`` copies of one
+template" to "a packing of ``N`` instances drawn from *different*
+templates" — one fleet mixing MPC, SVM, lasso, and packing instances.
+The paper's key insight carries over unchanged: the sweep only cares
+about *prox operator identity*, not which instance a factor came from, so
+factor groups are bucketed **across instances** by the same
+``(operator identity, scope dims, parameter keys)`` key the single-graph
+grouping uses.  Groups of different instances that share a key (e.g. all
+instances replicated from the same template object) merge into one
+contiguous batched group and take the coalesced ``prox_batch`` fast path
+together; groups with different keys (different operator objects —
+e.g. different app families, or templates whose matching operators carry
+different parameter shapes) stay separate buckets, each still contiguous.
+
+Multi-template layout guarantees:
+
+* **Variables** stay instance-major; because ``z_size`` now varies per
+  instance, instance ``i``'s z slice is ``z_offsets[i]:z_offsets[i+1]``
+  (prefix sums) instead of ``i*z_size`` — :meth:`GraphBatch.z_slice`
+  abstracts both.
+* **Factors** are merged-group-major: within one merged bucket, instance
+  order; within one instance, the template's group order — replication is
+  the exact special case ``pack_graphs([t], [B])``, which *delegates* to
+  :func:`replicate_graph` so homogeneous batches stay bit-identical to
+  the single-template layout.
+* **Index maps stay exact per instance**: ``factor_index[i]`` /
+  ``edge_index[i]`` / ``slot_index[i]`` are 1-D maps in that instance's
+  *own* template order (rows of the rectangular 2-D maps in the uniform
+  case, per-instance arrays inside object arrays in the mixed case), so
+  per-instance residuals, warm starts, and elastic state migration work
+  identically in both modes.
+
+``GraphBatch.uniform`` distinguishes the modes; ``batch.template`` keeps
+its historical meaning for uniform batches and raises for mixed ones
+(use ``batch.templates[i]``).  Mixed batches trade the O(k) incremental
+resize paths for correctness-first full repacks through
+:func:`pack_graphs` (witnessed by :data:`REBUILD_COUNTER` like every
+other rebuild).
 """
 
 from __future__ import annotations
@@ -97,11 +138,19 @@ def _merge_factor_params(
 ) -> dict[str, np.ndarray]:
     """Merge per-instance overrides over a template factor's parameters.
 
-    Shared by :func:`replicate_graph` and the incremental append so both
-    paths validate identically (same error messages, same float64
-    freezing).
+    Shared by :func:`replicate_graph`, :func:`pack_graphs`, and the
+    incremental append so all paths validate identically (same error
+    messages, same float64 freezing).  Every value — overridden or not —
+    is **copied**, never aliased: an instance's realized params must not
+    share storage with the template (or with sibling instances), so that
+    mutating a template parameter after replication, or feeding one
+    instance's ``instance_params`` back through an elastic resize, cannot
+    bleed across the fleet.
     """
-    merged = dict(params)
+    merged = {
+        key: np.array(value, dtype=np.float64, copy=True)
+        for key, value in params.items()
+    }
     for key, value in overrides.items():
         if key not in merged:
             raise ValueError(
@@ -110,7 +159,7 @@ def _merge_factor_params(
                 f"template parameters (new keys would split the "
                 f"factor group)"
             )
-        value = np.asarray(value, dtype=np.float64)
+        value = np.array(value, dtype=np.float64, copy=True)
         if value.shape != merged[key].shape:
             raise ValueError(
                 f"instance {i} override of factor {a} parameter "
@@ -281,68 +330,152 @@ class _BatchLayout:
 
 
 class GraphBatch:
-    """A block-diagonal graph of ``B`` template copies plus its index maps.
+    """A block-diagonal graph of ``B`` packed instances plus its index maps.
 
     Attributes
     ----------
     graph:
-        The batched :class:`FactorGraph` (``B`` disconnected copies).
+        The batched :class:`FactorGraph` (``B`` disconnected instances).
+    templates:
+        Length-``B`` tuple of per-instance template graphs (the same
+        object repeated ``B`` times for a homogeneous batch).
     template:
-        The single-instance graph the batch was replicated from.
+        The single shared template of a **uniform** batch; raises
+        ``ValueError`` on a mixed batch (use ``templates[i]``).
+    uniform:
+        True when every instance shares one template object — the
+        homogeneous fast path (rectangular maps, reshape-based views).
     batch_size:
         Number of instances ``B``.
     factor_index, edge_index, slot_index:
-        Integer maps of shapes ``(B, F_t)``, ``(B, E_t)``, ``(B, S_t)``
-        taking a template factor/edge/flat-slot id to the corresponding id
-        in the batched graph (``_t`` = template counts).
+        Per-instance integer maps taking a template factor/edge/flat-slot
+        id to the corresponding id in the batched graph.  Uniform batches
+        store rectangular ``(B, F_t)`` / ``(B, E_t)`` / ``(B, S_t)``
+        arrays; mixed batches store length-``B`` object arrays of 1-D
+        per-instance maps.  ``factor_index[i]`` is a 1-D map in instance
+        ``i``'s own template order in both modes.
+    z_offsets, var_offsets:
+        ``(B+1,)`` prefix sums of per-instance ``z_size`` / ``num_vars``
+        (for a uniform batch simply ``i * template.z_size`` etc.).
     """
 
     def __init__(
         self,
         graph: FactorGraph,
-        template: FactorGraph,
+        template: FactorGraph | None,
         factor_index: np.ndarray,
         edge_index: np.ndarray,
         slot_index: np.ndarray,
+        templates: Sequence[FactorGraph] | None = None,
     ) -> None:
         self.graph = graph
-        self.template = template
-        self.batch_size = int(factor_index.shape[0])
+        if templates is None:
+            if template is None:
+                raise ValueError("GraphBatch needs a template or templates")
+            templates = (template,) * int(factor_index.shape[0])
+        self.templates = tuple(templates)
+        self.batch_size = len(self.templates)
+        first = self.templates[0]
+        self.uniform = all(t is first for t in self.templates)
+        self._template = first if self.uniform else template
         self.factor_index = factor_index
         self.edge_index = edge_index
         self.slot_index = slot_index
+        self.z_offsets = np.zeros(self.batch_size + 1, dtype=np.int64)
+        np.cumsum([t.z_size for t in self.templates], out=self.z_offsets[1:])
+        self.var_offsets = np.zeros(self.batch_size + 1, dtype=np.int64)
+        np.cumsum([t.num_vars for t in self.templates], out=self.var_offsets[1:])
+
+    @property
+    def template(self) -> FactorGraph:
+        if self._template is None:
+            raise ValueError(
+                "mixed-template batch has no single template; use "
+                "batch.templates[i] for per-instance templates"
+            )
+        return self._template
 
     # ------------------------------------------------------------------ #
-    # z (variable) views — instance-major, so these are cheap reshapes.    #
+    # z (variable) views — instance-major, so these are cheap slices.      #
     # ------------------------------------------------------------------ #
     def z_slice(self, i: int) -> slice:
         """Flat z range of instance ``i`` in the batched layout."""
         self._check_instance(i)
-        zt = self.template.z_size
-        return slice(i * zt, (i + 1) * zt)
+        return slice(int(self.z_offsets[i]), int(self.z_offsets[i + 1]))
+
+    def z_size_of(self, i: int) -> int:
+        """z length of instance ``i`` (its template's ``z_size``)."""
+        self._check_instance(i)
+        return int(self.templates[i].z_size)
 
     def split_z(self, z_flat: np.ndarray) -> np.ndarray:
-        """View a batched z array as one ``(B, z_size)`` row per instance."""
+        """Per-instance rows of a batched z array.
+
+        Uniform batches return a zero-copy ``(B, z_size)`` reshape; mixed
+        batches return a length-``B`` object array of per-instance views
+        (indexable by scalars or id sequences in both modes).
+        """
         z_flat = np.asarray(z_flat)
         if z_flat.shape != (self.graph.z_size,):
             raise ValueError(
                 f"z must have shape ({self.graph.z_size},), got {z_flat.shape}"
             )
-        return z_flat.reshape(self.batch_size, self.template.z_size)
+        if self.uniform:
+            return z_flat.reshape(self.batch_size, self.templates[0].z_size)
+        rows = np.empty(self.batch_size, dtype=object)
+        for i in range(self.batch_size):
+            rows[i] = z_flat[self.z_offsets[i] : self.z_offsets[i + 1]]
+        return rows
 
-    def pack_z(self, per_instance: np.ndarray | Sequence[np.ndarray]) -> np.ndarray:
+    def pack_z(self, per_instance) -> np.ndarray:
         """Stack per-instance z vectors into one batched flat array.
 
-        Accepts a ``(B, z_size)`` matrix, a length-``B`` sequence of
-        ``(z_size,)`` vectors, or a single ``(z_size,)`` vector broadcast to
-        every instance (warm-starting a fleet from one solution).
+        Uniform batches accept a ``(B, z_size)`` matrix, a length-``B``
+        sequence of ``(z_size,)`` vectors, or a single ``(z_size,)`` vector
+        broadcast to every instance (warm-starting a fleet from one
+        solution).  Mixed batches accept a length-``B`` sequence whose
+        ``i``-th entry has that instance's own z length.  Any non-ndarray
+        iterable (generators included) is materialized first.
         """
-        zt = self.template.z_size
-        arr = np.asarray(
-            per_instance if not isinstance(per_instance, (list, tuple))
-            else np.stack([np.asarray(v, dtype=np.float64) for v in per_instance]),
-            dtype=np.float64,
-        )
+        if not isinstance(per_instance, (np.ndarray, list, tuple)):
+            per_instance = list(per_instance)
+        if isinstance(per_instance, np.ndarray) and per_instance.dtype == object:
+            per_instance = list(per_instance)
+        if not self.uniform:
+            if isinstance(per_instance, np.ndarray) and per_instance.dtype == object:
+                per_instance = list(per_instance)
+            if not isinstance(per_instance, (list, tuple)) or len(
+                per_instance
+            ) != self.batch_size:
+                raise ValueError(
+                    f"mixed-template batch expects a length-{self.batch_size} "
+                    f"sequence of per-instance z vectors"
+                )
+            out = np.empty(self.graph.z_size)
+            for i, vec in enumerate(per_instance):
+                vec = np.asarray(vec, dtype=np.float64)
+                zi = self.z_size_of(i)
+                if vec.shape != (zi,):
+                    raise ValueError(
+                        f"instance {i} z vector has shape {vec.shape}; its "
+                        f"template expects ({zi},)"
+                    )
+                out[self.z_offsets[i] : self.z_offsets[i + 1]] = vec
+            return out
+        zt = self.templates[0].z_size
+        if isinstance(per_instance, (list, tuple)):
+            try:
+                arr = np.stack(
+                    [np.asarray(v, dtype=np.float64) for v in per_instance]
+                ).astype(np.float64, copy=False)
+            except ValueError as exc:
+                raise ValueError(
+                    f"expected ({self.batch_size}, {zt}), (B,)-sequence of "
+                    f"({zt},) vectors, or a single ({zt},) vector; got a "
+                    f"sequence with mismatched per-instance shapes"
+                ) from exc
+        else:
+            arr = np.asarray(per_instance, dtype=np.float64)
         if arr.shape == (zt,):
             arr = np.broadcast_to(arr, (self.batch_size, zt))
         if arr.shape != (self.batch_size, zt):
@@ -356,40 +489,100 @@ class GraphBatch:
     # Edge/slot views — factor order is group-major, so these gather.      #
     # ------------------------------------------------------------------ #
     def split_slots(self, flat: np.ndarray) -> np.ndarray:
-        """Gather a batched flat edge array as ``(B, S_t)`` instance rows."""
+        """Gather a batched flat edge array into per-instance rows.
+
+        ``(B, S_t)`` for uniform batches; a length-``B`` object array of
+        per-instance vectors for mixed ones.
+        """
         flat = np.asarray(flat)
         if flat.shape != (self.graph.edge_size,):
             raise ValueError(
                 f"expected shape ({self.graph.edge_size},), got {flat.shape}"
             )
-        return flat[self.slot_index]
+        if self.uniform:
+            return flat[self.slot_index]
+        rows = np.empty(self.batch_size, dtype=object)
+        for i in range(self.batch_size):
+            rows[i] = flat[self.slot_index[i]]
+        return rows
 
     def split_edges(self, per_edge: np.ndarray) -> np.ndarray:
-        """Gather a batched per-edge array as ``(B, E_t)`` instance rows."""
+        """Gather a batched per-edge array into per-instance rows.
+
+        ``(B, E_t)`` for uniform batches; a length-``B`` object array of
+        per-instance vectors for mixed ones.
+        """
         per_edge = np.asarray(per_edge)
         if per_edge.shape != (self.graph.num_edges,):
             raise ValueError(
                 f"expected shape ({self.graph.num_edges},), got {per_edge.shape}"
             )
-        return per_edge[self.edge_index]
+        if self.uniform:
+            return per_edge[self.edge_index]
+        rows = np.empty(self.batch_size, dtype=object)
+        for i in range(self.batch_size):
+            rows[i] = per_edge[self.edge_index[i]]
+        return rows
 
     def instance_rho(self, rho_per_instance) -> np.ndarray:
         """Expand per-instance ρ to a per-edge array of the batched graph.
 
         ``rho_per_instance`` is ``(B,)`` scalars (uniform within each
-        instance) or ``(B, E_t)`` per-edge values in template edge order.
+        instance), ``(B, E_t)`` per-edge values in template edge order
+        (uniform batches), or — for mixed batches — a length-``B`` sequence
+        whose entries are scalars or per-edge vectors in each instance's
+        own template edge order.
         """
-        rho = np.asarray(rho_per_instance, dtype=np.float64)
         out = np.empty(self.graph.num_edges)
-        if rho.shape == (self.batch_size,):
-            out[self.edge_index] = rho[:, None]
-        elif rho.shape == (self.batch_size, self.template.num_edges):
-            out[self.edge_index] = rho
-        else:
+        if self.uniform:
+            if (
+                isinstance(rho_per_instance, np.ndarray)
+                and rho_per_instance.dtype == object
+            ):
+                # Per-instance rows sliced from a mixed fleet's object array
+                # land on a uniform sub-batch here; stack them densely.
+                rho_per_instance = [
+                    np.asarray(v, dtype=np.float64) for v in rho_per_instance
+                ]
+            rho = np.asarray(rho_per_instance, dtype=np.float64)
+            if rho.shape == (self.batch_size,):
+                out[self.edge_index] = rho[:, None]
+            elif rho.shape == (self.batch_size, self.templates[0].num_edges):
+                out[self.edge_index] = rho
+            else:
+                raise ValueError(
+                    f"expected shape ({self.batch_size},) or "
+                    f"({self.batch_size}, {self.templates[0].num_edges}), "
+                    f"got {rho.shape}"
+                )
+            return out
+        try:
+            rho = np.asarray(rho_per_instance, dtype=np.float64)
+        except (ValueError, TypeError):
+            rho = None
+        if rho is not None and rho.shape == (self.batch_size,):
+            for i in range(self.batch_size):
+                out[self.edge_index[i]] = rho[i]
+            return out
+        rows = list(rho_per_instance)
+        if len(rows) != self.batch_size:
             raise ValueError(
-                f"expected shape ({self.batch_size},) or "
-                f"({self.batch_size}, {self.template.num_edges}), got {rho.shape}"
+                f"expected ({self.batch_size},) scalars or a "
+                f"length-{self.batch_size} sequence of per-edge vectors; "
+                f"got {len(rows)} entries"
             )
+        for i, row in enumerate(rows):
+            row = np.asarray(row, dtype=np.float64)
+            e_i = self.templates[i].num_edges
+            if row.ndim == 0:
+                out[self.edge_index[i]] = float(row)
+            elif row.shape == (e_i,):
+                out[self.edge_index[i]] = row
+            else:
+                raise ValueError(
+                    f"instance {i} penalty has shape {row.shape}; its "
+                    f"template expects a scalar or ({e_i},)"
+                )
         return out
 
     # ------------------------------------------------------------------ #
@@ -406,8 +599,9 @@ class GraphBatch:
         """
         self._check_instance(i)
         out: dict[int, dict[str, np.ndarray]] = {}
-        for a in range(self.template.num_factors):
-            spec = self.graph.factors[int(self.factor_index[i, a])]
+        fi = self.factor_index[i]
+        for a in range(self.templates[i].num_factors):
+            spec = self.graph.factors[int(fi[a])]
             out[a] = {k: np.array(v, copy=True) for k, v in spec.params.items()}
         return out
 
@@ -419,16 +613,24 @@ class GraphBatch:
         primitive behind sharding (contiguous ``keep`` ranges) and the
         elastic :meth:`add_instances` / :meth:`remove_instances`.
 
-        An order-preserving (strictly ascending) ``keep`` goes through map
-        compaction — vectorized gathers over the existing layout, no
-        re-replication; arbitrary orderings (reorderings, duplicates) fall
-        back to :func:`replicate_graph` from recorded parameters.
+        An order-preserving (strictly ascending) ``keep`` on a uniform
+        batch goes through map compaction — vectorized gathers over the
+        existing layout, no re-replication; arbitrary orderings
+        (reorderings, duplicates) fall back to :func:`replicate_graph`
+        from recorded parameters.  Mixed batches always repack through
+        :func:`pack_graphs` (correctness-first; each kept instance carries
+        its template and exact parameters).
         """
         keep = [int(i) for i in keep]
         if not keep:
             raise ValueError("select_instances needs at least one instance")
         for i in keep:
             self._check_instance(i)
+        if not self.uniform:
+            return pack_graphs(
+                [self.templates[i] for i in keep],
+                params_per_instance=[self.instance_params(i) for i in keep],
+            )
         if all(b > a for a, b in zip(keep, keep[1:])):
             return self._compact(keep)
         return replicate_graph(
@@ -485,6 +687,7 @@ class GraphBatch:
     def append_instances(
         self,
         new_instances: int | Sequence[Mapping[int, Mapping[str, np.ndarray]]],
+        templates: Sequence[FactorGraph] | None = None,
     ) -> "GraphBatch":
         """Incrementally grow the fleet: splice ``k`` new instance blocks in.
 
@@ -494,11 +697,21 @@ class GraphBatch:
         their exact parameters and their positions ``0..B-1``; new instances
         take positions ``B..B+k-1``.
 
-        Only the ``k`` new instances are structurally built (factor specs
-        materialized, group-parameter rows stacked); everything existing is
-        spliced by pointer copies and whole-array concatenation into the
-        canonical group-major layout — O(k) instance builds, not the O(B)
-        re-replication :func:`replicate_graph` performs, witnessed by
+        ``templates``, when given, names each new instance's template (one
+        per new instance); omitted, new instances clone the batch template
+        (uniform batches only — growing a mixed batch needs explicit
+        templates).  Appending instances of the batch's own single template
+        takes the incremental path below; anything heterogeneous — a mixed
+        base, or new templates differing from the base — repacks the whole
+        fleet through :func:`pack_graphs` (every instance still carries its
+        exact parameters, so per-instance math is unchanged).
+
+        On the homogeneous path, only the ``k`` new instances are
+        structurally built (factor specs materialized, group-parameter rows
+        stacked); everything existing is spliced by pointer copies and
+        whole-array concatenation into the canonical group-major layout —
+        O(k) instance builds, not the O(B) re-replication
+        :func:`replicate_graph` performs, witnessed by
         :data:`REBUILD_COUNTER`.  The result is field-by-field identical to
         a full re-replication of the grown fleet.
         """
@@ -515,6 +728,30 @@ class GraphBatch:
             if not fresh:
                 raise ValueError("must add at least one instance")
         k = len(fresh)
+        if templates is not None:
+            new_templates = list(templates)
+            if len(new_templates) != k:
+                raise ValueError(
+                    f"templates has {len(new_templates)} entries for "
+                    f"{k} new instances"
+                )
+        elif self.uniform:
+            new_templates = [self.templates[0]] * k
+        else:
+            raise ValueError(
+                "growing a mixed-template batch needs explicit templates "
+                "(one per new instance)"
+            )
+        if not self.uniform or any(
+            t is not self.templates[0] for t in new_templates
+        ):
+            return pack_graphs(
+                list(self.templates) + new_templates,
+                params_per_instance=[
+                    self.instance_params(i) for i in range(self.batch_size)
+                ]
+                + fresh,
+            )
         B = self.batch_size
         Bk = B + k
         t = self.template
@@ -570,14 +807,16 @@ class GraphBatch:
     def add_instances(
         self,
         new_instances: int | Sequence[Mapping[int, Mapping[str, np.ndarray]]],
+        templates: Sequence[FactorGraph] | None = None,
     ) -> "GraphBatch":
         """Grow the fleet (alias of the incremental :meth:`append_instances`).
 
         Kept as the historical elastic entry point; since the incremental
         structural append landed, growing a fleet costs O(k) instance
-        builds instead of the old full O(B) re-replication.
+        builds instead of the old full O(B) re-replication (heterogeneous
+        appends repack — see :meth:`append_instances`).
         """
-        return self.append_instances(new_instances)
+        return self.append_instances(new_instances, templates=templates)
 
     def remove_instances(self, drop: Sequence[int]) -> "GraphBatch":
         """Shrink the fleet: a new batch without the dropped instances.
@@ -598,13 +837,15 @@ class GraphBatch:
         keep = [i for i in range(self.batch_size) if i not in dropset]
         if not keep:
             raise ValueError("cannot remove every instance from a batch")
+        if not self.uniform:
+            return self.select_instances(keep)
         return self._compact(keep)
 
     # ------------------------------------------------------------------ #
     def instance_solution(self, z_flat: np.ndarray, i: int) -> list[np.ndarray]:
         """Per-variable solution vectors of instance ``i`` (template order)."""
         zi = np.asarray(z_flat)[self.z_slice(i)]
-        return self.template.read_solution(zi)
+        return self.templates[i].read_solution(zi)
 
     def _check_instance(self, i: int) -> None:
         if not 0 <= i < self.batch_size:
@@ -613,20 +854,33 @@ class GraphBatch:
             )
 
     def summary(self) -> str:
-        t, g = self.template, self.graph
+        g = self.graph
+        if self.uniform:
+            t = self.templates[0]
+            head = (
+                f"GraphBatch: B={self.batch_size} x template(|F|="
+                f"{t.num_factors} |V|={t.num_vars} |E|={t.num_edges})"
+            )
+        else:
+            n_templates = len({id(t) for t in self.templates})
+            head = (
+                f"GraphBatch: B={self.batch_size} mixed instances from "
+                f"{n_templates} templates"
+            )
         return (
-            f"GraphBatch: B={self.batch_size} x template(|F|={t.num_factors} "
-            f"|V|={t.num_vars} |E|={t.num_edges}) -> "
+            f"{head} -> "
             f"batched(|F|={g.num_factors} |V|={g.num_vars} |E|={g.num_edges}, "
             f"groups={len(g.groups)}, all_contiguous="
             f"{all(grp.contiguous for grp in g.groups)})"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
-        return (
-            f"GraphBatch(B={self.batch_size}, template_elements="
-            f"{self.template.num_elements})"
-        )
+        if self.uniform:
+            return (
+                f"GraphBatch(B={self.batch_size}, template_elements="
+                f"{self.templates[0].num_elements})"
+            )
+        return f"GraphBatch(B={self.batch_size}, mixed templates)"
 
 
 def replicate_graph(
@@ -685,12 +939,14 @@ def replicate_graph(
 
     for i, a in order:
         spec = template.factors[a]
-        if params_per_instance is not None:
-            params = _merge_factor_params(
-                spec.params, params_per_instance[i].get(a, {}), i, a
-            )
-        else:
-            params = dict(spec.params)
+        overrides = (
+            params_per_instance[i].get(a, {})
+            if params_per_instance is not None
+            else {}
+        )
+        # _merge_factor_params copies every value even with no overrides,
+        # so instance params never alias the template (or each other).
+        params = _merge_factor_params(spec.params, overrides, i, a)
         scope = [i * V + b for b in spec.variables]
         builder.add_factor(spec.prox, scope, params)
 
@@ -721,4 +977,189 @@ def replicate_graph(
     assert all(g.contiguous for g in graph.groups), (
         "replicate_graph produced a non-contiguous group; this is a bug"
     )
+    return batch
+
+
+def pack_graphs(
+    templates: Sequence[FactorGraph],
+    counts: Sequence[int] | None = None,
+    params_per_instance: Sequence[Mapping[int, Mapping[str, np.ndarray]]]
+    | None = None,
+) -> GraphBatch:
+    """Pack instances of several templates into one block-diagonal batch.
+
+    ``templates[j]`` is packed ``counts[j]`` times (every count defaults to
+    one), in order: the fleet's instances are ``counts[0]`` instances of
+    ``templates[0]``, then ``counts[1]`` of ``templates[1]``, and so on.
+    ``params_per_instance``, when given, is one override mapping per
+    *instance* (the :func:`replicate_graph` form, totaled over all counts),
+    keyed by each instance's own template factor ids.
+
+    Factor groups are bucketed **across instances** by the same key the
+    single-graph grouping uses — ``(prox operator identity, scope dims,
+    parameter keys)`` — so groups of instances packed from the same
+    template object merge into one contiguous batched group and share the
+    coalesced ``prox_batch`` fast path, while different operator objects
+    (different app families, or independently built templates) stay in
+    separate contiguous buckets.  Templates that *share* a prox operator
+    object must also agree on that group's parameter shapes (grouped
+    factors stack parameters rectangularly); independently built templates
+    never collide because grouping is by operator identity.
+
+    ``pack_graphs([t], [B])`` *is* :func:`replicate_graph`: packing
+    instances of one template object delegates to it, so homogeneous
+    batches keep the exact historical layout bit-for-bit.
+    """
+    templates = list(templates)
+    if not templates:
+        raise ValueError("pack_graphs needs at least one template")
+    if counts is None:
+        counts = [1] * len(templates)
+    else:
+        counts = [int(c) for c in counts]
+    if len(counts) != len(templates):
+        raise ValueError(
+            f"counts has {len(counts)} entries for {len(templates)} templates"
+        )
+    inst_templates: list[FactorGraph] = []
+    for j, (t, c) in enumerate(zip(templates, counts)):
+        if c < 1:
+            raise ValueError(f"counts[{j}] must be >= 1, got {c}")
+        if t.num_factors == 0:
+            raise ValueError(f"cannot pack empty template graph (templates[{j}])")
+        inst_templates.extend([t] * c)
+    B = len(inst_templates)
+    if params_per_instance is not None:
+        params_per_instance = [
+            p if p is not None else {} for p in params_per_instance
+        ]
+        if len(params_per_instance) != B:
+            raise ValueError(
+                f"params_per_instance has {len(params_per_instance)} entries "
+                f"for {B} packed instances"
+            )
+    first = inst_templates[0]
+    if all(t is first for t in inst_templates):
+        # Homogeneous packing IS replication — delegating keeps the
+        # single-template layout (and its incremental resize paths)
+        # bit-identical.
+        return replicate_graph(first, B, params_per_instance)
+    return _pack_mixed(inst_templates, params_per_instance)
+
+
+def pack_batches(batches: Sequence[GraphBatch]) -> GraphBatch:
+    """Concatenate existing batches into one (possibly mixed) fleet.
+
+    The app layer's mixed-family entry point: build each family's fleet
+    with its own ``build_batch`` (which validates family-specific
+    invariants), then pack the results into one group-major batch —
+    ``pack_batches([mpc_fleet, svm_fleet, lasso_fleet])``.  Instances keep
+    their order (batch 0's instances first) and their exact per-factor
+    parameters (recovered through :meth:`GraphBatch.instance_params`).  A
+    single homogeneous batch round-trips bit-identically through
+    :func:`replicate_graph`'s layout.
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("pack_batches needs at least one GraphBatch")
+    templates: list[FactorGraph] = []
+    params: list[Mapping[int, Mapping[str, np.ndarray]]] = []
+    for b in batches:
+        templates.extend(b.templates)
+        params.extend(b.instance_params(i) for i in range(b.batch_size))
+    return pack_graphs(templates, params_per_instance=params)
+
+
+def _pack_mixed(
+    inst_templates: Sequence[FactorGraph],
+    params_per_instance: Sequence[Mapping[int, Mapping[str, np.ndarray]]]
+    | None,
+) -> GraphBatch:
+    """Build a mixed-template batch (merged-group-major factor order)."""
+    B = len(inst_templates)
+    REBUILD_COUNTER.full_replications += 1
+    REBUILD_COUNTER.instances_built += B
+
+    builder = GraphBuilder()
+    var_offsets = np.zeros(B + 1, dtype=np.int64)
+    for i, t in enumerate(inst_templates):
+        for b in range(t.num_vars):
+            name = (
+                f"{t.var_names[b]}@{i}" if t.var_names is not None else None
+            )
+            builder.add_variable(int(t.var_dims[b]), name=name)
+        var_offsets[i + 1] = var_offsets[i] + t.num_vars
+
+    # Factors in merged-group-major order.  A merged bucket is keyed
+    # exactly like FactorGraph._group_key — (prox identity, scope dims,
+    # sorted param keys) — taken in first-appearance order over the
+    # (instance, template-group) scan; within a bucket, instance order;
+    # within an instance, the template's own group factor order.  The
+    # built graph's _build_groups then reproduces these buckets as
+    # contiguous groups (asserted below).
+    bucket_order: list[tuple] = []
+    buckets: dict[tuple, list[tuple[int, np.ndarray]]] = {}
+    for i, t in enumerate(inst_templates):
+        for grp in t.groups:
+            spec = t.factors[int(grp.factor_ids[0])]
+            key = (
+                id(spec.prox),
+                tuple(int(d) for d in grp.var_dims),
+                tuple(sorted(spec.params.keys())),
+            )
+            if key not in buckets:
+                bucket_order.append(key)
+                buckets[key] = []
+            buckets[key].append((i, grp.factor_ids))
+    order: list[tuple[int, int]] = []  # (instance, template factor id)
+    for key in bucket_order:
+        for i, factor_ids in buckets[key]:
+            for a in factor_ids:
+                order.append((i, int(a)))
+
+    for i, a in order:
+        t = inst_templates[i]
+        spec = t.factors[a]
+        overrides = (
+            params_per_instance[i].get(a, {})
+            if params_per_instance is not None
+            else {}
+        )
+        params = _merge_factor_params(spec.params, overrides, i, a)
+        scope = [int(var_offsets[i]) + b for b in spec.variables]
+        builder.add_factor(spec.prox, scope, params)
+
+    graph = builder.build()
+
+    # Per-instance index maps from creation order, exactly as in
+    # replicate_graph — ragged across instances, so object arrays of 1-D
+    # per-instance maps.
+    factor_index = np.empty(B, dtype=object)
+    edge_index = np.empty(B, dtype=object)
+    slot_index = np.empty(B, dtype=object)
+    for i, t in enumerate(inst_templates):
+        factor_index[i] = np.empty(t.num_factors, dtype=np.int64)
+        edge_index[i] = np.empty(t.num_edges, dtype=np.int64)
+        slot_index[i] = np.empty(t.edge_size, dtype=np.int64)
+    for k, (i, a) in enumerate(order):
+        t = inst_templates[i]
+        factor_index[i][a] = k
+        t0, t1 = t.factor_indptr[a], t.factor_indptr[a + 1]
+        g0, g1 = graph.factor_indptr[k], graph.factor_indptr[k + 1]
+        edge_index[i][t0:t1] = np.arange(g0, g1)
+        ts0, ts1 = t.factor_slot_indptr[a], t.factor_slot_indptr[a + 1]
+        gs0, gs1 = graph.factor_slot_indptr[k], graph.factor_slot_indptr[k + 1]
+        slot_index[i][ts0:ts1] = np.arange(gs0, gs1)
+
+    batch = GraphBatch(
+        graph=graph,
+        template=None,
+        factor_index=factor_index,
+        edge_index=edge_index,
+        slot_index=slot_index,
+        templates=inst_templates,
+    )
+    assert len(graph.groups) == len(bucket_order) and all(
+        g.contiguous for g in graph.groups
+    ), "pack_graphs produced a non-contiguous or split group; this is a bug"
     return batch

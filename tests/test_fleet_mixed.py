@@ -1,0 +1,422 @@
+"""Mixed-family fleet equivalence matrix (ISSUE 9).
+
+The heterogeneous-batch claim: packing instances of *different* app
+families (MPC + SVM + lasso + packing) into one group-major fleet through
+:func:`repro.graph.batch.pack_graphs` is numerically identical to solving
+each instance alone — per-instance iterates match a solo solve at 1e-10
+for classic/three-weight/async x plain/sharded/rebalancing, under elastic
+add/remove, stealing churn, a worker kill, and `FleetService` admission.
+
+Homogeneous packing must stay *bit-identical* to
+:func:`repro.graph.batch.replicate_graph` (it delegates), so every
+existing fleet layout is unchanged.
+
+The ISSUE 9 satellite bugfixes are pinned at the bottom: writable
+``normalize_pool`` rows, no template param aliasing in
+``replicate_graph``, and clear errors (not opaque numpy ones) for
+generator inputs and shape mismatches in ``pack_z``/``normalize_pool``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lasso import LassoProblem, make_lasso_data
+from repro.backends.randomized import FleetRandomizedBackend, RandomizedBackend
+from repro.backends.vectorized import ThreeWeightBackend, VectorizedBackend
+from repro.bench.workloads import mpc_graph, packing_graph, svm_graph
+from repro.core.batched import BatchedSolver, normalize_pool
+from repro.core.rebalance import RebalancingShardedSolver
+from repro.core.service import FleetService
+from repro.core.sharded import ShardedBatchedSolver
+from repro.core.solver import ADMMSolver
+from repro.graph.batch import pack_batches, pack_graphs, replicate_graph
+from repro.testing.faults import kill_worker
+
+ITERATIONS = 20
+RHO = 1.7
+ATOL = 1e-10
+FRACTION = 0.6
+SEED = 411
+CHECK = 10
+VARIANTS = ("classic", "three_weight", "async")
+
+
+def lasso_graph(seed: int = 7):
+    A, y, _ = make_lasso_data(16, 5, seed=seed)
+    return LassoProblem(A, y, lam=0.1, n_blocks=3).build_graph()
+
+
+@pytest.fixture(scope="module")
+def templates():
+    """One template per app family: MPC, SVM, lasso, packing."""
+    return [mpc_graph(5), svm_graph(10, seed=3), lasso_graph(), packing_graph(3)]
+
+
+COUNTS = [2, 1, 1, 2]  # B = 6 instances across the four families
+
+
+def instance_templates(templates):
+    return [t for t, c in zip(templates, COUNTS) for _ in range(c)]
+
+
+def mixed_batch(templates):
+    return pack_graphs(templates, COUNTS)
+
+
+def solo_backend(variant, instance):
+    if variant == "classic":
+        return VectorizedBackend()
+    if variant == "three_weight":
+        return ThreeWeightBackend()
+    return RandomizedBackend(FRACTION, seed=SEED + instance)
+
+
+@pytest.fixture(scope="module")
+def solo_refs(templates):
+    """Per-variant solo iterates: the ground truth every mixed cell must hit."""
+    out = {}
+    for variant in VARIANTS:
+        refs = []
+        for i, t in enumerate(instance_templates(templates)):
+            solver = ADMMSolver(t, backend=solo_backend(variant, i), rho=RHO)
+            solver.initialize("zeros")
+            solver.iterate(ITERATIONS)
+            refs.append(solver.state.z.copy())
+            solver.close()
+        out[variant] = refs
+    return out
+
+
+def assert_matches_solo(batch, z_flat, refs, label):
+    rows = batch.split_z(z_flat)
+    for i, z_ref in enumerate(refs):
+        np.testing.assert_allclose(
+            rows[i], z_ref, atol=ATOL,
+            err_msg=f"{label}: instance {i} diverged from its solo solve",
+        )
+
+
+# --------------------------------------------------------------------- #
+# Homogeneous packing IS replication — bit-identical layout.             #
+# --------------------------------------------------------------------- #
+def test_pack_homogeneous_is_bit_identical(templates):
+    t = templates[0]
+    packed = pack_graphs([t], [3])
+    replicated = replicate_graph(t, 3)
+    assert packed.uniform
+    assert np.array_equal(packed.factor_index, replicated.factor_index)
+    assert np.array_equal(packed.edge_index, replicated.edge_index)
+    assert np.array_equal(packed.slot_index, replicated.slot_index)
+    assert packed.graph.z_size == replicated.graph.z_size
+    for gp, gr in zip(packed.graph.groups, replicated.graph.groups):
+        assert np.array_equal(gp.factor_ids, gr.factor_ids)
+        for key in gr.params:
+            assert np.array_equal(gp.params[key], gr.params[key])
+
+
+def test_mixed_batch_groups_bucket_by_operator(templates):
+    batch = mixed_batch(templates)
+    assert not batch.uniform
+    assert batch.batch_size == sum(COUNTS)
+    # Same-template instances merge their groups; different families never
+    # share a bucket — so the group count is the sum of per-template group
+    # counts over *distinct* templates.
+    expected = sum(len(t.groups) for t in templates)
+    assert len(batch.graph.groups) == expected
+    # Exact per-instance maps: every batched factor belongs to exactly one
+    # instance, and gathers recover each instance's own factor count.
+    seen = np.concatenate([np.asarray(fi) for fi in batch.factor_index])
+    assert sorted(seen.tolist()) == list(range(batch.graph.num_factors))
+    for i, t in enumerate(instance_templates(templates)):
+        assert len(batch.factor_index[i]) == t.num_factors
+        assert batch.z_size_of(i) == t.z_size
+
+
+# --------------------------------------------------------------------- #
+# Plain mixed fleet: one BatchedSolver over all four families.           #
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_plain_mixed_matches_solo(variant, templates, solo_refs):
+    batch = mixed_batch(templates)
+    if variant == "classic":
+        backend = VectorizedBackend()
+    elif variant == "three_weight":
+        backend = ThreeWeightBackend()
+    else:
+        backend = FleetRandomizedBackend(batch, fraction=FRACTION, seed=SEED)
+    solver = BatchedSolver(batch, backend=backend, rho=RHO)
+    try:
+        solver.initialize("zeros")
+        solver.iterate(ITERATIONS)
+        assert_matches_solo(
+            batch, solver.state.z, solo_refs[variant], f"plain/{variant}"
+        )
+    finally:
+        solver.close()
+
+
+# --------------------------------------------------------------------- #
+# Sharded mixed fleet.                                                   #
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_sharded_mixed_matches_solo(variant, templates, solo_refs):
+    batch = mixed_batch(templates)
+    kwargs = {"fraction": FRACTION, "seed": SEED} if variant == "async" else {}
+    with ShardedBatchedSolver(
+        batch, num_shards=3, mode="thread", variant=variant, rho=RHO, **kwargs
+    ) as solver:
+        solver.initialize("zeros")
+        solver.iterate(ITERATIONS)
+        fleet_rows = solver.split_z()
+        for i, z_ref in enumerate(solo_refs[variant]):
+            np.testing.assert_allclose(
+                fleet_rows[i], z_ref, atol=ATOL,
+                err_msg=f"sharded/{variant}: instance {i} diverged",
+            )
+
+
+def test_sharded_mixed_process_mode(templates, solo_refs):
+    batch = mixed_batch(templates)
+    with ShardedBatchedSolver(
+        batch, num_shards=2, mode="process", rho=RHO
+    ) as solver:
+        solver.initialize("zeros")
+        solver.iterate(ITERATIONS)
+        fleet_rows = solver.split_z()
+        for i, z_ref in enumerate(solo_refs["classic"]):
+            np.testing.assert_allclose(
+                fleet_rows[i], z_ref, atol=ATOL,
+                err_msg=f"sharded/process: instance {i} diverged",
+            )
+
+
+# --------------------------------------------------------------------- #
+# Rebalancing mixed fleet: stealing + reshard churn, worker kill.        #
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_rebalancing_mixed_matches_solo_under_churn(
+    variant, templates, solo_refs
+):
+    batch = mixed_batch(templates)
+    kwargs = {"fraction": FRACTION, "seed": SEED} if variant == "async" else {}
+    with RebalancingShardedSolver(
+        batch, num_shards=3, mode="thread", variant=variant, rho=RHO, **kwargs
+    ) as solver:
+        solver.initialize("zeros")
+        solver.iterate(8)
+        solver.steal_once()  # scripted churn mid-solve
+        solver.iterate(6)
+        solver.reshard(2)
+        solver.iterate(ITERATIONS - 14)
+        rows = solver.split_z()
+        for i, z_ref in enumerate(solo_refs[variant]):
+            np.testing.assert_allclose(
+                rows[i], z_ref, atol=ATOL,
+                err_msg=f"rebalancing/{variant}: instance {i} diverged",
+            )
+
+
+def test_rebalancing_mixed_worker_kill(templates, solo_refs):
+    batch = mixed_batch(templates)
+    with RebalancingShardedSolver(
+        batch, num_shards=2, mode="process", rho=RHO
+    ) as solver:
+        solver.initialize("zeros")
+        solver.iterate(8)
+        kill_worker(solver, 0)
+        solver.iterate(ITERATIONS - 8)
+        rows = solver.split_z()
+        for i, z_ref in enumerate(solo_refs["classic"]):
+            np.testing.assert_allclose(
+                rows[i], z_ref, atol=ATOL,
+                err_msg=f"rebalancing/kill: instance {i} diverged",
+            )
+
+
+# --------------------------------------------------------------------- #
+# Elastic mixed rosters: add/remove across families.                     #
+# --------------------------------------------------------------------- #
+def test_mixed_elastic_add_preserves_survivors(templates):
+    t_mpc, t_svm, _, t_pack = templates
+    batch = pack_graphs([t_mpc, t_svm], [2, 1])
+    with RebalancingShardedSolver(
+        batch, num_shards=2, mode="thread", rho=RHO
+    ) as solver:
+        solver.initialize("zeros")
+        solver.iterate(5)
+        before = [solver.split_z()[g].copy() for g in range(3)]
+        solver.add_instances([{}], templates=[t_pack])
+        assert solver.batch_size == 4
+        assert not solver.batch.uniform
+        after = solver.split_z()
+        for g in range(3):
+            assert np.array_equal(before[g], after[g])
+        # the newcomer is cold with the construction-time penalties
+        assert np.array_equal(after[3], np.zeros(t_pack.z_size))
+        assert np.allclose(solver.rho_rows()[3], RHO)
+        solver.iterate(5)
+        solver.remove_instances([1])
+        assert solver.batch_size == 3
+
+
+def test_mixed_remove_collapses_to_uniform(templates):
+    t_mpc, t_svm = templates[0], templates[1]
+    batch = pack_graphs([t_mpc, t_svm], [2, 1])
+    shrunk = batch.remove_instances([2])  # drop the lone SVM instance
+    assert shrunk.uniform
+    reference = replicate_graph(t_mpc, 2)
+    assert np.array_equal(shrunk.factor_index, reference.factor_index)
+    assert np.array_equal(shrunk.edge_index, reference.edge_index)
+
+
+# --------------------------------------------------------------------- #
+# FleetService: mixed-family admission in one live fleet.                #
+# --------------------------------------------------------------------- #
+def _solo_service_ref(template, cap):
+    solver = BatchedSolver(replicate_graph(template, 1), rho=RHO)
+    try:
+        return solver.solve_batch(
+            max_iterations=cap, check_every=CHECK, init="zeros"
+        )[0]
+    finally:
+        solver.close()
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_service_mixed_admission_matches_solo(mode, templates):
+    t_mpc, t_svm, t_lasso, t_pack = templates
+    service = FleetService(
+        t_mpc, rho=RHO, num_shards=2, mode=mode,
+        check_every=CHECK, max_iterations=60,
+    )
+    try:
+        submitted = {}
+        submitted[service.submit()] = t_mpc
+        submitted[service.submit(template=t_svm)] = t_svm
+        submitted[service.submit(template=t_pack)] = t_pack
+        service.step()
+        # churn: a second admission wave while the fleet is live, plus a
+        # reshard and (in process mode) a worker kill
+        submitted[service.submit(template=t_lasso)] = t_lasso
+        submitted[service.submit(template=t_pack)] = t_pack
+        service.step()
+        if service.solver is not None:
+            service.solver.reshard(2)
+            if mode == "process":
+                kill_worker(service.solver, 0)
+        service.drain()
+        done = service.completed
+        assert len(done) == len(submitted)
+        for r in done:
+            ref = _solo_service_ref(submitted[r.request_id], 60)
+            np.testing.assert_allclose(
+                r.result.z, ref.z, atol=ATOL,
+                err_msg=f"service/{mode}: request {r.request_id} diverged",
+            )
+            assert r.result.converged == ref.converged
+    finally:
+        service.close()
+
+
+def test_service_rejects_degenerate_request_template(templates):
+    from repro.graph.builder import GraphBuilder
+    from repro.prox.standard import DiagQuadProx
+
+    b = GraphBuilder()
+    v = b.add_variable(2)
+    b.add_variable(1)  # isolated — never appears in a factor scope
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [v],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        degenerate = b.build()
+    service = FleetService(templates[0], rho=RHO)
+    try:
+        with pytest.raises(ValueError, match="degenerate"):
+            service.submit(template=degenerate)
+    finally:
+        service.close()
+
+
+def test_pack_batches_concatenates_existing_fleets(templates):
+    t_mpc, t_svm = templates[0], templates[1]
+    fleet = pack_batches(
+        [replicate_graph(t_mpc, 2), replicate_graph(t_svm, 1)]
+    )
+    assert fleet.batch_size == 3 and not fleet.uniform
+    assert fleet.z_size_of(0) == t_mpc.z_size
+    assert fleet.z_size_of(2) == t_svm.z_size
+
+
+# --------------------------------------------------------------------- #
+# ISSUE 9 satellite bugfixes.                                            #
+# --------------------------------------------------------------------- #
+def test_normalize_pool_single_vector_rows_are_writable():
+    rows = normalize_pool(np.arange(4.0), 3, 4)
+    rows[0, 0] = 99.0  # raised ValueError (read-only broadcast) before
+    assert rows[1, 0] == 0.0 and rows[2, 0] == 0.0
+    assert rows[0, 0] == 99.0
+
+
+def test_replicate_graph_no_override_does_not_alias_template(templates):
+    t = templates[0]
+    batch = replicate_graph(t, 2)
+    factor_id = 0
+    key = next(iter(t.factors[factor_id].params))
+    original = np.array(t.factors[factor_id].params[key], copy=True)
+    # Mutating the template after replication must not bleed into the
+    # batch (or vice versa) — the params were aliased before the fix.
+    t.factors[factor_id].params[key] += 1000.0
+    try:
+        for i in range(2):
+            got = batch.instance_params(i)[factor_id][key]
+            assert np.array_equal(np.asarray(got), original)
+    finally:
+        t.factors[factor_id].params[key] -= 1000.0
+
+
+def test_instance_params_round_trip_through_elastic_resize(templates):
+    t = templates[1]
+    batch = replicate_graph(t, 2)
+    grown = batch.append_instances([batch.instance_params(0)])
+    # Mutating the donor instance's recovered params must not affect the
+    # newly appended instance (copy-on-merge, not aliasing).
+    donor = batch.instance_params(0)
+    fid, key = next(
+        (f, k) for f, kv in donor.items() for k in kv
+    )
+    expected = np.array(donor[fid][key], copy=True)
+    donor[fid][key][...] = -1.0
+    assert np.array_equal(
+        np.asarray(grown.instance_params(2)[fid][key]), expected
+    )
+
+
+def test_pack_z_accepts_generators_and_reports_shape_mismatch(templates):
+    t = templates[0]
+    batch = replicate_graph(t, 3)
+    rows = [np.full(t.z_size, float(i)) for i in range(3)]
+    packed = batch.pack_z(r for r in rows)  # generator, not list
+    assert np.array_equal(batch.split_z(packed), np.stack(rows))
+    with pytest.raises(ValueError, match="mismatched per-instance shapes"):
+        batch.pack_z(r[: len(r) - i] for i, r in enumerate(rows))
+    mixed = pack_graphs([templates[0], templates[1]], [1, 1])
+    vecs = [np.zeros(templates[0].z_size), np.zeros(templates[1].z_size)]
+    packed = mixed.pack_z(v for v in vecs)
+    assert packed.shape == (mixed.graph.z_size,)
+    with pytest.raises(ValueError, match="instance 1 z vector"):
+        mixed.pack_z([vecs[0], vecs[1][:-1]])
+
+
+def test_normalize_pool_accepts_generators_and_reports_mismatch():
+    rows = [np.zeros(4), np.ones(4)]
+    pool = normalize_pool((r for r in rows), 4, 4)
+    assert pool.shape == (4, 4)
+    assert np.array_equal(pool[2], rows[0])  # cycling
+    with pytest.raises(ValueError, match="mismatched row shapes"):
+        normalize_pool((r[: 2 + i] for i, r in enumerate(rows)), 4, 4)
