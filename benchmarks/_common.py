@@ -33,6 +33,9 @@ from repro.utils.timing import UPDATE_KINDS
 #: Iterations for measured runs (serial Python is the bottleneck).
 SERIAL_ITERS = 2
 FAST_ITERS = 10
+#: Min-of-N repeats per timed region — a co-located load spike can slow a
+#: repeat but never speed one up, so the min rejects outlier rows.
+REPEATS = 3
 
 
 def measured_gpu_table(
@@ -61,7 +64,13 @@ def measured_gpu_table(
     for size in sizes:
         g = graph_fn(size)
         cmp = compare_backends(
-            g, SerialBackend(), VectorizedBackend(), SERIAL_ITERS, FAST_ITERS, rho=rho
+            g,
+            SerialBackend(),
+            VectorizedBackend(),
+            SERIAL_ITERS,
+            FAST_ITERS,
+            rho=rho,
+            repeats=REPEATS,
         )
         ks = cmp.kernel_speedups()
         table.add_row(
@@ -160,7 +169,13 @@ def measured_multicore_table(
         backend = ThreadedBackend(num_workers=workers)
         try:
             cmp = compare_backends(
-                g, VectorizedBackend(), backend, FAST_ITERS, FAST_ITERS, rho=rho
+                g,
+                VectorizedBackend(),
+                backend,
+                FAST_ITERS,
+                FAST_ITERS,
+                rho=rho,
+                repeats=REPEATS,
             )
         finally:
             backend.close()

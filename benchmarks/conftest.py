@@ -1,8 +1,11 @@
 """Benchmark-session configuration.
 
 Each figure bench writes its paper-style series to ``results/<name>.txt``
-(pytest captures stdout; the files survive).  This conftest clears the
-results directory once per session so reruns don't append duplicates.
+(pytest captures stdout; the files survive).  ``SeriesTable.emit``
+truncates each report on its first write per process, so reruns replace
+their own files without this conftest having to clear the directory —
+a partial run (``pytest -x`` stopping early, or a single bench module)
+must never delete committed artifacts it does not regenerate.
 
 ``benchmarks/`` is a package (see ``__init__.py``) so its modules don't
 collide with same-basename files under ``tests/`` when one pytest run
@@ -13,7 +16,6 @@ collects both directories; the path insert below keeps the historical
 from __future__ import annotations
 
 import os
-import shutil
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -24,10 +26,6 @@ from repro.bench.reporting import results_path
 
 
 @pytest.fixture(scope="session", autouse=True)
-def _fresh_results_dir():
-    root = os.path.dirname(results_path("x"))
-    os.makedirs(root, exist_ok=True)
-    for name in os.listdir(root):
-        if name.endswith(".txt"):
-            os.unlink(os.path.join(root, name))
+def _results_dir_exists():
+    os.makedirs(os.path.dirname(results_path("x")), exist_ok=True)
     yield

@@ -58,14 +58,28 @@ class SeriesTable:
         return "\n".join(lines)
 
     def emit(self, path: str | None = None) -> str:
-        """Print the table; optionally append it to a report file."""
+        """Print the table; optionally write it to a report file.
+
+        The first ``emit`` to a given path in this process truncates the
+        file; subsequent emits append.  Reruns therefore replace a report
+        instead of accumulating duplicates, and a run never touches report
+        files it does not itself regenerate.
+        """
         text = self.render()
         print("\n" + text)
         if path is not None:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "a", encoding="utf-8") as fh:
+            key = os.path.abspath(path)
+            mode = "a" if key in _written_this_process else "w"
+            _written_this_process.add(key)
+            with open(path, mode, encoding="utf-8") as fh:
                 fh.write(text + "\n\n")
         return text
+
+
+# Report files already truncated by SeriesTable.emit in this process;
+# first write wins the truncation, everything after appends.
+_written_this_process: set[str] = set()
 
 
 def results_path(name: str) -> str:

@@ -48,6 +48,14 @@ class TestHarness:
         with pytest.raises(ValueError):
             measure_backend(chain_graph, VectorizedBackend(), iterations=0)
 
+    def test_measure_backend_repeats(self, chain_graph):
+        m = measure_backend(chain_graph, VectorizedBackend(), iterations=3, repeats=3)
+        assert m.iterations == 3
+        assert m.total_seconds > 0
+        assert set(m.kernel_seconds) == {"x", "m", "z", "u", "n"}
+        with pytest.raises(ValueError):
+            measure_backend(chain_graph, VectorizedBackend(), iterations=1, repeats=0)
+
 
 class TestWorkloadBuilders:
     def test_packing_graph_counts(self):
@@ -90,6 +98,19 @@ class TestReporting:
         t.emit(path)
         content = open(path).read()
         assert content.count("== demo ==") == 2
+
+    def test_emit_replaces_stale_file_on_first_write(self, tmp_path):
+        # A rerun must replace its own report rather than appending to a
+        # previous run's content — and only ever touch the file it emits.
+        path = str(tmp_path / "report.txt")
+        with open(path, "w") as fh:
+            fh.write("== stale run ==\n")
+        t = SeriesTable("demo", ("a",))
+        t.add_row(1)
+        t.emit(path)
+        content = open(path).read()
+        assert "stale run" not in content
+        assert content.count("== demo ==") == 1
 
     def test_fresh_report_truncates(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
