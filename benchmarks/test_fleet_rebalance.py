@@ -105,3 +105,60 @@ def test_rebalanced_sweep_matches_batched_with_low_overhead():
         "for the sharded path to win)"
     )
     table.emit(results_path("fleet_rebalance.txt"))
+
+
+def test_shared_transport_keeps_queue_dry_and_matches_queue():
+    """Counter-gated: the shared transport moves zero iterate bytes over
+    the command queues across a sweep with a live steal; the queue
+    transport's byte counts quantify what was avoided.  Wall-clock of the
+    two transports is advisory (shared runners)."""
+    B, iters = 16, 20
+    times, z_runs, stats_runs = {}, {}, {}
+    for transport in ("shared", "queue"):
+        with RebalancingShardedSolver(
+            mpc_fleet(B, horizon=FLEET_HORIZON),
+            num_shards=2,
+            mode="process",
+            transport=transport,
+            rho=10.0,
+        ) as solver:
+            solver.initialize("zeros")
+            t0 = time.perf_counter()
+            solver.iterate(iters // 2)
+            solver.steal_once()
+            solver.iterate(iters - iters // 2)
+            times[transport] = time.perf_counter() - t0
+            z_runs[transport] = solver.fleet_z()
+            stats_runs[transport] = solver.transport_stats()
+
+    np.testing.assert_array_equal(z_runs["shared"], z_runs["queue"])
+    shared = stats_runs["shared"]
+    assert shared["queue_state_bytes"] == 0, shared
+    assert shared["queue_reply_bytes"] == 0, shared
+    assert shared["buffer_rebuilds"] == 0, shared
+    assert shared["shared_push_bytes"] > 0
+    avoided = (
+        stats_runs["queue"]["queue_state_bytes"]
+        + stats_runs["queue"]["queue_reply_bytes"]
+    )
+    assert avoided > 0
+
+    table = SeriesTable(
+        f"Zero-copy transport — B={B} MPC fleet, {iters} iterations, "
+        "process-mode shards with one live steal",
+        ("transport", "queue bytes", "shared bytes", "rebuilds", "seconds"),
+    )
+    for transport in ("shared", "queue"):
+        s = stats_runs[transport]
+        table.add_row(
+            transport,
+            s["queue_state_bytes"] + s["queue_reply_bytes"],
+            s["shared_push_bytes"] + s["shared_pull_bytes"],
+            s["buffer_rebuilds"],
+            times[transport],
+        )
+    table.add_note(
+        f"gating assertions are the byte counters (shared queue bytes == 0, "
+        f"{avoided} B avoided vs queue transport); seconds are advisory"
+    )
+    table.emit(results_path("fleet_rebalance.txt"))

@@ -101,14 +101,30 @@ the fleet in place without restarting workers, and ``add_instances`` /
 every migration moves per-instance state bit-for-bit through the batch
 index maps, results stay bit-identical to a plain ``BatchedSolver`` under
 any churn — pinned by the churn stress suite (``tests/test_fleet_churn.py``)
-and the stealing determinism matrix (``tests/test_fleet_rebalancing.py``)::
+and the stealing determinism matrix (``tests/test_fleet_rebalancing.py``).
+
+In process mode all of that churn is **zero-copy**: each worker owns
+capacity-bound shared-memory mirrors of its shard state (roster size ×
+``slack``), so steals, rebinds, reshards, and elastic resizes move no
+iterate bytes over the command queues — growth past the slack triggers
+exactly one counted buffer rebuild, and ``transport_stats()`` witnesses
+the byte accounting (``transport="queue"`` keeps the legacy pickled
+path).  Stealing can also be **predictive**
+(``steal_policy="predictive"``): fitted residual-decay slopes project
+each instance's sweeps-to-convergence and steals trigger on
+cost-weighted rosters before a shard actually starves, with decisions
+still deterministic and results still bit-identical
+(``tests/test_fleet_zerocopy.py``)::
 
     from repro import RebalancingShardedSolver
 
     solver = RebalancingShardedSolver(batch, num_shards=4,
-                                      steal_threshold=2)
+                                      steal_threshold=2,
+                                      steal_policy="predictive",
+                                      mode="process")  # shared transport
     results = solver.solve_batch()       # steals as instances freeze
     solver.reshard(2)                    # live repartition, state carried
+    solver.transport_stats()             # queue_state_bytes == 0
 
 Fault tolerance
 ---------------
@@ -120,7 +136,9 @@ hung, or queue-corrupting worker is *detected* within one
 single in-flight instance: the parent holds the authoritative per-instance
 state (iterates, async streams, ρ-schedules) and every sweep is
 deterministic given (graph, state, masks), so restarting a fresh worker
-and replaying the lost segment reproduces the unfailed run bit-for-bit.
+and replaying the lost segment reproduces the unfailed run bit-for-bit
+(on the shared transport the replacement worker re-inherits the dead
+worker's shared-memory mirrors, so even recovery stays off the queues).
 When the restart budget is exhausted, ``RebalancingShardedSolver``
 executes the segment in the parent and migrates the dead shard's roster
 onto a survivor through the work-stealing path — a dead worker is just an

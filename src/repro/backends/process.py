@@ -43,15 +43,14 @@ def _as_np(raw) -> np.ndarray:
     return np.frombuffer(raw, dtype=np.float64)
 
 
-def shared_state_buffers(ctx, graph: FactorGraph):
-    """Allocate one shared-memory block per iterate family of ``graph``.
+def state_sizes(graph: FactorGraph) -> list[int]:
+    """The seven shared-mirror array lengths of ``graph``.
 
-    Returns ``(raws, views, sizes)`` for the seven arrays
-    ``x, m, u, n, z, rho, alpha`` (in that order) — the mirror every
-    shared-memory worker scheme uses (:class:`ProcessBackend` here, the
-    shard workers of :class:`repro.core.sharded.ShardedBatchedSolver`).
+    Order is the canonical shared-memory mirror order ``x, m, u, n, z,
+    rho, alpha`` — the one :func:`shared_state_buffers` allocates and the
+    push/pull helpers in :mod:`repro.core.sharded` spell out.
     """
-    sizes = [
+    return [
         graph.edge_size,  # x
         graph.edge_size,  # m
         graph.edge_size,  # u
@@ -60,9 +59,34 @@ def shared_state_buffers(ctx, graph: FactorGraph):
         graph.num_edges,  # rho
         graph.num_edges,  # alpha
     ]
+
+
+def shared_state_buffers(ctx, graph: FactorGraph):
+    """Allocate one shared-memory block per iterate family of ``graph``.
+
+    Returns ``(raws, views, sizes)`` for the seven arrays
+    ``x, m, u, n, z, rho, alpha`` (in that order) — the mirror every
+    shared-memory worker scheme uses (:class:`ProcessBackend` here, the
+    shard workers of :class:`repro.core.sharded.ShardedBatchedSolver`).
+    """
+    sizes = state_sizes(graph)
     raws = [ctx.RawArray("d", max(s, 1)) for s in sizes]
     views = [_as_np(r)[:s] for r, s in zip(raws, sizes)]
     return raws, views, sizes
+
+
+def shared_capacity_buffers(ctx, capacities):
+    """Allocate capacity-bound shared blocks, one per mirror array.
+
+    ``capacities`` are maximum lengths in :func:`state_sizes` order; the
+    owner cuts views down to the currently bound graph's true sizes (a
+    prefix of each block).  This is the roster-slack scheme of
+    :class:`repro.core.rebalance.RebalancingShardedSolver`: a worker whose
+    roster grows or shrinks within its capacities keeps its buffers — only
+    the view lengths change — so steals and elastic resizes never
+    reallocate or reattach shared memory.
+    """
+    return [ctx.RawArray("d", max(int(c), 1)) for c in capacities]
 
 
 def _worker_main(w, graph, raws, ranges, barrier, cmd_q, done_q):

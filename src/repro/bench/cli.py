@@ -316,7 +316,8 @@ def run_fleet_rebalance_demo(args, tracer=None) -> int:
 
     t = SeriesTable(
         f"Rebalancing fleet demo (horizon {args.horizon}) — work-stealing "
-        f"shards vs plain batched, steal threshold {args.steal_threshold}",
+        f"shards vs plain batched, steal threshold {args.steal_threshold}, "
+        f"policy {args.steal_policy}",
         ("op", "B", "shards", "steals", "max |dz| vs batched"),
     )
     with RebalancingShardedSolver(
@@ -325,6 +326,7 @@ def run_fleet_rebalance_demo(args, tracer=None) -> int:
         mode=args.mode,
         rho=10.0,
         steal_threshold=args.steal_threshold,
+        steal_policy=args.steal_policy,
         tracer=tracer,
     ) as solver:
         got = solver.solve_batch(**kwargs)
@@ -355,6 +357,105 @@ def run_fleet_rebalance_demo(args, tracer=None) -> int:
     t.add_note("max |dz| = 0 means bit-identical to the plain batched solve")
     t.emit()
     plain.close()
+    rc = 0 if worst == 0.0 else 1
+    return max(rc, run_fleet_zerocopy_report(args, uneven_fleet, ref))
+
+
+def run_fleet_zerocopy_report(args, make_batch, ref) -> int:
+    """Zero-copy transport audit: queue bytes avoided + steal quality.
+
+    Solves the rebalance demo's uneven fleet in process mode under both
+    state transports (shared-memory mirrors vs pickled queue payloads)
+    with the selected ``--steal-policy``, and writes
+    ``results/fleet_zerocopy.txt``: per-transport queue/shared byte
+    counts, buffer rebuilds, steal counts, and the bytes the shared
+    transport kept off the command queue.  Equality-gated — a nonzero
+    deviation from the plain batched solve on either transport fails the
+    run — and the shared transport must move **zero** iterate bytes over
+    its queues.
+    """
+    import numpy as np
+
+    from repro.bench.reporting import results_path
+    from repro.core.rebalance import TRANSPORTS, RebalancingShardedSolver
+
+    shards = args.shards if args.shards else 2
+    kwargs = dict(max_iterations=150, check_every=5, init="zeros")
+    t = SeriesTable(
+        f"Zero-copy transport audit (horizon {args.horizon}) — process-mode "
+        f"shards, steal policy {args.steal_policy}",
+        (
+            "transport",
+            "queue state B",
+            "queue reply B",
+            "shared push B",
+            "rebuilds",
+            "steals",
+            "max |dz|",
+        ),
+    )
+    stats_by = {}
+    worst = 0.0
+    for transport in TRANSPORTS:
+        with RebalancingShardedSolver(
+            make_batch(),
+            num_shards=shards,
+            mode="process",
+            transport=transport,
+            rho=10.0,
+            steal_threshold=args.steal_threshold,
+            steal_policy=args.steal_policy,
+        ) as solver:
+            got = solver.solve_batch(**kwargs)
+            dev = max(
+                float(np.max(np.abs(a.z - b.z))) for a, b in zip(got, ref)
+            )
+            worst = max(worst, dev)
+            stats = solver.transport_stats()
+            stats_by[transport] = stats
+            t.add_row(
+                transport,
+                stats["queue_state_bytes"],
+                stats["queue_reply_bytes"],
+                stats["shared_push_bytes"],
+                stats["buffer_rebuilds"],
+                len(solver.steal_log),
+                dev,
+            )
+            for ev in solver.steal_log:
+                quality = (
+                    f", moved load {ev.moved_load:.1f}"
+                    if ev.moved_load is not None
+                    else ""
+                )
+                t.add_note(
+                    f"{transport}: steal @ iter {ev.iteration} shard "
+                    f"{ev.donor} -> {ev.thief}, instances "
+                    f"{list(ev.instances)}{quality}"
+                )
+    avoided = (
+        stats_by["queue"]["queue_state_bytes"]
+        + stats_by["queue"]["queue_reply_bytes"]
+    )
+    t.add_note(
+        f"queue bytes avoided by the shared transport: {avoided} "
+        f"over {stats_by['queue']['segments']} segments"
+    )
+    t.add_note("max |dz| = 0 means bit-identical to the plain batched solve")
+    out = results_path("fleet_zerocopy.txt")
+    t.emit(out)
+    print(f"\n(zero-copy audit written to {out})")
+    leaked = (
+        stats_by["shared"]["queue_state_bytes"]
+        + stats_by["shared"]["queue_reply_bytes"]
+    )
+    if leaked:
+        print(
+            f"error: shared transport moved {leaked} iterate bytes over "
+            f"its queues (expected 0)",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if worst == 0.0 else 1
 
 
@@ -772,6 +873,14 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="fleet --rebalance: a shard steals once its active instance "
         "count drops below this (0 disables stealing)",
+    )
+    parser.add_argument(
+        "--steal-policy",
+        choices=("count", "predictive"),
+        default="count",
+        help="fleet --rebalance: steal trigger — active-instance counts "
+        "(count) or fitted residual-decay × cost-weighted loads "
+        "(predictive); results are bit-identical either way",
     )
     parser.add_argument(
         "--requests",

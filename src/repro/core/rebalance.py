@@ -42,9 +42,34 @@ Execution modes mirror the sharded solver with one twist: the randomized
 :class:`~repro.core.async_admm.AsyncSweepPlan` per global instance, seeded
 ``seed + instance``), and each run hands workers the pre-drawn factor
 masks — so a stolen instance's stream continues exactly where it left
-off, wherever it executes.  Process mode trades the sharded solver's
-shared-memory buffers for queue-serialized state (rosters change shape;
-``ShardedBatchedSolver`` remains the fast path for static fleets).
+off, wherever it executes.
+
+Process-mode state moves through one of two **transports**
+(``transport=``):
+
+``shared`` (default)
+    every worker owns capacity-bound shared-memory buffers — the
+    :func:`repro.backends.process.shared_capacity_buffers` mirror,
+    pre-allocated with ``slack`` headroom above the roster it is bound
+    to — and the parent pushes/pulls the iterate through
+    :func:`repro.core.sharded.push_shared` /
+    :func:`~repro.core.sharded.pull_families` exactly as the static
+    sharded solver does.  A steal, rebind, reshard, or elastic
+    add/remove is then an index-map update plus row copies inside shared
+    memory: the command queue carries only commands, sub-graph structure,
+    and pre-drawn masks — never iterate/dual/penalty arrays (witnessed by
+    :meth:`RebalancingShardedSolver.transport_stats`, whose
+    ``queue_state_bytes`` stays 0).  Roster growth past a worker's slack
+    falls back to a one-time buffer rebuild (kill + refork on larger
+    buffers, counted in ``buffer_rebuilds``); crash recovery replays from
+    the parent's authoritative mirror exactly as before.
+``queue``
+    the historical fallback: run commands serialize the full iterate
+    over the command queue and replies carry the advanced families back
+    (the pickling tax, paid once per worker per segment).
+
+Both transports execute identical math on identical state, so results
+are bit-identical across them — and to the plain batched solve.
 
 Parent-held state is also what makes the fleet **fault tolerant**
 (:mod:`repro.core.supervision`): workers heartbeat while sweeping, the
@@ -66,17 +91,30 @@ from __future__ import annotations
 import copy
 import multiprocessing as mp
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends.process import (
+    _as_np,
+    shared_capacity_buffers,
+    state_sizes,
+)
 from repro.core.async_admm import AsyncSweepPlan, run_iteration_async
 from repro.core.batched import normalize_pool, per_instance_residuals
 from repro.core.diagnostics import ADMMResult, SolveHistory
 from repro.core.parameters import ConstantPenalty, PenaltySchedule, apply_rho_scale
 from repro.core.residuals import Residuals
-from repro.core.sharded import MODES, VARIANTS, run_variant_sweeps
+from repro.core.sharded import (
+    MODES,
+    VARIANTS,
+    pull_families,
+    push_families,
+    push_shared,
+    run_variant_sweeps,
+)
 from repro.core.state import ADMMState
 from repro.core.supervision import (
     FaultLog,
@@ -91,6 +129,7 @@ from repro.graph.batch import GraphBatch
 from repro.graph.partition import contiguous_chunks
 from repro.obs.events import (
     PARENT,
+    EventRing,
     default_tracer,
     now as monotonic_now,
     segment_events,
@@ -100,15 +139,98 @@ from repro.utils.timing import UPDATE_KINDS, KernelTimers
 
 _FAMILIES = ("x", "m", "u", "n")
 
+#: Process-mode state transports (see the module docstring).
+TRANSPORTS = ("shared", "queue")
+
+#: Auto-steal trigger policies: raw non-converged counts vs projected
+#: cost-weighted loads fitted from residual-decay slopes.
+STEAL_POLICIES = ("count", "predictive")
+
 
 @dataclass(frozen=True)
 class StealEvent:
-    """One executed work-steal: which shard took which instances from whom."""
+    """One executed work-steal: which shard took which instances from whom.
+
+    ``moved_load`` carries the projected cost weight of the stolen block
+    (``edge_size × projected sweeps-to-convergence`` summed over the
+    block) when the predictive policy executed the steal; ``None`` under
+    the count policy.
+    """
 
     iteration: int
     thief: int
     donor: int
     instances: tuple[int, ...]
+    moved_load: float | None = None
+
+
+@dataclass
+class TransportStats:
+    """Byte/payload accounting for the parent↔worker state transport.
+
+    The acceptance witness for the zero-copy transport: in shared mode
+    ``queue_state_bytes`` and ``queue_reply_bytes`` stay exactly 0 across
+    steady-state sweeps, steals, reshards, and elastic add/remove — the
+    iterate only ever moves through the shared mirror (``shared_push_bytes``
+    / ``shared_pull_bytes``) — and steals/rebinds within a worker's slack
+    keep ``buffer_rebuilds`` at 0.
+    """
+
+    transport: str
+    queue_state_bytes: int = 0  # iterate/penalty bytes pickled onto cmd_q
+    queue_reply_bytes: int = 0  # advanced-family bytes pickled back
+    shared_push_bytes: int = 0  # parent -> shared mirror row copies
+    shared_pull_bytes: int = 0  # shared mirror -> parent row copies
+    buffer_rebuilds: int = 0  # growth-past-slack refork fallbacks
+    segments: int = 0  # process-mode run dispatches
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _CostModel:
+    """EWMA seconds-per-edge-per-sweep from measured worker segments.
+
+    Fed by the per-worker segment timings the PR 8 reply path already
+    ships.  Predictive stealing expresses projected loads in *weight*
+    units (``edge_size × projected sweeps``); this rate converts them to
+    seconds for logs and trace payloads.  Because the rate is a common
+    factor across every shard of a fleet, steal decisions — which only
+    compare loads — never depend on wall-clock noise and stay
+    deterministic run to run.
+    """
+
+    __slots__ = ("rate",)
+
+    def __init__(self) -> None:
+        self.rate: float | None = None
+
+    def observe(self, seconds: float, edges: int, sweeps: int) -> None:
+        if seconds <= 0.0 or edges <= 0 or sweeps <= 0:
+            return
+        r = seconds / (float(edges) * float(sweeps))
+        self.rate = r if self.rate is None else 0.8 * self.rate + 0.2 * r
+
+    def seconds_per_edge_sweep(self) -> float:
+        return self.rate if self.rate is not None else 1.0
+
+
+def _payload_nbytes(payload) -> int:
+    """Total bytes of the iterate arrays in a queue-transport payload."""
+    return int(sum(np.asarray(a).nbytes for a in payload))
+
+
+def _run_reply(payload):
+    """Split a worker run reply, tolerating the pre-``dropped`` 4-tuple.
+
+    Replies are ``(fams, elapsed, kernels, events, dropped)``; ``fams``
+    is ``None`` on the shared transport (the families live in the shared
+    mirror).  ``dropped`` (the worker ring's overflow count) is len-guarded
+    like every prior reply growth, so mixed-version replies degrade to 0.
+    """
+    fams, elapsed, kernels, events = payload[:4]
+    dropped = payload[4] if len(payload) > 4 else 0
+    return fams, elapsed, kernels, events, dropped
 
 
 def _run_sweeps(
@@ -133,21 +255,31 @@ def _run_sweeps(
         run_variant_sweeps(graph, state, iterations, variant, timers=timers)
 
 
-def _worker_main(cmd_q, done_q, heartbeat_interval=None):
+def _worker_main(cmd_q, done_q, heartbeat_interval=None, raws=None):
     """Generic shard worker: owns no graph until told to ``bind``.
 
     Unlike the sharded solver's workers (forked around one fixed shard
     graph), this loop is re-targetable: a ``bind`` command delivers a new
     sub-graph over the queue, so live re-sharding never restarts the
-    process.  ``run`` commands carry the full iterate (rosters change
-    shape, so state is serialized rather than shared) and return the
-    advanced families.  Exceptions are relayed; the worker survives them.
-    While a sweep runs, a heartbeat thread signals liveness on ``done_q``
-    so the parent can tell a slow shard from a hung one.
+    process.  With ``raws`` (the capacity-bound shared mirror inherited
+    through the fork), a bind also carries the bound graph's true mirror
+    sizes and the worker cuts its views to that prefix — ``run`` commands
+    then ship no iterate at all (``payload is None``): the worker pulls
+    the families from shared memory, sweeps, and pushes them back, so the
+    queues carry only commands and masks.  Without ``raws`` (queue
+    transport), ``run`` commands carry the full iterate and return the
+    advanced families, as before.  Exceptions are relayed; the worker
+    survives them.  While a sweep runs, a heartbeat thread signals
+    liveness on ``done_q`` so the parent can tell a slow shard from a
+    hung one.  Trace events buffer in a bounded ring whose overflow count
+    rides back on every reply (``dropped``), so the parent can surface
+    event loss instead of silently missing timeline spans.
     """
     graph = None
     variant = "classic"
     state: ADMMState | None = None
+    views = None
+    ring = EventRing(1 << 12)
     while True:
         cmd = cmd_q.get()
         op = cmd[0]
@@ -156,7 +288,11 @@ def _worker_main(cmd_q, done_q, heartbeat_interval=None):
         try:
             if op == "bind":
                 graph, variant = cmd[1], cmd[2]
+                sizes = cmd[3] if len(cmd) > 3 else None
                 state = ADMMState(graph)
+                views = None
+                if raws is not None and sizes is not None:
+                    views = [_as_np(r)[:s] for r, s in zip(raws, sizes)]
                 done_q.put(("ok", None))
             elif op == "run":
                 iterations, payload, masks = cmd[1], cmd[2], cmd[3]
@@ -164,14 +300,21 @@ def _worker_main(cmd_q, done_q, heartbeat_interval=None):
                 # the legacy 4-element command.
                 want = cmd[4] if len(cmd) > 4 else (False, False, 0, 0)
                 want_timers, want_trace, segment, worker_id = want
-                x, m, u, n, z, rho, alpha = payload
-                state.x[:] = x
-                state.m[:] = m
-                state.u[:] = u
-                state.n[:] = n
-                state.z[:] = z
-                state.set_rho(rho)
-                state.set_alpha(alpha)
+                if payload is None:
+                    # Shared transport: the parent pushed the pre-segment
+                    # state into the mirror before dispatching.
+                    pull_families(views, state)
+                    state.set_rho(views[5].copy())
+                    state.set_alpha(views[6].copy())
+                else:
+                    x, m, u, n, z, rho, alpha = payload
+                    state.x[:] = x
+                    state.m[:] = m
+                    state.u[:] = u
+                    state.n[:] = n
+                    state.z[:] = z
+                    state.set_rho(rho)
+                    state.set_alpha(alpha)
                 ktimers = (
                     KernelTimers() if (want_timers or want_trace) else None
                 )
@@ -180,9 +323,15 @@ def _worker_main(cmd_q, done_q, heartbeat_interval=None):
                 with heartbeat(done_q, heartbeat_interval):
                     _run_sweeps(graph, state, iterations, variant, masks, ktimers)
                 elapsed = time.perf_counter() - t0
-                events = ()
+                if payload is None:
+                    push_families(views, state)
+                    fams = None
+                else:
+                    fams = (state.x, state.m, state.u, state.n, state.z)
+                events: tuple = ()
+                dropped = 0
                 if want_trace:
-                    events = tuple(
+                    ring.extend(
                         segment_events(
                             worker=worker_id,
                             segment=segment,
@@ -192,20 +341,12 @@ def _worker_main(cmd_q, done_q, heartbeat_interval=None):
                             kernel_seconds=ktimers.elapsed_by_kind(),
                         )
                     )
+                    events = tuple(ring.drain())
+                    dropped = ring.dropped
                 kernels = (
                     ktimers.elapsed_by_kind() if ktimers is not None else None
                 )
-                done_q.put(
-                    (
-                        "ok",
-                        (
-                            (state.x, state.m, state.u, state.n, state.z),
-                            elapsed,
-                            kernels,
-                            events,
-                        ),
-                    )
-                )
+                done_q.put(("ok", (fams, elapsed, kernels, events, dropped)))
             else:  # pragma: no cover - protocol misuse
                 done_q.put(("error", f"unknown command {op!r}"))
         except Exception as err:  # noqa: BLE001 - relayed to the parent
@@ -213,14 +354,23 @@ def _worker_main(cmd_q, done_q, heartbeat_interval=None):
 
 
 class _Worker:
-    """One persistent generic worker process plus its command plumbing."""
+    """One persistent generic worker process plus its command plumbing.
 
-    def __init__(self, ctx, heartbeat_interval=None) -> None:
+    On the shared transport it also owns the capacity-bound mirror:
+    ``raws`` (shared blocks sized ``caps``, inherited by the forked child)
+    and ``views`` (the parent-side prefix views over them, cut to the
+    bound sub-graph's true sizes at bind time).
+    """
+
+    def __init__(self, ctx, heartbeat_interval=None, raws=None, caps=None) -> None:
+        self.raws = raws
+        self.caps = caps
+        self.views: list[np.ndarray] | None = None
         self.cmd_q = ctx.Queue()
         self.done_q = ctx.Queue()
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(self.cmd_q, self.done_q, heartbeat_interval),
+            args=(self.cmd_q, self.done_q, heartbeat_interval, raws),
             daemon=True,
         )
         self.proc.start()
@@ -251,9 +401,30 @@ class RebalancingShardedSolver:
     ``steal_threshold``
         a shard whose *active* instance count falls below this value
         steals from the heaviest shard at every convergence check of
-        :meth:`solve_batch`; ``0`` disables stealing.
+        :meth:`solve_batch`; ``0`` disables stealing (both policies).
     ``steal_seed``
         seeds the deterministic tie-breaking of steal decisions.
+    ``steal_policy``
+        ``"count"`` (default) triggers steals on raw non-converged
+        counts, the historical behavior.  ``"predictive"`` triggers on
+        projected cost-weighted loads: per-instance residual-decay slopes
+        (fitted over the last convergence checks) project each active
+        instance's sweeps-to-convergence, weighted by its template edge
+        size — so one big grinding MPC instance outweighs many small
+        nearly-done lasso instances, and load moves *before* a shard
+        actually starves.  Steals stay pure state motion under both
+        policies, so results are bit-identical either way; decisions are
+        deterministic (the measured time rate only scales loads into
+        seconds and cancels in comparisons).
+    ``transport`` / ``slack``
+        process-mode state transport: ``"shared"`` (default) gives every
+        worker capacity-bound shared-memory buffers with ``slack``
+        headroom (≥ 1.0) above its roster's mirror sizes, so steals,
+        rebinds, reshards, and elastic resizes move zero iterate bytes
+        over the command queues (see :meth:`transport_stats`); growth
+        past a worker's slack falls back to a one-time buffer rebuild.
+        ``"queue"`` keeps the historical queue-serialized state.  Thread
+        mode ignores both (shards sweep in-process).
     ``policy``
         a :class:`~repro.core.supervision.WorkerPolicy` tuning process-mode
         supervision: heartbeat period, silence budget, liveness-poll
@@ -299,6 +470,9 @@ class RebalancingShardedSolver:
         seed: int | None = None,
         steal_threshold: int = 1,
         steal_seed: int | None = None,
+        steal_policy: str = "count",
+        transport: str = "shared",
+        slack: float = 1.5,
         policy: WorkerPolicy | None = None,
         injector=None,
         tracer=None,
@@ -307,6 +481,17 @@ class RebalancingShardedSolver:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         if variant not in VARIANTS:
             raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        if steal_policy not in STEAL_POLICIES:
+            raise ValueError(
+                f"steal_policy must be one of {STEAL_POLICIES}, got "
+                f"{steal_policy!r}"
+            )
+        if not float(slack) >= 1.0:
+            raise ValueError(f"slack must be >= 1.0, got {slack}")
         if not 1 <= num_shards <= batch.batch_size:
             raise ValueError(
                 f"num_shards must be in [1, {batch.batch_size}], got "
@@ -328,6 +513,9 @@ class RebalancingShardedSolver:
         self.fraction = float(fraction)
         self.seed = seed
         self.steal_threshold = int(steal_threshold)
+        self.steal_policy = steal_policy
+        self.transport = transport
+        self.slack = float(slack)
         self.steal_log: list[StealEvent] = []
         self.policy = policy if policy is not None else WorkerPolicy()
         self.injector = injector
@@ -341,6 +529,20 @@ class RebalancingShardedSolver:
         self._pool: ThreadPoolExecutor | None = None
         self._workers: list[_Worker] = []
         self._doomed: set[int] = set()  # shards awaiting failover migration
+        self._shared = mode == "process" and transport == "shared"
+        self._tstats = TransportStats(
+            transport=(
+                "shared" if self._shared
+                else ("queue" if mode == "process" else "thread")
+            )
+        )
+        # Predictive-stealing state: per-instance residual-decay history
+        # (global id -> deque of (iteration, log10 residual ratio)) and the
+        # measured cost rate.  Maintained lazily; empty under "count".
+        self._progress: dict[int, deque] = {}
+        self._cost = _CostModel()
+        self._steal_margin = 0.5  # thief trigger: load < margin * mean load
+        self._predict_cap = 512.0  # projection horizon (sweeps)
 
         rows = self._penalty_rows(rho, "rho")
         arows = self._penalty_rows(alpha, "alpha")
@@ -357,17 +559,23 @@ class RebalancingShardedSolver:
 
         self._fresh_scalar_rho = _scalar(rho)
         self._fresh_scalar_alpha = _scalar(alpha)
+        # Mixed-fleet defaults live in one table keyed by template id whose
+        # *values* hold the template itself: the strong ref pins the id for
+        # the table's lifetime, so CPython can never reuse it for a new
+        # template (the id-reuse hazard of keying by bare id(t) with the
+        # caller owning the only reference), and lookups double-check
+        # identity (`entry[0] is t`) as a belt-and-braces guard.
+        self._fresh_by_template: dict[int, tuple] = {}
         if batch.uniform:
             self._fresh_rho = rows[0].copy()
             self._fresh_alpha = arows[0].copy()
-            self._fresh_templates = {}
         else:
-            self._fresh_rho = {}
-            self._fresh_alpha = {}
+            self._fresh_rho = None
+            self._fresh_alpha = None
             for i, t in enumerate(batch.templates):
-                self._fresh_rho.setdefault(id(t), rows[i].copy())
-                self._fresh_alpha.setdefault(id(t), arows[i].copy())
-            self._fresh_templates = {id(t): t for t in batch.templates}
+                self._fresh_by_template.setdefault(
+                    id(t), (t, rows[i].copy(), arows[i].copy())
+                )
 
         self.plans: list[AsyncSweepPlan] | None = None
         if variant == "async":
@@ -386,7 +594,7 @@ class RebalancingShardedSolver:
 
         if mode == "process":
             self._ctx = mp.get_context("fork")
-            self._workers = [self._spawn_worker() for _ in self.shards]
+            self._workers = [self._spawn_worker(sh) for sh in self.shards]
         else:
             self._pool_size = len(self.shards)
             self._pool = ThreadPoolExecutor(
@@ -507,6 +715,8 @@ class RebalancingShardedSolver:
             f"RebalancingShardedSolver: B={self.batch_size} as "
             f"{self.num_shards} shards ({sizes}) x {shape}, "
             f"mode={self.mode}, variant={self.variant}, "
+            f"transport={self._tstats.transport}, "
+            f"steal_policy={self.steal_policy}, "
             f"steal_threshold={self.steal_threshold}, "
             f"steals={len(self.steal_log)}"
         )
@@ -621,6 +831,8 @@ class RebalancingShardedSolver:
             pass
         else:
             raise ValueError(f"unknown init {how!r}; use zeros|random|keep")
+        if how != "keep":
+            self._progress.clear()  # decay histories describe the old run
 
     def warm_start_pool(self, pool) -> None:
         """Seed every instance from a pool of previous solutions.
@@ -642,11 +854,13 @@ class RebalancingShardedSolver:
             for sh in self.shards:
                 sh.state.init_from_z(sh.batch.pack_z([pool[g] for g in sh.ids]))
             self._iteration = 0
+            self._progress.clear()
             return
         rows = normalize_pool(pool, self.batch_size, self.batch.template.z_size)
         for sh in self.shards:
             sh.state.init_from_z(sh.batch.pack_z(rows[sh.ids]))
         self._iteration = 0
+        self._progress.clear()
 
     # ------------------------------------------------------------------ #
     # Sweep execution.                                                    #
@@ -712,20 +926,42 @@ class RebalancingShardedSolver:
             if self.injector is not None:
                 self.injector.before_segment(self)
             faults: dict[int, WorkerFault] = {}
-            # Phase 1: re-bind workers whose shard changed under them.
+            # Phase 1: re-bind workers whose shard changed under them.  On
+            # the shared transport a bind first checks the worker's mirror
+            # capacities — a roster that outgrew its slack forces the
+            # one-time buffer rebuild — and carries the bound graph's true
+            # mirror sizes so the worker can cut its prefix views.
             need_bind = [
                 idx
                 for idx, sh in enumerate(self.shards)
                 if self._workers[idx].bound is not sh.batch
             ]
+            bind_sizes: dict[int, list[int]] = {}
             for idx in need_bind:
-                self._workers[idx].cmd_q.put(
-                    ("bind", self.shards[idx].batch.graph, self.variant)
-                )
+                sh = self.shards[idx]
+                if self._shared:
+                    sizes = state_sizes(sh.batch.graph)
+                    bind_sizes[idx] = sizes
+                    w = self._workers[idx]
+                    if any(s > c for s, c in zip(sizes, w.caps)):
+                        w = self._rebuild_worker(idx)
+                    w.cmd_q.put(
+                        ("bind", sh.batch.graph, self.variant, tuple(sizes))
+                    )
+                else:
+                    self._workers[idx].cmd_q.put(
+                        ("bind", sh.batch.graph, self.variant)
+                    )
             for idx in need_bind:
                 try:
                     self._collect(idx, "bind")
-                    self._workers[idx].bound = self.shards[idx].batch
+                    w = self._workers[idx]
+                    w.bound = self.shards[idx].batch
+                    if self._shared:
+                        w.views = [
+                            _as_np(r)[:s]
+                            for r, s in zip(w.raws, bind_sizes[idx])
+                        ]
                 except WorkerFault as fault:
                     faults[idx] = fault
                 except RuntimeError as err:
@@ -734,19 +970,34 @@ class RebalancingShardedSolver:
                 return failure
             # Phase 2: dispatch the segment to every healthy worker, then
             # collect every reply before touching any state (a failure in
-            # one shard must not leave another's result queued).
+            # one shard must not leave another's result queued).  Shared
+            # transport: push the pre-segment state into each worker's
+            # mirror and send a payload-free command — zero iterate bytes
+            # on the queue; queue transport serializes the state as before.
             healthy = [i for i in range(len(self.shards)) if i not in faults]
             want = (timers is not None, tracer is not None, segment)
+            self._tstats.segments += 1
             for idx in healthy:
                 st = self.shards[idx].state
-                payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
+                if self._shared:
+                    w = self._workers[idx]
+                    push_shared(w.views, st)
+                    self._tstats.shared_push_bytes += int(
+                        sum(v.nbytes for v in w.views)
+                    )
+                    payload = None
+                else:
+                    payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
+                    self._tstats.queue_state_bytes += _payload_nbytes(payload)
                 self._workers[idx].cmd_q.put(
                     ("run", iterations, payload, masks[idx], want + (idx,))
                 )
-            results: dict[int, tuple] = {}
+            results: dict[int, tuple | None] = {}
             for idx in healthy:
                 try:
-                    fams, _dt, kernels, events = self._collect(idx, "sweep")
+                    fams, _dt, kernels, events, dropped = _run_reply(
+                        self._collect(idx, "sweep")
+                    )
                 except WorkerFault as fault:
                     faults[idx] = fault
                     continue
@@ -754,6 +1005,11 @@ class RebalancingShardedSolver:
                     failure = failure or err
                     continue
                 results[idx] = fams
+                if fams is not None:
+                    self._tstats.queue_reply_bytes += _payload_nbytes(fams)
+                self._cost.observe(
+                    _dt, self.shards[idx].batch.graph.edge_size, iterations
+                )
                 if timers is not None and kernels is not None:
                     # Per-worker kernel attribution: sum each worker's real
                     # kernel seconds instead of charging the barrier wall
@@ -761,6 +1017,13 @@ class RebalancingShardedSolver:
                     timers.add_elapsed(kernels)
                 if tracer is not None:
                     tracer.extend(events)
+                    if dropped:
+                        tracer.point(
+                            "drop",
+                            f"worker {idx} ring dropped {dropped} events",
+                            worker=idx,
+                            segment=segment,
+                        )
             if failure is not None:
                 return failure
             # Phase 3: recover faulted shards — restart & replay, falling
@@ -778,21 +1041,40 @@ class RebalancingShardedSolver:
                 if out is None:
                     parent_ran.add(idx)
                 else:
-                    fams, _dt, kernels, events = out
+                    fams, _dt, kernels, events, dropped = _run_reply(out)
                     results[idx] = fams
+                    if fams is not None:
+                        self._tstats.queue_reply_bytes += _payload_nbytes(fams)
                     if timers is not None and kernels is not None:
                         timers.add_elapsed(kernels)
                     if tracer is not None:
                         tracer.extend(events)
+                        if dropped:
+                            tracer.point(
+                                "drop",
+                                f"worker {idx} ring dropped {dropped} events",
+                                worker=idx,
+                                segment=segment,
+                            )
             if failure is not None:
                 return failure
-            # Phase 4: adopt every shard's advanced families.
+            # Phase 4: adopt every shard's advanced families — from the
+            # reply payload (queue transport) or straight out of the
+            # worker's shared mirror (shared transport: fams is None).
             for idx, sh in enumerate(self.shards):
                 if idx in parent_ran:
                     continue  # _run_sweeps advanced sh.state in place
-                for fam, arr in zip(_FAMILIES, results[idx][:4]):
-                    getattr(sh.state, fam)[:] = arr
-                sh.state.z[:] = results[idx][4]
+                fams = results[idx]
+                if fams is None:
+                    w = self._workers[idx]
+                    pull_families(w.views, sh.state)
+                    self._tstats.shared_pull_bytes += int(
+                        sum(v.nbytes for v in w.views[:5])
+                    )
+                else:
+                    for fam, arr in zip(_FAMILIES, fams[:4]):
+                        getattr(sh.state, fam)[:] = arr
+                    sh.state.z[:] = fams[4]
                 sh.state.iteration += iterations
             # Phase 5: failover — migrate rosters of shards whose worker
             # is gone for good onto survivors (the involuntary steal).
@@ -827,6 +1109,14 @@ class RebalancingShardedSolver:
                 exc = f.exception()
                 if exc is not None:
                     failure = failure or exc
+            if failure is None:
+                self._tstats.segments += 1
+                for idx, sh in enumerate(self.shards):
+                    if spans[idx] is not None:
+                        m0, m1 = spans[idx]
+                        self._cost.observe(
+                            m1 - m0, sh.batch.graph.edge_size, iterations
+                        )
             if failure is None and need_kernels:
                 for idx, kt in enumerate(shard_timers):
                     kernels = kt.elapsed_by_kind()
@@ -864,21 +1154,87 @@ class RebalancingShardedSolver:
                 )
         return failure
 
-    def _spawn_worker(self) -> _Worker:
-        return _Worker(self._ctx, self.policy.heartbeat_interval)
+    def _capacities(self, shard: _RosterShard) -> list[int]:
+        """Capacity-bound mirror sizes for a worker serving ``shard``.
+
+        The bound graph's true sizes scaled by ``slack`` — the headroom
+        that lets steals and elastic appends re-bind inside the existing
+        buffers instead of reallocating shared memory.
+        """
+        return [
+            max(1, int(np.ceil(s * self.slack)))
+            for s in state_sizes(shard.batch.graph)
+        ]
+
+    def _spawn_worker(
+        self, shard: _RosterShard | None = None, raws=None, caps=None
+    ) -> _Worker:
+        """Fork one generic worker; shared transport attaches its mirror.
+
+        ``raws``/``caps`` reuse an existing mirror (crash recovery: the
+        parent still maps the dead worker's buffers, and the fresh fork
+        inherits them); otherwise new capacity buffers are allocated with
+        ``slack`` headroom over ``shard``'s sizes.
+        """
+        if self._shared and raws is None:
+            caps = self._capacities(shard)
+            raws = shared_capacity_buffers(self._ctx, caps)
+        return _Worker(
+            self._ctx, self.policy.heartbeat_interval, raws=raws, caps=caps
+        )
 
     def _ensure_workers(self) -> None:
         """Grow the process-worker pool to cover every shard (never shrinks)."""
         while len(self._workers) < len(self.shards):
-            self._workers.append(self._spawn_worker())
+            self._workers.append(
+                self._spawn_worker(self.shards[len(self._workers)])
+            )
 
     def _retire_worker(self, worker: _Worker) -> None:
-        """Forcibly dispose of a worker (dead, hung, or corrupt): kill + close."""
+        """Forcibly dispose of a worker (dead, hung, or corrupt): kill + close.
+
+        The worker's shared mirror (``raws``/``caps``) is deliberately
+        kept: the parent still maps it, so a replacement fork can inherit
+        the same buffers and replay from the parent's authoritative state.
+        """
         reap_process(worker.proc, grace=False)
         worker.proc = None
         close_queue(worker.cmd_q)
         close_queue(worker.done_q)
         worker.bound = None
+
+    def _rebuild_worker(self, idx: int) -> _Worker:
+        """Growth past slack: retire worker ``idx``, refork on larger buffers.
+
+        The one-time fallback of the capacity scheme — shared blocks
+        cannot be resized or re-sent over queues (they share only through
+        fork inheritance), so a roster that outgrew its worker's slack
+        stops the worker politely and forks a replacement on fresh
+        buffers sized for the new roster (again with slack).  Counted in
+        :meth:`transport_stats` ``buffer_rebuilds``; steals and appends
+        within slack never come through here.
+        """
+        old = self._workers[idx]
+        if old.proc is not None and old.proc.is_alive():
+            try:
+                old.cmd_q.put(("stop",))
+            except Exception:
+                pass
+        reap_process(old.proc, timeout=self.policy.shutdown_timeout)
+        old.proc = None
+        close_queue(old.cmd_q)
+        close_queue(old.done_q)
+        w = self._spawn_worker(self.shards[idx])
+        self._workers[idx] = w
+        self._tstats.buffer_rebuilds += 1
+        if self.tracer is not None:
+            self.tracer.point(
+                "rebuild",
+                f"worker {idx} mirror rebuilt (roster outgrew slack)",
+                worker=idx,
+                segment=self._iteration,
+            )
+        return w
 
     def _recover_shard(
         self,
@@ -898,15 +1254,29 @@ class RebalancingShardedSolver:
         shard is marked for roster migration.  Returns the run reply
         payload, or ``None`` when the parent ran the segment (its kernel
         seconds fold into ``timers`` and trace onto the parent lane here).
+
+        On the shared transport the replacement worker re-inherits the dead
+        worker's shared blocks over fork (the parent keeps the references —
+        see ``_retire_worker``), and the replay pushes the parent's
+        authoritative pre-segment mirror into them: a crash never loses
+        iterate state because the parent never ceded ownership of it.
         """
         sh = self.shards[idx]
         self.fault_log.record(
             "crash", self._iteration, idx, f"{type(fault).__name__}: {fault}"
         )
-        self._retire_worker(self._workers[idx])
+        old = self._workers[idx]
+        self._retire_worker(old)
+        sizes = state_sizes(sh.batch.graph) if self._shared else None
+        reuse = self._shared and all(
+            s <= c for s, c in zip(sizes, old.caps or ())
+        )
         for attempt in range(self.policy.max_restarts):
             time.sleep(self.policy.restart_delay(attempt))
-            w = self._spawn_worker()
+            if reuse:
+                w = self._spawn_worker(raws=old.raws, caps=old.caps)
+            else:
+                w = self._spawn_worker(sh)
             self._workers[idx] = w
             self.fault_log.record(
                 "restart",
@@ -916,17 +1286,31 @@ class RebalancingShardedSolver:
                 f"(attempt {attempt + 1}/{self.policy.max_restarts})",
             )
             try:
-                w.cmd_q.put(("bind", sh.batch.graph, self.variant))
-                self._collect(idx, "bind")
-                w.bound = sh.batch
                 st = sh.state
-                payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
                 want = (
                     timers is not None,
                     self.tracer is not None,
                     self._iteration,
                     idx,
                 )
+                if self._shared:
+                    w.cmd_q.put(
+                        ("bind", sh.batch.graph, self.variant, tuple(sizes))
+                    )
+                    self._collect(idx, "bind")
+                    w.bound = sh.batch
+                    w.views = [_as_np(r)[:s] for r, s in zip(w.raws, sizes)]
+                    push_shared(w.views, st)
+                    self._tstats.shared_push_bytes += int(
+                        sum(v.nbytes for v in w.views)
+                    )
+                    payload = None
+                else:
+                    w.cmd_q.put(("bind", sh.batch.graph, self.variant))
+                    self._collect(idx, "bind")
+                    w.bound = sh.batch
+                    payload = (st.x, st.m, st.u, st.n, st.z, st.rho, st.alpha)
+                    self._tstats.queue_state_bytes += _payload_nbytes(payload)
                 w.cmd_q.put(("run", iterations, payload, masks, want))
                 return self._collect(idx, "sweep")
             except WorkerFault as again:
@@ -1193,23 +1577,52 @@ class RebalancingShardedSolver:
             return candidates[0]
         return int(candidates[int(self._steal_rng.integers(len(candidates)))])
 
-    def _steal(self, thief_idx: int, donor_idx: int, active: np.ndarray):
-        """Move half the active-load imbalance from donor to thief.
+    def _steal(
+        self,
+        thief_idx: int,
+        donor_idx: int,
+        active: np.ndarray,
+        weights: np.ndarray | None = None,
+    ):
+        """Move half the (active or cost-weighted) imbalance donor → thief.
 
         The stolen instances are the smallest contiguous *tail block* of
         the donor's roster covering the target active count (trailing
-        frozen instances ride along — moving them is free).  Returns the
-        executed :class:`StealEvent`, or ``None`` if no move helps.
+        frozen instances ride along — moving them is free).  With
+        ``weights`` (the predictive policy's per-instance cost weights) the
+        cut instead accumulates weight tail-first up to half the load gap —
+        zero-weight (converged) trailing instances still ride along free.
+        Returns the executed :class:`StealEvent`, or ``None`` if no move
+        helps.
         """
         donor = self.shards[donor_idx]
         thief = self.shards[thief_idx]
-        d_act = int(active[donor.ids].sum())
-        t_act = int(active[thief.ids].sum())
-        n_move = (d_act - t_act) // 2
-        if n_move <= 0:
-            return None
-        flags = np.flatnonzero(active[donor.ids])
-        cut = int(flags[-n_move])
+        moved_load = None
+        if weights is None:
+            d_act = int(active[donor.ids].sum())
+            t_act = int(active[thief.ids].sum())
+            n_move = (d_act - t_act) // 2
+            if n_move <= 0:
+                return None
+            flags = np.flatnonzero(active[donor.ids])
+            cut = int(flags[-n_move])
+        else:
+            d_load = float(weights[donor.ids].sum())
+            t_load = float(weights[thief.ids].sum())
+            gap = (d_load - t_load) / 2.0
+            if gap <= 0.0:
+                return None
+            cut = len(donor.ids)
+            cum = 0.0
+            for pos in range(len(donor.ids) - 1, 0, -1):
+                w_pos = float(weights[donor.ids[pos]])
+                if cum + w_pos > gap:
+                    break
+                cum += w_pos
+                cut = pos
+            if cut == len(donor.ids) or cum <= 0.0:
+                return None
+            moved_load = cum
         if cut == 0:
             cut = 1  # the donor always keeps at least one instance
         block = donor.ids[cut:]
@@ -1225,16 +1638,22 @@ class RebalancingShardedSolver:
             thief=thief_idx,
             donor=donor_idx,
             instances=tuple(int(g) for g in block),
+            moved_load=moved_load,
         )
         self.steal_log.append(event)
         if self.tracer is not None:
+            data = dict(
+                thief=thief_idx,
+                donor=donor_idx,
+                instances=list(event.instances),
+            )
+            if moved_load is not None:
+                data["moved_load"] = moved_load
             self.tracer.point(
                 "steal",
                 f"shard {donor_idx} -> {thief_idx}",
                 segment=self._iteration,
-                thief=thief_idx,
-                donor=donor_idx,
-                instances=list(event.instances),
+                **data,
             )
         return event
 
@@ -1261,13 +1680,22 @@ class RebalancingShardedSolver:
         return self._steal(thief, donor, np.asarray(active, dtype=bool))
 
     def _auto_steal(self, active: np.ndarray) -> list[StealEvent]:
-        """Stealing pass run at every convergence check of the solve loop."""
+        """Stealing pass run at every convergence check of the solve loop.
+
+        Active counts are computed **once** and updated incrementally from
+        each executed steal (a steal only moves instances between its
+        thief and donor, so no other shard's count can change) — the pass
+        is O(B + S·steals) instead of the former O(S²·B) roster rescan per
+        thief, with bit-identical decisions.
+        """
         if self.steal_threshold <= 0 or self.num_shards < 2:
             return []
+        if self.steal_policy == "predictive":
+            return self._auto_steal_predictive(active)
         events = []
         order = self._steal_rng.permutation(self.num_shards)
+        counts = [int(active[sh.ids].sum()) for sh in self.shards]
         for thief_idx in order:
-            counts = [int(active[sh.ids].sum()) for sh in self.shards]
             if counts[thief_idx] >= self.steal_threshold:
                 continue
             hi = max(c for i, c in enumerate(counts) if i != thief_idx)
@@ -1279,7 +1707,124 @@ class RebalancingShardedSolver:
             ev = self._steal(int(thief_idx), donor_idx, active)
             if ev is not None:
                 events.append(ev)
+                moved = int(active[list(ev.instances)].sum())
+                counts[donor_idx] -= moved
+                counts[int(thief_idx)] += moved
         return events
+
+    def _auto_steal_predictive(self, active: np.ndarray) -> list[StealEvent]:
+        """Predictive, cost-weighted stealing pass.
+
+        Each active instance is weighted by ``edge_size × projected
+        sweeps-to-convergence`` (the fitted residual-decay slope of its
+        recent checks, capped at ``self._predict_cap``); a shard whose
+        summed weight falls below ``self._steal_margin`` of the fleet mean
+        steals from the heaviest shard, taking the tail block closest to
+        half the load gap.  Decisions compare weights only — the measured
+        seconds-per-edge-sweep rate is a common factor that cancels — so
+        the pass is deterministic given the steal seed and residual
+        history, and every steal is pure state motion: iterates are
+        bit-identical to never having stolen at all.
+        """
+        events = []
+        weights = self._instance_weights(active)
+        loads = [float(weights[sh.ids].sum()) for sh in self.shards]
+        order = self._steal_rng.permutation(self.num_shards)
+        for thief_idx in order:
+            mean = sum(loads) / len(loads)
+            if mean <= 0.0:
+                break
+            if loads[thief_idx] >= self._steal_margin * mean:
+                continue
+            hi = max(ld for i, ld in enumerate(loads) if i != thief_idx)
+            if hi <= loads[thief_idx]:
+                continue
+            donor_idx = self._pick(
+                [i for i, ld in enumerate(loads) if ld == hi and i != thief_idx]
+            )
+            ev = self._steal(int(thief_idx), donor_idx, active, weights=weights)
+            if ev is not None:
+                events.append(ev)
+                loads[donor_idx] -= ev.moved_load
+                loads[int(thief_idx)] += ev.moved_load
+        return events
+
+    def _note_progress(self, g: int, res) -> None:
+        """Record one convergence check in instance ``g``'s decay history."""
+        ratio = max(
+            res.primal / max(res.eps_primal, 1e-300),
+            res.dual / max(res.eps_dual, 1e-300),
+        )
+        dq = self._progress.get(g)
+        if dq is None:
+            dq = self._progress[g] = deque(maxlen=4)
+        if dq and dq[-1][0] == res.iteration:
+            return  # duplicate check at the same sweep (e.g. residuals())
+        dq.append((res.iteration, float(np.log10(max(ratio, 1e-300)))))
+
+    def _projected_sweeps(self, g: int) -> float:
+        """Projected sweeps until instance ``g`` converges.
+
+        Least-squares slope of ``log10(residual ratio)`` over the recent
+        checks; non-decaying or too-short histories project the cap (an
+        unknown instance is assumed expensive, so nobody unloads it as
+        cheap).
+        """
+        dq = self._progress.get(g)
+        if dq is None or len(dq) < 2:
+            return self._predict_cap
+        its = np.array([p[0] for p in dq], dtype=np.float64)
+        logs = np.array([p[1] for p in dq], dtype=np.float64)
+        di = its - its.mean()
+        denom = float((di * di).sum())
+        if denom <= 0.0:
+            return self._predict_cap
+        slope = float((di * (logs - logs.mean())).sum()) / denom
+        if slope >= -1e-12:
+            return self._predict_cap
+        last = float(logs[-1])
+        if last <= 0.0:
+            return 1.0  # already at threshold; one sweep to confirm
+        return float(min(self._predict_cap, max(1.0, last / -slope)))
+
+    def _instance_weights(self, active: np.ndarray) -> np.ndarray:
+        """Per-instance predicted cost weights (0 for converged instances).
+
+        ``edge_size × projected sweeps-to-convergence`` — proportional to
+        predicted seconds via the measured per-edge sweep rate, which is a
+        common factor and therefore left out of the weights (steal
+        decisions stay deterministic; :meth:`shard_loads` applies the rate
+        when reporting seconds).
+        """
+        weights = np.zeros(self.batch_size, dtype=np.float64)
+        templates = self.batch.templates
+        for g in range(self.batch_size):
+            if active[g]:
+                weights[g] = templates[g].edge_size * self._projected_sweeps(g)
+        return weights
+
+    def shard_loads(self, active=None) -> list[float]:
+        """Predicted per-shard cost in seconds under the current rosters.
+
+        ``active`` defaults to all-active.  The product of each shard's
+        summed instance weight (:meth:`_instance_weights`) and the measured
+        seconds-per-edge-sweep rate; before any sweep has been timed the
+        rate defaults to 1.0, making the loads plain weight sums.
+        """
+        if active is None:
+            active = np.ones(self.batch_size, dtype=bool)
+        active = np.asarray(active, dtype=bool)
+        weights = self._instance_weights(active)
+        rate = self._cost.seconds_per_edge_sweep()
+        return [float(weights[sh.ids].sum()) * rate for sh in self.shards]
+
+    def transport_stats(self) -> dict:
+        """Byte/payload accounting of the parent↔worker state transport.
+
+        See :class:`TransportStats`; in shared mode ``queue_state_bytes``
+        == ``queue_reply_bytes`` == 0 is the zero-copy witness.
+        """
+        return self._tstats.as_dict()
 
     # ------------------------------------------------------------------ #
     # Elastic rosters: grow/shrink the live fleet.                        #
@@ -1315,18 +1860,20 @@ class RebalancingShardedSolver:
             )
         else:
             if isinstance(self._fresh_rho, np.ndarray):
-                # The fleet just went mixed: key the construction-time
-                # defaults by the (previously sole) template.
-                tid = id(old_templates[0])
-                self._fresh_rho = {tid: self._fresh_rho}
-                self._fresh_alpha = {tid: self._fresh_alpha}
-                self._fresh_templates = {tid: old_templates[0]}
+                # The fleet just went mixed: move the construction-time
+                # defaults into the template-keyed table (whose values
+                # hold the template — the strong ref keeps its id stable).
+                t0 = old_templates[0]
+                self._fresh_by_template.setdefault(
+                    id(t0), (t0, self._fresh_rho, self._fresh_alpha)
+                )
+                self._fresh_rho = None
+                self._fresh_alpha = None
             rho_rows = self._fresh_rows_mixed(
-                rho, new_ids, self._fresh_rho, self._fresh_scalar_rho, "rho"
+                rho, new_ids, 1, self._fresh_scalar_rho, "rho"
             )
             alpha_rows = self._fresh_rows_mixed(
-                alpha, new_ids, self._fresh_alpha, self._fresh_scalar_alpha,
-                "alpha",
+                alpha, new_ids, 2, self._fresh_scalar_alpha, "alpha"
             )
 
             def fresh(g, _r=rho_rows, _a=alpha_rows):
@@ -1370,6 +1917,11 @@ class RebalancingShardedSolver:
                 old_to_new[g] = pos
                 pos += 1
         new_to_old = {v: k for k, v in old_to_new.items()}
+        self._progress = {
+            old_to_new[g]: dq
+            for g, dq in self._progress.items()
+            if g in old_to_new
+        }
         rosters = []
         for sh in self.shards:
             roster = [old_to_new[g] for g in sh.ids if g not in dropset]
@@ -1400,22 +1952,24 @@ class RebalancingShardedSolver:
         )
 
     def _fresh_rows_mixed(
-        self, value, new_ids, table: dict, scalar_fallback, name: str
+        self, value, new_ids, slot: int, scalar_fallback, name: str
     ) -> dict:
         """Fresh penalties for cold newcomers in a mixed-template fleet.
 
         Returns global id → scalar or per-edge row.  ``None`` falls back to
-        the construction-time default of the newcomer's template, then the
-        scalar construction value; an unseen template with no scalar
-        fallback demands an explicit ``{name}``.
+        the construction-time default of the newcomer's template (slot 1 =
+        rho, slot 2 = alpha of the ``_fresh_by_template`` entries; the
+        lookup re-checks ``entry[0] is t`` so a stale id can never alias a
+        different template), then the scalar construction value; an unseen
+        template with no scalar fallback demands an explicit ``{name}``.
         """
         out = {}
         if value is None:
             for g in new_ids:
                 t = self.batch.templates[g]
-                row = table.get(id(t))
-                if row is not None:
-                    out[g] = row
+                ent = self._fresh_by_template.get(id(t))
+                if ent is not None and ent[0] is t:
+                    out[g] = ent[slot]
                 elif scalar_fallback is not None:
                     out[g] = scalar_fallback
                 else:
@@ -1476,6 +2030,12 @@ class RebalancingShardedSolver:
             res = per_instance_residuals(sh.batch, sh.state, z_prev, eps_abs, eps_rel)
             for p, g in enumerate(sh.ids):
                 out[g] = res[p]
+        if self.steal_policy == "predictive":
+            # Every convergence check — solve_batch's or an external
+            # driver's residuals() call (the service loop) — feeds the
+            # per-instance decay histories the predictive stealer fits.
+            for g, r in enumerate(out):
+                self._note_progress(g, r)
         return out
 
     def residuals(
@@ -1564,6 +2124,7 @@ class RebalancingShardedSolver:
             getattr(sh.state, fam)[slots] = broadcast
         sh.state.u[slots] = 0.0
         sh.state.z[sh.batch.z_slice(p)] = z_row
+        self._progress.pop(g, None)  # restart the decay history
 
     def steal_pass(self, active) -> list[StealEvent]:
         """One auto-stealing pass from an activity mask (the solve-loop step).
@@ -1571,8 +2132,13 @@ class RebalancingShardedSolver:
         ``active`` is a ``(B,)`` boolean mask of non-converged instances;
         every shard whose active count fell below ``steal_threshold``
         steals from the heaviest shard, exactly as :meth:`solve_batch`
-        does after each convergence check.  Pure state motion — results
-        stay bit-identical.  Returns the executed steals.
+        does after each convergence check.  Under
+        ``steal_policy="predictive"`` the trigger and cut instead compare
+        cost-weighted loads (``edge_size × projected sweeps``, fitted from
+        the decay histories the convergence checks feed — external drivers
+        get this for free because :meth:`residuals` records them too).
+        Pure state motion either way — results stay bit-identical.
+        Returns the executed steals.
         """
         if self._closed:
             raise RuntimeError("solver is closed")

@@ -66,7 +66,11 @@ import numpy as np
 
 from repro.core.diagnostics import ADMMResult, SolveHistory
 from repro.core.parameters import ConstantPenalty, PenaltySchedule
-from repro.core.rebalance import RebalancingShardedSolver
+from repro.core.rebalance import (
+    STEAL_POLICIES,
+    TRANSPORTS,
+    RebalancingShardedSolver,
+)
 from repro.core.residuals import Residuals
 from repro.core.supervision import WorkerPolicy
 from repro.graph.batch import pack_graphs, replicate_graph
@@ -203,11 +207,17 @@ class FleetService:
     rho, alpha, schedule:
         solver parameters, as in :class:`~repro.core.batched.BatchedSolver`
         (the schedule is deep-copied per request at admission).
-    num_shards, mode, variant, steal_threshold, steal_seed, policy:
+    num_shards, mode, variant, steal_threshold, steal_seed, steal_policy,
+    transport, policy:
         fleet knobs, as in :class:`RebalancingShardedSolver`; the shard
         count is capped at the live instance count while the fleet is
         small.  ``variant="async"`` is rejected (resizes reseed streams —
         per-request results would depend on admission history).
+        ``steal_policy="predictive"`` weighs steals by fitted
+        residual-decay projections (the service's own residual checks feed
+        the histories); ``transport`` picks the process-mode state
+        transport (``"shared"`` zero-copy mirrors / ``"queue"``).  Neither
+        changes per-request results.
     check_every:
         sweeps per segment: the convergence-check cadence *and* the
         admission/eviction granularity.  Requests complete only at
@@ -249,6 +259,8 @@ class FleetService:
         max_batch: int | None = None,
         steal_threshold: int = 1,
         steal_seed: int | None = None,
+        steal_policy: str = "count",
+        transport: str = "shared",
         policy: WorkerPolicy | None = None,
         tracer=None,
     ) -> None:
@@ -274,6 +286,15 @@ class FleetService:
             )
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if steal_policy not in STEAL_POLICIES:
+            raise ValueError(
+                f"steal_policy must be one of {STEAL_POLICIES}, "
+                f"got {steal_policy!r}"
+            )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
         self.template = template
         self.rho = rho
         self.alpha = alpha
@@ -289,6 +310,8 @@ class FleetService:
         self.max_batch = max_batch
         self.steal_threshold = int(steal_threshold)
         self.steal_seed = steal_seed
+        self.steal_policy = steal_policy
+        self.transport = transport
         self.policy = policy
         self.tracer = tracer if tracer is not None else default_tracer()
 
@@ -412,6 +435,8 @@ class FleetService:
             alpha=self.alpha,
             steal_threshold=self.steal_threshold,
             steal_seed=self.steal_seed,
+            steal_policy=self.steal_policy,
+            transport=self.transport,
         )
         if self.policy is not None:
             kwargs["policy"] = self.policy

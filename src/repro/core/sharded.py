@@ -149,6 +149,14 @@ def _push_families(views, state: ADMMState) -> None:
         view[:] = arr
 
 
+# Public names for the mirror helpers: the rebalancing solver's
+# shared-memory transport (repro.core.rebalance) drives the same
+# push/pull protocol over capacity-bound buffers.
+push_shared = _push_shared
+pull_families = _pull_families
+push_families = _push_families
+
+
 def _shard_worker_main(
     graph,
     variant,

@@ -32,7 +32,12 @@ This module centralizes the supervision primitives both solvers share:
 
 Recovery *policy* (replay on a fresh worker, failover to a survivor or the
 parent) lives in the solvers; this module only detects, classifies, and
-records.
+records.  The parent always holds the authoritative per-instance state,
+so replay works the same on both rebalancing transports — on the
+zero-copy shared transport the replacement worker re-inherits the dead
+worker's shared-memory mirrors (the parent keeps the buffer handles
+alive across the restart) and the authoritative state is re-pushed
+through shared memory, never re-pickled onto the command queue.
 """
 
 from __future__ import annotations

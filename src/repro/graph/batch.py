@@ -1097,6 +1097,12 @@ def _pack_mixed(
     # within an instance, the template's own group factor order.  The
     # built graph's _build_groups then reproduces these buckets as
     # contiguous groups (asserted below).
+    #
+    # id()-keying is lifetime-safe here: the keys live only for this
+    # call, and every keyed prox is kept alive throughout by the
+    # caller-owned templates (``inst_templates``) — unlike a table that
+    # outlives its templates, no id can be recycled while the dict is
+    # in use.
     bucket_order: list[tuple] = []
     buckets: dict[tuple, list[tuple[int, np.ndarray]]] = {}
     for i, t in enumerate(inst_templates):

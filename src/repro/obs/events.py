@@ -60,6 +60,7 @@ POINT_KINDS = (
     "admit",
     "evict",
     "drop",
+    "rebuild",
 )
 
 #: Every kind a tracer accepts.

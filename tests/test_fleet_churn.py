@@ -200,15 +200,17 @@ def test_churn_with_auto_stealing_and_convergence(seed):
         live.close()
 
 
-def test_churn_process_mode_smoke():
+@pytest.mark.parametrize("transport", ["shared", "queue"])
+def test_churn_process_mode_smoke(transport):
     """One short churn on forked generic workers: reshard + steal + solve
-    parity (kept small — fork-heavy)."""
+    parity on both state transports (kept small — fork-heavy)."""
     targets = np.concatenate([np.zeros((2, 2)), np.full((4, 2), 9.0)])
     plain = BatchedSolver(quad_fleet(targets), rho=1.2)
     live = RebalancingShardedSolver(
         quad_fleet(targets),
         num_shards=2,
         mode="process",
+        transport=transport,
         rho=1.2,
         steal_threshold=1,
     )
@@ -227,6 +229,12 @@ def test_churn_process_mode_smoke():
         for a, b in zip(got, ref):
             np.testing.assert_array_equal(a.z, b.z)
             assert a.iterations == b.iterations
+        stats = live.transport_stats()
+        if transport == "shared":
+            assert stats["queue_state_bytes"] == 0
+            assert stats["queue_reply_bytes"] == 0
+        else:
+            assert stats["queue_state_bytes"] > 0
     finally:
         plain.close()
         live.close()

@@ -175,11 +175,13 @@ def crash_free_reference(variant, targets, seed, **solve):
 
 
 @pytest.mark.parametrize("seed", fault_seeds())
+@pytest.mark.parametrize("transport", ["shared", "queue"])
 @pytest.mark.parametrize("variant", ["classic", "three_weight", "async"])
-def test_kill_recovery_matches_crash_free_solve(variant, seed):
+def test_kill_recovery_matches_crash_free_solve(variant, transport, seed):
     """SIGKILL mid-solve: restart-and-replay keeps the full trajectory
     (iterates, histories, iteration counts) bit-identical to the
-    crash-free solve of the same variant."""
+    crash-free solve of the same variant — on both state transports
+    (shared-mirror replay and queue-payload replay)."""
     rng = np.random.default_rng(seed)
     targets = rng.normal(size=(6, 2)) + 1.0
     plan = FaultPlan.random(2, 3, 4, seed=seed, kinds=("kill",))
@@ -189,6 +191,7 @@ def test_kill_recovery_matches_crash_free_solve(variant, seed):
         quad_fleet(targets),
         num_shards=3,
         mode="process",
+        transport=transport,
         variant=variant,
         rho=1.3,
         fraction=0.7,

@@ -96,15 +96,19 @@ class TestConstruction:
                 solver.reshard(0)
 
 
-@pytest.mark.parametrize("mode", ["thread", "process"])
+@pytest.mark.parametrize(
+    "mode,transport",
+    [("thread", "shared"), ("process", "shared"), ("process", "queue")],
+)
 class TestStealingParity:
-    def test_solve_with_steals_bitwise_equals_batched(self, mode):
+    def test_solve_with_steals_bitwise_equals_batched(self, mode, transport):
         plain = BatchedSolver(quad_batch(TARGETS), rho=1.1)
         ref = plain.solve_batch(**SOLVE)
         with RebalancingShardedSolver(
             quad_batch(TARGETS),
             num_shards=3,
             mode=mode,
+            transport=transport,
             rho=1.1,
             steal_threshold=2,
         ) as solver:
@@ -121,12 +125,16 @@ class TestStealingParity:
             assert a.residuals.primal == b.residuals.primal
         plain.close()
 
-    def test_iterate_with_live_resharding_bitwise_equal(self, mode):
+    def test_iterate_with_live_resharding_bitwise_equal(self, mode, transport):
         plain = BatchedSolver(quad_batch(TARGETS), rho=1.4)
         plain.initialize("zeros")
         plain.iterate(17)
         with RebalancingShardedSolver(
-            quad_batch(TARGETS), num_shards=2, mode=mode, rho=1.4
+            quad_batch(TARGETS),
+            num_shards=2,
+            mode=mode,
+            transport=transport,
+            rho=1.4,
         ) as solver:
             solver.initialize("zeros")
             solver.iterate(5)

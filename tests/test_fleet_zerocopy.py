@@ -1,0 +1,496 @@
+"""Zero-copy shared-memory transport + predictive stealing (ISSUE 10).
+
+The tentpole claim: process-mode rebalancing workers own capacity-bound
+shared-memory mirrors (roster size × ``slack``), so steals, rebinds,
+reshards, and elastic resizes are index-map updates plus row copies in
+shared memory — the command queue carries **zero iterate bytes**, with
+:meth:`RebalancingShardedSolver.transport_stats` as the witness
+(``queue_state_bytes == queue_reply_bytes == 0``).  Growth past the slack
+triggers exactly one counted buffer rebuild; crashes replay from the
+parent's authoritative mirror.  Everything stays bit-identical to the
+queue transport and to a solo :class:`BatchedSolver` — transports and
+steal policies move bytes and rosters, never math.
+
+The ISSUE 10 satellite fixes are pinned here too: ring-drop propagation
+in rebalance worker replies (with a length guard for old 4-tuple replies),
+fresh-penalty defaults that pin their templates against id() reuse, and
+the O(S²·B)→incremental ``_auto_steal`` rewrite (decision parity against
+the legacy rescan).
+
+The seed list is a matrix: CI gates the defaults and can widen it via
+``REPRO_CHURN_SEEDS`` (comma-separated ints, replacing the defaults).
+"""
+
+import gc
+import os
+import weakref
+
+import numpy as np
+import pytest
+
+import repro.core.rebalance as rebalance_mod
+from repro.core.batched import BatchedSolver
+from repro.core.rebalance import (
+    STEAL_POLICIES,
+    TRANSPORTS,
+    RebalancingShardedSolver,
+    StealEvent,
+    _run_reply,
+)
+from repro.core.service import FleetService
+from repro.core.supervision import WorkerPolicy
+from repro.graph.batch import pack_graphs, replicate_graph
+from repro.graph.builder import GraphBuilder
+from repro.obs.events import EventRing, Tracer
+from repro.prox.standard import DiagQuadProx
+from repro.testing.faults import kill_worker
+
+DEFAULT_SEEDS = (0, 1)
+
+FAST = WorkerPolicy(
+    heartbeat_interval=0.05,
+    wait_timeout=2.0,
+    poll_interval=0.05,
+    max_restarts=2,
+    backoff=0.01,
+)
+
+
+def churn_seeds():
+    override = [
+        int(tok)
+        for tok in os.environ.get("REPRO_CHURN_SEEDS", "").split(",")
+        if tok.strip()
+    ]
+    return override if override else list(DEFAULT_SEEDS)
+
+
+def quad_template():
+    b = GraphBuilder()
+    w = b.add_variable(2)
+    b.add_factor(
+        DiagQuadProx(dims=(2,)),
+        [w],
+        params={"q": np.ones(2), "c": np.zeros(2)},
+    )
+    return b.build()
+
+
+def overrides_for(targets):
+    return [{0: {"c": -np.asarray(t, dtype=float)}} for t in targets]
+
+
+def quad_fleet(targets):
+    return replicate_graph(quad_template(), len(targets), overrides_for(targets))
+
+
+def uneven_targets(B=8, easy=3, seed=3):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [np.zeros((easy, 2)), rng.normal(size=(B - easy, 2)) * 20.0]
+    )
+
+
+TARGETS = uneven_targets()
+SOLVE = dict(max_iterations=200, check_every=5, init="zeros")
+
+
+def assert_results_equal(got, ref):
+    for a, b in zip(got, ref):
+        assert a.iterations == b.iterations
+        assert a.converged == b.converged
+        np.testing.assert_array_equal(a.z, b.z)
+        assert a.history.primal == b.history.primal
+        assert a.history.dual == b.history.dual
+
+
+# --------------------------------------------------------------------- #
+# Knob validation.                                                       #
+# --------------------------------------------------------------------- #
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        batch = quad_fleet(TARGETS)
+        with pytest.raises(ValueError, match="transport"):
+            RebalancingShardedSolver(batch, transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="steal_policy"):
+            RebalancingShardedSolver(batch, steal_policy="oracle")
+        with pytest.raises(ValueError, match="slack"):
+            RebalancingShardedSolver(batch, slack=0.5)
+        assert "shared" in TRANSPORTS and "queue" in TRANSPORTS
+        assert "count" in STEAL_POLICIES and "predictive" in STEAL_POLICIES
+
+    def test_service_validates_eagerly(self):
+        with pytest.raises(ValueError, match="steal_policy"):
+            FleetService(quad_template(), steal_policy="oracle")
+        with pytest.raises(ValueError, match="transport"):
+            FleetService(quad_template(), transport="carrier-pigeon")
+
+    def test_summary_names_transport_and_policy(self):
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS), num_shards=2, mode="thread"
+        ) as solver:
+            assert "transport=thread" in solver.summary()
+            assert "steal_policy=count" in solver.summary()
+
+
+# --------------------------------------------------------------------- #
+# The tentpole witness: zero iterate bytes on the command queue.         #
+# --------------------------------------------------------------------- #
+class TestZeroCopyTransport:
+    def test_shared_solve_moves_zero_queue_bytes(self):
+        solo = BatchedSolver(quad_fleet(TARGETS))
+        ref = solo.solve_batch(**SOLVE)
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS), num_shards=3, mode="process", steal_threshold=2
+        ) as solver:
+            res = solver.solve_batch(**SOLVE)
+            stats = solver.transport_stats()
+            assert len(solver.steal_log) > 0  # churn actually happened
+        assert_results_equal(res, ref)
+        assert stats["transport"] == "shared"
+        assert stats["queue_state_bytes"] == 0
+        assert stats["queue_reply_bytes"] == 0
+        assert stats["shared_push_bytes"] > 0
+        assert stats["shared_pull_bytes"] > 0
+        assert stats["segments"] > 0
+
+    def test_queue_transport_is_bit_identical_and_counted(self):
+        solo = BatchedSolver(quad_fleet(TARGETS))
+        ref = solo.solve_batch(**SOLVE)
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS),
+            num_shards=3,
+            mode="process",
+            transport="queue",
+            steal_threshold=2,
+        ) as solver:
+            res = solver.solve_batch(**SOLVE)
+            stats = solver.transport_stats()
+        assert_results_equal(res, ref)
+        assert stats["transport"] == "queue"
+        assert stats["queue_state_bytes"] > 0
+        assert stats["queue_reply_bytes"] > 0
+        assert stats["shared_push_bytes"] == 0
+        assert stats["shared_pull_bytes"] == 0
+
+    def test_churn_keeps_queue_dry(self):
+        """Steal + reshard + elastic add/remove: still zero queue bytes."""
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS), num_shards=2, mode="process", slack=2.0
+        ) as solver:
+            solver.iterate(3)
+            solver.steal_once()
+            solver.iterate(3)
+            solver.reshard(3)
+            solver.iterate(3)
+            solver.add_instances(overrides_for([[5.0, -5.0]]))
+            solver.iterate(3)
+            solver.remove_instances([0])
+            solver.iterate(3)
+            stats = solver.transport_stats()
+        assert stats["queue_state_bytes"] == 0
+        assert stats["queue_reply_bytes"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Roster slack: rebuilds only past capacity, recovery from the mirror.   #
+# --------------------------------------------------------------------- #
+class TestSlackAndRecovery:
+    def test_churn_within_slack_never_rebuilds(self):
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS), num_shards=2, mode="process", slack=2.0
+        ) as solver:
+            solver.iterate(2)
+            solver.steal_once()  # 4+4 -> at most 6+2: inside 2x slack
+            solver.iterate(2)
+            solver.reshard(2)
+            solver.iterate(2)
+            assert solver.transport_stats()["buffer_rebuilds"] == 0
+
+    def test_growth_past_slack_rebuilds_once(self):
+        twin = RebalancingShardedSolver(
+            quad_fleet(uneven_targets(4, 1)), num_shards=2, mode="thread"
+        )
+        with RebalancingShardedSolver(
+            quad_fleet(uneven_targets(4, 1)),
+            num_shards=2,
+            mode="process",
+            slack=1.25,
+        ) as solver:
+            for s in (solver, twin):
+                s.iterate(3)
+                # 2+2 rosters at slack 1.25: +3 instances overflows the
+                # receiving worker's capacity -> one rebuild, same math.
+                s.add_instances(overrides_for([[4.0, 4.0]] * 3))
+                s.iterate(3)
+            stats = solver.transport_stats()
+            np.testing.assert_array_equal(solver.fleet_z(), twin.fleet_z())
+            twin.close()
+        assert stats["buffer_rebuilds"] >= 1
+        assert stats["queue_state_bytes"] == 0
+
+    def test_crash_replays_from_parent_mirror(self):
+        """SIGKILL mid-churn: restart-replay re-pushes the authoritative
+        parent mirror into the (re-inherited) shared buffers — results
+        stay bit-identical and the queue stays dry."""
+        solo = BatchedSolver(quad_fleet(TARGETS))
+        ref = solo.solve_batch(**SOLVE)
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS),
+            num_shards=2,
+            mode="process",
+            steal_threshold=2,
+            policy=FAST,
+        ) as solver:
+            kill_worker(solver, 0)
+            res = solver.solve_batch(**SOLVE)
+            stats = solver.transport_stats()
+            assert len(solver.fault_log.crashes) >= 1
+        for a, b in zip(res, ref):
+            np.testing.assert_array_equal(a.z, b.z)
+        assert stats["queue_state_bytes"] == 0
+        assert stats["queue_reply_bytes"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Predictive, cost-weighted stealing.                                    #
+# --------------------------------------------------------------------- #
+class TestPredictivePolicy:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_predictive_is_bit_identical_to_count(self, mode):
+        runs = {}
+        for policy in STEAL_POLICIES:
+            with RebalancingShardedSolver(
+                quad_fleet(TARGETS),
+                num_shards=3,
+                mode=mode,
+                steal_threshold=2,
+                steal_policy=policy,
+            ) as solver:
+                runs[policy] = solver.solve_batch(**SOLVE)
+        assert_results_equal(runs["predictive"], runs["count"])
+
+    def test_predictive_steal_decisions_deterministic(self):
+        for seed in churn_seeds():
+            logs = []
+            for _ in range(2):
+                with RebalancingShardedSolver(
+                    quad_fleet(uneven_targets(seed=seed + 11)),
+                    num_shards=3,
+                    mode="thread",
+                    steal_threshold=2,
+                    steal_policy="predictive",
+                    steal_seed=seed,
+                ) as solver:
+                    solver.solve_batch(**SOLVE)
+                    logs.append(list(solver.steal_log))
+            assert logs[0] == logs[1], f"seed {seed}: steal log not reproducible"
+
+    def test_predictive_steals_carry_moved_load(self):
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS),
+            num_shards=3,
+            mode="thread",
+            steal_threshold=2,
+            steal_policy="predictive",
+        ) as solver:
+            solver.solve_batch(**SOLVE)
+            assert solver.steal_log, "predictive run produced no steals"
+            for ev in solver.steal_log:
+                assert ev.moved_load is not None and ev.moved_load > 0.0
+
+    def test_shard_loads_reports_per_shard_seconds(self):
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS), num_shards=3, mode="thread"
+        ) as solver:
+            solver.iterate(5)
+            loads = solver.shard_loads()
+            assert len(loads) == solver.num_shards
+            assert all(ld >= 0.0 for ld in loads)
+            # A frozen instance weighs zero: masking everything off zeroes
+            # every load.
+            none_active = np.zeros(solver.batch_size, dtype=bool)
+            assert solver.shard_loads(none_active) == [0.0] * solver.num_shards
+
+
+# --------------------------------------------------------------------- #
+# Satellite 1: ring-drop propagation in rebalance worker replies.        #
+# --------------------------------------------------------------------- #
+class TestDroppedEvents:
+    def test_run_reply_guards_legacy_four_tuples(self):
+        fams, elapsed, kernels, events, dropped = _run_reply((1, 2.0, {}, ()))
+        assert (fams, elapsed, kernels, events, dropped) == (1, 2.0, {}, (), 0)
+        assert _run_reply((1, 2.0, {}, (), 7))[4] == 7
+
+    def test_worker_ring_overflow_reaches_parent_tracer(self, monkeypatch):
+        """A tiny worker ring must surface as a parent-side "drop" point —
+        the accounting the rebalance reply path used to swallow."""
+        monkeypatch.setattr(
+            rebalance_mod, "EventRing", lambda capacity=0: EventRing(2)
+        )
+        tracer = Tracer()
+        with RebalancingShardedSolver(
+            quad_fleet(TARGETS), num_shards=2, mode="process", tracer=tracer
+        ) as solver:
+            solver.solve_batch(max_iterations=20, check_every=5, init="zeros")
+        drops = [e for e in tracer.events() if e.kind == "drop"]
+        assert drops, "worker ring overflow was not reported to the tracer"
+        assert any("dropped" in e.name for e in drops)
+
+
+# --------------------------------------------------------------------- #
+# Satellite 2: fresh-penalty defaults pin their templates.               #
+# --------------------------------------------------------------------- #
+class TestTemplateDefaultLifetime:
+    def _mixed_solver(self):
+        def tmpl(c):
+            b = GraphBuilder()
+            w = b.add_variable(2)
+            b.add_factor(
+                DiagQuadProx(dims=(2,)),
+                [w],
+                params={"q": np.ones(2), "c": np.full(2, c)},
+            )
+            return b.build()
+
+        t1, t2 = tmpl(1.0), tmpl(-2.0)
+        batch = pack_graphs([t1, t2], [2, 2])
+        solver = RebalancingShardedSolver(
+            batch, num_shards=2, mode="thread", rho=3.0
+        )
+        return solver, t1, t2
+
+    def test_mixed_defaults_pin_templates_against_gc(self):
+        solver, t1, t2 = self._mixed_solver()
+        with solver:
+            ref = weakref.ref(t2)
+            del t1, t2
+            gc.collect()
+            # The defaults table holds the strong ref: the id() keys can
+            # never be recycled while the solver lives.
+            assert ref() is not None
+            # Churn the allocator: a freed template's id must not be able
+            # to alias a new object into the wrong default row.
+            junk = [object() for _ in range(1000)]
+            del junk
+            t2_alive = ref()
+            solver.add_instances(1, templates=[t2_alive])
+            g = solver.batch_size - 1
+            np.testing.assert_array_equal(
+                solver.rho_rows()[g], np.full(t2_alive.num_edges, 3.0)
+            )
+
+    def test_unseen_template_falls_back_to_scalar_not_stale_row(self):
+        solver, t1, t2 = self._mixed_solver()
+        with solver:
+            b = GraphBuilder()
+            w = b.add_variable(2)
+            b.add_factor(
+                DiagQuadProx(dims=(2,)),
+                [w],
+                params={"q": np.ones(2), "c": np.zeros(2)},
+            )
+            t_new = b.build()
+            # Identity check: an entry is only used when its pinned
+            # template *is* the newcomer's — never on a bare id() match.
+            ent = solver._fresh_by_template.get(id(t_new))
+            assert ent is None or ent[0] is not t_new
+            solver.add_instances(1, templates=[t_new])
+            g = solver.batch_size - 1
+            np.testing.assert_array_equal(
+                solver.rho_rows()[g], np.full(t_new.num_edges, 3.0)
+            )
+
+
+# --------------------------------------------------------------------- #
+# Satellite 3: incremental _auto_steal decision parity.                  #
+# --------------------------------------------------------------------- #
+class LegacyRescanSolver(RebalancingShardedSolver):
+    """The pre-ISSUE-10 O(S²·B) pass: full roster rescan per thief."""
+
+    def _auto_steal(self, active):
+        if self.steal_threshold <= 0 or self.num_shards < 2:
+            return []
+        events = []
+        order = self._steal_rng.permutation(self.num_shards)
+        for thief_idx in order:
+            counts = [int(active[sh.ids].sum()) for sh in self.shards]
+            if counts[thief_idx] >= self.steal_threshold:
+                continue
+            hi = max(c for i, c in enumerate(counts) if i != thief_idx)
+            if hi <= counts[thief_idx]:
+                continue
+            donor_idx = self._pick(
+                [i for i, c in enumerate(counts) if c == hi and i != thief_idx]
+            )
+            ev = self._steal(int(thief_idx), donor_idx, active)
+            if ev is not None:
+                events.append(ev)
+        return events
+
+
+class TestIncrementalAutoSteal:
+    def test_decision_parity_with_legacy_rescan(self):
+        for seed in churn_seeds():
+            rng = np.random.default_rng(seed)
+            masks = [rng.random(16) < 0.4 for _ in range(6)]
+            logs = []
+            for cls in (RebalancingShardedSolver, LegacyRescanSolver):
+                with cls(
+                    quad_fleet(uneven_targets(16, 4, seed=seed)),
+                    num_shards=4,
+                    mode="thread",
+                    steal_threshold=2,
+                    steal_seed=seed,
+                ) as solver:
+                    for mask in masks:
+                        solver.steal_pass(mask)
+                    logs.append(
+                        (list(solver.steal_log), solver.shard_rosters())
+                    )
+            assert logs[0] == logs[1], f"seed {seed}: decisions diverged"
+
+    def test_solve_parity_with_legacy_rescan(self):
+        logs = []
+        for cls in (RebalancingShardedSolver, LegacyRescanSolver):
+            with cls(
+                quad_fleet(TARGETS), num_shards=3, mode="thread",
+                steal_threshold=2, steal_seed=5,
+            ) as solver:
+                res = solver.solve_batch(**SOLVE)
+                logs.append((list(solver.steal_log), [r.z.tobytes() for r in res]))
+        assert logs[0] == logs[1]
+
+
+# --------------------------------------------------------------------- #
+# Churn matrix: both policies, both transports, bit-for-bit.             #
+# --------------------------------------------------------------------- #
+class TestChurnMatrix:
+    @pytest.mark.parametrize("policy", STEAL_POLICIES)
+    def test_scripted_churn_bitwise_across_transports(self, policy):
+        for seed in churn_seeds():
+            targets = uneven_targets(8, 2, seed=seed + 29)
+            z_runs = []
+            stats_runs = []
+            for transport in TRANSPORTS:
+                with RebalancingShardedSolver(
+                    quad_fleet(targets),
+                    num_shards=2,
+                    mode="process",
+                    transport=transport,
+                    steal_threshold=2,
+                    steal_policy=policy,
+                    steal_seed=seed,
+                    slack=2.0,
+                ) as solver:
+                    solver.iterate(4)
+                    solver.steal_once()
+                    solver.iterate(4)
+                    solver.add_instances(overrides_for([[3.0, -1.0]]))
+                    solver.reshard(3)
+                    solver.iterate(4)
+                    z_runs.append(solver.fleet_z())
+                    stats_runs.append(solver.transport_stats())
+            np.testing.assert_array_equal(z_runs[0], z_runs[1])
+            assert stats_runs[0]["queue_state_bytes"] == 0
+            assert stats_runs[1]["queue_state_bytes"] > 0
